@@ -1,0 +1,48 @@
+//! Runs the ablation table (λ terms, ε, learning rate, kernel,
+//! overflow renormalisation — DESIGN.md §5) and times a full-variant
+//! mitigation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{ablation, Scale};
+use qbeep_core::QBeep;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let cases = scale.pick(3, 9, 24);
+    let results = ablation::run_all(cases);
+    ablation::print(&results);
+    let layout_rows = ablation::layout_strategy_lambdas(scale.pick(2, 6, 12));
+    qbeep_bench::report::print_table(
+        "Ablation: layout strategy vs predicted error rate",
+        &["strategy", "mean_lambda"],
+        &layout_rows
+            .iter()
+            .map(|(n, v)| vec![n.clone(), format!("{v:.4}")])
+            .collect::<Vec<_>>(),
+    );
+    let ensemble_rows = ablation::ensemble_comparison(scale.pick(2, 4, 8));
+    qbeep_bench::report::print_table(
+        "Extension: ensemble execution (§3.5 composition)",
+        &["configuration", "mean_fidelity"],
+        &ensemble_rows
+            .iter()
+            .map(|(n, v)| vec![n.clone(), format!("{v:.4}")])
+            .collect::<Vec<_>>(),
+    );
+
+    let workload = ablation::workload(1);
+    let case = &workload[0];
+    let engine = QBeep::default();
+    let lambda =
+        qbeep_core::lambda::estimate_lambda(&case.transpiled, &case.backend);
+    c.bench_function("ablations/full_variant_mitigation", |b| {
+        b.iter(|| engine.mitigate_with_lambda(std::hint::black_box(&case.counts), lambda));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates Figure 1 (motivating spectrum + BV mitigation bars) and
+//! times one end-to-end mitigation call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig01, Scale};
+use qbeep_core::QBeep;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let data = fig01::run(scale);
+    fig01::print(&data);
+
+    // Time: rebuilding the state graph + 20 iterations on the 8-qubit
+    // BV counts that back panel (b).
+    let counts = {
+        use qbeep_bitstring::Counts;
+        let pairs: Vec<_> = data
+            .bars
+            .iter()
+            .map(|(s, raw, _, _)| (*s, (raw * 4000.0).round() as u64))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        Counts::from_pairs(8, pairs)
+    };
+    let engine = QBeep::default();
+    c.bench_function("fig01/mitigate_8q_bv", |b| {
+        b.iter(|| engine.mitigate_with_lambda(std::hint::black_box(&counts), 1.2));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

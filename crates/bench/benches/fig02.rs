@@ -1,0 +1,28 @@
+//! Regenerates Figure 2 (BV Hamming spectra, observed vs Q-BEEP vs
+//! HAMMER weighting across 5–14 qubits) and times spectrum extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig02, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let panels = fig02::run(scale);
+    fig02::print(&panels);
+
+    let last = panels.last().expect("panels exist").clone();
+    c.bench_function("fig02/poisson_model_14q", |b| {
+        b.iter(|| {
+            qbeep_core::model::SpectrumModel::poisson(
+                std::hint::black_box(last.width),
+                std::hint::black_box(last.lambda),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

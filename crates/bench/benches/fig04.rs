@@ -1,0 +1,32 @@
+//! Regenerates Figure 4 (EHD and IoD vs gate count on
+//! superconducting/trapped-ion RB, plus the Markovian negative
+//! control) and times one RB channel execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig04, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let data = fig04::run(scale);
+    fig04::print(&data);
+
+    c.bench_function("fig04/rb_channel_execution", |b| {
+        b.iter(|| {
+            qbeep_bench::runners::rb::run_rb(
+                8,
+                2,
+                10,
+                &[qbeep_device::profiles::by_name("fake_guadalupe").expect("exists")],
+                500,
+                7,
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates Figure 6 (Hellinger-distance CDF of the five spectral
+//! models over the unique-output corpus) and times the model fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig06, Scale};
+use qbeep_core::model::{mle_poisson, SpectrumModel};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let records = fig06::run(scale);
+    fig06::print(&records);
+
+    // Time: fitting + scoring one 12-bit spectrum with all models.
+    let model = SpectrumModel::poisson(12, 2.7);
+    let spectrum = qbeep_bitstring::HammingSpectrum::from_masses(
+        qbeep_bitstring::BitString::zeros(12),
+        model.masses(),
+    );
+    c.bench_function("fig06/fit_and_score_models", |b| {
+        b.iter(|| {
+            let s = std::hint::black_box(&spectrum);
+            let lambda = mle_poisson(s);
+            let d1 = SpectrumModel::poisson(12, lambda).hellinger_to(s);
+            let d2 = SpectrumModel::uniform(12).hellinger_to(s);
+            let d3 = SpectrumModel::hammer_weighting(12).hellinger_to(s);
+            (d1, d2, d3)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Figure 7 (BV: relative PST improvement vs HAMMER,
+//! relative fidelity change, per-iteration trace, §4.2.2 summary) and
+//! times one full BV mitigation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig07, Scale};
+use qbeep_core::QBeep;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let data = fig07::run(scale);
+    fig07::print(&data);
+
+    let widest = data
+        .records
+        .iter()
+        .max_by_key(|r| r.width)
+        .expect("records exist");
+    let engine = QBeep::default();
+    c.bench_function("fig07/mitigate_widest_bv", |b| {
+        b.iter(|| {
+            engine.mitigate_with_lambda(
+                std::hint::black_box(&widest.counts),
+                std::hint::black_box(widest.lambda_est),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figures 8 and 9 (QASMBench relative fidelity change per
+//! algorithm and per machine, §4.3.2 summary) and times one suite
+//! mitigation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig08, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let data = fig08::run(scale);
+    fig08::print(&data);
+
+    c.bench_function("fig08/suite_single_execution", |b| {
+        b.iter(|| qbeep_bench::runners::suite::run_suite(1, 200, 42).len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 10 (QAOA: relative CR improvement, CR
+//! distribution shift, λ histogram, §4.4.2 summary) and times one
+//! instance's end-to-end run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig10, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let data = fig10::run(scale);
+    fig10::print(&data);
+
+    c.bench_function("fig10/single_instance_end_to_end", |b| {
+        b.iter(|| qbeep_bench::runners::qaoa::run_qaoa(1, 500, 3).len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 11 (entropy vs mean fidelity improvement with
+//! the inverse-correlation fit) and times the reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qbeep_bench::{fig08, fig11, Scale};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let data = fig08::run(scale);
+    let points = fig11::points(&data);
+    fig11::print(&points);
+
+    c.bench_function("fig11/scatter_reduction_and_fit", |b| {
+        b.iter(|| {
+            let pts = fig11::points(std::hint::black_box(&data));
+            fig11::fit(&pts)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Scalability benchmarks of the mitigation engine itself: state-graph
+//! construction and iteration cost against the number of distinct
+//! observed bit-strings (the paper's O(N·r)-per-update claim, §3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_core::graph::StateGraph;
+use qbeep_core::{QBeep, QBeepConfig};
+use qbeep_sim::{EmpiricalChannel, EmpiricalConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synthesises a count table with roughly `target_nodes` distinct
+/// outcomes by sampling the empirical channel around one 14-bit answer.
+fn synth_counts(target_nodes: usize, seed: u64) -> Counts {
+    let target: BitString = "10110100101101".parse().expect("valid");
+    let channel = EmpiricalChannel::new(
+        Distribution::point(target),
+        2.5,
+        EmpiricalConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Distinct-outcome count grows sublinearly in shots; oversample.
+    let shots = (target_nodes as u64) * 4;
+    channel.run(shots.max(10), &mut rng)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/state_graph");
+    for &target in &[100usize, 400, 1200] {
+        let counts = synth_counts(target, 77);
+        group.throughput(Throughput::Elements(counts.distinct() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("build", counts.distinct()),
+            &counts,
+            |b, counts| {
+                b.iter(|| StateGraph::build(counts, 2.5, &QBeepConfig::default()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_and_iterate", counts.distinct()),
+            &counts,
+            |b, counts| {
+                let engine = QBeep::default();
+                b.iter(|| engine.mitigate_with_lambda(counts, 2.5));
+            },
+        );
+    }
+    group.finish();
+
+    // Simulation engines: dense vs stabilizer vs density matrix on
+    // comparable workloads.
+    let mut group = c.benchmark_group("perf/simulators");
+    {
+        let mut ghz12 = qbeep_circuit::Circuit::new(12, "ghz12");
+        ghz12.h(0);
+        for q in 1..12 {
+            ghz12.cx(q - 1, q);
+        }
+        group.bench_function("dense_statevector_12q_ghz", |b| {
+            b.iter(|| qbeep_sim::ideal_distribution(std::hint::black_box(&ghz12)));
+        });
+        group.bench_function("stabilizer_12q_ghz", |b| {
+            b.iter(|| {
+                let mut s = qbeep_sim::StabilizerState::new(12);
+                s.run(std::hint::black_box(&ghz12));
+                s
+            });
+        });
+        let mut ghz60 = qbeep_circuit::Circuit::new(60, "ghz60");
+        ghz60.h(0);
+        for q in 1..60 {
+            ghz60.cx(q - 1, q);
+        }
+        group.bench_function("stabilizer_60q_ghz", |b| {
+            b.iter(|| {
+                let mut s = qbeep_sim::StabilizerState::new(60);
+                s.run(std::hint::black_box(&ghz60));
+                s
+            });
+        });
+        let mut bell = qbeep_circuit::Circuit::new(6, "bell6");
+        bell.h(0);
+        for q in 1..6 {
+            bell.cx(q - 1, q);
+        }
+        let backend = qbeep_device::profiles::by_name("fake_jakarta").expect("exists");
+        let t = qbeep_transpile::Transpiler::new(&backend).transpile(&bell).expect("fits");
+        group.bench_function("density_matrix_6q_exact_noisy", |b| {
+            b.iter(|| {
+                qbeep_sim::exact_noisy_distribution(std::hint::black_box(t.circuit()), &backend)
+            });
+        });
+    }
+    group.finish();
+
+    // λ estimation + transpilation cost on the largest machine.
+    let backend = qbeep_device::profiles::by_name("fake_washington").expect("exists");
+    let bv = qbeep_circuit::library::bernstein_vazirani(
+        &"111011011101101".parse().expect("valid"),
+    );
+    c.bench_function("perf/transpile_15q_bv_to_127q", |b| {
+        b.iter(|| {
+            qbeep_transpile::Transpiler::new(&backend)
+                .transpile(std::hint::black_box(&bv))
+                .expect("fits")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,385 @@
+//! Ablation studies of Q-BEEP's design decisions (DESIGN.md §5):
+//! λ-term contributions, the edge threshold ε, the learning-rate
+//! schedule, the spectral kernel, and overflow renormalisation.
+//!
+//! Each ablation runs the same fixed BV workload and reports the mean
+//! fidelity after mitigation under each variant.
+
+use qbeep_bitstring::{Counts, Distribution};
+use qbeep_circuit::library::bernstein_vazirani;
+use qbeep_core::lambda::lambda_breakdown;
+use qbeep_core::{Kernel, LearningRate, QBeep, QBeepConfig};
+use qbeep_device::{profiles, Backend};
+use qbeep_sim::{execute_on_device, EmpiricalConfig};
+use qbeep_transpile::TranspiledCircuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{f, print_table};
+use crate::runners::bv::random_secret;
+use crate::BASE_SEED;
+
+/// One captured workload execution the ablations re-mitigate.
+pub struct AblationCase {
+    /// The logical circuit (kept so execution-hungry baselines like
+    /// ZNE can re-run folded variants).
+    pub circuit: qbeep_circuit::Circuit,
+    /// The hidden BV secret.
+    pub secret: qbeep_bitstring::BitString,
+    /// The measured raw counts.
+    pub counts: Counts,
+    /// The transpilation artefact (for λ estimation).
+    pub transpiled: TranspiledCircuit,
+    /// The backend it ran on.
+    pub backend: Backend,
+    /// Ideal output distribution.
+    pub ideal: Distribution,
+}
+
+/// Builds the shared workload: `cases` BV executions of width 7–9 on
+/// three machines of different quality.
+///
+/// # Panics
+///
+/// Panics if `cases == 0`.
+#[must_use]
+pub fn workload(cases: usize) -> Vec<AblationCase> {
+    assert!(cases > 0);
+    let machines = ["fake_guadalupe", "fake_toronto", "fake_mumbai"];
+    let mut rng = StdRng::seed_from_u64(BASE_SEED + 20);
+    (0..cases)
+        .map(|i| {
+            let width = 7 + i % 3;
+            let backend = profiles::by_name(machines[i % machines.len()]).expect("exists");
+            let secret = random_secret(width, &mut rng);
+            let circuit = bernstein_vazirani(&secret);
+            let run =
+                execute_on_device(&circuit, &backend, 2000, &EmpiricalConfig::default(), &mut rng)
+                    .expect("fits");
+            AblationCase {
+                circuit,
+                secret,
+                counts: run.counts,
+                transpiled: run.transpiled,
+                backend,
+                ideal: Distribution::point(secret),
+            }
+        })
+        .collect()
+}
+
+/// Mean mitigated fidelity of `engine` over the workload with a
+/// per-case λ chosen by `lambda_of`.
+#[must_use]
+pub fn mean_fidelity(
+    cases: &[AblationCase],
+    engine: &QBeep,
+    lambda_of: impl Fn(&AblationCase) -> f64,
+) -> f64 {
+    let total: f64 = cases
+        .iter()
+        .map(|c| {
+            let result = engine.mitigate_with_lambda(&c.counts, lambda_of(c));
+            result.mitigated.fidelity(&c.ideal)
+        })
+        .sum();
+    total / cases.len() as f64
+}
+
+/// Mean *raw* fidelity of the workload (the unmitigated floor).
+#[must_use]
+pub fn raw_fidelity(cases: &[AblationCase]) -> f64 {
+    cases.iter().map(|c| c.counts.to_distribution().fidelity(&c.ideal)).sum::<f64>()
+        / cases.len() as f64
+}
+
+/// Runs every ablation over a shared workload and returns labelled
+/// mean fidelities (first entry = raw baseline, second = full Q-BEEP).
+#[must_use]
+pub fn run_all(cases: usize) -> Vec<(String, f64)> {
+    let cases = workload(cases);
+    let full_lambda =
+        |c: &AblationCase| lambda_breakdown(&c.transpiled, &c.backend).total();
+    let mut out = vec![
+        ("raw (no mitigation)".to_string(), raw_fidelity(&cases)),
+        ("full Q-BEEP".to_string(), mean_fidelity(&cases, &QBeep::default(), full_lambda)),
+    ];
+
+    // λ-term ablations: drop each Eq.-2 term.
+    let engine = QBeep::default();
+    out.push((
+        "λ without decoherence terms".into(),
+        mean_fidelity(&cases, &engine, |c| {
+            let b = lambda_breakdown(&c.transpiled, &c.backend);
+            b.gate_term + b.readout_term
+        }),
+    ));
+    out.push((
+        "λ without gate-error term".into(),
+        mean_fidelity(&cases, &engine, |c| {
+            let b = lambda_breakdown(&c.transpiled, &c.backend);
+            b.t1_term + b.t2_term + b.readout_term
+        }),
+    ));
+    out.push((
+        "λ without readout term".into(),
+        mean_fidelity(&cases, &engine, |c| {
+            let b = lambda_breakdown(&c.transpiled, &c.backend);
+            b.t1_term + b.t2_term + b.gate_term
+        }),
+    ));
+
+    // ε threshold.
+    for eps in [0.01, 0.2] {
+        let cfg = QBeepConfig { epsilon: eps, ..QBeepConfig::default() };
+        out.push((format!("ε = {eps}"), mean_fidelity(&cases, &QBeep::new(cfg), full_lambda)));
+    }
+
+    // Learning-rate schedule.
+    for (name, lr) in [
+        ("constant η = 1.0", LearningRate::Constant(1.0)),
+        ("constant η = 0.2", LearningRate::Constant(0.2)),
+    ] {
+        let cfg = QBeepConfig { learning_rate: lr, ..QBeepConfig::default() };
+        out.push((name.to_string(), mean_fidelity(&cases, &QBeep::new(cfg), full_lambda)));
+    }
+
+    // Kernel.
+    let cfg = QBeepConfig { kernel: Kernel::Binomial, ..QBeepConfig::default() };
+    out.push(("binomial kernel".into(), mean_fidelity(&cases, &QBeep::new(cfg), full_lambda)));
+
+    // Overflow renormalisation.
+    let cfg = QBeepConfig { overflow_renormalisation: false, ..QBeepConfig::default() };
+    out.push((
+        "no overflow renormalisation".into(),
+        mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
+    ));
+
+    // Adaptive λ refinement (paper §7 future work implemented).
+    for alpha in [0.5, 0.2] {
+        out.push((
+            format!("adaptive λ (α = {alpha})"),
+            cases
+                .iter()
+                .map(|c| {
+                    engine
+                        .mitigate_adaptive(&c.counts, full_lambda(c), alpha)
+                        .mitigated
+                        .fidelity(&c.ideal)
+                })
+                .sum::<f64>()
+                / cases.len() as f64,
+        ));
+    }
+
+    // Readout unfolding (IBU), alone and stacked under Q-BEEP.
+    out.push(("readout IBU only".into(), readout_only_fidelity(&cases)));
+    out.push((
+        "readout IBU + Q-BEEP".into(),
+        stacked_readout_qbeep_fidelity(&cases, full_lambda),
+    ));
+
+    // Zero-noise extrapolation on the PST expectation (extra quantum
+    // executions at folded noise; estimates the scalar only, not a
+    // distribution — see qbeep_core::zne).
+    out.push(("ZNE (PST estimate, scales 1·3)".into(), zne_pst(&cases)));
+
+    // Stale calibration: λ estimated from a drifted snapshot — the
+    // §3.5 "unreliable access to system-wide information" scenario.
+    out.push((
+        "stale calibration (20% drift)".into(),
+        mean_fidelity(&cases, &engine, |c| {
+            let mut rng = StdRng::seed_from_u64(BASE_SEED + 21);
+            let stale = c.backend.calibration().drifted(0.2, &mut rng);
+            let stale_backend = c.backend.with_calibration(stale);
+            lambda_breakdown(&c.transpiled, &stale_backend).total()
+        }),
+    ));
+
+    out
+}
+
+/// Mean zero-noise-extrapolated PST across the workload: each case
+/// re-executes its circuit at fold scales 1 and 3 through the
+/// empirical channel and extrapolates the secret's probability.
+/// (For BV's point target, PST and fidelity coincide, so this row is
+/// comparable to the others.)
+fn zne_pst(cases: &[AblationCase]) -> f64 {
+    let cfg = EmpiricalConfig::default();
+    let total: f64 = cases
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut rng = StdRng::seed_from_u64(BASE_SEED + 23 + i as u64);
+            let result = qbeep_core::zne::zne_expectation(
+                &c.circuit,
+                &[1, 3],
+                |folded| {
+                    execute_on_device(folded, &c.backend, 2000, &cfg, &mut rng)
+                        .expect("folded circuit fits the same machine")
+                        .counts
+                },
+                |dist| dist.prob(&c.secret),
+            );
+            result.extrapolated.clamp(0.0, 1.0)
+        })
+        .sum();
+    total / cases.len() as f64
+}
+
+/// Mean fidelity after readout unfolding alone (no Hamming-spectrum
+/// reclassification).
+fn readout_only_fidelity(cases: &[AblationCase]) -> f64 {
+    cases
+        .iter()
+        .map(|c| {
+            let model = qbeep_core::readout::ReadoutModel::from_backend(
+                &c.backend,
+                c.transpiled.circuit().measured(),
+            );
+            qbeep_core::readout::ibu_mitigate(&c.counts, &model, 10).fidelity(&c.ideal)
+        })
+        .sum::<f64>()
+        / cases.len() as f64
+}
+
+/// Mean fidelity of the §3.5-style stack: unfold readout, then run
+/// Q-BEEP on the corrected counts.
+fn stacked_readout_qbeep_fidelity(
+    cases: &[AblationCase],
+    lambda_of: impl Fn(&AblationCase) -> f64,
+) -> f64 {
+    let engine = QBeep::default();
+    cases
+        .iter()
+        .map(|c| {
+            let model = qbeep_core::readout::ReadoutModel::from_backend(
+                &c.backend,
+                c.transpiled.circuit().measured(),
+            );
+            let unfolded = qbeep_core::readout::ibu_mitigate(&c.counts, &model, 10)
+                .to_counts(c.counts.total());
+            engine
+                .mitigate_with_lambda(&unfolded, lambda_of(c))
+                .mitigated
+                .fidelity(&c.ideal)
+        })
+        .sum::<f64>()
+        / cases.len() as f64
+}
+
+/// Compares single-machine execution against the §3.5 ensemble
+/// composition: mean fidelity of (single best machine raw, single +
+/// Q-BEEP, ensemble raw, ensemble + Q-BEEP) over a small BV workload.
+#[must_use]
+pub fn ensemble_comparison(cases: usize) -> Vec<(String, f64)> {
+    use crate::runners::ensemble::{ensemble_fidelities, run_ensemble};
+    assert!(cases > 0);
+    let fleet = profiles::bv_fleet();
+    let cfg = EmpiricalConfig::default();
+    let engine = QBeep::default();
+    let mut rng = StdRng::seed_from_u64(BASE_SEED + 24);
+    let (mut raw1, mut mit1, mut raw_e, mut mit_e) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..cases {
+        let width = 7 + i % 3;
+        let secret = random_secret(width, &mut rng);
+        let circuit = bernstein_vazirani(&secret);
+        let ideal = Distribution::point(secret);
+        // Single machine: the best-quality fleet member that fits.
+        let single = fleet
+            .iter()
+            .filter(|b| b.num_qubits() >= circuit.num_qubits())
+            .min_by(|a, b| a.quality_score().partial_cmp(&b.quality_score()).expect("finite"))
+            .expect("a machine fits");
+        let run = execute_on_device(&circuit, single, 2000, &cfg, &mut rng).expect("fits");
+        raw1 += run.counts.to_distribution().fidelity(&ideal);
+        mit1 += engine
+            .mitigate_run(&run.counts, &run.transpiled, single)
+            .mitigated
+            .fidelity(&ideal);
+        // Ensemble over the whole fleet.
+        let ens = run_ensemble(&circuit, &fleet, 2000, &cfg, BASE_SEED + 25 + i as u64);
+        let (b, a) = ensemble_fidelities(&ens, &ideal);
+        raw_e += b;
+        mit_e += a;
+    }
+    let n = cases as f64;
+    vec![
+        ("single best machine, raw".into(), raw1 / n),
+        ("single best machine + Q-BEEP".into(), mit1 / n),
+        ("fleet ensemble, raw".into(), raw_e / n),
+        ("fleet ensemble + Q-BEEP".into(), mit_e / n),
+    ]
+}
+
+/// Compares layout strategies by the λ their transpilations incur —
+/// the transpiler-side ablation (lower λ = less predicted error).
+#[must_use]
+pub fn layout_strategy_lambdas(cases: usize) -> Vec<(String, f64)> {
+    use qbeep_transpile::{LayoutStrategy, Transpiler};
+    assert!(cases > 0);
+    let machines = ["fake_brooklyn", "fake_washington", "fake_toronto"];
+    let mut rng = StdRng::seed_from_u64(BASE_SEED + 22);
+    let mut greedy_sum = 0.0;
+    let mut aware_sum = 0.0;
+    for i in 0..cases {
+        let width = 7 + i % 3;
+        let backend = profiles::by_name(machines[i % machines.len()]).expect("exists");
+        let secret = random_secret(width, &mut rng);
+        let circuit = bernstein_vazirani(&secret);
+        let plain = Transpiler::new(&backend).transpile(&circuit).expect("fits");
+        let aware = Transpiler::new(&backend)
+            .with_layout_strategy(LayoutStrategy::NoiseAware)
+            .transpile(&circuit)
+            .expect("fits");
+        greedy_sum += lambda_breakdown(&plain, &backend).total();
+        aware_sum += lambda_breakdown(&aware, &backend).total();
+    }
+    vec![
+        ("interaction-greedy layout (mean λ)".into(), greedy_sum / cases as f64),
+        ("noise-aware layout (mean λ)".into(), aware_sum / cases as f64),
+    ]
+}
+
+/// Prints the ablation table.
+pub fn print(results: &[(String, f64)]) {
+    let rows: Vec<Vec<String>> =
+        results.iter().map(|(name, fid)| vec![name.clone(), f(*fid, 4)]).collect();
+    print_table(
+        "Ablations: mean mitigated fidelity on the shared BV workload",
+        &["variant", "mean_fidelity"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_qbeep_beats_raw() {
+        let results = run_all(3);
+        let get = |name: &str| {
+            results.iter().find(|(n, _)| n.starts_with(name)).map(|(_, v)| *v).unwrap()
+        };
+        assert!(get("full Q-BEEP") > get("raw"), "{results:?}");
+        // Stacking readout unfolding under Q-BEEP should not hurt much.
+        assert!(get("readout IBU + Q-BEEP") > get("raw"), "{results:?}");
+        print(&results);
+    }
+
+    #[test]
+    fn layout_strategy_comparison_is_computable() {
+        // Noise-aware placement trades gate fidelity against routing
+        // overhead; neither strategy dominates universally (the bench
+        // prints the comparison), but both λ estimates must be finite,
+        // positive and within a sane band of each other.
+        let rows = layout_strategy_lambdas(3);
+        assert_eq!(rows.len(), 2);
+        for (name, lambda) in &rows {
+            assert!(lambda.is_finite() && *lambda > 0.0, "{name}: λ = {lambda}");
+        }
+        let ratio = rows[1].1 / rows[0].1;
+        assert!((0.4..=2.5).contains(&ratio), "strategies diverge wildly: {ratio}");
+    }
+}

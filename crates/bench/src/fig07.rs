@@ -1,0 +1,181 @@
+//! Figure 7: Q-BEEP on Bernstein–Vazirani — (a) relative PST
+//! improvement vs HAMMER and baseline, (b) relative fidelity change,
+//! (c) tracked fidelity per iteration, plus the §4.2.2 headline
+//! statistics (avg ×1.77 PST, up to ×11.2, ~14% regressions, avg +25%
+//! fidelity, max +234%).
+
+use qbeep_bitstring::Distribution;
+use qbeep_core::QBeep;
+
+use crate::report::{f, print_series_summary, print_table};
+use crate::runners::bv::{run_bv, BvRecord};
+use crate::{Scale, BASE_SEED};
+
+/// The figure's data: all BV records plus the iteration trace panel.
+#[derive(Debug, Clone)]
+pub struct Fig07Data {
+    /// Every BV induction record.
+    pub records: Vec<BvRecord>,
+    /// (c): per-iteration mean fidelity across a tracked subset.
+    pub iteration_fidelity: Vec<f64>,
+}
+
+/// Summary statistics the paper quotes in §4.2.2.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig07Summary {
+    /// Mean relative PST improvement (paper: 1.77).
+    pub avg_rel_pst: f64,
+    /// Maximum relative PST improvement (paper: 11.2).
+    pub max_rel_pst: f64,
+    /// Fraction of runs whose PST regressed (paper: 0.14).
+    pub regression_rate: f64,
+    /// Mean relative fidelity change (paper: 1.25).
+    pub avg_rel_fid: f64,
+    /// Maximum relative fidelity change (paper: 3.346 = +234.6%).
+    pub max_rel_fid: f64,
+    /// Mean relative PST improvement of the HAMMER baseline.
+    pub avg_rel_pst_hammer: f64,
+}
+
+/// Regenerates the figure. Paper scale: 165 circuits of width 5–15
+/// across the 8-machine fleet (≈ 1330 inductions).
+#[must_use]
+pub fn run(scale: Scale) -> Fig07Data {
+    let widths: Vec<usize> = (5..=15).collect();
+    let secrets = scale.pick(1, 5, 15);
+    let shots = scale.pick(600, 2000, 4000) as u64;
+    let records = run_bv(&widths, secrets, shots, BASE_SEED + 7);
+
+    // Panel (c): track a subset through every iteration.
+    let engine = QBeep::default();
+    let subset: Vec<&BvRecord> = records.iter().step_by(records.len().div_ceil(6).max(1)).collect();
+    let iterations = engine.config().iterations;
+    let mut iteration_fidelity = vec![0.0; iterations];
+    let mut tracked = 0usize;
+    for r in subset {
+        let result = engine.mitigate_tracked(&r.counts, r.lambda_est);
+        let ideal = Distribution::point(r.secret);
+        for (i, d) in result.trace.iter().enumerate() {
+            iteration_fidelity[i] += d.fidelity(&ideal);
+        }
+        tracked += 1;
+    }
+    if tracked > 0 {
+        for v in &mut iteration_fidelity {
+            *v /= tracked as f64;
+        }
+    }
+    Fig07Data { records, iteration_fidelity }
+}
+
+/// Computes the §4.2.2 summary.
+///
+/// # Panics
+///
+/// Panics if `data` holds no records.
+#[must_use]
+pub fn summarise(data: &Fig07Data) -> Fig07Summary {
+    let rel_pst: Vec<f64> = data.records.iter().map(BvRecord::rel_pst_qbeep).collect();
+    let rel_fid: Vec<f64> = data.records.iter().map(BvRecord::rel_fid_qbeep).collect();
+    let rel_pst_hammer: Vec<f64> =
+        data.records.iter().map(BvRecord::rel_pst_hammer).collect();
+    let finite_mean = |xs: &[f64]| {
+        let v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        qbeep_bitstring::stats::mean(&v).expect("records exist")
+    };
+    let finite_max = |xs: &[f64]| {
+        xs.iter().copied().filter(|x| x.is_finite()).fold(0.0f64, f64::max)
+    };
+    Fig07Summary {
+        avg_rel_pst: finite_mean(&rel_pst),
+        max_rel_pst: finite_max(&rel_pst),
+        regression_rate: rel_pst.iter().filter(|&&x| x < 1.0).count() as f64
+            / rel_pst.len() as f64,
+        avg_rel_fid: finite_mean(&rel_fid),
+        max_rel_fid: finite_max(&rel_fid),
+        avg_rel_pst_hammer: finite_mean(&rel_pst_hammer),
+    }
+}
+
+/// Prints all three panels and the summary rows.
+pub fn print(data: &Fig07Data) {
+    let rel_q: Vec<f64> =
+        data.records.iter().map(BvRecord::rel_pst_qbeep).filter(|x| x.is_finite()).collect();
+    let rel_h: Vec<f64> =
+        data.records.iter().map(BvRecord::rel_pst_hammer).filter(|x| x.is_finite()).collect();
+    let rel_f: Vec<f64> =
+        data.records.iter().map(BvRecord::rel_fid_qbeep).filter(|x| x.is_finite()).collect();
+    println!("\n=== Figure 7(a): relative PST improvement over {} BV inductions ===", data.records.len());
+    print_series_summary("Q-BEEP rel PST", &rel_q);
+    print_series_summary("HAMMER rel PST", &rel_h);
+    println!("\n=== Figure 7(b): relative fidelity change ===");
+    print_series_summary("Q-BEEP rel fidelity", &rel_f);
+
+    let rows: Vec<Vec<String>> = data
+        .iteration_fidelity
+        .iter()
+        .enumerate()
+        .map(|(i, fid)| vec![(i + 1).to_string(), f(*fid, 4)])
+        .collect();
+    print_table(
+        "Figure 7(c): tracked mean fidelity per state-graph iteration",
+        &["iteration", "fidelity"],
+        &rows,
+    );
+
+    let s = summarise(data);
+    println!(
+        "  summary: avg rel PST {:.2}x (paper 1.77x) | max {:.1}x (paper 11.2x) | regressions {:.1}% (paper 14%)",
+        s.avg_rel_pst,
+        s.max_rel_pst,
+        100.0 * s.regression_rate
+    );
+    println!(
+        "  summary: avg rel fidelity {:.2}x (paper 1.25x) | max {:.2}x (paper 3.35x) | HAMMER avg rel PST {:.2}x",
+        s.avg_rel_fid, s.max_rel_fid, s.avg_rel_pst_hammer
+    );
+
+    // §4.2.2: "75% percent of failures come from 4 machines" — report
+    // how concentrated our regressions are.
+    let mut by_machine: std::collections::BTreeMap<&str, usize> =
+        std::collections::BTreeMap::new();
+    let mut total_regressions = 0usize;
+    for r in &data.records {
+        if r.rel_pst_qbeep() < 1.0 {
+            *by_machine.entry(r.machine.as_str()).or_insert(0) += 1;
+            total_regressions += 1;
+        }
+    }
+    if total_regressions > 0 {
+        let mut sorted: Vec<_> = by_machine.into_iter().collect();
+        sorted.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let top4: usize = sorted.iter().take(4).map(|&(_, n)| n).sum();
+        println!(
+            "  regression concentration: top-4 machines hold {:.0}% of {} regressions (paper 75%): {:?}",
+            100.0 * top4 as f64 / total_regressions as f64,
+            total_regressions,
+            sorted.iter().take(4).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_shows_improvement_and_beats_hammer() {
+        let data = run(Scale::Smoke);
+        assert!(!data.records.is_empty());
+        let s = summarise(&data);
+        assert!(s.avg_rel_pst > 1.0, "avg rel PST {}", s.avg_rel_pst);
+        assert!(
+            s.avg_rel_pst > s.avg_rel_pst_hammer,
+            "Q-BEEP {} should beat HAMMER {}",
+            s.avg_rel_pst,
+            s.avg_rel_pst_hammer
+        );
+        assert_eq!(data.iteration_fidelity.len(), 20);
+        print(&data);
+    }
+}

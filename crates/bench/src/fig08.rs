@@ -1,0 +1,103 @@
+//! Figures 8 and 9: Q-BEEP on the QASMBench suite — relative fidelity
+//! change per algorithm (Fig. 8) and averaged per machine (Fig. 9),
+//! plus the §4.3.2 headline statistics (avg +6.67%, max +17.8%,
+//! qft/qrng flat).
+
+use crate::report::{f, print_table};
+use crate::runners::suite::{group_mean, run_suite, SuiteRecord};
+use crate::{Scale, BASE_SEED};
+
+/// The shared data behind Figs. 8, 9 and 11.
+#[derive(Debug, Clone)]
+pub struct SuiteData {
+    /// Every (algorithm, machine, repeat) record.
+    pub records: Vec<SuiteRecord>,
+}
+
+/// Runs the suite experiment (paper scale: 14 circuits × 16 machines,
+/// multiple calendar runs each).
+#[must_use]
+pub fn run(scale: Scale) -> SuiteData {
+    let repeats = scale.pick(1, 2, 6);
+    let shots = scale.pick(500, 2000, 4000) as u64;
+    SuiteData { records: run_suite(repeats, shots, BASE_SEED + 8) }
+}
+
+/// Per-algorithm mean relative fidelity change, Fig. 8's bars.
+#[must_use]
+pub fn per_algorithm(data: &SuiteData) -> Vec<(String, f64)> {
+    let mut rows =
+        group_mean(&data.records, |r| r.label.clone(), SuiteRecord::rel_qbeep);
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    rows
+}
+
+/// Per-machine mean relative fidelity change, Fig. 9's bars.
+#[must_use]
+pub fn per_machine(data: &SuiteData) -> Vec<(String, f64)> {
+    group_mean(&data.records, |r| r.machine.clone(), SuiteRecord::rel_qbeep)
+}
+
+/// Prints both figures and the §4.3.2 summary.
+///
+/// # Panics
+///
+/// Panics if `data` holds no records.
+pub fn print(data: &SuiteData) {
+    let algo = per_algorithm(data);
+    let rows: Vec<Vec<String>> =
+        algo.iter().map(|(label, rel)| vec![label.clone(), f(*rel, 4)]).collect();
+    print_table(
+        "Figure 8: mean relative fidelity change per QASMBench algorithm",
+        &["algorithm", "rel_fidelity"],
+        &rows,
+    );
+
+    let machine = per_machine(data);
+    let rows: Vec<Vec<String>> =
+        machine.iter().map(|(m, rel)| vec![m.clone(), f(*rel, 4)]).collect();
+    print_table(
+        "Figure 9: mean relative fidelity change per machine",
+        &["machine", "rel_fidelity"],
+        &rows,
+    );
+
+    let rels: Vec<f64> = data.records.iter().map(SuiteRecord::rel_qbeep).collect();
+    let mean = qbeep_bitstring::stats::mean(&rels).expect("records exist");
+    let max = rels.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "  summary: mean gain {:+.2}% (paper +6.67%) | max gain {:+.1}% (paper +17.8%)",
+        100.0 * (mean - 1.0),
+        100.0 * (max - 1.0)
+    );
+    for flat in ["Qft N4", "Qrng N4"] {
+        if let Some((_, rel)) = algo.iter().find(|(l, _)| l == flat) {
+            println!(
+                "  max-entropy check {flat}: rel fidelity {rel:.4} (paper: ~no gain)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shapes_match_paper() {
+        let data = run(Scale::Smoke);
+        let algo = per_algorithm(&data);
+        assert_eq!(algo.len(), 14);
+        // Mean across the suite should be a net gain.
+        let rels: Vec<f64> = data.records.iter().map(SuiteRecord::rel_qbeep).collect();
+        let mean = qbeep_bitstring::stats::mean(&rels).unwrap();
+        assert!(mean > 1.0, "mean relative fidelity {mean}");
+        // Max-entropy algorithms stay ~flat.
+        for flat in ["Qft N4", "Qrng N4"] {
+            let (_, rel) = algo.iter().find(|(l, _)| l == flat).unwrap();
+            assert!((0.95..=1.1).contains(rel), "{flat}: {rel}");
+        }
+        assert_eq!(per_machine(&data).len(), 16);
+        print(&data);
+    }
+}

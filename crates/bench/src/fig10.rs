@@ -1,0 +1,128 @@
+//! Figure 10: Q-BEEP on QAOA — (a) relative cost-ratio improvement,
+//! (b) the CR distribution shift, (c) the estimated Poisson-parameter
+//! histogram, plus the §4.4.2 headline statistics (94.1% success,
+//! mean ×1.71 improvement, λ concentrated in 0–2).
+
+use qbeep_bitstring::stats;
+
+use crate::report::{f, print_series_summary, print_table};
+use crate::runners::qaoa::{run_qaoa, QaoaRecord};
+use crate::{Scale, BASE_SEED};
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig10Data {
+    /// Every instance's record.
+    pub records: Vec<QaoaRecord>,
+}
+
+/// Summary statistics for §4.4.2.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Summary {
+    /// Fraction of instances whose CR improved (paper: 0.941).
+    pub success_rate: f64,
+    /// Mean relative CR improvement (paper: 1.71).
+    pub avg_improvement: f64,
+    /// Maximum relative CR improvement (paper: 31.7, off-scale).
+    pub max_improvement: f64,
+}
+
+/// Runs the QAOA experiment (paper scale: 340 instances).
+#[must_use]
+pub fn run(scale: Scale) -> Fig10Data {
+    let count = scale.pick(12, 120, 340);
+    let shots = scale.pick(800, 2000, 4000) as u64;
+    Fig10Data { records: run_qaoa(count, shots, BASE_SEED + 10) }
+}
+
+/// Computes the summary.
+///
+/// # Panics
+///
+/// Panics if `data` holds no records.
+#[must_use]
+pub fn summarise(data: &Fig10Data) -> Fig10Summary {
+    let improvements: Vec<f64> =
+        data.records.iter().map(QaoaRecord::improvement).collect();
+    Fig10Summary {
+        success_rate: data.records.iter().filter(|r| r.cr_qbeep > r.cr_raw).count() as f64
+            / data.records.len() as f64,
+        avg_improvement: stats::mean(&improvements).expect("records exist"),
+        max_improvement: improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Prints all three panels and the summary.
+///
+/// # Panics
+///
+/// Panics if `data` holds no records.
+pub fn print(data: &Fig10Data) {
+    let improvements: Vec<f64> =
+        data.records.iter().map(QaoaRecord::improvement).collect();
+    println!("\n=== Figure 10(a): relative CR improvement over {} QAOA instances ===", data.records.len());
+    print_series_summary("rel CR improvement", &improvements);
+
+    // Panel (b): CDF shift of raw vs mitigated CR values.
+    let raw: Vec<f64> = data.records.iter().map(|r| r.cr_raw).collect();
+    let mit: Vec<f64> = data.records.iter().map(|r| r.cr_qbeep).collect();
+    let mut rows = Vec::new();
+    for q in [10.0, 25.0, 50.0, 75.0, 90.0] {
+        rows.push(vec![
+            format!("p{q:.0}"),
+            f(stats::percentile(&raw, q).expect("non-empty"), 4),
+            f(stats::percentile(&mit, q).expect("non-empty"), 4),
+        ]);
+    }
+    print_table(
+        "Figure 10(b): CR distribution, raw vs Q-BEEP (the S-curve shift)",
+        &["pct", "raw_CR", "qbeep_CR"],
+        &rows,
+    );
+
+    // Panel (c): histogram of the estimated Poisson parameters.
+    let lambdas: Vec<f64> = data.records.iter().map(|r| r.lambda_est).collect();
+    let bins = 8;
+    let hist = stats::histogram(&lambdas, 0.0, 2.0, bins);
+    let rows: Vec<Vec<String>> = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            vec![
+                format!("{:.2}-{:.2}", 0.25 * i as f64, 0.25 * (i + 1) as f64),
+                n.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10(c): estimated Poisson parameter histogram (0–2 range)",
+        &["lambda", "count"],
+        &rows,
+    );
+    print_series_summary("lambda", &lambdas);
+
+    let s = summarise(data);
+    println!(
+        "  summary: success rate {:.1}% (paper 94.1%) | mean improvement {:.2}x (paper 1.71x) | max {:.1}x (paper 31.7x)",
+        100.0 * s.success_rate,
+        s.avg_improvement,
+        s.max_improvement
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qaoa_improves_and_lambdas_are_small() {
+        let data = run(Scale::Smoke);
+        let s = summarise(&data);
+        assert!(s.success_rate > 0.5, "success {}", s.success_rate);
+        assert!(s.avg_improvement > 1.0, "avg improvement {}", s.avg_improvement);
+        // Paper Fig. 10c: λ lives in 0–2 for these instances.
+        let in_range = data.records.iter().filter(|r| r.lambda_est < 2.5).count();
+        assert!(in_range * 2 > data.records.len(), "λ values unexpectedly large");
+        print(&data);
+    }
+}

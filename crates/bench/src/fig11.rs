@@ -1,0 +1,89 @@
+//! Figure 11: output entropy vs Q-BEEP's mean relative fidelity
+//! improvement across the QASMBench algorithms, with the inverse
+//! linear correlation the paper quotes as R = −0.82.
+
+use std::collections::BTreeMap;
+
+use qbeep_bitstring::stats::{linear_fit, LinearFit};
+
+use crate::fig08::SuiteData;
+use crate::report::{f, print_table};
+use crate::runners::suite::SuiteRecord;
+
+/// One scatter point: an algorithm's entropy and mean improvement.
+#[derive(Debug, Clone)]
+pub struct Fig11Point {
+    /// Algorithm label.
+    pub label: String,
+    /// Ideal output Shannon entropy.
+    pub entropy: f64,
+    /// Mean relative fidelity improvement across machines/repeats.
+    pub rel_fidelity: f64,
+}
+
+/// Reduces the suite records (shared with Figs. 8/9) to the scatter.
+#[must_use]
+pub fn points(data: &SuiteData) -> Vec<Fig11Point> {
+    let mut acc: BTreeMap<String, (f64, f64, usize)> = BTreeMap::new();
+    for r in &data.records {
+        let e = acc.entry(r.label.clone()).or_insert((r.entropy, 0.0, 0));
+        e.1 += SuiteRecord::rel_qbeep(r);
+        e.2 += 1;
+    }
+    acc.into_iter()
+        .map(|(label, (entropy, sum, n))| Fig11Point {
+            label,
+            entropy,
+            rel_fidelity: sum / n as f64,
+        })
+        .collect()
+}
+
+/// The entropy→improvement least-squares fit (the dashed line).
+#[must_use]
+pub fn fit(points: &[Fig11Point]) -> Option<LinearFit> {
+    let xs: Vec<f64> = points.iter().map(|p| p.entropy).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.rel_fidelity).collect();
+    linear_fit(&xs, &ys)
+}
+
+/// Prints the scatter and the signed correlation.
+pub fn print(points: &[Fig11Point]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| vec![p.label.clone(), f(p.entropy, 3), f(p.rel_fidelity, 4)])
+        .collect();
+    print_table(
+        "Figure 11: entropy vs mean relative fidelity improvement",
+        &["algorithm", "entropy", "rel_fidelity"],
+        &rows,
+    );
+    if let Some(fit) = fit(points) {
+        println!(
+            "  linear fit: rel = {:.4}·entropy + {:.4}; signed r = {:.3} (paper −0.82 — strong inverse)",
+            fit.slope,
+            fit.intercept,
+            fit.signed_r()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fig08, Scale};
+
+    #[test]
+    fn inverse_correlation_holds() {
+        let data = fig08::run(Scale::Smoke);
+        let pts = points(&data);
+        assert_eq!(pts.len(), 14);
+        let fit = fit(&pts).expect("enough points");
+        assert!(
+            fit.signed_r() < -0.3,
+            "expected a clear inverse correlation, got r = {}",
+            fit.signed_r()
+        );
+        print(&pts);
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment harness regenerating every figure of the Q-BEEP paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment ↔ figure map).
+//!
+//! Each `figNN` module exposes `run(scale) -> data` and
+//! `print(&data)`; the Criterion benches under `benches/` call both
+//! once (so `cargo bench` reproduces the paper's rows/series on
+//! stdout) and then time a representative core operation.
+//!
+//! # Scale
+//!
+//! The default scale is sized for a single-core CI-class machine while
+//! preserving every figure's *shape*; set `QBEEP_SCALE=full` to run at
+//! the paper's full workload sizes (≈ 10–20× slower), or
+//! `QBEEP_SCALE=smoke` for quick sanity runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig02;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig10;
+pub mod fig11;
+pub mod report;
+pub mod runners;
+
+/// Workload sizing for the experiment runners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sizes for smoke tests.
+    Smoke,
+    /// Single-core-friendly sizes preserving every figure's shape.
+    Default,
+    /// The paper's workload sizes.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `QBEEP_SCALE` environment variable
+    /// (`smoke` / `full`, anything else → default).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("QBEEP_SCALE").as_deref() {
+            Ok("full") => Self::Full,
+            Ok("smoke") => Self::Smoke,
+            _ => Self::Default,
+        }
+    }
+
+    /// Picks a size by scale tier.
+    #[must_use]
+    pub fn pick(&self, smoke: usize, default: usize, full: usize) -> usize {
+        match self {
+            Self::Smoke => smoke,
+            Self::Default => default,
+            Self::Full => full,
+        }
+    }
+}
+
+/// The fixed base seed all benches derive their RNG streams from, so
+/// every regenerated figure is reproducible.
+pub const BASE_SEED: u64 = 0x51_BE_E9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+}

@@ -1,0 +1,89 @@
+//! Plain-text reporting helpers: aligned tables and series summaries.
+
+use qbeep_bitstring::stats;
+
+/// Prints a titled, column-aligned table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(headers.iter().map(|s| (*s).to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Prints a one-line numeric summary (mean / min / max / percentiles)
+/// of a series — the compact form used for the paper's large scatter
+/// figures.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn print_series_summary(label: &str, values: &[f64]) {
+    assert!(!values.is_empty(), "empty series {label}");
+    let mean = stats::mean(values).expect("non-empty");
+    let p = |q: f64| stats::percentile(values, q).expect("non-empty");
+    println!(
+        "  {label}: n={} mean={mean:.4} min={:.4} p25={:.4} p50={:.4} p75={:.4} max={:.4}",
+        values.len(),
+        p(0.0),
+        p(25.0),
+        p(50.0),
+        p(75.0),
+        p(100.0),
+    );
+}
+
+/// Formats a float with fixed precision (table-cell helper).
+#[must_use]
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "20".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_row_panics() {
+        print_table("demo", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn summary_prints() {
+        print_series_summary("s", &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

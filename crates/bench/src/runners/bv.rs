@@ -1,0 +1,163 @@
+//! The Bernstein–Vazirani experiment runner (paper §4.2, Figs. 1, 2, 7).
+
+use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_circuit::library::bernstein_vazirani;
+use qbeep_core::hammer::{hammer_mitigate, HammerConfig};
+use qbeep_core::QBeep;
+use qbeep_device::profiles;
+use qbeep_sim::{execute_on_device, EmpiricalConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One BV induction: raw, Q-BEEP-mitigated and HAMMER-mitigated
+/// quality metrics.
+#[derive(Debug, Clone)]
+pub struct BvRecord {
+    /// Secret width (number of measured data qubits).
+    pub width: usize,
+    /// Machine name.
+    pub machine: String,
+    /// The hidden secret.
+    pub secret: BitString,
+    /// λ the mitigator estimated (Eq. 2).
+    pub lambda_est: f64,
+    /// λ the channel actually used.
+    pub lambda_true: f64,
+    /// Raw probability of successful trial.
+    pub pst_raw: f64,
+    /// PST after Q-BEEP.
+    pub pst_qbeep: f64,
+    /// PST after HAMMER.
+    pub pst_hammer: f64,
+    /// Raw fidelity to the ideal distribution.
+    pub fid_raw: f64,
+    /// Fidelity after Q-BEEP.
+    pub fid_qbeep: f64,
+    /// Fidelity after HAMMER.
+    pub fid_hammer: f64,
+    /// Raw counts (retained for spectrum figures).
+    pub counts: Counts,
+}
+
+impl BvRecord {
+    /// Relative PST improvement of Q-BEEP (Fig. 7a's y-axis).
+    #[must_use]
+    pub fn rel_pst_qbeep(&self) -> f64 {
+        qbeep_bitstring::metrics::relative_improvement(self.pst_raw, self.pst_qbeep)
+    }
+
+    /// Relative PST improvement of HAMMER.
+    #[must_use]
+    pub fn rel_pst_hammer(&self) -> f64 {
+        qbeep_bitstring::metrics::relative_improvement(self.pst_raw, self.pst_hammer)
+    }
+
+    /// Relative fidelity change of Q-BEEP (Fig. 7b's y-axis).
+    #[must_use]
+    pub fn rel_fid_qbeep(&self) -> f64 {
+        qbeep_bitstring::metrics::relative_improvement(self.fid_raw, self.fid_qbeep)
+    }
+}
+
+/// Draws a random non-zero secret of `width` bits.
+pub fn random_secret<R: Rng + ?Sized>(width: usize, rng: &mut R) -> BitString {
+    loop {
+        let s = BitString::from_bits((0..width).map(|_| rng.gen_bool(0.5)));
+        if s.hamming_weight() > 0 {
+            return s;
+        }
+    }
+}
+
+/// Runs the BV workload: for every width in `widths`,
+/// `secrets_per_width` random secrets, each induced on every machine
+/// of the paper's 8-machine BV fleet that fits the circuit
+/// (width + 1 ancilla).
+///
+/// # Panics
+///
+/// Panics if a transpilation unexpectedly fails on a fitting machine.
+#[must_use]
+pub fn run_bv(widths: &[usize], secrets_per_width: usize, shots: u64, seed: u64) -> Vec<BvRecord> {
+    let fleet = profiles::bv_fleet();
+    let engine = QBeep::default();
+    let hammer_cfg = HammerConfig::default();
+    let channel_cfg = EmpiricalConfig::default();
+    let mut records = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &width in widths {
+        for _ in 0..secrets_per_width {
+            let secret = random_secret(width, &mut rng);
+            let circuit = bernstein_vazirani(&secret);
+            let ideal = Distribution::point(secret);
+            for backend in fleet.iter().filter(|b| b.num_qubits() >= width + 1) {
+                let run = execute_on_device(&circuit, backend, shots, &channel_cfg, &mut rng)
+                    .expect("machine fits the circuit");
+                let mitigated = engine.mitigate_run(&run.counts, &run.transpiled, backend);
+                let hammered = hammer_mitigate(&run.counts, &hammer_cfg);
+                let raw_dist = run.counts.to_distribution();
+                records.push(BvRecord {
+                    width,
+                    machine: backend.name().to_string(),
+                    secret,
+                    lambda_est: mitigated.lambda,
+                    lambda_true: run.lambda_true,
+                    pst_raw: run.counts.pst(&secret),
+                    pst_qbeep: mitigated.mitigated.prob(&secret),
+                    pst_hammer: hammered.prob(&secret),
+                    fid_raw: raw_dist.fidelity(&ideal),
+                    fid_qbeep: mitigated.mitigated.fidelity(&ideal),
+                    fid_hammer: hammered.fidelity(&ideal),
+                    counts: run.counts,
+                });
+            }
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_records_for_fitting_machines() {
+        let records = run_bv(&[4], 1, 400, 1);
+        // All 8 fleet machines hold a 5-qubit circuit.
+        assert_eq!(records.len(), 8);
+        for r in &records {
+            assert_eq!(r.width, 4);
+            assert!(r.lambda_est > 0.0);
+            assert!((0.0..=1.0).contains(&r.pst_raw));
+            assert_eq!(r.counts.total(), 400);
+        }
+    }
+
+    #[test]
+    fn wide_secrets_skip_small_machines() {
+        let records = run_bv(&[10], 1, 200, 2);
+        // Only machines with ≥ 11 qubits: guadalupe, toronto,
+        // brooklyn, washington.
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.width == 10));
+    }
+
+    #[test]
+    fn qbeep_usually_beats_raw_on_average() {
+        let records = run_bv(&[5, 6], 2, 1500, 3);
+        let avg_rel = records.iter().map(BvRecord::rel_pst_qbeep).sum::<f64>()
+            / records.len() as f64;
+        assert!(avg_rel > 1.0, "average relative PST {avg_rel}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_bv(&[4], 1, 300, 9);
+        let b = run_bv(&[4], 1, 300, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.counts, y.counts);
+            assert_eq!(x.pst_qbeep, y.pst_qbeep);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Ensemble execution (EQC/Quancorde-style, paper §3.5): run the same
+//! circuit on several machines, weight each machine's counts by its
+//! predicted reliability, merge, and optionally mitigate the merged
+//! table with Q-BEEP.
+//!
+//! The paper suggests exactly this composition: "[Q-BEEP] can be used
+//! in conjunction with other error mitigation techniques like
+//! Quancorde, which enhances the baseline fidelity from a collection
+//! of ensembles, thereby amplifying the benefits of Q-BEEP."
+
+use qbeep_bitstring::{Counts, Distribution};
+use qbeep_circuit::Circuit;
+use qbeep_core::lambda::estimate_lambda;
+use qbeep_core::QBeep;
+use qbeep_device::Backend;
+use qbeep_sim::{execute_on_device, EmpiricalConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of one ensemble execution.
+#[derive(Debug, Clone)]
+pub struct EnsembleRun {
+    /// Reliability-weighted merged counts across the ensemble.
+    pub merged: Counts,
+    /// Per-machine `(name, λ estimate, weight)` rows.
+    pub members: Vec<(String, f64, f64)>,
+    /// The count-weighted mean λ of the ensemble — the rate Q-BEEP
+    /// mitigates the merged table with.
+    pub ensemble_lambda: f64,
+}
+
+/// Executes `circuit` for `shots` on every fitting machine of
+/// `backends`, weights each machine's counts by `e^{−λ̂}` (its
+/// predicted success probability under the Poisson model), and merges.
+///
+/// # Panics
+///
+/// Panics if no machine fits the circuit.
+#[must_use]
+pub fn run_ensemble(
+    circuit: &Circuit,
+    backends: &[Backend],
+    shots: u64,
+    config: &EmpiricalConfig,
+    seed: u64,
+) -> EnsembleRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = circuit.measured().len();
+    let mut merged = Counts::new(width);
+    let mut members = Vec::new();
+    let mut lambda_acc = 0.0;
+    let mut weight_acc = 0.0;
+    for backend in backends {
+        if backend.num_qubits() < circuit.num_qubits() {
+            continue;
+        }
+        let run = execute_on_device(circuit, backend, shots, config, &mut rng)
+            .expect("machine fits the circuit");
+        let lambda = estimate_lambda(&run.transpiled, backend);
+        // Poisson success probability as the reliability weight.
+        let weight = (-lambda).exp();
+        for (s, c) in run.counts.iter() {
+            let scaled = (c as f64 * weight).round() as u64;
+            merged.record(*s, scaled);
+        }
+        lambda_acc += lambda * weight;
+        weight_acc += weight;
+        members.push((backend.name().to_string(), lambda, weight));
+    }
+    assert!(!members.is_empty(), "no ensemble machine fits the circuit");
+    EnsembleRun { merged, members, ensemble_lambda: lambda_acc / weight_acc }
+}
+
+/// Convenience: fidelity of the merged ensemble before and after
+/// Q-BEEP mitigation against `ideal`.
+///
+/// # Panics
+///
+/// Panics if the merged table is empty.
+#[must_use]
+pub fn ensemble_fidelities(run: &EnsembleRun, ideal: &Distribution) -> (f64, f64) {
+    let before = run.merged.to_distribution().fidelity(ideal);
+    let mitigated = QBeep::default().mitigate_with_lambda(&run.merged, run.ensemble_lambda);
+    (before, mitigated.mitigated.fidelity(ideal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_bitstring::BitString;
+    use qbeep_circuit::library::bernstein_vazirani;
+    use qbeep_device::profiles;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ensemble_merges_fitting_machines_only() {
+        let circuit = bernstein_vazirani(&bs("101101010")); // needs 10 qubits
+        let fleet = profiles::bv_fleet();
+        let run = run_ensemble(&circuit, &fleet, 800, &EmpiricalConfig::default(), 3);
+        // Only the ≥10-qubit machines participate.
+        assert_eq!(run.members.len(), 4);
+        assert!(run.merged.total() > 0);
+        assert!(run.ensemble_lambda > 0.0);
+    }
+
+    #[test]
+    fn better_machines_get_larger_weights() {
+        let circuit = bernstein_vazirani(&bs("1011"));
+        let fleet = vec![
+            profiles::by_name("fake_lagos").unwrap(),
+            profiles::by_name("fake_perth").unwrap(),
+        ];
+        let run = run_ensemble(&circuit, &fleet, 500, &EmpiricalConfig::default(), 4);
+        let lagos = run.members.iter().find(|(n, _, _)| n == "fake_lagos").unwrap();
+        let perth = run.members.iter().find(|(n, _, _)| n == "fake_perth").unwrap();
+        assert!(lagos.2 > perth.2, "lagos weight {} vs perth {}", lagos.2, perth.2);
+    }
+
+    #[test]
+    fn ensemble_plus_qbeep_beats_raw_single_machine() {
+        let secret = bs("1011011");
+        let circuit = bernstein_vazirani(&secret);
+        let ideal = Distribution::point(secret);
+        let fleet = profiles::bv_fleet();
+        let run = run_ensemble(&circuit, &fleet, 1500, &EmpiricalConfig::default(), 5);
+        let (before, after) = ensemble_fidelities(&run, &ideal);
+        assert!(after > before, "ensemble mitigation {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no ensemble machine fits")]
+    fn oversized_circuit_panics() {
+        let circuit = bernstein_vazirani(&bs("1011"));
+        let small = vec![]; // empty fleet
+        let _ = run_ensemble(&circuit, &small, 100, &EmpiricalConfig::default(), 6);
+    }
+}

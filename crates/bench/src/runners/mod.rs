@@ -1,0 +1,7 @@
+//! Shared experiment runners driving the figure modules.
+
+pub mod bv;
+pub mod ensemble;
+pub mod qaoa;
+pub mod rb;
+pub mod suite;

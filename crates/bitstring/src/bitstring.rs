@@ -1,0 +1,567 @@
+//! The [`BitString`] measurement-outcome type.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::error::ParseBitStringError;
+
+/// Maximum number of bits a [`BitString`] can hold.
+///
+/// 128 bits comfortably covers the largest device the paper evaluates
+/// (IBM Washington, 127 qubits) while keeping the type `Copy` and free of
+/// heap allocation.
+pub const MAX_BITS: usize = 128;
+
+/// A fixed-width string of classical bits — one measurement outcome of a
+/// quantum circuit.
+///
+/// Bit `i` corresponds to the measurement of qubit `i` (little-endian).
+/// The [`Display`](fmt::Display) rendering follows the usual quantum
+/// convention of printing qubit `n-1` first (most significant bit on the
+/// left), matching how IBMQ result dictionaries are written.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::BitString;
+///
+/// let s = BitString::from_value(0b101, 3);
+/// assert!(s.bit(0));
+/// assert!(!s.bit(1));
+/// assert!(s.bit(2));
+/// assert_eq!(s.to_string(), "101");
+/// assert_eq!(s.hamming_weight(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitString {
+    /// Two little-endian 64-bit words; bits at index >= `len` are zero.
+    words: [u64; 2],
+    /// Number of valid bits.
+    len: u16,
+}
+
+impl BitString {
+    /// Creates the all-zero string of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_BITS`.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        assert!(len <= MAX_BITS, "bit-string length {len} exceeds {MAX_BITS}");
+        Self { words: [0, 0], len: len as u16 }
+    }
+
+    /// Creates the all-one string of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_BITS`.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut s = Self::zeros(len);
+        for i in 0..len {
+            s.set(i, true);
+        }
+        s
+    }
+
+    /// Creates a string of `len` bits from the low bits of `value`.
+    ///
+    /// Bits of `value` above `len` are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_BITS`.
+    #[must_use]
+    pub fn from_value(value: u128, len: usize) -> Self {
+        let mut s = Self::zeros(len);
+        let masked = if len >= 128 { value } else { value & ((1u128 << len) - 1) };
+        s.words[0] = masked as u64;
+        s.words[1] = (masked >> 64) as u64;
+        s
+    }
+
+    /// Creates a string from an iterator of bits, qubit 0 first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields more than [`MAX_BITS`] items.
+    #[must_use]
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut s = Self::zeros(0);
+        for (i, b) in bits.into_iter().enumerate() {
+            assert!(i < MAX_BITS, "more than {MAX_BITS} bits supplied");
+            s.len = (i + 1) as u16;
+            s.set(i, b);
+        }
+        s
+    }
+
+    /// The number of bits in this string.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this string holds zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i` (the measurement of qubit `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Flips bit `i`, returning the modified copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn with_flipped(mut self, i: usize) -> Self {
+        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+        self
+    }
+
+    /// Flips bit `i` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
+    /// The value of the string interpreted as a little-endian integer.
+    #[must_use]
+    pub fn value(&self) -> u128 {
+        (self.words[0] as u128) | ((self.words[1] as u128) << 64)
+    }
+
+    /// Number of `1` bits (the Hamming weight).
+    #[must_use]
+    pub fn hamming_weight(&self) -> u32 {
+        self.words[0].count_ones() + self.words[1].count_ones()
+    }
+
+    /// Hamming distance to `other`: the number of bit positions in which
+    /// the two strings differ (paper §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different lengths.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &Self) -> u32 {
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths ({} vs {})",
+            self.len, other.len
+        );
+        (self.words[0] ^ other.words[0]).count_ones()
+            + (self.words[1] ^ other.words[1]).count_ones()
+    }
+
+    /// Bitwise XOR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different lengths.
+    #[must_use]
+    pub fn xor(&self, other: &Self) -> Self {
+        assert_eq!(self.len, other.len, "xor requires equal lengths");
+        Self { words: [self.words[0] ^ other.words[0], self.words[1] ^ other.words[1]], len: self.len }
+    }
+
+    /// Iterates over the bits, qubit 0 first.
+    pub fn bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len()).map(move |i| self.bit(i))
+    }
+
+    /// Iterates over every bit-string at Hamming distance exactly `d`
+    /// from `self` (the surface of the Hamming ball).
+    ///
+    /// The iterator yields `C(len, d)` strings. `d == 0` yields `self`
+    /// alone; `d > len` yields nothing.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qbeep_bitstring::BitString;
+    ///
+    /// let s = BitString::zeros(4);
+    /// let at_two: Vec<_> = s.neighbors_at(2).collect();
+    /// assert_eq!(at_two.len(), 6); // C(4, 2)
+    /// assert!(at_two.iter().all(|t| s.hamming_distance(t) == 2));
+    /// ```
+    #[must_use]
+    pub fn neighbors_at(&self, d: usize) -> HammingBallIter {
+        HammingBallIter::new(*self, d)
+    }
+
+    /// Truncates or zero-extends to `len` bits, returning the copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > MAX_BITS`.
+    #[must_use]
+    pub fn resized(&self, len: usize) -> Self {
+        assert!(len <= MAX_BITS, "bit-string length {len} exceeds {MAX_BITS}");
+        let mut out = Self::zeros(len);
+        for i in 0..len.min(self.len()) {
+            out.set(i, self.bit(i));
+        }
+        out
+    }
+
+    /// Concatenates `other` above `self`: the result has `self`'s bits at
+    /// positions `0..self.len()` and `other`'s at the positions above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined length exceeds [`MAX_BITS`].
+    #[must_use]
+    pub fn concat(&self, other: &Self) -> Self {
+        let total = self.len() + other.len();
+        assert!(total <= MAX_BITS, "concatenated length {total} exceeds {MAX_BITS}");
+        let mut out = Self::zeros(total);
+        for i in 0..self.len() {
+            out.set(i, self.bit(i));
+        }
+        for i in 0..other.len() {
+            out.set(self.len() + i, other.bit(i));
+        }
+        out
+    }
+}
+
+impl fmt::Display for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len()).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(\"{self}\")")
+    }
+}
+
+impl fmt::Binary for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for BitString {
+    type Err = ParseBitStringError;
+
+    /// Parses a string of `'0'`/`'1'` characters written MSB-first
+    /// (qubit `n-1` leftmost), the IBMQ result-dictionary convention.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBitStringError::Empty);
+        }
+        if s.len() > MAX_BITS {
+            return Err(ParseBitStringError::TooLong { len: s.len(), max: MAX_BITS });
+        }
+        let mut out = Self::zeros(s.len());
+        let n = s.len();
+        for (pos, c) in s.chars().enumerate() {
+            match c {
+                '0' => {}
+                '1' => out.set(n - 1 - pos, true),
+                other => return Err(ParseBitStringError::InvalidChar { ch: other, index: pos }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl PartialOrd for BitString {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitString {
+    /// Orders by length first, then by integer value — a total order that
+    /// makes sorted result tables deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.len.cmp(&other.len).then_with(|| self.value().cmp(&other.value()))
+    }
+}
+
+impl Serialize for BitString {
+    /// Serialises as the MSB-first text form (e.g. `"1011"`), which keeps
+    /// bit-strings usable as JSON map keys.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for BitString {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+/// Iterator over bit-strings at a fixed Hamming distance from a center,
+/// produced by [`BitString::neighbors_at`].
+///
+/// Enumerates index combinations in lexicographic order, so the output is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct HammingBallIter {
+    center: BitString,
+    /// Current combination of flip positions; empty means `d == 0` pending.
+    combo: Vec<usize>,
+    d: usize,
+    done: bool,
+}
+
+impl HammingBallIter {
+    fn new(center: BitString, d: usize) -> Self {
+        let n = center.len();
+        let done = d > n;
+        let combo = (0..d.min(n)).collect();
+        Self { center, combo, d, done }
+    }
+
+    /// Advances `self.combo` to the next lexicographic combination of
+    /// `self.d` indices out of `center.len()`. Returns false when exhausted.
+    fn advance(&mut self) -> bool {
+        let n = self.center.len();
+        let d = self.d;
+        let mut i = d;
+        loop {
+            if i == 0 {
+                return false;
+            }
+            i -= 1;
+            if self.combo[i] < n - (d - i) {
+                self.combo[i] += 1;
+                for j in i + 1..d {
+                    self.combo[j] = self.combo[j - 1] + 1;
+                }
+                return true;
+            }
+        }
+    }
+}
+
+impl Iterator for HammingBallIter {
+    type Item = BitString;
+
+    fn next(&mut self) -> Option<BitString> {
+        if self.done {
+            return None;
+        }
+        if self.d == 0 {
+            self.done = true;
+            return Some(self.center);
+        }
+        let mut out = self.center;
+        for &i in &self.combo {
+            out.flip(i);
+        }
+        if !self.advance() {
+            self.done = true;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitString::zeros(10);
+        let o = BitString::ones(10);
+        assert_eq!(z.hamming_weight(), 0);
+        assert_eq!(o.hamming_weight(), 10);
+        assert_eq!(z.hamming_distance(&o), 10);
+    }
+
+    #[test]
+    fn from_value_masks_high_bits() {
+        let s = BitString::from_value(0b1111_0101, 4);
+        assert_eq!(s.value(), 0b0101);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let s = BitString::from_value(0b001, 3);
+        assert_eq!(s.to_string(), "001");
+        let t = BitString::from_value(0b100, 3);
+        assert_eq!(t.to_string(), "100");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let s: BitString = "11010".parse().unwrap();
+        assert_eq!(s.to_string(), "11010");
+        assert_eq!(s.len(), 5);
+        assert!(s.bit(1));
+        assert!(!s.bit(0));
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(matches!("".parse::<BitString>(), Err(ParseBitStringError::Empty)));
+        assert!(matches!(
+            "01x1".parse::<BitString>(),
+            Err(ParseBitStringError::InvalidChar { ch: 'x', index: 2 })
+        ));
+        let long = "0".repeat(MAX_BITS + 1);
+        assert!(matches!(long.parse::<BitString>(), Err(ParseBitStringError::TooLong { .. })));
+    }
+
+    #[test]
+    fn hamming_distance_counts_differing_bits() {
+        let a: BitString = "1100".parse().unwrap();
+        let b: BitString = "1010".parse().unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_distance_length_mismatch_panics() {
+        let a = BitString::zeros(3);
+        let b = BitString::zeros(4);
+        let _ = a.hamming_distance(&b);
+    }
+
+    #[test]
+    fn wide_strings_cross_word_boundary() {
+        let mut s = BitString::zeros(100);
+        s.set(0, true);
+        s.set(63, true);
+        s.set(64, true);
+        s.set(99, true);
+        assert_eq!(s.hamming_weight(), 4);
+        let z = BitString::zeros(100);
+        assert_eq!(s.hamming_distance(&z), 4);
+        let round: BitString = s.to_string().parse().unwrap();
+        assert_eq!(round, s);
+    }
+
+    #[test]
+    fn xor_matches_distance() {
+        let a: BitString = "10110".parse().unwrap();
+        let b: BitString = "01110".parse().unwrap();
+        assert_eq!(a.xor(&b).hamming_weight(), a.hamming_distance(&b));
+    }
+
+    #[test]
+    fn neighbors_at_zero_is_self() {
+        let s: BitString = "101".parse().unwrap();
+        let v: Vec<_> = s.neighbors_at(0).collect();
+        assert_eq!(v, vec![s]);
+    }
+
+    #[test]
+    fn neighbors_at_counts_are_binomial() {
+        let s = BitString::zeros(6);
+        for d in 0..=6 {
+            let count = s.neighbors_at(d).count();
+            let expect = binomial(6, d);
+            assert_eq!(count, expect, "d = {d}");
+        }
+        assert_eq!(s.neighbors_at(7).count(), 0);
+    }
+
+    #[test]
+    fn neighbors_are_distinct_and_correct_distance() {
+        let s: BitString = "01101".parse().unwrap();
+        let v: Vec<_> = s.neighbors_at(3).collect();
+        for t in &v {
+            assert_eq!(s.hamming_distance(t), 3);
+        }
+        let set: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), v.len());
+    }
+
+    #[test]
+    fn resized_preserves_low_bits() {
+        let s: BitString = "1011".parse().unwrap();
+        assert_eq!(s.resized(2).to_string(), "11");
+        assert_eq!(s.resized(6).to_string(), "001011");
+    }
+
+    #[test]
+    fn concat_stacks_bits() {
+        let low: BitString = "11".parse().unwrap();
+        let high: BitString = "01".parse().unwrap();
+        assert_eq!(low.concat(&high).to_string(), "0111");
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut v = vec![
+            BitString::from_value(3, 4),
+            BitString::from_value(1, 4),
+            BitString::from_value(2, 3),
+        ];
+        v.sort();
+        assert_eq!(v[0].len(), 3);
+        assert_eq!(v[1].value(), 1);
+        assert_eq!(v[2].value(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s: BitString = "10110".parse().unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: BitString = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    fn binomial(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut out = 1usize;
+        for i in 0..k {
+            out = out * (n - i) / (i + 1);
+        }
+        out
+    }
+}

@@ -1,0 +1,321 @@
+//! Measurement-count tables: the raw artefact of running a circuit.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitString, Distribution};
+
+/// A table of observed bit-strings and how many shots produced each — the
+/// classical readout of `N` repeated circuit inductions.
+///
+/// This mirrors the `{bit-string: count}` dictionaries returned by IBMQ
+/// backends (paper §2.2). All entries must share the width fixed at
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::{BitString, Counts};
+///
+/// let mut counts = Counts::new(3);
+/// counts.record(BitString::from_value(0b101, 3), 40);
+/// counts.record(BitString::from_value(0b101, 3), 10);
+/// counts.record(BitString::from_value(0b000, 3), 50);
+///
+/// assert_eq!(counts.total(), 100);
+/// assert_eq!(counts.get(&BitString::from_value(0b101, 3)), 50);
+/// assert_eq!(counts.distinct(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counts {
+    width: usize,
+    table: HashMap<BitString, u64>,
+    total: u64,
+}
+
+impl Counts {
+    /// Creates an empty count table for `width`-bit outcomes.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self { width, table: HashMap::new(), total: 0 }
+    }
+
+    /// Builds a table from an iterator of single-shot outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any outcome's width differs from `width`.
+    #[must_use]
+    pub fn from_shots<I: IntoIterator<Item = BitString>>(width: usize, shots: I) -> Self {
+        let mut counts = Self::new(width);
+        for s in shots {
+            counts.record(s, 1);
+        }
+        counts
+    }
+
+    /// Builds a table directly from `(outcome, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any outcome's width differs from `width`.
+    #[must_use]
+    pub fn from_pairs<I: IntoIterator<Item = (BitString, u64)>>(width: usize, pairs: I) -> Self {
+        let mut counts = Self::new(width);
+        for (s, c) in pairs {
+            counts.record(s, c);
+        }
+        counts
+    }
+
+    /// Adds `count` observations of `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcome.len() != self.width()`.
+    pub fn record(&mut self, outcome: BitString, count: u64) {
+        assert_eq!(
+            outcome.len(),
+            self.width,
+            "outcome width {} does not match table width {}",
+            outcome.len(),
+            self.width
+        );
+        if count == 0 {
+            return;
+        }
+        *self.table.entry(outcome).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// The fixed outcome width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of shots recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct outcomes observed.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no shots have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The count recorded for `outcome` (zero if never observed).
+    #[must_use]
+    pub fn get(&self, outcome: &BitString) -> u64 {
+        self.table.get(outcome).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(outcome, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitString, u64)> + '_ {
+        self.table.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Returns the outcomes sorted by descending count (ties broken by the
+    /// bit-string ordering, so the result is deterministic).
+    #[must_use]
+    pub fn sorted_by_count(&self) -> Vec<(BitString, u64)> {
+        let mut v: Vec<_> = self.table.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The single most frequent outcome, if any shots were recorded.
+    #[must_use]
+    pub fn mode(&self) -> Option<BitString> {
+        self.sorted_by_count().first().map(|&(s, _)| s)
+    }
+
+    /// Merges another table into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(self.width, other.width, "cannot merge counts of different widths");
+        for (&s, &c) in &other.table {
+            *self.table.entry(s).or_insert(0) += c;
+            self.total += c;
+        }
+    }
+
+    /// Converts to a normalised probability [`Distribution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty (no shots ⇒ no distribution).
+    #[must_use]
+    pub fn to_distribution(&self) -> Distribution {
+        assert!(self.total > 0, "cannot normalise an empty count table");
+        let n = self.total as f64;
+        Distribution::from_probs(
+            self.width,
+            self.table.iter().map(|(&s, &c)| (s, c as f64 / n)),
+        )
+    }
+
+    /// Probability-of-Successful-Trial against the expected `target`
+    /// (paper Eq. 6): `PST = n_correct / n_trials`.
+    ///
+    /// Returns 0 for an empty table.
+    #[must_use]
+    pub fn pst(&self, target: &BitString) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.get(target) as f64 / self.total as f64
+    }
+}
+
+impl FromIterator<(BitString, u64)> for Counts {
+    /// Collects pairs into a table, inferring the width from the first
+    /// element (an empty iterator yields a zero-width empty table).
+    fn from_iter<I: IntoIterator<Item = (BitString, u64)>>(iter: I) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let width = it.peek().map_or(0, |(s, _)| s.len());
+        Self::from_pairs(width, it)
+    }
+}
+
+impl Extend<(BitString, u64)> for Counts {
+    fn extend<I: IntoIterator<Item = (BitString, u64)>>(&mut self, iter: I) {
+        for (s, c) in iter {
+            self.record(s, c);
+        }
+    }
+}
+
+impl fmt::Display for Counts {
+    /// Renders the table as `{"bits": count, ...}` sorted by count.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (s, c)) in self.sorted_by_count().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "\"{s}\": {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut c = Counts::new(2);
+        c.record(bs("01"), 3);
+        c.record(bs("01"), 2);
+        assert_eq!(c.get(&bs("01")), 5);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.distinct(), 1);
+    }
+
+    #[test]
+    fn record_zero_is_noop() {
+        let mut c = Counts::new(2);
+        c.record(bs("01"), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.distinct(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match table width")]
+    fn record_wrong_width_panics() {
+        let mut c = Counts::new(2);
+        c.record(bs("011"), 1);
+    }
+
+    #[test]
+    fn from_shots_counts_duplicates() {
+        let c = Counts::from_shots(2, vec![bs("00"), bs("01"), bs("00")]);
+        assert_eq!(c.get(&bs("00")), 2);
+        assert_eq!(c.get(&bs("01")), 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn sorted_by_count_is_descending_and_deterministic() {
+        let c = Counts::from_pairs(2, vec![(bs("00"), 5), (bs("11"), 5), (bs("01"), 9)]);
+        let v = c.sorted_by_count();
+        assert_eq!(v[0], (bs("01"), 9));
+        assert_eq!(v[1], (bs("00"), 5)); // value tie broken by ordering
+        assert_eq!(v[2], (bs("11"), 5));
+        assert_eq!(c.mode(), Some(bs("01")));
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Counts::from_pairs(2, vec![(bs("00"), 1)]);
+        let b = Counts::from_pairs(2, vec![(bs("00"), 2), (bs("10"), 3)]);
+        a.merge(&b);
+        assert_eq!(a.get(&bs("00")), 3);
+        assert_eq!(a.get(&bs("10")), 3);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn to_distribution_normalises() {
+        let c = Counts::from_pairs(1, vec![(bs("0"), 25), (bs("1"), 75)]);
+        let d = c.to_distribution();
+        assert!((d.prob(&bs("1")) - 0.75).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty count table")]
+    fn to_distribution_empty_panics() {
+        let _ = Counts::new(3).to_distribution();
+    }
+
+    #[test]
+    fn pst_is_target_fraction() {
+        let c = Counts::from_pairs(2, vec![(bs("11"), 30), (bs("00"), 70)]);
+        assert!((c.pst(&bs("11")) - 0.3).abs() < 1e-12);
+        assert_eq!(Counts::new(2).pst(&bs("11")), 0.0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let c: Counts = vec![(bs("10"), 2), (bs("01"), 1)].into_iter().collect();
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.total(), 3);
+        let mut c2 = c.clone();
+        c2.extend(vec![(bs("10"), 1)]);
+        assert_eq!(c2.get(&bs("10")), 3);
+    }
+
+    #[test]
+    fn display_is_sorted_json_like() {
+        let c = Counts::from_pairs(2, vec![(bs("00"), 1), (bs("01"), 9)]);
+        assert_eq!(c.to_string(), "{\"01\": 9, \"00\": 1}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Counts::from_pairs(2, vec![(bs("00"), 1), (bs("01"), 9)]);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Counts = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,395 @@
+//! Probability distributions over bit-strings and the distance metrics the
+//! paper evaluates with (fidelity, Hellinger, TVD, KL).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitString, Counts, HammingSpectrum};
+
+/// A probability distribution over `width`-bit outcomes.
+///
+/// Probabilities are stored sparsely; any outcome not present has
+/// probability zero. Construction normalises defensively so that the mass
+/// always sums to 1 (within floating-point error).
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::{BitString, Distribution};
+///
+/// let d = Distribution::from_probs(2, vec![
+///     (BitString::from_value(0, 2), 1.0),
+///     (BitString::from_value(3, 2), 3.0), // weights need not be normalised
+/// ]);
+/// assert!((d.prob(&BitString::from_value(3, 2)) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    width: usize,
+    probs: HashMap<BitString, f64>,
+}
+
+impl Distribution {
+    /// Builds a distribution from non-negative weights, normalising them.
+    ///
+    /// Entries with zero weight are dropped; duplicate outcomes have their
+    /// weights summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite, if any outcome's
+    /// width differs from `width`, or if the total weight is zero.
+    #[must_use]
+    pub fn from_probs<I: IntoIterator<Item = (BitString, f64)>>(width: usize, weights: I) -> Self {
+        let mut probs: HashMap<BitString, f64> = HashMap::new();
+        let mut total = 0.0;
+        for (s, w) in weights {
+            assert_eq!(s.len(), width, "outcome width {} != distribution width {width}", s.len());
+            assert!(w.is_finite() && w >= 0.0, "weight {w} for {s} is not a finite non-negative number");
+            if w > 0.0 {
+                *probs.entry(s).or_insert(0.0) += w;
+                total += w;
+            }
+        }
+        assert!(total > 0.0, "cannot normalise a distribution with zero total mass");
+        for p in probs.values_mut() {
+            *p /= total;
+        }
+        Self { width, probs }
+    }
+
+    /// The distribution placing all mass on a single outcome.
+    #[must_use]
+    pub fn point(outcome: BitString) -> Self {
+        let width = outcome.len();
+        Self::from_probs(width, [(outcome, 1.0)])
+    }
+
+    /// The uniform distribution over all `2^width` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 24` (the dense table would be too large; the
+    /// paper's circuits are 4–15 qubits).
+    #[must_use]
+    pub fn uniform(width: usize) -> Self {
+        assert!(width <= 24, "dense uniform distribution over {width} qubits is too large");
+        let n = 1u64 << width;
+        Self::from_probs(width, (0..n).map(|v| (BitString::from_value(v as u128, width), 1.0)))
+    }
+
+    /// The outcome width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The probability of `outcome` (zero when absent).
+    #[must_use]
+    pub fn prob(&self, outcome: &BitString) -> f64 {
+        self.probs.get(outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Number of outcomes carrying non-zero probability (the support size).
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Iterates over `(outcome, probability)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&BitString, f64)> + '_ {
+        self.probs.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Outcomes sorted by descending probability (deterministic ties).
+    #[must_use]
+    pub fn sorted_by_prob(&self) -> Vec<(BitString, f64)> {
+        let mut v: Vec<_> = self.probs.iter().map(|(&k, &p)| (k, p)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The most probable outcome.
+    #[must_use]
+    pub fn mode(&self) -> BitString {
+        self.sorted_by_prob()[0].0
+    }
+
+    /// Sum of all stored probabilities; ≈ 1 by construction. Exposed so
+    /// callers (and debug assertions) can verify normalisation.
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.probs.values().sum()
+    }
+
+    /// Converts back to integer counts for a given number of shots using
+    /// largest-remainder rounding, so the counts sum exactly to `shots`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    #[must_use]
+    pub fn to_counts(&self, shots: u64) -> Counts {
+        assert!(shots > 0, "cannot materialise counts for zero shots");
+        let mut items: Vec<(BitString, f64)> = self.sorted_by_prob();
+        let mut floors: Vec<(BitString, u64, f64)> = items
+            .drain(..)
+            .map(|(s, p)| {
+                let exact = p * shots as f64;
+                let fl = exact.floor() as u64;
+                (s, fl, exact - exact.floor())
+            })
+            .collect();
+        let assigned: u64 = floors.iter().map(|&(_, f, _)| f).sum();
+        let mut leftover = shots - assigned.min(shots);
+        // Hand remaining shots to the largest fractional remainders.
+        floors.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then_with(|| a.0.cmp(&b.0)));
+        let mut counts = Counts::new(self.width);
+        for (s, f, _) in floors {
+            let extra = u64::from(leftover > 0);
+            leftover -= extra;
+            counts.record(s, f + extra);
+        }
+        counts
+    }
+
+    /// Classical state fidelity used throughout the paper (§2.2):
+    /// `F(p, q) = (Σ_i sqrt(p_i · q_i))²` — the squared Bhattacharyya
+    /// coefficient, 1 for identical distributions, 0 for disjoint support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn fidelity(&self, other: &Distribution) -> f64 {
+        (self.bhattacharyya(other)).powi(2)
+    }
+
+    /// The Bhattacharyya coefficient `Σ_i sqrt(p_i q_i)` ∈ [0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn bhattacharyya(&self, other: &Distribution) -> f64 {
+        assert_eq!(self.width, other.width, "fidelity requires equal widths");
+        let mut bc = 0.0;
+        for (s, p) in self.iter() {
+            let q = other.prob(s);
+            if q > 0.0 {
+                bc += (p * q).sqrt();
+            }
+        }
+        bc.min(1.0)
+    }
+
+    /// Hellinger distance `sqrt(1 − BC(p, q))` ∈ [0, 1] — the metric used
+    /// for the model-validation figure (paper Fig. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn hellinger(&self, other: &Distribution) -> f64 {
+        (1.0 - self.bhattacharyya(other)).max(0.0).sqrt()
+    }
+
+    /// Total-variation distance `½ Σ_i |p_i − q_i|` ∈ [0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn total_variation(&self, other: &Distribution) -> f64 {
+        assert_eq!(self.width, other.width, "TVD requires equal widths");
+        let mut acc = 0.0;
+        for (s, p) in self.iter() {
+            acc += (p - other.prob(s)).abs();
+        }
+        for (s, q) in other.iter() {
+            if self.prob(s) == 0.0 {
+                acc += q;
+            }
+        }
+        acc / 2.0
+    }
+
+    /// Kullback–Leibler divergence `Σ p_i ln(p_i / q_i)` in nats.
+    ///
+    /// Returns `f64::INFINITY` when `self` has mass where `other` has
+    /// none (absolute-continuity violation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn kl_divergence(&self, other: &Distribution) -> f64 {
+        assert_eq!(self.width, other.width, "KL divergence requires equal widths");
+        let mut acc = 0.0;
+        for (s, p) in self.iter() {
+            let q = other.prob(s);
+            if q == 0.0 {
+                return f64::INFINITY;
+            }
+            acc += p * (p / q).ln();
+        }
+        acc.max(0.0)
+    }
+
+    /// Shannon entropy `−Σ p_i log2(p_i)` in bits (paper §5 uses this to
+    /// characterise algorithm output diversity).
+    #[must_use]
+    pub fn shannon_entropy(&self) -> f64 {
+        -self
+            .probs
+            .values()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Buckets this distribution's mass by Hamming distance from
+    /// `reference`, producing the [`HammingSpectrum`] of §2.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len() != self.width()`.
+    #[must_use]
+    pub fn hamming_spectrum(&self, reference: &BitString) -> HammingSpectrum {
+        HammingSpectrum::from_distribution(self, reference)
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (s, p)) in self.sorted_by_prob().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "\"{s}\": {p:.4}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn from_probs_normalises_and_merges() {
+        let d = Distribution::from_probs(2, vec![(bs("00"), 2.0), (bs("00"), 2.0), (bs("11"), 4.0)]);
+        assert!((d.prob(&bs("00")) - 0.5).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+        assert_eq!(d.support_size(), 2);
+    }
+
+    #[test]
+    fn zero_weights_are_dropped() {
+        let d = Distribution::from_probs(1, vec![(bs("0"), 0.0), (bs("1"), 1.0)]);
+        assert_eq!(d.support_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total mass")]
+    fn all_zero_weights_panics() {
+        let _ = Distribution::from_probs(1, vec![(bs("0"), 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a finite non-negative")]
+    fn negative_weight_panics() {
+        let _ = Distribution::from_probs(1, vec![(bs("0"), -1.0)]);
+    }
+
+    #[test]
+    fn point_and_uniform() {
+        let p = Distribution::point(bs("101"));
+        assert_eq!(p.prob(&bs("101")), 1.0);
+        let u = Distribution::uniform(3);
+        assert_eq!(u.support_size(), 8);
+        assert!((u.prob(&bs("110")) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_bounds() {
+        let a = Distribution::point(bs("00"));
+        let b = Distribution::point(bs("11"));
+        assert_eq!(a.fidelity(&b), 0.0);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_matches_hand_computation() {
+        let p = Distribution::from_probs(1, vec![(bs("0"), 0.5), (bs("1"), 0.5)]);
+        let q = Distribution::from_probs(1, vec![(bs("0"), 0.9), (bs("1"), 0.1)]);
+        let bc = (0.5f64 * 0.9).sqrt() + (0.5f64 * 0.1).sqrt();
+        assert!((p.fidelity(&q) - bc * bc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_is_metric_like() {
+        let p = Distribution::from_probs(1, vec![(bs("0"), 0.5), (bs("1"), 0.5)]);
+        let q = Distribution::point(bs("0"));
+        assert_eq!(p.hellinger(&p), 0.0);
+        let d = p.hellinger(&q);
+        assert!(d > 0.0 && d < 1.0);
+        assert!((q.hellinger(&p) - d).abs() < 1e-12); // symmetry
+        let r = Distribution::point(bs("1"));
+        assert!((q.hellinger(&r) - 1.0).abs() < 1e-12); // disjoint support
+    }
+
+    #[test]
+    fn tvd_matches_hand_computation() {
+        let p = Distribution::from_probs(1, vec![(bs("0"), 0.8), (bs("1"), 0.2)]);
+        let q = Distribution::from_probs(1, vec![(bs("0"), 0.5), (bs("1"), 0.5)]);
+        assert!((p.total_variation(&q) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let p = Distribution::from_probs(1, vec![(bs("0"), 0.7), (bs("1"), 0.3)]);
+        assert!(p.kl_divergence(&p).abs() < 1e-12);
+        let q = Distribution::point(bs("0"));
+        assert!(p.kl_divergence(&q).is_infinite());
+        assert!(q.kl_divergence(&p) > 0.0);
+    }
+
+    #[test]
+    fn entropy_limits() {
+        assert_eq!(Distribution::point(bs("0101")).shannon_entropy(), 0.0);
+        let u = Distribution::uniform(4);
+        assert!((u.shannon_entropy() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_counts_sums_exactly() {
+        let d = Distribution::from_probs(2, vec![(bs("00"), 1.0), (bs("01"), 1.0), (bs("10"), 1.0)]);
+        let c = d.to_counts(1000);
+        assert_eq!(c.total(), 1000);
+        // Each outcome gets 333 or 334.
+        for (_, n) in c.iter() {
+            assert!((333..=334).contains(&n));
+        }
+    }
+
+    #[test]
+    fn counts_distribution_round_trip() {
+        let c = Counts::from_pairs(2, vec![(bs("00"), 600), (bs("01"), 250), (bs("11"), 150)]);
+        let back = c.to_distribution().to_counts(1000);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn mode_is_highest_probability() {
+        let d = Distribution::from_probs(2, vec![(bs("00"), 0.2), (bs("10"), 0.8)]);
+        assert_eq!(d.mode(), bs("10"));
+    }
+}

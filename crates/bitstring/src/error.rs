@@ -1,0 +1,55 @@
+//! Error types for bit-string parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`BitString`](crate::BitString) from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBitStringError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character other than `'0'` or `'1'`.
+    InvalidChar {
+        /// The offending character.
+        ch: char,
+        /// Its byte index in the input.
+        index: usize,
+    },
+    /// The input exceeded [`MAX_BITS`](crate::MAX_BITS) characters.
+    TooLong {
+        /// Length of the input.
+        len: usize,
+        /// The maximum supported length.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ParseBitStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "empty bit-string"),
+            Self::InvalidChar { ch, index } => {
+                write!(f, "invalid character {ch:?} at index {index}, expected '0' or '1'")
+            }
+            Self::TooLong { len, max } => {
+                write!(f, "bit-string of length {len} exceeds the maximum of {max}")
+            }
+        }
+    }
+}
+
+impl Error for ParseBitStringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(ParseBitStringError::Empty.to_string(), "empty bit-string");
+        let e = ParseBitStringError::InvalidChar { ch: 'q', index: 3 };
+        assert!(e.to_string().contains("'q'"));
+        let e = ParseBitStringError::TooLong { len: 200, max: 128 };
+        assert!(e.to_string().contains("200"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Bit-strings, measurement-count tables, probability distributions and the
+//! Hamming-spectrum machinery used throughout the Q-BEEP reproduction.
+//!
+//! This crate is the foundational substrate of the workspace: every other
+//! crate (circuit simulation, the Q-BEEP mitigation engine, the benchmark
+//! harness) speaks in terms of the types defined here.
+//!
+//! # Overview
+//!
+//! * [`BitString`] — a fixed-width measurement outcome of up to 128 qubits,
+//!   stored inline (no heap allocation, `Copy`).
+//! * [`Counts`] — a multiset of observed bit-strings, the classical readout
+//!   artefact of running a quantum circuit for `N` shots.
+//! * [`Distribution`] — a normalised probability distribution over
+//!   bit-strings, with the distance metrics used by the paper
+//!   (fidelity, Hellinger, total variation, KL divergence).
+//! * [`HammingSpectrum`] — probability mass bucketed by Hamming distance
+//!   from a reference string; exposes the expected Hamming distance (EHD)
+//!   and the index of dispersion (IoD) statistics from §3.1 of the paper.
+//! * [`stats`] — small numeric helpers (mean/variance, Pearson correlation,
+//!   least-squares linear fit) used when regenerating the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use qbeep_bitstring::{BitString, Counts};
+//!
+//! # fn main() -> Result<(), qbeep_bitstring::ParseBitStringError> {
+//! let target: BitString = "1011".parse()?;
+//! let mut counts = Counts::new(4);
+//! counts.record(target, 900);
+//! counts.record("1010".parse()?, 100);
+//!
+//! let dist = counts.to_distribution();
+//! let spectrum = dist.hamming_spectrum(&target);
+//! assert!(spectrum.expected_distance() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstring;
+mod counts;
+mod dist;
+mod error;
+mod spectrum;
+
+pub mod metrics;
+pub mod stats;
+
+pub use bitstring::{BitString, HammingBallIter, MAX_BITS};
+pub use counts::Counts;
+pub use dist::Distribution;
+pub use error::ParseBitStringError;
+pub use spectrum::HammingSpectrum;

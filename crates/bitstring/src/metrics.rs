@@ -1,0 +1,148 @@
+//! Free-standing evaluation metrics used by the paper's figures.
+//!
+//! Most metrics live as methods on [`Distribution`] and [`Counts`];
+//! this module collects the ones that are
+//! naturally free functions (and thin convenience wrappers so the bench
+//! harness reads like the paper's equations).
+
+use crate::{BitString, Counts, Distribution};
+
+/// Classical fidelity `F(p, q) = (Σ_i sqrt(p_i q_i))²` (paper §2.2).
+///
+/// Convenience wrapper over [`Distribution::fidelity`].
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+#[must_use]
+pub fn fidelity(p: &Distribution, q: &Distribution) -> f64 {
+    p.fidelity(q)
+}
+
+/// Hellinger distance between two distributions (paper Fig. 6's x-axis).
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+#[must_use]
+pub fn hellinger(p: &Distribution, q: &Distribution) -> f64 {
+    p.hellinger(q)
+}
+
+/// Probability-of-Successful-Trial (paper Eq. 6).
+#[must_use]
+pub fn pst(counts: &Counts, target: &BitString) -> f64 {
+    counts.pst(target)
+}
+
+/// Shannon entropy of a distribution in bits (paper §5).
+#[must_use]
+pub fn shannon_entropy(p: &Distribution) -> f64 {
+    p.shannon_entropy()
+}
+
+/// Expected Hamming distance of `observed` from `reference` (paper §3.1).
+///
+/// # Panics
+///
+/// Panics if widths differ or `observed` is empty.
+#[must_use]
+pub fn expected_hamming_distance(observed: &Counts, reference: &BitString) -> f64 {
+    observed.to_distribution().hamming_spectrum(reference).expected_distance()
+}
+
+/// Expected Hamming distance of the *errors only* — mass at distance 0 is
+/// excluded, matching how §3.1 computes "the EHD of the circuit errors".
+///
+/// Returns `None` when every shot hit the reference exactly.
+///
+/// # Panics
+///
+/// Panics if widths differ or `observed` is empty.
+#[must_use]
+pub fn error_expected_hamming_distance(observed: &Counts, reference: &BitString) -> Option<f64> {
+    observed
+        .to_distribution()
+        .hamming_spectrum(reference)
+        .error_spectrum()
+        .map(|e| e.expected_distance())
+}
+
+/// Index of dispersion of the error-distance distribution (paper Eq. 1
+/// applied to the error spectrum, as in Fig. 4c).
+///
+/// Returns `None` when there are no errors.
+///
+/// # Panics
+///
+/// Panics if widths differ or `observed` is empty.
+#[must_use]
+pub fn error_index_of_dispersion(observed: &Counts, reference: &BitString) -> Option<f64> {
+    observed
+        .to_distribution()
+        .hamming_spectrum(reference)
+        .error_spectrum()
+        .and_then(|e| e.index_of_dispersion())
+}
+
+/// Relative improvement ratio `after / before`, the y-axis of the paper's
+/// comparison figures (Figs. 7a, 7b, 8, 10a).
+///
+/// Degenerate cases: both zero → 1 (no change); only `before` zero → the
+/// improvement is unbounded, reported as `f64::INFINITY`.
+#[must_use]
+pub fn relative_improvement(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        if after == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        after / before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn wrappers_delegate() {
+        let t = bs("11");
+        let p = Distribution::point(t);
+        let q = Distribution::uniform(2);
+        assert_eq!(fidelity(&p, &q), p.fidelity(&q));
+        assert_eq!(hellinger(&p, &q), p.hellinger(&q));
+        assert_eq!(shannon_entropy(&q), 2.0);
+    }
+
+    #[test]
+    fn ehd_and_error_ehd() {
+        let t = bs("11");
+        let c = Counts::from_pairs(2, vec![(t, 50), (bs("01"), 25), (bs("00"), 25)]);
+        // EHD = 0*0.5 + 1*0.25 + 2*0.25 = 0.75
+        assert!((expected_hamming_distance(&c, &t) - 0.75).abs() < 1e-12);
+        // Error EHD: distances 1 and 2 with equal mass → 1.5
+        assert!((error_expected_hamming_distance(&c, &t).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_metrics_none_when_perfect() {
+        let t = bs("10");
+        let c = Counts::from_pairs(2, vec![(t, 100)]);
+        assert!(error_expected_hamming_distance(&c, &t).is_none());
+        assert!(error_index_of_dispersion(&c, &t).is_none());
+    }
+
+    #[test]
+    fn relative_improvement_cases() {
+        assert!((relative_improvement(0.2, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(relative_improvement(0.0, 0.0), 1.0);
+        assert!(relative_improvement(0.0, 0.1).is_infinite());
+    }
+}

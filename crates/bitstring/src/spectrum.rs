@@ -1,0 +1,303 @@
+//! The Hamming spectrum: probability mass bucketed by Hamming distance.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitString, Counts, Distribution};
+
+/// Probability mass of a distribution bucketed by Hamming distance from a
+/// reference bit-string (paper §2.2).
+///
+/// Bucket `k` holds the total probability of all outcomes at Hamming
+/// distance exactly `k` from the reference; there are `width + 1` buckets
+/// (distances `0..=width`).
+///
+/// The spectrum exposes the two statistics §3.1 of the paper builds its
+/// empirical argument on:
+///
+/// * [`expected_distance`](Self::expected_distance) — the Expected Hamming
+///   Distance (EHD), which HAMMER argued stays small (local clustering)
+///   and Q-BEEP shows grows with circuit complexity;
+/// * [`index_of_dispersion`](Self::index_of_dispersion) — `σ²/μ` of the
+///   distance distribution (paper Eq. 1); ≈ 1 indicates Poisson-like
+///   clustering.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::{BitString, Distribution};
+///
+/// let target = BitString::from_value(0b11, 2);
+/// let d = Distribution::from_probs(2, vec![
+///     (target, 0.5),
+///     (BitString::from_value(0b01, 2), 0.3),
+///     (BitString::from_value(0b00, 2), 0.2),
+/// ]);
+/// let spec = d.hamming_spectrum(&target);
+/// assert_eq!(spec.mass(0), 0.5);
+/// assert_eq!(spec.mass(1), 0.3);
+/// assert_eq!(spec.mass(2), 0.2);
+/// assert!((spec.expected_distance() - 0.7).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HammingSpectrum {
+    reference: BitString,
+    /// `mass[k]` = probability of observing an outcome at distance `k`.
+    mass: Vec<f64>,
+}
+
+impl HammingSpectrum {
+    /// Buckets `dist`'s mass by distance from `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len() != dist.width()`.
+    #[must_use]
+    pub fn from_distribution(dist: &Distribution, reference: &BitString) -> Self {
+        assert_eq!(
+            reference.len(),
+            dist.width(),
+            "reference width {} != distribution width {}",
+            reference.len(),
+            dist.width()
+        );
+        let mut mass = vec![0.0; reference.len() + 1];
+        for (s, p) in dist.iter() {
+            mass[reference.hamming_distance(s) as usize] += p;
+        }
+        Self { reference: *reference, mass }
+    }
+
+    /// Buckets raw counts by distance from `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the count table is empty.
+    #[must_use]
+    pub fn from_counts(counts: &Counts, reference: &BitString) -> Self {
+        Self::from_distribution(&counts.to_distribution(), reference)
+    }
+
+    /// Builds a spectrum directly from per-distance masses (normalising).
+    ///
+    /// Bucket `k` of `masses` is the weight of distance `k`; missing
+    /// trailing buckets are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masses` has more than `reference.len() + 1` entries, any
+    /// entry is negative/non-finite, or the total is zero.
+    #[must_use]
+    pub fn from_masses(reference: BitString, masses: &[f64]) -> Self {
+        assert!(
+            masses.len() <= reference.len() + 1,
+            "{} masses exceed the {} buckets of a {}-bit spectrum",
+            masses.len(),
+            reference.len() + 1,
+            reference.len()
+        );
+        let mut mass = vec![0.0; reference.len() + 1];
+        let mut total = 0.0;
+        for (k, &m) in masses.iter().enumerate() {
+            assert!(m.is_finite() && m >= 0.0, "mass {m} at distance {k} is invalid");
+            mass[k] = m;
+            total += m;
+        }
+        assert!(total > 0.0, "spectrum has zero total mass");
+        for m in &mut mass {
+            *m /= total;
+        }
+        Self { reference, mass }
+    }
+
+    /// The reference (center) bit-string.
+    #[must_use]
+    pub fn reference(&self) -> &BitString {
+        &self.reference
+    }
+
+    /// Number of qubits (`width`); the spectrum has `width + 1` buckets.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Probability mass at Hamming distance exactly `k` (zero if `k` is
+    /// out of range).
+    #[must_use]
+    pub fn mass(&self, k: usize) -> f64 {
+        self.mass.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// All per-distance masses, index = distance.
+    #[must_use]
+    pub fn masses(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// The Expected Hamming Distance `E[d] = Σ_k k · mass(k)`.
+    #[must_use]
+    pub fn expected_distance(&self) -> f64 {
+        self.mass.iter().enumerate().map(|(k, &m)| k as f64 * m).sum()
+    }
+
+    /// Variance of the Hamming distance distribution.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let mu = self.expected_distance();
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(k, &m)| (k as f64 - mu).powi(2) * m)
+            .sum()
+    }
+
+    /// Index of Dispersion `IoD = σ² / μ` (paper Eq. 1).
+    ///
+    /// An IoD of 1 is the Poisson signature; < 1 indicates under-dispersed
+    /// (tighter) clustering; > 1 over-dispersed. Returns `None` when the
+    /// mean distance is zero (all mass on the reference), where the ratio
+    /// is undefined.
+    #[must_use]
+    pub fn index_of_dispersion(&self) -> Option<f64> {
+        let mu = self.expected_distance();
+        (mu > 0.0).then(|| self.variance() / mu)
+    }
+
+    /// The spectrum of the *erroneous* outcomes only: removes the mass at
+    /// distance 0 (the correct result) and renormalises, yielding the
+    /// error-distance distribution that §3 models with a Poisson law.
+    ///
+    /// Returns `None` if there is no error mass at all.
+    #[must_use]
+    pub fn error_spectrum(&self) -> Option<HammingSpectrum> {
+        let err_mass: f64 = self.mass[1..].iter().sum();
+        if err_mass <= 0.0 {
+            return None;
+        }
+        let mut mass = self.mass.clone();
+        mass[0] = 0.0;
+        for m in &mut mass {
+            *m /= err_mass;
+        }
+        Some(Self { reference: self.reference, mass })
+    }
+
+    /// Converts the spectrum to a [`Distribution`] over distances encoded
+    /// as a plain vector — convenient for plotting (figure harness).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.mass.clone()
+    }
+}
+
+impl fmt::Display for HammingSpectrum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spectrum(ref={}, [", self.reference)?;
+        for (k, m) in self.mass.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m:.3}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn buckets_sum_to_one() {
+        let target = bs("111");
+        let d = Distribution::uniform(3);
+        let spec = d.hamming_spectrum(&target);
+        let total: f64 = spec.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Uniform over 3 bits: C(3,k)/8 mass at distance k.
+        assert!((spec.mass(0) - 1.0 / 8.0).abs() < 1e-12);
+        assert!((spec.mass(1) - 3.0 / 8.0).abs() < 1e-12);
+        assert!((spec.mass(2) - 3.0 / 8.0).abs() < 1e-12);
+        assert!((spec.mass(3) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_ehd_is_half_width() {
+        // §2.4: pure noise has EHD n/2.
+        for n in [2usize, 4, 6] {
+            let spec = Distribution::uniform(n).hamming_spectrum(&BitString::zeros(n));
+            assert!((spec.expected_distance() - n as f64 / 2.0).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn point_distribution_has_zero_ehd() {
+        let t = bs("1010");
+        let spec = Distribution::point(t).hamming_spectrum(&t);
+        assert_eq!(spec.expected_distance(), 0.0);
+        assert_eq!(spec.index_of_dispersion(), None);
+        assert!(spec.error_spectrum().is_none());
+    }
+
+    #[test]
+    fn binomial_noise_iod_matches_theory() {
+        // Independent bit-flips with prob p give Binomial(n, p) distances:
+        // IoD = 1 - p.
+        let n = 10;
+        let p: f64 = 0.3;
+        let reference = BitString::zeros(n);
+        let mut masses = vec![0.0; n + 1];
+        for (k, m) in masses.iter_mut().enumerate() {
+            *m = binom(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+        }
+        let spec = HammingSpectrum::from_masses(reference, &masses);
+        let iod = spec.index_of_dispersion().unwrap();
+        assert!((iod - (1.0 - p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_spectrum_removes_distance_zero() {
+        let t = bs("11");
+        let d = Distribution::from_probs(2, vec![(t, 0.6), (bs("10"), 0.2), (bs("00"), 0.2)]);
+        let err = d.hamming_spectrum(&t).error_spectrum().unwrap();
+        assert_eq!(err.mass(0), 0.0);
+        assert!((err.mass(1) - 0.5).abs() < 1e-12);
+        assert!((err.mass(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_masses_normalises() {
+        let spec = HammingSpectrum::from_masses(bs("000"), &[2.0, 1.0, 1.0]);
+        assert!((spec.mass(0) - 0.5).abs() < 1e-12);
+        assert_eq!(spec.mass(3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn from_masses_too_many_buckets_panics() {
+        let _ = HammingSpectrum::from_masses(bs("00"), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_counts_equals_from_distribution() {
+        let t = bs("10");
+        let c = Counts::from_pairs(2, vec![(t, 70), (bs("00"), 30)]);
+        let a = HammingSpectrum::from_counts(&c, &t);
+        let b = c.to_distribution().hamming_spectrum(&t);
+        assert_eq!(a, b);
+    }
+
+    fn binom(n: usize, k: usize) -> f64 {
+        let mut out = 1.0;
+        for i in 0..k {
+            out = out * (n - i) as f64 / (i + 1) as f64;
+        }
+        out
+    }
+}

@@ -1,0 +1,242 @@
+//! Small numeric/statistical helpers shared by the figure harness:
+//! summary statistics, Pearson correlation, least-squares linear fits,
+//! percentiles and empirical CDFs.
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance of a slice. Returns `None` for an empty slice.
+#[must_use]
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let mu = mean(xs)?;
+    Some(xs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Pearson correlation coefficient `r` between paired samples.
+///
+/// Returns `None` if the slices have different lengths, are shorter than
+/// two elements, or either variable is constant (undefined correlation).
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// An ordinary-least-squares line fit `y ≈ slope · x + intercept`.
+///
+/// Produced by [`linear_fit`]; used for the EHD-vs-gate-count trend
+/// (Fig. 4) and the entropy-vs-gain regression (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² ∈ [0, 1].
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Signed correlation: `sign(slope) · sqrt(R²)`, matching the paper's
+    /// habit of quoting a *signed* R value for inverse correlations
+    /// (Fig. 11 reports "R-Squared = −0.82", i.e. a signed r).
+    #[must_use]
+    pub fn signed_r(&self) -> f64 {
+        self.r_squared.sqrt().copysign(self.slope)
+    }
+}
+
+/// Fits `y = a·x + b` by ordinary least squares.
+///
+/// Returns `None` under the same conditions as [`pearson`].
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = pearson(xs, ys)?;
+    Some(LinearFit { slope, intercept, r_squared: r * r })
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) by linear interpolation between
+/// order statistics. Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]` or any value is NaN.
+#[must_use]
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile {q} outside [0, 100]");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Empirical CDF evaluated on a fixed grid: returns `(grid, F(grid))`
+/// where `F(x)` is the fraction of samples ≤ `x`. Used to regenerate the
+/// cumulative-distribution figures (Figs. 6 and 10b).
+///
+/// # Panics
+///
+/// Panics if `points == 0` or `samples` is empty or contains NaN.
+#[must_use]
+pub fn empirical_cdf(samples: &[f64], points: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(points > 0, "CDF grid needs at least one point");
+    assert!(!samples.is_empty(), "CDF of an empty sample set");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let n = sorted.len() as f64;
+    let mut grid = Vec::with_capacity(points);
+    let mut cdf = Vec::with_capacity(points);
+    for i in 0..points {
+        let x = lo + span * i as f64 / (points.saturating_sub(1).max(1)) as f64;
+        let rank = sorted.partition_point(|&v| v <= x);
+        grid.push(x);
+        cdf.push(rank as f64 / n);
+    }
+    (grid, cdf)
+}
+
+/// Histogram of samples into `bins` equal-width buckets over
+/// `[lo, hi)`; values outside the range are clamped into the end bins.
+/// Used for the Poisson-parameter histogram (Fig. 10c).
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+#[must_use]
+pub fn histogram(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range [{lo}, {hi}) is empty");
+    let mut out = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in samples {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        out[idx] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(variance(&[2.0, 2.0, 2.0]), Some(0.0));
+        assert!((variance(&[1.0, 3.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_undefined() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(pearson(&xs, &[1.0]), None);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+        assert!(fit.signed_r() > 0.0);
+    }
+
+    #[test]
+    fn signed_r_reflects_inverse_correlation() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [7.1, 5.2, 2.9, 1.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.signed_r() < -0.99);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert!((percentile(&xs, 50.0).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn empirical_cdf_monotone_and_bounded() {
+        let samples = [0.1, 0.4, 0.4, 0.9];
+        let (grid, cdf) = empirical_cdf(&samples, 10);
+        assert_eq!(grid.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[1] >= w[0]));
+        assert!((cdf[9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let h = histogram(&[-1.0, 0.1, 0.5, 0.9, 5.0], 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 3]);
+    }
+}

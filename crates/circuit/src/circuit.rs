@@ -1,0 +1,521 @@
+//! The circuit intermediate representation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Gate, Instruction};
+
+/// A gate-level quantum circuit: `num_qubits` qubits initialised to
+/// |0…0⟩, an ordered instruction list, and the subset of qubits measured
+/// (in Z) at the end.
+///
+/// By default every qubit is measured in index order; algorithms with
+/// ancillas (e.g. Bernstein–Vazirani) restrict the measured set so that
+/// result bit-strings match the algorithm's logical output width.
+///
+/// Builder methods return `&mut Self` so circuits can be assembled
+/// fluently:
+///
+/// ```
+/// use qbeep_circuit::Circuit;
+///
+/// let mut c = Circuit::new(2, "bell");
+/// c.h(0).cx(0, 1);
+/// assert_eq!(c.gate_count(), 2);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    num_qubits: usize,
+    instructions: Vec<Instruction>,
+    /// Qubits measured at the end, in classical-bit order: measured[i]
+    /// produces bit `i` of the outcome bit-string.
+    measured: Vec<u32>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits measuring all of
+    /// them in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is 0 or exceeds
+    /// [`MAX_BITS`](qbeep_bitstring::MAX_BITS).
+    #[must_use]
+    pub fn new(num_qubits: usize, name: impl Into<String>) -> Self {
+        assert!(num_qubits > 0, "a circuit needs at least one qubit");
+        assert!(
+            num_qubits <= qbeep_bitstring::MAX_BITS,
+            "{num_qubits} qubits exceed the supported maximum of {}",
+            qbeep_bitstring::MAX_BITS
+        );
+        Self {
+            name: name.into(),
+            num_qubits,
+            instructions: Vec::new(),
+            measured: (0..num_qubits as u32).collect(),
+        }
+    }
+
+    /// The circuit's name (used in reports and QASM headers).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The measured qubits in classical-bit order.
+    #[must_use]
+    pub fn measured(&self) -> &[u32] {
+        &self.measured
+    }
+
+    /// Restricts measurement to `qubits` (classical bit `i` reads
+    /// `qubits[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is empty, contains duplicates or out-of-range
+    /// indices.
+    pub fn set_measured(&mut self, qubits: Vec<u32>) -> &mut Self {
+        assert!(!qubits.is_empty(), "at least one qubit must be measured");
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!((q as usize) < self.num_qubits, "measured qubit {q} out of range");
+            assert!(!qubits[i + 1..].contains(&q), "duplicate measured qubit {q}");
+        }
+        self.measured = qubits;
+        self
+    }
+
+    /// The instruction list in program order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Appends an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction touches a qubit outside the circuit.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        assert!(
+            (inst.max_qubit() as usize) < self.num_qubits,
+            "instruction {inst} exceeds {} qubits",
+            self.num_qubits
+        );
+        self.instructions.push(inst);
+        self
+    }
+
+    /// Appends `gate` on `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Instruction::new`] and [`Circuit::push`].
+    pub fn apply(&mut self, gate: Gate, qubits: &[u32]) -> &mut Self {
+        self.push(Instruction::new(gate, qubits.to_vec()))
+    }
+
+    /// Appends every instruction of `other` (qubit indices unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than `self`.
+    pub fn extend_from(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "cannot compose a {}-qubit circuit into a {}-qubit one",
+            other.num_qubits,
+            self.num_qubits
+        );
+        for inst in &other.instructions {
+            self.instructions.push(inst.clone());
+        }
+        self
+    }
+
+    /// The inverse circuit: instructions inverted in reverse order.
+    /// Measured set and name (suffixed `_dg`) are preserved.
+    #[must_use]
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.num_qubits, format!("{}_dg", self.name));
+        inv.measured = self.measured.clone();
+        for inst in self.instructions.iter().rev() {
+            inv.instructions.push(inst.inverse());
+        }
+        inv
+    }
+
+    /// Total gate count.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Number of gates acting on ≥ 2 qubits — the error-dominant count
+    /// in the λ model.
+    #[must_use]
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.gate().is_multi_qubit()).count()
+    }
+
+    /// Gate counts keyed by mnemonic, sorted by name (deterministic).
+    #[must_use]
+    pub fn gate_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for inst in &self.instructions {
+            *map.entry(inst.gate().name()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Circuit depth: the length of the longest qubit-dependency chain
+    /// (greedy ASAP layering).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for inst in &self.instructions {
+            let layer = inst.qubits().iter().map(|&q| frontier[q as usize]).max().unwrap_or(0) + 1;
+            for &q in inst.qubits() {
+                frontier[q as usize] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Whether every gate is an IBM native basis gate (`rz/sx/x/cx/id`).
+    #[must_use]
+    pub fn is_basis_only(&self) -> bool {
+        self.instructions.iter().all(|i| i.gate().is_basis_gate())
+    }
+
+    /// Serialises to OpenQASM 2.0.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qbeep_circuit::Circuit;
+    ///
+    /// let mut c = Circuit::new(1, "demo");
+    /// c.h(0);
+    /// let qasm = c.to_qasm();
+    /// assert!(qasm.contains("OPENQASM 2.0;"));
+    /// assert!(qasm.contains("h q[0];"));
+    /// assert!(qasm.contains("measure q[0] -> c[0];"));
+    /// ```
+    #[must_use]
+    pub fn to_qasm(&self) -> String {
+        let mut out = String::new();
+        out.push_str("OPENQASM 2.0;\n");
+        out.push_str("include \"qelib1.inc\";\n");
+        out.push_str(&format!("// circuit: {}\n", self.name));
+        out.push_str(&format!("qreg q[{}];\n", self.num_qubits));
+        out.push_str(&format!("creg c[{}];\n", self.measured.len()));
+        for inst in &self.instructions {
+            let g = inst.gate();
+            let params = g.params();
+            if params.is_empty() {
+                out.push_str(g.name());
+            } else {
+                out.push_str(&format!(
+                    "{}({})",
+                    g.name(),
+                    params.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(",")
+                ));
+            }
+            out.push(' ');
+            out.push_str(
+                &inst
+                    .qubits()
+                    .iter()
+                    .map(|q| format!("q[{q}]"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push_str(";\n");
+        }
+        for (bit, &q) in self.measured.iter().enumerate() {
+            out.push_str(&format!("measure q[{q}] -> c[{bit}];\n"));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Fluent single-gate helpers.
+    // ------------------------------------------------------------------
+
+    /// Appends a Hadamard on `q`.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::H, &[q])
+    }
+
+    /// Appends a Pauli-X on `q`.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::X, &[q])
+    }
+
+    /// Appends a Pauli-Y on `q`.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::Y, &[q])
+    }
+
+    /// Appends a Pauli-Z on `q`.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::Z, &[q])
+    }
+
+    /// Appends an S gate on `q`.
+    pub fn s(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::S, &[q])
+    }
+
+    /// Appends an S† gate on `q`.
+    pub fn sdg(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::Sdg, &[q])
+    }
+
+    /// Appends a T gate on `q`.
+    pub fn t(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::T, &[q])
+    }
+
+    /// Appends a T† gate on `q`.
+    pub fn tdg(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::Tdg, &[q])
+    }
+
+    /// Appends a √X gate on `q`.
+    pub fn sx(&mut self, q: u32) -> &mut Self {
+        self.apply(Gate::SX, &[q])
+    }
+
+    /// Appends an RX rotation on `q`.
+    pub fn rx(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.apply(Gate::RX(theta), &[q])
+    }
+
+    /// Appends an RY rotation on `q`.
+    pub fn ry(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.apply(Gate::RY(theta), &[q])
+    }
+
+    /// Appends an RZ rotation on `q`.
+    pub fn rz(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.apply(Gate::RZ(theta), &[q])
+    }
+
+    /// Appends a phase gate on `q`.
+    pub fn p(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.apply(Gate::P(theta), &[q])
+    }
+
+    /// Appends a general single-qubit unitary on `q`.
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: u32) -> &mut Self {
+        self.apply(Gate::U(theta, phi, lambda), &[q])
+    }
+
+    /// Appends a CNOT with `control` and `target`.
+    pub fn cx(&mut self, control: u32, target: u32) -> &mut Self {
+        self.apply(Gate::CX, &[control, target])
+    }
+
+    /// Appends a CZ on `a`, `b`.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.apply(Gate::CZ, &[a, b])
+    }
+
+    /// Appends a controlled-phase between `control` and `target`.
+    pub fn cp(&mut self, theta: f64, control: u32, target: u32) -> &mut Self {
+        self.apply(Gate::CP(theta), &[control, target])
+    }
+
+    /// Appends a controlled-RY.
+    pub fn cry(&mut self, theta: f64, control: u32, target: u32) -> &mut Self {
+        self.apply(Gate::CRY(theta), &[control, target])
+    }
+
+    /// Appends a ZZ-interaction rotation.
+    pub fn rzz(&mut self, theta: f64, a: u32, b: u32) -> &mut Self {
+        self.apply(Gate::RZZ(theta), &[a, b])
+    }
+
+    /// Appends an XX-interaction rotation.
+    pub fn rxx(&mut self, theta: f64, a: u32, b: u32) -> &mut Self {
+        self.apply(Gate::RXX(theta), &[a, b])
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.apply(Gate::SWAP, &[a, b])
+    }
+
+    /// Appends a Toffoli with controls `c0`, `c1` and `target`.
+    pub fn ccx(&mut self, c0: u32, c1: u32, target: u32) -> &mut Self {
+        self.apply(Gate::CCX, &[c0, c1, target])
+    }
+
+    /// Appends a Fredkin (controlled-SWAP).
+    pub fn cswap(&mut self, control: u32, a: u32, b: u32) -> &mut Self {
+        self.apply(Gate::CSWAP, &[control, a, b])
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "circuit '{}': {} qubits, {} gates, depth {}",
+            self.name,
+            self.num_qubits,
+            self.gate_count(),
+            self.depth()
+        )?;
+        for inst in &self.instructions {
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(3, "test");
+        c.h(0).cx(0, 1).cx(1, 2).rz(0.5, 2);
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.num_qubits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_panics() {
+        let _ = Circuit::new(0, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2 qubits")]
+    fn out_of_range_gate_panics() {
+        let mut c = Circuit::new(2, "bad");
+        c.h(2);
+    }
+
+    #[test]
+    fn depth_respects_parallelism() {
+        let mut c = Circuit::new(4, "parallel");
+        // Two disjoint CX can share a layer.
+        c.cx(0, 1).cx(2, 3);
+        assert_eq!(c.depth(), 1);
+        c.cx(1, 2); // depends on both
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn depth_of_serial_chain() {
+        let mut c = Circuit::new(1, "serial");
+        for _ in 0..5 {
+            c.h(0);
+        }
+        assert_eq!(c.depth(), 5);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2, "fwd");
+        c.h(0).t(1).cx(0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.gate_count(), 3);
+        assert_eq!(inv.instructions()[0].gate(), &Gate::CX);
+        assert_eq!(inv.instructions()[1].gate(), &Gate::Tdg);
+        assert_eq!(inv.instructions()[2].gate(), &Gate::H);
+        assert_eq!(inv.name(), "fwd_dg");
+    }
+
+    #[test]
+    fn measured_defaults_to_all() {
+        let c = Circuit::new(3, "m");
+        assert_eq!(c.measured(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn set_measured_validates() {
+        let mut c = Circuit::new(3, "m");
+        c.set_measured(vec![2, 0]);
+        assert_eq!(c.measured(), &[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate measured")]
+    fn duplicate_measured_panics() {
+        let mut c = Circuit::new(3, "m");
+        c.set_measured(vec![0, 0]);
+    }
+
+    #[test]
+    fn gate_histogram_counts() {
+        let mut c = Circuit::new(2, "h");
+        c.h(0).h(1).cx(0, 1);
+        let hist = c.gate_histogram();
+        assert_eq!(hist["h"], 2);
+        assert_eq!(hist["cx"], 1);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = Circuit::new(2, "a");
+        a.h(0);
+        let mut b = Circuit::new(2, "b");
+        b.cx(0, 1);
+        a.extend_from(&b);
+        assert_eq!(a.gate_count(), 2);
+    }
+
+    #[test]
+    fn qasm_contains_all_parts() {
+        let mut c = Circuit::new(2, "bell");
+        c.h(0).cx(0, 1).rz(0.25, 1);
+        let qasm = c.to_qasm();
+        assert!(qasm.contains("qreg q[2];"));
+        assert!(qasm.contains("creg c[2];"));
+        assert!(qasm.contains("cx q[0],q[1];"));
+        assert!(qasm.contains("rz(0.25) q[1];"));
+        assert!(qasm.contains("measure q[1] -> c[1];"));
+    }
+
+    #[test]
+    fn basis_only_detection() {
+        let mut c = Circuit::new(2, "basis");
+        c.rz(0.1, 0).sx(0).x(1).cx(0, 1);
+        assert!(c.is_basis_only());
+        c.h(0);
+        assert!(!c.is_basis_only());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = Circuit::new(2, "bell");
+        c.h(0).cx(0, 1);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Circuit = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

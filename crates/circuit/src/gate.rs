@@ -1,0 +1,362 @@
+//! The gate alphabet.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A quantum gate, possibly parameterised by rotation angles (radians).
+///
+/// The alphabet covers everything the paper's benchmark circuits need:
+/// the standard Clifford+T single-qubit set, the axis rotations, IBM's
+/// native `sx`, controlled gates, the two-qubit interaction rotations
+/// (`rxx`/`ryy`/`rzz`) used by Trotterised Hamiltonians and QAOA, and the
+/// three-qubit `ccx`/`cswap`.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::Gate;
+///
+/// assert_eq!(Gate::CX.arity(), 2);
+/// assert_eq!(Gate::T.inverse(), Gate::Tdg);
+/// assert_eq!(Gate::RZ(1.5).inverse(), Gate::RZ(-1.5));
+/// assert!(Gate::CCX.is_multi_qubit());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Identity (explicit idle).
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S†.
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T†.
+    Tdg,
+    /// √X — IBM's native single-qubit gate.
+    SX,
+    /// (√X)†.
+    SXdg,
+    /// Rotation about X by the angle.
+    RX(f64),
+    /// Rotation about Y by the angle.
+    RY(f64),
+    /// Rotation about Z by the angle.
+    RZ(f64),
+    /// Phase gate diag(1, e^{iθ}).
+    P(f64),
+    /// General single-qubit unitary U(θ, φ, λ).
+    U(f64, f64, f64),
+    /// Controlled-X (CNOT); qubit order is `[control, target]`.
+    CX,
+    /// Controlled-Y.
+    CY,
+    /// Controlled-Z (symmetric).
+    CZ,
+    /// Controlled-H.
+    CH,
+    /// Controlled phase diag(1,1,1,e^{iθ}).
+    CP(f64),
+    /// Controlled-RX.
+    CRX(f64),
+    /// Controlled-RY.
+    CRY(f64),
+    /// Controlled-RZ.
+    CRZ(f64),
+    /// Two-qubit XX interaction rotation e^{-iθXX/2}.
+    RXX(f64),
+    /// Two-qubit YY interaction rotation e^{-iθYY/2}.
+    RYY(f64),
+    /// Two-qubit ZZ interaction rotation e^{-iθZZ/2}.
+    RZZ(f64),
+    /// SWAP.
+    SWAP,
+    /// Toffoli (controlled-controlled-X); order `[c0, c1, target]`.
+    CCX,
+    /// Fredkin (controlled-SWAP); order `[control, a, b]`.
+    CSWAP,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::SX
+            | Gate::SXdg
+            | Gate::RX(_)
+            | Gate::RY(_)
+            | Gate::RZ(_)
+            | Gate::P(_)
+            | Gate::U(..) => 1,
+            Gate::CX
+            | Gate::CY
+            | Gate::CZ
+            | Gate::CH
+            | Gate::CP(_)
+            | Gate::CRX(_)
+            | Gate::CRY(_)
+            | Gate::CRZ(_)
+            | Gate::RXX(_)
+            | Gate::RYY(_)
+            | Gate::RZZ(_)
+            | Gate::SWAP => 2,
+            Gate::CCX | Gate::CSWAP => 3,
+        }
+    }
+
+    /// Whether the gate acts on two or more qubits (the error-dominant
+    /// class in the λ model).
+    #[must_use]
+    pub fn is_multi_qubit(&self) -> bool {
+        self.arity() > 1
+    }
+
+    /// The inverse gate (every gate in the alphabet is unitary, so the
+    /// inverse stays in the alphabet).
+    #[must_use]
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::SX => Gate::SXdg,
+            Gate::SXdg => Gate::SX,
+            Gate::RX(t) => Gate::RX(-t),
+            Gate::RY(t) => Gate::RY(-t),
+            Gate::RZ(t) => Gate::RZ(-t),
+            Gate::P(t) => Gate::P(-t),
+            Gate::U(t, p, l) => Gate::U(-t, -l, -p),
+            Gate::CP(t) => Gate::CP(-t),
+            Gate::CRX(t) => Gate::CRX(-t),
+            Gate::CRY(t) => Gate::CRY(-t),
+            Gate::CRZ(t) => Gate::CRZ(-t),
+            Gate::RXX(t) => Gate::RXX(-t),
+            Gate::RYY(t) => Gate::RYY(-t),
+            Gate::RZZ(t) => Gate::RZZ(-t),
+            // Self-inverse gates.
+            g @ (Gate::I
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::CX
+            | Gate::CY
+            | Gate::CZ
+            | Gate::CH
+            | Gate::SWAP
+            | Gate::CCX
+            | Gate::CSWAP) => g,
+        }
+    }
+
+    /// The lowercase OpenQASM-style mnemonic (without parameters).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::I => "id",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::SX => "sx",
+            Gate::SXdg => "sxdg",
+            Gate::RX(_) => "rx",
+            Gate::RY(_) => "ry",
+            Gate::RZ(_) => "rz",
+            Gate::P(_) => "p",
+            Gate::U(..) => "u",
+            Gate::CX => "cx",
+            Gate::CY => "cy",
+            Gate::CZ => "cz",
+            Gate::CH => "ch",
+            Gate::CP(_) => "cp",
+            Gate::CRX(_) => "crx",
+            Gate::CRY(_) => "cry",
+            Gate::CRZ(_) => "crz",
+            Gate::RXX(_) => "rxx",
+            Gate::RYY(_) => "ryy",
+            Gate::RZZ(_) => "rzz",
+            Gate::SWAP => "swap",
+            Gate::CCX => "ccx",
+            Gate::CSWAP => "cswap",
+        }
+    }
+
+    /// The rotation parameters, if any (empty for non-parameterised
+    /// gates).
+    #[must_use]
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            Gate::RX(t)
+            | Gate::RY(t)
+            | Gate::RZ(t)
+            | Gate::P(t)
+            | Gate::CP(t)
+            | Gate::CRX(t)
+            | Gate::CRY(t)
+            | Gate::CRZ(t)
+            | Gate::RXX(t)
+            | Gate::RYY(t)
+            | Gate::RZZ(t) => vec![t],
+            Gate::U(t, p, l) => vec![t, p, l],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether this is one of the IBM native basis gates
+    /// `{rz, sx, x, cx}` the transpiler lowers to.
+    #[must_use]
+    pub fn is_basis_gate(&self) -> bool {
+        matches!(self, Gate::RZ(_) | Gate::SX | Gate::X | Gate::CX | Gate::I)
+    }
+
+    /// Whether the gate commutes with a basis-state preparation in Z —
+    /// i.e. is diagonal in the computational basis.
+    #[must_use]
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::I
+                | Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::RZ(_)
+                | Gate::P(_)
+                | Gate::CZ
+                | Gate::CP(_)
+                | Gate::CRZ(_)
+                | Gate::RZZ(_)
+        )
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            write!(f, "{}(", self.name())?;
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p:.6}")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Gate::H.arity(), 1);
+        assert_eq!(Gate::U(0.1, 0.2, 0.3).arity(), 1);
+        assert_eq!(Gate::CX.arity(), 2);
+        assert_eq!(Gate::RZZ(0.5).arity(), 2);
+        assert_eq!(Gate::CCX.arity(), 3);
+        assert_eq!(Gate::CSWAP.arity(), 3);
+    }
+
+    #[test]
+    fn inverse_is_involutive() {
+        let gates = [
+            Gate::H,
+            Gate::X,
+            Gate::S,
+            Gate::T,
+            Gate::SX,
+            Gate::RX(0.7),
+            Gate::U(0.1, 0.2, 0.3),
+            Gate::CX,
+            Gate::CP(1.1),
+            Gate::RZZ(0.4),
+            Gate::CCX,
+        ];
+        for g in gates {
+            assert_eq!(g.inverse().inverse(), g, "{g}");
+        }
+    }
+
+    #[test]
+    fn self_inverse_gates() {
+        for g in [Gate::H, Gate::X, Gate::Y, Gate::Z, Gate::CX, Gate::CZ, Gate::SWAP, Gate::CCX] {
+            assert_eq!(g.inverse(), g);
+        }
+    }
+
+    #[test]
+    fn clifford_t_pairs() {
+        assert_eq!(Gate::S.inverse(), Gate::Sdg);
+        assert_eq!(Gate::Tdg.inverse(), Gate::T);
+        assert_eq!(Gate::SXdg.inverse(), Gate::SX);
+    }
+
+    #[test]
+    fn u_inverse_swaps_phi_lambda() {
+        assert_eq!(Gate::U(0.1, 0.2, 0.3).inverse(), Gate::U(-0.1, -0.3, -0.2));
+    }
+
+    #[test]
+    fn params_extraction() {
+        assert!(Gate::H.params().is_empty());
+        assert_eq!(Gate::RY(0.5).params(), vec![0.5]);
+        assert_eq!(Gate::U(1.0, 2.0, 3.0).params(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn basis_gate_classification() {
+        assert!(Gate::RZ(0.3).is_basis_gate());
+        assert!(Gate::SX.is_basis_gate());
+        assert!(Gate::X.is_basis_gate());
+        assert!(Gate::CX.is_basis_gate());
+        assert!(!Gate::H.is_basis_gate());
+        assert!(!Gate::CCX.is_basis_gate());
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::RZ(0.2).is_diagonal());
+        assert!(Gate::CZ.is_diagonal());
+        assert!(Gate::RZZ(0.2).is_diagonal());
+        assert!(!Gate::H.is_diagonal());
+        assert!(!Gate::CX.is_diagonal());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::H.to_string(), "h");
+        assert_eq!(Gate::RZ(0.5).to_string(), "rz(0.500000)");
+        assert!(Gate::U(1.0, 2.0, 3.0).to_string().starts_with("u(1.000000, 2.000000"));
+    }
+}

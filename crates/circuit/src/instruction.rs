@@ -1,0 +1,170 @@
+//! A single gate application.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Gate;
+
+/// One gate applied to specific qubit indices.
+///
+/// Qubit order is significant for asymmetric gates: `[control, target]`
+/// for controlled gates, `[c0, c1, target]` for Toffoli, `[control, a,
+/// b]` for Fredkin.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::{Gate, Instruction};
+///
+/// let inst = Instruction::new(Gate::CX, vec![0, 2]);
+/// assert_eq!(inst.qubits(), &[0, 2]);
+/// assert_eq!(inst.gate().arity(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    gate: Gate,
+    qubits: Vec<u32>,
+}
+
+impl Instruction {
+    /// Builds an instruction, validating arity and qubit distinctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len() != gate.arity()` or any qubit repeats.
+    #[must_use]
+    pub fn new(gate: Gate, qubits: Vec<u32>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.arity(),
+            "gate {} expects {} qubits, got {:?}",
+            gate,
+            gate.arity(),
+            qubits
+        );
+        for (i, a) in qubits.iter().enumerate() {
+            for b in &qubits[i + 1..] {
+                assert_ne!(a, b, "gate {gate} applied with duplicate qubit {a}");
+            }
+        }
+        Self { gate, qubits }
+    }
+
+    /// The gate.
+    #[must_use]
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    /// The qubit operands, in gate order.
+    #[must_use]
+    pub fn qubits(&self) -> &[u32] {
+        &self.qubits
+    }
+
+    /// Highest qubit index touched.
+    #[must_use]
+    pub fn max_qubit(&self) -> u32 {
+        *self.qubits.iter().max().expect("every gate touches at least one qubit")
+    }
+
+    /// The inverse instruction (same qubits, inverse gate).
+    #[must_use]
+    pub fn inverse(&self) -> Self {
+        Self { gate: self.gate.inverse(), qubits: self.qubits.clone() }
+    }
+
+    /// Whether this instruction acts on `q`.
+    #[must_use]
+    pub fn touches(&self, q: u32) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// Whether this instruction shares a qubit with `other`.
+    #[must_use]
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.qubits.iter().any(|q| other.qubits.contains(q))
+    }
+
+    /// Returns a copy with qubits remapped through `map`
+    /// (logical-to-physical relabelling during transpilation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit index is out of `map`'s range.
+    #[must_use]
+    pub fn remapped(&self, map: &[u32]) -> Self {
+        let qubits = self.qubits.iter().map(|&q| map[q as usize]).collect();
+        Self::new(self.gate, qubits)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q[{q}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        let i = Instruction::new(Gate::CCX, vec![0, 1, 2]);
+        assert_eq!(i.max_qubit(), 2);
+        assert!(i.touches(1));
+        assert!(!i.touches(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 qubits")]
+    fn arity_mismatch_panics() {
+        let _ = Instruction::new(Gate::CX, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_qubit_panics() {
+        let _ = Instruction::new(Gate::CX, vec![1, 1]);
+    }
+
+    #[test]
+    fn inverse_keeps_qubits() {
+        let i = Instruction::new(Gate::RZ(0.5), vec![3]);
+        let inv = i.inverse();
+        assert_eq!(inv.gate(), &Gate::RZ(-0.5));
+        assert_eq!(inv.qubits(), &[3]);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Instruction::new(Gate::CX, vec![0, 1]);
+        let b = Instruction::new(Gate::H, vec![1]);
+        let c = Instruction::new(Gate::H, vec![2]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn remapping() {
+        let i = Instruction::new(Gate::CX, vec![0, 1]);
+        let r = i.remapped(&[5, 3]);
+        assert_eq!(r.qubits(), &[5, 3]);
+        assert_eq!(r.gate(), &Gate::CX);
+    }
+
+    #[test]
+    fn display_format() {
+        let i = Instruction::new(Gate::CX, vec![0, 1]);
+        assert_eq!(i.to_string(), "cx q[0], q[1]");
+    }
+}

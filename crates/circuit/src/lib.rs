@@ -1,0 +1,44 @@
+//! Quantum-circuit substrate for the Q-BEEP reproduction: a gate-level
+//! intermediate representation plus the full algorithm library the
+//! paper's evaluation draws circuits from.
+//!
+//! # Contents
+//!
+//! * [`Gate`] — the gate alphabet (Cliffords, rotations, multi-qubit
+//!   entanglers, Toffoli/Fredkin), each with arity, inverse and
+//!   parameter introspection.
+//! * [`Instruction`] / [`Circuit`] — a circuit is an ordered list of
+//!   gate applications on named qubit indices with an explicit measured
+//!   subset, plus builder methods (`c.h(0).cx(0, 1)` style), depth and
+//!   gate-count queries, composition, inversion and OpenQASM 2.0 export.
+//! * [`library`] — constructors for every algorithm the paper
+//!   benchmarks: Bernstein–Vazirani, the QASMBench-style suite (adder,
+//!   QFT, W-state, cat state, Toffoli, Fredkin, QRNG, LPN, HS4, QEC
+//!   encoder, basis change, basis Trotter, linear solver, variational),
+//!   Grover, QPE and mirror randomized-benchmarking circuits.
+//!
+//! # Example
+//!
+//! ```
+//! use qbeep_circuit::{Circuit, library};
+//!
+//! let secret = "1011".parse().unwrap();
+//! let bv: Circuit = library::bernstein_vazirani(&secret);
+//! assert_eq!(bv.measured().len(), 4);   // data qubits only
+//! assert_eq!(bv.num_qubits(), 5);       // + 1 ancilla
+//! assert!(bv.two_qubit_gate_count() >= 3); // one CX per secret 1-bit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod gate;
+mod instruction;
+
+pub mod library;
+pub mod qasm;
+
+pub use circuit::Circuit;
+pub use gate::Gate;
+pub use instruction::Instruction;

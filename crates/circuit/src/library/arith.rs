@@ -1,0 +1,100 @@
+//! Quantum arithmetic: the Cuccaro ripple-carry adder.
+
+use crate::Circuit;
+
+/// Appends a MAJ (majority) block on `(c, b, a)` — the Cuccaro adder's
+/// forward half-cell computing the carry.
+pub fn majority(circ: &mut Circuit, c: u32, b: u32, a: u32) {
+    circ.cx(a, b);
+    circ.cx(a, c);
+    circ.ccx(c, b, a);
+}
+
+/// Appends an UMA (un-majority-and-add) block on `(c, b, a)` — the
+/// Cuccaro adder's reverse half-cell restoring the carry and writing the
+/// sum.
+pub fn unmajority(circ: &mut Circuit, c: u32, b: u32, a: u32) {
+    circ.ccx(c, b, a);
+    circ.cx(a, c);
+    circ.cx(c, b);
+}
+
+/// The `n`-bit Cuccaro ripple-carry adder computing
+/// `|cin, a, b, cout⟩ → |cin, a, a + b⟩` in place.
+///
+/// Qubit layout (2n + 2 qubits total):
+///
+/// * qubit 0 — incoming carry `cin`,
+/// * qubits `1, 3, 5, …` — `a` bits (low to high),
+/// * qubits `2, 4, 6, …` — `b` bits (low to high; receive the sum),
+/// * qubit `2n + 1` — outgoing carry `cout`.
+///
+/// The returned circuit applies only the adder; callers prepare inputs
+/// with X gates first (see `adder_n4` in
+/// [`qasmbench_suite`](crate::library::qasmbench_suite)).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::cuccaro_adder;
+///
+/// let adder = cuccaro_adder(2); // 2-bit adder on 6 qubits
+/// assert_eq!(adder.num_qubits(), 6);
+/// ```
+#[must_use]
+pub fn cuccaro_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder needs at least one bit");
+    let num_qubits = 2 * n + 2;
+    let mut circ = Circuit::new(num_qubits, format!("adder_n{num_qubits}"));
+    let a = |i: usize| (2 * i + 1) as u32;
+    let b = |i: usize| (2 * i + 2) as u32;
+    let cin = 0u32;
+    let cout = (2 * n + 1) as u32;
+
+    majority(&mut circ, cin, b(0), a(0));
+    for i in 1..n {
+        majority(&mut circ, a(i - 1), b(i), a(i));
+    }
+    circ.cx(a(n - 1), cout);
+    for i in (1..n).rev() {
+        unmajority(&mut circ, a(i - 1), b(i), a(i));
+    }
+    unmajority(&mut circ, cin, b(0), a(0));
+    circ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_structure() {
+        let c = cuccaro_adder(1);
+        assert_eq!(c.num_qubits(), 4);
+        let hist = c.gate_histogram();
+        // 1-bit adder: MAJ + carry CX + UMA = 2 CCX and 5 CX.
+        assert_eq!(hist["ccx"], 2);
+        assert_eq!(hist["cx"], 5);
+    }
+
+    #[test]
+    fn adder_scales_linearly() {
+        let c2 = cuccaro_adder(2);
+        let c4 = cuccaro_adder(4);
+        assert_eq!(c2.num_qubits(), 6);
+        assert_eq!(c4.num_qubits(), 10);
+        assert!(c4.gate_count() > c2.gate_count());
+        let hist = c4.gate_histogram();
+        assert_eq!(hist["ccx"], 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bit_adder_panics() {
+        let _ = cuccaro_adder(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Bernstein–Vazirani and the related learning-parity circuit.
+
+use qbeep_bitstring::BitString;
+
+use crate::Circuit;
+
+/// Builds the hardware-style Bernstein–Vazirani circuit recovering a
+/// hidden `secret` string `s` from the oracle `f(x) = s·x mod 2`
+/// (paper §4.2).
+///
+/// Uses the standard phase-kickback construction: `n` data qubits plus
+/// one ancilla (index `n`) prepared in |−⟩; each 1-bit of the secret
+/// contributes one CX into the ancilla, so the entangling gate count
+/// scales with the secret's Hamming weight exactly as on the paper's
+/// hardware runs. Only the data qubits are measured; the ideal output
+/// is `secret` with probability 1 (entropy 0).
+///
+/// # Panics
+///
+/// Panics if `secret` is empty.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::bernstein_vazirani;
+///
+/// let c = bernstein_vazirani(&"101".parse().unwrap());
+/// assert_eq!(c.num_qubits(), 4);
+/// assert_eq!(c.measured(), &[0, 1, 2]);
+/// assert_eq!(c.two_qubit_gate_count(), 2); // two 1-bits
+/// ```
+#[must_use]
+pub fn bernstein_vazirani(secret: &BitString) -> Circuit {
+    let n = secret.len();
+    assert!(n > 0, "BV needs a non-empty secret");
+    let anc = n as u32;
+    let mut c = Circuit::new(n + 1, format!("bv_{secret}"));
+    // Ancilla to |−⟩.
+    c.x(anc).h(anc);
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    // Oracle: CX from each secret bit into the ancilla.
+    for q in 0..n as u32 {
+        if secret.bit(q as usize) {
+            c.cx(q, anc);
+        }
+    }
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    // Uncompute the ancilla so it idles in |1⟩ deterministically.
+    c.h(anc).x(anc);
+    c.set_measured((0..n as u32).collect());
+    c
+}
+
+/// A noiseless Learning-Parity-with-Noise-style circuit (QASMBench's
+/// `lpn_n5` class): structurally a parity oracle identical to BV, named
+/// separately because the benchmark treats it as its own workload.
+///
+/// # Panics
+///
+/// Panics if `secret` is empty.
+#[must_use]
+pub fn lpn(secret: &BitString) -> Circuit {
+    let mut c = bernstein_vazirani(secret);
+    c.set_name(format!("lpn_n{}", secret.len() + 1));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn qubit_and_gate_structure() {
+        let c = bernstein_vazirani(&bs("1101"));
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.two_qubit_gate_count(), 3);
+        assert_eq!(c.measured().len(), 4);
+    }
+
+    #[test]
+    fn zero_secret_has_no_entanglers() {
+        let c = bernstein_vazirani(&bs("000"));
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn gate_count_scales_with_weight() {
+        let light = bernstein_vazirani(&bs("00001"));
+        let heavy = bernstein_vazirani(&bs("11111"));
+        assert!(heavy.gate_count() > light.gate_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty secret")]
+    fn empty_secret_panics() {
+        let empty = BitString::zeros(0);
+        let _ = bernstein_vazirani(&empty);
+    }
+
+    #[test]
+    fn lpn_is_bv_shaped() {
+        let c = lpn(&bs("1011"));
+        assert_eq!(c.name(), "lpn_n5");
+        assert_eq!(c.num_qubits(), 5);
+    }
+}

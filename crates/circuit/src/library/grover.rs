@@ -1,0 +1,126 @@
+//! Grover search for small problem sizes.
+
+use qbeep_bitstring::BitString;
+
+use crate::Circuit;
+
+/// Grover search over `n ≤ 3` qubits for a single `marked` string, with
+/// `iterations` amplification rounds.
+///
+/// The phase oracle and diffuser use the multi-controlled-Z appropriate
+/// for the size (Z, CZ, or CCZ synthesised as H·CCX·H), so no ancilla is
+/// required. With the optimal iteration count
+/// (`⌊π/4·√(2ⁿ)⌋`, i.e. 1 round for n = 2, 2 rounds for n = 3) the
+/// marked string dominates the ideal output.
+///
+/// # Panics
+///
+/// Panics if `marked.len()` is 0 or greater than 3, or `iterations` is 0.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::grover;
+///
+/// let c = grover(&"11".parse().unwrap(), 1);
+/// assert_eq!(c.num_qubits(), 2);
+/// ```
+#[must_use]
+pub fn grover(marked: &BitString, iterations: usize) -> Circuit {
+    let n = marked.len();
+    assert!((1..=3).contains(&n), "this Grover construction supports 1–3 qubits, got {n}");
+    assert!(iterations > 0, "Grover needs at least one iteration");
+    let mut c = Circuit::new(n, format!("grover_n{n}_{marked}"));
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    for _ in 0..iterations {
+        // Oracle: flip the phase of |marked⟩. Conjugate a controlled-Z
+        // on |1…1⟩ by X on the zero bits of the marked string.
+        phase_flip_all_ones(&mut c, marked, true);
+        // Diffuser: reflect about the mean = H⊗ⁿ · (phase flip |0…0⟩) · H⊗ⁿ.
+        for q in 0..n as u32 {
+            c.h(q);
+        }
+        let zeros = BitString::zeros(n);
+        phase_flip_all_ones(&mut c, &zeros, true);
+        for q in 0..n as u32 {
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// Appends a phase flip of the basis state `pattern`: X-conjugation on
+/// the 0 bits, then Z / CZ / CCZ on all qubits.
+fn phase_flip_all_ones(c: &mut Circuit, pattern: &BitString, conjugate: bool) {
+    let n = pattern.len();
+    let zero_bits: Vec<u32> =
+        (0..n).filter(|&q| !pattern.bit(q)).map(|q| q as u32).collect();
+    if conjugate {
+        for &q in &zero_bits {
+            c.x(q);
+        }
+    }
+    match n {
+        1 => {
+            c.z(0);
+        }
+        2 => {
+            c.cz(0, 1);
+        }
+        3 => {
+            // CCZ = H(target) · CCX · H(target).
+            c.h(2);
+            c.ccx(0, 1, 2);
+            c.h(2);
+        }
+        _ => unreachable!("arity checked by caller"),
+    }
+    if conjugate {
+        for &q in &zero_bits {
+            c.x(q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn grover2_structure() {
+        let c = grover(&bs("10"), 1);
+        assert_eq!(c.num_qubits(), 2);
+        let hist = c.gate_histogram();
+        assert_eq!(hist["cz"], 2); // oracle + diffuser
+    }
+
+    #[test]
+    fn grover3_uses_ccx() {
+        let c = grover(&bs("101"), 2);
+        let hist = c.gate_histogram();
+        assert_eq!(hist["ccx"], 4); // 2 per iteration
+    }
+
+    #[test]
+    fn more_iterations_more_gates() {
+        assert!(grover(&bs("11"), 2).gate_count() > grover(&bs("11"), 1).gate_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "supports 1–3 qubits")]
+    fn too_wide_panics() {
+        let _ = grover(&bs("1111"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let _ = grover(&bs("11"), 0);
+    }
+}

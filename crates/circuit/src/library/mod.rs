@@ -1,0 +1,109 @@
+//! Constructors for every algorithm the paper's evaluation uses.
+//!
+//! * [`bernstein_vazirani`] — the primary benchmark (paper §4.2).
+//! * The QASMBench-style suite (paper §4.3, Figs. 8/9/11) via
+//!   [`qasmbench_suite`] and the individual constructors.
+//! * [`mirror_rb`] — mirror randomized-benchmarking circuits standing in
+//!   for the Clifford-group RB circuits of §3.1 (Fig. 4); mirroring
+//!   yields the same "known unique output, tunable gate count" artefact
+//!   without implementing full n-qubit Clifford inversion.
+//! * [`grover`], [`qpe`] — extra well-known unique-output algorithms
+//!   used by examples and tests.
+
+mod arith;
+mod bv;
+mod grover;
+mod oracle;
+mod qasmbench;
+mod qft;
+mod qpe;
+mod rb;
+mod state_prep;
+
+pub use arith::{cuccaro_adder, majority, unmajority};
+pub use bv::{bernstein_vazirani, lpn};
+pub use grover::grover;
+pub use oracle::{deutsch_jozsa, simon};
+pub use qasmbench::{
+    basis_change_n3, basis_trotter_n4, hs4_n4, linearsolver_n3, qec_en_n5, qrng, variational_n4,
+    QasmBenchEntry,
+};
+pub use qft::{iqft, qft, qft_circuit};
+pub use qpe::qpe;
+pub use rb::mirror_rb;
+pub use state_prep::{cat_state, prepare_basis_state, w_state};
+
+use crate::Circuit;
+use qbeep_bitstring::BitString;
+
+/// The 14-circuit QASMBench-style suite benchmarked in §4.3 (Fig. 8
+/// lists 12; `qft` and `qrng` complete the 14 of §1). Labels match the
+/// paper's figure ticks.
+#[must_use]
+pub fn qasmbench_suite() -> Vec<QasmBenchEntry> {
+    let toffoli = {
+        let mut c = Circuit::new(3, "toffoli_n3");
+        c.x(0).x(1).ccx(0, 1, 2);
+        c
+    };
+    let fredkin = {
+        let mut c = Circuit::new(3, "fredkin_n3");
+        c.x(0).x(1).cswap(0, 1, 2);
+        c
+    };
+    let adder = {
+        // 1-bit Cuccaro ripple adder on 4 qubits: cin, a0, b0, cout with
+        // a = b = 1, computing 1 + 1 = 10₂.
+        let mut c = Circuit::new(4, "adder_n4");
+        c.x(1).x(2);
+        c.extend_from(&cuccaro_adder(1));
+        c
+    };
+    let lpn5 = lpn(&"1011".parse::<BitString>().expect("valid secret"));
+    let qft4 = qft_circuit(4);
+    let qrng4 = qrng(4);
+    let cat4 = cat_state(4);
+    let w3 = w_state(3);
+
+    vec![
+        QasmBenchEntry::new("Toffoli N3", toffoli),
+        QasmBenchEntry::new("Qec En N5", qec_en_n5()),
+        QasmBenchEntry::new("Cat State N4", cat4),
+        QasmBenchEntry::new("Adder N4", adder),
+        QasmBenchEntry::new("Lpn N5", lpn5),
+        QasmBenchEntry::new("Basis Change N3", basis_change_n3()),
+        QasmBenchEntry::new("Basis Trotter N4", basis_trotter_n4()),
+        QasmBenchEntry::new("Hs4 N4", hs4_n4()),
+        QasmBenchEntry::new("Wstate N3", w3),
+        QasmBenchEntry::new("Linearsolver N3", linearsolver_n3()),
+        QasmBenchEntry::new("Fredkin N3", fredkin),
+        QasmBenchEntry::new("Variational N4", variational_n4()),
+        QasmBenchEntry::new("Qft N4", qft4),
+        QasmBenchEntry::new("Qrng N4", qrng4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fourteen_entries() {
+        let suite = qasmbench_suite();
+        assert_eq!(suite.len(), 14);
+        // Labels are unique.
+        let mut labels: Vec<_> = suite.iter().map(|e| e.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 14);
+    }
+
+    #[test]
+    fn suite_circuits_are_nonempty_and_small() {
+        for entry in qasmbench_suite() {
+            let c = entry.circuit();
+            assert!(c.gate_count() > 0, "{} is empty", entry.label());
+            assert!(c.num_qubits() >= 3 && c.num_qubits() <= 5, "{}", entry.label());
+        }
+    }
+}

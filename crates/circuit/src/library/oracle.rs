@@ -1,0 +1,150 @@
+//! Further oracle algorithms: Deutsch–Jozsa and Simon's problem.
+
+use qbeep_bitstring::BitString;
+
+use crate::Circuit;
+
+/// Deutsch–Jozsa over `n` input qubits (plus one ancilla).
+///
+/// With `balanced = None` the oracle is constant (f ≡ 0) and the ideal
+/// output is all-zeros; with `balanced = Some(mask)` the oracle is the
+/// balanced function `f(x) = mask·x mod 2` and the ideal output is
+/// `mask` itself — any non-zero measurement certifies "balanced".
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or a provided mask has the wrong width or is
+/// zero (a zero mask is a constant function, not a balanced one).
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::deutsch_jozsa;
+///
+/// let constant = deutsch_jozsa(4, None);
+/// assert_eq!(constant.measured().len(), 4);
+/// let balanced = deutsch_jozsa(4, Some("0110".parse().unwrap()));
+/// assert!(balanced.two_qubit_gate_count() == 2);
+/// ```
+#[must_use]
+pub fn deutsch_jozsa(n: usize, balanced: Option<BitString>) -> Circuit {
+    assert!(n > 0, "Deutsch–Jozsa needs at least one input qubit");
+    if let Some(mask) = &balanced {
+        assert_eq!(mask.len(), n, "mask width {} != {n}", mask.len());
+        assert!(mask.hamming_weight() > 0, "zero mask is a constant oracle");
+    }
+    let anc = n as u32;
+    let kind = if balanced.is_some() { "balanced" } else { "constant" };
+    let mut c = Circuit::new(n + 1, format!("dj_n{n}_{kind}"));
+    c.x(anc).h(anc);
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    if let Some(mask) = &balanced {
+        for q in 0..n {
+            if mask.bit(q) {
+                c.cx(q as u32, anc);
+            }
+        }
+    }
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    c.h(anc).x(anc);
+    c.set_measured((0..n as u32).collect());
+    c
+}
+
+/// Simon's problem for a hidden period `s ≠ 0` over `n` bits, using
+/// the standard two-register construction (`2n` qubits) with the
+/// oracle `f(x) = min(x, x ⊕ s)` realised as a copy plus a masked
+/// correction.
+///
+/// The measured first register yields strings `y` with `y·s = 0
+/// (mod 2)` — a uniform distribution over the 2ⁿ⁻¹-element orthogonal
+/// subspace. The ideal output is therefore *structured but diverse*,
+/// a useful mid-entropy benchmark.
+///
+/// # Panics
+///
+/// Panics if `period` is zero or wider than 8 bits (the circuit uses
+/// `2n` qubits; 16 total keeps dense simulation cheap).
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::simon;
+///
+/// let c = simon(&"101".parse().unwrap());
+/// assert_eq!(c.num_qubits(), 6);
+/// assert_eq!(c.measured().len(), 3);
+/// ```
+#[must_use]
+pub fn simon(period: &BitString) -> Circuit {
+    let n = period.len();
+    assert!(n > 0 && n <= 8, "Simon construction supports 1–8 bit periods, got {n}");
+    assert!(period.hamming_weight() > 0, "Simon's problem needs a non-zero period");
+    let mut c = Circuit::new(2 * n, format!("simon_n{n}_{period}"));
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    // Oracle: copy x into the second register…
+    for q in 0..n as u32 {
+        c.cx(q, q + n as u32);
+    }
+    // …then, conditioned on the lowest set bit of s in x, XOR s into
+    // the copy — realising a 2-to-1 function with period s.
+    let pivot = (0..n).find(|&q| period.bit(q)).expect("non-zero period") as u32;
+    for q in 0..n {
+        if period.bit(q) {
+            c.cx(pivot, (q + n) as u32);
+        }
+    }
+    for q in 0..n as u32 {
+        c.h(q);
+    }
+    c.set_measured((0..n as u32).collect());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn dj_constant_has_no_entanglers() {
+        let c = deutsch_jozsa(5, None);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+        assert_eq!(c.num_qubits(), 6);
+    }
+
+    #[test]
+    fn dj_balanced_scales_with_mask_weight() {
+        let c = deutsch_jozsa(5, Some(bs("11011")));
+        assert_eq!(c.two_qubit_gate_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero mask")]
+    fn dj_zero_mask_panics() {
+        let _ = deutsch_jozsa(3, Some(bs("000")));
+    }
+
+    #[test]
+    fn simon_structure() {
+        let c = simon(&bs("110"));
+        assert_eq!(c.num_qubits(), 6);
+        // Copy CXs (3) + correction CXs (2 for weight-2 period).
+        assert_eq!(c.gate_histogram()["cx"], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero period")]
+    fn simon_zero_period_panics() {
+        let _ = simon(&bs("00"));
+    }
+}

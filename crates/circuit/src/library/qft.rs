@@ -1,0 +1,90 @@
+//! Quantum Fourier transform building blocks.
+
+use std::f64::consts::PI;
+
+use crate::Circuit;
+
+/// Appends the `n`-qubit QFT (without the final qubit reversal swaps —
+/// callers that need textbook ordering compose [`swap`](Circuit::swap)s
+/// or relabel classically) onto `c` over qubits `offset..offset + n`.
+///
+/// # Panics
+///
+/// Panics if the qubit range exceeds the circuit.
+pub fn qft(c: &mut Circuit, offset: u32, n: usize) {
+    for j in (0..n as u32).rev() {
+        c.h(offset + j);
+        for k in (0..j).rev() {
+            let angle = PI / f64::from(1 << (j - k));
+            c.cp(angle, offset + k, offset + j);
+        }
+    }
+}
+
+/// Appends the inverse QFT over qubits `offset..offset + n`.
+///
+/// # Panics
+///
+/// Panics if the qubit range exceeds the circuit.
+pub fn iqft(c: &mut Circuit, offset: u32, n: usize) {
+    for j in 0..n as u32 {
+        for k in 0..j {
+            let angle = -PI / f64::from(1 << (j - k));
+            c.cp(angle, offset + k, offset + j);
+        }
+        c.h(offset + j);
+    }
+}
+
+/// The standalone `qft_n{n}` benchmark circuit: QFT applied to |0…0⟩.
+///
+/// Since QFT|0⟩ is the uniform superposition, the ideal output
+/// distribution is maximum-entropy — the regime where the paper reports
+/// Q-BEEP gains nothing (§4.3, Fig. 11).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn qft_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n, format!("qft_n{n}"));
+    qft(&mut c, 0, n);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_count_is_triangular() {
+        // n H gates + n(n-1)/2 controlled phases.
+        let c = qft_circuit(4);
+        let hist = c.gate_histogram();
+        assert_eq!(hist["h"], 4);
+        assert_eq!(hist["cp"], 6);
+    }
+
+    #[test]
+    fn iqft_mirrors_qft() {
+        let mut fwd = Circuit::new(3, "f");
+        qft(&mut fwd, 0, 3);
+        let mut both = Circuit::new(3, "fb");
+        qft(&mut both, 0, 3);
+        iqft(&mut both, 0, 3);
+        // The composition must match qft followed by its inverse.
+        let manual_inv = fwd.inverse();
+        let expected: Vec<_> =
+            fwd.instructions().iter().chain(manual_inv.instructions()).cloned().collect();
+        assert_eq!(both.instructions(), &expected[..]);
+    }
+
+    #[test]
+    fn offset_shifts_qubits() {
+        let mut c = Circuit::new(5, "off");
+        qft(&mut c, 2, 3);
+        for inst in c.instructions() {
+            assert!(inst.qubits().iter().all(|&q| (2..5).contains(&q)));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quantum phase estimation.
+
+use std::f64::consts::PI;
+
+use crate::library::iqft;
+use crate::Circuit;
+
+/// Quantum phase estimation of the phase gate `P(2π·phase)` on its |1⟩
+/// eigenstate, with `bits` counting qubits.
+///
+/// Layout: qubits `0..bits` are the counting register (measured),
+/// qubit `bits` is the eigenstate register. When `phase` is an exact
+/// multiple of `2^-bits`, the ideal output is the single string
+/// encoding `round(phase · 2^bits)`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `phase` is outside `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::qpe;
+///
+/// let c = qpe(3, 0.25); // expect output 010 (2/8)
+/// assert_eq!(c.num_qubits(), 4);
+/// assert_eq!(c.measured(), &[0, 1, 2]);
+/// ```
+#[must_use]
+pub fn qpe(bits: usize, phase: f64) -> Circuit {
+    assert!(bits > 0, "QPE needs at least one counting qubit");
+    assert!((0.0..1.0).contains(&phase), "phase {phase} outside [0, 1)");
+    let eig = bits as u32;
+    let mut c = Circuit::new(bits + 1, format!("qpe_n{}", bits + 1));
+    c.x(eig); // |1⟩ eigenstate
+    for q in 0..bits as u32 {
+        c.h(q);
+    }
+    // Controlled-U^{2^q}: the phase accumulates 2π·phase·2^q.
+    for q in 0..bits as u32 {
+        let angle = 2.0 * PI * phase * f64::from(1u32 << q);
+        c.cp(angle, q, eig);
+    }
+    // The kickback leaves the counting register in the textbook QFT
+    // ordering; our swap-free [`iqft`] expects the bit-reversed one.
+    for i in 0..(bits / 2) as u32 {
+        c.swap(i, bits as u32 - 1 - i);
+    }
+    iqft(&mut c, 0, bits);
+    c.set_measured((0..bits as u32).collect());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let c = qpe(3, 0.125);
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.measured().len(), 3);
+        // 3 controlled kickbacks + 3 iQFT cp gates.
+        assert_eq!(c.gate_histogram()["cp"], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn phase_out_of_range_panics() {
+        let _ = qpe(3, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counting qubit")]
+    fn zero_bits_panics() {
+        let _ = qpe(0, 0.5);
+    }
+}

@@ -1,0 +1,109 @@
+//! Entangled-state preparation circuits: GHZ/cat and W states, plus
+//! classical basis-state preparation.
+
+use qbeep_bitstring::BitString;
+
+use crate::Circuit;
+
+/// The `n`-qubit GHZ ("cat") state `(|0…0⟩ + |1…1⟩)/√2`: H on qubit 0
+/// followed by a CX chain. Two equally likely outputs ⇒ ideal entropy 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn cat_state(n: usize) -> Circuit {
+    let mut c = Circuit::new(n, format!("cat_state_n{n}"));
+    c.h(0);
+    for q in 1..n as u32 {
+        c.cx(q - 1, q);
+    }
+    c
+}
+
+/// The `n`-qubit W state `(|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n` via the
+/// standard cascade of controlled-RY rotations. `n` equally likely
+/// one-hot outputs ⇒ ideal entropy log2(n).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0, "W state needs at least one qubit");
+    let mut c = Circuit::new(n, format!("wstate_n{n}"));
+    c.x(0);
+    // Peel amplitude off qubit k onto qubit k+1: rotate so that qubit
+    // k+1 receives 1/(n-k) of the remaining excitation, then shift.
+    for k in 0..n - 1 {
+        let remaining = (n - k) as f64;
+        let theta = 2.0 * (1.0 / remaining.sqrt()).acos();
+        c.cry(theta, k as u32, (k + 1) as u32);
+        c.cx((k + 1) as u32, k as u32);
+    }
+    c
+}
+
+/// Prepares the classical basis state `target` from |0…0⟩ with X gates.
+///
+/// Used as the random-state preface of the paper's RB experiments
+/// (§3.1: "we prepare a random binary state" before the RB circuit).
+///
+/// # Panics
+///
+/// Panics if `target` is empty.
+#[must_use]
+pub fn prepare_basis_state(target: &BitString) -> Circuit {
+    let n = target.len();
+    assert!(n > 0, "cannot prepare an empty state");
+    let mut c = Circuit::new(n, format!("prep_{target}"));
+    for q in 0..n {
+        if target.bit(q) {
+            c.x(q as u32);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cat_state_structure() {
+        let c = cat_state(4);
+        assert_eq!(c.gate_count(), 4); // 1 H + 3 CX
+        assert_eq!(c.two_qubit_gate_count(), 3);
+    }
+
+    #[test]
+    fn w_state_structure() {
+        let c = w_state(3);
+        let hist = c.gate_histogram();
+        assert_eq!(hist["x"], 1);
+        assert_eq!(hist["cry"], 2);
+        assert_eq!(hist["cx"], 2);
+    }
+
+    #[test]
+    fn w_state_single_qubit_is_x() {
+        let c = w_state(1);
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn prepare_basis_state_places_x() {
+        let t: BitString = "101".parse().unwrap();
+        let c = prepare_basis_state(&t);
+        assert_eq!(c.gate_count(), 2);
+        let touched: Vec<u32> =
+            c.instructions().iter().map(|i| i.qubits()[0]).collect();
+        assert_eq!(touched, vec![0, 2]);
+    }
+
+    #[test]
+    fn prepare_zero_state_is_empty() {
+        let t = BitString::zeros(3);
+        assert_eq!(prepare_basis_state(&t).gate_count(), 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! OpenQASM 2.0 import.
+//!
+//! Parses the dialect [`Circuit::to_qasm`](crate::Circuit::to_qasm)
+//! emits (one `qreg`/`creg`, the gate alphabet of [`Gate`], trailing
+//! measurements), which is also the dialect QASMBench-style benchmark
+//! files use for these gates. Round-tripping is tested:
+//! `from_qasm(c.to_qasm()) == c` up to measurement ordering.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Circuit, Gate};
+
+/// Error produced when parsing OpenQASM text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseQasmError {
+    /// The `OPENQASM 2.0;` header is missing.
+    MissingHeader,
+    /// No `qreg` declaration was found before gates were applied.
+    MissingQreg,
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A gate name is not in the supported alphabet.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate mnemonic.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingHeader => write!(f, "missing OPENQASM 2.0 header"),
+            Self::MissingQreg => write!(f, "no qreg declaration before first instruction"),
+            Self::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            Self::UnknownGate { line, name } => {
+                write!(f, "line {line}: unsupported gate '{name}'")
+            }
+        }
+    }
+}
+
+impl Error for ParseQasmError {}
+
+/// Splits `q[3]` → 3 (validating the register name).
+fn parse_operand(token: &str, qreg: &str, line: usize) -> Result<u32, ParseQasmError> {
+    let token = token.trim();
+    let malformed = |reason: String| ParseQasmError::Malformed { line, reason };
+    let open = token.find('[').ok_or_else(|| malformed(format!("bad operand '{token}'")))?;
+    let close = token.find(']').ok_or_else(|| malformed(format!("bad operand '{token}'")))?;
+    if &token[..open] != qreg {
+        return Err(malformed(format!("unknown register in '{token}'")));
+    }
+    token[open + 1..close]
+        .parse::<u32>()
+        .map_err(|_| malformed(format!("bad index in '{token}'")))
+}
+
+/// Evaluates a parameter expression: a float literal, optionally using
+/// `pi`, unary minus, and a single `*` or `/` (the forms qelib headers
+/// and QASMBench files use, e.g. `-pi/4`, `0.5*pi`, `1.2566`).
+fn parse_param(expr: &str, line: usize) -> Result<f64, ParseQasmError> {
+    let expr = expr.trim();
+    let malformed =
+        |reason: String| ParseQasmError::Malformed { line, reason };
+    let atom = |s: &str| -> Result<f64, ParseQasmError> {
+        let s = s.trim();
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest.trim()),
+            None => (false, s),
+        };
+        let v = if body == "pi" {
+            std::f64::consts::PI
+        } else {
+            body.parse::<f64>().map_err(|_| malformed(format!("bad parameter '{s}'")))?
+        };
+        Ok(if neg { -v } else { v })
+    };
+    if let Some(idx) = expr.rfind('/') {
+        return Ok(atom(&expr[..idx])? / atom(&expr[idx + 1..])?);
+    }
+    if let Some(idx) = expr.find('*') {
+        return Ok(atom(&expr[..idx])? * atom(&expr[idx + 1..])?);
+    }
+    atom(expr)
+}
+
+/// Maps a mnemonic + parameters to a [`Gate`].
+fn make_gate(name: &str, params: &[f64], line: usize) -> Result<Gate, ParseQasmError> {
+    let wrong_arity = |expected: usize| ParseQasmError::Malformed {
+        line,
+        reason: format!("gate {name} expects {expected} parameter(s), got {}", params.len()),
+    };
+    let p0 = || params.first().copied().ok_or_else(|| wrong_arity(1));
+    let gate = match name {
+        "id" => Gate::I,
+        "h" => Gate::H,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "sx" => Gate::SX,
+        "sxdg" => Gate::SXdg,
+        "rx" => Gate::RX(p0()?),
+        "ry" => Gate::RY(p0()?),
+        "rz" => Gate::RZ(p0()?),
+        "p" | "u1" => Gate::P(p0()?),
+        "u" | "u3" => {
+            if params.len() != 3 {
+                return Err(wrong_arity(3));
+            }
+            Gate::U(params[0], params[1], params[2])
+        }
+        "cx" | "CX" => Gate::CX,
+        "cy" => Gate::CY,
+        "cz" => Gate::CZ,
+        "ch" => Gate::CH,
+        "cp" | "cu1" => Gate::CP(p0()?),
+        "crx" => Gate::CRX(p0()?),
+        "cry" => Gate::CRY(p0()?),
+        "crz" => Gate::CRZ(p0()?),
+        "rxx" => Gate::RXX(p0()?),
+        "ryy" => Gate::RYY(p0()?),
+        "rzz" => Gate::RZZ(p0()?),
+        "swap" => Gate::SWAP,
+        "ccx" => Gate::CCX,
+        "cswap" => Gate::CSWAP,
+        other => {
+            return Err(ParseQasmError::UnknownGate { line, name: other.to_string() })
+        }
+    };
+    if gate.params().len() != params.len() {
+        return Err(wrong_arity(gate.params().len()));
+    }
+    Ok(gate)
+}
+
+/// Parses OpenQASM 2.0 source into a [`Circuit`].
+///
+/// Supported statements: the header, `include`, one `qreg`, one
+/// `creg`, gate applications over the [`Gate`] alphabet (plus the
+/// `u1`/`u3`/`cu1` aliases), `barrier` (ignored) and `measure`.
+/// Measurements define the circuit's measured-qubit order; a file
+/// without measurements measures all qubits in index order.
+///
+/// # Errors
+///
+/// Returns a [`ParseQasmError`] describing the first offending line.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::qasm::from_qasm;
+///
+/// let src = r#"
+/// OPENQASM 2.0;
+/// include "qelib1.inc";
+/// qreg q[2];
+/// creg c[2];
+/// h q[0];
+/// cx q[0],q[1];
+/// measure q[0] -> c[0];
+/// measure q[1] -> c[1];
+/// "#;
+/// let circuit = from_qasm(src)?;
+/// assert_eq!(circuit.num_qubits(), 2);
+/// assert_eq!(circuit.gate_count(), 2);
+/// # Ok::<(), qbeep_circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn from_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut saw_header = false;
+    let mut circuit: Option<Circuit> = None;
+    let mut qreg_name = String::new();
+    let mut measured: Vec<(usize, u32)> = Vec::new(); // (classical bit, qubit)
+    let mut name = "from_qasm".to_string();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments; `// circuit: <name>` is recognised as a name.
+        let line = match raw_line.find("//") {
+            Some(pos) => {
+                if let Some(n) = raw_line[pos + 2..].trim().strip_prefix("circuit:") {
+                    name = n.trim().to_string();
+                }
+                &raw_line[..pos]
+            }
+            None => raw_line,
+        };
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") {
+                saw_header = true;
+                continue;
+            }
+            if stmt.starts_with("include") || stmt.starts_with("barrier") {
+                continue;
+            }
+            if !saw_header {
+                return Err(ParseQasmError::MissingHeader);
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                let rest = rest.trim();
+                let open = rest.find('[').ok_or(ParseQasmError::Malformed {
+                    line: line_no,
+                    reason: "bad qreg".into(),
+                })?;
+                let close = rest.find(']').ok_or(ParseQasmError::Malformed {
+                    line: line_no,
+                    reason: "bad qreg".into(),
+                })?;
+                qreg_name = rest[..open].trim().to_string();
+                let n: usize = rest[open + 1..close].parse().map_err(|_| {
+                    ParseQasmError::Malformed { line: line_no, reason: "bad qreg size".into() }
+                })?;
+                circuit = Some(Circuit::new(n, name.clone()));
+                continue;
+            }
+            if stmt.starts_with("creg") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("measure") {
+                let circuit_ref =
+                    circuit.as_ref().ok_or(ParseQasmError::MissingQreg)?;
+                let parts: Vec<&str> = rest.split("->").collect();
+                if parts.len() != 2 {
+                    return Err(ParseQasmError::Malformed {
+                        line: line_no,
+                        reason: "measure needs 'q[i] -> c[j]'".into(),
+                    });
+                }
+                let q = parse_operand(parts[0], &qreg_name, line_no)?;
+                let cbit_tok = parts[1].trim();
+                let open = cbit_tok.find('[').ok_or(ParseQasmError::Malformed {
+                    line: line_no,
+                    reason: "bad classical operand".into(),
+                })?;
+                let close = cbit_tok.find(']').ok_or(ParseQasmError::Malformed {
+                    line: line_no,
+                    reason: "bad classical operand".into(),
+                })?;
+                let cbit: usize = cbit_tok[open + 1..close].parse().map_err(|_| {
+                    ParseQasmError::Malformed { line: line_no, reason: "bad classical index".into() }
+                })?;
+                if (q as usize) >= circuit_ref.num_qubits() {
+                    return Err(ParseQasmError::Malformed {
+                        line: line_no,
+                        reason: format!("measured qubit {q} out of range"),
+                    });
+                }
+                measured.push((cbit, q));
+                continue;
+            }
+            // Gate application: name[(params)] operand[, operand...]
+            let circuit_mut = circuit.as_mut().ok_or(ParseQasmError::MissingQreg)?;
+            let (head, operands) = match stmt.find(|c: char| c.is_whitespace()) {
+                Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
+                    (&stmt[..pos], &stmt[pos..])
+                }
+                _ => {
+                    // Parameterised gates may contain spaces inside the
+                    // parens; split at the closing paren instead.
+                    match stmt.find(')') {
+                        Some(pos) => (&stmt[..=pos], &stmt[pos + 1..]),
+                        None => {
+                            return Err(ParseQasmError::Malformed {
+                                line: line_no,
+                                reason: format!("cannot split '{stmt}'"),
+                            })
+                        }
+                    }
+                }
+            };
+            let (gname, params) = match head.find('(') {
+                Some(open) => {
+                    let close = head.rfind(')').ok_or(ParseQasmError::Malformed {
+                        line: line_no,
+                        reason: "unclosed parameter list".into(),
+                    })?;
+                    let params: Vec<f64> = head[open + 1..close]
+                        .split(',')
+                        .filter(|s| !s.trim().is_empty())
+                        .map(|s| parse_param(s, line_no))
+                        .collect::<Result<_, _>>()?;
+                    (head[..open].trim(), params)
+                }
+                None => (head.trim(), Vec::new()),
+            };
+            let gate = make_gate(gname, &params, line_no)?;
+            let qubits: Vec<u32> = operands
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| parse_operand(s, &qreg_name, line_no))
+                .collect::<Result<_, _>>()?;
+            if qubits.len() != gate.arity() {
+                return Err(ParseQasmError::Malformed {
+                    line: line_no,
+                    reason: format!(
+                        "gate {gname} expects {} operand(s), got {}",
+                        gate.arity(),
+                        qubits.len()
+                    ),
+                });
+            }
+            circuit_mut.apply(gate, &qubits);
+        }
+    }
+
+    let mut circuit = circuit.ok_or(ParseQasmError::MissingQreg)?;
+    if !measured.is_empty() {
+        measured.sort_by_key(|&(cbit, _)| cbit);
+        circuit.set_measured(measured.into_iter().map(|(_, q)| q).collect());
+    }
+    Ok(circuit)
+}
+
+impl FromStr for Circuit {
+    type Err = ParseQasmError;
+
+    /// Parses OpenQASM 2.0 source (see [`from_qasm`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        from_qasm(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn parses_minimal_program() {
+        let src = "OPENQASM 2.0;\nqreg q[3];\ncreg c[3];\nh q[0];\ncx q[0],q[2];\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.measured(), &[0, 1, 2]); // default
+    }
+
+    #[test]
+    fn round_trips_every_library_circuit() {
+        let mut circuits = vec![
+            library::bernstein_vazirani(&"1011".parse().unwrap()),
+            library::qft_circuit(4),
+            library::cat_state(4),
+            library::w_state(3),
+            library::grover(&"110".parse().unwrap(), 2),
+            library::qpe(3, 0.25),
+        ];
+        for entry in library::qasmbench_suite() {
+            circuits.push(entry.circuit().clone());
+        }
+        for original in circuits {
+            let qasm = original.to_qasm();
+            let parsed = from_qasm(&qasm)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{qasm}", original.name()));
+            assert_eq!(parsed.num_qubits(), original.num_qubits(), "{}", original.name());
+            assert_eq!(parsed.instructions(), original.instructions(), "{}", original.name());
+            assert_eq!(parsed.measured(), original.measured(), "{}", original.name());
+            assert_eq!(parsed.name(), original.name());
+        }
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(0.5*pi) q[0];\nrz(pi) q[0];\n";
+        let c = from_qasm(src).unwrap();
+        let angles: Vec<f64> = c.instructions().iter().flat_map(|i| i.gate().params()).collect();
+        let pi = std::f64::consts::PI;
+        assert!((angles[0] - pi / 2.0).abs() < 1e-12);
+        assert!((angles[1] + pi / 4.0).abs() < 1e-12);
+        assert!((angles[2] - pi / 2.0).abs() < 1e-12);
+        assert!((angles[3] - pi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_defines_bit_order() {
+        let src = "OPENQASM 2.0;\nqreg q[3];\ncreg c[2];\nx q[2];\nmeasure q[2] -> c[0];\nmeasure q[0] -> c[1];\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.measured(), &[2, 0]);
+    }
+
+    #[test]
+    fn aliases_u1_u3_cu1() {
+        let src =
+            "OPENQASM 2.0;\nqreg q[2];\nu1(0.3) q[0];\nu3(0.1,0.2,0.3) q[1];\ncu1(0.4) q[0],q[1];\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.instructions()[0].gate(), &Gate::P(0.3));
+        assert_eq!(c.instructions()[1].gate(), &Gate::U(0.1, 0.2, 0.3));
+        assert_eq!(c.instructions()[2].gate(), &Gate::CP(0.4));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(from_qasm("qreg q[2];\n"), Err(ParseQasmError::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+        assert!(matches!(from_qasm(src), Err(ParseQasmError::UnknownGate { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_operand_count() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n";
+        assert!(matches!(from_qasm(src), Err(ParseQasmError::Malformed { .. })));
+    }
+
+    #[test]
+    fn rejects_gates_before_qreg() {
+        let src = "OPENQASM 2.0;\nh q[0];\n";
+        assert_eq!(from_qasm(src), Err(ParseQasmError::MissingQreg));
+    }
+
+    #[test]
+    fn from_str_impl_works() {
+        let c: Circuit = "OPENQASM 2.0;\nqreg q[1];\nh q[0];\n".parse().unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn barrier_and_comments_ignored() {
+        let src = "OPENQASM 2.0;\n// a comment\nqreg q[2];\nbarrier q[0],q[1];\nh q[0]; // trailing\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+}

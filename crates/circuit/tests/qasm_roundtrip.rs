@@ -1,0 +1,95 @@
+//! Property test: OpenQASM export/import round-trips arbitrary
+//! circuits over the full gate alphabet.
+
+use proptest::prelude::*;
+use qbeep_circuit::qasm::from_qasm;
+use qbeep_circuit::{Circuit, Gate};
+
+fn arb_gate(n: u32) -> impl Strategy<Value = (Gate, Vec<u32>)> {
+    let angle = -6.0f64..6.0;
+    prop_oneof![
+        (0..n).prop_map(|q| (Gate::I, vec![q])),
+        (0..n).prop_map(|q| (Gate::H, vec![q])),
+        (0..n).prop_map(|q| (Gate::X, vec![q])),
+        (0..n).prop_map(|q| (Gate::Y, vec![q])),
+        (0..n).prop_map(|q| (Gate::Z, vec![q])),
+        (0..n).prop_map(|q| (Gate::S, vec![q])),
+        (0..n).prop_map(|q| (Gate::Sdg, vec![q])),
+        (0..n).prop_map(|q| (Gate::T, vec![q])),
+        (0..n).prop_map(|q| (Gate::Tdg, vec![q])),
+        (0..n).prop_map(|q| (Gate::SX, vec![q])),
+        (0..n).prop_map(|q| (Gate::SXdg, vec![q])),
+        (angle.clone(), 0..n).prop_map(|(t, q)| (Gate::RX(t), vec![q])),
+        (angle.clone(), 0..n).prop_map(|(t, q)| (Gate::RY(t), vec![q])),
+        (angle.clone(), 0..n).prop_map(|(t, q)| (Gate::RZ(t), vec![q])),
+        (angle.clone(), 0..n).prop_map(|(t, q)| (Gate::P(t), vec![q])),
+        (angle.clone(), angle.clone(), angle.clone(), 0..n)
+            .prop_map(|(a, b, c, q)| (Gate::U(a, b, c), vec![q])),
+        pair(n).prop_map(|(a, b)| (Gate::CX, vec![a, b])),
+        pair(n).prop_map(|(a, b)| (Gate::CY, vec![a, b])),
+        pair(n).prop_map(|(a, b)| (Gate::CZ, vec![a, b])),
+        pair(n).prop_map(|(a, b)| (Gate::CH, vec![a, b])),
+        (angle.clone(), pair(n)).prop_map(|(t, (a, b))| (Gate::CP(t), vec![a, b])),
+        (angle.clone(), pair(n)).prop_map(|(t, (a, b))| (Gate::CRX(t), vec![a, b])),
+        (angle.clone(), pair(n)).prop_map(|(t, (a, b))| (Gate::CRY(t), vec![a, b])),
+        (angle.clone(), pair(n)).prop_map(|(t, (a, b))| (Gate::CRZ(t), vec![a, b])),
+        (angle.clone(), pair(n)).prop_map(|(t, (a, b))| (Gate::RXX(t), vec![a, b])),
+        (angle.clone(), pair(n)).prop_map(|(t, (a, b))| (Gate::RYY(t), vec![a, b])),
+        (angle, pair(n)).prop_map(|(t, (a, b))| (Gate::RZZ(t), vec![a, b])),
+        pair(n).prop_map(|(a, b)| (Gate::SWAP, vec![a, b])),
+        triple(n).prop_map(|(a, b, c)| (Gate::CCX, vec![a, b, c])),
+        triple(n).prop_map(|(a, b, c)| (Gate::CSWAP, vec![a, b, c])),
+    ]
+}
+
+fn pair(n: u32) -> impl Strategy<Value = (u32, u32)> {
+    (0..n, 0..n - 1).prop_map(move |(a, b_raw)| {
+        let b = if b_raw >= a { b_raw + 1 } else { b_raw };
+        (a, b)
+    })
+}
+
+fn triple(n: u32) -> impl Strategy<Value = (u32, u32, u32)> {
+    (0..n, 0..n - 1, 0..n - 2).prop_map(move |(a, b_raw, c_raw)| {
+        let b = if b_raw >= a { b_raw + 1 } else { b_raw };
+        let mut c = c_raw;
+        for taken in [a.min(b), a.max(b)] {
+            if c >= taken {
+                c += 1;
+            }
+        }
+        (a, b, c)
+    })
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (4usize..=6, proptest::collection::vec(arb_gate(4), 0..25))
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n, "roundtrip");
+            for (g, qs) in gates {
+                c.apply(g, &qs);
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qasm_round_trip_preserves_everything(circuit in arb_circuit()) {
+        let qasm = circuit.to_qasm();
+        let parsed = from_qasm(&qasm).expect("exported QASM parses");
+        prop_assert_eq!(parsed.num_qubits(), circuit.num_qubits());
+        prop_assert_eq!(parsed.measured(), circuit.measured());
+        prop_assert_eq!(parsed.instructions().len(), circuit.instructions().len());
+        for (a, b) in parsed.instructions().iter().zip(circuit.instructions()) {
+            prop_assert_eq!(a.qubits(), b.qubits());
+            // Gate identity up to float-text precision on parameters.
+            prop_assert_eq!(a.gate().name(), b.gate().name());
+            for (pa, pb) in a.gate().params().iter().zip(b.gate().params()) {
+                prop_assert!((pa - pb).abs() < 1e-9, "{pa} vs {pb}");
+            }
+        }
+    }
+}

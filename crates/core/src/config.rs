@@ -1,0 +1,134 @@
+//! Configuration of the Q-BEEP mitigation engine.
+
+use serde::{Deserialize, Serialize};
+
+/// The spectral kernel weighting the state-graph edges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Poisson(λ, k) — the paper's choice.
+    Poisson,
+    /// Binomial(n, λ/n, k) — ablation alternative with the same mean.
+    Binomial,
+}
+
+/// Per-iteration edge-weight scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LearningRate {
+    /// The paper's damped schedule: η = 1/n at iteration n, which
+    /// "encourages converging and prohibits cycling between local
+    /// nodes" (§3.4).
+    Dampened,
+    /// A constant rate (ablation alternative).
+    Constant(f64),
+}
+
+impl LearningRate {
+    /// The rate at 1-based iteration `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn at(&self, n: usize) -> f64 {
+        assert!(n > 0, "iterations are 1-based");
+        match self {
+            Self::Dampened => 1.0 / n as f64,
+            Self::Constant(eta) => *eta,
+        }
+    }
+}
+
+/// Full configuration of the mitigation engine.
+///
+/// [`QBeepConfig::default`] reproduces the paper's setup (§4.1): 20
+/// iterations, ε = 0.05, damped 1/n learning rate, Poisson kernel,
+/// overflow renormalisation on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QBeepConfig {
+    /// Number of state-graph update iterations.
+    pub iterations: usize,
+    /// Minimum edge weight ε; pairs whose kernel weight falls below it
+    /// get no edge (scalability guard, §3.4).
+    pub epsilon: f64,
+    /// Learning-rate schedule.
+    pub learning_rate: LearningRate,
+    /// Edge-weight kernel.
+    pub kernel: Kernel,
+    /// Whether to apply the overflow renormalisation constraint
+    /// (`outflow ≤ count + inflow`); ablation knob, on in the paper.
+    pub overflow_renormalisation: bool,
+}
+
+impl Default for QBeepConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 20,
+            epsilon: 0.05,
+            learning_rate: LearningRate::Dampened,
+            kernel: Kernel::Poisson,
+            overflow_renormalisation: true,
+        }
+    }
+}
+
+impl QBeepConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`, ε is outside `(0, 1)`, or a
+    /// constant learning rate is non-positive.
+    pub fn validate(&self) {
+        assert!(self.iterations > 0, "need at least one iteration");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon {} outside (0, 1)",
+            self.epsilon
+        );
+        if let LearningRate::Constant(eta) = self.learning_rate {
+            assert!(eta > 0.0, "constant learning rate must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = QBeepConfig::default();
+        assert_eq!(c.iterations, 20);
+        assert!((c.epsilon - 0.05).abs() < 1e-12);
+        assert_eq!(c.learning_rate, LearningRate::Dampened);
+        assert_eq!(c.kernel, Kernel::Poisson);
+        assert!(c.overflow_renormalisation);
+        c.validate();
+    }
+
+    #[test]
+    fn dampened_rate_is_one_over_n() {
+        let lr = LearningRate::Dampened;
+        assert_eq!(lr.at(1), 1.0);
+        assert_eq!(lr.at(4), 0.25);
+    }
+
+    #[test]
+    fn constant_rate_is_flat() {
+        let lr = LearningRate::Constant(0.3);
+        assert_eq!(lr.at(1), 0.3);
+        assert_eq!(lr.at(10), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_invalid() {
+        QBeepConfig { iterations: 0, ..QBeepConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn bad_epsilon_invalid() {
+        QBeepConfig { epsilon: 0.0, ..QBeepConfig::default() }.validate();
+    }
+}

@@ -1,0 +1,405 @@
+//! The Bayesian network state graph and Algorithm 1's iterative
+//! reclassification.
+//!
+//! Vertices are the *observed* bit-strings (never the full 2ⁿ space, so
+//! the structure scales with shot count, §3.4); each carries a
+//! probability and an observation count. An edge joins two vertices
+//! whose Hamming distance `k` has kernel weight `Poisson(λ, k) ≥ ε`.
+//!
+//! Each iteration `n` moves observation mass along edges according to
+//! Eq. 5, `flow(A→B) = Obs_A · W(A,B)·η · P_B / P_A`, clamped by the
+//! overflow constraint `outflow ≤ count + inflow` and damped by
+//! `η = 1/n`. Total observation count is conserved exactly.
+
+use qbeep_bitstring::{BitString, Counts, Distribution};
+
+use crate::config::{Kernel, QBeepConfig};
+use crate::model::{binomial_pmf, poisson_pmf};
+
+/// One vertex of the state graph.
+///
+/// Per Algorithm 1, the probability field `prob` is assigned at graph
+/// construction (`G(V)[P] ← P(Results = BStr)`) and **never updated**
+/// inside the iteration loop — only `count` moves. Keeping `prob`
+/// frozen is load-bearing: it makes the Eq.-5 flow
+/// `Obs_A · W · P_B / P_A` a fixed-coefficient linear system that is
+/// diffusive (stabilising) on balanced distributions and concentrating
+/// on imbalanced ones, with the equilibrium count ratio `(P_A/P_B)²`
+/// reproducing Fig. 5's 0.60 → 0.94 walkthrough. Recomputing `prob`
+/// from live counts would instead amplify sampling noise on
+/// high-entropy outputs, contradicting §4.3's flat qft/qrng results.
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    bits: BitString,
+    count: f64,
+    /// Initial observation probability (frozen).
+    prob: f64,
+}
+
+/// The Bayesian state graph over observed outcomes.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::Counts;
+/// use qbeep_core::graph::StateGraph;
+/// use qbeep_core::QBeepConfig;
+///
+/// let counts = Counts::from_pairs(4, vec![
+///     ("0000".parse().unwrap(), 600),
+///     ("0001".parse().unwrap(), 100),
+///     ("0010".parse().unwrap(), 100),
+///     ("0100".parse().unwrap(), 100),
+///     ("1000".parse().unwrap(), 100),
+/// ]);
+/// let mut graph = StateGraph::build(&counts, 0.8, &QBeepConfig::default());
+/// graph.iterate();
+/// let mitigated = graph.distribution();
+/// // Mass flows into the dominant vertex (the Fig. 5 walkthrough).
+/// assert!(mitigated.prob(&"0000".parse().unwrap()) > 0.6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    width: usize,
+    total: f64,
+    nodes: Vec<Node>,
+    /// `edges[i]` = (neighbour index, base kernel weight).
+    edges: Vec<Vec<(usize, f64)>>,
+    config: QBeepConfig,
+    /// Number of iterations already applied (learning-rate position).
+    steps_done: usize,
+}
+
+impl StateGraph {
+    /// Builds the graph from raw counts and the (pre-induction) λ.
+    ///
+    /// Edge policy (§3.4): the per-distance kernel weight is computed
+    /// once; only distances with weight ≥ ε produce edges, giving the
+    /// worst-case O(N·r) update cost the paper quotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty, λ is negative/non-finite, or the
+    /// config is invalid.
+    #[must_use]
+    pub fn build(counts: &Counts, lambda: f64, config: &QBeepConfig) -> Self {
+        assert!(!counts.is_empty(), "cannot build a state graph from zero shots");
+        assert!(lambda.is_finite() && lambda >= 0.0, "invalid λ {lambda}");
+        config.validate();
+        let width = counts.width();
+
+        // Deterministic node order: descending count, then bit order.
+        let total_shots = counts.total() as f64;
+        let nodes: Vec<Node> = counts
+            .sorted_by_count()
+            .into_iter()
+            .map(|(bits, c)| Node { bits, count: c as f64, prob: c as f64 / total_shots })
+            .collect();
+        let total: f64 = nodes.iter().map(|n| n.count).sum();
+
+        // Kernel weight per distance; distances below ε get no edges.
+        let weight_at = |k: usize| -> f64 {
+            match config.kernel {
+                Kernel::Poisson => poisson_pmf(lambda, k),
+                Kernel::Binomial => {
+                    let p = (lambda / width.max(1) as f64).clamp(0.0, 1.0);
+                    binomial_pmf(width, p, k)
+                }
+            }
+        };
+        let allowed: Vec<f64> = (0..=width).map(weight_at).collect();
+
+        let mut edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                let k = nodes[i].bits.hamming_distance(&nodes[j].bits) as usize;
+                let w = allowed[k];
+                if w >= config.epsilon {
+                    edges[i].push((j, w));
+                    edges[j].push((i, w));
+                }
+            }
+        }
+
+        Self { width, total, nodes, edges, config: *config, steps_done: 0 }
+    }
+
+    /// Outcome width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of vertices (distinct observed outcomes).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Total observation count (invariant across iterations).
+    #[must_use]
+    pub fn total_count(&self) -> f64 {
+        self.total
+    }
+
+    /// Runs one reclassification step (Algorithm 1's inner loop) at the
+    /// next learning-rate position.
+    pub fn step(&mut self) {
+        self.steps_done += 1;
+        let eta = self.config.learning_rate.at(self.steps_done);
+        let n = self.nodes.len();
+
+        // Raw flows per Eq. 5: flow(A→B) = Obs_A · η·W · P_B / P_A,
+        // with Obs the live count and P the frozen initial probability.
+        let flow = |a: usize, b: usize, w: f64| {
+            eta * w * self.nodes[a].count * (self.nodes[b].prob / self.nodes[a].prob)
+        };
+        let mut raw_outflow = vec![0.0f64; n];
+        for a in 0..n {
+            if self.nodes[a].count <= 0.0 {
+                continue;
+            }
+            for &(b, w) in &self.edges[a] {
+                raw_outflow[a] += flow(a, b, w);
+            }
+        }
+
+        // Overflow renormalisation. Algorithm 1 caps a node's outflow
+        // at `count + inflow`; because inflows are themselves scaled by
+        // their senders' caps, taking the *raw* inflow in the cap would
+        // let scaled books go inconsistent and create mass. We use the
+        // self-consistent conservative cap `outflow ≤ count`, which
+        // satisfies the paper's constraint for every realisable inflow
+        // and conserves total count exactly.
+        let factor: Vec<f64> = (0..n)
+            .map(|a| {
+                if !self.config.overflow_renormalisation || raw_outflow[a] <= 0.0 {
+                    1.0
+                } else {
+                    (self.nodes[a].count / raw_outflow[a]).min(1.0)
+                }
+            })
+            .collect();
+
+        // Apply scaled flows; conservation holds because every scaled
+        // outflow lands as exactly one scaled inflow.
+        let mut delta = vec![0.0f64; n];
+        for a in 0..n {
+            if self.nodes[a].count <= 0.0 {
+                continue;
+            }
+            for &(b, w) in &self.edges[a] {
+                let scaled = flow(a, b, w) * factor[a];
+                delta[a] -= scaled;
+                delta[b] += scaled;
+            }
+        }
+        for (node, d) in self.nodes.iter_mut().zip(&delta) {
+            node.count += d;
+            // Guard the no-renormalisation ablation against drift below
+            // zero; with renormalisation on this is a no-op.
+            if node.count < 0.0 {
+                node.count = 0.0;
+            }
+        }
+    }
+
+    /// Runs the configured number of iterations.
+    pub fn iterate(&mut self) {
+        for _ in 0..self.config.iterations {
+            self.step();
+        }
+    }
+
+    /// Runs the configured iterations, returning the distribution after
+    /// each step — the per-iteration trace of Fig. 7c.
+    #[must_use]
+    pub fn iterate_tracked(&mut self) -> Vec<Distribution> {
+        (0..self.config.iterations)
+            .map(|_| {
+                self.step();
+                self.distribution()
+            })
+            .collect()
+    }
+
+    /// The current (mitigated) probability distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every node's count has been driven to zero (cannot
+    /// happen with conservation, guarded for the ablation paths).
+    #[must_use]
+    pub fn distribution(&self) -> Distribution {
+        Distribution::from_probs(
+            self.width,
+            self.nodes.iter().filter(|n| n.count > 0.0).map(|n| (n.bits, n.count)),
+        )
+    }
+
+    /// The current count attached to `bits` (0 when absent).
+    #[must_use]
+    pub fn count_of(&self, bits: &BitString) -> f64 {
+        self.nodes.iter().find(|n| &n.bits == bits).map_or(0.0, |n| n.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LearningRate;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    /// The Fig. 5 walkthrough: a dominant node with satellite errors.
+    fn fig5_counts() -> Counts {
+        Counts::from_pairs(
+            4,
+            vec![
+                (bs("0000"), 600),
+                (bs("0001"), 100),
+                (bs("0010"), 100),
+                (bs("0100"), 100),
+                (bs("1000"), 100),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_creates_expected_edges() {
+        let g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        assert_eq!(g.num_nodes(), 5);
+        // Poisson(0.8): pmf(1) ≈ 0.359, pmf(2) ≈ 0.144 — both ≥ 0.05,
+        // pmf(3) ≈ 0.038 < 0.05. Satellites are at distance 1 from the
+        // center and 2 from each other: all C(5,2) = 10 pairs qualify.
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn epsilon_prunes_edges() {
+        let tight = QBeepConfig { epsilon: 0.2, ..QBeepConfig::default() };
+        let g = StateGraph::build(&fig5_counts(), 0.8, &tight);
+        // Only distance-1 pairs (weight ≈ 0.359) survive ε = 0.2.
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let before = g.total_count();
+        g.iterate();
+        let after: f64 = g.nodes.iter().map(|n| n.count).sum();
+        assert!((after - before).abs() < 1e-6, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn mass_flows_to_dominant_node() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        g.iterate();
+        let d = g.distribution();
+        let p = d.prob(&bs("0000"));
+        assert!(p > 0.8, "expected strong concentration, got {p}");
+    }
+
+    #[test]
+    fn satellites_drain() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        g.iterate();
+        for s in ["0001", "0010", "0100", "1000"] {
+            assert!(g.count_of(&bs(s)) < 100.0, "{s} should lose mass");
+        }
+    }
+
+    #[test]
+    fn single_node_graph_is_stable() {
+        let counts = Counts::from_pairs(3, vec![(bs("101"), 100)]);
+        let mut g = StateGraph::build(&counts, 1.0, &QBeepConfig::default());
+        g.iterate();
+        assert!((g.count_of(&bs("101")) - 100.0).abs() < 1e-9);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn disconnected_components_do_not_mix() {
+        // λ small ⇒ only distance-1 edges; two far-apart clusters stay
+        // independent.
+        let counts = Counts::from_pairs(
+            6,
+            vec![(bs("000000"), 400), (bs("000001"), 100), (bs("111111"), 300), (bs("111110"), 100)],
+        );
+        let mut g = StateGraph::build(&counts, 0.3, &QBeepConfig::default());
+        let cluster_a_before = 500.0;
+        g.iterate();
+        let cluster_a_after = g.count_of(&bs("000000")) + g.count_of(&bs("000001"));
+        assert!((cluster_a_after - cluster_a_before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracked_iterations_return_every_step() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let trace = g.iterate_tracked();
+        assert_eq!(trace.len(), 20);
+        // Concentration grows monotonically-ish: final ≥ first.
+        let first = trace[0].prob(&bs("0000"));
+        let last = trace[19].prob(&bs("0000"));
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn dampened_rate_converges() {
+        // With the 1/n schedule the step-to-step change shrinks.
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let trace = g.iterate_tracked();
+        let delta_early = (trace[1].prob(&bs("0000")) - trace[0].prob(&bs("0000"))).abs();
+        let delta_late = (trace[19].prob(&bs("0000")) - trace[18].prob(&bs("0000"))).abs();
+        assert!(delta_late <= delta_early + 1e-9);
+    }
+
+    #[test]
+    fn overflow_clamp_prevents_negative_counts() {
+        let counts = Counts::from_pairs(2, vec![(bs("00"), 990), (bs("01"), 5), (bs("11"), 5)]);
+        let cfg = QBeepConfig {
+            learning_rate: LearningRate::Constant(1.0),
+            ..QBeepConfig::default()
+        };
+        let mut g = StateGraph::build(&counts, 1.0, &cfg);
+        for _ in 0..50 {
+            g.step();
+        }
+        for node in &g.nodes {
+            assert!(node.count >= 0.0);
+        }
+        assert!((g.nodes.iter().map(|n| n.count).sum::<f64>() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_kernel_also_works() {
+        let cfg = QBeepConfig { kernel: Kernel::Binomial, ..QBeepConfig::default() };
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &cfg);
+        g.iterate();
+        assert!(g.distribution().prob(&bs("0000")) > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shots")]
+    fn empty_counts_panics() {
+        let _ = StateGraph::build(&Counts::new(3), 1.0, &QBeepConfig::default());
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let mut b = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        a.iterate();
+        b.iterate();
+        assert_eq!(a.distribution(), b.distribution());
+    }
+}

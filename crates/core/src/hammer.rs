@@ -1,0 +1,170 @@
+//! The HAMMER baseline (Tannu, Das, Ayanzadeh, Qureshi — "HAMMER:
+//! Boosting Fidelity of Noisy Quantum Circuits by Exploiting Hamming
+//! Behavior of Erroneous Outcomes", 2022), reimplemented from its
+//! published description as the paper's comparison point.
+//!
+//! HAMMER assumes errors cluster *locally* around correct outcomes: it
+//! re-weights each observed bit-string by the probability mass of its
+//! close Hamming neighbourhood, with contributions decaying
+//! exponentially in distance, then renormalises. Unlike Q-BEEP it is a
+//! one-shot (non-iterative) reweighting with a one-size-fits-all
+//! locality kernel — the property §3.2 shows failing once errors
+//! cluster at a distance.
+
+use qbeep_bitstring::{Counts, Distribution};
+
+/// Configuration of the HAMMER reweighting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HammerConfig {
+    /// Largest neighbour distance contributing to a string's weight.
+    pub max_distance: u32,
+    /// Per-distance decay base: a neighbour at distance `d` contributes
+    /// its probability scaled by `decay^d`.
+    pub decay: f64,
+}
+
+impl Default for HammerConfig {
+    fn default() -> Self {
+        Self { max_distance: 2, decay: 0.5 }
+    }
+}
+
+impl HammerConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_distance == 0` or `decay` outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.max_distance > 0, "neighbourhood must reach distance ≥ 1");
+        assert!(self.decay > 0.0 && self.decay <= 1.0, "decay {} outside (0, 1]", self.decay);
+    }
+}
+
+/// Applies HAMMER's neighbourhood reweighting to raw counts.
+///
+/// Each observed string `s` receives the score
+/// `w(s) = p(s) · (1 + Σ_{s'≠s, Ham≤D} p(s') · decay^{Ham(s,s')})`,
+/// and scores are renormalised into the mitigated distribution.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty or the config invalid.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::Counts;
+/// use qbeep_core::hammer::{hammer_mitigate, HammerConfig};
+///
+/// // A dominant answer inside its error cloud, plus an isolated
+/// // far-away string.
+/// let counts = Counts::from_pairs(4, vec![
+///     ("0000".parse().unwrap(), 400),
+///     ("0001".parse().unwrap(), 75),
+///     ("0010".parse().unwrap(), 75),
+///     ("0100".parse().unwrap(), 75),
+///     ("1000".parse().unwrap(), 75),
+///     ("1111".parse().unwrap(), 300),
+/// ]);
+/// let d = hammer_mitigate(&counts, &HammerConfig::default());
+/// // 0000 sits in the cloud and gains; the isolated 1111 loses.
+/// assert!(d.prob(&"0000".parse().unwrap()) > 0.40);
+/// assert!(d.prob(&"1111".parse().unwrap()) < 0.30);
+/// ```
+#[must_use]
+pub fn hammer_mitigate(counts: &Counts, config: &HammerConfig) -> Distribution {
+    assert!(!counts.is_empty(), "cannot mitigate zero shots");
+    config.validate();
+    let dist = counts.to_distribution();
+    let entries: Vec<_> = dist.sorted_by_prob();
+    let mut weights = Vec::with_capacity(entries.len());
+    for &(s, p) in &entries {
+        let mut neighbourhood = 0.0;
+        for &(t, q) in &entries {
+            if s == t {
+                continue;
+            }
+            let d = s.hamming_distance(&t);
+            if d <= config.max_distance {
+                neighbourhood += q * config.decay.powi(d as i32);
+            }
+        }
+        weights.push((s, p * (1.0 + neighbourhood)));
+    }
+    Distribution::from_probs(counts.width(), weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_bitstring::BitString;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn boosts_clustered_strings() {
+        // "0000" has two close neighbours; "1111" is beyond every
+        // string's distance-2 neighbourhood.
+        let counts = Counts::from_pairs(
+            4,
+            vec![(bs("0000"), 400), (bs("0001"), 150), (bs("0010"), 150), (bs("1111"), 300)],
+        );
+        let d = hammer_mitigate(&counts, &HammerConfig::default());
+        let before = counts.to_distribution();
+        assert!(d.prob(&bs("0000")) > before.prob(&bs("0000")));
+        assert!(d.prob(&bs("1111")) < before.prob(&bs("1111")));
+    }
+
+    #[test]
+    fn distance_weighting_decays() {
+        // A distance-1 neighbour boosts more than a distance-2 one.
+        let near = Counts::from_pairs(3, vec![(bs("000"), 500), (bs("001"), 500)]);
+        let far = Counts::from_pairs(3, vec![(bs("000"), 500), (bs("011"), 500)]);
+        let d_near = hammer_mitigate(&near, &HammerConfig::default());
+        let d_far = hammer_mitigate(&far, &HammerConfig::default());
+        // Symmetric inputs stay symmetric; compare total boost factor
+        // via the probability of "000" (0.5 in both — symmetric), so
+        // compare against an asymmetric pivot instead.
+        let mixed = Counts::from_pairs(
+            3,
+            vec![(bs("000"), 400), (bs("001"), 300), (bs("110"), 300)],
+        );
+        let d = hammer_mitigate(&mixed, &HammerConfig::default());
+        // "001" is at distance 1 from the dominant "000"; "110" at 2 →
+        // "001" ends up more probable.
+        assert!(d.prob(&bs("001")) > d.prob(&bs("110")));
+        // Sanity on the symmetric cases.
+        assert!((d_near.prob(&bs("000")) - 0.5).abs() < 1e-9);
+        assert!((d_far.prob(&bs("000")) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beyond_max_distance_no_interaction() {
+        let counts = Counts::from_pairs(6, vec![(bs("000000"), 600), (bs("111111"), 400)]);
+        let d = hammer_mitigate(&counts, &HammerConfig::default());
+        let before = counts.to_distribution();
+        assert!((d.prob(&bs("000000")) - before.prob(&bs("000000"))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_outcome_unchanged() {
+        let counts = Counts::from_pairs(2, vec![(bs("10"), 100)]);
+        let d = hammer_mitigate(&counts, &HammerConfig::default());
+        assert!((d.prob(&bs("10")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shots")]
+    fn empty_counts_panics() {
+        let _ = hammer_mitigate(&Counts::new(2), &HammerConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn invalid_decay_panics() {
+        HammerConfig { max_distance: 2, decay: 1.5 }.validate();
+    }
+}

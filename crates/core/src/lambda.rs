@@ -1,0 +1,178 @@
+//! The pre-induction λ estimator — the paper's Eq. 2.
+//!
+//! `λ = n_Q(1 − e^{−t_circuit/T1}) + n_Q(1 − e^{−t_circuit/T2})
+//!    + Σ_{(i,j)} σ_{i,j} · U_count + Σ_q ro_q`
+//!
+//! evaluated per qubit / per transpiled gate instance: the scheduled
+//! end-to-end circuit time drives the decoherence terms, every
+//! transpiled gate contributes its calibrated infidelity, and each
+//! measured qubit its readout error. Everything here is known *before
+//! induction* — only circuit structure and calibration statistics.
+//!
+//! The empirical device channel in `qbeep-sim` aggregates the same
+//! physical quantities into its hidden ground-truth rate and then
+//! perturbs it with model-mismatch jitter; this module is the
+//! *estimator* side of that pair, so the estimate is good but
+//! imperfect — exactly the paper's situation (§3.5, §4.2.2).
+
+use qbeep_circuit::Gate;
+use qbeep_device::Backend;
+use qbeep_transpile::TranspiledCircuit;
+
+/// Itemised contributions to λ, useful for ablation studies
+/// (`DESIGN.md` §5) and reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LambdaBreakdown {
+    /// `Σ_q (1 − e^{−t/T1_q})` over active qubits.
+    pub t1_term: f64,
+    /// `Σ_q (1 − e^{−t/T2_q})` over active qubits.
+    pub t2_term: f64,
+    /// `Σ_gates σ_gate` over transpiled gate instances.
+    pub gate_term: f64,
+    /// `Σ_q ro_q` over measured qubits.
+    pub readout_term: f64,
+}
+
+impl LambdaBreakdown {
+    /// The full rate: the sum of all four terms.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.t1_term + self.t2_term + self.gate_term + self.readout_term
+    }
+}
+
+/// Computes the Eq. 2 λ estimate with its per-term breakdown.
+///
+/// # Panics
+///
+/// Panics if the transpiled circuit references qubits or edges missing
+/// from the backend's calibration.
+#[must_use]
+pub fn lambda_breakdown(transpiled: &TranspiledCircuit, backend: &Backend) -> LambdaBreakdown {
+    let cal = backend.calibration();
+    let circuit = transpiled.circuit();
+    let t_ns = transpiled.duration_ns();
+
+    let mut active = vec![false; circuit.num_qubits()];
+    let mut gate_term = 0.0;
+    for inst in circuit.instructions() {
+        let qs = inst.qubits();
+        for &q in qs {
+            active[q as usize] = true;
+        }
+        gate_term += match inst.gate() {
+            Gate::RZ(_) => 0.0, // virtual frame change: no physical pulse
+            Gate::CX => cal
+                .cx_gate(qs[0], qs[1])
+                .expect("transpiled CX acts on a calibrated edge")
+                .error,
+            _ => cal.sq_gate(qs[0]).error,
+        };
+    }
+    for &q in circuit.measured() {
+        active[q as usize] = true;
+    }
+
+    let (mut t1_term, mut t2_term) = (0.0, 0.0);
+    for (q, &is_active) in active.iter().enumerate() {
+        if is_active {
+            let qc = cal.qubit(q as u32);
+            t1_term += 1.0 - (-t_ns / (qc.t1_us * 1000.0)).exp();
+            t2_term += 1.0 - (-t_ns / (qc.t2_us * 1000.0)).exp();
+        }
+    }
+
+    let readout_term: f64 =
+        circuit.measured().iter().map(|&q| cal.qubit(q).readout_error).sum();
+
+    LambdaBreakdown { t1_term, t2_term, gate_term, readout_term }
+}
+
+/// The Eq. 2 λ estimate (the sum of [`lambda_breakdown`]'s terms).
+///
+/// # Panics
+///
+/// As [`lambda_breakdown`].
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::bernstein_vazirani;
+/// use qbeep_core::lambda::estimate_lambda;
+/// use qbeep_device::profiles;
+/// use qbeep_transpile::Transpiler;
+///
+/// let backend = profiles::by_name("fake_lima").unwrap();
+/// let t = Transpiler::new(&backend)
+///     .transpile(&bernstein_vazirani(&"1011".parse().unwrap()))
+///     .unwrap();
+/// let lambda = estimate_lambda(&t, &backend);
+/// assert!(lambda > 0.0 && lambda < 10.0);
+/// ```
+#[must_use]
+pub fn estimate_lambda(transpiled: &TranspiledCircuit, backend: &Backend) -> f64 {
+    lambda_breakdown(transpiled, backend).total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::library::{bernstein_vazirani, qasmbench_suite};
+    use qbeep_device::profiles;
+    use qbeep_transpile::Transpiler;
+
+    #[test]
+    fn breakdown_terms_are_positive_and_sum() {
+        let backend = profiles::by_name("fake_jakarta").unwrap();
+        let t = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&"101101".parse().unwrap()))
+            .unwrap();
+        let b = lambda_breakdown(&t, &backend);
+        assert!(b.t1_term > 0.0);
+        assert!(b.t2_term > 0.0);
+        assert!(b.gate_term > 0.0);
+        assert!(b.readout_term > 0.0);
+        assert!((b.total() - estimate_lambda(&t, &backend)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_matches_ground_truth_formula() {
+        // The estimator and the empirical channel's pre-jitter rate are
+        // the same physical aggregation; verify they agree.
+        let backend = profiles::by_name("fake_toronto").unwrap();
+        let t = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&"11011011".parse().unwrap()))
+            .unwrap();
+        let est = estimate_lambda(&t, &backend);
+        let truth = qbeep_sim::ground_truth_lambda(&t, &backend);
+        assert!((est - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_circuits_estimate_higher() {
+        let backend = profiles::by_name("fake_washington").unwrap();
+        let tp = Transpiler::new(&backend);
+        let shallow = estimate_lambda(
+            &tp.transpile(&bernstein_vazirani(&"111".parse().unwrap())).unwrap(),
+            &backend,
+        );
+        let deep = estimate_lambda(
+            &tp.transpile(&bernstein_vazirani(&"11111111111".parse().unwrap())).unwrap(),
+            &backend,
+        );
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn suite_lambdas_are_in_plausible_range() {
+        // Paper Fig. 10c: practical λ values concentrate in 0–2 for
+        // small circuits, a few units for deep ones.
+        let backend = profiles::by_name("fake_guadalupe").unwrap();
+        let tp = Transpiler::new(&backend);
+        for entry in qasmbench_suite() {
+            let t = tp.transpile(entry.circuit()).unwrap();
+            let l = estimate_lambda(&t, &backend);
+            assert!(l > 0.0 && l < 6.0, "{}: λ = {l}", entry.label());
+        }
+    }
+}

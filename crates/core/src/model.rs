@@ -1,0 +1,442 @@
+//! Spectral models: probability laws over Hamming distance.
+//!
+//! §3.2 of the paper validates five candidate descriptions of the
+//! error structure in the Hamming spectrum (Fig. 6):
+//!
+//! * **Q-BEEP** — Poisson with the pre-induction λ of Eq. 2,
+//! * **MLE Poisson** — Poisson fitted to the observed spectrum,
+//! * **MLE Binomial** — independent-bit-flip model,
+//! * **MLE Uniform** — structureless noise,
+//! * **HAMMER weighting** — exponentially decaying local weighting
+//!   (see [`crate::hammer`]).
+//!
+//! This module provides the laws, their MLE fitters, and the
+//! spectrum-space Hellinger distance the figure ranks them with.
+
+use qbeep_bitstring::HammingSpectrum;
+
+/// The Poisson probability mass `P(k) = λᵏ e^{−λ} / k!`.
+///
+/// Computed in log space for numerical robustness at large `k`.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+#[must_use]
+pub fn poisson_pmf(lambda: f64, k: usize) -> f64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "invalid Poisson rate {lambda}");
+    if lambda == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    let kf = k as f64;
+    (kf * lambda.ln() - lambda - ln_factorial(k)).exp()
+}
+
+/// The binomial probability mass `P(k) = C(n, k) pᵏ (1−p)^{n−k}`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `k > n`.
+#[must_use]
+pub fn binomial_pmf(n: usize, p: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "invalid binomial p {p}");
+    assert!(k <= n, "binomial k {k} exceeds n {n}");
+    let ln_c = ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_c + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// `ln(k!)` via a small table and Stirling's series.
+fn ln_factorial(k: usize) -> f64 {
+    const TABLE: [f64; 2] = [0.0, 0.0];
+    if k < 2 {
+        return TABLE[k];
+    }
+    // Exact accumulation is cheap for the k ≤ 128 this crate meets.
+    (2..=k).map(|i| (i as f64).ln()).sum()
+}
+
+/// A model of the per-distance probability mass over `0..=width`.
+///
+/// Produced by the constructors below; its [`masses`](Self::masses)
+/// are normalised over the truncated support so it can be compared to
+/// observed spectra directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumModel {
+    name: &'static str,
+    masses: Vec<f64>,
+}
+
+impl SpectrumModel {
+    /// The truncated-and-renormalised Poisson spectrum at rate
+    /// `lambda` — Q-BEEP's predicted Hamming spectrum when `lambda`
+    /// comes from Eq. 2, or the MLE fit when it comes from
+    /// [`mle_poisson`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is invalid.
+    #[must_use]
+    pub fn poisson(width: usize, lambda: f64) -> Self {
+        let masses: Vec<f64> = (0..=width).map(|k| poisson_pmf(lambda, k)).collect();
+        Self::normalised("poisson", masses)
+    }
+
+    /// The binomial (independent bit-flip) spectrum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn binomial(width: usize, p: f64) -> Self {
+        let masses: Vec<f64> = (0..=width).map(|k| binomial_pmf(width, p, k)).collect();
+        Self::normalised("binomial", masses)
+    }
+
+    /// The structureless model: every *bit-string* equally likely, so
+    /// the per-distance mass is `C(n, k) / 2ⁿ`.
+    #[must_use]
+    pub fn uniform(width: usize) -> Self {
+        let masses: Vec<f64> =
+            (0..=width).map(|k| binomial_pmf(width, 0.5, k)).collect();
+        Self::normalised("uniform", masses)
+    }
+
+    /// HAMMER's locality weighting viewed as a spectrum: weight decays
+    /// exponentially with distance (`2^{−k}`), encoding the "errors
+    /// cluster immediately around the answer" assumption the paper
+    /// shows breaking down at larger depth.
+    #[must_use]
+    pub fn hammer_weighting(width: usize) -> Self {
+        let masses: Vec<f64> = (0..=width).map(|k| (0.5f64).powi(k as i32)).collect();
+        Self::normalised("hammer", masses)
+    }
+
+    fn normalised(name: &'static str, mut masses: Vec<f64>) -> Self {
+        let total: f64 = masses.iter().sum();
+        assert!(total > 0.0, "{name} spectrum has zero mass");
+        for m in &mut masses {
+            *m /= total;
+        }
+        Self { name, masses }
+    }
+
+    /// The model's name tag.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Per-distance masses (index = Hamming distance), summing to 1.
+    #[must_use]
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// The modelled probability of distance `k` (0 out of range).
+    #[must_use]
+    pub fn mass(&self, k: usize) -> f64 {
+        self.masses.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Hellinger distance between this model and an observed spectrum
+    /// (both over distance bins) — Fig. 6's x-axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn hellinger_to(&self, observed: &HammingSpectrum) -> f64 {
+        spectrum_hellinger(&self.masses, observed.masses())
+    }
+}
+
+/// Hellinger distance between two per-distance mass vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn spectrum_hellinger(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spectrum lengths differ: {} vs {}", a.len(), b.len());
+    let bc: f64 = a.iter().zip(b).map(|(x, y)| (x * y).sqrt()).sum();
+    (1.0 - bc.min(1.0)).max(0.0).sqrt()
+}
+
+/// Maximum-likelihood Poisson rate for an observed spectrum: the mean
+/// distance.
+#[must_use]
+pub fn mle_poisson(observed: &HammingSpectrum) -> f64 {
+    observed.expected_distance()
+}
+
+/// The negative-binomial probability mass
+/// `P(k) = C(k + r − 1, k) · (1 − q)^r · q^k` with dispersion `r > 0`
+/// and `q ∈ [0, 1)` — the over-dispersion-aware generalisation of the
+/// Poisson law (Poisson is the `r → ∞` limit). Implements the paper's
+/// future-work direction of "better Hamming spectrum characterization
+/// equations": real spectra show IoD slightly off 1, which this family
+/// captures while the Poisson cannot.
+///
+/// # Panics
+///
+/// Panics if `r <= 0` or `q` outside `[0, 1)`.
+#[must_use]
+pub fn neg_binomial_pmf(r: f64, q: f64, k: usize) -> f64 {
+    assert!(r > 0.0, "dispersion r {r} must be positive");
+    assert!((0.0..1.0).contains(&q), "q {q} outside [0, 1)");
+    if q == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    // ln C(k + r − 1, k) via ln Γ.
+    let ln_c = ln_gamma(k as f64 + r) - ln_factorial(k) - ln_gamma(r);
+    (ln_c + r * (1.0 - q).ln() + k as f64 * q.ln()).exp()
+}
+
+/// Stirling-series `ln Γ(x)` for `x > 0` (sufficient accuracy for the
+/// spectrum widths used here).
+fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln Γ needs positive argument, got {x}");
+    // Shift into the asymptotic regime.
+    let mut acc = 0.0;
+    let mut y = x;
+    while y < 8.0 {
+        acc -= y.ln();
+        y += 1.0;
+    }
+    let inv = 1.0 / y;
+    let inv2 = inv * inv;
+    acc + (y - 0.5) * y.ln() - y
+        + 0.5 * (std::f64::consts::TAU).ln()
+        + inv / 12.0 * (1.0 - inv2 / 30.0 * (1.0 - inv2 * 2.0 / 7.0))
+}
+
+impl SpectrumModel {
+    /// The truncated-and-renormalised negative-binomial spectrum with
+    /// mean `mean` and index of dispersion `iod ≥ 1` (moment
+    /// parameterisation: `q = 1 − 1/iod`, `r = mean/(iod − 1)`;
+    /// `iod → 1` falls back to the Poisson spectrum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 0` or `iod < 1`.
+    #[must_use]
+    pub fn neg_binomial(width: usize, mean: f64, iod: f64) -> Self {
+        assert!(mean >= 0.0, "mean {mean} negative");
+        assert!(iod >= 1.0, "negative binomial requires IoD ≥ 1, got {iod}");
+        if mean == 0.0 || iod - 1.0 < 1e-9 {
+            let mut m = Self::poisson(width, mean);
+            m.name = "neg_binomial";
+            return m;
+        }
+        let q = 1.0 - 1.0 / iod;
+        let r = mean / (iod - 1.0);
+        let masses: Vec<f64> = (0..=width).map(|k| neg_binomial_pmf(r, q, k)).collect();
+        Self::normalised("neg_binomial", masses)
+    }
+}
+
+/// Moment fit of the negative binomial to an observed spectrum:
+/// `(mean, IoD)` clamped to the valid over-dispersed region.
+#[must_use]
+pub fn mle_neg_binomial(observed: &HammingSpectrum) -> (f64, f64) {
+    let mean = observed.expected_distance();
+    let iod = observed.index_of_dispersion().unwrap_or(1.0).max(1.0);
+    (mean, iod)
+}
+
+/// Maximum-likelihood binomial flip probability: mean distance / width.
+///
+/// # Panics
+///
+/// Panics if the spectrum has zero width.
+#[must_use]
+pub fn mle_binomial(observed: &HammingSpectrum) -> f64 {
+    assert!(observed.width() > 0, "zero-width spectrum");
+    (observed.expected_distance() / observed.width() as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_bitstring::BitString;
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        for lambda in [0.3, 1.0, 4.0, 12.0] {
+            let total: f64 = (0..200).map(|k| poisson_pmf(lambda, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "λ = {lambda}");
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_known_values() {
+        assert!((poisson_pmf(1.0, 0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!((poisson_pmf(2.0, 2) - 2.0 * (-2.0f64).exp()).abs() < 1e-12);
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn poisson_mode_is_near_lambda() {
+        let lambda = 3.0;
+        let pmfs: Vec<f64> = (0..20).map(|k| poisson_pmf(lambda, k)).collect();
+        let mode = pmfs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(mode == 2 || mode == 3);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_and_edges() {
+        let total: f64 = (0..=10).map(|k| binomial_pmf(10, 0.3, k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(binomial_pmf(5, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(5, 1.0, 5), 1.0);
+        assert_eq!(binomial_pmf(5, 1.0, 3), 0.0);
+    }
+
+    #[test]
+    fn spectrum_models_are_normalised() {
+        for model in [
+            SpectrumModel::poisson(10, 2.5),
+            SpectrumModel::binomial(10, 0.2),
+            SpectrumModel::uniform(10),
+            SpectrumModel::hammer_weighting(10),
+        ] {
+            let total: f64 = model.masses().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", model.name());
+            assert_eq!(model.masses().len(), 11);
+        }
+    }
+
+    #[test]
+    fn hammer_weighting_is_monotone_decreasing() {
+        let m = SpectrumModel::hammer_weighting(8);
+        for k in 1..=8 {
+            assert!(m.mass(k) < m.mass(k - 1));
+        }
+    }
+
+    #[test]
+    fn poisson_model_peaks_away_from_zero_for_large_lambda() {
+        // The non-local clustering signature: for λ = 4 the mode is at
+        // distance ≈ 4, unlike HAMMER's always-local weighting.
+        let m = SpectrumModel::poisson(12, 4.0);
+        let mode = (0..=12).max_by(|&a, &b| m.mass(a).partial_cmp(&m.mass(b)).unwrap()).unwrap();
+        assert!((3..=5).contains(&mode), "mode = {mode}");
+    }
+
+    #[test]
+    fn hellinger_zero_for_identical() {
+        let a = SpectrumModel::poisson(8, 1.5);
+        let obs = HammingSpectrum::from_masses(BitString::zeros(8), a.masses());
+        assert!(a.hellinger_to(&obs) < 1e-9);
+    }
+
+    #[test]
+    fn mle_poisson_recovers_rate() {
+        // Build a spectrum from a Poisson model and fit it back.
+        let lambda = 2.2;
+        let model = SpectrumModel::poisson(14, lambda);
+        let obs = HammingSpectrum::from_masses(BitString::zeros(14), model.masses());
+        let fit = mle_poisson(&obs);
+        assert!((fit - lambda).abs() < 0.05, "fit {fit}"); // truncation bias only
+    }
+
+    #[test]
+    fn mle_binomial_recovers_p() {
+        let model = SpectrumModel::binomial(10, 0.35);
+        let obs = HammingSpectrum::from_masses(BitString::zeros(10), model.masses());
+        assert!((mle_binomial(&obs) - 0.35).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mle_fit_beats_wrong_models_on_poisson_data() {
+        // Fig. 6's ranking in miniature: Poisson data is described
+        // better by the Poisson fit than by binomial/uniform/HAMMER.
+        let truth = SpectrumModel::poisson(12, 3.0);
+        let obs = HammingSpectrum::from_masses(BitString::zeros(12), truth.masses());
+        let d_poisson = SpectrumModel::poisson(12, mle_poisson(&obs)).hellinger_to(&obs);
+        let d_binom = SpectrumModel::binomial(12, mle_binomial(&obs)).hellinger_to(&obs);
+        let d_uniform = SpectrumModel::uniform(12).hellinger_to(&obs);
+        let d_hammer = SpectrumModel::hammer_weighting(12).hellinger_to(&obs);
+        assert!(d_poisson < d_binom, "poisson {d_poisson} vs binom {d_binom}");
+        assert!(d_poisson < d_uniform);
+        assert!(d_poisson < d_hammer);
+    }
+
+    #[test]
+    fn neg_binomial_pmf_sums_to_one() {
+        for (r, q) in [(2.0, 0.3), (0.5, 0.6), (10.0, 0.1)] {
+            let total: f64 = (0..400).map(|k| neg_binomial_pmf(r, q, k)).sum();
+            assert!((total - 1.0).abs() < 1e-6, "r={r} q={q}: {total}");
+        }
+    }
+
+    #[test]
+    fn neg_binomial_moments_match_parameterisation() {
+        // mean = rq/(1−q); IoD = 1/(1−q).
+        let (r, q) = (3.0, 0.4);
+        let mean: f64 = (0..400).map(|k| k as f64 * neg_binomial_pmf(r, q, k)).sum();
+        let var: f64 =
+            (0..400).map(|k| (k as f64 - mean).powi(2) * neg_binomial_pmf(r, q, k)).sum();
+        assert!((mean - r * q / (1.0 - q)).abs() < 1e-6);
+        assert!((var / mean - 1.0 / (1.0 - q)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neg_binomial_limits_to_poisson() {
+        let p = SpectrumModel::poisson(12, 2.0);
+        let nb = SpectrumModel::neg_binomial(12, 2.0, 1.0);
+        for k in 0..=12 {
+            assert!((p.mass(k) - nb.mass(k)).abs() < 1e-9, "k = {k}");
+        }
+        // Near-Poisson IoD stays close.
+        let nb_eps = SpectrumModel::neg_binomial(12, 2.0, 1.001);
+        assert!(spectrum_hellinger(p.masses(), nb_eps.masses()) < 0.02);
+    }
+
+    #[test]
+    fn neg_binomial_fits_overdispersed_data_better_than_poisson() {
+        // Build an IoD = 1.5 spectrum and compare fitted models.
+        let truth = SpectrumModel::neg_binomial(14, 2.5, 1.5);
+        let obs = HammingSpectrum::from_masses(BitString::zeros(14), truth.masses());
+        let (mean, iod) = mle_neg_binomial(&obs);
+        let d_nb = SpectrumModel::neg_binomial(14, mean, iod).hellinger_to(&obs);
+        let d_poisson = SpectrumModel::poisson(14, mle_poisson(&obs)).hellinger_to(&obs);
+        assert!(d_nb < d_poisson, "nb {d_nb} vs poisson {d_poisson}");
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..15usize {
+            let expect: f64 = (1..n).map(|i| (i as f64).ln()).sum();
+            assert!((ln_gamma(n as f64) - expect).abs() < 1e-9, "n = {n}");
+        }
+        // Half-integer check: Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn spectrum_hellinger_bounds() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((spectrum_hellinger(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(spectrum_hellinger(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn hellinger_length_mismatch_panics() {
+        let _ = spectrum_hellinger(&[1.0], &[0.5, 0.5]);
+    }
+}

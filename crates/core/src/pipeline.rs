@@ -1,0 +1,287 @@
+//! The high-level Q-BEEP mitigation API (the paper's Fig. 5 end to
+//! end).
+
+use qbeep_bitstring::{Counts, Distribution};
+use qbeep_device::Backend;
+use qbeep_transpile::TranspiledCircuit;
+
+use crate::config::QBeepConfig;
+use crate::graph::StateGraph;
+use crate::lambda::estimate_lambda;
+
+/// Output of a mitigation pass.
+#[derive(Debug, Clone)]
+pub struct MitigationResult {
+    /// The error-mitigated distribution.
+    pub mitigated: Distribution,
+    /// The λ the state graph was parameterised with.
+    pub lambda: f64,
+    /// Graph size actually built: (vertices, edges).
+    pub graph_size: (usize, usize),
+    /// Per-iteration distributions when tracking was requested
+    /// (Fig. 7c); empty otherwise.
+    pub trace: Vec<Distribution>,
+}
+
+/// The Q-BEEP mitigation engine.
+///
+/// Construct with a [`QBeepConfig`] (or [`QBeep::default`] for the
+/// paper's setup), then call [`mitigate_run`](Self::mitigate_run) with
+/// the measured counts plus the transpilation artefact and backend the
+/// job ran on — λ is estimated from those (Eq. 2) — or
+/// [`mitigate_with_lambda`](Self::mitigate_with_lambda) when λ is
+/// supplied externally (e.g. the QAOA dataset's published statistics,
+/// §4.4).
+#[derive(Debug, Clone, Default)]
+pub struct QBeep {
+    config: QBeepConfig,
+}
+
+impl QBeep {
+    /// Creates an engine with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: QBeepConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &QBeepConfig {
+        &self.config
+    }
+
+    /// Mitigates measured `counts` using λ estimated from the
+    /// transpiled circuit and backend calibration (Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    #[must_use]
+    pub fn mitigate_run(
+        &self,
+        counts: &Counts,
+        transpiled: &TranspiledCircuit,
+        backend: &Backend,
+    ) -> MitigationResult {
+        self.mitigate_with_lambda(counts, estimate_lambda(transpiled, backend))
+    }
+
+    /// Mitigates measured `counts` with an externally supplied λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or λ is invalid.
+    #[must_use]
+    pub fn mitigate_with_lambda(&self, counts: &Counts, lambda: f64) -> MitigationResult {
+        let mut graph = StateGraph::build(counts, lambda, &self.config);
+        let size = (graph.num_nodes(), graph.num_edges());
+        graph.iterate();
+        MitigationResult {
+            mitigated: graph.distribution(),
+            lambda,
+            graph_size: size,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Mitigates with an *adaptively refined* λ — the paper's stated
+    /// future-work direction ("further investigation into a better λ
+    /// estimation function", §7): blend the pre-induction Eq.-2
+    /// estimate with the post-induction MLE of the observed Hamming
+    /// spectrum around the dominant outcome,
+    /// `λ = α·λ_est + (1 − α)·λ_MLE`.
+    ///
+    /// With `alpha = 1` this is exactly
+    /// [`mitigate_with_lambda`](Self::mitigate_with_lambda); smaller α
+    /// trusts the data more, which helps when calibration mis-models
+    /// the machine (the regression cases of §4.2.2) at the cost of
+    /// assuming the dominant outcome approximates the true solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty, λ invalid, or `alpha` outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn mitigate_adaptive(
+        &self,
+        counts: &Counts,
+        lambda_est: f64,
+        alpha: f64,
+    ) -> MitigationResult {
+        assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0, 1]");
+        let mode = counts.mode().expect("non-empty counts");
+        let spectrum = counts.to_distribution().hamming_spectrum(&mode);
+        let lambda_mle = crate::model::mle_poisson(&spectrum);
+        self.mitigate_with_lambda(counts, alpha * lambda_est + (1.0 - alpha) * lambda_mle)
+    }
+
+    /// As [`mitigate_with_lambda`](Self::mitigate_with_lambda) but
+    /// recording the distribution after every iteration (Fig. 7c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or λ is invalid.
+    #[must_use]
+    pub fn mitigate_tracked(&self, counts: &Counts, lambda: f64) -> MitigationResult {
+        let mut graph = StateGraph::build(counts, lambda, &self.config);
+        let size = (graph.num_nodes(), graph.num_edges());
+        let trace = graph.iterate_tracked();
+        MitigationResult {
+            mitigated: graph.distribution(),
+            lambda,
+            graph_size: size,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_bitstring::BitString;
+    use qbeep_circuit::library::bernstein_vazirani;
+    use qbeep_device::profiles;
+    use qbeep_sim::{execute_on_device, EmpiricalConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn improves_bv_fidelity_end_to_end() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let secret = bs("10110");
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = execute_on_device(
+            &bernstein_vazirani(&secret),
+            &backend,
+            4000,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let result = QBeep::default().mitigate_run(&run.counts, &run.transpiled, &backend);
+        let before = run.counts.to_distribution().fidelity(&run.ideal);
+        let after = result.mitigated.fidelity(&run.ideal);
+        assert!(after > before, "fidelity {before} → {after} should improve");
+        assert!(result.lambda > 0.0);
+        assert!(result.graph_size.0 > 1);
+    }
+
+    #[test]
+    fn improves_pst_on_average_across_seeds() {
+        // The statistical claim (Fig. 7a): most executions improve.
+        let backend = profiles::by_name("fake_quito").unwrap();
+        let secret = bs("1011");
+        let bv = bernstein_vazirani(&secret);
+        let engine = QBeep::default();
+        let mut improved = 0;
+        let runs = 10;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run =
+                execute_on_device(&bv, &backend, 3000, &EmpiricalConfig::default(), &mut rng)
+                    .unwrap();
+            let result = engine.mitigate_run(&run.counts, &run.transpiled, &backend);
+            let before = run.counts.pst(&secret);
+            let after = result.mitigated.prob(&secret);
+            if after > before {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 7, "only {improved}/{runs} improved");
+    }
+
+    #[test]
+    fn tracked_trace_has_config_length() {
+        let counts = Counts::from_pairs(
+            3,
+            vec![(bs("000"), 500), (bs("001"), 200), (bs("011"), 100)],
+        );
+        let result = QBeep::default().mitigate_tracked(&counts, 0.7);
+        assert_eq!(result.trace.len(), 20);
+        assert_eq!(
+            result.trace.last().unwrap().prob(&bs("000")),
+            result.mitigated.prob(&bs("000"))
+        );
+    }
+
+    #[test]
+    fn untracked_trace_is_empty() {
+        let counts = Counts::from_pairs(2, vec![(bs("00"), 10), (bs("01"), 5)]);
+        let result = QBeep::default().mitigate_with_lambda(&counts, 0.5);
+        assert!(result.trace.is_empty());
+    }
+
+    #[test]
+    fn adaptive_lambda_blends_estimates() {
+        let counts = Counts::from_pairs(
+            4,
+            vec![(bs("0000"), 500), (bs("0001"), 200), (bs("0011"), 200), (bs("0111"), 100)],
+        );
+        let engine = QBeep::default();
+        // α = 1 reproduces the plain estimate exactly.
+        let plain = engine.mitigate_with_lambda(&counts, 2.0);
+        let fixed = engine.mitigate_adaptive(&counts, 2.0, 1.0);
+        assert_eq!(plain.lambda, fixed.lambda);
+        // α = 0 uses the observed spectrum MLE:
+        // mean distance from 0000 = 0.5·0 + 0.2·1 + 0.2·2 + 0.1·3 = 0.9.
+        let data_only = engine.mitigate_adaptive(&counts, 2.0, 0.0);
+        assert!((data_only.lambda - 0.9).abs() < 1e-9, "{}", data_only.lambda);
+        // α = 0.5 blends.
+        let blended = engine.mitigate_adaptive(&counts, 2.0, 0.5);
+        assert!((blended.lambda - 1.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_lambda_recovers_from_misestimation() {
+        // A channel at λ* = 1.0 but a calibration estimate 4× too large:
+        // the data-informed blend lands nearer truth.
+        use qbeep_sim::{EmpiricalChannel, EmpiricalConfig};
+        let secret = bs("1011010");
+        let channel = EmpiricalChannel::new(
+            qbeep_bitstring::Distribution::point(secret),
+            1.0,
+            EmpiricalConfig::exact(),
+        );
+        let mut rng = StdRng::seed_from_u64(21);
+        let counts = channel.run(6000, &mut rng);
+        let engine = QBeep::default();
+        let bad = engine.mitigate_with_lambda(&counts, 4.0);
+        let adaptive = engine.mitigate_adaptive(&counts, 4.0, 0.3);
+        assert!(
+            (adaptive.lambda - 1.0).abs() < (bad.lambda - 1.0).abs(),
+            "adaptive λ {} vs fixed {}",
+            adaptive.lambda,
+            bad.lambda
+        );
+        let ideal = qbeep_bitstring::Distribution::point(secret);
+        assert!(
+            adaptive.mitigated.fidelity(&ideal) >= bad.mitigated.fidelity(&ideal) - 1e-9,
+            "adaptive {} vs fixed {}",
+            adaptive.mitigated.fidelity(&ideal),
+            bad.mitigated.fidelity(&ideal)
+        );
+    }
+
+    #[test]
+    fn preserves_high_entropy_distributions() {
+        // §4.3/Fig. 11: with no dominant output there is no imbalance
+        // to exploit — the distribution should survive roughly intact.
+        let mut counts = Counts::new(3);
+        for v in 0..8u32 {
+            counts.record(BitString::from_value(u128::from(v), 3), 125);
+        }
+        let result = QBeep::default().mitigate_with_lambda(&counts, 0.8);
+        let before = counts.to_distribution();
+        let tvd = result.mitigated.total_variation(&before);
+        assert!(tvd < 0.05, "uniform input distorted by {tvd}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Readout-error mitigation via iterative Bayesian unfolding (IBU) —
+//! an additional classical post-processing baseline in the spirit of
+//! the measurement-error mitigation literature the paper's related
+//! work surveys (e.g. Zheng et al.'s Bayesian treatment, §6).
+//!
+//! Unlike Q-BEEP, this targets *only* state-preparation-and-measurement
+//! errors: it deconvolves the per-qubit readout confusion channel from
+//! the measured counts. It composes naturally with Q-BEEP (unfold
+//! readout first, then reclassify the remaining Hamming-clustered gate
+//! errors) — the combination the paper gestures at in §3.5 when
+//! discussing stacking Q-BEEP with other QEM techniques.
+
+use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_device::Backend;
+
+/// A tensored readout confusion model: independent per-bit flip
+/// probabilities for the measured qubits, in classical-bit order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadoutModel {
+    flip: Vec<f64>,
+}
+
+impl ReadoutModel {
+    /// Builds a model from explicit per-bit flip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flip` is empty or any probability is outside
+    /// `[0, 0.5)` (a flip probability ≥ ½ makes the channel
+    /// non-invertible).
+    #[must_use]
+    pub fn new(flip: Vec<f64>) -> Self {
+        assert!(!flip.is_empty(), "readout model needs at least one bit");
+        for (i, &p) in flip.iter().enumerate() {
+            assert!(
+                (0.0..0.5).contains(&p),
+                "flip probability {p} on bit {i} outside [0, 0.5)"
+            );
+        }
+        Self { flip }
+    }
+
+    /// Reads the model off a backend's calibration for the physical
+    /// qubits measured by a transpiled circuit (classical-bit order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a measured qubit has no calibration entry.
+    #[must_use]
+    pub fn from_backend(backend: &Backend, measured: &[u32]) -> Self {
+        Self::new(
+            measured
+                .iter()
+                .map(|&q| backend.calibration().qubit(q).readout_error.min(0.499))
+                .collect(),
+        )
+    }
+
+    /// Number of measured bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.flip.len()
+    }
+
+    /// Likelihood of measuring `observed` given the true state `truth`:
+    /// the product of per-bit agreement factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either string's width differs from the model's.
+    #[must_use]
+    pub fn likelihood(&self, observed: &BitString, truth: &BitString) -> f64 {
+        assert_eq!(observed.len(), self.width(), "observed width mismatch");
+        assert_eq!(truth.len(), self.width(), "truth width mismatch");
+        self.flip
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if observed.bit(i) == truth.bit(i) { 1.0 - p } else { p })
+            .product()
+    }
+}
+
+/// Iterative Bayesian unfolding of `counts` through `model`,
+/// restricted to the observed support (the practical restriction used
+/// by scalable readout mitigators — the true state is overwhelmingly
+/// likely to be one of the observed strings).
+///
+/// `iterations` expectation-maximisation updates of
+/// `θ(t) ∝ θ(t) · Σ_s c(s)·L(s|t) / Σ_t' L(s|t')·θ(t')`
+/// starting from the empirical distribution. The output is a proper
+/// distribution (non-negative, normalised) by construction.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty, widths mismatch, or `iterations == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::Counts;
+/// use qbeep_core::readout::{ibu_mitigate, ReadoutModel};
+///
+/// // A 2-bit register with 5% readout flips; truth is always "00".
+/// let model = ReadoutModel::new(vec![0.05, 0.05]);
+/// let counts = Counts::from_pairs(2, vec![
+///     ("00".parse().unwrap(), 905),
+///     ("01".parse().unwrap(), 48),
+///     ("10".parse().unwrap(), 47),
+/// ]);
+/// let unfolded = ibu_mitigate(&counts, &model, 10);
+/// assert!(unfolded.prob(&"00".parse().unwrap()) > 0.97);
+/// ```
+#[must_use]
+pub fn ibu_mitigate(counts: &Counts, model: &ReadoutModel, iterations: usize) -> Distribution {
+    assert!(!counts.is_empty(), "cannot unfold zero shots");
+    assert_eq!(counts.width(), model.width(), "counts/model width mismatch");
+    assert!(iterations > 0, "need at least one IBU iteration");
+
+    let support: Vec<(BitString, f64)> = counts
+        .sorted_by_count()
+        .into_iter()
+        .map(|(s, c)| (s, c as f64))
+        .collect();
+    let n = support.len();
+    // Likelihood matrix restricted to the support: l[s][t].
+    let mut likelihood = vec![vec![0.0; n]; n];
+    for (si, (s, _)) in support.iter().enumerate() {
+        for (ti, (t, _)) in support.iter().enumerate() {
+            likelihood[si][ti] = model.likelihood(s, t);
+        }
+    }
+
+    let total: f64 = support.iter().map(|&(_, c)| c).sum();
+    let mut theta: Vec<f64> = support.iter().map(|&(_, c)| c / total).collect();
+    for _ in 0..iterations {
+        let mut next = vec![0.0; n];
+        for (si, (_, c)) in support.iter().enumerate() {
+            let denom: f64 =
+                (0..n).map(|ti| likelihood[si][ti] * theta[ti]).sum();
+            if denom <= 0.0 {
+                continue;
+            }
+            for (ti, next_t) in next.iter_mut().enumerate() {
+                *next_t += c / total * likelihood[si][ti] * theta[ti] / denom;
+            }
+        }
+        theta = next;
+    }
+
+    Distribution::from_probs(
+        counts.width(),
+        support.iter().zip(&theta).filter(|(_, &p)| p > 1e-12).map(|(&(s, _), &p)| (s, p)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_device::profiles;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn likelihood_matches_hand_computation() {
+        let m = ReadoutModel::new(vec![0.1, 0.2]);
+        // observed 01 given truth 00: bit0 flipped (0.1), bit1 kept (0.8).
+        assert!((m.likelihood(&bs("01"), &bs("00")) - 0.1 * 0.8).abs() < 1e-12);
+        assert!((m.likelihood(&bs("00"), &bs("00")) - 0.9 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfolding_sharpens_a_point_source() {
+        let m = ReadoutModel::new(vec![0.08; 4]);
+        // Simulated readout smearing of a pure |1010⟩ source.
+        let truth = bs("1010");
+        let mut counts = Counts::new(4);
+        counts.record(truth, 7200);
+        for i in 0..4 {
+            counts.record(truth.with_flipped(i), 620);
+        }
+        let unfolded = ibu_mitigate(&counts, &m, 10);
+        let before = counts.to_distribution().prob(&truth);
+        assert!(unfolded.prob(&truth) > before + 0.05, "{} vs {}", unfolded.prob(&truth), before);
+    }
+
+    #[test]
+    fn output_is_a_distribution() {
+        let m = ReadoutModel::new(vec![0.1, 0.3]);
+        let counts = Counts::from_pairs(2, vec![(bs("00"), 10), (bs("11"), 10), (bs("01"), 5)]);
+        let d = ibu_mitigate(&counts, &m, 5);
+        assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        assert!(d.support_size() <= 3);
+    }
+
+    #[test]
+    fn zero_flip_is_identity() {
+        let m = ReadoutModel::new(vec![0.0, 0.0]);
+        let counts = Counts::from_pairs(2, vec![(bs("00"), 75), (bs("11"), 25)]);
+        let d = ibu_mitigate(&counts, &m, 8);
+        assert!((d.prob(&bs("00")) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_backend_reads_calibration() {
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let m = ReadoutModel::from_backend(&backend, &[0, 1, 2]);
+        assert_eq!(m.width(), 3);
+    }
+
+    #[test]
+    fn composes_with_qbeep() {
+        // Unfold readout, rebuild counts, then Q-BEEP: should not be
+        // worse than Q-BEEP alone on a point-source workload.
+        use crate::QBeep;
+        let truth = bs("10110");
+        let m = ReadoutModel::new(vec![0.06; 5]);
+        let mut counts = Counts::new(5);
+        counts.record(truth, 4000);
+        for i in 0..5 {
+            counts.record(truth.with_flipped(i), 320);
+        }
+        for (i, j) in [(0, 1), (2, 3), (1, 4)] {
+            counts.record(truth.with_flipped(i).with_flipped(j), 110);
+        }
+        let engine = QBeep::default();
+        let direct = engine.mitigate_with_lambda(&counts, 0.5);
+        let unfolded = ibu_mitigate(&counts, &m, 10).to_counts(counts.total());
+        let stacked = engine.mitigate_with_lambda(&unfolded, 0.5);
+        assert!(
+            stacked.mitigated.prob(&truth) >= direct.mitigated.prob(&truth) - 0.02,
+            "stacked {} vs direct {}",
+            stacked.mitigated.prob(&truth),
+            direct.mitigated.prob(&truth)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 0.5)")]
+    fn invalid_flip_probability_panics() {
+        let _ = ReadoutModel::new(vec![0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shots")]
+    fn empty_counts_panics() {
+        let _ = ibu_mitigate(&Counts::new(2), &ReadoutModel::new(vec![0.1, 0.1]), 5);
+    }
+}

@@ -1,0 +1,193 @@
+//! A backend bundles a named machine's topology and calibration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Calibration, Topology};
+
+/// The native gate family a machine executes.
+///
+/// Only metadata for reporting: the transpiler in this workspace targets
+/// the IBM-style `{rz, sx, x, cx}` basis on every backend (the paper
+/// transpiles everything to IBMQ machines; the trapped-ion profile is
+/// used only for Hamming-structure measurements, Fig. 4b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NativeGateSet {
+    /// Superconducting transmon basis: `rz`, `sx`, `x`, `cx`.
+    SuperconductingCx,
+    /// Trapped-ion basis: single-qubit rotations plus Mølmer–Sørensen.
+    TrappedIonMs,
+}
+
+impl fmt::Display for NativeGateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SuperconductingCx => write!(f, "superconducting (rz/sx/x/cx)"),
+            Self::TrappedIonMs => write!(f, "trapped-ion (r/ms)"),
+        }
+    }
+}
+
+/// A quantum processor: name, technology, coupling topology and the
+/// latest calibration snapshot.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_device::{Backend, profiles};
+///
+/// let b: Backend = profiles::by_name("fake_washington").unwrap();
+/// assert_eq!(b.num_qubits(), 127);
+/// assert!(b.topology().is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Backend {
+    name: String,
+    gate_set: NativeGateSet,
+    topology: Topology,
+    calibration: Calibration,
+}
+
+impl Backend {
+    /// Assembles a backend, checking topology/calibration consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration covers a different number of qubits
+    /// than the topology, or lacks a CX calibration for some coupled
+    /// edge.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        gate_set: NativeGateSet,
+        topology: Topology,
+        calibration: Calibration,
+    ) -> Self {
+        assert_eq!(
+            topology.num_qubits(),
+            calibration.num_qubits(),
+            "topology and calibration disagree on qubit count"
+        );
+        for (a, b) in topology.edges() {
+            assert!(
+                calibration.cx_gate(a, b).is_some(),
+                "edge ({a}, {b}) has no CX calibration"
+            );
+        }
+        Self { name: name.into(), gate_set, topology, calibration }
+    }
+
+    /// The machine's name (e.g. `"fake_lagos"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The native gate technology.
+    #[must_use]
+    pub fn gate_set(&self) -> NativeGateSet {
+        self.gate_set
+    }
+
+    /// The coupling topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The current calibration snapshot.
+    #[must_use]
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Number of physical qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_qubits()
+    }
+
+    /// Replaces the calibration snapshot (e.g. with a
+    /// [drifted](Calibration::drifted) one), returning the new backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same consistency conditions as [`Backend::new`].
+    #[must_use]
+    pub fn with_calibration(&self, calibration: Calibration) -> Self {
+        Self::new(self.name.clone(), self.gate_set, self.topology.clone(), calibration)
+    }
+
+    /// A crude scalar quality figure — the mean CX error (falling back to
+    /// mean readout error for edgeless 1-qubit devices). Lower is better.
+    /// Used by the bench harness to sort machines for display.
+    #[must_use]
+    pub fn quality_score(&self) -> f64 {
+        self.calibration.mean_cx_error().unwrap_or_else(|| self.calibration.mean_readout_error())
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} qubits, {})", self.name, self.num_qubits(), self.gate_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateCalibration, QubitCalibration};
+    use std::collections::BTreeMap;
+
+    fn tiny_backend() -> Backend {
+        let topo = Topology::linear(2);
+        let qubits = vec![
+            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            2
+        ];
+        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 2];
+        let mut cx = BTreeMap::new();
+        cx.insert((0u32, 1u32), GateCalibration { error: 1e-2, duration_ns: 400.0 });
+        Backend::new("tiny", NativeGateSet::SuperconductingCx, topo, Calibration::new(qubits, sq, cx))
+    }
+
+    #[test]
+    fn accessors() {
+        let b = tiny_backend();
+        assert_eq!(b.name(), "tiny");
+        assert_eq!(b.num_qubits(), 2);
+        assert_eq!(b.gate_set(), NativeGateSet::SuperconductingCx);
+        assert!(b.quality_score() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no CX calibration")]
+    fn missing_edge_calibration_panics() {
+        let topo = Topology::linear(2);
+        let qubits = vec![
+            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            2
+        ];
+        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 2];
+        let cal = Calibration::new(qubits, sq, BTreeMap::new());
+        let _ = Backend::new("bad", NativeGateSet::SuperconductingCx, topo, cal);
+    }
+
+    #[test]
+    fn with_calibration_swaps_snapshot() {
+        let b = tiny_backend();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let drifted = b.calibration().drifted(0.1, &mut rng);
+        let b2 = b.with_calibration(drifted.clone());
+        assert_eq!(b2.calibration(), &drifted);
+        assert_eq!(b2.name(), b.name());
+    }
+
+    #[test]
+    fn display_mentions_name_and_size() {
+        let s = tiny_backend().to_string();
+        assert!(s.contains("tiny") && s.contains("2 qubits"));
+    }
+}

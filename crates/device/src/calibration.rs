@@ -1,0 +1,368 @@
+//! Calibration snapshots: the daily benchmarking statistics NISQ vendors
+//! publish, which feed Q-BEEP's λ model (paper Eq. 2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-qubit calibration numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QubitCalibration {
+    /// Energy-relaxation (decay to ground state) time constant, in µs.
+    pub t1_us: f64,
+    /// Dephasing (spin-spin relaxation) time constant, in µs.
+    pub t2_us: f64,
+    /// Probability a measurement misreports this qubit's state.
+    pub readout_error: f64,
+    /// Measurement duration, in ns.
+    pub readout_duration_ns: f64,
+}
+
+impl QubitCalibration {
+    /// Validates physical plausibility of the numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if T1/T2 are non-positive, the readout error is outside
+    /// `[0, 0.5]`, or the readout duration is non-positive.
+    pub fn validate(&self) {
+        assert!(self.t1_us > 0.0, "T1 must be positive, got {}", self.t1_us);
+        assert!(self.t2_us > 0.0, "T2 must be positive, got {}", self.t2_us);
+        assert!(
+            (0.0..=0.5).contains(&self.readout_error),
+            "readout error {} outside [0, 0.5]",
+            self.readout_error
+        );
+        assert!(self.readout_duration_ns > 0.0, "readout duration must be positive");
+    }
+}
+
+/// Calibration for one gate instance on specific qubit(s).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateCalibration {
+    /// Gate infidelity: probability the operation misfires.
+    pub error: f64,
+    /// Gate duration, in ns.
+    pub duration_ns: f64,
+}
+
+impl GateCalibration {
+    /// Validates plausibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the error is outside `[0, 1]` or the duration negative.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.error), "gate error {} outside [0, 1]", self.error);
+        assert!(self.duration_ns >= 0.0, "gate duration must be non-negative");
+    }
+}
+
+/// A full calibration snapshot of a device: per-qubit statistics plus
+/// per-qubit single-qubit-gate and per-edge two-qubit-gate calibrations.
+///
+/// Mirrors the `backend.properties()` artefact IBMQ publishes daily
+/// (paper §4.1). The λ estimator reads T1/T2, per-gate errors and
+/// durations, and readout errors from here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    qubits: Vec<QubitCalibration>,
+    /// Single-qubit basis-gate calibration per qubit (e.g. the `sx` gate).
+    sq_gates: Vec<GateCalibration>,
+    /// Two-qubit gate calibration per coupled edge, keyed `(lo, hi)`.
+    #[serde(with = "cx_map_serde")]
+    cx_gates: BTreeMap<(u32, u32), GateCalibration>,
+}
+
+/// Serialises the CX calibration map as a list of `((lo, hi), cal)`
+/// entries so the snapshot stays valid JSON (JSON map keys must be
+/// strings).
+mod cx_map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(u32, u32), GateCalibration>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<((u32, u32), GateCalibration)> =
+            map.iter().map(|(&k, &v)| (k, v)).collect();
+        serde::Serialize::serialize(&entries, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<(u32, u32), GateCalibration>, D::Error> {
+        let entries: Vec<((u32, u32), GateCalibration)> = serde::Deserialize::deserialize(de)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl Calibration {
+    /// Assembles and validates a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-qubit vectors disagree in length, any entry
+    /// fails validation, or a CX edge references an out-of-range qubit.
+    #[must_use]
+    pub fn new(
+        qubits: Vec<QubitCalibration>,
+        sq_gates: Vec<GateCalibration>,
+        cx_gates: BTreeMap<(u32, u32), GateCalibration>,
+    ) -> Self {
+        assert_eq!(
+            qubits.len(),
+            sq_gates.len(),
+            "qubit and single-qubit-gate calibration counts differ"
+        );
+        for q in &qubits {
+            q.validate();
+        }
+        for g in &sq_gates {
+            g.validate();
+        }
+        let n = qubits.len() as u32;
+        for (&(a, b), g) in &cx_gates {
+            assert!(a < b, "CX edge ({a}, {b}) is not normalised");
+            assert!(b < n, "CX edge ({a}, {b}) out of range for {n} qubits");
+            g.validate();
+        }
+        Self { qubits, sq_gates, cx_gates }
+    }
+
+    /// Number of calibrated qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Per-qubit statistics for qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn qubit(&self, q: u32) -> &QubitCalibration {
+        &self.qubits[q as usize]
+    }
+
+    /// Single-qubit basis-gate calibration on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn sq_gate(&self, q: u32) -> &GateCalibration {
+        &self.sq_gates[q as usize]
+    }
+
+    /// Two-qubit gate calibration on the edge `{a, b}`, if coupled.
+    #[must_use]
+    pub fn cx_gate(&self, a: u32, b: u32) -> Option<&GateCalibration> {
+        self.cx_gates.get(&(a.min(b), a.max(b)))
+    }
+
+    /// Two-qubit gate error on edge `{a, b}`, if coupled.
+    #[must_use]
+    pub fn cx_error(&self, a: u32, b: u32) -> Option<f64> {
+        self.cx_gate(a, b).map(|g| g.error)
+    }
+
+    /// Iterates over the calibrated CX edges.
+    pub fn cx_edges(&self) -> impl Iterator<Item = ((u32, u32), &GateCalibration)> + '_ {
+        self.cx_gates.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Mean T1 across qubits, in µs.
+    #[must_use]
+    pub fn mean_t1_us(&self) -> f64 {
+        self.qubits.iter().map(|q| q.t1_us).sum::<f64>() / self.qubits.len() as f64
+    }
+
+    /// Mean T2 across qubits, in µs.
+    #[must_use]
+    pub fn mean_t2_us(&self) -> f64 {
+        self.qubits.iter().map(|q| q.t2_us).sum::<f64>() / self.qubits.len() as f64
+    }
+
+    /// Mean readout error across qubits.
+    #[must_use]
+    pub fn mean_readout_error(&self) -> f64 {
+        self.qubits.iter().map(|q| q.readout_error).sum::<f64>() / self.qubits.len() as f64
+    }
+
+    /// Mean CX error across calibrated edges (`None` if no edges).
+    #[must_use]
+    pub fn mean_cx_error(&self) -> Option<f64> {
+        if self.cx_gates.is_empty() {
+            return None;
+        }
+        Some(self.cx_gates.values().map(|g| g.error).sum::<f64>() / self.cx_gates.len() as f64)
+    }
+
+    /// Produces a drifted copy simulating the day-to-day wobble of
+    /// vendor calibration: every statistic is multiplied by an
+    /// independent factor drawn uniformly from `[1 − severity, 1 + severity]`
+    /// (clamped to valid ranges). `severity` of 0.1–0.3 matches the
+    /// variation visible across the paper's daily IBMQ snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `severity` is outside `[0, 0.9]`.
+    #[must_use]
+    pub fn drifted<R: Rng + ?Sized>(&self, severity: f64, rng: &mut R) -> Self {
+        assert!((0.0..=0.9).contains(&severity), "drift severity {severity} outside [0, 0.9]");
+        let mut jitter = |x: f64| x * (1.0 + rng.gen_range(-severity..=severity));
+        let qubits = self
+            .qubits
+            .iter()
+            .map(|q| QubitCalibration {
+                t1_us: jitter(q.t1_us).max(1.0),
+                t2_us: jitter(q.t2_us).max(1.0),
+                readout_error: jitter(q.readout_error).clamp(1e-5, 0.5),
+                readout_duration_ns: q.readout_duration_ns,
+            })
+            .collect();
+        let sq_gates = self
+            .sq_gates
+            .iter()
+            .map(|g| GateCalibration {
+                error: jitter(g.error).clamp(1e-7, 1.0),
+                duration_ns: g.duration_ns,
+            })
+            .collect();
+        let cx_gates = self
+            .cx_gates
+            .iter()
+            .map(|(&k, g)| {
+                (
+                    k,
+                    GateCalibration {
+                        error: jitter(g.error).clamp(1e-6, 1.0),
+                        duration_ns: g.duration_ns,
+                    },
+                )
+            })
+            .collect();
+        Self { qubits, sq_gates, cx_gates }
+    }
+}
+
+impl fmt::Display for Calibration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calibration({} qubits, T1≈{:.0}µs, T2≈{:.0}µs, ro≈{:.3}, cx≈{})",
+            self.num_qubits(),
+            self.mean_t1_us(),
+            self.mean_t2_us(),
+            self.mean_readout_error(),
+            self.mean_cx_error().map_or("n/a".into(), |e| format!("{e:.4}")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Calibration {
+        let qubits = vec![
+            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            3
+        ];
+        let sq = vec![GateCalibration { error: 3e-4, duration_ns: 35.0 }; 3];
+        let mut cx = BTreeMap::new();
+        cx.insert((0u32, 1u32), GateCalibration { error: 1e-2, duration_ns: 400.0 });
+        cx.insert((1u32, 2u32), GateCalibration { error: 2e-2, duration_ns: 450.0 });
+        Calibration::new(qubits, sq, cx)
+    }
+
+    #[test]
+    fn accessors_work() {
+        let c = sample();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.qubit(0).t1_us, 100.0);
+        assert_eq!(c.sq_gate(2).duration_ns, 35.0);
+        assert_eq!(c.cx_error(1, 0), Some(1e-2));
+        assert_eq!(c.cx_error(2, 1), Some(2e-2));
+        assert_eq!(c.cx_error(0, 2), None);
+    }
+
+    #[test]
+    fn means_are_correct() {
+        let c = sample();
+        assert!((c.mean_t1_us() - 100.0).abs() < 1e-12);
+        assert!((c.mean_cx_error().unwrap() - 1.5e-2).abs() < 1e-12);
+        assert!((c.mean_readout_error() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts differ")]
+    fn mismatched_lengths_panic() {
+        let qubits = vec![QubitCalibration {
+            t1_us: 100.0,
+            t2_us: 80.0,
+            readout_error: 0.02,
+            readout_duration_ns: 1000.0,
+        }];
+        let _ = Calibration::new(qubits, vec![], BTreeMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "T1 must be positive")]
+    fn invalid_t1_panics() {
+        let q = QubitCalibration { t1_us: 0.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1.0 };
+        q.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalised")]
+    fn unnormalised_cx_edge_panics() {
+        let qubits = vec![
+            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1.0 };
+            2
+        ];
+        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 2];
+        let mut cx = BTreeMap::new();
+        cx.insert((1u32, 0u32), GateCalibration { error: 1e-2, duration_ns: 400.0 });
+        let _ = Calibration::new(qubits, sq, cx);
+    }
+
+    #[test]
+    fn drift_stays_in_bounds_and_changes_values() {
+        let c = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = c.drifted(0.2, &mut rng);
+        assert_eq!(d.num_qubits(), 3);
+        // Values move but stay within ±20%.
+        let ratio = d.qubit(0).t1_us / c.qubit(0).t1_us;
+        assert!((0.8..=1.2).contains(&ratio));
+        assert_ne!(c, d);
+        // Readout errors remain valid probabilities.
+        for q in 0..3 {
+            assert!((0.0..=0.5).contains(&d.qubit(q).readout_error));
+        }
+    }
+
+    #[test]
+    fn drift_zero_severity_is_identity_shape() {
+        let c = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = c.drifted(0.0, &mut rng);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = sample();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Calibration = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

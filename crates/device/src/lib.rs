@@ -1,0 +1,42 @@
+//! Device substrate for the Q-BEEP reproduction: qubit coupling
+//! topologies, calibration statistics, and a fleet of synthetic NISQ
+//! machine profiles standing in for the 16 IBMQ processors (plus an
+//! IonQ-style trapped-ion machine and a Sycamore-style machine) that the
+//! paper evaluates on.
+//!
+//! Q-BEEP consumes a backend only through two artefacts:
+//!
+//! 1. the **coupling topology**, which constrains transpilation and hence
+//!    the transpiled gate counts entering the λ model (paper Eq. 2), and
+//! 2. the **calibration snapshot** (per-qubit T1/T2 and readout error,
+//!    per-gate fidelity and duration), which provides the numbers that
+//!    the λ model combines.
+//!
+//! Neither artefact requires real hardware; the synthetic profiles in
+//! [`profiles`] sample both from published IBMQ-typical ranges with a
+//! deterministic per-machine seed, and a calibration [drift
+//! model](Calibration::drifted) reproduces day-to-day variation.
+//!
+//! # Example
+//!
+//! ```
+//! use qbeep_device::profiles;
+//!
+//! let backend = profiles::by_name("fake_lagos").unwrap();
+//! assert_eq!(backend.num_qubits(), 7);
+//! let cx = backend.calibration().cx_error(0, 1).unwrap();
+//! assert!(cx > 0.0 && cx < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod calibration;
+mod topology;
+
+pub mod profiles;
+
+pub use backend::{Backend, NativeGateSet};
+pub use calibration::{Calibration, GateCalibration, QubitCalibration};
+pub use topology::Topology;

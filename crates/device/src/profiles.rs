@@ -1,0 +1,360 @@
+//! Synthetic machine profiles standing in for the hardware fleet of the
+//! paper's evaluation (§4.1): 16 IBMQ-style superconducting processors
+//! of 5–127 qubits, one IonQ-style 5-qubit trapped-ion processor
+//! (Fig. 4b) and one Sycamore-style 53-qubit processor (the QAOA
+//! dataset's source, §4.4).
+//!
+//! Each profile is generated deterministically from its name, with
+//! calibration numbers sampled from published ranges for the matching
+//! machine class. A per-machine *quality tier* scales error rates so the
+//! fleet spans good and bad processors — the paper attributes 75% of
+//! Q-BEEP's BV failures to its 4 worst machines, so tier diversity is
+//! load-bearing for reproducing Fig. 7.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Backend, Calibration, GateCalibration, NativeGateSet, QubitCalibration, Topology};
+
+/// Description of one synthetic machine: name, topology recipe, quality
+/// tier (1.0 = typical; higher = noisier).
+struct ProfileSpec {
+    name: &'static str,
+    tier: f64,
+    build_topology: fn() -> Topology,
+}
+
+/// Takes the first `n` BFS-visited qubits of `t` as an induced (and
+/// therefore connected) subgraph — used to trim generated lattices to
+/// the exact advertised qubit count.
+fn connected_subgraph(t: &Topology, n: usize) -> Topology {
+    assert!(n <= t.num_qubits(), "cannot take {n} qubits from {}", t.num_qubits());
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; t.num_qubits()];
+    let mut queue = std::collections::VecDeque::from([0u32]);
+    seen[0] = true;
+    while let Some(q) = queue.pop_front() {
+        order.push(q);
+        if order.len() == n {
+            break;
+        }
+        for nb in t.neighbors(q) {
+            if !seen[nb as usize] {
+                seen[nb as usize] = true;
+                queue.push_back(nb);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "lattice is too disconnected to take {n} qubits");
+    t.induced_subgraph(&order)
+}
+
+const SPECS: &[ProfileSpec] = &[
+    // 5-qubit Falcon r4T "T" machines.
+    ProfileSpec { name: "fake_lima", tier: 1.0, build_topology: Topology::t_shape },
+    ProfileSpec { name: "fake_belem", tier: 1.2, build_topology: Topology::t_shape },
+    ProfileSpec { name: "fake_quito", tier: 2.0, build_topology: Topology::t_shape },
+    // 5-qubit linear Falcon r4L machines.
+    ProfileSpec { name: "fake_manila", tier: 0.9, build_topology: || Topology::linear(5) },
+    ProfileSpec { name: "fake_bogota", tier: 1.6, build_topology: || Topology::linear(5) },
+    ProfileSpec { name: "fake_santiago", tier: 1.0, build_topology: || Topology::linear(5) },
+    // 7-qubit Falcon r5.11H "H" machines.
+    ProfileSpec { name: "fake_jakarta", tier: 1.1, build_topology: Topology::h_shape },
+    ProfileSpec { name: "fake_oslo", tier: 0.9, build_topology: Topology::h_shape },
+    ProfileSpec { name: "fake_lagos", tier: 0.8, build_topology: Topology::h_shape },
+    ProfileSpec { name: "fake_perth", tier: 2.4, build_topology: Topology::h_shape },
+    // 16-qubit Falcon r4P.
+    ProfileSpec {
+        name: "fake_guadalupe",
+        tier: 1.1,
+        build_topology: || connected_subgraph(&Topology::heavy_hex(2, 8), 16),
+    },
+    // 27-qubit Falcon r4/r5.1 machines.
+    ProfileSpec {
+        name: "fake_toronto",
+        tier: 1.5,
+        build_topology: || connected_subgraph(&Topology::heavy_hex(3, 9), 27),
+    },
+    ProfileSpec {
+        name: "fake_mumbai",
+        tier: 1.0,
+        build_topology: || connected_subgraph(&Topology::heavy_hex(3, 9), 27),
+    },
+    ProfileSpec {
+        name: "fake_montreal",
+        tier: 0.9,
+        build_topology: || connected_subgraph(&Topology::heavy_hex(3, 9), 27),
+    },
+    // 65-qubit Hummingbird.
+    ProfileSpec {
+        name: "fake_brooklyn",
+        tier: 1.4,
+        build_topology: || connected_subgraph(&Topology::heavy_hex(5, 12), 65),
+    },
+    // 127-qubit Eagle.
+    ProfileSpec {
+        name: "fake_washington",
+        tier: 1.2,
+        build_topology: || connected_subgraph(&Topology::heavy_hex(7, 15), 127),
+    },
+];
+
+/// Deterministic 64-bit FNV-1a hash of the profile name — the per-machine
+/// RNG seed, so profiles are stable across runs and platforms.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Samples an IBMQ-class calibration for `topology` at quality `tier`.
+fn superconducting_calibration(topology: &Topology, tier: f64, seed: u64) -> Calibration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = topology.num_qubits();
+    let mut qubits = Vec::with_capacity(n);
+    let mut sq = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t1 = rng.gen_range(80.0..140.0) / tier.sqrt();
+        let t2 = (t1 * rng.gen_range(0.6..1.3)).min(2.0 * t1);
+        qubits.push(QubitCalibration {
+            t1_us: t1,
+            t2_us: t2,
+            readout_error: (rng.gen_range(0.008..0.030) * tier).min(0.4),
+            readout_duration_ns: rng.gen_range(700.0..1200.0),
+        });
+        sq.push(GateCalibration {
+            error: (rng.gen_range(2.0e-4..6.0e-4) * tier).min(0.05),
+            duration_ns: 35.5,
+        });
+    }
+    let mut cx = BTreeMap::new();
+    for (a, b) in topology.edges() {
+        cx.insert(
+            (a, b),
+            GateCalibration {
+                error: (rng.gen_range(6.0e-3..1.6e-2) * tier).min(0.25),
+                duration_ns: rng.gen_range(250.0..520.0),
+            },
+        );
+    }
+    Calibration::new(qubits, sq, cx)
+}
+
+/// Builds one IBMQ-style profile by name spec.
+fn build(spec: &ProfileSpec) -> Backend {
+    let topology = (spec.build_topology)();
+    let calibration = superconducting_calibration(&topology, spec.tier, name_seed(spec.name));
+    Backend::new(spec.name, NativeGateSet::SuperconductingCx, topology, calibration)
+}
+
+/// The full 16-machine IBMQ-style fleet used across the evaluation
+/// (paper §4.1), ordered from small to large.
+#[must_use]
+pub fn ibmq_fleet() -> Vec<Backend> {
+    SPECS.iter().map(build).collect()
+}
+
+/// The 8-machine subset the BV evaluation runs on (paper §4.2): a mix of
+/// topologies and quality tiers with enough large machines to transpile
+/// 15-qubit problems.
+#[must_use]
+pub fn bv_fleet() -> Vec<Backend> {
+    ["fake_quito", "fake_manila", "fake_jakarta", "fake_lagos", "fake_guadalupe", "fake_toronto", "fake_brooklyn", "fake_washington"]
+        .iter()
+        .map(|n| by_name(n).expect("BV fleet member exists"))
+        .collect()
+}
+
+/// The IonQ-style 5-qubit trapped-ion machine (paper Fig. 4b):
+/// all-to-all coupling, second-scale coherence, slow gates.
+#[must_use]
+pub fn ionq() -> Backend {
+    let topology = Topology::full(5);
+    let mut rng = StdRng::seed_from_u64(name_seed("fake_ionq"));
+    let mut qubits = Vec::new();
+    let mut sq = Vec::new();
+    for _ in 0..5 {
+        qubits.push(QubitCalibration {
+            // Trapped-ion coherence is measured in seconds.
+            t1_us: rng.gen_range(5.0e6..2.0e7),
+            t2_us: rng.gen_range(2.0e5..1.0e6),
+            readout_error: rng.gen_range(0.002..0.006),
+            readout_duration_ns: 150_000.0,
+        });
+        sq.push(GateCalibration { error: rng.gen_range(3.0e-4..8.0e-4), duration_ns: 10_000.0 });
+    }
+    let mut cx = BTreeMap::new();
+    for (a, b) in topology.edges() {
+        cx.insert(
+            (a, b),
+            GateCalibration { error: rng.gen_range(3.0e-3..8.0e-3), duration_ns: 210_000.0 },
+        );
+    }
+    Backend::new("fake_ionq", NativeGateSet::TrappedIonMs, topology, Calibration::new(qubits, sq, cx))
+}
+
+/// A Sycamore-style 53-qubit grid machine: the source of the QAOA
+/// dataset (paper §4.4). Only its published average statistics matter —
+/// the paper itself could not access frequent Sycamore calibration data.
+#[must_use]
+pub fn sycamore() -> Backend {
+    let topology = connected_subgraph(&Topology::grid(6, 9), 53);
+    let mut rng = StdRng::seed_from_u64(name_seed("fake_sycamore"));
+    let n = topology.num_qubits();
+    let mut qubits = Vec::new();
+    let mut sq = Vec::new();
+    for _ in 0..n {
+        qubits.push(QubitCalibration {
+            t1_us: rng.gen_range(12.0..18.0),
+            t2_us: rng.gen_range(8.0..14.0),
+            readout_error: rng.gen_range(0.02..0.05),
+            readout_duration_ns: 1000.0,
+        });
+        sq.push(GateCalibration { error: rng.gen_range(1.0e-3..2.0e-3), duration_ns: 25.0 });
+    }
+    let mut cx = BTreeMap::new();
+    for (a, b) in topology.edges() {
+        cx.insert(
+            (a, b),
+            GateCalibration { error: rng.gen_range(5.0e-3..8.0e-3), duration_ns: 32.0 },
+        );
+    }
+    Backend::new(
+        "fake_sycamore",
+        NativeGateSet::SuperconductingCx,
+        topology,
+        Calibration::new(qubits, sq, cx),
+    )
+}
+
+/// Looks up any profile (IBMQ fleet, `fake_ionq`, `fake_sycamore`) by
+/// name. Returns `None` for unknown names.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Backend> {
+    match name {
+        "fake_ionq" => Some(ionq()),
+        "fake_sycamore" => Some(sycamore()),
+        _ => SPECS.iter().find(|s| s.name == name).map(build),
+    }
+}
+
+/// Names of the 16 IBMQ-style machines, small to large.
+#[must_use]
+pub fn ibmq_names() -> Vec<&'static str> {
+    SPECS.iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_sixteen_machines() {
+        let fleet = ibmq_fleet();
+        assert_eq!(fleet.len(), 16);
+        for b in &fleet {
+            assert!(b.topology().is_connected(), "{} disconnected", b.name());
+            assert!(b.num_qubits() >= 5);
+        }
+    }
+
+    #[test]
+    fn advertised_sizes_match() {
+        for (name, size) in [
+            ("fake_lima", 5),
+            ("fake_manila", 5),
+            ("fake_jakarta", 7),
+            ("fake_guadalupe", 16),
+            ("fake_toronto", 27),
+            ("fake_brooklyn", 65),
+            ("fake_washington", 127),
+        ] {
+            assert_eq!(by_name(name).unwrap().num_qubits(), size, "{name}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = by_name("fake_lagos").unwrap();
+        let b = by_name("fake_lagos").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_differ_between_machines() {
+        let a = by_name("fake_mumbai").unwrap();
+        let b = by_name("fake_montreal").unwrap();
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        assert_ne!(a.calibration(), b.calibration());
+    }
+
+    #[test]
+    fn tiers_order_quality() {
+        // fake_lagos (tier 0.8) should be cleaner than fake_perth (2.4).
+        let good = by_name("fake_lagos").unwrap();
+        let bad = by_name("fake_perth").unwrap();
+        assert!(good.quality_score() < bad.quality_score());
+    }
+
+    #[test]
+    fn calibration_values_in_physical_ranges() {
+        for b in ibmq_fleet() {
+            let c = b.calibration();
+            for q in 0..c.num_qubits() as u32 {
+                let qc = c.qubit(q);
+                assert!(qc.t1_us > 10.0 && qc.t1_us < 300.0);
+                assert!(qc.t2_us <= 2.0 * qc.t1_us + 1e-9);
+                assert!(qc.readout_error > 0.0 && qc.readout_error < 0.5);
+            }
+            for (_, g) in c.cx_edges() {
+                assert!(g.error > 0.0 && g.error <= 0.25);
+                assert!(g.duration_ns > 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ionq_is_all_to_all_and_slow() {
+        let i = ionq();
+        assert_eq!(i.num_qubits(), 5);
+        assert_eq!(i.topology().num_edges(), 10);
+        assert_eq!(i.gate_set(), NativeGateSet::TrappedIonMs);
+        assert!(i.calibration().qubit(0).t1_us > 1.0e6); // seconds-scale
+        assert!(i.calibration().cx_gate(0, 4).unwrap().duration_ns > 1.0e5);
+    }
+
+    #[test]
+    fn sycamore_is_53_qubits() {
+        let s = sycamore();
+        assert_eq!(s.num_qubits(), 53);
+        assert!(s.topology().is_connected());
+    }
+
+    #[test]
+    fn bv_fleet_is_eight_varied_machines() {
+        let fleet = bv_fleet();
+        assert_eq!(fleet.len(), 8);
+        assert!(fleet.iter().any(|b| b.num_qubits() >= 16));
+        assert!(fleet.iter().any(|b| b.num_qubits() == 5));
+    }
+
+    #[test]
+    fn by_name_unknown_is_none() {
+        assert!(by_name("fake_nonexistent").is_none());
+    }
+
+    #[test]
+    fn connected_subgraph_preserves_connectivity() {
+        let hh = Topology::heavy_hex(4, 10);
+        for n in [5, 16, 27] {
+            let sub = connected_subgraph(&hh, n);
+            assert_eq!(sub.num_qubits(), n);
+            assert!(sub.is_connected());
+        }
+    }
+}

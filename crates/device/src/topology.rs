@@ -1,0 +1,444 @@
+//! Qubit coupling topologies.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected qubit coupling graph: two-qubit gates may only act on
+/// pairs joined by an edge (before SWAP routing).
+///
+/// Edges are stored normalised (`lo < hi`), so `(1, 0)` and `(0, 1)`
+/// denote the same edge.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_device::Topology;
+///
+/// let t = Topology::linear(4); // 0-1-2-3
+/// assert!(t.has_edge(1, 2));
+/// assert!(!t.has_edge(0, 3));
+/// assert_eq!(t.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    num_qubits: usize,
+    edges: BTreeSet<(u32, u32)>,
+}
+
+impl Topology {
+    /// Builds a topology from an edge list.
+    ///
+    /// Self-loops are rejected; duplicate edges are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_qubits` or an edge is a
+    /// self-loop.
+    #[must_use]
+    pub fn from_edges(num_qubits: usize, edges: &[(u32, u32)]) -> Self {
+        let mut set = BTreeSet::new();
+        for &(a, b) in edges {
+            assert!(a != b, "self-loop on qubit {a}");
+            assert!(
+                (a as usize) < num_qubits && (b as usize) < num_qubits,
+                "edge ({a}, {b}) out of range for {num_qubits} qubits"
+            );
+            set.insert((a.min(b), a.max(b)));
+        }
+        Self { num_qubits, edges: set }
+    }
+
+    /// A linear chain `0-1-…-(n-1)` (e.g. ibmq_manila).
+    #[must_use]
+    pub fn linear(n: usize) -> Self {
+        let edges: Vec<_> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// A ring: a linear chain plus the closing edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 qubits");
+        let mut edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((0, n as u32 - 1));
+        Self::from_edges(n, &edges)
+    }
+
+    /// The 5-qubit "T" layout of the IBM Falcon r4T family
+    /// (ibmq_lima/belem/quito): `0-1-2`, `1-3`, `3-4`.
+    #[must_use]
+    pub fn t_shape() -> Self {
+        Self::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)])
+    }
+
+    /// The 7-qubit "H" layout of the IBM Falcon r5.11H family
+    /// (ibm_lagos/perth/jakarta/oslo/nairobi).
+    #[must_use]
+    pub fn h_shape() -> Self {
+        Self::from_edges(7, &[(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)])
+    }
+
+    /// A rectangular grid with nearest-neighbour coupling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        let mut edges = Vec::new();
+        let at = |r: usize, c: usize| (r * cols + c) as u32;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((at(r, c), at(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((at(r, c), at(r + 1, c)));
+                }
+            }
+        }
+        Self::from_edges(rows * cols, &edges)
+    }
+
+    /// All-to-all coupling (trapped-ion machines such as IonQ's).
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A heavy-hex-style lattice in the spirit of IBM's Falcon/Hummingbird
+    /// /Eagle processors: horizontal chains of `row_len` qubits joined by
+    /// sparse vertical bridge qubits every four columns, giving maximum
+    /// degree 3.
+    ///
+    /// This is a faithful *structural* stand-in (sparse, degree ≤ 3,
+    /// hex-like cycles) rather than a replica of any specific IBM coupling
+    /// map; the λ model and transpiler only depend on those structural
+    /// properties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `row_len < 2`.
+    #[must_use]
+    pub fn heavy_hex(rows: usize, row_len: usize) -> Self {
+        assert!(rows > 0 && row_len >= 2, "heavy-hex needs rows ≥ 1 and row_len ≥ 2");
+        let mut edges = Vec::new();
+        // Row chains occupy ids [row * row_len, (row+1) * row_len).
+        for r in 0..rows {
+            let base = (r * row_len) as u32;
+            for c in 0..row_len as u32 - 1 {
+                edges.push((base + c, base + c + 1));
+            }
+        }
+        let mut next = rows * row_len;
+        // Bridge qubits join row r to row r+1 at staggered columns.
+        for r in 0..rows.saturating_sub(1) {
+            let offset = if r % 2 == 0 { 0 } else { 2 };
+            let mut c = offset;
+            while c < row_len {
+                let top = (r * row_len + c) as u32;
+                let bottom = ((r + 1) * row_len + c) as u32;
+                let bridge = next as u32;
+                next += 1;
+                edges.push((top, bridge));
+                edges.push((bridge, bottom));
+                c += 4;
+            }
+        }
+        Self::from_edges(next, &edges)
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of (undirected) edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether qubits `a` and `b` are directly coupled.
+    #[must_use]
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Iterates over the normalised edge list in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The neighbours of qubit `q` in ascending order.
+    #[must_use]
+    pub fn neighbors(&self, q: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Degree of qubit `q`.
+    #[must_use]
+    pub fn degree(&self, q: u32) -> usize {
+        self.neighbors(q).len()
+    }
+
+    /// Breadth-first shortest path from `a` to `b` inclusive, or `None`
+    /// if they are disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range.
+    #[must_use]
+    pub fn shortest_path(&self, a: u32, b: u32) -> Option<Vec<u32>> {
+        assert!((a as usize) < self.num_qubits && (b as usize) < self.num_qubits);
+        if a == b {
+            return Some(vec![a]);
+        }
+        let mut prev: Vec<Option<u32>> = vec![None; self.num_qubits];
+        let mut seen = vec![false; self.num_qubits];
+        let mut queue = VecDeque::new();
+        seen[a as usize] = true;
+        queue.push_back(a);
+        while let Some(q) = queue.pop_front() {
+            for n in self.neighbors(q) {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    prev[n as usize] = Some(q);
+                    if n == b {
+                        let mut path = vec![b];
+                        let mut cur = b;
+                        while let Some(p) = prev[cur as usize] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// Hop distance between two qubits (`None` if disconnected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range.
+    #[must_use]
+    pub fn distance(&self, a: u32, b: u32) -> Option<usize> {
+        self.shortest_path(a, b).map(|p| p.len() - 1)
+    }
+
+    /// Whether the graph is connected (vacuously true for ≤ 1 qubit).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_qubits];
+        let mut queue = VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(q) = queue.pop_front() {
+            for n in self.neighbors(q) {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    count += 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        count == self.num_qubits
+    }
+
+    /// The induced subgraph on `qubits`, relabelled `0..qubits.len()` in
+    /// the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` contains duplicates or out-of-range ids.
+    #[must_use]
+    pub fn induced_subgraph(&self, qubits: &[u32]) -> Self {
+        let mut map = vec![None; self.num_qubits];
+        for (new, &old) in qubits.iter().enumerate() {
+            assert!((old as usize) < self.num_qubits, "qubit {old} out of range");
+            assert!(map[old as usize].is_none(), "duplicate qubit {old}");
+            map[old as usize] = Some(new as u32);
+        }
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| Some((map[a as usize]?, map[b as usize]?)))
+            .collect();
+        Self::from_edges(qubits.len(), &edges)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology({} qubits, {} edges)", self.num_qubits, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_structure() {
+        let t = Topology::linear(5);
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.num_edges(), 4);
+        assert!(t.has_edge(0, 1) && t.has_edge(3, 4));
+        assert!(!t.has_edge(0, 2));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn edges_are_normalised() {
+        let t = Topology::from_edges(3, &[(2, 0), (0, 2), (1, 2)]);
+        assert_eq!(t.num_edges(), 2);
+        assert!(t.has_edge(0, 2));
+        assert!(t.has_edge(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = Topology::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = Topology::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn ring_closes() {
+        let t = Topology::ring(4);
+        assert!(t.has_edge(0, 3));
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.distance(0, 2), Some(2));
+    }
+
+    #[test]
+    fn t_and_h_shapes() {
+        let t = Topology::t_shape();
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.degree(1), 3);
+        let h = Topology::h_shape();
+        assert_eq!(h.num_qubits(), 7);
+        assert_eq!(h.degree(5), 3);
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = Topology::grid(2, 3);
+        assert_eq!(g.num_qubits(), 6);
+        assert_eq!(g.num_edges(), 7);
+        assert!(g.has_edge(0, 3)); // vertical
+        assert!(g.has_edge(0, 1)); // horizontal
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn full_is_complete() {
+        let f = Topology::full(5);
+        assert_eq!(f.num_edges(), 10);
+        assert_eq!(f.distance(0, 4), Some(1));
+    }
+
+    #[test]
+    fn heavy_hex_is_sparse_connected_degree3() {
+        let hh = Topology::heavy_hex(3, 9);
+        assert!(hh.is_connected());
+        assert!(hh.num_qubits() > 27);
+        for q in 0..hh.num_qubits() as u32 {
+            assert!(hh.degree(q) <= 3, "qubit {q} has degree {}", hh.degree(q));
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_validity() {
+        let t = Topology::grid(3, 3);
+        let p = t.shortest_path(0, 8).unwrap();
+        assert_eq!(*p.first().unwrap(), 0);
+        assert_eq!(*p.last().unwrap(), 8);
+        assert_eq!(p.len(), 5); // manhattan distance 4
+        for w in p.windows(2) {
+            assert!(t.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_disconnected_is_none() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+        assert_eq!(t.shortest_path(0, 3), None);
+        assert_eq!(t.distance(0, 3), None);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let t = Topology::linear(3);
+        assert_eq!(t.shortest_path(1, 1), Some(vec![1]));
+        assert_eq!(t.distance(1, 1), Some(0));
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let t = Topology::linear(5);
+        let sub = t.induced_subgraph(&[2, 3, 4]);
+        assert_eq!(sub.num_qubits(), 3);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let t = Topology::t_shape();
+        assert_eq!(t.neighbors(1), vec![0, 2, 3]);
+        assert_eq!(t.neighbors(4), vec![3]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topology::h_shape();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the device substrate: topology invariants and
+//! calibration-drift safety.
+
+use proptest::prelude::*;
+use qbeep_device::{profiles, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random connected topology built from a random spanning
+/// chain plus extra random edges.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (2usize..20, proptest::collection::vec((0u32..20, 0u32..20), 0..30)).prop_map(
+        |(n, extra)| {
+            let mut edges: Vec<(u32, u32)> =
+                (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            for (a, b) in extra {
+                let (a, b) = (a % n as u32, b % n as u32);
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+            Topology::from_edges(n, &edges)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn spanning_chain_topologies_are_connected(t in arb_topology()) {
+        prop_assert!(t.is_connected());
+    }
+
+    #[test]
+    fn shortest_paths_are_consistent(t in arb_topology(), a_raw in 0u32..20, b_raw in 0u32..20) {
+        let n = t.num_qubits() as u32;
+        let (a, b) = (a_raw % n, b_raw % n);
+        let d_ab = t.distance(a, b).expect("connected");
+        let d_ba = t.distance(b, a).expect("connected");
+        prop_assert_eq!(d_ab, d_ba); // symmetry
+        // Path validity and length agreement.
+        let path = t.shortest_path(a, b).expect("connected");
+        prop_assert_eq!(path.len() - 1, d_ab);
+        for w in path.windows(2) {
+            prop_assert!(t.has_edge(w[0], w[1]));
+        }
+        // Distance-1 iff edge.
+        prop_assert_eq!(d_ab == 1, t.has_edge(a, b));
+    }
+
+    #[test]
+    fn triangle_inequality_on_hops(
+        t in arb_topology(),
+        a_raw in 0u32..20,
+        b_raw in 0u32..20,
+        c_raw in 0u32..20,
+    ) {
+        let n = t.num_qubits() as u32;
+        let (a, b, c) = (a_raw % n, b_raw % n, c_raw % n);
+        let ab = t.distance(a, b).unwrap();
+        let bc = t.distance(b, c).unwrap();
+        let ac = t.distance(a, c).unwrap();
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn drift_preserves_validity(seed in any::<u64>(), severity in 0.0f64..0.9) {
+        let backend = profiles::by_name("fake_jakarta").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let drifted = backend.calibration().drifted(severity, &mut rng);
+        // with_calibration re-runs all consistency validation; reaching
+        // here means every drifted number stayed physical.
+        let b2 = backend.with_calibration(drifted);
+        prop_assert_eq!(b2.num_qubits(), backend.num_qubits());
+        for q in 0..b2.num_qubits() as u32 {
+            let qc = b2.calibration().qubit(q);
+            prop_assert!(qc.t1_us > 0.0);
+            prop_assert!((0.0..=0.5).contains(&qc.readout_error));
+        }
+    }
+
+    #[test]
+    fn drift_is_bounded(seed in any::<u64>()) {
+        let backend = profiles::by_name("fake_toronto").unwrap();
+        let severity = 0.25;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let drifted = backend.calibration().drifted(severity, &mut rng);
+        for q in 0..backend.num_qubits() as u32 {
+            let ratio = drifted.qubit(q).t1_us / backend.calibration().qubit(q).t1_us;
+            prop_assert!((1.0 - severity - 1e-9..=1.0 + severity + 1e-9).contains(&ratio));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Cost expectation and the paper's Cost Ratio metric (Eq. 7).
+
+use qbeep_bitstring::{Counts, Distribution};
+
+use crate::ProblemGraph;
+
+/// The expectation value `⟨C⟩ = Σ_s p(s) · C(s)` of the Ising cost
+/// under an output distribution.
+///
+/// # Panics
+///
+/// Panics if the distribution width differs from the problem size.
+#[must_use]
+pub fn expected_cost(dist: &Distribution, problem: &ProblemGraph) -> f64 {
+    dist.iter().map(|(s, p)| p * problem.cost(s)).sum()
+}
+
+/// The paper's Cost Ratio `CR = ⟨C⟩ / C_min` (Eq. 7).
+///
+/// Since every benchmark instance has `C_min < 0`, better solutions
+/// yield *larger* CR: 1 is optimal, 0 is random guessing, negative
+/// means worse than random.
+///
+/// # Panics
+///
+/// Panics if widths differ or the problem's optimum is not negative.
+#[must_use]
+pub fn cost_ratio(dist: &Distribution, problem: &ProblemGraph) -> f64 {
+    let (c_min, _) = problem.minimum_cost();
+    assert!(c_min < 0.0, "cost ratio requires a negative optimum, got {c_min}");
+    expected_cost(dist, problem) / c_min
+}
+
+/// Cost ratio straight from raw counts.
+///
+/// # Panics
+///
+/// As [`cost_ratio`]; also if `counts` is empty.
+#[must_use]
+pub fn cost_ratio_of_counts(counts: &Counts, problem: &ProblemGraph) -> f64 {
+    cost_ratio(&counts.to_distribution(), problem)
+}
+
+/// The paper's headline QAOA metric: relative CR improvement
+/// `CR_after / CR_before` (§4.4.1).
+///
+/// Degenerate baselines (`CR_before ≤ 0`, i.e. at-or-worse-than-random
+/// before mitigation) are reported as 1 when unchanged and as the CR
+/// difference + 1 otherwise, keeping the ratio finite and ordered.
+#[must_use]
+pub fn cr_improvement(before: f64, after: f64) -> f64 {
+    if before > 0.0 {
+        after / before
+    } else {
+        1.0 + (after - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_bitstring::BitString;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    fn ring4() -> ProblemGraph {
+        ProblemGraph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
+    }
+
+    #[test]
+    fn optimal_point_distribution_has_cr_one() {
+        let g = ring4();
+        let (_, arg) = g.minimum_cost();
+        let d = Distribution::point(arg);
+        assert!((cost_ratio(&d, &g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_distribution_has_cr_zero() {
+        let g = ring4();
+        let d = Distribution::uniform(4);
+        assert!(cost_ratio(&d, &g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_cost_is_linear() {
+        let g = ring4();
+        let (c_min, arg) = g.minimum_cost();
+        let worst = bs("0000"); // aligned: C = +4
+        let d = Distribution::from_probs(4, vec![(arg, 0.5), (worst, 0.5)]);
+        assert!((expected_cost(&d, &g) - (c_min + 4.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cr_improvement_regular_ratio() {
+        assert!((cr_improvement(0.4, 0.6) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cr_improvement_degenerate_baseline() {
+        assert_eq!(cr_improvement(0.0, 0.0), 1.0);
+        assert!((cr_improvement(-0.1, 0.2) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_and_distribution_agree() {
+        let g = ring4();
+        let counts = Counts::from_pairs(4, vec![(bs("0101"), 70), (bs("0000"), 30)]);
+        let a = cost_ratio_of_counts(&counts, &g);
+        let b = cost_ratio(&counts.to_distribution(), &g);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

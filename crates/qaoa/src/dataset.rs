@@ -1,0 +1,147 @@
+//! The synthetic stand-in for the Google Sycamore QAOA dataset
+//! (Harrigan et al. 2021) the paper evaluates on: 340 instances mixing
+//! 3-regular MaxCut ("hardware grid"-class) and Sherrington–Kirkpatrick
+//! problems at depths p = 1..=3, with ramp-schedule angles.
+
+use rand::Rng;
+
+use qbeep_circuit::Circuit;
+
+use crate::circuit::{qaoa_circuit, ramp_schedule};
+use crate::ProblemGraph;
+
+/// The problem family of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// 3-regular unit-weight MaxCut.
+    ThreeRegularMaxCut,
+    /// Sherrington–Kirkpatrick (complete graph, ±1 weights).
+    SherringtonKirkpatrick,
+}
+
+/// One dataset entry: problem, depth, and the prepared ansatz circuit.
+#[derive(Debug, Clone)]
+pub struct QaoaInstance {
+    /// Stable instance id (index in the generated dataset).
+    pub id: usize,
+    /// Problem family.
+    pub family: Family,
+    /// The problem graph.
+    pub problem: ProblemGraph,
+    /// QAOA depth p.
+    pub p: usize,
+    /// The ansatz circuit with the schedule's angles applied.
+    pub circuit: Circuit,
+}
+
+/// Generates `count` instances deterministically from `rng` (the paper
+/// uses 340). Sizes cycle through 8–12 nodes for MaxCut and 6–9 for
+/// SK; depth cycles 1..=3 — matching the small-λ regime of Fig. 10c.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+#[must_use]
+pub fn generate<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<QaoaInstance> {
+    assert!(count > 0, "dataset needs at least one instance");
+    let mut out = Vec::with_capacity(count);
+    for id in 0..count {
+        let p = 1 + id % 3;
+        let family = if id % 2 == 0 {
+            Family::ThreeRegularMaxCut
+        } else {
+            Family::SherringtonKirkpatrick
+        };
+        let problem = match family {
+            Family::ThreeRegularMaxCut => {
+                let n = 8 + 2 * ((id / 2) % 3); // 8, 10, 12
+                ProblemGraph::three_regular(n, rng)
+            }
+            Family::SherringtonKirkpatrick => {
+                let n = 6 + (id / 2) % 4; // 6..=9
+                ProblemGraph::sherrington_kirkpatrick(n, rng)
+            }
+        };
+        let (gammas, betas) = match family {
+            // Non-variational schedules, grid-tuned once per family on
+            // the ideal simulator (ideal CR ≈ 0.55–0.85 across p).
+            Family::ThreeRegularMaxCut => ramp_schedule(p, 0.7, 0.65),
+            Family::SherringtonKirkpatrick => ramp_schedule(p, 0.45, 0.65),
+        };
+        let circuit = qaoa_circuit(&problem, &gammas, &betas);
+        out.push(QaoaInstance { id, family, problem, p, circuit });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = generate(34, &mut rng);
+        assert_eq!(data.len(), 34);
+        // Ids are the indices.
+        for (i, inst) in data.iter().enumerate() {
+            assert_eq!(inst.id, i);
+        }
+    }
+
+    #[test]
+    fn families_alternate_and_depths_cycle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = generate(12, &mut rng);
+        assert_eq!(data[0].family, Family::ThreeRegularMaxCut);
+        assert_eq!(data[1].family, Family::SherringtonKirkpatrick);
+        assert_eq!(data[0].p, 1);
+        assert_eq!(data[1].p, 2);
+        assert_eq!(data[2].p, 3);
+        assert_eq!(data[3].p, 1);
+    }
+
+    #[test]
+    fn circuits_match_problems() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for inst in generate(10, &mut rng) {
+            assert_eq!(inst.circuit.num_qubits(), inst.problem.num_nodes());
+            let rzz = inst.circuit.gate_histogram()["rzz"];
+            assert_eq!(rzz, inst.problem.edges().len() * inst.p);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(8, &mut StdRng::seed_from_u64(4));
+        let b = generate(8, &mut StdRng::seed_from_u64(4));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.problem, y.problem);
+            assert_eq!(x.circuit, y.circuit);
+        }
+    }
+
+    #[test]
+    fn all_optima_are_negative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for inst in generate(12, &mut rng) {
+            assert!(inst.problem.minimum_cost().0 < 0.0, "instance {}", inst.id);
+        }
+    }
+
+    #[test]
+    fn qaoa_beats_random_guessing_ideally() {
+        // The schedule must produce better-than-random cost ratios on
+        // the ideal simulator, otherwise mitigation has nothing to
+        // recover (uses the sim crate from dev-dependencies).
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = generate(6, &mut rng);
+        for inst in &data {
+            let ideal = qbeep_sim::ideal_distribution(&inst.circuit);
+            let cr = crate::cost::cost_ratio(&ideal, &inst.problem);
+            assert!(cr > 0.2, "instance {} (p={}): CR {cr}", inst.id, inst.p);
+        }
+    }
+}

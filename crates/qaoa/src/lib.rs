@@ -1,0 +1,41 @@
+//! QAOA substrate for the Q-BEEP reproduction (paper §4.4).
+//!
+//! The paper evaluates Q-BEEP on 340 QAOA results from Google's
+//! Sycamore experiments [Harrigan et al. 2021]. That dataset is, in
+//! substance, a set of (problem graph, QAOA depth, measured counts)
+//! triples — this crate rebuilds the artefact synthetically:
+//!
+//! * [`ProblemGraph`] — weighted Ising/MaxCut problem graphs
+//!   (3-regular MaxCut and Sherrington–Kirkpatrick instances, the two
+//!   families of the Google study), with exact brute-force optima;
+//! * [`qaoa_circuit`] — the standard alternating-operator ansatz;
+//! * [`cost`] — the energy expectation and the paper's **Cost Ratio**
+//!   metric `CR = ⟨C⟩ / C_min` (Eq. 7);
+//! * [`dataset`] — a deterministic generator of 340 instances with
+//!   ramp-schedule angles, mirroring the shape of the Google dataset.
+//!
+//! # Example
+//!
+//! ```
+//! use qbeep_qaoa::{dataset, cost};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let instances = dataset::generate(4, &mut rng);
+//! assert_eq!(instances.len(), 4);
+//! let inst = &instances[0];
+//! assert!(inst.problem.minimum_cost().0 < 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dataset;
+
+mod circuit;
+mod problem;
+
+pub use circuit::qaoa_circuit;
+pub use dataset::QaoaInstance;
+pub use problem::ProblemGraph;

@@ -1,0 +1,244 @@
+//! Ising/MaxCut problem graphs.
+
+use qbeep_bitstring::BitString;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A weighted problem graph with the Ising cost
+/// `C(z) = Σ_{(i,j)} w_ij · z_i z_j`, `z_i = ±1` from bit `i`.
+///
+/// MaxCut corresponds to unit weights (minimising `C` maximises the
+/// cut); the Sherrington–Kirkpatrick model is the complete graph with
+/// random ±1 weights — the two families of the Google QAOA study the
+/// paper's dataset comes from.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_qaoa::ProblemGraph;
+///
+/// let triangle = ProblemGraph::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+/// // A triangle is frustrated: best cut leaves one edge uncut.
+/// let (min, _) = triangle.minimum_cost();
+/// assert_eq!(min, -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProblemGraph {
+    num_nodes: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl ProblemGraph {
+    /// Builds a problem from weighted edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0`, an edge is a self-loop or out of
+    /// range, or a weight is non-finite.
+    #[must_use]
+    pub fn from_edges(num_nodes: usize, edges: Vec<(u32, u32, f64)>) -> Self {
+        assert!(num_nodes > 0, "problem needs at least one node");
+        for &(a, b, w) in &edges {
+            assert!(a != b, "self-loop on node {a}");
+            assert!(
+                (a as usize) < num_nodes && (b as usize) < num_nodes,
+                "edge ({a}, {b}) out of range"
+            );
+            assert!(w.is_finite(), "non-finite weight on edge ({a}, {b})");
+        }
+        Self { num_nodes, edges }
+    }
+
+    /// A random (approximately) 3-regular unit-weight MaxCut instance:
+    /// the union of a Hamiltonian ring and a random perfect matching,
+    /// the standard construction for even `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is odd or `< 4`.
+    #[must_use]
+    pub fn three_regular<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n >= 4 && n % 2 == 0, "3-regular construction needs even n ≥ 4, got {n}");
+        let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32, 1.0))
+            .collect();
+        // Random perfect matching avoiding ring edges where possible.
+        let mut nodes: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            nodes.swap(i, j);
+        }
+        for pair in nodes.chunks(2) {
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            edges.push((a, b, 1.0));
+        }
+        edges.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        Self::from_edges(n, edges)
+    }
+
+    /// A Sherrington–Kirkpatrick instance: complete graph, i.i.d. ±1
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn sherrington_kirkpatrick<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n >= 2, "SK model needs at least two nodes");
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                let w = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                edges.push((a, b, w));
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Number of nodes (qubits).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The weighted edges.
+    #[must_use]
+    pub fn edges(&self) -> &[(u32, u32, f64)] {
+        &self.edges
+    }
+
+    /// The Ising cost of one assignment (bit 1 ↦ z = −1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment width differs from `num_nodes`.
+    #[must_use]
+    pub fn cost(&self, assignment: &BitString) -> f64 {
+        assert_eq!(assignment.len(), self.num_nodes, "assignment width mismatch");
+        self.edges
+            .iter()
+            .map(|&(a, b, w)| {
+                let za = if assignment.bit(a as usize) { -1.0 } else { 1.0 };
+                let zb = if assignment.bit(b as usize) { -1.0 } else { 1.0 };
+                w * za * zb
+            })
+            .sum()
+    }
+
+    /// The cut value of an assignment for unit-weight graphs: number
+    /// of edges whose endpoints differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment width differs from `num_nodes`.
+    #[must_use]
+    pub fn cut_value(&self, assignment: &BitString) -> f64 {
+        self.edges
+            .iter()
+            .map(|&(a, b, w)| {
+                if assignment.bit(a as usize) != assignment.bit(b as usize) {
+                    w
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Exhaustively finds `(C_min, argmin)` over all 2ⁿ assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes > 24` (brute force would be too large).
+    #[must_use]
+    pub fn minimum_cost(&self) -> (f64, BitString) {
+        assert!(self.num_nodes <= 24, "brute force limited to 24 nodes");
+        let mut best = (f64::INFINITY, BitString::zeros(self.num_nodes));
+        for v in 0..(1u64 << self.num_nodes) {
+            let s = BitString::from_value(u128::from(v), self.num_nodes);
+            let c = self.cost(&s);
+            if c < best.0 {
+                best = (c, s);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn cost_of_simple_edge() {
+        let g = ProblemGraph::from_edges(2, vec![(0, 1, 1.0)]);
+        assert_eq!(g.cost(&bs("00")), 1.0); // aligned spins
+        assert_eq!(g.cost(&bs("01")), -1.0); // anti-aligned
+        assert_eq!(g.cut_value(&bs("01")), 1.0);
+        assert_eq!(g.cut_value(&bs("11")), 0.0);
+    }
+
+    #[test]
+    fn minimum_cost_bipartition() {
+        // A 4-ring is bipartite: perfect cut of all 4 edges, C = −4.
+        let g = ProblemGraph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]);
+        let (min, arg) = g.minimum_cost();
+        assert_eq!(min, -4.0);
+        assert_eq!(g.cut_value(&arg), 4.0);
+    }
+
+    #[test]
+    fn three_regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = ProblemGraph::three_regular(10, &mut rng);
+        let mut deg = vec![0usize; 10];
+        for &(a, b, _) in g.edges() {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        // Matching may collide with ring edges (deduped), so degree is
+        // 2 or 3 — dominated by 3.
+        assert!(deg.iter().all(|&d| (2..=4).contains(&d)), "{deg:?}");
+        assert!(deg.iter().filter(|&&d| d == 3).count() >= 6);
+    }
+
+    #[test]
+    fn sk_is_complete_with_pm_one_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = ProblemGraph::sherrington_kirkpatrick(6, &mut rng);
+        assert_eq!(g.edges().len(), 15);
+        assert!(g.edges().iter().all(|&(_, _, w)| w == 1.0 || w == -1.0));
+    }
+
+    #[test]
+    fn minimum_cost_is_negative_for_paper_instances() {
+        // §4.4: "all problems have a negative C_min".
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let g = ProblemGraph::three_regular(8, &mut rng);
+            assert!(g.minimum_cost().0 < 0.0);
+            let sk = ProblemGraph::sherrington_kirkpatrick(6, &mut rng);
+            assert!(sk.minimum_cost().0 < 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = ProblemGraph::from_edges(3, vec![(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even n")]
+    fn odd_three_regular_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = ProblemGraph::three_regular(7, &mut rng);
+    }
+}

@@ -1,0 +1,157 @@
+//! A minimal complex-number type (the workspace deliberately avoids
+//! external numeric crates).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_sim::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, -C64::ONE);
+/// assert!((C64::new(3.0, 4.0).norm_sqr() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Builds `re + im·i`.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Builds a real number.
+    #[must_use]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[must_use]
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(&self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for t in [0.0, 0.5, 1.3, 3.0] {
+            assert!((C64::cis(t).norm_sqr() - 1.0).abs() < 1e-12);
+        }
+        let z = C64::cis(std::f64::consts::PI);
+        assert!((z.re + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_scale() {
+        let z = C64::new(2.0, -3.0);
+        assert_eq!(z.conj(), C64::new(2.0, 3.0));
+        assert_eq!(z.scale(2.0), C64::new(4.0, -6.0));
+        assert!((z.norm_sqr() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(C64::new(1.0, 1.0).to_string(), "1.0000+1.0000i");
+        assert_eq!(C64::new(1.0, -1.0).to_string(), "1.0000-1.0000i");
+    }
+}

@@ -1,0 +1,492 @@
+//! Exact open-system simulation with density matrices.
+//!
+//! The trajectory-sampling [`NoisySimulator`](crate::NoisySimulator)
+//! approximates Markovian noise stochastically; this module computes
+//! it *exactly*: gates act as `ρ → UρU†`, noise as Kraus channels
+//! `ρ → Σ K ρ K†` (depolarizing, amplitude damping, phase damping),
+//! and readout as a classical confusion channel on the measurement
+//! distribution. It is the rigorous version of the paper's §3.1
+//! negative control and the reference the trajectory simulator is
+//! validated against.
+//!
+//! Memory is Θ(4ⁿ); the simulator accepts up to
+//! [`MAX_DENSITY_QUBITS`] qubits.
+
+use std::collections::HashMap;
+
+use qbeep_bitstring::{BitString, Distribution};
+use qbeep_circuit::{Circuit, Gate, Instruction};
+use qbeep_device::Backend;
+
+use crate::C64;
+
+/// Largest register the density-matrix engine accepts (4¹⁰ complex
+/// entries ≈ 16 MiB).
+pub const MAX_DENSITY_QUBITS: usize = 10;
+
+/// A density matrix over `n` qubits, stored dense row-major:
+/// `rho[r * 2ⁿ + c]`.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::Circuit;
+/// use qbeep_sim::DensityMatrix;
+///
+/// let mut bell = Circuit::new(2, "bell");
+/// bell.h(0).cx(0, 1);
+/// let mut rho = DensityMatrix::new(2);
+/// rho.run_unitary(&bell);
+/// let d = rho.measured_distribution(&[0, 1]);
+/// assert!((d.prob(&"00".parse().unwrap()) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    rho: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// The pure state |0…0⟩⟨0…0|.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds [`MAX_DENSITY_QUBITS`].
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "density matrix needs at least one qubit");
+        assert!(n <= MAX_DENSITY_QUBITS, "{n} qubits exceed the density limit {MAX_DENSITY_QUBITS}");
+        let dim = 1 << n;
+        let mut rho = vec![C64::ZERO; dim * dim];
+        rho[0] = C64::ONE;
+        Self { n, dim, rho }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Trace of the matrix (≈ 1 throughout evolution).
+    #[must_use]
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|i| self.rho[i * self.dim + i].re).sum()
+    }
+
+    /// Purity `Tr(ρ²)` — 1 for pure states, `1/2ⁿ` for maximally mixed.
+    #[must_use]
+    pub fn purity(&self) -> f64 {
+        // Tr(ρ²) = Σ_{rc} ρ_{rc} ρ_{cr}; ρ is Hermitian so this is
+        // Σ |ρ_{rc}|².
+        self.rho.iter().map(C64::norm_sqr).sum()
+    }
+
+    /// Applies a 2×2 matrix on qubit `q` of every *row* slice
+    /// (`ρ → (U)ρ`).
+    fn apply_rows_1q(&mut self, m: &[[C64; 2]; 2], q: usize) {
+        let bit = 1usize << q;
+        for c in 0..self.dim {
+            for r in 0..self.dim {
+                if r & bit == 0 {
+                    let r1 = r | bit;
+                    let a0 = self.rho[r * self.dim + c];
+                    let a1 = self.rho[r1 * self.dim + c];
+                    self.rho[r * self.dim + c] = m[0][0] * a0 + m[0][1] * a1;
+                    self.rho[r1 * self.dim + c] = m[1][0] * a0 + m[1][1] * a1;
+                }
+            }
+        }
+    }
+
+    /// Applies the conjugate 2×2 matrix on qubit `q` of every *column*
+    /// slice (`ρ → ρU†`).
+    fn apply_cols_1q(&mut self, m: &[[C64; 2]; 2], q: usize) {
+        let bit = 1usize << q;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if c & bit == 0 {
+                    let c1 = c | bit;
+                    let a0 = self.rho[r * self.dim + c];
+                    let a1 = self.rho[r * self.dim + c1];
+                    // (ρU†)_{rc} = Σ_k ρ_{rk} conj(U_{ck}).
+                    self.rho[r * self.dim + c] = a0 * m[0][0].conj() + a1 * m[0][1].conj();
+                    self.rho[r * self.dim + c1] = a0 * m[1][0].conj() + a1 * m[1][1].conj();
+                }
+            }
+        }
+    }
+
+    /// Applies a single-qubit (possibly non-unitary Kraus) operator:
+    /// `ρ → K ρ K†`.
+    fn sandwich_1q(&mut self, k: &[[C64; 2]; 2], q: usize) {
+        self.apply_rows_1q(k, q);
+        self.apply_cols_1q(k, q);
+    }
+
+    /// Applies one unitary instruction: `ρ → U ρ U†`, using the same
+    /// statevector kernels on rows and conjugated on columns. Gates are
+    /// lowered to 1-qubit matrices and CX via the transpiler's
+    /// decomposition when they are not primitive here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction touches out-of-range qubits.
+    pub fn apply_unitary(&mut self, inst: &Instruction) {
+        assert!((inst.max_qubit() as usize) < self.n, "instruction {inst} out of range");
+        match inst.gate() {
+            Gate::CX => {
+                let (a, b) = (1usize << inst.qubits()[0], 1usize << inst.qubits()[1]);
+                // Permutation on rows then columns.
+                for c in 0..self.dim {
+                    for r in 0..self.dim {
+                        if r & a != 0 && r & b == 0 {
+                            let r1 = r | b;
+                            self.rho.swap(r * self.dim + c, r1 * self.dim + c);
+                        }
+                    }
+                }
+                for r in 0..self.dim {
+                    for c in 0..self.dim {
+                        if c & a != 0 && c & b == 0 {
+                            let c1 = c | b;
+                            self.rho.swap(r * self.dim + c, r * self.dim + c1);
+                        }
+                    }
+                }
+            }
+            g if g.arity() == 1 => {
+                let m = crate::state::gate_matrix2(g);
+                self.apply_rows_1q(&m, inst.qubits()[0] as usize);
+                self.apply_cols_1q(&m, inst.qubits()[0] as usize);
+            }
+            g => panic!("density engine handles 1-qubit gates and CX; lower {g} first"),
+        }
+    }
+
+    /// Runs a basis-level circuit's unitaries (no noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state or holds
+    /// unsupported gates.
+    pub fn run_unitary(&mut self, circuit: &Circuit) {
+        for inst in circuit.instructions() {
+            // Lower any non-primitive gate through the transpiler's
+            // decomposition.
+            if inst.gate().arity() == 1 || matches!(inst.gate(), Gate::CX) {
+                self.apply_unitary(inst);
+            } else {
+                let mut tmp = Circuit::new(self.n, "lower");
+                tmp.push(inst.clone());
+                for low in qbeep_transpile::decompose::to_basis(&tmp).instructions() {
+                    self.apply_unitary(low);
+                }
+            }
+        }
+    }
+
+    /// Applies a single-qubit Kraus channel `ρ → Σ_i K_i ρ K_i†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or `kraus` is empty.
+    pub fn apply_channel_1q(&mut self, kraus: &[[[C64; 2]; 2]], q: usize) {
+        assert!(q < self.n, "qubit {q} out of range");
+        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        let mut acc = vec![C64::ZERO; self.rho.len()];
+        for k in kraus {
+            let mut branch = self.clone();
+            branch.sandwich_1q(k, q);
+            for (a, b) in acc.iter_mut().zip(&branch.rho) {
+                *a += *b;
+            }
+        }
+        self.rho = acc;
+    }
+
+    /// Depolarizing channel with probability `p` on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn depolarize(&mut self, p: f64, q: usize) {
+        assert!((0.0..=1.0).contains(&p), "depolarizing p {p} outside [0, 1]");
+        if p == 0.0 {
+            return;
+        }
+        let s0 = C64::real((1.0 - p).sqrt());
+        let s1 = C64::real((p / 3.0).sqrt());
+        let kraus = [
+            [[s0, C64::ZERO], [C64::ZERO, s0]],
+            [[C64::ZERO, s1], [s1, C64::ZERO]],                      // X
+            [[C64::ZERO, -C64::I.scale((p / 3.0).sqrt())], [C64::I.scale((p / 3.0).sqrt()), C64::ZERO]], // Y
+            [[s1, C64::ZERO], [C64::ZERO, -s1]],                     // Z
+        ];
+        self.apply_channel_1q(&kraus, q);
+    }
+
+    /// Amplitude damping (T1 relaxation) with decay probability
+    /// `gamma` on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn amplitude_damp(&mut self, gamma: f64, q: usize) {
+        assert!((0.0..=1.0).contains(&gamma), "gamma {gamma} outside [0, 1]");
+        if gamma == 0.0 {
+            return;
+        }
+        let kraus = [
+            [[C64::ONE, C64::ZERO], [C64::ZERO, C64::real((1.0 - gamma).sqrt())]],
+            [[C64::ZERO, C64::real(gamma.sqrt())], [C64::ZERO, C64::ZERO]],
+        ];
+        self.apply_channel_1q(&kraus, q);
+    }
+
+    /// Phase damping (pure dephasing) with probability `gamma` on
+    /// qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn phase_damp(&mut self, gamma: f64, q: usize) {
+        assert!((0.0..=1.0).contains(&gamma), "gamma {gamma} outside [0, 1]");
+        if gamma == 0.0 {
+            return;
+        }
+        let kraus = [
+            [[C64::ONE, C64::ZERO], [C64::ZERO, C64::real((1.0 - gamma).sqrt())]],
+            [[C64::ZERO, C64::ZERO], [C64::ZERO, C64::real(gamma.sqrt())]],
+        ];
+        self.apply_channel_1q(&kraus, q);
+    }
+
+    /// The measurement distribution over `measured`, from the diagonal
+    /// of ρ (probabilities below `1e-12` pruned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is empty or out of range.
+    #[must_use]
+    pub fn measured_distribution(&self, measured: &[u32]) -> Distribution {
+        assert!(!measured.is_empty(), "need at least one measured qubit");
+        let mut acc: HashMap<u128, f64> = HashMap::new();
+        for i in 0..self.dim {
+            let p = self.rho[i * self.dim + i].re;
+            if p < 1e-12 {
+                continue;
+            }
+            let mut key: u128 = 0;
+            for (bit, &q) in measured.iter().enumerate() {
+                assert!((q as usize) < self.n, "measured qubit {q} out of range");
+                if i >> q & 1 == 1 {
+                    key |= 1 << bit;
+                }
+            }
+            *acc.entry(key).or_insert(0.0) += p;
+        }
+        Distribution::from_probs(
+            measured.len(),
+            acc.into_iter().map(|(k, p)| (BitString::from_value(k, measured.len()), p)),
+        )
+    }
+}
+
+/// Exact Markovian-noise execution of a transpiled basis circuit on a
+/// backend: per gate — unitary, depolarizing at the calibrated error,
+/// amplitude/phase damping over the calibrated duration — then the
+/// readout confusion channel applied classically to the final
+/// distribution.
+///
+/// # Panics
+///
+/// Panics if the circuit exceeds [`MAX_DENSITY_QUBITS`] or holds
+/// non-basis gates.
+#[must_use]
+pub fn exact_noisy_distribution(circuit: &Circuit, backend: &Backend) -> Distribution {
+    let cal = backend.calibration();
+    let mut rho = DensityMatrix::new(circuit.num_qubits());
+    for inst in circuit.instructions() {
+        rho.apply_unitary(inst);
+        let qs = inst.qubits();
+        let (err, dur) = match inst.gate() {
+            Gate::RZ(_) => (0.0, 0.0),
+            Gate::SX | Gate::X | Gate::I => {
+                let g = cal.sq_gate(qs[0]);
+                (g.error, g.duration_ns)
+            }
+            Gate::CX => {
+                let g = cal.cx_gate(qs[0], qs[1]).expect("calibrated edge");
+                (g.error, g.duration_ns)
+            }
+            g => panic!("exact noisy execution expects basis gates, found {g}"),
+        };
+        for &q in qs {
+            if err > 0.0 {
+                rho.depolarize(err, q as usize);
+            }
+            if dur > 0.0 {
+                let qc = cal.qubit(q);
+                let g1 = 1.0 - (-dur / (qc.t1_us * 1000.0)).exp();
+                let g2 = 1.0 - (-dur / (qc.t2_us * 1000.0)).exp();
+                rho.amplitude_damp(g1, q as usize);
+                rho.phase_damp((g2 - g1).max(0.0), q as usize);
+            }
+        }
+    }
+    let clean = rho.measured_distribution(circuit.measured());
+    apply_readout_confusion(&clean, circuit, backend)
+}
+
+/// Applies the per-qubit readout confusion channel classically.
+fn apply_readout_confusion(
+    dist: &Distribution,
+    circuit: &Circuit,
+    backend: &Backend,
+) -> Distribution {
+    let flips: Vec<f64> = circuit
+        .measured()
+        .iter()
+        .map(|&q| backend.calibration().qubit(q).readout_error)
+        .collect();
+    let width = dist.width();
+    let mut acc: HashMap<BitString, f64> = HashMap::new();
+    for (s, p) in dist.iter() {
+        // Exact expansion is 2^width terms; restrict to flips of up to
+        // two bits (higher orders carry O(e³) mass) and lump the
+        // remainder into the unflipped outcome.
+        let mut assigned = 0.0;
+        for i in 0..width {
+            let p_i = flips[i] * flips.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, e)| 1.0 - e).product::<f64>();
+            *acc.entry(s.with_flipped(i)).or_insert(0.0) += p * p_i;
+            assigned += p_i;
+            for j in i + 1..width {
+                let p_ij = flips[i] * flips[j]
+                    * flips
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != i && k != j)
+                        .map(|(_, e)| 1.0 - e)
+                        .product::<f64>();
+                *acc.entry(s.with_flipped(i).with_flipped(j)).or_insert(0.0) += p * p_ij;
+                assigned += p_ij;
+            }
+        }
+        // Remainder = no-flip probability plus the O(e³) higher-order
+        // tail, lumped onto the unflipped outcome.
+        *acc.entry(*s).or_insert(0.0) += p * (1.0 - assigned);
+    }
+    Distribution::from_probs(width, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::library::bernstein_vazirani;
+    use qbeep_device::profiles;
+    use qbeep_transpile::Transpiler;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn pure_evolution_matches_statevector() {
+        let mut c = Circuit::new(3, "mix");
+        c.h(0).cx(0, 1).t(1).cx(1, 2).h(2);
+        let sv = crate::ideal_distribution(&c);
+        let mut rho = DensityMatrix::new(3);
+        rho.run_unitary(&c);
+        let dm = rho.measured_distribution(c.measured());
+        assert!(sv.hellinger(&dm) < 1e-6);
+        assert!((rho.trace() - 1.0).abs() < 1e-9);
+        assert!((rho.purity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_and_keeps_trace() {
+        let mut rho = DensityMatrix::new(2);
+        let mut c = Circuit::new(2, "bell");
+        c.h(0).cx(0, 1);
+        rho.run_unitary(&c);
+        rho.depolarize(0.2, 0);
+        assert!((rho.trace() - 1.0).abs() < 1e-9);
+        assert!(rho.purity() < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn full_depolarizing_is_maximally_mixed_on_qubit() {
+        let mut rho = DensityMatrix::new(1);
+        rho.depolarize(0.75, 0); // p = 3/4 is the fully-mixing point
+        let d = rho.measured_distribution(&[0]);
+        assert!((d.prob(&bs("0")) - 0.5).abs() < 1e-9);
+        assert!((rho.purity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_to_ground() {
+        let mut rho = DensityMatrix::new(1);
+        let mut c = Circuit::new(1, "x");
+        c.x(0);
+        rho.run_unitary(&c);
+        rho.amplitude_damp(0.3, 0);
+        let d = rho.measured_distribution(&[0]);
+        assert!((d.prob(&bs("0")) - 0.3).abs() < 1e-9);
+        // Full damping returns |0⟩ exactly.
+        rho.amplitude_damp(1.0, 0);
+        let d = rho.measured_distribution(&[0]);
+        assert!((d.prob(&bs("0")) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherence_not_populations() {
+        let mut rho = DensityMatrix::new(1);
+        let mut c = Circuit::new(1, "h");
+        c.h(0);
+        rho.run_unitary(&c);
+        let before = rho.measured_distribution(&[0]);
+        rho.phase_damp(1.0, 0);
+        let after = rho.measured_distribution(&[0]);
+        // Populations unchanged…
+        assert!(before.hellinger(&after) < 1e-6);
+        // …but the state is now fully mixed.
+        assert!((rho.purity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_and_trajectory_simulators_agree() {
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let secret = bs("101");
+        let t = Transpiler::new(&backend).transpile(&bernstein_vazirani(&secret)).unwrap();
+        let exact = exact_noisy_distribution(t.circuit(), &backend);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let sampled = crate::NoisySimulator::new(&backend)
+            .run(t.circuit(), 20_000, &mut rng)
+            .to_distribution();
+        let h = exact.hellinger(&sampled);
+        // The trajectory noise model is a Pauli-twirled approximation
+        // of the exact channels, so agreement is statistical-plus-twirl.
+        assert!(h < 0.12, "hellinger {h}\nexact {exact}\nsampled {sampled}");
+        // Both agree the secret dominates.
+        assert_eq!(exact.mode(), secret);
+    }
+
+    #[test]
+    fn noisy_bv_success_is_sub_unit_but_dominant() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let secret = bs("1011");
+        let t = Transpiler::new(&backend).transpile(&bernstein_vazirani(&secret)).unwrap();
+        let d = exact_noisy_distribution(t.circuit(), &backend);
+        let p = d.prob(&secret);
+        assert!(p > 0.5 && p < 1.0, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the density limit")]
+    fn too_many_qubits_panics() {
+        let _ = DensityMatrix::new(MAX_DENSITY_QUBITS + 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Gate-level stochastic (Markovian) noise simulation.
+//!
+//! Per trajectory: each gate may misfire as a depolarizing event
+//! (uniform random non-identity Pauli on its operands, probability =
+//! calibrated gate error), idle decoherence between operations is
+//! approximated by the standard Pauli-twirled thermal-relaxation
+//! channel driven by T1/T2 and the gate durations, and measurement
+//! flips each read bit with the calibrated readout error.
+//!
+//! §3.1 of the paper observes that noise of exactly this (Markovian,
+//! locally-structured) class does *not* reproduce the non-local Hamming
+//! clustering seen on hardware; the `fig04` bench uses this simulator
+//! as that negative control.
+
+use qbeep_bitstring::{BitString, Counts};
+use qbeep_circuit::{Circuit, Gate, Instruction};
+use qbeep_device::Backend;
+use rand::Rng;
+
+use crate::StateVector;
+
+/// Trajectory-sampling noisy simulator bound to one backend.
+///
+/// Works on *physical basis circuits* (the output of the transpiler) so
+/// that calibrated per-qubit/per-edge statistics apply directly.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::cat_state;
+/// use qbeep_device::profiles;
+/// use qbeep_sim::NoisySimulator;
+/// use qbeep_transpile::Transpiler;
+/// use rand::SeedableRng;
+///
+/// let backend = profiles::by_name("fake_lima").unwrap();
+/// let t = Transpiler::new(&backend).transpile(&cat_state(3)).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let counts = NoisySimulator::new(&backend).run(t.circuit(), 200, &mut rng);
+/// assert_eq!(counts.total(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoisySimulator<'a> {
+    backend: &'a Backend,
+}
+
+impl<'a> NoisySimulator<'a> {
+    /// Binds the simulator to a backend's calibration.
+    #[must_use]
+    pub fn new(backend: &'a Backend) -> Self {
+        Self { backend }
+    }
+
+    /// Pauli-twirled thermal relaxation probabilities for an idle of
+    /// `dt_ns` on qubit `q`: returns `(px, py, pz)`.
+    fn idle_pauli_probs(&self, q: u32, dt_ns: f64) -> (f64, f64, f64) {
+        let cal = self.backend.calibration().qubit(q);
+        let t1 = cal.t1_us * 1000.0;
+        let t2 = cal.t2_us * 1000.0;
+        let p_relax = 1.0 - (-dt_ns / t1).exp();
+        let p_dephase = 1.0 - (-dt_ns / t2).exp();
+        let px = p_relax / 4.0;
+        let py = p_relax / 4.0;
+        let pz = (p_dephase / 2.0 - p_relax / 4.0).max(0.0);
+        (px, py, pz)
+    }
+
+    /// Applies a random Pauli on `q` drawn from `(px, py, pz)`.
+    fn maybe_pauli<R: Rng + ?Sized>(sv: &mut StateVector, q: u32, probs: (f64, f64, f64), rng: &mut R) {
+        let r: f64 = rng.gen();
+        let gate = if r < probs.0 {
+            Some(Gate::X)
+        } else if r < probs.0 + probs.1 {
+            Some(Gate::Y)
+        } else if r < probs.0 + probs.1 + probs.2 {
+            Some(Gate::Z)
+        } else {
+            None
+        };
+        if let Some(g) = gate {
+            sv.apply(&Instruction::new(g, vec![q]));
+        }
+    }
+
+    /// Runs one noisy trajectory of a physical basis `circuit`,
+    /// returning the measured outcome (with readout errors applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains non-basis gates or exceeds the
+    /// dense-simulation limit.
+    #[must_use]
+    pub fn run_trajectory<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> BitString {
+        let cal = self.backend.calibration();
+        let mut sv = StateVector::new(circuit.num_qubits());
+        for inst in circuit.instructions() {
+            sv.apply(inst);
+            let qs = inst.qubits();
+            let (err, dur) = match inst.gate() {
+                Gate::RZ(_) => (0.0, 0.0), // virtual
+                Gate::SX | Gate::X | Gate::I => {
+                    let g = cal.sq_gate(qs[0]);
+                    (g.error, g.duration_ns)
+                }
+                Gate::CX => {
+                    let g = cal
+                        .cx_gate(qs[0], qs[1])
+                        .expect("transpiled circuits only use coupled edges");
+                    (g.error, g.duration_ns)
+                }
+                g => panic!("noisy simulation expects basis gates, found {g}"),
+            };
+            // Depolarizing misfire on the operands.
+            if err > 0.0 && rng.gen::<f64>() < err {
+                for &q in qs {
+                    let g = match rng.gen_range(0..3) {
+                        0 => Gate::X,
+                        1 => Gate::Y,
+                        _ => Gate::Z,
+                    };
+                    sv.apply(&Instruction::new(g, vec![q]));
+                }
+            }
+            // Idle decoherence over the gate's duration on its operands.
+            if dur > 0.0 {
+                for &q in qs {
+                    let probs = self.idle_pauli_probs(q, dur);
+                    Self::maybe_pauli(&mut sv, q, probs, rng);
+                }
+            }
+        }
+        // Decoherence during readout, then readout bit flips.
+        let mut outcome = sv.sample_measured(circuit.measured(), rng);
+        for (bit, &q) in circuit.measured().iter().enumerate() {
+            let ro = cal.qubit(q).readout_error;
+            if rng.gen::<f64>() < ro {
+                outcome.flip(bit);
+            }
+        }
+        outcome
+    }
+
+    /// Runs `shots` independent trajectories and tallies the outcomes.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_trajectory`](Self::run_trajectory); also if `shots == 0`.
+    #[must_use]
+    pub fn run<R: Rng + ?Sized>(&self, circuit: &Circuit, shots: u64, rng: &mut R) -> Counts {
+        assert!(shots > 0, "need at least one shot");
+        let mut counts = Counts::new(circuit.measured().len());
+        for _ in 0..shots {
+            counts.record(self.run_trajectory(circuit, rng), 1);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::library::bernstein_vazirani;
+    use qbeep_device::profiles;
+    use qbeep_transpile::Transpiler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noisy_bv_is_mostly_correct_with_some_errors() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let secret: BitString = "1011".parse().unwrap();
+        let t = Transpiler::new(&backend).transpile(&bernstein_vazirani(&secret)).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = NoisySimulator::new(&backend).run(t.circuit(), 1000, &mut rng);
+        let pst = counts.pst(&secret);
+        assert!(pst > 0.5, "pst = {pst}");
+        assert!(pst < 1.0, "noise should produce some errors");
+    }
+
+    #[test]
+    fn worse_machine_means_lower_pst() {
+        let good = profiles::by_name("fake_lagos").unwrap();
+        let bad = profiles::by_name("fake_perth").unwrap();
+        let secret: BitString = "101101".parse().unwrap();
+        let bv = bernstein_vazirani(&secret);
+        let mut pst = Vec::new();
+        for backend in [&good, &bad] {
+            let t = Transpiler::new(backend).transpile(&bv).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            let counts = NoisySimulator::new(backend).run(t.circuit(), 600, &mut rng);
+            pst.push(counts.pst(&secret));
+        }
+        assert!(pst[0] > pst[1], "good {} vs bad {}", pst[0], pst[1]);
+    }
+
+    #[test]
+    fn trajectories_are_seed_deterministic() {
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let t = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&"101".parse().unwrap()))
+            .unwrap();
+        let sim = NoisySimulator::new(&backend);
+        let a = sim.run(t.circuit(), 100, &mut StdRng::seed_from_u64(3));
+        let b = sim.run(t.circuit(), 100, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn idle_probs_are_valid() {
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let sim = NoisySimulator::new(&backend);
+        let (px, py, pz) = sim.idle_pauli_probs(0, 500.0);
+        assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0);
+        assert!(px + py + pz < 0.1, "500ns idle should be mild");
+    }
+}

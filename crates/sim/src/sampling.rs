@@ -1,0 +1,173 @@
+//! Random-sampling primitives used by the noise models.
+//!
+//! The workspace's only sampling dependency is `rand` (uniform sources);
+//! the distribution samplers themselves — Poisson, standard normal —
+//! live here.
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with rate `lambda`.
+///
+/// Uses Knuth's product method for `λ ≤ 30` and a normal approximation
+/// (rounded, clamped at zero) above — the paper's λ values live in
+/// `0–5`, so the exact branch dominates.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+#[must_use]
+pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "Poisson rate {lambda} invalid");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda <= 30.0 {
+        let limit = (-lambda).exp();
+        let mut product = rng.gen::<f64>();
+        let mut k = 0u32;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            k += 1;
+        }
+        k
+    } else {
+        let z = sample_standard_normal(rng);
+        let x = lambda + lambda.sqrt() * z;
+        x.round().max(0.0) as u32
+    }
+}
+
+/// Samples a standard normal via Box–Muller.
+#[must_use]
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a log-normal multiplicative jitter factor `exp(σ·Z)`,
+/// median 1 — the model-mismatch noise applied to the empirical
+/// channel's ground-truth λ.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+#[must_use]
+pub fn sample_lognormal_factor<R: Rng + ?Sized>(sigma: f64, rng: &mut R) -> f64 {
+    assert!(sigma >= 0.0, "lognormal sigma {sigma} negative");
+    (sigma * sample_standard_normal(rng)).exp()
+}
+
+/// Draws `k` distinct indices from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+#[must_use]
+pub fn sample_distinct_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot draw {k} distinct indices from {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_and_variance_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for lambda in [0.5, 2.0, 8.0] {
+            let n = 20_000;
+            let samples: Vec<f64> =
+                (0..n).map(|_| f64::from(sample_poisson(lambda, &mut rng))).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var =
+                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < 0.1 * lambda.max(1.0), "λ={lambda} mean={mean}");
+            assert!((var - lambda).abs() < 0.15 * lambda.max(1.0), "λ={lambda} var={var}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5000;
+        let mean = (0..n).map(|_| f64::from(sample_poisson(100.0, &mut rng))).sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 100.0).abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut samples: Vec<f64> =
+            (0..10_000).map(|_| sample_lognormal_factor(0.4, &mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median = {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(sample_lognormal_factor(0.0, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let v = sample_distinct_indices(10, 6, &mut rng);
+            assert_eq!(v.len(), 6);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6);
+            assert!(v.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_full_draw_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut v = sample_distinct_indices(5, 5, &mut rng);
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn too_many_indices_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = sample_distinct_indices(3, 4, &mut rng);
+    }
+}

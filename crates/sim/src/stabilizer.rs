@@ -1,0 +1,497 @@
+//! CHP-style stabilizer simulation (Aaronson & Gottesman,
+//! quant-ph/0406196).
+//!
+//! Clifford circuits — which include the mirror randomized-benchmarking
+//! workloads of the paper's §3.1 study (their layer alphabet is
+//! `{H, X, Y, Z, S, SX}` + CX) — simulate in O(n²) per gate at *any*
+//! width, far beyond the dense simulator's 24-qubit ceiling. The
+//! workspace uses this engine to verify large-circuit identities
+//! (e.g. 40-qubit mirror circuits returning to their prepared state)
+//! and to cross-validate the state-vector simulator.
+
+use qbeep_bitstring::{BitString, Counts};
+use qbeep_circuit::{Circuit, Gate, Instruction};
+use rand::Rng;
+
+/// One Pauli row of the tableau: X/Z bit-vectors plus a sign bit.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    x: Vec<u64>,
+    z: Vec<u64>,
+    /// Sign: true = −1.
+    r: bool,
+}
+
+impl Row {
+    fn new(words: usize) -> Self {
+        Self { x: vec![0; words], z: vec![0; words], r: false }
+    }
+
+    fn get(bits: &[u64], q: usize) -> bool {
+        bits[q / 64] >> (q % 64) & 1 == 1
+    }
+
+    fn set(bits: &mut [u64], q: usize, v: bool) {
+        if v {
+            bits[q / 64] |= 1 << (q % 64);
+        } else {
+            bits[q / 64] &= !(1 << (q % 64));
+        }
+    }
+}
+
+/// A stabilizer state over `n` qubits, initialised to |0…0⟩.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::Circuit;
+/// use qbeep_sim::StabilizerState;
+/// use rand::SeedableRng;
+///
+/// // A 40-qubit GHZ state — far beyond dense simulation.
+/// let mut ghz = Circuit::new(40, "ghz40");
+/// ghz.h(0);
+/// for q in 1..40 {
+///     ghz.cx(q - 1, q);
+/// }
+/// let mut state = StabilizerState::new(40);
+/// state.run(&ghz);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let outcome = state.sample_measured(ghz.measured(), &mut rng);
+/// // Every qubit agrees in a GHZ state.
+/// assert!(outcome.hamming_weight() == 0 || outcome.hamming_weight() == 40);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilizerState {
+    n: usize,
+    /// Rows 0..n are destabilizers, n..2n stabilizers.
+    rows: Vec<Row>,
+}
+
+impl StabilizerState {
+    /// The |0…0⟩ state on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "stabilizer state needs at least one qubit");
+        let words = n.div_ceil(64);
+        let mut rows = vec![Row::new(words); 2 * n];
+        for q in 0..n {
+            Row::set(&mut rows[q].x, q, true); // destabilizer X_q
+            Row::set(&mut rows[n + q].z, q, true); // stabilizer Z_q
+        }
+        Self { n, rows }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The phase exponent contribution g(x1,z1,x2,z2) ∈ {−1, 0, 1} of
+    /// multiplying two Pauli letters (Aaronson–Gottesman Eq. 5).
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => i32::from(z2) - i32::from(x2),
+            (true, false) => i32::from(z2) * (2 * i32::from(x2) - 1),
+            (false, true) => i32::from(x2) * (1 - 2 * i32::from(z2)),
+        }
+    }
+
+    /// Row `h` ← row `h` · row `i` (Pauli multiplication with sign
+    /// tracking).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase: i32 =
+            2 * i32::from(self.rows[h].r) + 2 * i32::from(self.rows[i].r);
+        for q in 0..self.n {
+            let x1 = Row::get(&self.rows[i].x, q);
+            let z1 = Row::get(&self.rows[i].z, q);
+            let x2 = Row::get(&self.rows[h].x, q);
+            let z2 = Row::get(&self.rows[h].z, q);
+            phase += Self::g(x1, z1, x2, z2);
+        }
+        phase = phase.rem_euclid(4);
+        // Stabilizer-row sums always land on 0 or 2 (Hermitian Paulis);
+        // destabilizer rows may pick up imaginary factors, but their
+        // phases are never read, so any consistent mapping works.
+        debug_assert!(
+            h < self.n || phase == 0 || phase == 2,
+            "odd phase {phase} on stabilizer row {h}"
+        );
+        self.rows[h].r = phase >= 2;
+        for w in 0..self.rows[h].x.len() {
+            let (xi, zi) = (self.rows[i].x[w], self.rows[i].z[w]);
+            self.rows[h].x[w] ^= xi;
+            self.rows[h].z[w] ^= zi;
+        }
+    }
+
+    /// Applies a Hadamard on `a`.
+    fn h_gate(&mut self, a: usize) {
+        for row in &mut self.rows {
+            let x = Row::get(&row.x, a);
+            let z = Row::get(&row.z, a);
+            row.r ^= x && z;
+            Row::set(&mut row.x, a, z);
+            Row::set(&mut row.z, a, x);
+        }
+    }
+
+    /// Applies an S (phase) gate on `a`.
+    fn s_gate(&mut self, a: usize) {
+        for row in &mut self.rows {
+            let x = Row::get(&row.x, a);
+            let z = Row::get(&row.z, a);
+            row.r ^= x && z;
+            Row::set(&mut row.z, a, x ^ z);
+        }
+    }
+
+    /// Applies a CNOT with control `a`, target `b`.
+    fn cx_gate(&mut self, a: usize, b: usize) {
+        for row in &mut self.rows {
+            let xa = Row::get(&row.x, a);
+            let zb = Row::get(&row.z, b);
+            let xb = Row::get(&row.x, b);
+            let za = Row::get(&row.z, a);
+            row.r ^= xa && zb && (xb == za);
+            Row::set(&mut row.x, b, xb ^ xa);
+            Row::set(&mut row.z, a, za ^ zb);
+        }
+    }
+
+    /// Applies one instruction, decomposing non-primitive Cliffords
+    /// into {H, S, CX}.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not Clifford or touches out-of-range
+    /// qubits.
+    pub fn apply(&mut self, inst: &Instruction) {
+        let qs: Vec<usize> = inst.qubits().iter().map(|&q| q as usize).collect();
+        assert!(
+            qs.iter().all(|&q| q < self.n),
+            "instruction {inst} out of range for {} qubits",
+            self.n
+        );
+        match *inst.gate() {
+            Gate::I => {}
+            Gate::H => self.h_gate(qs[0]),
+            Gate::S => self.s_gate(qs[0]),
+            Gate::Sdg => {
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+            }
+            Gate::Z => {
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+            }
+            Gate::X => {
+                // X = H Z H.
+                self.h_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.h_gate(qs[0]);
+            }
+            Gate::Y => {
+                // Y ≅ Z·X up to a global phase.
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.h_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.h_gate(qs[0]);
+            }
+            Gate::SX => {
+                // SX ≅ H S H up to a global phase.
+                self.h_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.h_gate(qs[0]);
+            }
+            Gate::SXdg => {
+                self.h_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.s_gate(qs[0]);
+                self.h_gate(qs[0]);
+            }
+            Gate::CX => self.cx_gate(qs[0], qs[1]),
+            Gate::CZ => {
+                self.h_gate(qs[1]);
+                self.cx_gate(qs[0], qs[1]);
+                self.h_gate(qs[1]);
+            }
+            Gate::CY => {
+                // CY = (I⊗S†)·CX·(I⊗S).
+                self.s_gate(qs[1]);
+                self.s_gate(qs[1]);
+                self.s_gate(qs[1]);
+                self.cx_gate(qs[0], qs[1]);
+                self.s_gate(qs[1]);
+            }
+            Gate::SWAP => {
+                self.cx_gate(qs[0], qs[1]);
+                self.cx_gate(qs[1], qs[0]);
+                self.cx_gate(qs[0], qs[1]);
+            }
+            ref g => panic!("gate {g} is not Clifford; use the dense simulator"),
+        }
+    }
+
+    /// Runs every instruction of a (Clifford) circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state or contains
+    /// non-Clifford gates.
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert!(circuit.num_qubits() <= self.n, "circuit wider than state");
+        for inst in circuit.instructions() {
+            self.apply(inst);
+        }
+    }
+
+    /// Measures qubit `a` in the Z basis, collapsing the state.
+    /// Returns the outcome bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn measure<R: Rng + ?Sized>(&mut self, a: usize, rng: &mut R) -> bool {
+        assert!(a < self.n, "qubit {a} out of range");
+        // Random outcome iff some stabilizer anticommutes with Z_a.
+        let p = (self.n..2 * self.n).find(|&i| Row::get(&self.rows[i].x, a));
+        if let Some(p) = p {
+            let outcome = rng.gen_bool(0.5);
+            for i in 0..2 * self.n {
+                if i != p && Row::get(&self.rows[i].x, a) {
+                    self.rowsum(i, p);
+                }
+            }
+            self.rows[p - self.n] = self.rows[p].clone();
+            let words = self.rows[p].x.len();
+            self.rows[p] = Row::new(words);
+            Row::set(&mut self.rows[p].z, a, true);
+            self.rows[p].r = outcome;
+            outcome
+        } else {
+            // Deterministic: accumulate into a scratch row.
+            let words = self.rows[0].x.len();
+            let scratch = Row::new(words);
+            self.rows.push(scratch);
+            let h = self.rows.len() - 1;
+            for i in 0..self.n {
+                if Row::get(&self.rows[i].x, a) {
+                    self.rowsum(h, i + self.n);
+                }
+            }
+            let outcome = self.rows[h].r;
+            self.rows.pop();
+            outcome
+        }
+    }
+
+    /// Samples one measurement outcome over the `measured` subset
+    /// without disturbing `self` (measures a clone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is empty or out of range.
+    #[must_use]
+    pub fn sample_measured<R: Rng + ?Sized>(&self, measured: &[u32], rng: &mut R) -> BitString {
+        assert!(!measured.is_empty(), "need at least one measured qubit");
+        let mut copy = self.clone();
+        let mut out = BitString::zeros(measured.len());
+        for (bit, &q) in measured.iter().enumerate() {
+            if copy.measure(q as usize, rng) {
+                out.set(bit, true);
+            }
+        }
+        out
+    }
+
+    /// Draws `shots` outcome samples over the measured subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0` or `measured` invalid.
+    #[must_use]
+    pub fn sample_counts<R: Rng + ?Sized>(
+        &self,
+        measured: &[u32],
+        shots: u64,
+        rng: &mut R,
+    ) -> Counts {
+        assert!(shots > 0, "need at least one shot");
+        let mut counts = Counts::new(measured.len());
+        for _ in 0..shots {
+            counts.record(self.sample_measured(measured, rng), 1);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal_distribution;
+    use qbeep_circuit::library::mirror_rb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ground_state_measures_zero() {
+        let mut state = StabilizerState::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for q in 0..5 {
+            assert!(!state.measure(q, &mut rng));
+        }
+    }
+
+    #[test]
+    fn x_flips_deterministically() {
+        let mut c = Circuit::new(3, "x");
+        c.x(1);
+        let mut state = StabilizerState::new(3);
+        state.run(&c);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(state.sample_measured(&[0, 1, 2], &mut rng), bs("010"));
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut c = Circuit::new(2, "bell");
+        c.h(0).cx(0, 1);
+        let mut state = StabilizerState::new(2);
+        state.run(&c);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut zeros = 0;
+        for _ in 0..400 {
+            let s = state.sample_measured(&[0, 1], &mut rng);
+            assert!(s == bs("00") || s == bs("11"), "uncorrelated outcome {s}");
+            if s == bs("00") {
+                zeros += 1;
+            }
+        }
+        assert!((zeros as f64 / 400.0 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn fifty_qubit_ghz() {
+        let n = 50;
+        let mut c = Circuit::new(n, "ghz");
+        c.h(0);
+        for q in 1..n as u32 {
+            c.cx(q - 1, q);
+        }
+        let mut state = StabilizerState::new(n);
+        state.run(&c);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let s = state.sample_measured(c.measured(), &mut rng);
+            let w = s.hamming_weight() as usize;
+            assert!(w == 0 || w == n, "GHZ outcome weight {w}");
+        }
+    }
+
+    #[test]
+    fn large_mirror_rb_returns_to_prepared_state() {
+        // The paper-scale verification dense simulation cannot reach.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (circuit, expected) = mirror_rb(40, 12, &mut rng);
+        let mut state = StabilizerState::new(40);
+        state.run(&circuit);
+        for _ in 0..5 {
+            assert_eq!(state.sample_measured(circuit.measured(), &mut rng), expected);
+        }
+    }
+
+    #[test]
+    fn cross_validates_against_dense_simulator() {
+        // Random Clifford circuits: the two engines must produce the
+        // same distribution.
+        let gates: [(Gate, usize); 8] = [
+            (Gate::H, 1),
+            (Gate::S, 1),
+            (Gate::X, 1),
+            (Gate::Y, 1),
+            (Gate::Z, 1),
+            (Gate::SX, 1),
+            (Gate::CX, 2),
+            (Gate::CZ, 2),
+        ];
+        let mut rng = StdRng::seed_from_u64(6);
+        for trial in 0..20 {
+            let n = 4;
+            let mut c = Circuit::new(n, format!("clifford_{trial}"));
+            for _ in 0..15 {
+                let (g, arity) = gates[rng.gen_range(0..gates.len())];
+                if arity == 1 {
+                    c.apply(g, &[rng.gen_range(0..n as u32)]);
+                } else {
+                    let a = rng.gen_range(0..n as u32);
+                    let b = (a + 1 + rng.gen_range(0..n as u32 - 1)) % n as u32;
+                    c.apply(g, &[a, b]);
+                }
+            }
+            let dense = ideal_distribution(&c);
+            let mut stab = StabilizerState::new(n);
+            stab.run(&c);
+            let counts = stab.sample_counts(c.measured(), 6000, &mut rng);
+            let sampled = counts.to_distribution();
+            let h = dense.hellinger(&sampled);
+            assert!(h < 0.08, "trial {trial}: hellinger {h}\ndense {dense}\nstab {sampled}");
+        }
+    }
+
+    #[test]
+    fn swap_and_cy_decompositions() {
+        let mut c = Circuit::new(2, "t");
+        c.x(0).swap(0, 1);
+        let mut state = StabilizerState::new(2);
+        state.run(&c);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(state.sample_measured(&[0, 1], &mut rng), bs("10"));
+
+        // CY on |10⟩ (control set): target flips.
+        let mut c = Circuit::new(2, "cy");
+        c.x(0).apply(Gate::CY, &[0, 1]);
+        let mut state = StabilizerState::new(2);
+        state.run(&c);
+        assert_eq!(state.sample_measured(&[0, 1], &mut rng), bs("11"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not Clifford")]
+    fn non_clifford_gate_panics() {
+        let mut c = Circuit::new(1, "t");
+        c.t(0);
+        let mut state = StabilizerState::new(1);
+        state.run(&c);
+    }
+
+    #[test]
+    fn measurement_collapses_state() {
+        let mut c = Circuit::new(1, "h");
+        c.h(0);
+        let mut state = StabilizerState::new(1);
+        state.run(&c);
+        let mut rng = StdRng::seed_from_u64(8);
+        let first = state.measure(0, &mut rng);
+        // Re-measuring the collapsed state is deterministic.
+        for _ in 0..10 {
+            assert_eq!(state.measure(0, &mut rng), first);
+        }
+    }
+}

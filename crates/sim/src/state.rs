@@ -1,0 +1,631 @@
+//! Exact state-vector simulation.
+
+use std::collections::HashMap;
+
+use qbeep_bitstring::{BitString, Distribution};
+use qbeep_circuit::{Circuit, Gate, Instruction};
+use rand::Rng;
+
+use crate::C64;
+
+/// Largest qubit count the dense simulator accepts (2²⁴ amplitudes ≈
+/// 256 MiB); the paper's circuits are 4–16 logical qubits.
+pub const MAX_SIM_QUBITS: usize = 24;
+
+/// A dense state vector over `n` qubits, little-endian: amplitude index
+/// bit `q` is the state of qubit `q`.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::Circuit;
+/// use qbeep_sim::StateVector;
+///
+/// let mut bell = Circuit::new(2, "bell");
+/// bell.h(0).cx(0, 1);
+/// let mut sv = StateVector::new(2);
+/// sv.run(&bell);
+/// assert!((sv.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((sv.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+/// The 2×2 matrix of a single-qubit gate (shared with the density-
+/// matrix engine).
+pub(crate) fn gate_matrix2(gate: &Gate) -> [[C64; 2]; 2] {
+    use std::f64::consts::FRAC_1_SQRT_2 as R;
+    let z = C64::ZERO;
+    let o = C64::ONE;
+    match *gate {
+        Gate::I => [[o, z], [z, o]],
+        Gate::X => [[z, o], [o, z]],
+        Gate::Y => [[z, -C64::I], [C64::I, z]],
+        Gate::Z => [[o, z], [z, -o]],
+        Gate::H => [[C64::real(R), C64::real(R)], [C64::real(R), C64::real(-R)]],
+        Gate::S => [[o, z], [z, C64::I]],
+        Gate::Sdg => [[o, z], [z, -C64::I]],
+        Gate::T => [[o, z], [z, C64::cis(std::f64::consts::FRAC_PI_4)]],
+        Gate::Tdg => [[o, z], [z, C64::cis(-std::f64::consts::FRAC_PI_4)]],
+        Gate::SX => [
+            [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+            [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+        ],
+        Gate::SXdg => [
+            [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+            [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+        ],
+        Gate::RX(t) => {
+            let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+            [[C64::real(c), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::real(c)]]
+        }
+        Gate::RY(t) => {
+            let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+            [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]]
+        }
+        Gate::RZ(t) => [[C64::cis(-t / 2.0), z], [z, C64::cis(t / 2.0)]],
+        Gate::P(t) => [[o, z], [z, C64::cis(t)]],
+        Gate::U(t, p, l) => {
+            let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+            [
+                [C64::real(c), C64::cis(l).scale(-s)],
+                [C64::cis(p).scale(s), C64::cis(p + l).scale(c)],
+            ]
+        }
+        ref g => panic!("gate_matrix2 called on non-single-qubit gate {g}"),
+    }
+}
+
+/// The 2×2 matrix applied to the target of a controlled gate, if the
+/// gate is of controlled-U form.
+fn controlled_target_matrix(gate: &Gate) -> Option<[[C64; 2]; 2]> {
+    match *gate {
+        Gate::CX => Some(gate_matrix2(&Gate::X)),
+        Gate::CY => Some(gate_matrix2(&Gate::Y)),
+        Gate::CZ => Some(gate_matrix2(&Gate::Z)),
+        Gate::CH => Some(gate_matrix2(&Gate::H)),
+        Gate::CP(t) => Some(gate_matrix2(&Gate::P(t))),
+        Gate::CRX(t) => Some(gate_matrix2(&Gate::RX(t))),
+        Gate::CRY(t) => Some(gate_matrix2(&Gate::RY(t))),
+        Gate::CRZ(t) => Some(gate_matrix2(&Gate::RZ(t))),
+        _ => None,
+    }
+}
+
+impl StateVector {
+    /// The |0…0⟩ state on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds [`MAX_SIM_QUBITS`].
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "state vector needs at least one qubit");
+        assert!(n <= MAX_SIM_QUBITS, "{n} qubits exceed the dense-simulation limit {MAX_SIM_QUBITS}");
+        let mut amps = vec![C64::ZERO; 1 << n];
+        amps[0] = C64::ONE;
+        Self { n, amps }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitude of basis state `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 2^n`.
+    #[must_use]
+    pub fn amplitude(&self, idx: usize) -> C64 {
+        self.amps[idx]
+    }
+
+    /// The probability of basis state `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 2^n`.
+    #[must_use]
+    pub fn probability(&self, idx: usize) -> f64 {
+        self.amps[idx].norm_sqr()
+    }
+
+    /// Applies a single-qubit 2×2 matrix on qubit `q`.
+    fn apply_1q(&mut self, m: &[[C64; 2]; 2], q: u32) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies a controlled 2×2 matrix (control `c`, target `t`).
+    fn apply_controlled(&mut self, m: &[[C64; 2]; 2], c: u32, t: u32) {
+        let (cb, tb) = (1usize << c, 1usize << t);
+        for i in 0..self.amps.len() {
+            if i & cb != 0 && i & tb == 0 {
+                let j = i | tb;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies one instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction touches out-of-range qubits.
+    pub fn apply(&mut self, inst: &Instruction) {
+        let qs = inst.qubits();
+        assert!(
+            (inst.max_qubit() as usize) < self.n,
+            "instruction {inst} out of range for {} qubits",
+            self.n
+        );
+        let gate = inst.gate();
+        if gate.arity() == 1 {
+            self.apply_1q(&gate_matrix2(gate), qs[0]);
+            return;
+        }
+        if let Some(m) = controlled_target_matrix(gate) {
+            self.apply_controlled(&m, qs[0], qs[1]);
+            return;
+        }
+        match *gate {
+            Gate::SWAP => {
+                let (a, b) = (1usize << qs[0], 1usize << qs[1]);
+                for i in 0..self.amps.len() {
+                    if i & a != 0 && i & b == 0 {
+                        self.amps.swap(i, (i & !a) | b);
+                    }
+                }
+            }
+            Gate::RZZ(t) => {
+                let (a, b) = (1usize << qs[0], 1usize << qs[1]);
+                let plus = C64::cis(t / 2.0);
+                let minus = C64::cis(-t / 2.0);
+                for (i, amp) in self.amps.iter_mut().enumerate() {
+                    let parity = ((i & a != 0) as u8) ^ ((i & b != 0) as u8);
+                    *amp = *amp * if parity == 1 { plus } else { minus };
+                }
+            }
+            Gate::RXX(t) | Gate::RYY(t) => {
+                // 4×4 block acting on the (q_a, q_b) subspace.
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                let is = C64::new(0.0, -s);
+                // For RYY the |00⟩↔|11⟩ coupling picks up the opposite
+                // sign: Y⊗Y|00⟩ = -|11⟩.
+                let corner = if matches!(gate, Gate::RXX(_)) { is } else { -is };
+                let (a, b) = (1usize << qs[0], 1usize << qs[1]);
+                for i in 0..self.amps.len() {
+                    if i & a == 0 && i & b == 0 {
+                        let i00 = i;
+                        let i01 = i | a;
+                        let i10 = i | b;
+                        let i11 = i | a | b;
+                        let (a00, a01, a10, a11) =
+                            (self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]);
+                        self.amps[i00] = a00.scale(c) + corner * a11;
+                        self.amps[i11] = corner * a00 + a11.scale(c);
+                        self.amps[i01] = a01.scale(c) + is * a10;
+                        self.amps[i10] = is * a01 + a10.scale(c);
+                    }
+                }
+            }
+            Gate::CCX => {
+                let (c0, c1, t) = (1usize << qs[0], 1usize << qs[1], 1usize << qs[2]);
+                for i in 0..self.amps.len() {
+                    if i & c0 != 0 && i & c1 != 0 && i & t == 0 {
+                        self.amps.swap(i, i | t);
+                    }
+                }
+            }
+            Gate::CSWAP => {
+                let (c, a, b) = (1usize << qs[0], 1usize << qs[1], 1usize << qs[2]);
+                for i in 0..self.amps.len() {
+                    if i & c != 0 && i & a != 0 && i & b == 0 {
+                        self.amps.swap(i, (i & !a) | b);
+                    }
+                }
+            }
+            ref g => unreachable!("gate {g} not dispatched"),
+        }
+    }
+
+    /// Runs every instruction of `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn run(&mut self, circuit: &Circuit) {
+        assert!(circuit.num_qubits() <= self.n, "circuit wider than state");
+        for inst in circuit.instructions() {
+            self.apply(inst);
+        }
+    }
+
+    /// Total squared norm (≈ 1; exposed for invariant tests).
+    #[must_use]
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(C64::norm_sqr).sum()
+    }
+
+    /// The measurement distribution over the `measured` qubit subset
+    /// (classical bit `i` of each outcome reads `measured[i]`),
+    /// marginalising out the rest. Probabilities below `1e-12` are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is empty or out of range.
+    #[must_use]
+    pub fn measured_distribution(&self, measured: &[u32]) -> Distribution {
+        assert!(!measured.is_empty(), "need at least one measured qubit");
+        let mut acc: HashMap<u128, f64> = HashMap::new();
+        for (i, amp) in self.amps.iter().enumerate() {
+            let p = amp.norm_sqr();
+            if p < 1e-12 {
+                continue;
+            }
+            let mut key: u128 = 0;
+            for (bit, &q) in measured.iter().enumerate() {
+                assert!((q as usize) < self.n, "measured qubit {q} out of range");
+                if i >> q & 1 == 1 {
+                    key |= 1 << bit;
+                }
+            }
+            *acc.entry(key).or_insert(0.0) += p;
+        }
+        Distribution::from_probs(
+            measured.len(),
+            acc.into_iter().map(|(k, p)| (BitString::from_value(k, measured.len()), p)),
+        )
+    }
+
+    /// Samples one measurement outcome over the `measured` subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured` is empty or out of range.
+    #[must_use]
+    pub fn sample_measured<R: Rng + ?Sized>(&self, measured: &[u32], rng: &mut R) -> BitString {
+        let mut target: f64 = rng.gen::<f64>() * self.norm_sqr();
+        let mut idx = self.amps.len() - 1;
+        for (i, amp) in self.amps.iter().enumerate() {
+            target -= amp.norm_sqr();
+            if target <= 0.0 {
+                idx = i;
+                break;
+            }
+        }
+        let mut out = BitString::zeros(measured.len());
+        for (bit, &q) in measured.iter().enumerate() {
+            assert!((q as usize) < self.n, "measured qubit {q} out of range");
+            if idx >> q & 1 == 1 {
+                out.set(bit, true);
+            }
+        }
+        out
+    }
+}
+
+/// Runs `circuit` from |0…0⟩ and returns its ideal measurement
+/// distribution over the circuit's measured qubits.
+///
+/// # Panics
+///
+/// Panics if the circuit exceeds [`MAX_SIM_QUBITS`].
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::bernstein_vazirani;
+/// use qbeep_sim::ideal_distribution;
+///
+/// let secret = "1101".parse().unwrap();
+/// let d = ideal_distribution(&bernstein_vazirani(&secret));
+/// assert!((d.prob(&secret) - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn ideal_distribution(circuit: &Circuit) -> Distribution {
+    let mut sv = StateVector::new(circuit.num_qubits());
+    sv.run(circuit);
+    sv.measured_distribution(circuit.measured())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_ground() {
+        let sv = StateVector::new(3);
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new(2, "x");
+        c.x(1);
+        let d = ideal_distribution(&c);
+        assert!((d.prob(&bs("10")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2, "bell");
+        c.h(0).cx(0, 1);
+        let d = ideal_distribution(&c);
+        assert!((d.prob(&bs("00")) - 0.5).abs() < 1e-12);
+        assert!((d.prob(&bs("11")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitarity_preserved_across_alphabet() {
+        let mut c = Circuit::new(3, "all");
+        c.h(0).y(1).t(2).sx(0).rx(0.4, 1).ry(0.7, 2).rz(1.1, 0).p(0.3, 1);
+        c.u(0.2, 0.4, 0.6, 2);
+        c.cx(0, 1).cz(1, 2).cp(0.5, 0, 2).cry(0.8, 1, 0);
+        c.rzz(0.4, 0, 1).rxx(0.6, 1, 2).swap(0, 2).ccx(0, 1, 2).cswap(2, 0, 1);
+        let mut sv = StateVector::new(3);
+        sv.run(&c);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hh_is_identity() {
+        let mut c = Circuit::new(1, "hh");
+        c.h(0).h(0);
+        let d = ideal_distribution(&c);
+        assert!((d.prob(&bs("0")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bv_recovers_secret() {
+        for s in ["101", "0000", "11011", "111111"] {
+            let secret = bs(s);
+            let d = ideal_distribution(&library::bernstein_vazirani(&secret));
+            assert!((d.prob(&secret) - 1.0).abs() < 1e-9, "secret {s}");
+        }
+    }
+
+    #[test]
+    fn ghz_has_two_outcomes() {
+        let d = ideal_distribution(&library::cat_state(4));
+        assert_eq!(d.support_size(), 2);
+        assert!((d.prob(&bs("0000")) - 0.5).abs() < 1e-9);
+        assert!((d.prob(&bs("1111")) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn w_state_is_uniform_one_hot() {
+        let d = ideal_distribution(&library::w_state(3));
+        assert_eq!(d.support_size(), 3);
+        for s in ["001", "010", "100"] {
+            assert!((d.prob(&bs(s)) - 1.0 / 3.0).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn qrng_is_uniform() {
+        let d = ideal_distribution(&library::qrng(3));
+        assert_eq!(d.support_size(), 8);
+        assert!((d.shannon_entropy() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qft_of_ground_is_uniform() {
+        let d = ideal_distribution(&library::qft_circuit(4));
+        assert!((d.shannon_entropy() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let mut c = Circuit::new(3, "ccx");
+        c.x(0).x(1).ccx(0, 1, 2);
+        let d = ideal_distribution(&c);
+        assert!((d.prob(&bs("111")) - 1.0).abs() < 1e-12);
+        let mut c2 = Circuit::new(3, "ccx0");
+        c2.x(0).ccx(0, 1, 2);
+        let d2 = ideal_distribution(&c2);
+        assert!((d2.prob(&bs("001")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fredkin_swaps_when_control_set() {
+        let mut c = Circuit::new(3, "cswap");
+        c.x(0).x(1).cswap(0, 1, 2);
+        let d = ideal_distribution(&c);
+        // q1=1 moves to q2: outcome bits (q2 q1 q0) = 101.
+        assert!((d.prob(&bs("101")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adder_computes_one_plus_one() {
+        // 1-bit Cuccaro: cin=0, a0=1 (q1), b0=1 (q2), cout (q3).
+        let mut c = Circuit::new(4, "add");
+        c.x(1).x(2);
+        c.extend_from(&library::cuccaro_adder(1));
+        let d = ideal_distribution(&c);
+        // 1+1 = 10₂: sum bit b0 = 0, cout = 1, a unchanged = 1, cin = 0.
+        // Bits (q3 q2 q1 q0) = 1 0 1 0.
+        assert!((d.prob(&bs("1010")) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adder_exhaustive_two_bits() {
+        // 2-bit adder: all 16 input combinations.
+        for a in 0u32..4 {
+            for b in 0u32..4 {
+                let mut c = Circuit::new(6, "add2");
+                // a bits at q1, q3; b bits at q2, q4.
+                if a & 1 != 0 {
+                    c.x(1);
+                }
+                if a & 2 != 0 {
+                    c.x(3);
+                }
+                if b & 1 != 0 {
+                    c.x(2);
+                }
+                if b & 2 != 0 {
+                    c.x(4);
+                }
+                c.extend_from(&library::cuccaro_adder(2));
+                let d = ideal_distribution(&c);
+                let sum = a + b;
+                // Expected state: cin=0, a unchanged, b = sum low bits,
+                // cout = sum bit 2.
+                let mut expect = BitString::zeros(6);
+                expect.set(1, a & 1 != 0);
+                expect.set(3, a & 2 != 0);
+                expect.set(2, sum & 1 != 0);
+                expect.set(4, sum & 2 != 0);
+                expect.set(5, sum & 4 != 0);
+                assert!(
+                    (d.prob(&expect) - 1.0).abs() < 1e-9,
+                    "a={a} b={b}: expected {expect}, got {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_marked() {
+        let marked = bs("110");
+        let d = ideal_distribution(&library::grover(&marked, 2));
+        // Two iterations on 3 qubits reach ~94.5% success.
+        assert!(d.prob(&marked) > 0.9, "p = {}", d.prob(&marked));
+    }
+
+    #[test]
+    fn qpe_exact_phase() {
+        let d = ideal_distribution(&library::qpe(3, 0.25));
+        // 0.25 · 8 = 2 = 010.
+        assert!((d.prob(&bs("010")) - 1.0).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn mirror_rb_returns_to_prepared_state() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..3 {
+            let (c, expected) = library::mirror_rb(5, 8, &mut rng);
+            let d = ideal_distribution(&c);
+            assert!((d.prob(&expected) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interaction_rotations_match_their_decompositions() {
+        // RXX/RYY/RZZ native kernels vs the transpiler's CX-based
+        // decompositions, on a non-trivial entangled input.
+        use qbeep_transpile::decompose::to_basis;
+        for gate in [Gate::RXX(0.73), Gate::RYY(0.73), Gate::RZZ(0.73)] {
+            let mut direct = Circuit::new(3, "direct");
+            direct.h(0).cx(0, 1).t(1).h(2);
+            direct.apply(gate, &[1, 2]);
+            direct.h(1);
+            let lowered = to_basis(&direct);
+            let a = ideal_distribution(&direct);
+            let b = ideal_distribution(&lowered);
+            // Hellinger amplifies float error by √ε ≈ 1e-8.
+            assert!(a.hellinger(&b) < 1e-6, "{gate}: {}", a.hellinger(&b));
+        }
+    }
+
+    #[test]
+    fn deutsch_jozsa_distinguishes_constant_from_balanced() {
+        let constant = ideal_distribution(&library::deutsch_jozsa(4, None));
+        assert!((constant.prob(&bs("0000")) - 1.0).abs() < 1e-9);
+        let mask = bs("0110");
+        let balanced = ideal_distribution(&library::deutsch_jozsa(4, Some(mask)));
+        assert!((balanced.prob(&mask) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simon_outputs_span_the_orthogonal_subspace() {
+        let period = bs("101");
+        let d = ideal_distribution(&library::simon(&period));
+        // Exactly 2^{n-1} outcomes, each orthogonal to the period.
+        assert_eq!(d.support_size(), 4);
+        for (y, p) in d.iter() {
+            assert!((p - 0.25).abs() < 1e-9);
+            let dot = (0..3).filter(|&i| y.bit(i) && period.bit(i)).count();
+            assert_eq!(dot % 2, 0, "outcome {y} not orthogonal to {period}");
+        }
+    }
+
+    #[test]
+    fn measured_subset_marginalises() {
+        let mut c = Circuit::new(2, "m");
+        c.h(0).cx(0, 1);
+        c.set_measured(vec![1]);
+        let d = ideal_distribution(&c);
+        assert_eq!(d.width(), 1);
+        assert!((d.prob(&bs("0")) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(2, "bell");
+        c.h(0).cx(0, 1);
+        let mut sv = StateVector::new(2);
+        sv.run(&c);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut zeros = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let s = sv.sample_measured(&[0, 1], &mut rng);
+            assert!(s == bs("00") || s == bs("11"), "impossible outcome {s}");
+            if s == bs("00") {
+                zeros += 1;
+            }
+        }
+        let frac = zeros as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn transpiled_circuit_preserves_semantics() {
+        // Lowering to basis gates must not change the distribution.
+        use qbeep_transpile::decompose::to_basis;
+        let secret = bs("1011");
+        let bv = library::bernstein_vazirani(&secret);
+        let lowered = to_basis(&bv);
+        let d = ideal_distribution(&lowered);
+        assert!((d.prob(&secret) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decompose_preserves_all_suite_distributions() {
+        use qbeep_transpile::decompose::to_basis;
+        use qbeep_transpile::optimize::optimize;
+        for entry in library::qasmbench_suite() {
+            let ideal = ideal_distribution(entry.circuit());
+            let lowered = optimize(&to_basis(entry.circuit()));
+            let low = ideal_distribution(&lowered);
+            let h = ideal.hellinger(&low);
+            assert!(h < 1e-6, "{}: hellinger {h}", entry.label());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Lowering arbitrary gates to the IBM native basis `{rz, sx, x, cx}`.
+//!
+//! Single-qubit gates funnel through the ZXZXZ identity
+//! `U(θ, φ, λ) ≅ RZ(φ + π) · SX · RZ(θ + π) · SX · RZ(λ)` (global phase
+//! dropped — it is unobservable in measurement statistics). Multi-qubit
+//! gates use the textbook CX-based constructions.
+
+use std::f64::consts::PI;
+
+use qbeep_circuit::{Circuit, Gate, Instruction};
+
+/// Expresses a single-qubit gate as `U(θ, φ, λ)` angles, or `None` for
+/// gates that are already basis gates / pure-diagonal shortcuts.
+fn as_u_angles(gate: &Gate) -> Option<(f64, f64, f64)> {
+    match *gate {
+        Gate::H => Some((PI / 2.0, 0.0, PI)),
+        Gate::Y => Some((PI, PI / 2.0, PI / 2.0)),
+        Gate::RX(t) => Some((t, -PI / 2.0, PI / 2.0)),
+        Gate::RY(t) => Some((t, 0.0, 0.0)),
+        Gate::SXdg => Some((-PI / 2.0, -PI / 2.0, PI / 2.0)),
+        Gate::U(t, p, l) => Some((t, p, l)),
+        _ => None,
+    }
+}
+
+/// Emits the ZXZXZ expansion of `U(θ, φ, λ)` on `q` into `out`.
+fn push_u(out: &mut Vec<Instruction>, q: u32, theta: f64, phi: f64, lambda: f64) {
+    out.push(Instruction::new(Gate::RZ(lambda), vec![q]));
+    out.push(Instruction::new(Gate::SX, vec![q]));
+    out.push(Instruction::new(Gate::RZ(theta + PI), vec![q]));
+    out.push(Instruction::new(Gate::SX, vec![q]));
+    out.push(Instruction::new(Gate::RZ(phi + PI), vec![q]));
+}
+
+/// Recursively lowers one instruction to basis gates, appending to
+/// `out`.
+fn lower(inst: &Instruction, out: &mut Vec<Instruction>) {
+    let qs = inst.qubits();
+    let gate = *inst.gate();
+    // Already native.
+    if gate.is_basis_gate() {
+        if !matches!(gate, Gate::I) {
+            out.push(inst.clone());
+        }
+        return;
+    }
+    // Single-qubit diagonal shortcuts: pure RZ rotations.
+    let rz_angle = match gate {
+        Gate::Z => Some(PI),
+        Gate::S => Some(PI / 2.0),
+        Gate::Sdg => Some(-PI / 2.0),
+        Gate::T => Some(PI / 4.0),
+        Gate::Tdg => Some(-PI / 4.0),
+        Gate::P(t) | Gate::RZ(t) => Some(t),
+        _ => None,
+    };
+    if let Some(t) = rz_angle {
+        out.push(Instruction::new(Gate::RZ(t), vec![qs[0]]));
+        return;
+    }
+    if let Some((t, p, l)) = as_u_angles(&gate) {
+        push_u(out, qs[0], t, p, l);
+        return;
+    }
+
+    // Multi-qubit constructions, emitted as mixed-level gates and
+    // re-lowered recursively.
+    let mut sub: Vec<Instruction> = Vec::new();
+    let push = |v: &mut Vec<Instruction>, g: Gate, q: &[u32]| v.push(Instruction::new(g, q.to_vec()));
+    match gate {
+        Gate::CZ => {
+            let (c, t) = (qs[0], qs[1]);
+            push(&mut sub, Gate::H, &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+            push(&mut sub, Gate::H, &[t]);
+        }
+        Gate::CY => {
+            let (c, t) = (qs[0], qs[1]);
+            push(&mut sub, Gate::Sdg, &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+            push(&mut sub, Gate::S, &[t]);
+        }
+        Gate::CH => {
+            let (c, t) = (qs[0], qs[1]);
+            push(&mut sub, Gate::S, &[t]);
+            push(&mut sub, Gate::H, &[t]);
+            push(&mut sub, Gate::T, &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+            push(&mut sub, Gate::Tdg, &[t]);
+            push(&mut sub, Gate::H, &[t]);
+            push(&mut sub, Gate::Sdg, &[t]);
+        }
+        Gate::CP(theta) => {
+            let (c, t) = (qs[0], qs[1]);
+            push(&mut sub, Gate::RZ(theta / 2.0), &[c]);
+            push(&mut sub, Gate::CX, &[c, t]);
+            push(&mut sub, Gate::RZ(-theta / 2.0), &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+            push(&mut sub, Gate::RZ(theta / 2.0), &[t]);
+        }
+        Gate::CRZ(theta) => {
+            let (c, t) = (qs[0], qs[1]);
+            push(&mut sub, Gate::RZ(theta / 2.0), &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+            push(&mut sub, Gate::RZ(-theta / 2.0), &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+        }
+        Gate::CRY(theta) => {
+            let (c, t) = (qs[0], qs[1]);
+            push(&mut sub, Gate::RY(theta / 2.0), &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+            push(&mut sub, Gate::RY(-theta / 2.0), &[t]);
+            push(&mut sub, Gate::CX, &[c, t]);
+        }
+        Gate::CRX(theta) => {
+            // X = H Z H ⇒ CRX = (I⊗H) · CRZ · (I⊗H).
+            let (c, t) = (qs[0], qs[1]);
+            push(&mut sub, Gate::H, &[t]);
+            push(&mut sub, Gate::CRZ(theta), &[c, t]);
+            push(&mut sub, Gate::H, &[t]);
+        }
+        Gate::RZZ(theta) => {
+            let (a, b) = (qs[0], qs[1]);
+            push(&mut sub, Gate::CX, &[a, b]);
+            push(&mut sub, Gate::RZ(theta), &[b]);
+            push(&mut sub, Gate::CX, &[a, b]);
+        }
+        Gate::RXX(theta) => {
+            let (a, b) = (qs[0], qs[1]);
+            push(&mut sub, Gate::H, &[a]);
+            push(&mut sub, Gate::H, &[b]);
+            push(&mut sub, Gate::RZZ(theta), &[a, b]);
+            push(&mut sub, Gate::H, &[a]);
+            push(&mut sub, Gate::H, &[b]);
+        }
+        Gate::RYY(theta) => {
+            let (a, b) = (qs[0], qs[1]);
+            push(&mut sub, Gate::RX(PI / 2.0), &[a]);
+            push(&mut sub, Gate::RX(PI / 2.0), &[b]);
+            push(&mut sub, Gate::RZZ(theta), &[a, b]);
+            push(&mut sub, Gate::RX(-PI / 2.0), &[a]);
+            push(&mut sub, Gate::RX(-PI / 2.0), &[b]);
+        }
+        Gate::SWAP => {
+            let (a, b) = (qs[0], qs[1]);
+            push(&mut sub, Gate::CX, &[a, b]);
+            push(&mut sub, Gate::CX, &[b, a]);
+            push(&mut sub, Gate::CX, &[a, b]);
+        }
+        Gate::CCX => {
+            // Standard 6-CX Toffoli.
+            let (a, b, t) = (qs[0], qs[1], qs[2]);
+            push(&mut sub, Gate::H, &[t]);
+            push(&mut sub, Gate::CX, &[b, t]);
+            push(&mut sub, Gate::Tdg, &[t]);
+            push(&mut sub, Gate::CX, &[a, t]);
+            push(&mut sub, Gate::T, &[t]);
+            push(&mut sub, Gate::CX, &[b, t]);
+            push(&mut sub, Gate::Tdg, &[t]);
+            push(&mut sub, Gate::CX, &[a, t]);
+            push(&mut sub, Gate::T, &[b]);
+            push(&mut sub, Gate::T, &[t]);
+            push(&mut sub, Gate::H, &[t]);
+            push(&mut sub, Gate::CX, &[a, b]);
+            push(&mut sub, Gate::T, &[a]);
+            push(&mut sub, Gate::Tdg, &[b]);
+            push(&mut sub, Gate::CX, &[a, b]);
+        }
+        Gate::CSWAP => {
+            let (c, a, b) = (qs[0], qs[1], qs[2]);
+            push(&mut sub, Gate::CX, &[b, a]);
+            push(&mut sub, Gate::CCX, &[c, a, b]);
+            push(&mut sub, Gate::CX, &[b, a]);
+        }
+        other => unreachable!("gate {other} not covered by decomposition"),
+    }
+    for s in &sub {
+        lower(s, out);
+    }
+}
+
+/// Lowers every instruction of `circuit` to the `{rz, sx, x, cx}`
+/// basis, preserving qubit count, name and measured set.
+///
+/// The decomposition is exact up to global phase, which measurement
+/// statistics cannot observe.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::Circuit;
+/// use qbeep_transpile::decompose::to_basis;
+///
+/// let mut c = Circuit::new(3, "toffoli");
+/// c.ccx(0, 1, 2);
+/// let lowered = to_basis(&c);
+/// assert!(lowered.is_basis_only());
+/// assert_eq!(lowered.gate_histogram()["cx"], 6);
+/// ```
+#[must_use]
+pub fn to_basis(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.name().to_string());
+    out.set_measured(circuit.measured().to_vec());
+    let mut insts = Vec::new();
+    for inst in circuit.instructions() {
+        lower(inst, &mut insts);
+    }
+    for i in insts {
+        out.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_single(gate: Gate, arity_qubits: &[u32], n: usize) -> Circuit {
+        let mut c = Circuit::new(n, "t");
+        c.apply(gate, arity_qubits);
+        to_basis(&c)
+    }
+
+    #[test]
+    fn basis_gates_pass_through() {
+        let mut c = Circuit::new(2, "b");
+        c.rz(0.3, 0).sx(0).x(1).cx(0, 1);
+        let out = to_basis(&c);
+        assert_eq!(out.instructions(), c.instructions());
+    }
+
+    #[test]
+    fn identity_is_dropped() {
+        let out = lower_single(Gate::I, &[0], 1);
+        assert_eq!(out.gate_count(), 0);
+    }
+
+    #[test]
+    fn diagonal_gates_become_single_rz() {
+        for g in [Gate::Z, Gate::S, Gate::Sdg, Gate::T, Gate::Tdg, Gate::P(0.7)] {
+            let out = lower_single(g, &[0], 1);
+            assert_eq!(out.gate_count(), 1, "{g}");
+            assert!(matches!(out.instructions()[0].gate(), Gate::RZ(_)));
+        }
+    }
+
+    #[test]
+    fn h_becomes_zxzxz() {
+        let out = lower_single(Gate::H, &[0], 1);
+        assert!(out.is_basis_only());
+        assert_eq!(out.gate_histogram()["sx"], 2);
+        assert_eq!(out.gate_histogram()["rz"], 3);
+    }
+
+    #[test]
+    fn every_alphabet_gate_lowers_to_basis() {
+        let one_q: Vec<Gate> = vec![
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::SX,
+            Gate::SXdg,
+            Gate::RX(0.4),
+            Gate::RY(0.4),
+            Gate::RZ(0.4),
+            Gate::P(0.4),
+            Gate::U(0.1, 0.2, 0.3),
+        ];
+        for g in one_q {
+            assert!(lower_single(g, &[0], 1).is_basis_only(), "{g}");
+        }
+        let two_q: Vec<Gate> = vec![
+            Gate::CX,
+            Gate::CY,
+            Gate::CZ,
+            Gate::CH,
+            Gate::CP(0.4),
+            Gate::CRX(0.4),
+            Gate::CRY(0.4),
+            Gate::CRZ(0.4),
+            Gate::RXX(0.4),
+            Gate::RYY(0.4),
+            Gate::RZZ(0.4),
+            Gate::SWAP,
+        ];
+        for g in two_q {
+            assert!(lower_single(g, &[0, 1], 2).is_basis_only(), "{g}");
+        }
+        for g in [Gate::CCX, Gate::CSWAP] {
+            assert!(lower_single(g, &[0, 1, 2], 3).is_basis_only(), "{g}");
+        }
+    }
+
+    #[test]
+    fn swap_costs_three_cx() {
+        let out = lower_single(Gate::SWAP, &[0, 1], 2);
+        assert_eq!(out.gate_histogram()["cx"], 3);
+        assert_eq!(out.gate_count(), 3);
+    }
+
+    #[test]
+    fn cz_costs_one_cx() {
+        let out = lower_single(Gate::CZ, &[0, 1], 2);
+        assert_eq!(out.gate_histogram()["cx"], 1);
+    }
+
+    #[test]
+    fn ccx_costs_six_cx() {
+        let out = lower_single(Gate::CCX, &[0, 1, 2], 3);
+        assert_eq!(out.gate_histogram()["cx"], 6);
+    }
+
+    #[test]
+    fn cswap_costs_eight_cx() {
+        // 2 framing CX + 6 from the inner Toffoli.
+        let out = lower_single(Gate::CSWAP, &[0, 1, 2], 3);
+        assert_eq!(out.gate_histogram()["cx"], 8);
+    }
+
+    #[test]
+    fn measured_set_is_preserved() {
+        let mut c = Circuit::new(3, "m");
+        c.ccx(0, 1, 2);
+        c.set_measured(vec![2]);
+        let out = to_basis(&c);
+        assert_eq!(out.measured(), &[2]);
+    }
+
+    #[test]
+    fn rzz_structure() {
+        let out = lower_single(Gate::RZZ(0.9), &[0, 1], 2);
+        assert_eq!(out.gate_histogram()["cx"], 2);
+        assert_eq!(out.gate_histogram()["rz"], 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Transpilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a circuit cannot be lowered to a backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranspileError {
+    /// The circuit uses more qubits than the backend has.
+    TooManyQubits {
+        /// Qubits the circuit needs.
+        needed: usize,
+        /// Qubits the backend provides.
+        available: usize,
+    },
+    /// The backend's coupling graph is disconnected, so routing cannot
+    /// reach every qubit.
+    DisconnectedBackend,
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyQubits { needed, available } => write!(
+                f,
+                "circuit needs {needed} qubits but the backend provides only {available}"
+            ),
+            Self::DisconnectedBackend => {
+                write!(f, "backend coupling graph is disconnected")
+            }
+        }
+    }
+}
+
+impl Error for TranspileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = TranspileError::TooManyQubits { needed: 9, available: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(TranspileError::DisconnectedBackend.to_string().contains("disconnected"));
+    }
+}

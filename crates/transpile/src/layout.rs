@@ -1,0 +1,227 @@
+//! Initial logical→physical qubit placement.
+
+use qbeep_circuit::Circuit;
+use qbeep_device::Topology;
+
+/// A logical→physical qubit assignment: `physical[l]` is the physical
+/// qubit holding logical qubit `l`.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_transpile::layout::Layout;
+///
+/// let layout = Layout::trivial(3);
+/// assert_eq!(layout.physical(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    physical: Vec<u32>,
+}
+
+impl Layout {
+    /// Builds a layout from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment contains duplicates.
+    #[must_use]
+    pub fn new(physical: Vec<u32>) -> Self {
+        for (i, a) in physical.iter().enumerate() {
+            assert!(
+                !physical[i + 1..].contains(a),
+                "physical qubit {a} assigned to two logical qubits"
+            );
+        }
+        Self { physical }
+    }
+
+    /// The identity layout on `n` qubits.
+    #[must_use]
+    pub fn trivial(n: usize) -> Self {
+        Self { physical: (0..n as u32).collect() }
+    }
+
+    /// The physical qubit holding logical qubit `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[must_use]
+    pub fn physical(&self, l: u32) -> u32 {
+        self.physical[l as usize]
+    }
+
+    /// The full assignment vector.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.physical
+    }
+
+    /// Number of placed logical qubits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// Whether no qubits are placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.physical.is_empty()
+    }
+}
+
+/// Chooses an initial placement by interaction-greedy BFS: logical
+/// qubits are ordered by how many two-qubit interactions they carry;
+/// the busiest is placed on the highest-degree physical qubit, and each
+/// subsequent logical qubit is placed on a free physical qubit adjacent
+/// to (or failing that, closest to) its already-placed interaction
+/// partners.
+///
+/// This is a lightweight stand-in for SABRE-style layout: it keeps
+/// chatty logical pairs physically close, which is all the routing
+/// stage needs to keep SWAP counts realistic.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the topology has.
+#[must_use]
+pub fn greedy_layout(circuit: &Circuit, topology: &Topology) -> Layout {
+    let n_logical = circuit.num_qubits();
+    let n_physical = topology.num_qubits();
+    assert!(n_logical <= n_physical, "{n_logical} logical qubits exceed {n_physical} physical");
+
+    // Logical interaction weights.
+    let mut weight = vec![vec![0usize; n_logical]; n_logical];
+    let mut activity = vec![0usize; n_logical];
+    for inst in circuit.instructions() {
+        let qs = inst.qubits();
+        if qs.len() >= 2 {
+            for i in 0..qs.len() {
+                for j in i + 1..qs.len() {
+                    weight[qs[i] as usize][qs[j] as usize] += 1;
+                    weight[qs[j] as usize][qs[i] as usize] += 1;
+                }
+            }
+        }
+        for &q in qs {
+            activity[q as usize] += 1;
+        }
+    }
+
+    // Order logical qubits by total interaction weight (desc), then
+    // activity, then index — deterministic.
+    let mut order: Vec<usize> = (0..n_logical).collect();
+    order.sort_by_key(|&l| {
+        let w: usize = weight[l].iter().sum();
+        (std::cmp::Reverse(w), std::cmp::Reverse(activity[l]), l)
+    });
+
+    let mut assignment: Vec<Option<u32>> = vec![None; n_logical];
+    let mut used = vec![false; n_physical];
+
+    for &l in &order {
+        // Physical candidates scored by summed distance to already-placed
+        // partners (weighted), fewer hops better.
+        let placed_partners: Vec<(u32, usize)> = (0..n_logical)
+            .filter(|&m| weight[l][m] > 0)
+            .filter_map(|m| assignment[m].map(|p| (p, weight[l][m])))
+            .collect();
+        let mut best: Option<(f64, u32)> = None;
+        for p in 0..n_physical as u32 {
+            if used[p as usize] {
+                continue;
+            }
+            let score = if placed_partners.is_empty() {
+                // No placed partners: prefer high-degree hubs.
+                -(topology.degree(p) as f64)
+            } else {
+                placed_partners
+                    .iter()
+                    .map(|&(q, w)| {
+                        let d = topology.distance(p, q).unwrap_or(n_physical) as f64;
+                        d * w as f64
+                    })
+                    .sum()
+            };
+            if best.is_none_or(|(s, bp)| score < s || (score == s && p < bp)) {
+                best = Some((score, p));
+            }
+        }
+        let (_, p) = best.expect("free physical qubit must exist");
+        assignment[l] = Some(p);
+        used[p as usize] = true;
+    }
+
+    Layout::new(assignment.into_iter().map(|a| a.expect("all placed")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::Circuit;
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(4);
+        assert_eq!(l.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(l.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two")]
+    fn duplicate_assignment_panics() {
+        let _ = Layout::new(vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn greedy_layout_is_injective_and_total() {
+        let mut c = Circuit::new(4, "t");
+        c.cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3);
+        let topo = Topology::heavy_hex(2, 8);
+        let layout = greedy_layout(&c, &topo);
+        assert_eq!(layout.len(), 4);
+        let mut seen: Vec<u32> = layout.as_slice().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn chatty_pairs_are_placed_adjacent() {
+        let mut c = Circuit::new(2, "t");
+        for _ in 0..5 {
+            c.cx(0, 1);
+        }
+        let topo = Topology::linear(6);
+        let layout = greedy_layout(&c, &topo);
+        assert!(topo.has_edge(layout.physical(0), layout.physical(1)));
+    }
+
+    #[test]
+    fn star_center_gets_hub() {
+        // Logical star 0-{1,2,3} on a T topology should map logical 0 to
+        // the degree-3 hub (physical qubit 1).
+        let mut c = Circuit::new(4, "t");
+        c.cx(0, 1).cx(0, 2).cx(0, 3);
+        let topo = Topology::t_shape();
+        let layout = greedy_layout(&c, &topo);
+        assert_eq!(layout.physical(0), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut c = Circuit::new(3, "t");
+        c.cx(0, 1).cx(1, 2);
+        let topo = Topology::grid(3, 3);
+        assert_eq!(greedy_layout(&c, &topo), greedy_layout(&c, &topo));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_small_topology_panics() {
+        let c = Circuit::new(6, "t");
+        let topo = Topology::linear(3);
+        let _ = greedy_layout(&c, &topo);
+    }
+}

@@ -1,0 +1,51 @@
+//! Transpiler substrate for the Q-BEEP reproduction.
+//!
+//! Lowers algorithm circuits ([`qbeep_circuit::Circuit`]) to a specific
+//! backend ([`qbeep_device::Backend`]):
+//!
+//! 1. **decomposition** to the IBM native basis `{rz, sx, x, cx}`
+//!    ([`decompose`]),
+//! 2. **optimisation** — adjacent-inverse cancellation, RZ merging and
+//!    identity removal ([`optimize`]), the "pre-circuit QEM" of §2.3,
+//! 3. **layout** — logical→physical qubit placement ([`layout`]),
+//! 4. **routing** — SWAP insertion (as CX triples) so every CX acts on
+//!    coupled qubits ([`route`]),
+//! 5. **scheduling** — ASAP timing against calibration durations,
+//!    yielding the end-to-end circuit time `t_circuit` that the λ model
+//!    (paper Eq. 2) consumes ([`schedule`]).
+//!
+//! The result is a [`TranspiledCircuit`]: a basis-only physical circuit
+//! with its qubit maps, duration, and gate statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use qbeep_circuit::library::bernstein_vazirani;
+//! use qbeep_device::profiles;
+//! use qbeep_transpile::Transpiler;
+//!
+//! let backend = profiles::by_name("fake_lima").unwrap();
+//! let bv = bernstein_vazirani(&"1011".parse().unwrap());
+//! let t = Transpiler::new(&backend).transpile(&bv)?;
+//! assert!(t.circuit().is_basis_only());
+//! assert!(t.duration_ns() > 0.0);
+//! # Ok::<(), qbeep_transpile::TranspileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod layout;
+pub mod noise_layout;
+pub mod optimize;
+pub mod route;
+pub mod schedule;
+
+mod error;
+mod transpiled;
+mod transpiler;
+
+pub use error::TranspileError;
+pub use transpiled::TranspiledCircuit;
+pub use transpiler::{LayoutStrategy, Transpiler};

@@ -1,0 +1,189 @@
+//! Noise-aware initial layout: place the circuit on the
+//! best-calibrated connected region of the device.
+//!
+//! The plain [`greedy_layout`] only looks
+//! at the coupling graph; on large devices whole regions differ
+//! substantially in quality (the per-machine tiers of the synthetic
+//! fleet model this). Selecting a low-error region directly lowers
+//! every term of the λ model — this pass is the transpiler-side
+//! complement to Q-BEEP's post-processing, and the `ablations` bench
+//! quantifies its effect.
+
+use qbeep_circuit::Circuit;
+use qbeep_device::Backend;
+
+use crate::layout::{greedy_layout, Layout};
+
+/// A composite error score for physical qubit `q`: readout error +
+/// single-qubit gate error + the mean error of its incident CX edges.
+/// Lower is better.
+fn qubit_score(backend: &Backend, q: u32) -> f64 {
+    let cal = backend.calibration();
+    let neighbors = backend.topology().neighbors(q);
+    let cx_mean = if neighbors.is_empty() {
+        0.5 // an isolated qubit is useless for multi-qubit circuits
+    } else {
+        neighbors
+            .iter()
+            .filter_map(|&n| cal.cx_error(q, n))
+            .sum::<f64>()
+            / neighbors.len() as f64
+    };
+    cal.qubit(q).readout_error + cal.sq_gate(q).error + cx_mean
+}
+
+/// Greedily grows a connected region of `size` qubits from `seed`,
+/// always absorbing the frontier qubit with the best (score + edge
+/// error into the region). Returns `None` if the component is too
+/// small.
+fn grow_region(backend: &Backend, seed: u32, size: usize) -> Option<(Vec<u32>, f64)> {
+    let topo = backend.topology();
+    let cal = backend.calibration();
+    let mut region = vec![seed];
+    let mut total = qubit_score(backend, seed);
+    while region.len() < size {
+        let mut best: Option<(f64, u32)> = None;
+        for &r in &region {
+            for n in topo.neighbors(r) {
+                if region.contains(&n) {
+                    continue;
+                }
+                let edge_err = cal.cx_error(r, n).unwrap_or(0.5);
+                let score = qubit_score(backend, n) + edge_err;
+                if best.is_none_or(|(s, bq)| score < s || (score == s && n < bq)) {
+                    best = Some((score, n));
+                }
+            }
+        }
+        let (score, q) = best?;
+        region.push(q);
+        total += score;
+        // Keep the region sorted for deterministic downstream behaviour.
+        region.sort_unstable();
+    }
+    Some((region, total))
+}
+
+/// Chooses a noise-aware layout: evaluates a region grown from every
+/// physical qubit, keeps the lowest-total-error one, and runs the
+/// interaction-greedy placement inside it.
+///
+/// Falls back to the whole-device greedy layout when the circuit needs
+/// every qubit.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the device has or the
+/// device cannot host a connected region of the required size.
+#[must_use]
+pub fn noise_aware_layout(circuit: &Circuit, backend: &Backend) -> Layout {
+    let n_logical = circuit.num_qubits();
+    let n_physical = backend.num_qubits();
+    assert!(n_logical <= n_physical, "{n_logical} logical qubits exceed {n_physical}");
+    if n_logical == n_physical {
+        return greedy_layout(circuit, backend.topology());
+    }
+
+    // Candidate regions, one grown from each seed. Primary criterion is
+    // total calibrated error, but denser regions route with fewer
+    // SWAPs, so within a 5% error band prefer more internal edges —
+    // otherwise a pristine but stringy region can cost more λ through
+    // routing than it saves in gate fidelity.
+    let internal_edges = |region: &[u32]| {
+        backend.topology().induced_subgraph(region).num_edges()
+    };
+    let mut best: Option<(f64, usize, Vec<u32>)> = None;
+    for seed in 0..n_physical as u32 {
+        if let Some((region, total)) = grow_region(backend, seed, n_logical) {
+            let edges = internal_edges(&region);
+            let better = match &best {
+                None => true,
+                Some((t, e, r)) => {
+                    if total < t * 0.95 {
+                        true
+                    } else if total <= t * 1.05 {
+                        edges > *e || (edges == *e && (total < *t || (total == *t && region < *r)))
+                    } else {
+                        false
+                    }
+                }
+            };
+            if better {
+                best = Some((total, edges, region));
+            }
+        }
+    }
+    let (_, _, region) =
+        best.expect("device has no connected region of the required size");
+
+    // Lay out inside the region, then translate back to device ids.
+    let sub = backend.topology().induced_subgraph(&region);
+    let local = greedy_layout(circuit, &sub);
+    Layout::new(local.as_slice().iter().map(|&l| region[l as usize]).collect())
+}
+
+/// Total calibrated error mass of a layout's region — exposed so
+/// experiments can compare layout strategies.
+#[must_use]
+pub fn layout_error_score(layout: &Layout, backend: &Backend) -> f64 {
+    layout.as_slice().iter().map(|&q| qubit_score(backend, q)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::library::cat_state;
+    use qbeep_device::profiles;
+
+    #[test]
+    fn layout_is_injective_and_in_range() {
+        let backend = profiles::by_name("fake_toronto").unwrap();
+        let circuit = cat_state(6);
+        let layout = noise_aware_layout(&circuit, &backend);
+        assert_eq!(layout.len(), 6);
+        let mut v = layout.as_slice().to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|&q| (q as usize) < backend.num_qubits()));
+    }
+
+    #[test]
+    fn region_is_connected() {
+        let backend = profiles::by_name("fake_washington").unwrap();
+        let circuit = cat_state(8);
+        let layout = noise_aware_layout(&circuit, &backend);
+        let sub = backend.topology().induced_subgraph(layout.as_slice());
+        assert!(sub.is_connected());
+    }
+
+    #[test]
+    fn beats_or_matches_plain_layout_on_error_score() {
+        let backend = profiles::by_name("fake_brooklyn").unwrap();
+        let circuit = cat_state(7);
+        let plain = greedy_layout(&circuit, backend.topology());
+        let aware = noise_aware_layout(&circuit, &backend);
+        assert!(
+            layout_error_score(&aware, &backend)
+                <= layout_error_score(&plain, &backend) + 1e-12
+        );
+    }
+
+    #[test]
+    fn full_device_falls_back() {
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let circuit = cat_state(5);
+        let layout = noise_aware_layout(&circuit, &backend);
+        assert_eq!(layout.len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let backend = profiles::by_name("fake_mumbai").unwrap();
+        let circuit = cat_state(5);
+        assert_eq!(
+            noise_aware_layout(&circuit, &backend),
+            noise_aware_layout(&circuit, &backend)
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Peephole optimisation passes over basis circuits — the classical
+//! "pre-circuit-induction" error-mitigation step of §2.3 (gate
+//! cancellation reduces the global error rate before anything runs).
+
+use std::f64::consts::TAU;
+
+use qbeep_circuit::{Circuit, Gate, Instruction};
+
+/// Runs the full pass pipeline to a fixed point: identity/zero-rotation
+/// removal, adjacent-inverse cancellation, and RZ merging.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::Circuit;
+/// use qbeep_transpile::optimize::optimize;
+///
+/// let mut c = Circuit::new(2, "redundant");
+/// c.cx(0, 1).cx(0, 1).rz(0.3, 0).rz(-0.3, 0);
+/// let opt = optimize(&c);
+/// assert_eq!(opt.gate_count(), 0);
+/// ```
+#[must_use]
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut insts: Vec<Instruction> = circuit.instructions().to_vec();
+    loop {
+        let before = insts.len();
+        insts = drop_trivial(insts);
+        insts = cancel_adjacent_inverses(insts);
+        insts = merge_rz(insts);
+        if insts.len() == before {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.name().to_string());
+    out.set_measured(circuit.measured().to_vec());
+    for i in insts {
+        out.push(i);
+    }
+    out
+}
+
+/// Normalises an angle into `(-π, π]` and reports whether it is
+/// negligible (identity rotation).
+fn normalize_angle(t: f64) -> f64 {
+    let mut a = t % TAU;
+    if a > TAU / 2.0 {
+        a -= TAU;
+    } else if a <= -TAU / 2.0 {
+        a += TAU;
+    }
+    a
+}
+
+const ANGLE_EPS: f64 = 1e-12;
+
+/// Removes explicit identities and zero-angle rotations.
+fn drop_trivial(insts: Vec<Instruction>) -> Vec<Instruction> {
+    insts
+        .into_iter()
+        .filter(|i| match i.gate() {
+            Gate::I => false,
+            Gate::RZ(t) | Gate::RX(t) | Gate::RY(t) | Gate::P(t) => {
+                normalize_angle(*t).abs() > ANGLE_EPS
+            }
+            _ => true,
+        })
+        .collect()
+}
+
+/// Whether two gates on identical qubit lists cancel to the identity.
+fn cancels(a: &Gate, b: &Gate) -> bool {
+    match (a, b) {
+        (Gate::RZ(x), Gate::RZ(y)) | (Gate::RX(x), Gate::RX(y)) | (Gate::RY(x), Gate::RY(y)) => {
+            normalize_angle(x + y).abs() <= ANGLE_EPS
+        }
+        _ => a.inverse() == *b,
+    }
+}
+
+/// Cancels pairs of mutually inverse gates that are adjacent in the
+/// per-qubit dependency order (no intervening gate touches any shared
+/// qubit). One sweep; the driver loops to a fixed point.
+fn cancel_adjacent_inverses(insts: Vec<Instruction>) -> Vec<Instruction> {
+    let mut keep = vec![true; insts.len()];
+    for i in 0..insts.len() {
+        if !keep[i] {
+            continue;
+        }
+        // Find the next kept instruction that overlaps instruction i.
+        for j in i + 1..insts.len() {
+            if !keep[j] {
+                continue;
+            }
+            if insts[j].overlaps(&insts[i]) {
+                if insts[j].qubits() == insts[i].qubits()
+                    && cancels(insts[i].gate(), insts[j].gate())
+                {
+                    keep[i] = false;
+                    keep[j] = false;
+                }
+                break;
+            }
+        }
+    }
+    insts.into_iter().zip(keep).filter_map(|(inst, k)| k.then_some(inst)).collect()
+}
+
+/// Merges runs of RZ gates on the same qubit separated only by gates on
+/// other qubits.
+fn merge_rz(insts: Vec<Instruction>) -> Vec<Instruction> {
+    let mut out: Vec<Instruction> = Vec::with_capacity(insts.len());
+    // Index into `out` of the last pending RZ per qubit, if its qubit
+    // has seen no later gate.
+    let mut pending: Vec<Option<usize>> = Vec::new();
+    for inst in insts {
+        let q0 = inst.qubits()[0] as usize;
+        let max_q = inst.max_qubit() as usize;
+        if pending.len() <= max_q {
+            pending.resize(max_q + 1, None);
+        }
+        if let Gate::RZ(t) = inst.gate() {
+            if let Some(idx) = pending[q0] {
+                if let Gate::RZ(prev) = out[idx].gate() {
+                    let merged = normalize_angle(prev + t);
+                    if merged.abs() <= ANGLE_EPS {
+                        out.remove(idx);
+                        // Re-index pending pointers past the removal.
+                        for p in pending.iter_mut().flatten() {
+                            if *p > idx {
+                                *p -= 1;
+                            }
+                        }
+                        pending[q0] = None;
+                    } else {
+                        out[idx] = Instruction::new(Gate::RZ(merged), vec![q0 as u32]);
+                    }
+                    continue;
+                }
+            }
+            pending[q0] = Some(out.len());
+            out.push(inst);
+        } else {
+            for &q in inst.qubits() {
+                pending[q as usize] = None;
+            }
+            out.push(inst);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancels_adjacent_cx_pairs() {
+        let mut c = Circuit::new(2, "t");
+        c.cx(0, 1).cx(0, 1);
+        assert_eq!(optimize(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn does_not_cancel_across_blockers() {
+        let mut c = Circuit::new(2, "t");
+        c.cx(0, 1).x(1).cx(0, 1);
+        assert_eq!(optimize(&c).gate_count(), 3);
+    }
+
+    #[test]
+    fn cancels_through_disjoint_gates() {
+        let mut c = Circuit::new(3, "t");
+        c.cx(0, 1).x(2).cx(0, 1);
+        // X on qubit 2 does not block the CX pair.
+        let opt = optimize(&c);
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(opt.instructions()[0].gate(), &Gate::X);
+    }
+
+    #[test]
+    fn merges_rz_runs() {
+        let mut c = Circuit::new(1, "t");
+        c.rz(0.25, 0).rz(0.5, 0).rz(0.25, 0);
+        let opt = optimize(&c);
+        assert_eq!(opt.gate_count(), 1);
+        match opt.instructions()[0].gate() {
+            Gate::RZ(t) => assert!((t - 1.0).abs() < 1e-12),
+            g => panic!("unexpected gate {g}"),
+        }
+    }
+
+    #[test]
+    fn merges_rz_across_other_qubits() {
+        let mut c = Circuit::new(2, "t");
+        c.rz(0.2, 0).x(1).rz(0.3, 0);
+        let opt = optimize(&c);
+        assert_eq!(opt.gate_count(), 2);
+    }
+
+    #[test]
+    fn rz_merge_blocked_by_sx() {
+        let mut c = Circuit::new(1, "t");
+        c.rz(0.2, 0).sx(0).rz(0.3, 0);
+        assert_eq!(optimize(&c).gate_count(), 3);
+    }
+
+    #[test]
+    fn drops_zero_rotations_and_identity() {
+        let mut c = Circuit::new(1, "t");
+        c.rz(0.0, 0).apply(Gate::I, &[0]).rz(std::f64::consts::TAU, 0);
+        assert_eq!(optimize(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn cancels_inverse_rotations() {
+        let mut c = Circuit::new(1, "t");
+        c.rx(0.7, 0).rx(-0.7, 0);
+        assert_eq!(optimize(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn cancels_s_sdg() {
+        let mut c = Circuit::new(1, "t");
+        c.s(0).sdg(0);
+        assert_eq!(optimize(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn fixed_point_cascades() {
+        // h h wraps a cx cx pair: one sweep removes the cx pair, the
+        // next removes the h pair.
+        let mut c = Circuit::new(2, "t");
+        c.h(0).cx(0, 1).cx(0, 1).h(0);
+        assert_eq!(optimize(&c).gate_count(), 0);
+    }
+
+    #[test]
+    fn preserves_functional_gates() {
+        let mut c = Circuit::new(2, "t");
+        c.h(0).cx(0, 1).rz(0.4, 1);
+        let opt = optimize(&c);
+        assert_eq!(opt.gate_count(), 3);
+        assert_eq!(opt.measured(), c.measured());
+    }
+}

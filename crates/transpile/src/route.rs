@@ -1,0 +1,204 @@
+//! SWAP routing: making every two-qubit gate act on coupled qubits.
+
+use qbeep_circuit::{Circuit, Gate};
+use qbeep_device::Topology;
+
+use crate::layout::Layout;
+
+/// The result of routing: the physical circuit (every CX on a coupled
+/// edge, SWAPs already expanded to CX triples) and the final
+/// logical→physical map after all routing SWAPs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routed {
+    /// The physical circuit over all backend qubits.
+    pub circuit: Circuit,
+    /// `final_map[l]` = physical qubit holding logical `l` at the end.
+    pub final_map: Vec<u32>,
+}
+
+/// Routes `circuit` (logical indices, basis gates only) onto `topology`
+/// starting from `layout`, inserting SWAPs (as CX triples) along
+/// shortest paths whenever a CX spans uncoupled qubits.
+///
+/// The measured set of the output circuit is the *final* physical
+/// location of each logical measured qubit.
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-basis multi-qubit gates, the
+/// layout size differs from the circuit, or the topology is
+/// disconnected along a needed path.
+#[must_use]
+pub fn route(circuit: &Circuit, topology: &Topology, layout: &Layout) -> Routed {
+    assert_eq!(layout.len(), circuit.num_qubits(), "layout size mismatch");
+    let n_phys = topology.num_qubits();
+    // log2phys[l] and phys2log[p] (None = unoccupied).
+    let mut log2phys: Vec<u32> = layout.as_slice().to_vec();
+    let mut phys2log: Vec<Option<u32>> = vec![None; n_phys];
+    for (l, &p) in log2phys.iter().enumerate() {
+        assert!((p as usize) < n_phys, "layout places logical {l} out of range");
+        phys2log[p as usize] = Some(l as u32);
+    }
+
+    let mut out = Circuit::new(n_phys, circuit.name().to_string());
+
+    let emit_swap = |out: &mut Circuit,
+                         log2phys: &mut Vec<u32>,
+                         phys2log: &mut Vec<Option<u32>>,
+                         a: u32,
+                         b: u32| {
+        // Physical SWAP = 3 CX on the coupled edge.
+        out.cx(a, b).cx(b, a).cx(a, b);
+        let la = phys2log[a as usize];
+        let lb = phys2log[b as usize];
+        if let Some(l) = la {
+            log2phys[l as usize] = b;
+        }
+        if let Some(l) = lb {
+            log2phys[l as usize] = a;
+        }
+        phys2log.swap(a as usize, b as usize);
+    };
+
+    for inst in circuit.instructions() {
+        match inst.gate() {
+            Gate::CX => {
+                let (la, lb) = (inst.qubits()[0], inst.qubits()[1]);
+                // Walk logical a's qubit along the shortest path towards
+                // logical b until adjacent.
+                loop {
+                    let (pa, pb) = (log2phys[la as usize], log2phys[lb as usize]);
+                    if topology.has_edge(pa, pb) {
+                        out.cx(pa, pb);
+                        break;
+                    }
+                    let path = topology
+                        .shortest_path(pa, pb)
+                        .expect("routing requires a connected topology");
+                    emit_swap(&mut out, &mut log2phys, &mut phys2log, path[0], path[1]);
+                }
+            }
+            g if g.arity() == 1 => {
+                let p = log2phys[inst.qubits()[0] as usize];
+                out.apply(*g, &[p]);
+            }
+            g => panic!("route expects basis gates, found {g}"),
+        }
+    }
+
+    let measured: Vec<u32> =
+        circuit.measured().iter().map(|&l| log2phys[l as usize]).collect();
+    out.set_measured(measured);
+    Routed { circuit: out, final_map: log2phys }
+}
+
+/// Convenience check used by tests and debug assertions: every CX in
+/// `circuit` acts on a coupled pair of `topology`.
+#[must_use]
+pub fn respects_topology(circuit: &Circuit, topology: &Topology) -> bool {
+    circuit.instructions().iter().all(|inst| {
+        if inst.qubits().len() == 2 {
+            topology.has_edge(inst.qubits()[0], inst.qubits()[1])
+        } else {
+            true
+        }
+    })
+}
+
+/// Counts the CX gates `route` would add for `circuit` under `layout` —
+/// exposed for layout-quality experiments.
+#[must_use]
+pub fn routing_overhead(circuit: &Circuit, topology: &Topology, layout: &Layout) -> usize {
+    let routed = route(circuit, topology, layout);
+    routed.circuit.two_qubit_gate_count() - circuit.two_qubit_gate_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    #[test]
+    fn adjacent_cx_passes_through() {
+        let mut c = Circuit::new(2, "t");
+        c.cx(0, 1);
+        let topo = Topology::linear(3);
+        let routed = route(&c, &topo, &Layout::trivial(2));
+        assert_eq!(routed.circuit.two_qubit_gate_count(), 1);
+        assert!(respects_topology(&routed.circuit, &topo));
+        assert_eq!(routed.final_map, vec![0, 1]);
+    }
+
+    #[test]
+    fn distant_cx_inserts_swaps() {
+        let mut c = Circuit::new(3, "t");
+        c.cx(0, 2); // distance 2 on a line
+        let topo = Topology::linear(3);
+        let routed = route(&c, &topo, &Layout::trivial(3));
+        // One SWAP (3 CX) + the CX itself.
+        assert_eq!(routed.circuit.two_qubit_gate_count(), 4);
+        assert!(respects_topology(&routed.circuit, &topo));
+        // Logical 0 moved to physical 1.
+        assert_eq!(routed.final_map[0], 1);
+    }
+
+    #[test]
+    fn measured_follows_moves() {
+        let mut c = Circuit::new(3, "t");
+        c.cx(0, 2);
+        let topo = Topology::linear(3);
+        let routed = route(&c, &topo, &Layout::trivial(3));
+        // Logical qubits 0,1,2 are measured; their physical homes after
+        // one swap of (0,1) are 1,0,2.
+        assert_eq!(routed.circuit.measured(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn single_qubit_gates_are_relabelled() {
+        let mut c = Circuit::new(2, "t");
+        c.x(1);
+        let topo = Topology::linear(4);
+        let layout = Layout::new(vec![3, 2]);
+        let routed = route(&c, &topo, &layout);
+        assert_eq!(routed.circuit.instructions()[0].qubits(), &[2]);
+    }
+
+    #[test]
+    fn long_chain_routes_correctly() {
+        let mut c = Circuit::new(5, "t");
+        c.cx(0, 4).cx(1, 3).cx(0, 2);
+        let topo = Topology::linear(5);
+        let routed = route(&c, &topo, &Layout::trivial(5));
+        assert!(respects_topology(&routed.circuit, &topo));
+        // All 5 logical qubits still occupy distinct physical ones.
+        let mut map = routed.final_map.clone();
+        map.sort_unstable();
+        map.dedup();
+        assert_eq!(map.len(), 5);
+    }
+
+    #[test]
+    fn routing_overhead_zero_when_adjacent() {
+        let mut c = Circuit::new(2, "t");
+        c.cx(0, 1).cx(1, 0);
+        let topo = Topology::linear(2);
+        assert_eq!(routing_overhead(&c, &topo, &Layout::trivial(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis gates")]
+    fn non_basis_gate_panics() {
+        let mut c = Circuit::new(3, "t");
+        c.ccx(0, 1, 2);
+        let topo = Topology::linear(3);
+        let _ = route(&c, &topo, &Layout::trivial(3));
+    }
+
+    #[test]
+    fn full_topology_never_swaps() {
+        let mut c = Circuit::new(4, "t");
+        c.cx(0, 3).cx(1, 2).cx(0, 2);
+        let topo = Topology::full(4);
+        assert_eq!(routing_overhead(&c, &topo, &Layout::trivial(4)), 0);
+    }
+}

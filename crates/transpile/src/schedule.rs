@@ -1,0 +1,160 @@
+//! ASAP scheduling against calibration durations.
+//!
+//! Produces the end-to-end circuit time `t_circuit` ("from the pulse
+//! scheduler level", paper Eq. 2) that drives the decoherence terms of
+//! the λ model.
+
+use qbeep_circuit::{Circuit, Gate};
+use qbeep_device::Calibration;
+
+/// Timing summary of a scheduled physical circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    /// End-to-end duration including the final readout, in ns.
+    pub total_ns: f64,
+    /// Duration up to (excluding) readout, in ns.
+    pub compute_ns: f64,
+    /// The readout duration applied at the end, in ns.
+    pub readout_ns: f64,
+    /// Critical-path gate count (scheduling depth).
+    pub depth: usize,
+}
+
+/// ASAP-schedules a basis-only physical circuit against `calibration`:
+/// each gate starts as soon as all its operand qubits are free, and
+/// runs for the calibrated duration of its gate type (single-qubit
+/// durations per qubit, CX durations per edge; RZ gates are virtual —
+/// zero duration — matching IBM's frame-change implementation).
+///
+/// The end-to-end time adds the longest readout among measured qubits.
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-basis gates, touches a qubit
+/// outside the calibration, or uses a CX edge without calibration.
+#[must_use]
+pub fn schedule(circuit: &Circuit, calibration: &Calibration) -> Schedule {
+    assert!(
+        circuit.num_qubits() <= calibration.num_qubits(),
+        "circuit uses {} qubits, calibration covers {}",
+        circuit.num_qubits(),
+        calibration.num_qubits()
+    );
+    let mut free_at = vec![0.0f64; circuit.num_qubits()];
+    let mut depth_at = vec![0usize; circuit.num_qubits()];
+    let mut depth = 0usize;
+    for inst in circuit.instructions() {
+        let qs = inst.qubits();
+        let duration = match inst.gate() {
+            // RZ is a virtual frame change on IBM hardware: free.
+            Gate::RZ(_) => 0.0,
+            Gate::SX | Gate::X | Gate::I => calibration.sq_gate(qs[0]).duration_ns,
+            Gate::CX => {
+                calibration
+                    .cx_gate(qs[0], qs[1])
+                    .unwrap_or_else(|| panic!("no CX calibration for edge ({}, {})", qs[0], qs[1]))
+                    .duration_ns
+            }
+            g => panic!("schedule expects basis gates, found {g}"),
+        };
+        let start =
+            qs.iter().map(|&q| free_at[q as usize]).fold(0.0f64, f64::max);
+        let layer = qs.iter().map(|&q| depth_at[q as usize]).max().unwrap_or(0) + 1;
+        for &q in qs {
+            free_at[q as usize] = start + duration;
+            depth_at[q as usize] = layer;
+        }
+        depth = depth.max(layer);
+    }
+    let compute_ns = free_at.iter().copied().fold(0.0f64, f64::max);
+    let readout_ns = circuit
+        .measured()
+        .iter()
+        .map(|&q| calibration.qubit(q).readout_duration_ns)
+        .fold(0.0f64, f64::max);
+    Schedule { total_ns: compute_ns + readout_ns, compute_ns, readout_ns, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_device::{GateCalibration, QubitCalibration};
+    use std::collections::BTreeMap;
+
+    fn cal(n: usize) -> Calibration {
+        let qubits = vec![
+            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            n
+        ];
+        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 40.0 }; n];
+        let mut cx = BTreeMap::new();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                cx.insert((a, b), GateCalibration { error: 1e-2, duration_ns: 300.0 });
+            }
+        }
+        Calibration::new(qubits, sq, cx)
+    }
+
+    #[test]
+    fn serial_durations_add() {
+        let mut c = Circuit::new(1, "t");
+        c.sx(0).sx(0).x(0);
+        let s = schedule(&c, &cal(1));
+        assert!((s.compute_ns - 120.0).abs() < 1e-9);
+        assert!((s.total_ns - 1120.0).abs() < 1e-9);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn parallel_gates_share_time() {
+        let mut c = Circuit::new(2, "t");
+        c.sx(0).sx(1);
+        let s = schedule(&c, &cal(2));
+        assert!((s.compute_ns - 40.0).abs() < 1e-9);
+        assert_eq!(s.depth, 1);
+    }
+
+    #[test]
+    fn rz_is_free() {
+        let mut c = Circuit::new(1, "t");
+        c.rz(1.0, 0).rz(2.0, 0);
+        let s = schedule(&c, &cal(1));
+        assert_eq!(s.compute_ns, 0.0);
+        assert!((s.total_ns - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cx_uses_edge_duration_and_blocks_both() {
+        let mut c = Circuit::new(2, "t");
+        c.cx(0, 1).sx(0);
+        let s = schedule(&c, &cal(2));
+        assert!((s.compute_ns - 340.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn readout_is_max_over_measured() {
+        let mut c = Circuit::new(3, "t");
+        c.x(0);
+        c.set_measured(vec![0]);
+        let s = schedule(&c, &cal(3));
+        assert!((s.readout_ns - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis gates")]
+    fn non_basis_panics() {
+        let mut c = Circuit::new(1, "t");
+        c.h(0);
+        let _ = schedule(&c, &cal(1));
+    }
+
+    #[test]
+    fn critical_path_dominates() {
+        // q0: three sx (120ns); q1: one sx (40ns) in parallel.
+        let mut c = Circuit::new(2, "t");
+        c.sx(0).sx(1).sx(0).sx(0);
+        let s = schedule(&c, &cal(2));
+        assert!((s.compute_ns - 120.0).abs() < 1e-9);
+    }
+}

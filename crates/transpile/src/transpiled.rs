@@ -1,0 +1,96 @@
+//! The transpilation result artefact.
+
+use qbeep_circuit::Circuit;
+
+use crate::schedule::Schedule;
+
+/// A circuit lowered to a specific backend: basis-only physical gates,
+/// the qubit maps, and scheduling/timing statistics.
+///
+/// This is the artefact Q-BEEP's λ model consumes (paper Eq. 2 uses
+/// "post-transpilation" gate counts, "accounting for topological
+/// constraints and gate decomposition", plus the scheduled end-to-end
+/// time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranspiledCircuit {
+    physical: Circuit,
+    backend_name: String,
+    logical_qubits: usize,
+    initial_map: Vec<u32>,
+    final_map: Vec<u32>,
+    schedule: Schedule,
+}
+
+impl TranspiledCircuit {
+    /// Assembles the artefact (crate-internal; produced by
+    /// [`Transpiler::transpile`](crate::Transpiler::transpile)).
+    pub(crate) fn new(
+        physical: Circuit,
+        backend_name: String,
+        logical_qubits: usize,
+        initial_map: Vec<u32>,
+        final_map: Vec<u32>,
+        schedule: Schedule,
+    ) -> Self {
+        debug_assert!(physical.is_basis_only());
+        Self { physical, backend_name, logical_qubits, initial_map, final_map, schedule }
+    }
+
+    /// The physical basis-only circuit over all backend qubits. Its
+    /// measured set points at the physical homes of the logical
+    /// measured qubits, in logical classical-bit order — so outcome
+    /// bit-strings read back in *logical* order directly.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.physical
+    }
+
+    /// Name of the backend this was lowered for.
+    #[must_use]
+    pub fn backend_name(&self) -> &str {
+        &self.backend_name
+    }
+
+    /// Number of logical qubits in the source circuit.
+    #[must_use]
+    pub fn logical_qubits(&self) -> usize {
+        self.logical_qubits
+    }
+
+    /// The initial logical→physical placement.
+    #[must_use]
+    pub fn initial_map(&self) -> &[u32] {
+        &self.initial_map
+    }
+
+    /// The final logical→physical map after routing SWAPs.
+    #[must_use]
+    pub fn final_map(&self) -> &[u32] {
+        &self.final_map
+    }
+
+    /// End-to-end scheduled duration in ns, including readout — the
+    /// `t_circuit` of the λ model.
+    #[must_use]
+    pub fn duration_ns(&self) -> f64 {
+        self.schedule.total_ns
+    }
+
+    /// The full timing breakdown.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Total transpiled gate count.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.physical.gate_count()
+    }
+
+    /// Transpiled CX count (routing overhead included).
+    #[must_use]
+    pub fn cx_count(&self) -> usize {
+        self.physical.two_qubit_gate_count()
+    }
+}

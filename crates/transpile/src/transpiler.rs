@@ -1,0 +1,244 @@
+//! The transpilation pipeline driver.
+
+use qbeep_circuit::Circuit;
+use qbeep_device::Backend;
+
+use crate::decompose::to_basis;
+use crate::layout::greedy_layout;
+use crate::noise_layout::noise_aware_layout;
+use crate::optimize::optimize;
+use crate::route::route;
+use crate::schedule::schedule;
+use crate::{TranspileError, TranspiledCircuit};
+
+/// Which initial-placement algorithm the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LayoutStrategy {
+    /// Interaction-greedy placement over the whole device (topology
+    /// only) — the default.
+    #[default]
+    InteractionGreedy,
+    /// Calibration-guided placement on the best-error connected region
+    /// (see [`crate::noise_layout`]).
+    NoiseAware,
+}
+
+/// Lowers logical circuits onto one backend:
+/// decompose → optimise → layout → route → optimise → schedule.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_circuit::library::cat_state;
+/// use qbeep_device::profiles;
+/// use qbeep_transpile::Transpiler;
+///
+/// let backend = profiles::by_name("fake_manila").unwrap();
+/// let t = Transpiler::new(&backend).transpile(&cat_state(4))?;
+/// assert!(t.cx_count() >= 3);
+/// # Ok::<(), qbeep_transpile::TranspileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transpiler<'a> {
+    backend: &'a Backend,
+    optimization: bool,
+    layout_strategy: LayoutStrategy,
+}
+
+impl<'a> Transpiler<'a> {
+    /// Creates a transpiler for `backend` with optimisation enabled and
+    /// the interaction-greedy layout.
+    #[must_use]
+    pub fn new(backend: &'a Backend) -> Self {
+        Self { backend, optimization: true, layout_strategy: LayoutStrategy::default() }
+    }
+
+    /// Enables or disables the peephole optimisation passes (used by
+    /// ablation benches to quantify the pre-circuit-QEM contribution).
+    #[must_use]
+    pub fn with_optimization(mut self, enabled: bool) -> Self {
+        self.optimization = enabled;
+        self
+    }
+
+    /// Selects the initial-placement algorithm.
+    #[must_use]
+    pub fn with_layout_strategy(mut self, strategy: LayoutStrategy) -> Self {
+        self.layout_strategy = strategy;
+        self
+    }
+
+    /// Lowers `circuit` to the backend.
+    ///
+    /// # Errors
+    ///
+    /// * [`TranspileError::TooManyQubits`] if the circuit is wider than
+    ///   the backend.
+    /// * [`TranspileError::DisconnectedBackend`] if the coupling graph
+    ///   cannot route.
+    pub fn transpile(&self, circuit: &Circuit) -> Result<TranspiledCircuit, TranspileError> {
+        let needed = circuit.num_qubits();
+        let available = self.backend.num_qubits();
+        if needed > available {
+            return Err(TranspileError::TooManyQubits { needed, available });
+        }
+        if !self.backend.topology().is_connected() {
+            return Err(TranspileError::DisconnectedBackend);
+        }
+
+        let mut lowered = to_basis(circuit);
+        if self.optimization {
+            lowered = optimize(&lowered);
+        }
+        let layout = match self.layout_strategy {
+            LayoutStrategy::InteractionGreedy => {
+                greedy_layout(&lowered, self.backend.topology())
+            }
+            LayoutStrategy::NoiseAware => noise_aware_layout(&lowered, self.backend),
+        };
+        let routed = route(&lowered, self.backend.topology(), &layout);
+        let physical = if self.optimization { optimize(&routed.circuit) } else { routed.circuit };
+        let sched = schedule(&physical, self.backend.calibration());
+        Ok(TranspiledCircuit::new(
+            physical,
+            self.backend.name().to_string(),
+            needed,
+            layout.as_slice().to_vec(),
+            routed.final_map,
+            sched,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::library::{bernstein_vazirani, cat_state, qasmbench_suite};
+    use qbeep_device::profiles;
+    use qbeep_device::Topology;
+
+    #[test]
+    fn bv_transpiles_to_every_bv_fleet_machine() {
+        let bv = bernstein_vazirani(&"1011".parse().unwrap());
+        for backend in profiles::bv_fleet() {
+            let t = Transpiler::new(&backend).transpile(&bv).unwrap();
+            assert!(t.circuit().is_basis_only(), "{}", backend.name());
+            assert!(t.duration_ns() > 0.0);
+            assert_eq!(t.circuit().measured().len(), 4);
+            assert_eq!(t.logical_qubits(), 5);
+        }
+    }
+
+    #[test]
+    fn too_wide_circuit_errors() {
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let big = cat_state(9);
+        let err = Transpiler::new(&backend).transpile(&big).unwrap_err();
+        assert_eq!(err, TranspileError::TooManyQubits { needed: 9, available: 5 });
+    }
+
+    #[test]
+    fn routed_cx_respect_topology() {
+        let backend = profiles::by_name("fake_manila").unwrap();
+        // cat_state(5) needs a CX chain; on a line topology the greedy
+        // layout should avoid SWAPs entirely.
+        let t = Transpiler::new(&backend).transpile(&cat_state(5)).unwrap();
+        assert!(crate::route::respects_topology(t.circuit(), backend.topology()));
+    }
+
+    #[test]
+    fn optimization_reduces_or_preserves_gate_count() {
+        let backend = profiles::by_name("fake_jakarta").unwrap();
+        let suite = qasmbench_suite();
+        for entry in &suite {
+            let opt = Transpiler::new(&backend).transpile(entry.circuit()).unwrap();
+            let raw = Transpiler::new(&backend)
+                .with_optimization(false)
+                .transpile(entry.circuit())
+                .unwrap();
+            assert!(
+                opt.gate_count() <= raw.gate_count(),
+                "{}: optimised {} > raw {}",
+                entry.label(),
+                opt.gate_count(),
+                raw.gate_count()
+            );
+        }
+    }
+
+    #[test]
+    fn whole_suite_transpiles_everywhere() {
+        let suite = qasmbench_suite();
+        for backend in profiles::ibmq_fleet() {
+            for entry in &suite {
+                let t = Transpiler::new(&backend).transpile(entry.circuit());
+                assert!(t.is_ok(), "{} on {}", entry.label(), backend.name());
+                let t = t.unwrap();
+                assert!(
+                    crate::route::respects_topology(t.circuit(), backend.topology()),
+                    "{} on {}",
+                    entry.label(),
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duration_scales_with_circuit_size() {
+        let backend = profiles::by_name("fake_washington").unwrap();
+        let small = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&"101".parse().unwrap()))
+            .unwrap();
+        let large = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&"1111111111".parse().unwrap()))
+            .unwrap();
+        assert!(large.duration_ns() > small.duration_ns());
+        assert!(large.cx_count() > small.cx_count());
+    }
+
+    #[test]
+    fn noise_aware_layout_lowers_expected_error() {
+        use crate::noise_layout::layout_error_score;
+        use crate::layout::Layout;
+        let backend = profiles::by_name("fake_brooklyn").unwrap();
+        let bv = bernstein_vazirani(&"1011011".parse().unwrap());
+        let plain = Transpiler::new(&backend).transpile(&bv).unwrap();
+        let aware = Transpiler::new(&backend)
+            .with_layout_strategy(LayoutStrategy::NoiseAware)
+            .transpile(&bv)
+            .unwrap();
+        assert!(aware.circuit().is_basis_only());
+        assert!(crate::route::respects_topology(aware.circuit(), backend.topology()));
+        let score = |t: &TranspiledCircuit| {
+            layout_error_score(&Layout::new(t.initial_map().to_vec()), &backend)
+        };
+        assert!(score(&aware) <= score(&plain) + 1e-12, "{} > {}", score(&aware), score(&plain));
+    }
+
+    #[test]
+    fn disconnected_backend_errors() {
+        use qbeep_device::{Backend, Calibration, GateCalibration, NativeGateSet, QubitCalibration};
+        use std::collections::BTreeMap;
+        let topo = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        let qubits = vec![
+            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            4
+        ];
+        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 4];
+        let mut cx = BTreeMap::new();
+        cx.insert((0u32, 1u32), GateCalibration { error: 1e-2, duration_ns: 300.0 });
+        cx.insert((2u32, 3u32), GateCalibration { error: 1e-2, duration_ns: 300.0 });
+        let backend = Backend::new(
+            "split",
+            NativeGateSet::SuperconductingCx,
+            topo,
+            Calibration::new(qubits, sq, cx),
+        );
+        let c = cat_state(3);
+        assert_eq!(
+            Transpiler::new(&backend).transpile(&c).unwrap_err(),
+            TranspileError::DisconnectedBackend
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Explores the synthetic device fleet: topology and calibration
+//! summaries for every machine, plus a transpilation walkthrough
+//! showing layout, routing overhead, scheduling and the λ breakdown
+//! for one circuit on machines of increasing size.
+//!
+//! ```text
+//! cargo run --release --example device_explorer
+//! ```
+
+use qbeep::circuit::library::bernstein_vazirani;
+use qbeep::core::lambda::lambda_breakdown;
+use qbeep::device::profiles;
+use qbeep::transpile::Transpiler;
+
+fn main() {
+    println!(
+        "{:>18} {:>7} {:>7} {:>9} {:>9} {:>9} {:>10}",
+        "machine", "qubits", "edges", "T1(µs)", "T2(µs)", "readout", "cx_err"
+    );
+    let mut fleet = profiles::ibmq_fleet();
+    fleet.push(profiles::ionq());
+    fleet.push(profiles::sycamore());
+    for b in &fleet {
+        let c = b.calibration();
+        println!(
+            "{:>18} {:>7} {:>7} {:>9.1} {:>9.1} {:>9.4} {:>10.5}",
+            b.name(),
+            b.num_qubits(),
+            b.topology().num_edges(),
+            c.mean_t1_us(),
+            c.mean_t2_us(),
+            c.mean_readout_error(),
+            c.mean_cx_error().unwrap_or(f64::NAN),
+        );
+    }
+
+    // Transpilation walkthrough: the same 8-qubit BV on three machines.
+    let secret = "10110101".parse().expect("valid");
+    let circuit = bernstein_vazirani(&secret);
+    println!(
+        "\ntranspiling {} ({} gates) onto machines of increasing size:",
+        circuit.name(),
+        circuit.gate_count()
+    );
+    println!(
+        "{:>18} {:>7} {:>7} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "machine", "gates", "cx", "t(µs)", "λ_T1", "λ_T2", "λ_gate", "λ_ro", "λ"
+    );
+    for name in ["fake_guadalupe", "fake_toronto", "fake_washington"] {
+        let backend = profiles::by_name(name).expect("profile exists");
+        let t = Transpiler::new(&backend).transpile(&circuit).expect("fits");
+        let b = lambda_breakdown(&t, &backend);
+        println!(
+            "{:>18} {:>7} {:>7} {:>10.2} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            name,
+            t.gate_count(),
+            t.cx_count(),
+            t.duration_ns() / 1000.0,
+            b.t1_term,
+            b.t2_term,
+            b.gate_term,
+            b.readout_term,
+            b.total(),
+        );
+    }
+}

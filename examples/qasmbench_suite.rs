@@ -1,0 +1,54 @@
+//! Runs the 14-circuit QASMBench-style suite on one machine, showing
+//! per-algorithm fidelity before/after Q-BEEP next to each
+//! algorithm's ideal output entropy — the entropy/gain relationship of
+//! the paper's Fig. 11.
+//!
+//! ```text
+//! cargo run --release --example qasmbench_suite [machine]
+//! ```
+
+use qbeep::circuit::library::qasmbench_suite;
+use qbeep::core::QBeep;
+use qbeep::device::profiles;
+use qbeep::sim::{execute_on_device, ideal_distribution, EmpiricalConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let machine =
+        std::env::args().nth(1).unwrap_or_else(|| "fake_guadalupe".to_string());
+    let Some(backend) = profiles::by_name(&machine) else {
+        eprintln!("unknown machine {machine}; known: {:?}", profiles::ibmq_names());
+        std::process::exit(1);
+    };
+    println!("backend: {backend}\n");
+
+    let engine = QBeep::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    println!(
+        "{:>18} {:>8} {:>9} {:>9} {:>9}",
+        "algorithm", "entropy", "fid_raw", "fid_qbeep", "rel"
+    );
+    for entry in qasmbench_suite() {
+        let ideal = ideal_distribution(entry.circuit());
+        let run = execute_on_device(
+            entry.circuit(),
+            &backend,
+            3000,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .expect("suite fits every fleet machine");
+        let result = engine.mitigate_run(&run.counts, &run.transpiled, &backend);
+        let raw = run.counts.to_distribution().fidelity(&ideal);
+        let mit = result.mitigated.fidelity(&ideal);
+        println!(
+            "{:>18} {:>8.3} {:>9.4} {:>9.4} {:>8.2}x",
+            entry.label(),
+            ideal.shannon_entropy(),
+            raw,
+            mit,
+            mit / raw.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! `qbeep-cli` — command-line front end for the Q-BEEP workspace.
+//!
+//! The paper positions Q-BEEP as "a light-weight post-processing
+//! technique that can be performed offline and remotely, making it a
+//! useful tool for quantum vendors to adopt"; this binary is that
+//! tool: feed it an OpenQASM circuit and a counts JSON and it returns
+//! the mitigated distribution. It can also list the synthetic
+//! backends, transpile circuits, and run the full simulate+mitigate
+//! demo loop.
+//!
+//! ```text
+//! qbeep-cli backends
+//! qbeep-cli transpile --qasm circuit.qasm --backend fake_lagos
+//! qbeep-cli run --qasm circuit.qasm --backend fake_lagos --shots 4000
+//! qbeep-cli mitigate --qasm circuit.qasm --backend fake_lagos --counts counts.json
+//! qbeep-cli mitigate --counts counts.json --lambda 0.8
+//! ```
+//!
+//! Counts JSON is the IBMQ-style dictionary: `{"1011": 812, ...}`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use qbeep::bitstring::{BitString, Counts};
+use qbeep::circuit::qasm::from_qasm;
+use qbeep::circuit::Circuit;
+use qbeep::core::{QBeep, QBeepConfig};
+use qbeep::device::{profiles, Backend};
+use qbeep::sim::{execute_on_device, EmpiricalConfig};
+use qbeep::transpile::Transpiler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parsed command-line options: `--key value` pairs after the
+/// subcommand.
+struct Options {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut flags = BTreeMap::new();
+    while let Some(key) = args.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{key}'"))?
+            .to_string();
+        let value = args.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key, value);
+    }
+    Ok(Options { command, flags })
+}
+
+fn usage() -> String {
+    "usage: qbeep-cli <backends|transpile|run|mitigate> [--qasm FILE] \
+     [--backend NAME] [--counts FILE] [--shots N] [--lambda X] \
+     [--iterations N] [--epsilon X] [--seed N]"
+        .to_string()
+}
+
+fn load_backend(flags: &BTreeMap<String, String>) -> Result<Backend, String> {
+    let name = flags.get("backend").ok_or("missing --backend")?;
+    profiles::by_name(name).ok_or_else(|| {
+        format!("unknown backend '{name}'; run `qbeep-cli backends` for the list")
+    })
+}
+
+fn load_circuit(flags: &BTreeMap<String, String>) -> Result<Circuit, String> {
+    let path = flags.get("qasm").ok_or("missing --qasm")?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_qasm(&source).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_counts(flags: &BTreeMap<String, String>) -> Result<Counts, String> {
+    let path = flags.get("counts").ok_or("missing --counts")?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let table: BTreeMap<String, u64> =
+        serde_json::from_str(&source).map_err(|e| format!("bad counts JSON in {path}: {e}"))?;
+    if table.is_empty() {
+        return Err(format!("{path} holds no counts"));
+    }
+    let width = table.keys().next().expect("non-empty").len();
+    let mut counts = Counts::new(width);
+    for (bits, n) in table {
+        if bits.len() != width {
+            return Err(format!("mixed widths in {path}: '{bits}' vs {width}"));
+        }
+        let s: BitString = bits.parse().map_err(|e| format!("bad bit-string '{bits}': {e}"))?;
+        counts.record(s, n);
+    }
+    Ok(counts)
+}
+
+fn engine_from_flags(flags: &BTreeMap<String, String>) -> Result<QBeep, String> {
+    let mut config = QBeepConfig::default();
+    if let Some(iters) = flags.get("iterations") {
+        config.iterations =
+            iters.parse().map_err(|_| format!("bad --iterations '{iters}'"))?;
+    }
+    if let Some(eps) = flags.get("epsilon") {
+        config.epsilon = eps.parse().map_err(|_| format!("bad --epsilon '{eps}'"))?;
+    }
+    Ok(QBeep::new(config))
+}
+
+fn counts_to_json(probs: &[(BitString, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (s, p)) in probs.iter().enumerate() {
+        out.push_str(&format!("  \"{s}\": {p:.6}{}\n", if i + 1 < probs.len() { "," } else { "" }));
+    }
+    out.push('}');
+    out
+}
+
+fn cmd_backends() -> Result<(), String> {
+    println!("{:>18} {:>7} {:>7} {:>10}", "name", "qubits", "edges", "mean_cx_err");
+    let mut fleet = profiles::ibmq_fleet();
+    fleet.push(profiles::ionq());
+    fleet.push(profiles::sycamore());
+    for b in fleet {
+        println!(
+            "{:>18} {:>7} {:>7} {:>10.5}",
+            b.name(),
+            b.num_qubits(),
+            b.topology().num_edges(),
+            b.calibration().mean_cx_error().unwrap_or(f64::NAN)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_transpile(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let backend = load_backend(flags)?;
+    let circuit = load_circuit(flags)?;
+    let t = Transpiler::new(&backend).transpile(&circuit).map_err(|e| e.to_string())?;
+    eprintln!(
+        "// {} on {}: {} gates ({} CX), depth {}, {:.2} µs, λ = {:.4}",
+        circuit.name(),
+        backend.name(),
+        t.gate_count(),
+        t.cx_count(),
+        t.schedule().depth,
+        t.duration_ns() / 1000.0,
+        qbeep::core::lambda::estimate_lambda(&t, &backend),
+    );
+    println!("{}", t.circuit().to_qasm());
+    Ok(())
+}
+
+fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let backend = load_backend(flags)?;
+    let circuit = load_circuit(flags)?;
+    let shots: u64 = flags.get("shots").map_or(Ok(4000), |s| {
+        s.parse().map_err(|_| format!("bad --shots '{s}'"))
+    })?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
+        s.parse().map_err(|_| format!("bad --seed '{s}'"))
+    })?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run = execute_on_device(&circuit, &backend, shots, &EmpiricalConfig::default(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "// simulated {} shots on {} (λ* = {:.4})",
+        shots,
+        backend.name(),
+        run.lambda_true
+    );
+    let rows = run.counts.sorted_by_count();
+    let mut out = String::from("{\n");
+    for (i, (s, c)) in rows.iter().enumerate() {
+        out.push_str(&format!("  \"{s}\": {c}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+    }
+    out.push('}');
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let counts = load_counts(flags)?;
+    let engine = engine_from_flags(flags)?;
+    let result = if let Some(lambda) = flags.get("lambda") {
+        let lambda: f64 = lambda.parse().map_err(|_| format!("bad --lambda '{lambda}'"))?;
+        engine.mitigate_with_lambda(&counts, lambda)
+    } else {
+        let backend = load_backend(flags).map_err(|e| {
+            format!("{e} (λ estimation needs --qasm and --backend, or pass --lambda)")
+        })?;
+        let circuit = load_circuit(flags)?;
+        let t = Transpiler::new(&backend).transpile(&circuit).map_err(|e| e.to_string())?;
+        engine.mitigate_run(&counts, &t, &backend)
+    };
+    eprintln!(
+        "// λ = {:.4}, state graph {} vertices / {} edges",
+        result.lambda, result.graph_size.0, result.graph_size.1
+    );
+    println!("{}", counts_to_json(&result.mitigated.sorted_by_prob()));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match options.command.as_str() {
+        "backends" => cmd_backends(),
+        "transpile" => cmd_transpile(&options.flags),
+        "run" => cmd_run(&options.flags),
+        "mitigate" => cmd_mitigate(&options.flags),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

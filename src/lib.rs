@@ -1,0 +1,60 @@
+//! # qbeep — Quantum Bayesian Error mitigation Employing Poisson
+//! modeling over the Hamming spectrum
+//!
+//! A from-scratch Rust reproduction of *Q-BEEP* (Stein, Wiebe, Ding,
+//! Ang, Li — ISCA 2023), including every substrate the paper's
+//! evaluation depends on: a quantum-circuit IR and algorithm library, a
+//! NISQ device/calibration model, a transpiler, simulators (ideal,
+//! Markovian-noise, and the empirical Poisson–Hamming device channel),
+//! the Q-BEEP mitigation engine itself, the HAMMER baseline, and a
+//! QAOA problem substrate.
+//!
+//! This umbrella crate re-exports the workspace crates under stable
+//! module names; depend on it to get the whole system, or on the
+//! individual `qbeep-*` crates for narrower footprints.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qbeep::circuit::library::bernstein_vazirani;
+//! use qbeep::core::QBeep;
+//! use qbeep::device::profiles;
+//! use qbeep::sim::{execute_on_device, EmpiricalConfig};
+//! use rand::SeedableRng;
+//!
+//! // 1. A 5-qubit Bernstein–Vazirani problem and a synthetic machine.
+//! let secret = "10110".parse().unwrap();
+//! let backend = profiles::by_name("fake_lagos").unwrap();
+//!
+//! // 2. Run it on the noisy device stand-in.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let run = execute_on_device(
+//!     &bernstein_vazirani(&secret), &backend, 4000,
+//!     &EmpiricalConfig::default(), &mut rng,
+//! ).unwrap();
+//!
+//! // 3. Mitigate offline with Q-BEEP.
+//! let result = QBeep::default().mitigate_run(&run.counts, &run.transpiled, &backend);
+//!
+//! let before = run.counts.pst(&secret);
+//! let after = result.mitigated.prob(&secret);
+//! assert!(after > before, "PST {before:.3} -> {after:.3}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Bit-strings, counts, distributions, Hamming spectra and metrics.
+pub use qbeep_bitstring as bitstring;
+/// Circuit IR and the benchmark algorithm library.
+pub use qbeep_circuit as circuit;
+/// The Q-BEEP mitigation engine and the HAMMER baseline.
+pub use qbeep_core as core;
+/// Topologies, calibration snapshots and machine profiles.
+pub use qbeep_device as device;
+/// QAOA problems, circuits, cost ratio and the synthetic dataset.
+pub use qbeep_qaoa as qaoa;
+/// Ideal, Markovian-noise and empirical-channel simulators.
+pub use qbeep_sim as sim;
+/// Basis decomposition, layout, routing and scheduling.
+pub use qbeep_transpile as transpile;

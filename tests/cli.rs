@@ -1,0 +1,138 @@
+//! End-to-end tests of the `qbeep-cli` binary: the vendor-facing
+//! transpile → run → mitigate loop over files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qbeep-cli"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qbeep-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const BV_QASM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+// circuit: bv_cli_test
+qreg q[4];
+creg c[3];
+x q[3]; h q[3];
+h q[0]; h q[1]; h q[2];
+cx q[0],q[3]; cx q[2],q[3];
+h q[0]; h q[1]; h q[2];
+h q[3]; x q[3];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+"#;
+
+#[test]
+fn backends_lists_the_fleet() {
+    let out = cli().arg("backends").output().expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fake_lima"));
+    assert!(text.contains("fake_washington"));
+    assert!(text.contains("fake_sycamore"));
+}
+
+#[test]
+fn transpile_emits_qasm_with_stats() {
+    let qasm = write_temp("t.qasm", BV_QASM);
+    let out = cli()
+        .args(["transpile", "--qasm", qasm.to_str().unwrap(), "--backend", "fake_lima"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OPENQASM 2.0;"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("λ ="), "missing λ line: {stderr}");
+}
+
+#[test]
+fn run_then_mitigate_round_trips() {
+    let qasm = write_temp("rt.qasm", BV_QASM);
+    let run = cli()
+        .args([
+            "run",
+            "--qasm",
+            qasm.to_str().unwrap(),
+            "--backend",
+            "fake_lagos",
+            "--shots",
+            "2000",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    let counts_path = write_temp("rt_counts.json", &String::from_utf8_lossy(&run.stdout));
+
+    let mitigated = cli()
+        .args([
+            "mitigate",
+            "--qasm",
+            qasm.to_str().unwrap(),
+            "--backend",
+            "fake_lagos",
+            "--counts",
+            counts_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    assert!(mitigated.status.success(), "{}", String::from_utf8_lossy(&mitigated.stderr));
+    let json: std::collections::BTreeMap<String, f64> =
+        serde_json::from_slice(&mitigated.stdout).expect("mitigated output is JSON");
+    // The secret of BV_QASM is 101 (CX from q0 and q2).
+    let top = json
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(k, _)| k.clone())
+        .expect("non-empty output");
+    assert_eq!(top, "101");
+    let total: f64 = json.values().sum();
+    assert!((total - 1.0).abs() < 1e-3, "probabilities sum to {total}");
+}
+
+#[test]
+fn mitigate_with_explicit_lambda_needs_no_backend() {
+    let counts = write_temp("lam_counts.json", r#"{"000": 700, "001": 150, "010": 150}"#);
+    let out = cli()
+        .args(["mitigate", "--counts", counts.to_str().unwrap(), "--lambda", "0.7"])
+        .output()
+        .expect("run cli");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json: std::collections::BTreeMap<String, f64> =
+        serde_json::from_slice(&out.stdout).expect("JSON");
+    assert!(json["000"] > 0.7);
+}
+
+#[test]
+fn unknown_backend_fails_cleanly() {
+    let counts = write_temp("bad_counts.json", r#"{"00": 10}"#);
+    let out = cli()
+        .args(["mitigate", "--counts", counts.to_str().unwrap(), "--backend", "nonsense"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown backend"));
+}
+
+#[test]
+fn malformed_counts_fail_cleanly() {
+    let counts = write_temp("mixed_counts.json", r#"{"00": 10, "000": 5}"#);
+    let out = cli()
+        .args(["mitigate", "--counts", counts.to_str().unwrap(), "--lambda", "0.5"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mixed widths"));
+}

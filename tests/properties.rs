@@ -1,0 +1,160 @@
+//! Property-based tests of the core data structures and invariants.
+
+use proptest::prelude::*;
+use qbeep::bitstring::{BitString, Counts};
+use qbeep::core::model::{poisson_pmf, SpectrumModel};
+use qbeep::core::{QBeep, QBeepConfig};
+
+/// Strategy: a bit-string of 1..=16 bits.
+fn arb_bitstring() -> impl Strategy<Value = BitString> {
+    (1usize..=16, any::<u64>())
+        .prop_map(|(len, v)| BitString::from_value(u128::from(v), len))
+}
+
+/// Strategy: two equal-length bit-strings.
+fn arb_pair() -> impl Strategy<Value = (BitString, BitString)> {
+    (1usize..=16, any::<u64>(), any::<u64>()).prop_map(|(len, a, b)| {
+        (BitString::from_value(u128::from(a), len), BitString::from_value(u128::from(b), len))
+    })
+}
+
+/// Strategy: a non-empty count table over 4-bit outcomes.
+fn arb_counts() -> impl Strategy<Value = Counts> {
+    proptest::collection::vec((0u64..16, 1u64..500), 1..12).prop_map(|pairs| {
+        Counts::from_pairs(
+            4,
+            pairs.into_iter().map(|(v, c)| (BitString::from_value(u128::from(v), 4), c)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitstring_display_parse_round_trip(s in arb_bitstring()) {
+        let text = s.to_string();
+        let back: BitString = text.parse().unwrap();
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(
+        (a, b) in arb_pair(),
+        c_raw in any::<u64>(),
+    ) {
+        let c = BitString::from_value(u128::from(c_raw), a.len());
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(a.hamming_distance(&a), 0);
+        prop_assert_eq!(a.hamming_distance(&b), b.hamming_distance(&a));
+        prop_assert!(a.hamming_distance(&c) <= a.hamming_distance(&b) + b.hamming_distance(&c));
+    }
+
+    #[test]
+    fn xor_weight_equals_distance((a, b) in arb_pair()) {
+        prop_assert_eq!(a.xor(&b).hamming_weight(), a.hamming_distance(&b));
+    }
+
+    #[test]
+    fn flip_changes_distance_by_one(s in arb_bitstring(), idx in any::<prop::sample::Index>()) {
+        let i = idx.index(s.len());
+        let t = s.with_flipped(i);
+        prop_assert_eq!(s.hamming_distance(&t), 1);
+        prop_assert_eq!(t.with_flipped(i), s);
+    }
+
+    #[test]
+    fn counts_distribution_normalises(counts in arb_counts()) {
+        let d = counts.to_distribution();
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        for (s, p) in d.iter() {
+            prop_assert!(p > 0.0 && p <= 1.0 + 1e-12);
+            prop_assert!(counts.get(s) > 0);
+        }
+    }
+
+    #[test]
+    fn metric_bounds_hold(counts_a in arb_counts(), counts_b in arb_counts()) {
+        let p = counts_a.to_distribution();
+        let q = counts_b.to_distribution();
+        let fid = p.fidelity(&q);
+        let hel = p.hellinger(&q);
+        let tvd = p.total_variation(&q);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fid));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&hel));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&tvd));
+        // Symmetry.
+        prop_assert!((fid - q.fidelity(&p)).abs() < 1e-9);
+        prop_assert!((hel - q.hellinger(&p)).abs() < 1e-7);
+        // Self-distance.
+        prop_assert!((p.fidelity(&p) - 1.0).abs() < 1e-9);
+        // Hellinger amplifies float error by a square root: √(1 − Σp)
+        // can reach √ε ≈ 1e-8 even for an exact self-comparison.
+        prop_assert!(p.hellinger(&p) < 1e-7);
+        // Fidelity–Hellinger consistency: F = (1 − H²)².
+        prop_assert!((fid - (1.0 - hel * hel).powi(2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spectrum_mass_is_conserved(counts in arb_counts(), reference in 0u64..16) {
+        let r = BitString::from_value(u128::from(reference), 4);
+        let spec = counts.to_distribution().hamming_spectrum(&r);
+        let total: f64 = spec.masses().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(spec.expected_distance() <= 4.0);
+    }
+
+    #[test]
+    fn poisson_pmf_is_a_distribution(lambda in 0.01f64..20.0) {
+        let total: f64 = (0..200).map(|k| poisson_pmf(lambda, k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Mean matches λ.
+        let mean: f64 = (0..200).map(|k| k as f64 * poisson_pmf(lambda, k)).sum();
+        prop_assert!((mean - lambda).abs() < 1e-6 * lambda.max(1.0));
+    }
+
+    #[test]
+    fn spectrum_models_normalise(width in 2usize..20, lambda in 0.01f64..8.0) {
+        for model in [
+            SpectrumModel::poisson(width, lambda),
+            SpectrumModel::binomial(width, (lambda / width as f64).min(1.0)),
+            SpectrumModel::uniform(width),
+            SpectrumModel::hammer_weighting(width),
+        ] {
+            let total: f64 = model.masses().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn mitigation_conserves_mass_and_stays_valid(
+        counts in arb_counts(),
+        lambda in 0.0f64..4.0,
+    ) {
+        let result = QBeep::default().mitigate_with_lambda(&counts, lambda);
+        prop_assert!((result.mitigated.total_mass() - 1.0).abs() < 1e-9);
+        // Support never grows: Q-BEEP only reclassifies observed strings.
+        prop_assert!(result.mitigated.support_size() <= counts.distinct());
+        for (s, _) in result.mitigated.iter() {
+            prop_assert!(counts.get(s) > 0, "invented outcome {s}");
+        }
+    }
+
+    #[test]
+    fn mitigation_is_deterministic(counts in arb_counts(), lambda in 0.0f64..4.0) {
+        let a = QBeep::default().mitigate_with_lambda(&counts, lambda);
+        let b = QBeep::default().mitigate_with_lambda(&counts, lambda);
+        prop_assert_eq!(a.mitigated, b.mitigated);
+    }
+
+    #[test]
+    fn overflow_renormalisation_never_goes_negative(
+        counts in arb_counts(),
+        lambda in 0.0f64..4.0,
+        iterations in 1usize..40,
+    ) {
+        let cfg = QBeepConfig { iterations, ..QBeepConfig::default() };
+        let result = QBeep::new(cfg).mitigate_with_lambda(&counts, lambda);
+        for (_, p) in result.mitigated.iter() {
+            prop_assert!(p >= 0.0);
+        }
+    }
+}

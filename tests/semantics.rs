@@ -1,0 +1,104 @@
+//! Semantic-preservation properties of the transpiler: lowering to the
+//! native basis, peephole optimisation and SWAP routing must never
+//! change a circuit's measurement distribution.
+
+use proptest::prelude::*;
+use qbeep::circuit::{Circuit, Gate};
+use qbeep::device::profiles;
+use qbeep::sim::ideal_distribution;
+use qbeep::transpile::decompose::to_basis;
+use qbeep::transpile::optimize::optimize;
+use qbeep::transpile::Transpiler;
+
+/// Strategy: one random gate application on an `n`-qubit circuit.
+fn arb_gate(n: u32) -> impl Strategy<Value = (Gate, Vec<u32>)> {
+    let angle = -3.0f64..3.0;
+    prop_oneof![
+        (0..n).prop_map(|q| (Gate::H, vec![q])),
+        (0..n).prop_map(|q| (Gate::X, vec![q])),
+        (0..n).prop_map(|q| (Gate::Y, vec![q])),
+        (0..n).prop_map(|q| (Gate::S, vec![q])),
+        (0..n).prop_map(|q| (Gate::T, vec![q])),
+        (0..n).prop_map(|q| (Gate::SX, vec![q])),
+        (angle.clone(), 0..n).prop_map(|(t, q)| (Gate::RX(t), vec![q])),
+        (angle.clone(), 0..n).prop_map(|(t, q)| (Gate::RY(t), vec![q])),
+        (angle.clone(), 0..n).prop_map(|(t, q)| (Gate::RZ(t), vec![q])),
+        distinct_pair(n).prop_map(|(a, b)| (Gate::CX, vec![a, b])),
+        distinct_pair(n).prop_map(|(a, b)| (Gate::CZ, vec![a, b])),
+        (angle.clone(), distinct_pair(n)).prop_map(|(t, (a, b))| (Gate::CP(t), vec![a, b])),
+        (angle.clone(), distinct_pair(n)).prop_map(|(t, (a, b))| (Gate::RZZ(t), vec![a, b])),
+        (angle, distinct_pair(n)).prop_map(|(t, (a, b))| (Gate::RXX(t), vec![a, b])),
+        distinct_pair(n).prop_map(|(a, b)| (Gate::SWAP, vec![a, b])),
+        distinct_triple(n).prop_map(|(a, b, c)| (Gate::CCX, vec![a, b, c])),
+    ]
+}
+
+fn distinct_pair(n: u32) -> impl Strategy<Value = (u32, u32)> {
+    (0..n, 0..n - 1).prop_map(move |(a, b_raw)| {
+        let b = if b_raw >= a { b_raw + 1 } else { b_raw };
+        (a, b)
+    })
+}
+
+fn distinct_triple(n: u32) -> impl Strategy<Value = (u32, u32, u32)> {
+    (0..n, 0..n - 1, 0..n - 2).prop_map(move |(a, b_raw, c_raw)| {
+        let b = if b_raw >= a { b_raw + 1 } else { b_raw };
+        let mut c = c_raw;
+        for taken in [a.min(b), a.max(b)] {
+            if c >= taken {
+                c += 1;
+            }
+        }
+        (a, b, c)
+    })
+}
+
+/// Strategy: a random 4-qubit circuit of up to 14 gates.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(4), 1..14).prop_map(|gates| {
+        let mut c = Circuit::new(4, "random");
+        for (g, qs) in gates {
+            c.apply(g, &qs);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decomposition_preserves_distribution(circuit in arb_circuit()) {
+        let ideal = ideal_distribution(&circuit);
+        let lowered = to_basis(&circuit);
+        prop_assert!(lowered.is_basis_only());
+        let low = ideal_distribution(&lowered);
+        prop_assert!(ideal.hellinger(&low) < 1e-6);
+    }
+
+    #[test]
+    fn optimisation_preserves_distribution(circuit in arb_circuit()) {
+        let lowered = to_basis(&circuit);
+        let ideal = ideal_distribution(&lowered);
+        let optimised = optimize(&lowered);
+        prop_assert!(optimised.gate_count() <= lowered.gate_count());
+        let opt = ideal_distribution(&optimised);
+        prop_assert!(ideal.hellinger(&opt) < 1e-6);
+    }
+
+    #[test]
+    fn full_transpilation_preserves_distribution(circuit in arb_circuit()) {
+        // Route onto a 5-qubit T-shaped machine (forces real SWAPs) and
+        // compare the physical circuit's distribution over the measured
+        // qubits with the logical one.
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let ideal = ideal_distribution(&circuit);
+        let t = Transpiler::new(&backend).transpile(&circuit).unwrap();
+        let physical = ideal_distribution(t.circuit());
+        prop_assert!(
+            ideal.hellinger(&physical) < 1e-6,
+            "hellinger {}",
+            ideal.hellinger(&physical)
+        );
+    }
+}
