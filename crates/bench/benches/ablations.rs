@@ -3,13 +3,15 @@
 //! mitigation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{ablation, Scale};
+use qbeep_bench::{ablation, telemetry, Scale};
 use qbeep_core::QBeep;
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
+    let recorder = Recorder::new();
     let cases = scale.pick(3, 9, 24);
-    let results = ablation::run_all(cases);
+    let results = recorder.time("ablations/run_all", || ablation::run_all(cases));
     ablation::print(&results);
     let layout_rows = ablation::layout_strategy_lambdas(scale.pick(2, 6, 12));
     qbeep_bench::report::print_table(
@@ -33,11 +35,11 @@ fn bench(c: &mut Criterion) {
     let workload = ablation::workload(1);
     let case = &workload[0];
     let engine = QBeep::default();
-    let lambda =
-        qbeep_core::lambda::estimate_lambda(&case.transpiled, &case.backend);
+    let lambda = qbeep_core::lambda::estimate_lambda(&case.transpiled, &case.backend);
     c.bench_function("ablations/full_variant_mitigation", |b| {
         b.iter(|| engine.mitigate_with_lambda(std::hint::black_box(&case.counts), lambda));
     });
+    telemetry::record("ablations", &recorder);
 }
 
 criterion_group! {

@@ -2,12 +2,14 @@
 //! times one end-to-end mitigation call.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig01, Scale};
+use qbeep_bench::{fig01, telemetry, Scale};
 use qbeep_core::QBeep;
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let data = fig01::run(scale);
+    let recorder = Recorder::new();
+    let data = recorder.time("fig01/run", || fig01::run(scale));
     fig01::print(&data);
 
     // Time: rebuilding the state graph + 20 iterations on the 8-qubit
@@ -26,6 +28,7 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fig01/mitigate_8q_bv", |b| {
         b.iter(|| engine.mitigate_with_lambda(std::hint::black_box(&counts), 1.2));
     });
+    telemetry::record("fig01", &recorder);
 }
 
 criterion_group! {

@@ -2,11 +2,13 @@
 //! HAMMER weighting across 5–14 qubits) and times spectrum extraction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig02, Scale};
+use qbeep_bench::{fig02, telemetry, Scale};
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let panels = fig02::run(scale);
+    let recorder = Recorder::new();
+    let panels = recorder.time("fig02/run", || fig02::run(scale));
     fig02::print(&panels);
 
     let last = panels.last().expect("panels exist").clone();
@@ -18,6 +20,7 @@ fn bench(c: &mut Criterion) {
             )
         });
     });
+    telemetry::record("fig02", &recorder);
 }
 
 criterion_group! {

@@ -3,11 +3,13 @@
 //! control) and times one RB channel execution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig04, Scale};
+use qbeep_bench::{fig04, telemetry, Scale};
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let data = fig04::run(scale);
+    let recorder = Recorder::new();
+    let data = recorder.time("fig04/run", || fig04::run(scale));
     fig04::print(&data);
 
     c.bench_function("fig04/rb_channel_execution", |b| {
@@ -22,6 +24,7 @@ fn bench(c: &mut Criterion) {
             )
         });
     });
+    telemetry::record("fig04", &recorder);
 }
 
 criterion_group! {

@@ -2,12 +2,14 @@
 //! models over the unique-output corpus) and times the model fits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig06, Scale};
+use qbeep_bench::{fig06, telemetry, Scale};
 use qbeep_core::model::{mle_poisson, SpectrumModel};
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let records = fig06::run(scale);
+    let recorder = Recorder::new();
+    let records = recorder.time("fig06/run", || fig06::run(scale));
     fig06::print(&records);
 
     // Time: fitting + scoring one 12-bit spectrum with all models.
@@ -26,6 +28,7 @@ fn bench(c: &mut Criterion) {
             (d1, d2, d3)
         });
     });
+    telemetry::record("fig06", &recorder);
 }
 
 criterion_group! {

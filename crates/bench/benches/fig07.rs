@@ -3,12 +3,14 @@
 //! times one full BV mitigation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig07, Scale};
+use qbeep_bench::{fig07, telemetry, Scale};
 use qbeep_core::QBeep;
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let data = fig07::run(scale);
+    let recorder = Recorder::new();
+    let data = recorder.time("fig07/run", || fig07::run(scale));
     fig07::print(&data);
 
     let widest = data
@@ -25,6 +27,7 @@ fn bench(c: &mut Criterion) {
             )
         });
     });
+    telemetry::record("fig07", &recorder);
 }
 
 criterion_group! {

@@ -3,16 +3,19 @@
 //! mitigation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig08, Scale};
+use qbeep_bench::{fig08, telemetry, Scale};
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let data = fig08::run(scale);
+    let recorder = Recorder::new();
+    let data = recorder.time("fig08_09/run", || fig08::run(scale));
     fig08::print(&data);
 
     c.bench_function("fig08/suite_single_execution", |b| {
         b.iter(|| qbeep_bench::runners::suite::run_suite(1, 200, 42).len());
     });
+    telemetry::record("fig08_09", &recorder);
 }
 
 criterion_group! {

@@ -3,16 +3,19 @@
 //! instance's end-to-end run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig10, Scale};
+use qbeep_bench::{fig10, telemetry, Scale};
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let data = fig10::run(scale);
+    let recorder = Recorder::new();
+    let data = recorder.time("fig10/run", || fig10::run(scale));
     fig10::print(&data);
 
     c.bench_function("fig10/single_instance_end_to_end", |b| {
         b.iter(|| qbeep_bench::runners::qaoa::run_qaoa(1, 500, 3).len());
     });
+    telemetry::record("fig10", &recorder);
 }
 
 criterion_group! {

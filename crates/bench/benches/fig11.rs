@@ -2,12 +2,14 @@
 //! the inverse-correlation fit) and times the reduction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qbeep_bench::{fig08, fig11, Scale};
+use qbeep_bench::{fig08, fig11, telemetry, Scale};
+use qbeep_telemetry::Recorder;
 
 fn bench(c: &mut Criterion) {
     let scale = Scale::from_env();
-    let data = fig08::run(scale);
-    let points = fig11::points(&data);
+    let recorder = Recorder::new();
+    let data = recorder.time("fig11/run", || fig08::run(scale));
+    let points = recorder.time("fig11/reduce", || fig11::points(&data));
     fig11::print(&points);
 
     c.bench_function("fig11/scatter_reduction_and_fit", |b| {
@@ -16,6 +18,7 @@ fn bench(c: &mut Criterion) {
             fig11::fit(&pts)
         });
     });
+    telemetry::record("fig11", &recorder);
 }
 
 criterion_group! {

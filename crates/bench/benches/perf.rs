@@ -14,11 +14,8 @@ use rand::SeedableRng;
 /// outcomes by sampling the empirical channel around one 14-bit answer.
 fn synth_counts(target_nodes: usize, seed: u64) -> Counts {
     let target: BitString = "10110100101101".parse().expect("valid");
-    let channel = EmpiricalChannel::new(
-        Distribution::point(target),
-        2.5,
-        EmpiricalConfig::default(),
-    );
+    let channel =
+        EmpiricalChannel::new(Distribution::point(target), 2.5, EmpiricalConfig::default());
     let mut rng = StdRng::seed_from_u64(seed);
     // Distinct-outcome count grows sublinearly in shots; oversample.
     let shots = (target_nodes as u64) * 4;
@@ -85,7 +82,9 @@ fn bench(c: &mut Criterion) {
             bell.cx(q - 1, q);
         }
         let backend = qbeep_device::profiles::by_name("fake_jakarta").expect("exists");
-        let t = qbeep_transpile::Transpiler::new(&backend).transpile(&bell).expect("fits");
+        let t = qbeep_transpile::Transpiler::new(&backend)
+            .transpile(&bell)
+            .expect("fits");
         group.bench_function("density_matrix_6q_exact_noisy", |b| {
             b.iter(|| {
                 qbeep_sim::exact_noisy_distribution(std::hint::black_box(t.circuit()), &backend)
@@ -96,9 +95,7 @@ fn bench(c: &mut Criterion) {
 
     // λ estimation + transpilation cost on the largest machine.
     let backend = qbeep_device::profiles::by_name("fake_washington").expect("exists");
-    let bv = qbeep_circuit::library::bernstein_vazirani(
-        &"111011011101101".parse().expect("valid"),
-    );
+    let bv = qbeep_circuit::library::bernstein_vazirani(&"111011011101101".parse().expect("valid"));
     c.bench_function("perf/transpile_15q_bv_to_127q", |b| {
         b.iter(|| {
             qbeep_transpile::Transpiler::new(&backend)
@@ -106,6 +103,18 @@ fn bench(c: &mut Criterion) {
                 .expect("fits")
         });
     });
+
+    // One instrumented mitigation + transpilation so the telemetry
+    // artifact carries the full per-stage span breakdown.
+    let recorder = qbeep_telemetry::Recorder::new();
+    let counts = synth_counts(400, 77);
+    let _ = QBeep::default()
+        .with_recorder(recorder.clone())
+        .mitigate_with_lambda(&counts, 2.5);
+    let _ = qbeep_transpile::Transpiler::new(&backend)
+        .transpile_recorded(&bv, &recorder)
+        .expect("fits");
+    qbeep_bench::telemetry::record("perf", &recorder);
 }
 
 criterion_group! {

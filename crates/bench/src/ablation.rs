@@ -53,9 +53,14 @@ pub fn workload(cases: usize) -> Vec<AblationCase> {
             let backend = profiles::by_name(machines[i % machines.len()]).expect("exists");
             let secret = random_secret(width, &mut rng);
             let circuit = bernstein_vazirani(&secret);
-            let run =
-                execute_on_device(&circuit, &backend, 2000, &EmpiricalConfig::default(), &mut rng)
-                    .expect("fits");
+            let run = execute_on_device(
+                &circuit,
+                &backend,
+                2000,
+                &EmpiricalConfig::default(),
+                &mut rng,
+            )
+            .expect("fits");
             AblationCase {
                 circuit,
                 secret,
@@ -89,7 +94,10 @@ pub fn mean_fidelity(
 /// Mean *raw* fidelity of the workload (the unmitigated floor).
 #[must_use]
 pub fn raw_fidelity(cases: &[AblationCase]) -> f64 {
-    cases.iter().map(|c| c.counts.to_distribution().fidelity(&c.ideal)).sum::<f64>()
+    cases
+        .iter()
+        .map(|c| c.counts.to_distribution().fidelity(&c.ideal))
+        .sum::<f64>()
         / cases.len() as f64
 }
 
@@ -98,11 +106,13 @@ pub fn raw_fidelity(cases: &[AblationCase]) -> f64 {
 #[must_use]
 pub fn run_all(cases: usize) -> Vec<(String, f64)> {
     let cases = workload(cases);
-    let full_lambda =
-        |c: &AblationCase| lambda_breakdown(&c.transpiled, &c.backend).total();
+    let full_lambda = |c: &AblationCase| lambda_breakdown(&c.transpiled, &c.backend).total();
     let mut out = vec![
         ("raw (no mitigation)".to_string(), raw_fidelity(&cases)),
-        ("full Q-BEEP".to_string(), mean_fidelity(&cases, &QBeep::default(), full_lambda)),
+        (
+            "full Q-BEEP".to_string(),
+            mean_fidelity(&cases, &QBeep::default(), full_lambda),
+        ),
     ];
 
     // λ-term ablations: drop each Eq.-2 term.
@@ -131,8 +141,14 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
 
     // ε threshold.
     for eps in [0.01, 0.2] {
-        let cfg = QBeepConfig { epsilon: eps, ..QBeepConfig::default() };
-        out.push((format!("ε = {eps}"), mean_fidelity(&cases, &QBeep::new(cfg), full_lambda)));
+        let cfg = QBeepConfig {
+            epsilon: eps,
+            ..QBeepConfig::default()
+        };
+        out.push((
+            format!("ε = {eps}"),
+            mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
+        ));
     }
 
     // Learning-rate schedule.
@@ -140,16 +156,31 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
         ("constant η = 1.0", LearningRate::Constant(1.0)),
         ("constant η = 0.2", LearningRate::Constant(0.2)),
     ] {
-        let cfg = QBeepConfig { learning_rate: lr, ..QBeepConfig::default() };
-        out.push((name.to_string(), mean_fidelity(&cases, &QBeep::new(cfg), full_lambda)));
+        let cfg = QBeepConfig {
+            learning_rate: lr,
+            ..QBeepConfig::default()
+        };
+        out.push((
+            name.to_string(),
+            mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
+        ));
     }
 
     // Kernel.
-    let cfg = QBeepConfig { kernel: Kernel::Binomial, ..QBeepConfig::default() };
-    out.push(("binomial kernel".into(), mean_fidelity(&cases, &QBeep::new(cfg), full_lambda)));
+    let cfg = QBeepConfig {
+        kernel: Kernel::Binomial,
+        ..QBeepConfig::default()
+    };
+    out.push((
+        "binomial kernel".into(),
+        mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
+    ));
 
     // Overflow renormalisation.
-    let cfg = QBeepConfig { overflow_renormalisation: false, ..QBeepConfig::default() };
+    let cfg = QBeepConfig {
+        overflow_renormalisation: false,
+        ..QBeepConfig::default()
+    };
     out.push((
         "no overflow renormalisation".into(),
         mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
@@ -289,7 +320,11 @@ pub fn ensemble_comparison(cases: usize) -> Vec<(String, f64)> {
         let single = fleet
             .iter()
             .filter(|b| b.num_qubits() >= circuit.num_qubits())
-            .min_by(|a, b| a.quality_score().partial_cmp(&b.quality_score()).expect("finite"))
+            .min_by(|a, b| {
+                a.quality_score()
+                    .partial_cmp(&b.quality_score())
+                    .expect("finite")
+            })
             .expect("a machine fits");
         let run = execute_on_device(&circuit, single, 2000, &cfg, &mut rng).expect("fits");
         raw1 += run.counts.to_distribution().fidelity(&ideal);
@@ -336,15 +371,23 @@ pub fn layout_strategy_lambdas(cases: usize) -> Vec<(String, f64)> {
         aware_sum += lambda_breakdown(&aware, &backend).total();
     }
     vec![
-        ("interaction-greedy layout (mean λ)".into(), greedy_sum / cases as f64),
-        ("noise-aware layout (mean λ)".into(), aware_sum / cases as f64),
+        (
+            "interaction-greedy layout (mean λ)".into(),
+            greedy_sum / cases as f64,
+        ),
+        (
+            "noise-aware layout (mean λ)".into(),
+            aware_sum / cases as f64,
+        ),
     ]
 }
 
 /// Prints the ablation table.
 pub fn print(results: &[(String, f64)]) {
-    let rows: Vec<Vec<String>> =
-        results.iter().map(|(name, fid)| vec![name.clone(), f(*fid, 4)]).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, fid)| vec![name.clone(), f(*fid, 4)])
+        .collect();
     print_table(
         "Ablations: mean mitigated fidelity on the shared BV workload",
         &["variant", "mean_fidelity"],
@@ -360,7 +403,11 @@ mod tests {
     fn full_qbeep_beats_raw() {
         let results = run_all(3);
         let get = |name: &str| {
-            results.iter().find(|(n, _)| n.starts_with(name)).map(|(_, v)| *v).unwrap()
+            results
+                .iter()
+                .find(|(n, _)| n.starts_with(name))
+                .map(|(_, v)| *v)
+                .unwrap()
         };
         assert!(get("full Q-BEEP") > get("raw"), "{results:?}");
         // Stacking readout unfolding under Q-BEEP should not hurt much.
@@ -380,6 +427,9 @@ mod tests {
             assert!(lambda.is_finite() && *lambda > 0.0, "{name}: λ = {lambda}");
         }
         let ratio = rows[1].1 / rows[0].1;
-        assert!((0.4..=2.5).contains(&ratio), "strategies diverge wildly: {ratio}");
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "strategies diverge wildly: {ratio}"
+        );
     }
 }

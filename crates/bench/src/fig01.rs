@@ -73,9 +73,7 @@ pub fn run(_scale: Scale) -> Fig01Data {
         .sorted_by_prob()
         .into_iter()
         .take(8)
-        .map(|(s, p)| {
-            (s, p, mit8.mitigated.prob(&s), run8.ideal.prob(&s))
-        })
+        .map(|(s, p)| (s, p, mit8.mitigated.prob(&s), run8.ideal.prob(&s)))
         .collect();
     if !bars.iter().any(|(s, ..)| *s == secret8) {
         bars.push((
@@ -86,7 +84,13 @@ pub fn run(_scale: Scale) -> Fig01Data {
         ));
     }
     let pst = (run8.counts.pst(&secret8), mit8.mitigated.prob(&secret8));
-    Fig01Data { observed, qbeep_model, hammer_model, bars, pst }
+    Fig01Data {
+        observed,
+        qbeep_model,
+        hammer_model,
+        bars,
+        pst,
+    }
 }
 
 /// Prints the figure's series.
@@ -109,9 +113,7 @@ pub fn print(data: &Fig01Data) {
     let rows: Vec<Vec<String>> = data
         .bars
         .iter()
-        .map(|(s, raw, mit, ideal)| {
-            vec![s.to_string(), f(*raw, 4), f(*mit, 4), f(*ideal, 4)]
-        })
+        .map(|(s, raw, mit, ideal)| vec![s.to_string(), f(*raw, 4), f(*mit, 4), f(*ideal, 4)])
         .collect();
     print_table(
         "Figure 1(b): 8-qubit BV bars — raw vs Q-BEEP vs ideal",

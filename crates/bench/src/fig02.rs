@@ -129,9 +129,17 @@ mod tests {
         // from zero (the non-local clustering the paper demonstrates).
         let last = panels.last().unwrap();
         let mode = (0..=last.width)
-            .max_by(|&a, &b| last.observed.mass(a).partial_cmp(&last.observed.mass(b)).unwrap())
+            .max_by(|&a, &b| {
+                last.observed
+                    .mass(a)
+                    .partial_cmp(&last.observed.mass(b))
+                    .unwrap()
+            })
             .unwrap();
-        assert!(mode >= 1, "14-qubit panel should cluster at distance, mode {mode}");
+        assert!(
+            mode >= 1,
+            "14-qubit panel should cluster at distance, mode {mode}"
+        );
         print(&panels);
     }
 }

@@ -31,15 +31,16 @@ pub struct Fig04Data {
 /// 16 machines and 125 5-qubit circuits on the ion machine.
 #[must_use]
 pub fn run(scale: Scale) -> Fig04Data {
-    let sc_machines: Vec<_> =
-        profiles::ibmq_fleet().into_iter().filter(|b| b.num_qubits() >= 16).collect();
+    let sc_machines: Vec<_> = profiles::ibmq_fleet()
+        .into_iter()
+        .filter(|b| b.num_qubits() >= 16)
+        .collect();
     let n_sc = scale.pick(8, 12, 12);
     // Depth range chosen so transpiled gate counts span ~50–500, the
     // x-range of the paper's panel (deeper circuits saturate the EHD at
     // n/2 and flatten the trend).
     let circuits_sc = scale.pick(12, 150, 500);
-    let superconducting =
-        run_rb(n_sc, circuits_sc, 8, &sc_machines, 2000, BASE_SEED + 4);
+    let superconducting = run_rb(n_sc, circuits_sc, 8, &sc_machines, 2000, BASE_SEED + 4);
     let sc_fit = ehd_fit(&superconducting);
 
     let ion = vec![profiles::ionq()];
@@ -50,11 +51,17 @@ pub fn run(scale: Scale) -> Fig04Data {
     // Negative control on small dense-simulable systems.
     let ctrl_machines = vec![profiles::by_name("fake_quito").expect("exists")];
     let circuits_ctrl = scale.pick(4, 10, 24);
-    let markovian =
-        run_rb_markovian(4, circuits_ctrl, 16, &ctrl_machines, 400, BASE_SEED + 6);
+    let markovian = run_rb_markovian(4, circuits_ctrl, 16, &ctrl_machines, 400, BASE_SEED + 6);
     let markovian_fit = ehd_fit(&markovian);
 
-    Fig04Data { superconducting, sc_fit, trapped_ion, ion_fit, markovian, markovian_fit }
+    Fig04Data {
+        superconducting,
+        sc_fit,
+        trapped_ion,
+        ion_fit,
+        markovian,
+        markovian_fit,
+    }
 }
 
 fn print_panel(title: &str, records: &[RbRecord], fit: &Option<LinearFit>) {
@@ -123,7 +130,11 @@ mod tests {
         assert!(!data.superconducting.is_empty());
         assert!(!data.trapped_ion.is_empty());
         let fit = data.sc_fit.expect("fit exists");
-        assert!(fit.slope > 0.0, "EHD trend must be positive, slope {}", fit.slope);
+        assert!(
+            fit.slope > 0.0,
+            "EHD trend must be positive, slope {}",
+            fit.slope
+        );
         print(&data);
     }
 }

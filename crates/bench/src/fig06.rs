@@ -90,13 +90,16 @@ pub fn run(scale: Scale) -> Vec<Fig06Record> {
             .skip(i)
             .find(|b| b.num_qubits() >= circuit.num_qubits())
             .expect("fleet has a 127-qubit machine");
-        let transpiled =
-            Transpiler::new(backend).transpile(&circuit).expect("machine fits");
+        let transpiled = Transpiler::new(backend)
+            .transpile(&circuit)
+            .expect("machine fits");
         let lambda_est = estimate_lambda(&transpiled, backend);
-        let lambda_true =
-            cfg.effective_lambda(ground_truth_lambda(&transpiled, backend), backend.name(), &mut rng);
-        let channel =
-            EmpiricalChannel::new(Distribution::point(expected), lambda_true, cfg);
+        let lambda_true = cfg.effective_lambda(
+            ground_truth_lambda(&transpiled, backend),
+            backend.name(),
+            &mut rng,
+        );
+        let channel = EmpiricalChannel::new(Distribution::point(expected), lambda_true, cfg);
         let counts = channel.run(2000, &mut rng);
         let observed = counts.to_distribution().hamming_spectrum(&expected);
         let width = expected.len();
@@ -134,7 +137,8 @@ pub fn means(records: &[Fig06Record]) -> [(String, f64); 6] {
 
 /// Prints the CDF table (deciles per model) and the mean distances.
 pub fn print(records: &[Fig06Record]) {
-    let columns: [(&str, fn(&Fig06Record) -> f64); 6] = [
+    type Column = (&'static str, fn(&Fig06Record) -> f64);
+    let columns: [Column; 6] = [
         ("qbeep", |r| r.qbeep),
         ("mle_poisson", |r| r.mle_poisson),
         ("mle_negbinom", |r| r.mle_negbinom),
@@ -147,13 +151,24 @@ pub fn print(records: &[Fig06Record]) {
         let mut row = vec![format!("p{q:.0}")];
         for (_, sel) in &columns {
             let vals: Vec<f64> = records.iter().map(sel).collect();
-            row.push(f(qbeep_bitstring::stats::percentile(&vals, q).expect("non-empty"), 4));
+            row.push(f(
+                qbeep_bitstring::stats::percentile(&vals, q).expect("non-empty"),
+                4,
+            ));
         }
         rows.push(row);
     }
     print_table(
         "Figure 6: Hellinger distance percentiles per spectral model",
-        &["pct", "qbeep", "mle_poisson", "mle_negbinom", "mle_binomial", "uniform", "hammer"],
+        &[
+            "pct",
+            "qbeep",
+            "mle_poisson",
+            "mle_negbinom",
+            "mle_binomial",
+            "uniform",
+            "hammer",
+        ],
         &rows,
     );
     for (name, mean) in means(records) {

@@ -48,7 +48,10 @@ pub fn run(scale: Scale) -> Fig07Data {
 
     // Panel (c): track a subset through every iteration.
     let engine = QBeep::default();
-    let subset: Vec<&BvRecord> = records.iter().step_by(records.len().div_ceil(6).max(1)).collect();
+    let subset: Vec<&BvRecord> = records
+        .iter()
+        .step_by(records.len().div_ceil(6).max(1))
+        .collect();
     let iterations = engine.config().iterations;
     let mut iteration_fidelity = vec![0.0; iterations];
     let mut tracked = 0usize;
@@ -65,7 +68,10 @@ pub fn run(scale: Scale) -> Fig07Data {
             *v /= tracked as f64;
         }
     }
-    Fig07Data { records, iteration_fidelity }
+    Fig07Data {
+        records,
+        iteration_fidelity,
+    }
 }
 
 /// Computes the §4.2.2 summary.
@@ -77,20 +83,21 @@ pub fn run(scale: Scale) -> Fig07Data {
 pub fn summarise(data: &Fig07Data) -> Fig07Summary {
     let rel_pst: Vec<f64> = data.records.iter().map(BvRecord::rel_pst_qbeep).collect();
     let rel_fid: Vec<f64> = data.records.iter().map(BvRecord::rel_fid_qbeep).collect();
-    let rel_pst_hammer: Vec<f64> =
-        data.records.iter().map(BvRecord::rel_pst_hammer).collect();
+    let rel_pst_hammer: Vec<f64> = data.records.iter().map(BvRecord::rel_pst_hammer).collect();
     let finite_mean = |xs: &[f64]| {
         let v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
         qbeep_bitstring::stats::mean(&v).expect("records exist")
     };
     let finite_max = |xs: &[f64]| {
-        xs.iter().copied().filter(|x| x.is_finite()).fold(0.0f64, f64::max)
+        xs.iter()
+            .copied()
+            .filter(|x| x.is_finite())
+            .fold(0.0f64, f64::max)
     };
     Fig07Summary {
         avg_rel_pst: finite_mean(&rel_pst),
         max_rel_pst: finite_max(&rel_pst),
-        regression_rate: rel_pst.iter().filter(|&&x| x < 1.0).count() as f64
-            / rel_pst.len() as f64,
+        regression_rate: rel_pst.iter().filter(|&&x| x < 1.0).count() as f64 / rel_pst.len() as f64,
         avg_rel_fid: finite_mean(&rel_fid),
         max_rel_fid: finite_max(&rel_fid),
         avg_rel_pst_hammer: finite_mean(&rel_pst_hammer),
@@ -99,13 +106,28 @@ pub fn summarise(data: &Fig07Data) -> Fig07Summary {
 
 /// Prints all three panels and the summary rows.
 pub fn print(data: &Fig07Data) {
-    let rel_q: Vec<f64> =
-        data.records.iter().map(BvRecord::rel_pst_qbeep).filter(|x| x.is_finite()).collect();
-    let rel_h: Vec<f64> =
-        data.records.iter().map(BvRecord::rel_pst_hammer).filter(|x| x.is_finite()).collect();
-    let rel_f: Vec<f64> =
-        data.records.iter().map(BvRecord::rel_fid_qbeep).filter(|x| x.is_finite()).collect();
-    println!("\n=== Figure 7(a): relative PST improvement over {} BV inductions ===", data.records.len());
+    let rel_q: Vec<f64> = data
+        .records
+        .iter()
+        .map(BvRecord::rel_pst_qbeep)
+        .filter(|x| x.is_finite())
+        .collect();
+    let rel_h: Vec<f64> = data
+        .records
+        .iter()
+        .map(BvRecord::rel_pst_hammer)
+        .filter(|x| x.is_finite())
+        .collect();
+    let rel_f: Vec<f64> = data
+        .records
+        .iter()
+        .map(BvRecord::rel_fid_qbeep)
+        .filter(|x| x.is_finite())
+        .collect();
+    println!(
+        "\n=== Figure 7(a): relative PST improvement over {} BV inductions ===",
+        data.records.len()
+    );
     print_series_summary("Q-BEEP rel PST", &rel_q);
     print_series_summary("HAMMER rel PST", &rel_h);
     println!("\n=== Figure 7(b): relative fidelity change ===");
@@ -137,8 +159,7 @@ pub fn print(data: &Fig07Data) {
 
     // §4.2.2: "75% percent of failures come from 4 machines" — report
     // how concentrated our regressions are.
-    let mut by_machine: std::collections::BTreeMap<&str, usize> =
-        std::collections::BTreeMap::new();
+    let mut by_machine: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
     let mut total_regressions = 0usize;
     for r in &data.records {
         if r.rel_pst_qbeep() < 1.0 {

@@ -20,14 +20,15 @@ pub struct SuiteData {
 pub fn run(scale: Scale) -> SuiteData {
     let repeats = scale.pick(1, 2, 6);
     let shots = scale.pick(500, 2000, 4000) as u64;
-    SuiteData { records: run_suite(repeats, shots, BASE_SEED + 8) }
+    SuiteData {
+        records: run_suite(repeats, shots, BASE_SEED + 8),
+    }
 }
 
 /// Per-algorithm mean relative fidelity change, Fig. 8's bars.
 #[must_use]
 pub fn per_algorithm(data: &SuiteData) -> Vec<(String, f64)> {
-    let mut rows =
-        group_mean(&data.records, |r| r.label.clone(), SuiteRecord::rel_qbeep);
+    let mut rows = group_mean(&data.records, |r| r.label.clone(), SuiteRecord::rel_qbeep);
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     rows
 }
@@ -45,8 +46,10 @@ pub fn per_machine(data: &SuiteData) -> Vec<(String, f64)> {
 /// Panics if `data` holds no records.
 pub fn print(data: &SuiteData) {
     let algo = per_algorithm(data);
-    let rows: Vec<Vec<String>> =
-        algo.iter().map(|(label, rel)| vec![label.clone(), f(*rel, 4)]).collect();
+    let rows: Vec<Vec<String>> = algo
+        .iter()
+        .map(|(label, rel)| vec![label.clone(), f(*rel, 4)])
+        .collect();
     print_table(
         "Figure 8: mean relative fidelity change per QASMBench algorithm",
         &["algorithm", "rel_fidelity"],
@@ -54,8 +57,10 @@ pub fn print(data: &SuiteData) {
     );
 
     let machine = per_machine(data);
-    let rows: Vec<Vec<String>> =
-        machine.iter().map(|(m, rel)| vec![m.clone(), f(*rel, 4)]).collect();
+    let rows: Vec<Vec<String>> = machine
+        .iter()
+        .map(|(m, rel)| vec![m.clone(), f(*rel, 4)])
+        .collect();
     print_table(
         "Figure 9: mean relative fidelity change per machine",
         &["machine", "rel_fidelity"],
@@ -72,9 +77,7 @@ pub fn print(data: &SuiteData) {
     );
     for flat in ["Qft N4", "Qrng N4"] {
         if let Some((_, rel)) = algo.iter().find(|(l, _)| l == flat) {
-            println!(
-                "  max-entropy check {flat}: rel fidelity {rel:.4} (paper: ~no gain)"
-            );
+            println!("  max-entropy check {flat}: rel fidelity {rel:.4} (paper: ~no gain)");
         }
     }
 }

@@ -32,7 +32,9 @@ pub struct Fig10Summary {
 pub fn run(scale: Scale) -> Fig10Data {
     let count = scale.pick(12, 120, 340);
     let shots = scale.pick(800, 2000, 4000) as u64;
-    Fig10Data { records: run_qaoa(count, shots, BASE_SEED + 10) }
+    Fig10Data {
+        records: run_qaoa(count, shots, BASE_SEED + 10),
+    }
 }
 
 /// Computes the summary.
@@ -42,13 +44,19 @@ pub fn run(scale: Scale) -> Fig10Data {
 /// Panics if `data` holds no records.
 #[must_use]
 pub fn summarise(data: &Fig10Data) -> Fig10Summary {
-    let improvements: Vec<f64> =
-        data.records.iter().map(QaoaRecord::improvement).collect();
+    let improvements: Vec<f64> = data.records.iter().map(QaoaRecord::improvement).collect();
     Fig10Summary {
-        success_rate: data.records.iter().filter(|r| r.cr_qbeep > r.cr_raw).count() as f64
+        success_rate: data
+            .records
+            .iter()
+            .filter(|r| r.cr_qbeep > r.cr_raw)
+            .count() as f64
             / data.records.len() as f64,
         avg_improvement: stats::mean(&improvements).expect("records exist"),
-        max_improvement: improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        max_improvement: improvements
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max),
     }
 }
 
@@ -58,9 +66,11 @@ pub fn summarise(data: &Fig10Data) -> Fig10Summary {
 ///
 /// Panics if `data` holds no records.
 pub fn print(data: &Fig10Data) {
-    let improvements: Vec<f64> =
-        data.records.iter().map(QaoaRecord::improvement).collect();
-    println!("\n=== Figure 10(a): relative CR improvement over {} QAOA instances ===", data.records.len());
+    let improvements: Vec<f64> = data.records.iter().map(QaoaRecord::improvement).collect();
+    println!(
+        "\n=== Figure 10(a): relative CR improvement over {} QAOA instances ===",
+        data.records.len()
+    );
     print_series_summary("rel CR improvement", &improvements);
 
     // Panel (b): CDF shift of raw vs mitigated CR values.
@@ -119,10 +129,17 @@ mod tests {
         let data = run(Scale::Smoke);
         let s = summarise(&data);
         assert!(s.success_rate > 0.5, "success {}", s.success_rate);
-        assert!(s.avg_improvement > 1.0, "avg improvement {}", s.avg_improvement);
+        assert!(
+            s.avg_improvement > 1.0,
+            "avg improvement {}",
+            s.avg_improvement
+        );
         // Paper Fig. 10c: λ lives in 0–2 for these instances.
         let in_range = data.records.iter().filter(|r| r.lambda_est < 2.5).count();
-        assert!(in_range * 2 > data.records.len(), "λ values unexpectedly large");
+        assert!(
+            in_range * 2 > data.records.len(),
+            "λ values unexpectedly large"
+        );
         print(&data);
     }
 }

@@ -27,6 +27,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod report;
 pub mod runners;
+pub mod telemetry;
 
 /// Workload sizing for the experiment runners.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,13 +42,25 @@ pub enum Scale {
 
 impl Scale {
     /// Reads the scale from the `QBEEP_SCALE` environment variable
-    /// (`smoke` / `full`, anything else → default).
+    /// (`smoke` / `default` / `full`). An unrecognized value falls back
+    /// to the default tier with a warning on stderr, so a typo like
+    /// `QBEEP_SCALE=ful` does not silently run the wrong workload.
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var("QBEEP_SCALE").as_deref() {
-            Ok("full") => Self::Full,
-            Ok("smoke") => Self::Smoke,
-            _ => Self::Default,
+        match std::env::var("QBEEP_SCALE") {
+            Ok(value) => match value.as_str() {
+                "full" => Self::Full,
+                "smoke" => Self::Smoke,
+                "default" | "" => Self::Default,
+                other => {
+                    eprintln!(
+                        "warning: unrecognized QBEEP_SCALE value '{other}' \
+                         (accepted: smoke, default, full); using default"
+                    );
+                    Self::Default
+                }
+            },
+            Err(_) => Self::Default,
         }
     }
 

@@ -19,8 +19,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: Vec<String>| {
-        let padded: Vec<String> =
-            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
         println!("  {}", padded.join("  "));
     };
     line(headers.iter().map(|s| (*s).to_string()).collect());
@@ -34,11 +37,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// of a series — the compact form used for the paper's large scatter
 /// figures.
 ///
+/// An empty series prints `«empty series»` instead of a summary, so a
+/// bench whose smoke-scale workload produced no samples still reports
+/// something legible rather than aborting the whole run.
+///
 /// # Panics
 ///
-/// Panics if `values` is empty.
+/// Panics on an empty series in debug builds only, to catch the
+/// mistake early in development.
 pub fn print_series_summary(label: &str, values: &[f64]) {
-    assert!(!values.is_empty(), "empty series {label}");
+    debug_assert!(!values.is_empty(), "empty series {label}");
+    if values.is_empty() {
+        println!("  {label}: «empty series»");
+        return;
+    }
     let mean = stats::mean(values).expect("non-empty");
     let p = |q: f64| stats::percentile(values, q).expect("non-empty");
     println!(
@@ -80,6 +92,13 @@ mod tests {
     #[test]
     fn summary_prints() {
         print_series_summary("s", &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "empty series"))]
+    fn empty_series_is_reported_not_fatal() {
+        // Release builds print «empty series»; debug builds assert.
+        print_series_summary("empty", &[]);
     }
 
     #[test]

@@ -90,7 +90,7 @@ pub fn run_bv(widths: &[usize], secrets_per_width: usize, shots: u64, seed: u64)
             let secret = random_secret(width, &mut rng);
             let circuit = bernstein_vazirani(&secret);
             let ideal = Distribution::point(secret);
-            for backend in fleet.iter().filter(|b| b.num_qubits() >= width + 1) {
+            for backend in fleet.iter().filter(|b| b.num_qubits() > width) {
                 let run = execute_on_device(&circuit, backend, shots, &channel_cfg, &mut rng)
                     .expect("machine fits the circuit");
                 let mitigated = engine.mitigate_run(&run.counts, &run.transpiled, backend);
@@ -145,8 +145,8 @@ mod tests {
     #[test]
     fn qbeep_usually_beats_raw_on_average() {
         let records = run_bv(&[5, 6], 2, 1500, 3);
-        let avg_rel = records.iter().map(BvRecord::rel_pst_qbeep).sum::<f64>()
-            / records.len() as f64;
+        let avg_rel =
+            records.iter().map(BvRecord::rel_pst_qbeep).sum::<f64>() / records.len() as f64;
         assert!(avg_rel > 1.0, "average relative PST {avg_rel}");
     }
 

@@ -68,7 +68,11 @@ pub fn run_ensemble(
         members.push((backend.name().to_string(), lambda, weight));
     }
     assert!(!members.is_empty(), "no ensemble machine fits the circuit");
-    EnsembleRun { merged, members, ensemble_lambda: lambda_acc / weight_acc }
+    EnsembleRun {
+        merged,
+        members,
+        ensemble_lambda: lambda_acc / weight_acc,
+    }
 }
 
 /// Convenience: fidelity of the merged ensemble before and after
@@ -114,9 +118,22 @@ mod tests {
             profiles::by_name("fake_perth").unwrap(),
         ];
         let run = run_ensemble(&circuit, &fleet, 500, &EmpiricalConfig::default(), 4);
-        let lagos = run.members.iter().find(|(n, _, _)| n == "fake_lagos").unwrap();
-        let perth = run.members.iter().find(|(n, _, _)| n == "fake_perth").unwrap();
-        assert!(lagos.2 > perth.2, "lagos weight {} vs perth {}", lagos.2, perth.2);
+        let lagos = run
+            .members
+            .iter()
+            .find(|(n, _, _)| n == "fake_lagos")
+            .unwrap();
+        let perth = run
+            .members
+            .iter()
+            .find(|(n, _, _)| n == "fake_perth")
+            .unwrap();
+        assert!(
+            lagos.2 > perth.2,
+            "lagos weight {} vs perth {}",
+            lagos.2,
+            perth.2
+        );
     }
 
     #[test]

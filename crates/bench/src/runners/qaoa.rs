@@ -52,16 +52,18 @@ pub const SYCAMORE_NATIVE_SCALE: f64 = 0.25;
 pub fn run_qaoa(count: usize, shots: u64, seed: u64) -> Vec<QaoaRecord> {
     let backend = profiles::sycamore();
     let engine = QBeep::default();
-    let channel_cfg =
-        EmpiricalConfig { lambda_scale: SYCAMORE_NATIVE_SCALE, ..EmpiricalConfig::default() };
+    let channel_cfg = EmpiricalConfig {
+        lambda_scale: SYCAMORE_NATIVE_SCALE,
+        ..EmpiricalConfig::default()
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let instances = dataset::generate(count, &mut rng);
     let mut records = Vec::with_capacity(count);
     for inst in &instances {
         let run = execute_on_device(&inst.circuit, &backend, shots, &channel_cfg, &mut rng)
             .expect("dataset instances fit the 53-qubit machine");
-        let lambda = qbeep_core::lambda::estimate_lambda(&run.transpiled, &backend)
-            * SYCAMORE_NATIVE_SCALE;
+        let lambda =
+            qbeep_core::lambda::estimate_lambda(&run.transpiled, &backend) * SYCAMORE_NATIVE_SCALE;
         let mitigated = engine.mitigate_with_lambda(&run.counts, lambda);
         records.push(QaoaRecord {
             id: inst.id,
@@ -93,6 +95,10 @@ mod tests {
     fn qbeep_improves_most_instances() {
         let records = run_qaoa(8, 1500, 12);
         let improved = records.iter().filter(|r| r.cr_qbeep > r.cr_raw).count();
-        assert!(improved * 2 > records.len(), "only {improved}/{} improved", records.len());
+        assert!(
+            improved * 2 > records.len(),
+            "only {improved}/{} improved",
+            records.len()
+        );
     }
 }

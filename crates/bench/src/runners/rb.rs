@@ -137,7 +137,11 @@ mod tests {
         let records = run_rb(8, 12, 30, &backends, 1500, 4);
         assert!(records.len() >= 10);
         let fit = ehd_fit(&records).unwrap();
-        assert!(fit.slope > 0.0, "EHD should grow with gate count, slope {}", fit.slope);
+        assert!(
+            fit.slope > 0.0,
+            "EHD should grow with gate count, slope {}",
+            fit.slope
+        );
     }
 
     #[test]

@@ -101,7 +101,9 @@ pub fn group_mean<K: Ord + Clone>(
         e.0 += value(r);
         e.1 += 1;
     }
-    acc.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect()
+    acc.into_iter()
+        .map(|(k, (s, n))| (k, s / n as f64))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! Telemetry artifact support for the bench harness.
+//!
+//! Each Criterion bench drives its figure runner through a live
+//! [`Recorder`] and merges the resulting [`RunReport`] into a single
+//! JSON artifact keyed by bench name — by default
+//! `BENCH_telemetry.json` in the working directory, overridable via
+//! the `QBEEP_TELEMETRY_ARTIFACT` environment variable. The artifact
+//! accumulates across benches (read-modify-write), so one
+//! `cargo bench` pass leaves a complete picture of where the harness
+//! spent its time.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use qbeep_telemetry::{Recorder, RunReport};
+
+/// Default artifact file name, written to the working directory.
+pub const DEFAULT_ARTIFACT: &str = "BENCH_telemetry.json";
+
+/// Where the telemetry artifact lives: `QBEEP_TELEMETRY_ARTIFACT` if
+/// set, otherwise [`DEFAULT_ARTIFACT`] in the working directory.
+#[must_use]
+pub fn artifact_path() -> PathBuf {
+    std::env::var_os("QBEEP_TELEMETRY_ARTIFACT")
+        .map_or_else(|| PathBuf::from(DEFAULT_ARTIFACT), PathBuf::from)
+}
+
+/// Merges `recorder`'s report into the artifact under `bench`.
+///
+/// Best-effort: a disabled recorder, an empty report, or an unwritable
+/// artifact path all degrade to a no-op (the latter with a note on
+/// stderr) — telemetry must never fail a bench run.
+pub fn record(bench: &str, recorder: &Recorder) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let report = recorder.report();
+    if report.is_empty() {
+        return;
+    }
+    match merge_into_artifact(bench, &report) {
+        Ok(path) => eprintln!("// telemetry: {bench} -> {}", path.display()),
+        Err(e) => eprintln!("// telemetry: could not write {bench} artifact: {e}"),
+    }
+}
+
+fn merge_into_artifact(bench: &str, report: &RunReport) -> std::io::Result<PathBuf> {
+    let path = artifact_path();
+    // A corrupt or foreign file is replaced rather than appended to.
+    let mut table: BTreeMap<String, RunReport> = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).unwrap_or_default(),
+        Err(_) => BTreeMap::new(),
+    };
+    table.insert(bench.to_string(), report.clone());
+    let json = serde_json::to_string_pretty(&table).expect("run reports serialize");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_accumulates_reports_by_bench_name() {
+        let dir =
+            std::env::temp_dir().join(format!("qbeep-bench-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(DEFAULT_ARTIFACT);
+        // Env mutation is process-global; this is the only test that
+        // touches QBEEP_TELEMETRY_ARTIFACT.
+        std::env::set_var("QBEEP_TELEMETRY_ARTIFACT", &path);
+
+        let first = Recorder::new();
+        first.incr("fig.rows", 3);
+        record("fig01", &first);
+        let second = Recorder::new();
+        second.gauge("fig.fidelity", 0.9);
+        record("fig02", &second);
+
+        let table: BTreeMap<String, RunReport> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table["fig01"].counters["fig.rows"], 3);
+        assert_eq!(table["fig02"].gauges["fig.fidelity"], 0.9);
+
+        std::env::remove_var("QBEEP_TELEMETRY_ARTIFACT");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_or_empty_recorders_write_nothing() {
+        // With no env override the path is relative; neither call may
+        // create it because neither recorder has anything to say.
+        record("noop", &Recorder::disabled());
+        record("noop", &Recorder::new());
+        assert!(!PathBuf::from(DEFAULT_ARTIFACT).exists());
+    }
+}

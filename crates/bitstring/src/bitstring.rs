@@ -52,8 +52,14 @@ impl BitString {
     /// Panics if `len > MAX_BITS`.
     #[must_use]
     pub fn zeros(len: usize) -> Self {
-        assert!(len <= MAX_BITS, "bit-string length {len} exceeds {MAX_BITS}");
-        Self { words: [0, 0], len: len as u16 }
+        assert!(
+            len <= MAX_BITS,
+            "bit-string length {len} exceeds {MAX_BITS}"
+        );
+        Self {
+            words: [0, 0],
+            len: len as u16,
+        }
     }
 
     /// Creates the all-one string of `len` bits.
@@ -80,7 +86,11 @@ impl BitString {
     #[must_use]
     pub fn from_value(value: u128, len: usize) -> Self {
         let mut s = Self::zeros(len);
-        let masked = if len >= 128 { value } else { value & ((1u128 << len) - 1) };
+        let masked = if len >= 128 {
+            value
+        } else {
+            value & ((1u128 << len) - 1)
+        };
         s.words[0] = masked as u64;
         s.words[1] = (masked >> 64) as u64;
         s
@@ -121,7 +131,11 @@ impl BitString {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        assert!(
+            i < self.len(),
+            "bit index {i} out of range for {}-bit string",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -131,7 +145,11 @@ impl BitString {
     ///
     /// Panics if `i >= self.len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        assert!(
+            i < self.len(),
+            "bit index {i} out of range for {}-bit string",
+            self.len
+        );
         let (w, b) = (i / 64, i % 64);
         if value {
             self.words[w] |= 1 << b;
@@ -147,7 +165,11 @@ impl BitString {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn with_flipped(mut self, i: usize) -> Self {
-        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        assert!(
+            i < self.len(),
+            "bit index {i} out of range for {}-bit string",
+            self.len
+        );
         self.words[i / 64] ^= 1 << (i % 64);
         self
     }
@@ -158,7 +180,11 @@ impl BitString {
     ///
     /// Panics if `i >= self.len()`.
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.len(), "bit index {i} out of range for {}-bit string", self.len);
+        assert!(
+            i < self.len(),
+            "bit index {i} out of range for {}-bit string",
+            self.len
+        );
         self.words[i / 64] ^= 1 << (i % 64);
     }
 
@@ -199,7 +225,13 @@ impl BitString {
     #[must_use]
     pub fn xor(&self, other: &Self) -> Self {
         assert_eq!(self.len, other.len, "xor requires equal lengths");
-        Self { words: [self.words[0] ^ other.words[0], self.words[1] ^ other.words[1]], len: self.len }
+        Self {
+            words: [
+                self.words[0] ^ other.words[0],
+                self.words[1] ^ other.words[1],
+            ],
+            len: self.len,
+        }
     }
 
     /// Iterates over the bits, qubit 0 first.
@@ -235,7 +267,10 @@ impl BitString {
     /// Panics if `len > MAX_BITS`.
     #[must_use]
     pub fn resized(&self, len: usize) -> Self {
-        assert!(len <= MAX_BITS, "bit-string length {len} exceeds {MAX_BITS}");
+        assert!(
+            len <= MAX_BITS,
+            "bit-string length {len} exceeds {MAX_BITS}"
+        );
         let mut out = Self::zeros(len);
         for i in 0..len.min(self.len()) {
             out.set(i, self.bit(i));
@@ -252,7 +287,10 @@ impl BitString {
     #[must_use]
     pub fn concat(&self, other: &Self) -> Self {
         let total = self.len() + other.len();
-        assert!(total <= MAX_BITS, "concatenated length {total} exceeds {MAX_BITS}");
+        assert!(
+            total <= MAX_BITS,
+            "concatenated length {total} exceeds {MAX_BITS}"
+        );
         let mut out = Self::zeros(total);
         for i in 0..self.len() {
             out.set(i, self.bit(i));
@@ -295,7 +333,10 @@ impl FromStr for BitString {
             return Err(ParseBitStringError::Empty);
         }
         if s.len() > MAX_BITS {
-            return Err(ParseBitStringError::TooLong { len: s.len(), max: MAX_BITS });
+            return Err(ParseBitStringError::TooLong {
+                len: s.len(),
+                max: MAX_BITS,
+            });
         }
         let mut out = Self::zeros(s.len());
         let n = s.len();
@@ -303,7 +344,12 @@ impl FromStr for BitString {
             match c {
                 '0' => {}
                 '1' => out.set(n - 1 - pos, true),
-                other => return Err(ParseBitStringError::InvalidChar { ch: other, index: pos }),
+                other => {
+                    return Err(ParseBitStringError::InvalidChar {
+                        ch: other,
+                        index: pos,
+                    })
+                }
             }
         }
         Ok(out)
@@ -320,7 +366,9 @@ impl Ord for BitString {
     /// Orders by length first, then by integer value — a total order that
     /// makes sorted result tables deterministic.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.len.cmp(&other.len).then_with(|| self.value().cmp(&other.value()))
+        self.len
+            .cmp(&other.len)
+            .then_with(|| self.value().cmp(&other.value()))
     }
 }
 
@@ -358,7 +406,12 @@ impl HammingBallIter {
         let n = center.len();
         let done = d > n;
         let combo = (0..d.min(n)).collect();
-        Self { center, combo, d, done }
+        Self {
+            center,
+            combo,
+            d,
+            done,
+        }
     }
 
     /// Advances `self.combo` to the next lexicographic combination of
@@ -444,13 +497,19 @@ mod tests {
 
     #[test]
     fn parse_rejects_bad_input() {
-        assert!(matches!("".parse::<BitString>(), Err(ParseBitStringError::Empty)));
+        assert!(matches!(
+            "".parse::<BitString>(),
+            Err(ParseBitStringError::Empty)
+        ));
         assert!(matches!(
             "01x1".parse::<BitString>(),
             Err(ParseBitStringError::InvalidChar { ch: 'x', index: 2 })
         ));
         let long = "0".repeat(MAX_BITS + 1);
-        assert!(matches!(long.parse::<BitString>(), Err(ParseBitStringError::TooLong { .. })));
+        assert!(matches!(
+            long.parse::<BitString>(),
+            Err(ParseBitStringError::TooLong { .. })
+        ));
     }
 
     #[test]
@@ -535,7 +594,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_deterministic() {
-        let mut v = vec![
+        let mut v = [
             BitString::from_value(3, 4),
             BitString::from_value(1, 4),
             BitString::from_value(2, 3),

@@ -39,7 +39,11 @@ impl Counts {
     /// Creates an empty count table for `width`-bit outcomes.
     #[must_use]
     pub fn new(width: usize) -> Self {
-        Self { width, table: HashMap::new(), total: 0 }
+        Self {
+            width,
+            table: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Builds a table from an iterator of single-shot outcomes.
@@ -146,7 +150,10 @@ impl Counts {
     ///
     /// Panics if the widths differ.
     pub fn merge(&mut self, other: &Counts) {
-        assert_eq!(self.width, other.width, "cannot merge counts of different widths");
+        assert_eq!(
+            self.width, other.width,
+            "cannot merge counts of different widths"
+        );
         for (&s, &c) in &other.table {
             *self.table.entry(s).or_insert(0) += c;
             self.total += c;

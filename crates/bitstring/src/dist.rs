@@ -46,14 +46,25 @@ impl Distribution {
         let mut probs: HashMap<BitString, f64> = HashMap::new();
         let mut total = 0.0;
         for (s, w) in weights {
-            assert_eq!(s.len(), width, "outcome width {} != distribution width {width}", s.len());
-            assert!(w.is_finite() && w >= 0.0, "weight {w} for {s} is not a finite non-negative number");
+            assert_eq!(
+                s.len(),
+                width,
+                "outcome width {} != distribution width {width}",
+                s.len()
+            );
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight {w} for {s} is not a finite non-negative number"
+            );
             if w > 0.0 {
                 *probs.entry(s).or_insert(0.0) += w;
                 total += w;
             }
         }
-        assert!(total > 0.0, "cannot normalise a distribution with zero total mass");
+        assert!(
+            total > 0.0,
+            "cannot normalise a distribution with zero total mass"
+        );
         for p in probs.values_mut() {
             *p /= total;
         }
@@ -75,9 +86,15 @@ impl Distribution {
     /// paper's circuits are 4–15 qubits).
     #[must_use]
     pub fn uniform(width: usize) -> Self {
-        assert!(width <= 24, "dense uniform distribution over {width} qubits is too large");
+        assert!(
+            width <= 24,
+            "dense uniform distribution over {width} qubits is too large"
+        );
         let n = 1u64 << width;
-        Self::from_probs(width, (0..n).map(|v| (BitString::from_value(v as u128, width), 1.0)))
+        Self::from_probs(
+            width,
+            (0..n).map(|v| (BitString::from_value(v as u128, width), 1.0)),
+        )
     }
 
     /// The outcome width in bits.
@@ -226,7 +243,10 @@ impl Distribution {
     /// Panics if the widths differ.
     #[must_use]
     pub fn kl_divergence(&self, other: &Distribution) -> f64 {
-        assert_eq!(self.width, other.width, "KL divergence requires equal widths");
+        assert_eq!(
+            self.width, other.width,
+            "KL divergence requires equal widths"
+        );
         let mut acc = 0.0;
         for (s, p) in self.iter() {
             let q = other.prob(s);
@@ -285,7 +305,8 @@ mod tests {
 
     #[test]
     fn from_probs_normalises_and_merges() {
-        let d = Distribution::from_probs(2, vec![(bs("00"), 2.0), (bs("00"), 2.0), (bs("11"), 4.0)]);
+        let d =
+            Distribution::from_probs(2, vec![(bs("00"), 2.0), (bs("00"), 2.0), (bs("11"), 4.0)]);
         assert!((d.prob(&bs("00")) - 0.5).abs() < 1e-12);
         assert!((d.total_mass() - 1.0).abs() < 1e-12);
         assert_eq!(d.support_size(), 2);
@@ -371,7 +392,8 @@ mod tests {
 
     #[test]
     fn to_counts_sums_exactly() {
-        let d = Distribution::from_probs(2, vec![(bs("00"), 1.0), (bs("01"), 1.0), (bs("10"), 1.0)]);
+        let d =
+            Distribution::from_probs(2, vec![(bs("00"), 1.0), (bs("01"), 1.0), (bs("10"), 1.0)]);
         let c = d.to_counts(1000);
         assert_eq!(c.total(), 1000);
         // Each outcome gets 333 or 334.

@@ -29,7 +29,10 @@ impl fmt::Display for ParseBitStringError {
         match self {
             Self::Empty => write!(f, "empty bit-string"),
             Self::InvalidChar { ch, index } => {
-                write!(f, "invalid character {ch:?} at index {index}, expected '0' or '1'")
+                write!(
+                    f,
+                    "invalid character {ch:?} at index {index}, expected '0' or '1'"
+                )
             }
             Self::TooLong { len, max } => {
                 write!(f, "bit-string of length {len} exceeds the maximum of {max}")

@@ -48,7 +48,10 @@ pub fn shannon_entropy(p: &Distribution) -> f64 {
 /// Panics if widths differ or `observed` is empty.
 #[must_use]
 pub fn expected_hamming_distance(observed: &Counts, reference: &BitString) -> f64 {
-    observed.to_distribution().hamming_spectrum(reference).expected_distance()
+    observed
+        .to_distribution()
+        .hamming_spectrum(reference)
+        .expected_distance()
 }
 
 /// Expected Hamming distance of the *errors only* — mass at distance 0 is

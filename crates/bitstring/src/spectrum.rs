@@ -66,7 +66,10 @@ impl HammingSpectrum {
         for (s, p) in dist.iter() {
             mass[reference.hamming_distance(s) as usize] += p;
         }
-        Self { reference: *reference, mass }
+        Self {
+            reference: *reference,
+            mass,
+        }
     }
 
     /// Buckets raw counts by distance from `reference`.
@@ -100,7 +103,10 @@ impl HammingSpectrum {
         let mut mass = vec![0.0; reference.len() + 1];
         let mut total = 0.0;
         for (k, &m) in masses.iter().enumerate() {
-            assert!(m.is_finite() && m >= 0.0, "mass {m} at distance {k} is invalid");
+            assert!(
+                m.is_finite() && m >= 0.0,
+                "mass {m} at distance {k} is invalid"
+            );
             mass[k] = m;
             total += m;
         }
@@ -139,7 +145,11 @@ impl HammingSpectrum {
     /// The Expected Hamming Distance `E[d] = Σ_k k · mass(k)`.
     #[must_use]
     pub fn expected_distance(&self) -> f64 {
-        self.mass.iter().enumerate().map(|(k, &m)| k as f64 * m).sum()
+        self.mass
+            .iter()
+            .enumerate()
+            .map(|(k, &m)| k as f64 * m)
+            .sum()
     }
 
     /// Variance of the Hamming distance distribution.
@@ -181,7 +191,10 @@ impl HammingSpectrum {
         for m in &mut mass {
             *m /= err_mass;
         }
-        Some(Self { reference: self.reference, mass })
+        Some(Self {
+            reference: self.reference,
+            mass,
+        })
     }
 
     /// Converts the spectrum to a [`Distribution`] over distances encoded
@@ -232,7 +245,10 @@ mod tests {
         // §2.4: pure noise has EHD n/2.
         for n in [2usize, 4, 6] {
             let spec = Distribution::uniform(n).hamming_spectrum(&BitString::zeros(n));
-            assert!((spec.expected_distance() - n as f64 / 2.0).abs() < 1e-9, "n = {n}");
+            assert!(
+                (spec.expected_distance() - n as f64 / 2.0).abs() < 1e-9,
+                "n = {n}"
+            );
         }
     }
 

@@ -101,7 +101,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let r = pearson(xs, ys)?;
-    Some(LinearFit { slope, intercept, r_squared: r * r })
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared: r * r,
+    })
 }
 
 /// The `q`-th percentile (0 ≤ q ≤ 100) by linear interpolation between
@@ -112,7 +116,10 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
 /// Panics if `q` is outside `[0, 100]` or any value is NaN.
 #[must_use]
 pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&q), "percentile {q} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile {q} outside [0, 100]"
+    );
     if xs.is_empty() {
         return None;
     }

@@ -93,8 +93,14 @@ impl Circuit {
     pub fn set_measured(&mut self, qubits: Vec<u32>) -> &mut Self {
         assert!(!qubits.is_empty(), "at least one qubit must be measured");
         for (i, &q) in qubits.iter().enumerate() {
-            assert!((q as usize) < self.num_qubits, "measured qubit {q} out of range");
-            assert!(!qubits[i + 1..].contains(&q), "duplicate measured qubit {q}");
+            assert!(
+                (q as usize) < self.num_qubits,
+                "measured qubit {q} out of range"
+            );
+            assert!(
+                !qubits[i + 1..].contains(&q),
+                "duplicate measured qubit {q}"
+            );
         }
         self.measured = qubits;
         self
@@ -170,7 +176,10 @@ impl Circuit {
     /// in the λ model.
     #[must_use]
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.gate().is_multi_qubit()).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.gate().is_multi_qubit())
+            .count()
     }
 
     /// Gate counts keyed by mnemonic, sorted by name (deterministic).
@@ -190,7 +199,13 @@ impl Circuit {
         let mut frontier = vec![0usize; self.num_qubits];
         let mut depth = 0;
         for inst in &self.instructions {
-            let layer = inst.qubits().iter().map(|&q| frontier[q as usize]).max().unwrap_or(0) + 1;
+            let layer = inst
+                .qubits()
+                .iter()
+                .map(|&q| frontier[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for &q in inst.qubits() {
                 frontier[q as usize] = layer;
             }
@@ -236,7 +251,11 @@ impl Circuit {
                 out.push_str(&format!(
                     "{}({})",
                     g.name(),
-                    params.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(",")
+                    params
+                        .iter()
+                        .map(|p| format!("{p}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
                 ));
             }
             out.push(' ');

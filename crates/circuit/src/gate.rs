@@ -310,7 +310,16 @@ mod tests {
 
     #[test]
     fn self_inverse_gates() {
-        for g in [Gate::H, Gate::X, Gate::Y, Gate::Z, Gate::CX, Gate::CZ, Gate::SWAP, Gate::CCX] {
+        for g in [
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::CX,
+            Gate::CZ,
+            Gate::SWAP,
+            Gate::CCX,
+        ] {
             assert_eq!(g.inverse(), g);
         }
     }
@@ -357,6 +366,8 @@ mod tests {
     fn display_forms() {
         assert_eq!(Gate::H.to_string(), "h");
         assert_eq!(Gate::RZ(0.5).to_string(), "rz(0.500000)");
-        assert!(Gate::U(1.0, 2.0, 3.0).to_string().starts_with("u(1.000000, 2.000000"));
+        assert!(Gate::U(1.0, 2.0, 3.0)
+            .to_string()
+            .starts_with("u(1.000000, 2.000000"));
     }
 }

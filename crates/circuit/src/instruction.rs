@@ -66,13 +66,20 @@ impl Instruction {
     /// Highest qubit index touched.
     #[must_use]
     pub fn max_qubit(&self) -> u32 {
-        *self.qubits.iter().max().expect("every gate touches at least one qubit")
+        *self
+            .qubits
+            .iter()
+            .max()
+            .expect("every gate touches at least one qubit")
     }
 
     /// The inverse instruction (same qubits, inverse gate).
     #[must_use]
     pub fn inverse(&self) -> Self {
-        Self { gate: self.gate.inverse(), qubits: self.qubits.clone() }
+        Self {
+            gate: self.gate.inverse(),
+            qubits: self.qubits.clone(),
+        }
     }
 
     /// Whether this instruction acts on `q`.

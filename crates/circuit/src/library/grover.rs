@@ -28,7 +28,10 @@ use crate::Circuit;
 #[must_use]
 pub fn grover(marked: &BitString, iterations: usize) -> Circuit {
     let n = marked.len();
-    assert!((1..=3).contains(&n), "this Grover construction supports 1–3 qubits, got {n}");
+    assert!(
+        (1..=3).contains(&n),
+        "this Grover construction supports 1–3 qubits, got {n}"
+    );
     assert!(iterations > 0, "Grover needs at least one iteration");
     let mut c = Circuit::new(n, format!("grover_n{n}_{marked}"));
     for q in 0..n as u32 {
@@ -55,8 +58,10 @@ pub fn grover(marked: &BitString, iterations: usize) -> Circuit {
 /// the 0 bits, then Z / CZ / CCZ on all qubits.
 fn phase_flip_all_ones(c: &mut Circuit, pattern: &BitString, conjugate: bool) {
     let n = pattern.len();
-    let zero_bits: Vec<u32> =
-        (0..n).filter(|&q| !pattern.bit(q)).map(|q| q as u32).collect();
+    let zero_bits: Vec<u32> = (0..n)
+        .filter(|&q| !pattern.bit(q))
+        .map(|q| q as u32)
+        .collect();
     if conjugate {
         for &q in &zero_bits {
             c.x(q);

@@ -103,7 +103,11 @@ mod tests {
         for entry in qasmbench_suite() {
             let c = entry.circuit();
             assert!(c.gate_count() > 0, "{} is empty", entry.label());
-            assert!(c.num_qubits() >= 3 && c.num_qubits() <= 5, "{}", entry.label());
+            assert!(
+                c.num_qubits() >= 3 && c.num_qubits() <= 5,
+                "{}",
+                entry.label()
+            );
         }
     }
 }

@@ -34,7 +34,11 @@ pub fn deutsch_jozsa(n: usize, balanced: Option<BitString>) -> Circuit {
         assert!(mask.hamming_weight() > 0, "zero mask is a constant oracle");
     }
     let anc = n as u32;
-    let kind = if balanced.is_some() { "balanced" } else { "constant" };
+    let kind = if balanced.is_some() {
+        "balanced"
+    } else {
+        "constant"
+    };
     let mut c = Circuit::new(n + 1, format!("dj_n{n}_{kind}"));
     c.x(anc).h(anc);
     for q in 0..n as u32 {
@@ -82,8 +86,14 @@ pub fn deutsch_jozsa(n: usize, balanced: Option<BitString>) -> Circuit {
 #[must_use]
 pub fn simon(period: &BitString) -> Circuit {
     let n = period.len();
-    assert!(n > 0 && n <= 8, "Simon construction supports 1–8 bit periods, got {n}");
-    assert!(period.hamming_weight() > 0, "Simon's problem needs a non-zero period");
+    assert!(
+        n > 0 && n <= 8,
+        "Simon construction supports 1–8 bit periods, got {n}"
+    );
+    assert!(
+        period.hamming_weight() > 0,
+        "Simon's problem needs a non-zero period"
+    );
     let mut c = Circuit::new(2 * n, format!("simon_n{n}_{period}"));
     for q in 0..n as u32 {
         c.h(q);

@@ -26,7 +26,10 @@ impl QasmBenchEntry {
     /// Bundles a label with its circuit.
     #[must_use]
     pub fn new(label: impl Into<String>, circuit: Circuit) -> Self {
-        Self { label: label.into(), circuit }
+        Self {
+            label: label.into(),
+            circuit,
+        }
     }
 
     /// The figure-tick label (e.g. `"Cat State N4"`).
@@ -222,9 +225,18 @@ mod tests {
 
     #[test]
     fn kernels_entangle() {
-        for c in [basis_change_n3(), basis_trotter_n4(), hs4_n4(), linearsolver_n3(), variational_n4()]
-        {
-            assert!(c.two_qubit_gate_count() > 0, "{} has no entanglers", c.name());
+        for c in [
+            basis_change_n3(),
+            basis_trotter_n4(),
+            hs4_n4(),
+            linearsolver_n3(),
+            variational_n4(),
+        ] {
+            assert!(
+                c.two_qubit_gate_count() > 0,
+                "{} has no entanglers",
+                c.name()
+            );
         }
     }
 }

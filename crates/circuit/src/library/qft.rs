@@ -74,8 +74,12 @@ mod tests {
         iqft(&mut both, 0, 3);
         // The composition must match qft followed by its inverse.
         let manual_inv = fwd.inverse();
-        let expected: Vec<_> =
-            fwd.instructions().iter().chain(manual_inv.instructions()).cloned().collect();
+        let expected: Vec<_> = fwd
+            .instructions()
+            .iter()
+            .chain(manual_inv.instructions())
+            .cloned()
+            .collect();
         assert_eq!(both.instructions(), &expected[..]);
     }
 

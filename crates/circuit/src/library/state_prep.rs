@@ -96,8 +96,7 @@ mod tests {
         let t: BitString = "101".parse().unwrap();
         let c = prepare_basis_state(&t);
         assert_eq!(c.gate_count(), 2);
-        let touched: Vec<u32> =
-            c.instructions().iter().map(|i| i.qubits()[0]).collect();
+        let touched: Vec<u32> = c.instructions().iter().map(|i| i.qubits()[0]).collect();
         assert_eq!(touched, vec![0, 2]);
     }
 

@@ -54,8 +54,12 @@ impl Error for ParseQasmError {}
 fn parse_operand(token: &str, qreg: &str, line: usize) -> Result<u32, ParseQasmError> {
     let token = token.trim();
     let malformed = |reason: String| ParseQasmError::Malformed { line, reason };
-    let open = token.find('[').ok_or_else(|| malformed(format!("bad operand '{token}'")))?;
-    let close = token.find(']').ok_or_else(|| malformed(format!("bad operand '{token}'")))?;
+    let open = token
+        .find('[')
+        .ok_or_else(|| malformed(format!("bad operand '{token}'")))?;
+    let close = token
+        .find(']')
+        .ok_or_else(|| malformed(format!("bad operand '{token}'")))?;
     if &token[..open] != qreg {
         return Err(malformed(format!("unknown register in '{token}'")));
     }
@@ -69,8 +73,7 @@ fn parse_operand(token: &str, qreg: &str, line: usize) -> Result<u32, ParseQasmE
 /// and QASMBench files use, e.g. `-pi/4`, `0.5*pi`, `1.2566`).
 fn parse_param(expr: &str, line: usize) -> Result<f64, ParseQasmError> {
     let expr = expr.trim();
-    let malformed =
-        |reason: String| ParseQasmError::Malformed { line, reason };
+    let malformed = |reason: String| ParseQasmError::Malformed { line, reason };
     let atom = |s: &str| -> Result<f64, ParseQasmError> {
         let s = s.trim();
         let (neg, body) = match s.strip_prefix('-') {
@@ -80,7 +83,8 @@ fn parse_param(expr: &str, line: usize) -> Result<f64, ParseQasmError> {
         let v = if body == "pi" {
             std::f64::consts::PI
         } else {
-            body.parse::<f64>().map_err(|_| malformed(format!("bad parameter '{s}'")))?
+            body.parse::<f64>()
+                .map_err(|_| malformed(format!("bad parameter '{s}'")))?
         };
         Ok(if neg { -v } else { v })
     };
@@ -97,7 +101,10 @@ fn parse_param(expr: &str, line: usize) -> Result<f64, ParseQasmError> {
 fn make_gate(name: &str, params: &[f64], line: usize) -> Result<Gate, ParseQasmError> {
     let wrong_arity = |expected: usize| ParseQasmError::Malformed {
         line,
-        reason: format!("gate {name} expects {expected} parameter(s), got {}", params.len()),
+        reason: format!(
+            "gate {name} expects {expected} parameter(s), got {}",
+            params.len()
+        ),
     };
     let p0 = || params.first().copied().ok_or_else(|| wrong_arity(1));
     let gate = match name {
@@ -137,7 +144,10 @@ fn make_gate(name: &str, params: &[f64], line: usize) -> Result<Gate, ParseQasmE
         "ccx" => Gate::CCX,
         "cswap" => Gate::CSWAP,
         other => {
-            return Err(ParseQasmError::UnknownGate { line, name: other.to_string() })
+            return Err(ParseQasmError::UnknownGate {
+                line,
+                name: other.to_string(),
+            })
         }
     };
     if gate.params().len() != params.len() {
@@ -223,9 +233,13 @@ pub fn from_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
                     reason: "bad qreg".into(),
                 })?;
                 qreg_name = rest[..open].trim().to_string();
-                let n: usize = rest[open + 1..close].parse().map_err(|_| {
-                    ParseQasmError::Malformed { line: line_no, reason: "bad qreg size".into() }
-                })?;
+                let n: usize =
+                    rest[open + 1..close]
+                        .parse()
+                        .map_err(|_| ParseQasmError::Malformed {
+                            line: line_no,
+                            reason: "bad qreg size".into(),
+                        })?;
                 circuit = Some(Circuit::new(n, name.clone()));
                 continue;
             }
@@ -233,8 +247,7 @@ pub fn from_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
                 continue;
             }
             if let Some(rest) = stmt.strip_prefix("measure") {
-                let circuit_ref =
-                    circuit.as_ref().ok_or(ParseQasmError::MissingQreg)?;
+                let circuit_ref = circuit.as_ref().ok_or(ParseQasmError::MissingQreg)?;
                 let parts: Vec<&str> = rest.split("->").collect();
                 if parts.len() != 2 {
                     return Err(ParseQasmError::Malformed {
@@ -252,9 +265,13 @@ pub fn from_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
                     line: line_no,
                     reason: "bad classical operand".into(),
                 })?;
-                let cbit: usize = cbit_tok[open + 1..close].parse().map_err(|_| {
-                    ParseQasmError::Malformed { line: line_no, reason: "bad classical index".into() }
-                })?;
+                let cbit: usize =
+                    cbit_tok[open + 1..close]
+                        .parse()
+                        .map_err(|_| ParseQasmError::Malformed {
+                            line: line_no,
+                            reason: "bad classical index".into(),
+                        })?;
                 if (q as usize) >= circuit_ref.num_qubits() {
                     return Err(ParseQasmError::Malformed {
                         line: line_no,
@@ -365,11 +382,26 @@ mod tests {
         }
         for original in circuits {
             let qasm = original.to_qasm();
-            let parsed = from_qasm(&qasm)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{qasm}", original.name()));
-            assert_eq!(parsed.num_qubits(), original.num_qubits(), "{}", original.name());
-            assert_eq!(parsed.instructions(), original.instructions(), "{}", original.name());
-            assert_eq!(parsed.measured(), original.measured(), "{}", original.name());
+            let parsed =
+                from_qasm(&qasm).unwrap_or_else(|e| panic!("{}: {e}\n{qasm}", original.name()));
+            assert_eq!(
+                parsed.num_qubits(),
+                original.num_qubits(),
+                "{}",
+                original.name()
+            );
+            assert_eq!(
+                parsed.instructions(),
+                original.instructions(),
+                "{}",
+                original.name()
+            );
+            assert_eq!(
+                parsed.measured(),
+                original.measured(),
+                "{}",
+                original.name()
+            );
             assert_eq!(parsed.name(), original.name());
         }
     }
@@ -378,7 +410,11 @@ mod tests {
     fn parses_pi_expressions() {
         let src = "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(0.5*pi) q[0];\nrz(pi) q[0];\n";
         let c = from_qasm(src).unwrap();
-        let angles: Vec<f64> = c.instructions().iter().flat_map(|i| i.gate().params()).collect();
+        let angles: Vec<f64> = c
+            .instructions()
+            .iter()
+            .flat_map(|i| i.gate().params())
+            .collect();
         let pi = std::f64::consts::PI;
         assert!((angles[0] - pi / 2.0).abs() < 1e-12);
         assert!((angles[1] + pi / 4.0).abs() < 1e-12);
@@ -405,19 +441,28 @@ mod tests {
 
     #[test]
     fn rejects_missing_header() {
-        assert_eq!(from_qasm("qreg q[2];\n"), Err(ParseQasmError::MissingHeader));
+        assert_eq!(
+            from_qasm("qreg q[2];\n"),
+            Err(ParseQasmError::MissingHeader)
+        );
     }
 
     #[test]
     fn rejects_unknown_gate() {
         let src = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
-        assert!(matches!(from_qasm(src), Err(ParseQasmError::UnknownGate { .. })));
+        assert!(matches!(
+            from_qasm(src),
+            Err(ParseQasmError::UnknownGate { .. })
+        ));
     }
 
     #[test]
     fn rejects_wrong_operand_count() {
         let src = "OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n";
-        assert!(matches!(from_qasm(src), Err(ParseQasmError::Malformed { .. })));
+        assert!(matches!(
+            from_qasm(src),
+            Err(ParseQasmError::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -434,7 +479,8 @@ mod tests {
 
     #[test]
     fn barrier_and_comments_ignored() {
-        let src = "OPENQASM 2.0;\n// a comment\nqreg q[2];\nbarrier q[0],q[1];\nh q[0]; // trailing\n";
+        let src =
+            "OPENQASM 2.0;\n// a comment\nqreg q[2];\nbarrier q[0],q[1];\nh q[0]; // trailing\n";
         let c = from_qasm(src).unwrap();
         assert_eq!(c.gate_count(), 1);
     }

@@ -63,14 +63,13 @@ fn triple(n: u32) -> impl Strategy<Value = (u32, u32, u32)> {
 }
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (4usize..=6, proptest::collection::vec(arb_gate(4), 0..25))
-        .prop_map(|(n, gates)| {
-            let mut c = Circuit::new(n, "roundtrip");
-            for (g, qs) in gates {
-                c.apply(g, &qs);
-            }
-            c
-        })
+    (4usize..=6, proptest::collection::vec(arb_gate(4), 0..25)).prop_map(|(n, gates)| {
+        let mut c = Circuit::new(n, "roundtrip");
+        for (g, qs) in gates {
+            c.apply(g, &qs);
+        }
+        c
+    })
 }
 
 proptest! {

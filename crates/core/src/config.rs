@@ -123,12 +123,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_invalid() {
-        QBeepConfig { iterations: 0, ..QBeepConfig::default() }.validate();
+        QBeepConfig {
+            iterations: 0,
+            ..QBeepConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "outside (0, 1)")]
     fn bad_epsilon_invalid() {
-        QBeepConfig { epsilon: 0.0, ..QBeepConfig::default() }.validate();
+        QBeepConfig {
+            epsilon: 0.0,
+            ..QBeepConfig::default()
+        }
+        .validate();
     }
 }

@@ -12,9 +12,45 @@
 //! `η = 1/n`. Total observation count is conserved exactly.
 
 use qbeep_bitstring::{BitString, Counts, Distribution};
+use serde::{Deserialize, Serialize};
 
 use crate::config::{Kernel, QBeepConfig};
 use crate::model::{binomial_pmf, poisson_pmf};
+
+/// Relative threshold for early-convergence detection: an iteration
+/// whose largest single-node count change falls below this fraction of
+/// the total observation count is considered converged. Detection is
+/// *observational only* — the loop still runs its configured length,
+/// so results are bit-identical with diagnostics on or off.
+pub const CONVERGENCE_RTOL: f64 = 1e-6;
+
+/// What one reclassification step moved (Algorithm 1 observability).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Net observation mass that changed owners this step (the sum of
+    /// positive per-node count deltas).
+    pub mass_moved: f64,
+    /// Largest absolute single-node count change this step.
+    pub max_node_delta: f64,
+}
+
+/// Per-run diagnostics of the iteration loop (the Fig. 7c convergence
+/// story in machine-readable form).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IterationDiagnostics {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Net mass moved per iteration (length = `iterations`).
+    pub mass_moved: Vec<f64>,
+    /// Largest absolute single-node delta per iteration.
+    pub max_node_delta: Vec<f64>,
+    /// First 1-based iteration whose `max_node_delta` fell below
+    /// [`CONVERGENCE_RTOL`] × total count, if any.
+    pub converged_at: Option<usize>,
+    /// Total observation count after the final iteration, recomputed
+    /// from the nodes (conservation check: equals the input total).
+    pub total_count: f64,
+}
 
 /// One vertex of the state graph.
 ///
@@ -68,6 +104,9 @@ pub struct StateGraph {
     config: QBeepConfig,
     /// Number of iterations already applied (learning-rate position).
     steps_done: usize,
+    /// Vertex pairs whose kernel weight fell below ε at build time
+    /// (candidate edges pruned by the §3.4 scalability guard).
+    pruned_pairs: usize,
 }
 
 impl StateGraph {
@@ -83,7 +122,10 @@ impl StateGraph {
     /// config is invalid.
     #[must_use]
     pub fn build(counts: &Counts, lambda: f64, config: &QBeepConfig) -> Self {
-        assert!(!counts.is_empty(), "cannot build a state graph from zero shots");
+        assert!(
+            !counts.is_empty(),
+            "cannot build a state graph from zero shots"
+        );
         assert!(lambda.is_finite() && lambda >= 0.0, "invalid λ {lambda}");
         config.validate();
         let width = counts.width();
@@ -93,7 +135,11 @@ impl StateGraph {
         let nodes: Vec<Node> = counts
             .sorted_by_count()
             .into_iter()
-            .map(|(bits, c)| Node { bits, count: c as f64, prob: c as f64 / total_shots })
+            .map(|(bits, c)| Node {
+                bits,
+                count: c as f64,
+                prob: c as f64 / total_shots,
+            })
             .collect();
         let total: f64 = nodes.iter().map(|n| n.count).sum();
 
@@ -110,6 +156,7 @@ impl StateGraph {
         let allowed: Vec<f64> = (0..=width).map(weight_at).collect();
 
         let mut edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
+        let mut pruned_pairs = 0usize;
         for i in 0..nodes.len() {
             for j in i + 1..nodes.len() {
                 let k = nodes[i].bits.hamming_distance(&nodes[j].bits) as usize;
@@ -117,11 +164,21 @@ impl StateGraph {
                 if w >= config.epsilon {
                     edges[i].push((j, w));
                     edges[j].push((i, w));
+                } else {
+                    pruned_pairs += 1;
                 }
             }
         }
 
-        Self { width, total, nodes, edges, config: *config, steps_done: 0 }
+        Self {
+            width,
+            total,
+            nodes,
+            edges,
+            config: *config,
+            steps_done: 0,
+            pruned_pairs,
+        }
     }
 
     /// Outcome width in bits.
@@ -148,9 +205,27 @@ impl StateGraph {
         self.total
     }
 
+    /// Candidate vertex pairs the ε threshold pruned at build time.
+    /// `num_edges() + pruned_pairs()` equals the full
+    /// `V·(V−1)/2` candidate count.
+    #[must_use]
+    pub fn pruned_pairs(&self) -> usize {
+        self.pruned_pairs
+    }
+
     /// Runs one reclassification step (Algorithm 1's inner loop) at the
     /// next learning-rate position.
     pub fn step(&mut self) {
+        let _ = self.step_with_stats();
+    }
+
+    /// As [`step`](Self::step), additionally reporting what moved.
+    ///
+    /// The stats are derived from the per-node delta vector the update
+    /// already computes — an O(V) postlude to the O(V·r) flow loops —
+    /// and the count arithmetic is untouched, so stepping with or
+    /// without stats is bit-identical.
+    pub fn step_with_stats(&mut self) -> StepStats {
         self.steps_done += 1;
         let eta = self.config.learning_rate.at(self.steps_done);
         let n = self.nodes.len();
@@ -161,12 +236,12 @@ impl StateGraph {
             eta * w * self.nodes[a].count * (self.nodes[b].prob / self.nodes[a].prob)
         };
         let mut raw_outflow = vec![0.0f64; n];
-        for a in 0..n {
+        for (a, out) in raw_outflow.iter_mut().enumerate() {
             if self.nodes[a].count <= 0.0 {
                 continue;
             }
             for &(b, w) in &self.edges[a] {
-                raw_outflow[a] += flow(a, b, w);
+                *out += flow(a, b, w);
             }
         }
 
@@ -208,25 +283,70 @@ impl StateGraph {
                 node.count = 0.0;
             }
         }
+
+        let mut mass_moved = 0.0;
+        let mut max_node_delta = 0.0f64;
+        for &d in &delta {
+            if d > 0.0 {
+                mass_moved += d;
+            }
+            max_node_delta = max_node_delta.max(d.abs());
+        }
+        StepStats {
+            mass_moved,
+            max_node_delta,
+        }
     }
 
     /// Runs the configured number of iterations.
     pub fn iterate(&mut self) {
-        for _ in 0..self.config.iterations {
-            self.step();
+        let _ = self.iterate_diagnosed();
+    }
+
+    /// Runs the configured iterations, collecting the per-iteration
+    /// movement diagnostics.
+    pub fn iterate_diagnosed(&mut self) -> IterationDiagnostics {
+        let mut diag = IterationDiagnostics::default();
+        let tol = CONVERGENCE_RTOL * self.total.max(1.0);
+        for n in 1..=self.config.iterations {
+            let stats = self.step_with_stats();
+            diag.mass_moved.push(stats.mass_moved);
+            diag.max_node_delta.push(stats.max_node_delta);
+            if diag.converged_at.is_none() && stats.max_node_delta < tol {
+                diag.converged_at = Some(n);
+            }
         }
+        diag.iterations = self.config.iterations;
+        diag.total_count = self.nodes.iter().map(|n| n.count).sum();
+        diag
     }
 
     /// Runs the configured iterations, returning the distribution after
     /// each step — the per-iteration trace of Fig. 7c.
     #[must_use]
     pub fn iterate_tracked(&mut self) -> Vec<Distribution> {
-        (0..self.config.iterations)
-            .map(|_| {
-                self.step();
+        self.iterate_tracked_diagnosed().0
+    }
+
+    /// As [`iterate_tracked`](Self::iterate_tracked), also collecting
+    /// the movement diagnostics.
+    pub fn iterate_tracked_diagnosed(&mut self) -> (Vec<Distribution>, IterationDiagnostics) {
+        let mut diag = IterationDiagnostics::default();
+        let tol = CONVERGENCE_RTOL * self.total.max(1.0);
+        let trace = (1..=self.config.iterations)
+            .map(|n| {
+                let stats = self.step_with_stats();
+                diag.mass_moved.push(stats.mass_moved);
+                diag.max_node_delta.push(stats.max_node_delta);
+                if diag.converged_at.is_none() && stats.max_node_delta < tol {
+                    diag.converged_at = Some(n);
+                }
                 self.distribution()
             })
-            .collect()
+            .collect();
+        diag.iterations = self.config.iterations;
+        diag.total_count = self.nodes.iter().map(|n| n.count).sum();
+        (trace, diag)
     }
 
     /// The current (mitigated) probability distribution.
@@ -239,14 +359,20 @@ impl StateGraph {
     pub fn distribution(&self) -> Distribution {
         Distribution::from_probs(
             self.width,
-            self.nodes.iter().filter(|n| n.count > 0.0).map(|n| (n.bits, n.count)),
+            self.nodes
+                .iter()
+                .filter(|n| n.count > 0.0)
+                .map(|n| (n.bits, n.count)),
         )
     }
 
     /// The current count attached to `bits` (0 when absent).
     #[must_use]
     pub fn count_of(&self, bits: &BitString) -> f64 {
-        self.nodes.iter().find(|n| &n.bits == bits).map_or(0.0, |n| n.count)
+        self.nodes
+            .iter()
+            .find(|n| &n.bits == bits)
+            .map_or(0.0, |n| n.count)
     }
 }
 
@@ -285,7 +411,10 @@ mod tests {
 
     #[test]
     fn epsilon_prunes_edges() {
-        let tight = QBeepConfig { epsilon: 0.2, ..QBeepConfig::default() };
+        let tight = QBeepConfig {
+            epsilon: 0.2,
+            ..QBeepConfig::default()
+        };
         let g = StateGraph::build(&fig5_counts(), 0.8, &tight);
         // Only distance-1 pairs (weight ≈ 0.359) survive ε = 0.2.
         assert_eq!(g.num_edges(), 4);
@@ -297,7 +426,10 @@ mod tests {
         let before = g.total_count();
         g.iterate();
         let after: f64 = g.nodes.iter().map(|n| n.count).sum();
-        assert!((after - before).abs() < 1e-6, "before {before}, after {after}");
+        assert!(
+            (after - before).abs() < 1e-6,
+            "before {before}, after {after}"
+        );
     }
 
     #[test]
@@ -319,6 +451,60 @@ mod tests {
     }
 
     #[test]
+    fn pruned_pairs_complement_edges() {
+        let g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        assert_eq!(g.num_edges() + g.pruned_pairs(), 5 * 4 / 2);
+        let tight = QBeepConfig {
+            epsilon: 0.2,
+            ..QBeepConfig::default()
+        };
+        let g = StateGraph::build(&fig5_counts(), 0.8, &tight);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.pruned_pairs(), 6);
+    }
+
+    #[test]
+    fn diagnostics_report_movement_and_conservation() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let diag = g.iterate_diagnosed();
+        assert_eq!(diag.iterations, 20);
+        assert_eq!(diag.mass_moved.len(), 20);
+        assert_eq!(diag.max_node_delta.len(), 20);
+        assert!((diag.total_count - 1000.0).abs() < 1e-6);
+        assert!(diag.mass_moved[0] > 0.0, "first iteration moves mass");
+        // 1/n damping: late movement below early movement.
+        assert!(diag.mass_moved[19] < diag.mass_moved[0]);
+    }
+
+    #[test]
+    fn diagnosed_iteration_matches_plain_iteration() {
+        let mut plain = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let mut diagnosed = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        plain.iterate();
+        let _ = diagnosed.iterate_diagnosed();
+        assert_eq!(plain.distribution(), diagnosed.distribution());
+    }
+
+    #[test]
+    fn tracked_diagnostics_agree_with_untracked() {
+        let mut a = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let mut b = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let da = a.iterate_diagnosed();
+        let (trace, db) = b.iterate_tracked_diagnosed();
+        assert_eq!(da, db);
+        assert_eq!(trace.len(), 20);
+    }
+
+    #[test]
+    fn isolated_node_converges_immediately() {
+        let counts = Counts::from_pairs(3, vec![(bs("101"), 100)]);
+        let mut g = StateGraph::build(&counts, 1.0, &QBeepConfig::default());
+        let diag = g.iterate_diagnosed();
+        assert_eq!(diag.converged_at, Some(1));
+        assert_eq!(diag.mass_moved, vec![0.0; 20]);
+    }
+
+    #[test]
     fn single_node_graph_is_stable() {
         let counts = Counts::from_pairs(3, vec![(bs("101"), 100)]);
         let mut g = StateGraph::build(&counts, 1.0, &QBeepConfig::default());
@@ -333,7 +519,12 @@ mod tests {
         // independent.
         let counts = Counts::from_pairs(
             6,
-            vec![(bs("000000"), 400), (bs("000001"), 100), (bs("111111"), 300), (bs("111110"), 100)],
+            vec![
+                (bs("000000"), 400),
+                (bs("000001"), 100),
+                (bs("111111"), 300),
+                (bs("111110"), 100),
+            ],
         );
         let mut g = StateGraph::build(&counts, 0.3, &QBeepConfig::default());
         let cluster_a_before = 500.0;
@@ -382,7 +573,10 @@ mod tests {
 
     #[test]
     fn binomial_kernel_also_works() {
-        let cfg = QBeepConfig { kernel: Kernel::Binomial, ..QBeepConfig::default() };
+        let cfg = QBeepConfig {
+            kernel: Kernel::Binomial,
+            ..QBeepConfig::default()
+        };
         let mut g = StateGraph::build(&fig5_counts(), 0.8, &cfg);
         g.iterate();
         assert!(g.distribution().prob(&bs("0000")) > 0.6);

@@ -25,7 +25,10 @@ pub struct HammerConfig {
 
 impl Default for HammerConfig {
     fn default() -> Self {
-        Self { max_distance: 2, decay: 0.5 }
+        Self {
+            max_distance: 2,
+            decay: 0.5,
+        }
     }
 }
 
@@ -36,8 +39,15 @@ impl HammerConfig {
     ///
     /// Panics if `max_distance == 0` or `decay` outside `(0, 1]`.
     pub fn validate(&self) {
-        assert!(self.max_distance > 0, "neighbourhood must reach distance ≥ 1");
-        assert!(self.decay > 0.0 && self.decay <= 1.0, "decay {} outside (0, 1]", self.decay);
+        assert!(
+            self.max_distance > 0,
+            "neighbourhood must reach distance ≥ 1"
+        );
+        assert!(
+            self.decay > 0.0 && self.decay <= 1.0,
+            "decay {} outside (0, 1]",
+            self.decay
+        );
     }
 }
 
@@ -110,7 +120,12 @@ mod tests {
         // string's distance-2 neighbourhood.
         let counts = Counts::from_pairs(
             4,
-            vec![(bs("0000"), 400), (bs("0001"), 150), (bs("0010"), 150), (bs("1111"), 300)],
+            vec![
+                (bs("0000"), 400),
+                (bs("0001"), 150),
+                (bs("0010"), 150),
+                (bs("1111"), 300),
+            ],
         );
         let d = hammer_mitigate(&counts, &HammerConfig::default());
         let before = counts.to_distribution();
@@ -165,6 +180,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside (0, 1]")]
     fn invalid_decay_panics() {
-        HammerConfig { max_distance: 2, decay: 1.5 }.validate();
+        HammerConfig {
+            max_distance: 2,
+            decay: 1.5,
+        }
+        .validate();
     }
 }

@@ -62,10 +62,11 @@ pub fn lambda_breakdown(transpiled: &TranspiledCircuit, backend: &Backend) -> La
         }
         gate_term += match inst.gate() {
             Gate::RZ(_) => 0.0, // virtual frame change: no physical pulse
-            Gate::CX => cal
-                .cx_gate(qs[0], qs[1])
-                .expect("transpiled CX acts on a calibrated edge")
-                .error,
+            Gate::CX => {
+                cal.cx_gate(qs[0], qs[1])
+                    .expect("transpiled CX acts on a calibrated edge")
+                    .error
+            }
             _ => cal.sq_gate(qs[0]).error,
         };
     }
@@ -82,10 +83,18 @@ pub fn lambda_breakdown(transpiled: &TranspiledCircuit, backend: &Backend) -> La
         }
     }
 
-    let readout_term: f64 =
-        circuit.measured().iter().map(|&q| cal.qubit(q).readout_error).sum();
+    let readout_term: f64 = circuit
+        .measured()
+        .iter()
+        .map(|&q| cal.qubit(q).readout_error)
+        .sum();
 
-    LambdaBreakdown { t1_term, t2_term, gate_term, readout_term }
+    LambdaBreakdown {
+        t1_term,
+        t2_term,
+        gate_term,
+        readout_term,
+    }
 }
 
 /// The Eq. 2 λ estimate (the sum of [`lambda_breakdown`]'s terms).
@@ -153,11 +162,13 @@ mod tests {
         let backend = profiles::by_name("fake_washington").unwrap();
         let tp = Transpiler::new(&backend);
         let shallow = estimate_lambda(
-            &tp.transpile(&bernstein_vazirani(&"111".parse().unwrap())).unwrap(),
+            &tp.transpile(&bernstein_vazirani(&"111".parse().unwrap()))
+                .unwrap(),
             &backend,
         );
         let deep = estimate_lambda(
-            &tp.transpile(&bernstein_vazirani(&"11111111111".parse().unwrap())).unwrap(),
+            &tp.transpile(&bernstein_vazirani(&"11111111111".parse().unwrap()))
+                .unwrap(),
             &backend,
         );
         assert!(deep > shallow);

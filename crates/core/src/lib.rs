@@ -59,4 +59,4 @@ mod config;
 mod pipeline;
 
 pub use config::{Kernel, LearningRate, QBeepConfig};
-pub use pipeline::{MitigationResult, QBeep};
+pub use pipeline::{MitigationDiagnostics, MitigationResult, QBeep};

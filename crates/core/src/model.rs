@@ -24,7 +24,10 @@ use qbeep_bitstring::HammingSpectrum;
 /// Panics if `lambda` is negative or non-finite.
 #[must_use]
 pub fn poisson_pmf(lambda: f64, k: usize) -> f64 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "invalid Poisson rate {lambda}");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "invalid Poisson rate {lambda}"
+    );
     if lambda == 0.0 {
         return if k == 0 { 1.0 } else { 0.0 };
     }
@@ -102,8 +105,7 @@ impl SpectrumModel {
     /// the per-distance mass is `C(n, k) / 2ⁿ`.
     #[must_use]
     pub fn uniform(width: usize) -> Self {
-        let masses: Vec<f64> =
-            (0..=width).map(|k| binomial_pmf(width, 0.5, k)).collect();
+        let masses: Vec<f64> = (0..=width).map(|k| binomial_pmf(width, 0.5, k)).collect();
         Self::normalised("uniform", masses)
     }
 
@@ -163,7 +165,13 @@ impl SpectrumModel {
 /// Panics if the vectors have different lengths.
 #[must_use]
 pub fn spectrum_hellinger(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "spectrum lengths differ: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "spectrum lengths differ: {} vs {}",
+        a.len(),
+        b.len()
+    );
     let bc: f64 = a.iter().zip(b).map(|(x, y)| (x * y).sqrt()).sum();
     (1.0 - bc.min(1.0)).max(0.0).sqrt()
 }
@@ -331,7 +339,9 @@ mod tests {
         // The non-local clustering signature: for λ = 4 the mode is at
         // distance ≈ 4, unlike HAMMER's always-local weighting.
         let m = SpectrumModel::poisson(12, 4.0);
-        let mode = (0..=12).max_by(|&a, &b| m.mass(a).partial_cmp(&m.mass(b)).unwrap()).unwrap();
+        let mode = (0..=12)
+            .max_by(|&a, &b| m.mass(a).partial_cmp(&m.mass(b)).unwrap())
+            .unwrap();
         assert!((3..=5).contains(&mode), "mode = {mode}");
     }
 
@@ -369,7 +379,10 @@ mod tests {
         let d_binom = SpectrumModel::binomial(12, mle_binomial(&obs)).hellinger_to(&obs);
         let d_uniform = SpectrumModel::uniform(12).hellinger_to(&obs);
         let d_hammer = SpectrumModel::hammer_weighting(12).hellinger_to(&obs);
-        assert!(d_poisson < d_binom, "poisson {d_poisson} vs binom {d_binom}");
+        assert!(
+            d_poisson < d_binom,
+            "poisson {d_poisson} vs binom {d_binom}"
+        );
         assert!(d_poisson < d_uniform);
         assert!(d_poisson < d_hammer);
     }
@@ -387,8 +400,9 @@ mod tests {
         // mean = rq/(1−q); IoD = 1/(1−q).
         let (r, q) = (3.0, 0.4);
         let mean: f64 = (0..400).map(|k| k as f64 * neg_binomial_pmf(r, q, k)).sum();
-        let var: f64 =
-            (0..400).map(|k| (k as f64 - mean).powi(2) * neg_binomial_pmf(r, q, k)).sum();
+        let var: f64 = (0..400)
+            .map(|k| (k as f64 - mean).powi(2) * neg_binomial_pmf(r, q, k))
+            .sum();
         assert!((mean - r * q / (1.0 - q)).abs() < 1e-6);
         assert!((var / mean - 1.0 / (1.0 - q)).abs() < 1e-6);
     }

@@ -3,11 +3,54 @@
 
 use qbeep_bitstring::{Counts, Distribution};
 use qbeep_device::Backend;
+use qbeep_telemetry::Recorder;
 use qbeep_transpile::TranspiledCircuit;
+use serde::{Deserialize, Serialize};
 
 use crate::config::QBeepConfig;
-use crate::graph::StateGraph;
-use crate::lambda::estimate_lambda;
+use crate::graph::{IterationDiagnostics, StateGraph};
+use crate::lambda::lambda_breakdown;
+
+/// Structured diagnostics of one mitigation pass: what the state graph
+/// looked like and how Algorithm 1 converged. Always populated — the
+/// collection is an O(V)-per-iteration postlude to the O(V·r) update —
+/// and serializable, so run reports can embed it directly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MitigationDiagnostics {
+    /// Distinct observed bit-strings (graph vertices).
+    pub vertices: usize,
+    /// Edges that survived the ε threshold.
+    pub edges: usize,
+    /// Candidate vertex pairs pruned by ε (§3.4 scalability guard).
+    pub pruned_pairs: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Net observation mass moved per iteration.
+    pub mass_moved: Vec<f64>,
+    /// Largest absolute single-node count change per iteration.
+    pub max_node_delta: Vec<f64>,
+    /// First 1-based iteration that fell below the convergence
+    /// threshold ([`crate::graph::CONVERGENCE_RTOL`]), if any.
+    pub converged_at: Option<usize>,
+    /// Total observation count after the final iteration (conservation
+    /// check: equals the number of input shots).
+    pub total_count: f64,
+}
+
+impl MitigationDiagnostics {
+    fn new(size: (usize, usize), pruned_pairs: usize, iter: IterationDiagnostics) -> Self {
+        Self {
+            vertices: size.0,
+            edges: size.1,
+            pruned_pairs,
+            iterations: iter.iterations,
+            mass_moved: iter.mass_moved,
+            max_node_delta: iter.max_node_delta,
+            converged_at: iter.converged_at,
+            total_count: iter.total_count,
+        }
+    }
+}
 
 /// Output of a mitigation pass.
 #[derive(Debug, Clone)]
@@ -21,6 +64,8 @@ pub struct MitigationResult {
     /// Per-iteration distributions when tracking was requested
     /// (Fig. 7c); empty otherwise.
     pub trace: Vec<Distribution>,
+    /// Graph shape and convergence diagnostics (always populated).
+    pub diagnostics: MitigationDiagnostics,
 }
 
 /// The Q-BEEP mitigation engine.
@@ -35,10 +80,12 @@ pub struct MitigationResult {
 #[derive(Debug, Clone, Default)]
 pub struct QBeep {
     config: QBeepConfig,
+    recorder: Recorder,
 }
 
 impl QBeep {
-    /// Creates an engine with an explicit configuration.
+    /// Creates an engine with an explicit configuration (and telemetry
+    /// disabled).
     ///
     /// # Panics
     ///
@@ -46,13 +93,33 @@ impl QBeep {
     #[must_use]
     pub fn new(config: QBeepConfig) -> Self {
         config.validate();
-        Self { config }
+        Self {
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry recorder: every mitigation call records
+    /// stage spans (`mitigate/graph_build`, `mitigate/graph_iterate`),
+    /// graph-shape counters, λ gauges and per-iteration series into
+    /// it. With the default disabled recorder every hook is a single
+    /// branch, keeping results and cost seed-identical.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The engine's configuration.
     #[must_use]
     pub fn config(&self) -> &QBeepConfig {
         &self.config
+    }
+
+    /// The engine's telemetry recorder (disabled by default).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Mitigates measured `counts` using λ estimated from the
@@ -68,7 +135,19 @@ impl QBeep {
         transpiled: &TranspiledCircuit,
         backend: &Backend,
     ) -> MitigationResult {
-        self.mitigate_with_lambda(counts, estimate_lambda(transpiled, backend))
+        let breakdown = {
+            let _span = self.recorder.span("lambda_estimate");
+            lambda_breakdown(transpiled, backend)
+        };
+        if self.recorder.is_enabled() {
+            self.recorder.gauge("lambda.t1_term", breakdown.t1_term);
+            self.recorder.gauge("lambda.t2_term", breakdown.t2_term);
+            self.recorder.gauge("lambda.gate_term", breakdown.gate_term);
+            self.recorder
+                .gauge("lambda.readout_term", breakdown.readout_term);
+            self.recorder.gauge("lambda.total", breakdown.total());
+        }
+        self.mitigate_with_lambda(counts, breakdown.total())
     }
 
     /// Mitigates measured `counts` with an externally supplied λ.
@@ -78,14 +157,51 @@ impl QBeep {
     /// Panics if `counts` is empty or λ is invalid.
     #[must_use]
     pub fn mitigate_with_lambda(&self, counts: &Counts, lambda: f64) -> MitigationResult {
-        let mut graph = StateGraph::build(counts, lambda, &self.config);
+        let _span = self.recorder.span("mitigate");
+        let mut graph = {
+            let _build = self.recorder.span("graph_build");
+            StateGraph::build(counts, lambda, &self.config)
+        };
         let size = (graph.num_nodes(), graph.num_edges());
-        graph.iterate();
+        let pruned = graph.pruned_pairs();
+        let iter = {
+            let _iterate = self.recorder.span("graph_iterate");
+            graph.iterate_diagnosed()
+        };
+        self.record_graph(size, pruned, lambda, &iter);
         MitigationResult {
             mitigated: graph.distribution(),
             lambda,
             graph_size: size,
             trace: Vec::new(),
+            diagnostics: MitigationDiagnostics::new(size, pruned, iter),
+        }
+    }
+
+    /// Pushes graph-shape counters, the λ gauge and the per-iteration
+    /// movement series into the recorder (no-op when disabled).
+    fn record_graph(
+        &self,
+        size: (usize, usize),
+        pruned: usize,
+        lambda: f64,
+        iter: &IterationDiagnostics,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.incr("graph.vertices", size.0 as u64);
+        self.recorder.incr("graph.edges", size.1 as u64);
+        self.recorder.incr("graph.pruned_pairs", pruned as u64);
+        self.recorder.gauge("mitigate.lambda", lambda);
+        self.recorder
+            .gauge("mitigate.total_count", iter.total_count);
+        if let Some(n) = iter.converged_at {
+            self.recorder.gauge("mitigate.converged_at", n as f64);
+        }
+        for (&moved, &delta) in iter.mass_moved.iter().zip(&iter.max_node_delta) {
+            self.recorder.push_series("mitigate.mass_moved", moved);
+            self.recorder.push_series("mitigate.max_node_delta", delta);
         }
     }
 
@@ -117,6 +233,11 @@ impl QBeep {
         let mode = counts.mode().expect("non-empty counts");
         let spectrum = counts.to_distribution().hamming_spectrum(&mode);
         let lambda_mle = crate::model::mle_poisson(&spectrum);
+        if self.recorder.is_enabled() {
+            self.recorder.gauge("lambda.estimate", lambda_est);
+            self.recorder.gauge("lambda.mle", lambda_mle);
+            self.recorder.gauge("lambda.alpha", alpha);
+        }
         self.mitigate_with_lambda(counts, alpha * lambda_est + (1.0 - alpha) * lambda_mle)
     }
 
@@ -128,14 +249,24 @@ impl QBeep {
     /// Panics if `counts` is empty or λ is invalid.
     #[must_use]
     pub fn mitigate_tracked(&self, counts: &Counts, lambda: f64) -> MitigationResult {
-        let mut graph = StateGraph::build(counts, lambda, &self.config);
+        let _span = self.recorder.span("mitigate");
+        let mut graph = {
+            let _build = self.recorder.span("graph_build");
+            StateGraph::build(counts, lambda, &self.config)
+        };
         let size = (graph.num_nodes(), graph.num_edges());
-        let trace = graph.iterate_tracked();
+        let pruned = graph.pruned_pairs();
+        let (trace, iter) = {
+            let _iterate = self.recorder.span("graph_iterate");
+            graph.iterate_tracked_diagnosed()
+        };
+        self.record_graph(size, pruned, lambda, &iter);
         MitigationResult {
             mitigated: graph.distribution(),
             lambda,
             graph_size: size,
             trace,
+            diagnostics: MitigationDiagnostics::new(size, pruned, iter),
         }
     }
 }
@@ -186,9 +317,8 @@ mod tests {
         let runs = 10;
         for seed in 0..runs {
             let mut rng = StdRng::seed_from_u64(seed);
-            let run =
-                execute_on_device(&bv, &backend, 3000, &EmpiricalConfig::default(), &mut rng)
-                    .unwrap();
+            let run = execute_on_device(&bv, &backend, 3000, &EmpiricalConfig::default(), &mut rng)
+                .unwrap();
             let result = engine.mitigate_run(&run.counts, &run.transpiled, &backend);
             let before = run.counts.pst(&secret);
             let after = result.mitigated.prob(&secret);
@@ -224,7 +354,12 @@ mod tests {
     fn adaptive_lambda_blends_estimates() {
         let counts = Counts::from_pairs(
             4,
-            vec![(bs("0000"), 500), (bs("0001"), 200), (bs("0011"), 200), (bs("0111"), 100)],
+            vec![
+                (bs("0000"), 500),
+                (bs("0001"), 200),
+                (bs("0011"), 200),
+                (bs("0111"), 100),
+            ],
         );
         let engine = QBeep::default();
         // α = 1 reproduces the plain estimate exactly.
@@ -234,7 +369,11 @@ mod tests {
         // α = 0 uses the observed spectrum MLE:
         // mean distance from 0000 = 0.5·0 + 0.2·1 + 0.2·2 + 0.1·3 = 0.9.
         let data_only = engine.mitigate_adaptive(&counts, 2.0, 0.0);
-        assert!((data_only.lambda - 0.9).abs() < 1e-9, "{}", data_only.lambda);
+        assert!(
+            (data_only.lambda - 0.9).abs() < 1e-9,
+            "{}",
+            data_only.lambda
+        );
         // α = 0.5 blends.
         let blended = engine.mitigate_adaptive(&counts, 2.0, 0.5);
         assert!((blended.lambda - 1.45).abs() < 1e-9);
@@ -269,6 +408,90 @@ mod tests {
             adaptive.mitigated.fidelity(&ideal),
             bad.mitigated.fidelity(&ideal)
         );
+    }
+
+    #[test]
+    fn diagnostics_always_populated() {
+        let counts = Counts::from_pairs(
+            4,
+            vec![
+                (bs("0000"), 600),
+                (bs("0001"), 100),
+                (bs("0010"), 100),
+                (bs("0100"), 100),
+                (bs("1000"), 100),
+            ],
+        );
+        let result = QBeep::default().mitigate_with_lambda(&counts, 0.8);
+        let d = &result.diagnostics;
+        assert_eq!(d.vertices, 5);
+        assert_eq!(d.edges, 10);
+        assert_eq!(d.pruned_pairs, 0);
+        assert_eq!(d.iterations, 20);
+        assert_eq!(d.mass_moved.len(), 20);
+        assert!(
+            (d.total_count - 1000.0).abs() < 1e-6,
+            "mass conserved: {}",
+            d.total_count
+        );
+    }
+
+    #[test]
+    fn recorder_captures_pipeline_stages() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let secret = bs("10110");
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = execute_on_device(
+            &bernstein_vazirani(&secret),
+            &backend,
+            2000,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let recorder = qbeep_telemetry::Recorder::new();
+        let engine = QBeep::default().with_recorder(recorder.clone());
+        let result = engine.mitigate_run(&run.counts, &run.transpiled, &backend);
+        let report = recorder.report();
+        for span in [
+            "lambda_estimate",
+            "mitigate",
+            "mitigate/graph_build",
+            "mitigate/graph_iterate",
+        ] {
+            assert!(report.span(span).is_some(), "missing span {span}");
+        }
+        for gauge in [
+            "lambda.t1_term",
+            "lambda.t2_term",
+            "lambda.gate_term",
+            "lambda.readout_term",
+            "lambda.total",
+            "mitigate.lambda",
+        ] {
+            assert!(report.gauges.contains_key(gauge), "missing gauge {gauge}");
+        }
+        assert_eq!(
+            report.counters["graph.vertices"],
+            result.graph_size.0 as u64
+        );
+        assert_eq!(report.counters["graph.edges"], result.graph_size.1 as u64);
+        assert_eq!(report.series["mitigate.mass_moved"].len(), 20);
+        assert!((report.gauges["lambda.total"] - result.lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_does_not_change_results() {
+        let counts = Counts::from_pairs(
+            3,
+            vec![(bs("000"), 500), (bs("001"), 200), (bs("011"), 100)],
+        );
+        let plain = QBeep::default().mitigate_with_lambda(&counts, 0.7);
+        let recorded = QBeep::default()
+            .with_recorder(qbeep_telemetry::Recorder::new())
+            .mitigate_with_lambda(&counts, 0.7);
+        assert_eq!(plain.mitigated, recorded.mitigated);
+        assert_eq!(plain.diagnostics, recorded.diagnostics);
     }
 
     #[test]

@@ -75,7 +75,13 @@ impl ReadoutModel {
         self.flip
             .iter()
             .enumerate()
-            .map(|(i, &p)| if observed.bit(i) == truth.bit(i) { 1.0 - p } else { p })
+            .map(|(i, &p)| {
+                if observed.bit(i) == truth.bit(i) {
+                    1.0 - p
+                } else {
+                    p
+                }
+            })
             .product()
     }
 }
@@ -135,8 +141,7 @@ pub fn ibu_mitigate(counts: &Counts, model: &ReadoutModel, iterations: usize) ->
     for _ in 0..iterations {
         let mut next = vec![0.0; n];
         for (si, (_, c)) in support.iter().enumerate() {
-            let denom: f64 =
-                (0..n).map(|ti| likelihood[si][ti] * theta[ti]).sum();
+            let denom: f64 = (0..n).map(|ti| likelihood[si][ti] * theta[ti]).sum();
             if denom <= 0.0 {
                 continue;
             }
@@ -149,7 +154,11 @@ pub fn ibu_mitigate(counts: &Counts, model: &ReadoutModel, iterations: usize) ->
 
     Distribution::from_probs(
         counts.width(),
-        support.iter().zip(&theta).filter(|(_, &p)| p > 1e-12).map(|(&(s, _), &p)| (s, p)),
+        support
+            .iter()
+            .zip(&theta)
+            .filter(|(_, &p)| p > 1e-12)
+            .map(|(&(s, _), &p)| (s, p)),
     )
 }
 
@@ -182,7 +191,12 @@ mod tests {
         }
         let unfolded = ibu_mitigate(&counts, &m, 10);
         let before = counts.to_distribution().prob(&truth);
-        assert!(unfolded.prob(&truth) > before + 0.05, "{} vs {}", unfolded.prob(&truth), before);
+        assert!(
+            unfolded.prob(&truth) > before + 0.05,
+            "{} vs {}",
+            unfolded.prob(&truth),
+            before
+        );
     }
 
     #[test]

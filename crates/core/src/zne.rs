@@ -32,7 +32,10 @@ use qbeep_circuit::Circuit;
 /// ```
 #[must_use]
 pub fn fold_global(circuit: &Circuit, scale: usize) -> Circuit {
-    assert!(scale % 2 == 1, "global folding realises odd scales, got {scale}");
+    assert!(
+        scale % 2 == 1,
+        "global folding realises odd scales, got {scale}"
+    );
     let k = (scale - 1) / 2;
     let mut folded = Circuit::new(circuit.num_qubits(), format!("{}_x{scale}", circuit.name()));
     folded.set_measured(circuit.measured().to_vec());
@@ -50,8 +53,7 @@ pub fn fold_global(circuit: &Circuit, scale: usize) -> Circuit {
 /// idle structure better matches the original circuit.
 #[must_use]
 pub fn fold_gates(circuit: &Circuit) -> Circuit {
-    let mut folded =
-        Circuit::new(circuit.num_qubits(), format!("{}_gatefold", circuit.name()));
+    let mut folded = Circuit::new(circuit.num_qubits(), format!("{}_gatefold", circuit.name()));
     folded.set_measured(circuit.measured().to_vec());
     for inst in circuit.instructions() {
         folded.push(inst.clone());
@@ -73,7 +75,10 @@ pub fn fold_gates(circuit: &Circuit) -> Circuit {
 /// Panics if fewer than two points are given or two share a scale.
 #[must_use]
 pub fn richardson_extrapolate(points: &[(f64, f64)]) -> f64 {
-    assert!(points.len() >= 2, "extrapolation needs at least two noise scales");
+    assert!(
+        points.len() >= 2,
+        "extrapolation needs at least two noise scales"
+    );
     let mut total = 0.0;
     for (i, &(xi, yi)) in points.iter().enumerate() {
         let mut weight = 1.0;
@@ -125,7 +130,10 @@ pub fn zne_expectation(
         })
         .collect();
     let extrapolated = richardson_extrapolate(&samples);
-    ZneResult { samples, extrapolated }
+    ZneResult {
+        samples,
+        extrapolated,
+    }
 }
 
 #[cfg(test)]

@@ -75,7 +75,12 @@ impl Backend {
                 "edge ({a}, {b}) has no CX calibration"
             );
         }
-        Self { name: name.into(), gate_set, topology, calibration }
+        Self {
+            name: name.into(),
+            gate_set,
+            topology,
+            calibration,
+        }
     }
 
     /// The machine's name (e.g. `"fake_lagos"`).
@@ -116,7 +121,12 @@ impl Backend {
     /// Panics under the same consistency conditions as [`Backend::new`].
     #[must_use]
     pub fn with_calibration(&self, calibration: Calibration) -> Self {
-        Self::new(self.name.clone(), self.gate_set, self.topology.clone(), calibration)
+        Self::new(
+            self.name.clone(),
+            self.gate_set,
+            self.topology.clone(),
+            calibration,
+        )
     }
 
     /// A crude scalar quality figure — the mean CX error (falling back to
@@ -124,13 +134,21 @@ impl Backend {
     /// Used by the bench harness to sort machines for display.
     #[must_use]
     pub fn quality_score(&self) -> f64 {
-        self.calibration.mean_cx_error().unwrap_or_else(|| self.calibration.mean_readout_error())
+        self.calibration
+            .mean_cx_error()
+            .unwrap_or_else(|| self.calibration.mean_readout_error())
     }
 }
 
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} qubits, {})", self.name, self.num_qubits(), self.gate_set)
+        write!(
+            f,
+            "{} ({} qubits, {})",
+            self.name,
+            self.num_qubits(),
+            self.gate_set
+        )
     }
 }
 
@@ -143,13 +161,35 @@ mod tests {
     fn tiny_backend() -> Backend {
         let topo = Topology::linear(2);
         let qubits = vec![
-            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            QubitCalibration {
+                t1_us: 100.0,
+                t2_us: 80.0,
+                readout_error: 0.02,
+                readout_duration_ns: 1000.0
+            };
             2
         ];
-        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 2];
+        let sq = vec![
+            GateCalibration {
+                error: 1e-4,
+                duration_ns: 35.0
+            };
+            2
+        ];
         let mut cx = BTreeMap::new();
-        cx.insert((0u32, 1u32), GateCalibration { error: 1e-2, duration_ns: 400.0 });
-        Backend::new("tiny", NativeGateSet::SuperconductingCx, topo, Calibration::new(qubits, sq, cx))
+        cx.insert(
+            (0u32, 1u32),
+            GateCalibration {
+                error: 1e-2,
+                duration_ns: 400.0,
+            },
+        );
+        Backend::new(
+            "tiny",
+            NativeGateSet::SuperconductingCx,
+            topo,
+            Calibration::new(qubits, sq, cx),
+        )
     }
 
     #[test]
@@ -166,10 +206,21 @@ mod tests {
     fn missing_edge_calibration_panics() {
         let topo = Topology::linear(2);
         let qubits = vec![
-            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            QubitCalibration {
+                t1_us: 100.0,
+                t2_us: 80.0,
+                readout_error: 0.02,
+                readout_duration_ns: 1000.0
+            };
             2
         ];
-        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 2];
+        let sq = vec![
+            GateCalibration {
+                error: 1e-4,
+                duration_ns: 35.0
+            };
+            2
+        ];
         let cal = Calibration::new(qubits, sq, BTreeMap::new());
         let _ = Backend::new("bad", NativeGateSet::SuperconductingCx, topo, cal);
     }

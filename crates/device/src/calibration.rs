@@ -35,7 +35,10 @@ impl QubitCalibration {
             "readout error {} outside [0, 0.5]",
             self.readout_error
         );
-        assert!(self.readout_duration_ns > 0.0, "readout duration must be positive");
+        assert!(
+            self.readout_duration_ns > 0.0,
+            "readout duration must be positive"
+        );
     }
 }
 
@@ -55,8 +58,15 @@ impl GateCalibration {
     ///
     /// Panics if the error is outside `[0, 1]` or the duration negative.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.error), "gate error {} outside [0, 1]", self.error);
-        assert!(self.duration_ns >= 0.0, "gate duration must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.error),
+            "gate error {} outside [0, 1]",
+            self.error
+        );
+        assert!(
+            self.duration_ns >= 0.0,
+            "gate duration must be non-negative"
+        );
     }
 }
 
@@ -130,7 +140,11 @@ impl Calibration {
             assert!(b < n, "CX edge ({a}, {b}) out of range for {n} qubits");
             g.validate();
         }
-        Self { qubits, sq_gates, cx_gates }
+        Self {
+            qubits,
+            sq_gates,
+            cx_gates,
+        }
     }
 
     /// Number of calibrated qubits.
@@ -214,7 +228,10 @@ impl Calibration {
     /// Panics if `severity` is outside `[0, 0.9]`.
     #[must_use]
     pub fn drifted<R: Rng + ?Sized>(&self, severity: f64, rng: &mut R) -> Self {
-        assert!((0.0..=0.9).contains(&severity), "drift severity {severity} outside [0, 0.9]");
+        assert!(
+            (0.0..=0.9).contains(&severity),
+            "drift severity {severity} outside [0, 0.9]"
+        );
         let mut jitter = |x: f64| x * (1.0 + rng.gen_range(-severity..=severity));
         let qubits = self
             .qubits
@@ -247,7 +264,11 @@ impl Calibration {
                 )
             })
             .collect();
-        Self { qubits, sq_gates, cx_gates }
+        Self {
+            qubits,
+            sq_gates,
+            cx_gates,
+        }
     }
 }
 
@@ -260,7 +281,8 @@ impl fmt::Display for Calibration {
             self.mean_t1_us(),
             self.mean_t2_us(),
             self.mean_readout_error(),
-            self.mean_cx_error().map_or("n/a".into(), |e| format!("{e:.4}")),
+            self.mean_cx_error()
+                .map_or("n/a".into(), |e| format!("{e:.4}")),
         )
     }
 }
@@ -273,13 +295,36 @@ mod tests {
 
     fn sample() -> Calibration {
         let qubits = vec![
-            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            QubitCalibration {
+                t1_us: 100.0,
+                t2_us: 80.0,
+                readout_error: 0.02,
+                readout_duration_ns: 1000.0
+            };
             3
         ];
-        let sq = vec![GateCalibration { error: 3e-4, duration_ns: 35.0 }; 3];
+        let sq = vec![
+            GateCalibration {
+                error: 3e-4,
+                duration_ns: 35.0
+            };
+            3
+        ];
         let mut cx = BTreeMap::new();
-        cx.insert((0u32, 1u32), GateCalibration { error: 1e-2, duration_ns: 400.0 });
-        cx.insert((1u32, 2u32), GateCalibration { error: 2e-2, duration_ns: 450.0 });
+        cx.insert(
+            (0u32, 1u32),
+            GateCalibration {
+                error: 1e-2,
+                duration_ns: 400.0,
+            },
+        );
+        cx.insert(
+            (1u32, 2u32),
+            GateCalibration {
+                error: 2e-2,
+                duration_ns: 450.0,
+            },
+        );
         Calibration::new(qubits, sq, cx)
     }
 
@@ -317,7 +362,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "T1 must be positive")]
     fn invalid_t1_panics() {
-        let q = QubitCalibration { t1_us: 0.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1.0 };
+        let q = QubitCalibration {
+            t1_us: 0.0,
+            t2_us: 80.0,
+            readout_error: 0.02,
+            readout_duration_ns: 1.0,
+        };
         q.validate();
     }
 
@@ -325,12 +375,29 @@ mod tests {
     #[should_panic(expected = "not normalised")]
     fn unnormalised_cx_edge_panics() {
         let qubits = vec![
-            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1.0 };
+            QubitCalibration {
+                t1_us: 100.0,
+                t2_us: 80.0,
+                readout_error: 0.02,
+                readout_duration_ns: 1.0
+            };
             2
         ];
-        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 2];
+        let sq = vec![
+            GateCalibration {
+                error: 1e-4,
+                duration_ns: 35.0
+            };
+            2
+        ];
         let mut cx = BTreeMap::new();
-        cx.insert((1u32, 0u32), GateCalibration { error: 1e-2, duration_ns: 400.0 });
+        cx.insert(
+            (1u32, 0u32),
+            GateCalibration {
+                error: 1e-2,
+                duration_ns: 400.0,
+            },
+        );
         let _ = Calibration::new(qubits, sq, cx);
     }
 

@@ -30,7 +30,11 @@ struct ProfileSpec {
 /// therefore connected) subgraph — used to trim generated lattices to
 /// the exact advertised qubit count.
 fn connected_subgraph(t: &Topology, n: usize) -> Topology {
-    assert!(n <= t.num_qubits(), "cannot take {n} qubits from {}", t.num_qubits());
+    assert!(
+        n <= t.num_qubits(),
+        "cannot take {n} qubits from {}",
+        t.num_qubits()
+    );
     let mut order = Vec::with_capacity(n);
     let mut seen = vec![false; t.num_qubits()];
     let mut queue = std::collections::VecDeque::from([0u32]);
@@ -47,24 +51,68 @@ fn connected_subgraph(t: &Topology, n: usize) -> Topology {
             }
         }
     }
-    assert_eq!(order.len(), n, "lattice is too disconnected to take {n} qubits");
+    assert_eq!(
+        order.len(),
+        n,
+        "lattice is too disconnected to take {n} qubits"
+    );
     t.induced_subgraph(&order)
 }
 
 const SPECS: &[ProfileSpec] = &[
     // 5-qubit Falcon r4T "T" machines.
-    ProfileSpec { name: "fake_lima", tier: 1.0, build_topology: Topology::t_shape },
-    ProfileSpec { name: "fake_belem", tier: 1.2, build_topology: Topology::t_shape },
-    ProfileSpec { name: "fake_quito", tier: 2.0, build_topology: Topology::t_shape },
+    ProfileSpec {
+        name: "fake_lima",
+        tier: 1.0,
+        build_topology: Topology::t_shape,
+    },
+    ProfileSpec {
+        name: "fake_belem",
+        tier: 1.2,
+        build_topology: Topology::t_shape,
+    },
+    ProfileSpec {
+        name: "fake_quito",
+        tier: 2.0,
+        build_topology: Topology::t_shape,
+    },
     // 5-qubit linear Falcon r4L machines.
-    ProfileSpec { name: "fake_manila", tier: 0.9, build_topology: || Topology::linear(5) },
-    ProfileSpec { name: "fake_bogota", tier: 1.6, build_topology: || Topology::linear(5) },
-    ProfileSpec { name: "fake_santiago", tier: 1.0, build_topology: || Topology::linear(5) },
+    ProfileSpec {
+        name: "fake_manila",
+        tier: 0.9,
+        build_topology: || Topology::linear(5),
+    },
+    ProfileSpec {
+        name: "fake_bogota",
+        tier: 1.6,
+        build_topology: || Topology::linear(5),
+    },
+    ProfileSpec {
+        name: "fake_santiago",
+        tier: 1.0,
+        build_topology: || Topology::linear(5),
+    },
     // 7-qubit Falcon r5.11H "H" machines.
-    ProfileSpec { name: "fake_jakarta", tier: 1.1, build_topology: Topology::h_shape },
-    ProfileSpec { name: "fake_oslo", tier: 0.9, build_topology: Topology::h_shape },
-    ProfileSpec { name: "fake_lagos", tier: 0.8, build_topology: Topology::h_shape },
-    ProfileSpec { name: "fake_perth", tier: 2.4, build_topology: Topology::h_shape },
+    ProfileSpec {
+        name: "fake_jakarta",
+        tier: 1.1,
+        build_topology: Topology::h_shape,
+    },
+    ProfileSpec {
+        name: "fake_oslo",
+        tier: 0.9,
+        build_topology: Topology::h_shape,
+    },
+    ProfileSpec {
+        name: "fake_lagos",
+        tier: 0.8,
+        build_topology: Topology::h_shape,
+    },
+    ProfileSpec {
+        name: "fake_perth",
+        tier: 2.4,
+        build_topology: Topology::h_shape,
+    },
     // 16-qubit Falcon r4P.
     ProfileSpec {
         name: "fake_guadalupe",
@@ -149,7 +197,12 @@ fn superconducting_calibration(topology: &Topology, tier: f64, seed: u64) -> Cal
 fn build(spec: &ProfileSpec) -> Backend {
     let topology = (spec.build_topology)();
     let calibration = superconducting_calibration(&topology, spec.tier, name_seed(spec.name));
-    Backend::new(spec.name, NativeGateSet::SuperconductingCx, topology, calibration)
+    Backend::new(
+        spec.name,
+        NativeGateSet::SuperconductingCx,
+        topology,
+        calibration,
+    )
 }
 
 /// The full 16-machine IBMQ-style fleet used across the evaluation
@@ -164,10 +217,19 @@ pub fn ibmq_fleet() -> Vec<Backend> {
 /// 15-qubit problems.
 #[must_use]
 pub fn bv_fleet() -> Vec<Backend> {
-    ["fake_quito", "fake_manila", "fake_jakarta", "fake_lagos", "fake_guadalupe", "fake_toronto", "fake_brooklyn", "fake_washington"]
-        .iter()
-        .map(|n| by_name(n).expect("BV fleet member exists"))
-        .collect()
+    [
+        "fake_quito",
+        "fake_manila",
+        "fake_jakarta",
+        "fake_lagos",
+        "fake_guadalupe",
+        "fake_toronto",
+        "fake_brooklyn",
+        "fake_washington",
+    ]
+    .iter()
+    .map(|n| by_name(n).expect("BV fleet member exists"))
+    .collect()
 }
 
 /// The IonQ-style 5-qubit trapped-ion machine (paper Fig. 4b):
@@ -186,16 +248,27 @@ pub fn ionq() -> Backend {
             readout_error: rng.gen_range(0.002..0.006),
             readout_duration_ns: 150_000.0,
         });
-        sq.push(GateCalibration { error: rng.gen_range(3.0e-4..8.0e-4), duration_ns: 10_000.0 });
+        sq.push(GateCalibration {
+            error: rng.gen_range(3.0e-4..8.0e-4),
+            duration_ns: 10_000.0,
+        });
     }
     let mut cx = BTreeMap::new();
     for (a, b) in topology.edges() {
         cx.insert(
             (a, b),
-            GateCalibration { error: rng.gen_range(3.0e-3..8.0e-3), duration_ns: 210_000.0 },
+            GateCalibration {
+                error: rng.gen_range(3.0e-3..8.0e-3),
+                duration_ns: 210_000.0,
+            },
         );
     }
-    Backend::new("fake_ionq", NativeGateSet::TrappedIonMs, topology, Calibration::new(qubits, sq, cx))
+    Backend::new(
+        "fake_ionq",
+        NativeGateSet::TrappedIonMs,
+        topology,
+        Calibration::new(qubits, sq, cx),
+    )
 }
 
 /// A Sycamore-style 53-qubit grid machine: the source of the QAOA
@@ -215,13 +288,19 @@ pub fn sycamore() -> Backend {
             readout_error: rng.gen_range(0.02..0.05),
             readout_duration_ns: 1000.0,
         });
-        sq.push(GateCalibration { error: rng.gen_range(1.0e-3..2.0e-3), duration_ns: 25.0 });
+        sq.push(GateCalibration {
+            error: rng.gen_range(1.0e-3..2.0e-3),
+            duration_ns: 25.0,
+        });
     }
     let mut cx = BTreeMap::new();
     for (a, b) in topology.edges() {
         cx.insert(
             (a, b),
-            GateCalibration { error: rng.gen_range(5.0e-3..8.0e-3), duration_ns: 32.0 },
+            GateCalibration {
+                error: rng.gen_range(5.0e-3..8.0e-3),
+                duration_ns: 32.0,
+            },
         );
     }
     Backend::new(

@@ -47,13 +47,18 @@ impl Topology {
             );
             set.insert((a.min(b), a.max(b)));
         }
-        Self { num_qubits, edges: set }
+        Self {
+            num_qubits,
+            edges: set,
+        }
     }
 
     /// A linear chain `0-1-…-(n-1)` (e.g. ibmq_manila).
     #[must_use]
     pub fn linear(n: usize) -> Self {
-        let edges: Vec<_> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        let edges: Vec<_> = (0..n.saturating_sub(1) as u32)
+            .map(|i| (i, i + 1))
+            .collect();
         Self::from_edges(n, &edges)
     }
 
@@ -134,7 +139,10 @@ impl Topology {
     /// Panics if `rows == 0` or `row_len < 2`.
     #[must_use]
     pub fn heavy_hex(rows: usize, row_len: usize) -> Self {
-        assert!(rows > 0 && row_len >= 2, "heavy-hex needs rows ≥ 1 and row_len ≥ 2");
+        assert!(
+            rows > 0 && row_len >= 2,
+            "heavy-hex needs rows ≥ 1 and row_len ≥ 2"
+        );
         let mut edges = Vec::new();
         // Row chains occupy ids [row * row_len, (row+1) * row_len).
         for r in 0..rows {
@@ -306,7 +314,12 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "topology({} qubits, {} edges)", self.num_qubits, self.edges.len())
+        write!(
+            f,
+            "topology({} qubits, {} edges)",
+            self.num_qubits,
+            self.edges.len()
+        )
     }
 }
 

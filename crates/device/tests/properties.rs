@@ -9,10 +9,12 @@ use rand::SeedableRng;
 /// Strategy: a random connected topology built from a random spanning
 /// chain plus extra random edges.
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    (2usize..20, proptest::collection::vec((0u32..20, 0u32..20), 0..30)).prop_map(
-        |(n, extra)| {
-            let mut edges: Vec<(u32, u32)> =
-                (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    (
+        2usize..20,
+        proptest::collection::vec((0u32..20, 0u32..20), 0..30),
+    )
+        .prop_map(|(n, extra)| {
+            let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
             for (a, b) in extra {
                 let (a, b) = (a % n as u32, b % n as u32);
                 if a != b {
@@ -20,8 +22,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
                 }
             }
             Topology::from_edges(n, &edges)
-        },
-    )
+        })
 }
 
 proptest! {

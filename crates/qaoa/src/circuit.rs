@@ -55,10 +55,12 @@ pub fn qaoa_circuit(problem: &ProblemGraph, gammas: &[f64], betas: &[f64]) -> Ci
 /// a solid non-variational heuristic for MaxCut-class problems.
 #[must_use]
 pub fn ramp_schedule(p: usize, gamma_max: f64, beta_max: f64) -> (Vec<f64>, Vec<f64>) {
-    let gammas: Vec<f64> =
-        (0..p).map(|k| gamma_max * (k as f64 + 0.5) / p as f64).collect();
-    let betas: Vec<f64> =
-        (0..p).map(|k| beta_max * (1.0 - (k as f64 + 0.5) / p as f64)).collect();
+    let gammas: Vec<f64> = (0..p)
+        .map(|k| gamma_max * (k as f64 + 0.5) / p as f64)
+        .collect();
+    let betas: Vec<f64> = (0..p)
+        .map(|k| beta_max * (1.0 - (k as f64 + 0.5) / p as f64))
+        .collect();
     (gammas, betas)
 }
 

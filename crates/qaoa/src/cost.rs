@@ -27,7 +27,10 @@ pub fn expected_cost(dist: &Distribution, problem: &ProblemGraph) -> f64 {
 #[must_use]
 pub fn cost_ratio(dist: &Distribution, problem: &ProblemGraph) -> f64 {
     let (c_min, _) = problem.minimum_cost();
-    assert!(c_min < 0.0, "cost ratio requires a negative optimum, got {c_min}");
+    assert!(
+        c_min < 0.0,
+        "cost ratio requires a negative optimum, got {c_min}"
+    );
     expected_cost(dist, problem) / c_min
 }
 

@@ -69,7 +69,13 @@ pub fn generate<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<QaoaInstance>
             Family::SherringtonKirkpatrick => ramp_schedule(p, 0.45, 0.65),
         };
         let circuit = qaoa_circuit(&problem, &gammas, &betas);
-        out.push(QaoaInstance { id, family, problem, p, circuit });
+        out.push(QaoaInstance {
+            id,
+            family,
+            problem,
+            p,
+            circuit,
+        });
     }
     out
 }

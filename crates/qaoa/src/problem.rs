@@ -58,7 +58,10 @@ impl ProblemGraph {
     /// Panics if `n` is odd or `< 4`.
     #[must_use]
     pub fn three_regular<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        assert!(n >= 4 && n % 2 == 0, "3-regular construction needs even n ≥ 4, got {n}");
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "3-regular construction needs even n ≥ 4, got {n}"
+        );
         let mut edges: Vec<(u32, u32, f64)> = (0..n as u32)
             .map(|i| (i, (i + 1) % n as u32, 1.0))
             .collect();
@@ -72,7 +75,7 @@ impl ProblemGraph {
             let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
             edges.push((a, b, 1.0));
         }
-        edges.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+        edges.sort_by_key(|x| (x.0, x.1));
         edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
         Self::from_edges(n, edges)
     }
@@ -115,12 +118,24 @@ impl ProblemGraph {
     /// Panics if the assignment width differs from `num_nodes`.
     #[must_use]
     pub fn cost(&self, assignment: &BitString) -> f64 {
-        assert_eq!(assignment.len(), self.num_nodes, "assignment width mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.num_nodes,
+            "assignment width mismatch"
+        );
         self.edges
             .iter()
             .map(|&(a, b, w)| {
-                let za = if assignment.bit(a as usize) { -1.0 } else { 1.0 };
-                let zb = if assignment.bit(b as usize) { -1.0 } else { 1.0 };
+                let za = if assignment.bit(a as usize) {
+                    -1.0
+                } else {
+                    1.0
+                };
+                let zb = if assignment.bit(b as usize) {
+                    -1.0
+                } else {
+                    1.0
+                };
                 w * za * zb
             })
             .sum()
@@ -188,7 +203,8 @@ mod tests {
     #[test]
     fn minimum_cost_bipartition() {
         // A 4-ring is bipartite: perfect cut of all 4 edges, C = −4.
-        let g = ProblemGraph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]);
+        let g =
+            ProblemGraph::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]);
         let (min, arg) = g.minimum_cost();
         assert_eq!(min, -4.0);
         assert_eq!(g.cut_value(&arg), 4.0);

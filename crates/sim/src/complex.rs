@@ -46,7 +46,10 @@ impl C64 {
     /// `e^{iθ}`.
     #[must_use]
     pub fn cis(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared magnitude `|z|²`.
@@ -58,13 +61,19 @@ impl C64 {
     /// Complex conjugate.
     #[must_use]
     pub fn conj(&self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scales by a real factor.
     #[must_use]
     pub fn scale(&self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
@@ -92,7 +101,10 @@ impl Sub for C64 {
 impl Mul for C64 {
     type Output = C64;
     fn mul(self, rhs: C64) -> C64 {
-        C64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
     }
 }
 

@@ -56,7 +56,10 @@ impl DensityMatrix {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "density matrix needs at least one qubit");
-        assert!(n <= MAX_DENSITY_QUBITS, "{n} qubits exceed the density limit {MAX_DENSITY_QUBITS}");
+        assert!(
+            n <= MAX_DENSITY_QUBITS,
+            "{n} qubits exceed the density limit {MAX_DENSITY_QUBITS}"
+        );
         let dim = 1 << n;
         let mut rho = vec![C64::ZERO; dim * dim];
         rho[0] = C64::ONE;
@@ -134,7 +137,10 @@ impl DensityMatrix {
     ///
     /// Panics if the instruction touches out-of-range qubits.
     pub fn apply_unitary(&mut self, inst: &Instruction) {
-        assert!((inst.max_qubit() as usize) < self.n, "instruction {inst} out of range");
+        assert!(
+            (inst.max_qubit() as usize) < self.n,
+            "instruction {inst} out of range"
+        );
         match inst.gate() {
             Gate::CX => {
                 let (a, b) = (1usize << inst.qubits()[0], 1usize << inst.qubits()[1]);
@@ -194,7 +200,10 @@ impl DensityMatrix {
     /// Panics if `q` is out of range or `kraus` is empty.
     pub fn apply_channel_1q(&mut self, kraus: &[[[C64; 2]; 2]], q: usize) {
         assert!(q < self.n, "qubit {q} out of range");
-        assert!(!kraus.is_empty(), "channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "channel needs at least one Kraus operator"
+        );
         let mut acc = vec![C64::ZERO; self.rho.len()];
         for k in kraus {
             let mut branch = self.clone();
@@ -212,7 +221,10 @@ impl DensityMatrix {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn depolarize(&mut self, p: f64, q: usize) {
-        assert!((0.0..=1.0).contains(&p), "depolarizing p {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "depolarizing p {p} outside [0, 1]"
+        );
         if p == 0.0 {
             return;
         }
@@ -220,9 +232,12 @@ impl DensityMatrix {
         let s1 = C64::real((p / 3.0).sqrt());
         let kraus = [
             [[s0, C64::ZERO], [C64::ZERO, s0]],
-            [[C64::ZERO, s1], [s1, C64::ZERO]],                      // X
-            [[C64::ZERO, -C64::I.scale((p / 3.0).sqrt())], [C64::I.scale((p / 3.0).sqrt()), C64::ZERO]], // Y
-            [[s1, C64::ZERO], [C64::ZERO, -s1]],                     // Z
+            [[C64::ZERO, s1], [s1, C64::ZERO]], // X
+            [
+                [C64::ZERO, -C64::I.scale((p / 3.0).sqrt())],
+                [C64::I.scale((p / 3.0).sqrt()), C64::ZERO],
+            ], // Y
+            [[s1, C64::ZERO], [C64::ZERO, -s1]], // Z
         ];
         self.apply_channel_1q(&kraus, q);
     }
@@ -239,7 +254,10 @@ impl DensityMatrix {
             return;
         }
         let kraus = [
-            [[C64::ONE, C64::ZERO], [C64::ZERO, C64::real((1.0 - gamma).sqrt())]],
+            [
+                [C64::ONE, C64::ZERO],
+                [C64::ZERO, C64::real((1.0 - gamma).sqrt())],
+            ],
             [[C64::ZERO, C64::real(gamma.sqrt())], [C64::ZERO, C64::ZERO]],
         ];
         self.apply_channel_1q(&kraus, q);
@@ -257,7 +275,10 @@ impl DensityMatrix {
             return;
         }
         let kraus = [
-            [[C64::ONE, C64::ZERO], [C64::ZERO, C64::real((1.0 - gamma).sqrt())]],
+            [
+                [C64::ONE, C64::ZERO],
+                [C64::ZERO, C64::real((1.0 - gamma).sqrt())],
+            ],
             [[C64::ZERO, C64::ZERO], [C64::ZERO, C64::real(gamma.sqrt())]],
         ];
         self.apply_channel_1q(&kraus, q);
@@ -289,7 +310,8 @@ impl DensityMatrix {
         }
         Distribution::from_probs(
             measured.len(),
-            acc.into_iter().map(|(k, p)| (BitString::from_value(k, measured.len()), p)),
+            acc.into_iter()
+                .map(|(k, p)| (BitString::from_value(k, measured.len()), p)),
         )
     }
 }
@@ -359,11 +381,18 @@ fn apply_readout_confusion(
         // remainder into the unflipped outcome.
         let mut assigned = 0.0;
         for i in 0..width {
-            let p_i = flips[i] * flips.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, e)| 1.0 - e).product::<f64>();
+            let p_i = flips[i]
+                * flips
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, e)| 1.0 - e)
+                    .product::<f64>();
             *acc.entry(s.with_flipped(i)).or_insert(0.0) += p * p_i;
             assigned += p_i;
             for j in i + 1..width {
-                let p_ij = flips[i] * flips[j]
+                let p_ij = flips[i]
+                    * flips[j]
                     * flips
                         .iter()
                         .enumerate()
@@ -459,7 +488,9 @@ mod tests {
     fn exact_and_trajectory_simulators_agree() {
         let backend = profiles::by_name("fake_lima").unwrap();
         let secret = bs("101");
-        let t = Transpiler::new(&backend).transpile(&bernstein_vazirani(&secret)).unwrap();
+        let t = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&secret))
+            .unwrap();
         let exact = exact_noisy_distribution(t.circuit(), &backend);
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
@@ -478,7 +509,9 @@ mod tests {
     fn noisy_bv_success_is_sub_unit_but_dominant() {
         let backend = profiles::by_name("fake_lagos").unwrap();
         let secret = bs("1011");
-        let t = Transpiler::new(&backend).transpile(&bernstein_vazirani(&secret)).unwrap();
+        let t = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&secret))
+            .unwrap();
         let d = exact_noisy_distribution(t.circuit(), &backend);
         let p = d.prob(&secret);
         assert!(p > 0.5 && p < 1.0, "p = {p}");

@@ -22,9 +22,12 @@
 //!   0.9–1.0), `d = 0` meaning a correct shot;
 //! * a small **uniform floor** models fully depolarised shots.
 
+use std::time::Instant;
+
 use qbeep_bitstring::{BitString, Counts, Distribution};
 use qbeep_circuit::Circuit;
 use qbeep_device::Backend;
+use qbeep_telemetry::Recorder;
 use qbeep_transpile::{TranspileError, TranspiledCircuit, Transpiler};
 use rand::Rng;
 
@@ -173,10 +176,11 @@ pub fn ground_truth_lambda(transpiled: &TranspiledCircuit, backend: &Backend) ->
         }
         gate_term += match inst.gate() {
             qbeep_circuit::Gate::RZ(_) => 0.0, // virtual on hardware
-            qbeep_circuit::Gate::CX => cal
-                .cx_gate(qs[0], qs[1])
-                .expect("transpiled CX acts on a coupled edge")
-                .error,
+            qbeep_circuit::Gate::CX => {
+                cal.cx_gate(qs[0], qs[1])
+                    .expect("transpiled CX acts on a coupled edge")
+                    .error
+            }
             _ => cal.sq_gate(qs[0]).error,
         };
     }
@@ -193,7 +197,11 @@ pub fn ground_truth_lambda(transpiled: &TranspiledCircuit, backend: &Backend) ->
         }
     }
 
-    let readout: f64 = circuit.measured().iter().map(|&q| cal.qubit(q).readout_error).sum();
+    let readout: f64 = circuit
+        .measured()
+        .iter()
+        .map(|&q| cal.qubit(q).readout_error)
+        .sum();
 
     decoherence + gate_term + readout
 }
@@ -225,10 +233,19 @@ impl EmpiricalChannel {
     /// invalid.
     #[must_use]
     pub fn new(ideal: Distribution, lambda_true: f64, config: EmpiricalConfig) -> Self {
-        assert!(lambda_true.is_finite() && lambda_true >= 0.0, "invalid λ* {lambda_true}");
+        assert!(
+            lambda_true.is_finite() && lambda_true >= 0.0,
+            "invalid λ* {lambda_true}"
+        );
         config.validate();
         let floor_prob = 1.0 - (-config.floor_coeff * lambda_true).exp();
-        Self { ideal, lambda_true, floor_prob, config, hotspot: Vec::new() }
+        Self {
+            ideal,
+            lambda_true,
+            floor_prob,
+            config,
+            hotspot: Vec::new(),
+        }
     }
 
     /// Fixes this execution's hotspot bit positions (see
@@ -241,7 +258,10 @@ impl EmpiricalChannel {
     pub fn with_hotspot(mut self, positions: Vec<usize>) -> Self {
         for (i, &p) in positions.iter().enumerate() {
             assert!(p < self.width(), "hotspot bit {p} out of range");
-            assert!(!positions[i + 1..].contains(&p), "duplicate hotspot bit {p}");
+            assert!(
+                !positions[i + 1..].contains(&p),
+                "duplicate hotspot bit {p}"
+            );
         }
         self.hotspot = positions;
         self
@@ -331,9 +351,7 @@ impl EmpiricalChannel {
         if d > 0 {
             // Systematic hotspot: a fraction of erroneous shots flip the
             // execution's biased bits instead of random positions.
-            if !self.hotspot.is_empty()
-                && rng.gen::<f64>() < self.config.hotspot_fraction
-            {
+            if !self.hotspot.is_empty() && rng.gen::<f64>() < self.config.hotspot_fraction {
                 for &i in &self.hotspot {
                     outcome.flip(i);
                 }
@@ -411,9 +429,51 @@ pub fn execute_on_device<R: Rng + ?Sized>(
     config: &EmpiricalConfig,
     rng: &mut R,
 ) -> Result<DeviceRun, TranspileError> {
-    let transpiled = Transpiler::new(backend).transpile(circuit)?;
-    let channel = EmpiricalChannel::for_execution(circuit, &transpiled, backend, *config, rng);
-    let counts = channel.run(shots, rng);
+    execute_on_device_recorded(circuit, backend, shots, config, rng, &Recorder::disabled())
+}
+
+/// [`execute_on_device`], reporting transpilation per-pass spans, a
+/// "channel_setup"/"simulate" span pair, the `execute.shots` counter and
+/// the `execute.shots_per_sec` / `execute.lambda_true` gauges to
+/// `recorder`.
+///
+/// With a disabled recorder this is exactly [`execute_on_device`]: the
+/// same rng draws in the same order, hence bit-identical counts.
+///
+/// # Errors
+///
+/// Returns the transpiler's error if the circuit does not fit the
+/// backend.
+///
+/// # Panics
+///
+/// Panics if the logical circuit exceeds the dense-simulation limit or
+/// `shots == 0`.
+pub fn execute_on_device_recorded<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    backend: &Backend,
+    shots: u64,
+    config: &EmpiricalConfig,
+    rng: &mut R,
+    recorder: &Recorder,
+) -> Result<DeviceRun, TranspileError> {
+    let transpiled = Transpiler::new(backend).transpile_recorded(circuit, recorder)?;
+    let channel = {
+        let _span = recorder.span("channel_setup");
+        EmpiricalChannel::for_execution(circuit, &transpiled, backend, *config, rng)
+    };
+    let counts = if recorder.is_enabled() {
+        let _span = recorder.span("simulate");
+        let started = Instant::now();
+        let counts = channel.run(shots, rng);
+        let secs = started.elapsed().as_secs_f64();
+        recorder.incr("execute.shots", shots);
+        recorder.gauge("execute.shots_per_sec", shots as f64 / secs.max(1e-12));
+        recorder.gauge("execute.lambda_true", channel.lambda_true());
+        counts
+    } else {
+        channel.run(shots, rng)
+    };
     Ok(DeviceRun {
         transpiled,
         ideal: channel.ideal().clone(),
@@ -440,7 +500,9 @@ mod tests {
         let backend = profiles::by_name("fake_washington").unwrap();
         let tp = Transpiler::new(&backend);
         let small = tp.transpile(&bernstein_vazirani(&bs("101"))).unwrap();
-        let large = tp.transpile(&bernstein_vazirani(&bs("111111111111"))).unwrap();
+        let large = tp
+            .transpile(&bernstein_vazirani(&bs("111111111111")))
+            .unwrap();
         let l_small = ground_truth_lambda(&small, &backend);
         let l_large = ground_truth_lambda(&large, &backend);
         assert!(l_large > 2.0 * l_small, "small {l_small}, large {l_large}");
@@ -466,7 +528,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let counts = channel.run(40_000, &mut rng);
         let pst = counts.pst(&bs("10110"));
-        let expect = (-lambda as f64).exp();
+        let expect = (-lambda).exp();
         assert!((pst - expect).abs() < 0.02, "pst {pst} vs e^-λ {expect}");
     }
 
@@ -483,8 +545,11 @@ mod tests {
             let counts = channel.run(30_000, &mut rng);
             let ehd = error_expected_hamming_distance(&counts, &target).unwrap();
             // Conditional mean of Poisson given ≥ 1: λ / (1 − e^{−λ}).
-            let expect = lambda / (1.0 - (-lambda as f64).exp());
-            assert!((ehd - expect).abs() < 0.1, "λ={lambda}: ehd {ehd} vs {expect}");
+            let expect = lambda / (1.0 - (-lambda).exp());
+            assert!(
+                (ehd - expect).abs() < 0.1,
+                "λ={lambda}: ehd {ehd} vs {expect}"
+            );
         }
     }
 
@@ -492,11 +557,8 @@ mod tests {
     fn error_iod_is_near_one() {
         // The paper's empirical signature (Fig. 4c): IoD ≈ 0.9–1.0.
         let target = bs("110010111001");
-        let channel = EmpiricalChannel::new(
-            Distribution::point(target),
-            2.0,
-            EmpiricalConfig::default(),
-        );
+        let channel =
+            EmpiricalChannel::new(Distribution::point(target), 2.0, EmpiricalConfig::default());
         let mut rng = StdRng::seed_from_u64(9);
         let counts = channel.run(20_000, &mut rng);
         let iod = error_index_of_dispersion(&counts, &target).unwrap();
@@ -525,6 +587,35 @@ mod tests {
     }
 
     #[test]
+    fn recorded_execution_is_bit_identical_and_reports() {
+        let backend = profiles::by_name("fake_quito").unwrap();
+        let bv = bernstein_vazirani(&bs("1011"));
+        let cfg = EmpiricalConfig::default();
+        let plain =
+            execute_on_device(&bv, &backend, 800, &cfg, &mut StdRng::seed_from_u64(11)).unwrap();
+        let recorder = Recorder::new();
+        let recorded = execute_on_device_recorded(
+            &bv,
+            &backend,
+            800,
+            &cfg,
+            &mut StdRng::seed_from_u64(11),
+            &recorder,
+        )
+        .unwrap();
+        assert_eq!(plain.counts, recorded.counts);
+        assert_eq!(plain.lambda_true, recorded.lambda_true);
+
+        let report = recorder.report();
+        assert!(report.span("transpile").is_some());
+        assert!(report.span("channel_setup").is_some());
+        assert!(report.span("simulate").is_some());
+        assert_eq!(report.counters["execute.shots"], 800);
+        assert!(report.gauges["execute.shots_per_sec"] > 0.0);
+        assert_eq!(report.gauges["execute.lambda_true"], recorded.lambda_true);
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let backend = profiles::by_name("fake_lima").unwrap();
         let bv = bernstein_vazirani(&bs("101"));
@@ -542,7 +633,11 @@ mod tests {
         let cfg = EmpiricalConfig::default();
         let mut rng = StdRng::seed_from_u64(5);
         let lambdas: Vec<f64> = (0..10)
-            .map(|_| execute_on_device(&bv, &backend, 10, &cfg, &mut rng).unwrap().lambda_true)
+            .map(|_| {
+                execute_on_device(&bv, &backend, 10, &cfg, &mut rng)
+                    .unwrap()
+                    .lambda_true
+            })
             .collect();
         let min = lambdas.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = lambdas.iter().cloned().fold(0.0, f64::max);
@@ -557,13 +652,25 @@ mod tests {
         let mut prev_ehd = 0.0;
         for layers in [2usize, 12, 40] {
             let (circuit, expected) = mirror_rb(8, layers, &mut rng);
-            let run = execute_on_device(&circuit, &backend, 3000, &EmpiricalConfig::exact(), &mut rng)
-                .unwrap();
+            let run = execute_on_device(
+                &circuit,
+                &backend,
+                3000,
+                &EmpiricalConfig::exact(),
+                &mut rng,
+            )
+            .unwrap();
             let ehd = error_expected_hamming_distance(&run.counts, &expected).unwrap_or(0.0);
-            assert!(ehd >= prev_ehd - 0.3, "layers {layers}: ehd {ehd} < prev {prev_ehd}");
+            assert!(
+                ehd >= prev_ehd - 0.3,
+                "layers {layers}: ehd {ehd} < prev {prev_ehd}"
+            );
             prev_ehd = ehd;
         }
-        assert!(prev_ehd > 1.0, "deep RB should cluster errors at a distance, ehd {prev_ehd}");
+        assert!(
+            prev_ehd > 1.0,
+            "deep RB should cluster errors at a distance, ehd {prev_ehd}"
+        );
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub mod sampling;
 pub use complex::C64;
 pub use density::{exact_noisy_distribution, DensityMatrix, MAX_DENSITY_QUBITS};
 pub use empirical::{
-    execute_on_device, DeviceRun, EmpiricalChannel, EmpiricalConfig, ground_truth_lambda,
+    execute_on_device, execute_on_device_recorded, ground_truth_lambda, DeviceRun,
+    EmpiricalChannel, EmpiricalConfig,
 };
 pub use noisy::NoisySimulator;
 pub use stabilizer::StabilizerState;

@@ -66,7 +66,12 @@ impl<'a> NoisySimulator<'a> {
     }
 
     /// Applies a random Pauli on `q` drawn from `(px, py, pz)`.
-    fn maybe_pauli<R: Rng + ?Sized>(sv: &mut StateVector, q: u32, probs: (f64, f64, f64), rng: &mut R) {
+    fn maybe_pauli<R: Rng + ?Sized>(
+        sv: &mut StateVector,
+        q: u32,
+        probs: (f64, f64, f64),
+        rng: &mut R,
+    ) {
         let r: f64 = rng.gen();
         let gate = if r < probs.0 {
             Some(Gate::X)
@@ -169,7 +174,9 @@ mod tests {
     fn noisy_bv_is_mostly_correct_with_some_errors() {
         let backend = profiles::by_name("fake_lagos").unwrap();
         let secret: BitString = "1011".parse().unwrap();
-        let t = Transpiler::new(&backend).transpile(&bernstein_vazirani(&secret)).unwrap();
+        let t = Transpiler::new(&backend)
+            .transpile(&bernstein_vazirani(&secret))
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let counts = NoisySimulator::new(&backend).run(t.circuit(), 1000, &mut rng);
         let pst = counts.pst(&secret);

@@ -17,7 +17,10 @@ use rand::Rng;
 /// Panics if `lambda` is negative or non-finite.
 #[must_use]
 pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "Poisson rate {lambda} invalid");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson rate {lambda} invalid"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -87,13 +90,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for lambda in [0.5, 2.0, 8.0] {
             let n = 20_000;
-            let samples: Vec<f64> =
-                (0..n).map(|_| f64::from(sample_poisson(lambda, &mut rng))).collect();
+            let samples: Vec<f64> = (0..n)
+                .map(|_| f64::from(sample_poisson(lambda, &mut rng)))
+                .collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
-            let var =
-                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < 0.1 * lambda.max(1.0), "λ={lambda} mean={mean}");
-            assert!((var - lambda).abs() < 0.15 * lambda.max(1.0), "λ={lambda} var={var}");
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.1 * lambda.max(1.0),
+                "λ={lambda} mean={mean}"
+            );
+            assert!(
+                (var - lambda).abs() < 0.15 * lambda.max(1.0),
+                "λ={lambda} var={var}"
+            );
         }
     }
 
@@ -109,7 +118,9 @@ mod tests {
     fn poisson_large_lambda_uses_normal_branch() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 5000;
-        let mean = (0..n).map(|_| f64::from(sample_poisson(100.0, &mut rng))).sum::<f64>()
+        let mean = (0..n)
+            .map(|_| f64::from(sample_poisson(100.0, &mut rng)))
+            .sum::<f64>()
             / f64::from(n);
         assert!((mean - 100.0).abs() < 2.0, "mean = {mean}");
     }
@@ -128,8 +139,9 @@ mod tests {
     #[test]
     fn lognormal_median_near_one() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut samples: Vec<f64> =
-            (0..10_000).map(|_| sample_lognormal_factor(0.4, &mut rng)).collect();
+        let mut samples: Vec<f64> = (0..10_000)
+            .map(|_| sample_lognormal_factor(0.4, &mut rng))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         assert!((median - 1.0).abs() < 0.05, "median = {median}");

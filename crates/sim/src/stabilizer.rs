@@ -24,7 +24,11 @@ struct Row {
 
 impl Row {
     fn new(words: usize) -> Self {
-        Self { x: vec![0; words], z: vec![0; words], r: false }
+        Self {
+            x: vec![0; words],
+            z: vec![0; words],
+            r: false,
+        }
     }
 
     fn get(bits: &[u64], q: usize) -> bool {
@@ -107,8 +111,7 @@ impl StabilizerState {
     /// Row `h` ← row `h` · row `i` (Pauli multiplication with sign
     /// tracking).
     fn rowsum(&mut self, h: usize, i: usize) {
-        let mut phase: i32 =
-            2 * i32::from(self.rows[h].r) + 2 * i32::from(self.rows[i].r);
+        let mut phase: i32 = 2 * i32::from(self.rows[h].r) + 2 * i32::from(self.rows[i].r);
         for q in 0..self.n {
             let x1 = Row::get(&self.rows[i].x, q);
             let z1 = Row::get(&self.rows[i].z, q);
@@ -413,7 +416,10 @@ mod tests {
         let mut state = StabilizerState::new(40);
         state.run(&circuit);
         for _ in 0..5 {
-            assert_eq!(state.sample_measured(circuit.measured(), &mut rng), expected);
+            assert_eq!(
+                state.sample_measured(circuit.measured(), &mut rng),
+                expected
+            );
         }
     }
 
@@ -451,7 +457,10 @@ mod tests {
             let counts = stab.sample_counts(c.measured(), 6000, &mut rng);
             let sampled = counts.to_distribution();
             let h = dense.hellinger(&sampled);
-            assert!(h < 0.08, "trial {trial}: hellinger {h}\ndense {dense}\nstab {sampled}");
+            assert!(
+                h < 0.08,
+                "trial {trial}: hellinger {h}\ndense {dense}\nstab {sampled}"
+            );
         }
     }
 

@@ -60,7 +60,10 @@ pub(crate) fn gate_matrix2(gate: &Gate) -> [[C64; 2]; 2] {
         ],
         Gate::RX(t) => {
             let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-            [[C64::real(c), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::real(c)]]
+            [
+                [C64::real(c), C64::new(0.0, -s)],
+                [C64::new(0.0, -s), C64::real(c)],
+            ]
         }
         Gate::RY(t) => {
             let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
@@ -104,7 +107,10 @@ impl StateVector {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "state vector needs at least one qubit");
-        assert!(n <= MAX_SIM_QUBITS, "{n} qubits exceed the dense-simulation limit {MAX_SIM_QUBITS}");
+        assert!(
+            n <= MAX_SIM_QUBITS,
+            "{n} qubits exceed the dense-simulation limit {MAX_SIM_QUBITS}"
+        );
         let mut amps = vec![C64::ZERO; 1 << n];
         amps[0] = C64::ONE;
         Self { n, amps }
@@ -207,7 +213,11 @@ impl StateVector {
                 let is = C64::new(0.0, -s);
                 // For RYY the |00⟩↔|11⟩ coupling picks up the opposite
                 // sign: Y⊗Y|00⟩ = -|11⟩.
-                let corner = if matches!(gate, Gate::RXX(_)) { is } else { -is };
+                let corner = if matches!(gate, Gate::RXX(_)) {
+                    is
+                } else {
+                    -is
+                };
                 let (a, b) = (1usize << qs[0], 1usize << qs[1]);
                 for i in 0..self.amps.len() {
                     if i & a == 0 && i & b == 0 {
@@ -215,8 +225,12 @@ impl StateVector {
                         let i01 = i | a;
                         let i10 = i | b;
                         let i11 = i | a | b;
-                        let (a00, a01, a10, a11) =
-                            (self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]);
+                        let (a00, a01, a10, a11) = (
+                            self.amps[i00],
+                            self.amps[i01],
+                            self.amps[i10],
+                            self.amps[i11],
+                        );
                         self.amps[i00] = a00.scale(c) + corner * a11;
                         self.amps[i11] = corner * a00 + a11.scale(c);
                         self.amps[i01] = a01.scale(c) + is * a10;
@@ -290,7 +304,8 @@ impl StateVector {
         }
         Distribution::from_probs(
             measured.len(),
-            acc.into_iter().map(|(k, p)| (BitString::from_value(k, measured.len()), p)),
+            acc.into_iter()
+                .map(|(k, p)| (BitString::from_value(k, measured.len()), p)),
         )
     }
 
@@ -383,10 +398,21 @@ mod tests {
     #[test]
     fn unitarity_preserved_across_alphabet() {
         let mut c = Circuit::new(3, "all");
-        c.h(0).y(1).t(2).sx(0).rx(0.4, 1).ry(0.7, 2).rz(1.1, 0).p(0.3, 1);
+        c.h(0)
+            .y(1)
+            .t(2)
+            .sx(0)
+            .rx(0.4, 1)
+            .ry(0.7, 2)
+            .rz(1.1, 0)
+            .p(0.3, 1);
         c.u(0.2, 0.4, 0.6, 2);
         c.cx(0, 1).cz(1, 2).cp(0.5, 0, 2).cry(0.8, 1, 0);
-        c.rzz(0.4, 0, 1).rxx(0.6, 1, 2).swap(0, 2).ccx(0, 1, 2).cswap(2, 0, 1);
+        c.rzz(0.4, 0, 1)
+            .rxx(0.6, 1, 2)
+            .swap(0, 2)
+            .ccx(0, 1, 2)
+            .cswap(2, 0, 1);
         let mut sv = StateVector::new(3);
         sv.run(&c);
         assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);

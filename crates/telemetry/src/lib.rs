@@ -1,0 +1,49 @@
+//! In-tree observability for the Q-BEEP pipeline.
+//!
+//! The paper pitches Q-BEEP as "a light-weight post-processing
+//! technique … a useful tool for quantum vendors to adopt"; a vendor
+//! adopting it needs to see where time and probability mass go. This
+//! crate is the instrumentation substrate every stage records into:
+//!
+//! * [`Recorder`] — a cheap, thread-safe sink for RAII **span** timers
+//!   (nested wall-clock stages), monotonic **counters**, point-in-time
+//!   **gauges**, fixed-bucket **histograms** and per-iteration
+//!   **series**. [`Recorder::disabled`] is a no-op handle whose every
+//!   operation is a single branch, so uninstrumented runs cost
+//!   (almost) nothing — the engine default.
+//! * [`RunReport`] — an immutable snapshot of everything a recorder
+//!   saw, serializable to JSON via `serde` and renderable as aligned
+//!   plain-text tables (the style of `qbeep-bench`'s report module).
+//!
+//! # Example
+//!
+//! ```
+//! use qbeep_telemetry::Recorder;
+//!
+//! let recorder = Recorder::new();
+//! {
+//!     let _stage = recorder.span("transpile");
+//!     let _pass = recorder.span("route"); // nests: "transpile/route"
+//!     recorder.incr("swaps_inserted", 3);
+//! }
+//! recorder.gauge("lambda", 0.81);
+//! recorder.push_series("mass_moved", 12.5);
+//!
+//! let report = recorder.report();
+//! assert_eq!(report.counters["swaps_inserted"], 3);
+//! assert!(report.span("transpile/route").is_some());
+//! println!("{}", report.render_table());
+//! ```
+//!
+//! The crate deliberately depends on nothing but `serde` (already a
+//! workspace-wide dependency): no logging frameworks, no metrics
+//! registries, no global state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod recorder;
+mod report;
+
+pub use recorder::{Recorder, Span};
+pub use report::{HistogramStat, RunReport, SpanStat};

@@ -1,0 +1,397 @@
+//! The recording side: a shared, thread-safe sink for spans, counters,
+//! gauges, histograms and series.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::report::{HistogramStat, RunReport, SpanStat};
+
+/// Aggregate statistics of one span path.
+#[derive(Debug, Default, Clone)]
+struct SpanAgg {
+    count: u64,
+    total_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+impl SpanAgg {
+    fn record(&mut self, ms: f64) {
+        if self.count == 0 {
+            self.min_ms = ms;
+            self.max_ms = ms;
+        } else {
+            self.min_ms = self.min_ms.min(ms);
+            self.max_ms = self.max_ms.max(ms);
+        }
+        self.count += 1;
+        self.total_ms += ms;
+    }
+}
+
+/// A fixed-bucket histogram: `buckets[i]` counts values `≤ bounds[i]`
+/// (and above the previous bound); the final bucket is the overflow.
+#[derive(Debug, Clone)]
+struct Hist {
+    bounds: Vec<f64>,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Self {
+            bounds,
+            buckets: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// Everything one recorder has seen, behind a single mutex. Lock
+/// traffic is one uncontended acquisition per recording call — fine
+/// for stage-level instrumentation (the hot inner loops record once
+/// per *iteration*, not once per edge).
+#[derive(Debug, Default)]
+struct Registry {
+    /// The currently open span names (innermost last); span paths are
+    /// the stack joined with `/`.
+    stack: Vec<String>,
+    /// First-seen order of span paths, for stable reporting.
+    span_order: Vec<String>,
+    spans: BTreeMap<String, SpanAgg>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Hist>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+/// Default histogram bucket upper bounds: powers of two from 2⁻¹⁰
+/// (~1 µs when observing milliseconds) to 2²⁰ (~17 min).
+fn default_bounds() -> Vec<f64> {
+    (-10..=20).map(|e| f64::powi(2.0, e)).collect()
+}
+
+/// A cheap, cloneable handle recording telemetry into a shared
+/// registry.
+///
+/// Two states:
+///
+/// * [`Recorder::new`] — enabled: spans time, counters count.
+/// * [`Recorder::disabled`] (also [`Recorder::default`]) — every
+///   operation returns after a single branch; no clock reads, no
+///   locks, no allocation. This is what uninstrumented engine runs
+///   carry, keeping the hot path at seed-identical cost.
+///
+/// Clones share the same registry, so one recorder can be handed to
+/// every pipeline stage and drained once at the end with
+/// [`report`](Self::report).
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Registry>>>,
+}
+
+impl Recorder {
+    /// Creates an enabled recorder with an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    /// Creates a no-op recorder: every operation is a single branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this recorder actually records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock<'a>(inner: &'a Arc<Mutex<Registry>>) -> MutexGuard<'a, Registry> {
+        // A panic mid-record cannot corrupt the aggregates in a way
+        // that matters for diagnostics; keep reporting over poisoning.
+        inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Opens a RAII span timer. The span's path is every currently
+    /// open span joined with `/` (so spans nest lexically); elapsed
+    /// wall time is recorded when the guard drops. Guards must drop in
+    /// LIFO order — which scoped `let _guard = …` usage guarantees.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(inner) => {
+                let path = {
+                    let mut reg = Self::lock(inner);
+                    reg.stack.push(name.to_string());
+                    reg.stack.join("/")
+                };
+                Span {
+                    active: Some((Arc::clone(inner), path, Instant::now())),
+                }
+            }
+        }
+    }
+
+    /// Times a closure under a span and passes its value through.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Adds `by` to the monotonic counter `name`.
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut reg = Self::lock(inner);
+            *reg.counters.entry(name.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut reg = Self::lock(inner);
+            reg.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Records `value` into the fixed-bucket histogram `name`
+    /// (power-of-two default bounds).
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut reg = Self::lock(inner);
+            reg.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Hist::new(default_bounds()))
+                .observe(value);
+        }
+    }
+
+    /// Appends `value` to the ordered series `name` (e.g. one entry
+    /// per mitigation iteration).
+    pub fn push_series(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut reg = Self::lock(inner);
+            reg.series.entry(name.to_string()).or_default().push(value);
+        }
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`].
+    /// A disabled recorder reports empty.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let Some(inner) = &self.inner else {
+            return RunReport::default();
+        };
+        let reg = Self::lock(inner);
+        let spans = reg
+            .span_order
+            .iter()
+            .filter_map(|path| {
+                reg.spans.get(path).map(|agg| SpanStat {
+                    path: path.clone(),
+                    count: agg.count,
+                    total_ms: agg.total_ms,
+                    min_ms: agg.min_ms,
+                    max_ms: agg.max_ms,
+                })
+            })
+            .collect();
+        let histograms = reg
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramStat {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        bounds: h.bounds.clone(),
+                        buckets: h.buckets.clone(),
+                    },
+                )
+            })
+            .collect();
+        RunReport {
+            spans,
+            counters: reg.counters.clone(),
+            gauges: reg.gauges.clone(),
+            histograms,
+            series: reg.series.clone(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; records elapsed wall
+/// time under its path when dropped.
+#[must_use = "a span records on drop; bind it (`let _span = …`) for the scope it should time"]
+#[derive(Debug)]
+pub struct Span {
+    /// `(registry, full path, start)`; `None` for disabled recorders.
+    active: Option<(Arc<Mutex<Registry>>, String, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, path, start)) = self.active.take() {
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let mut reg = Recorder::lock(&inner);
+            // Pop our stack frame (the leaf of the recorded path).
+            let leaf = path.rsplit('/').next().unwrap_or(&path);
+            if reg.stack.last().map(String::as_str) == Some(leaf) {
+                reg.stack.pop();
+            }
+            if !reg.spans.contains_key(&path) {
+                reg.span_order.push(path.clone());
+            }
+            reg.spans.entry(path).or_default().record(ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_nesting_builds_slash_paths() {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("transpile");
+            {
+                let _inner = r.span("route");
+            }
+            {
+                let _inner = r.span("schedule");
+            }
+        }
+        let report = r.report();
+        let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["transpile/route", "transpile/schedule", "transpile"]
+        );
+        assert!(report.span("transpile").unwrap().total_ms >= 0.0);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let r = Recorder::new();
+        for _ in 0..3 {
+            let _s = r.span("step");
+        }
+        let stat = r.report().span("step").cloned().unwrap();
+        assert_eq!(stat.count, 3);
+        assert!(stat.total_ms >= stat.min_ms + stat.max_ms - 1e-12);
+        assert!(stat.min_ms <= stat.max_ms);
+    }
+
+    #[test]
+    fn time_passes_value_through_and_records() {
+        let r = Recorder::new();
+        let v = r.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(r.report().span("work").unwrap().count, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Recorder::new();
+        r.incr("edges", 10);
+        r.incr("edges", 5);
+        r.gauge("lambda", 0.5);
+        r.gauge("lambda", 0.8);
+        let report = r.report();
+        assert_eq!(report.counters["edges"], 15);
+        assert!((report.gauges["lambda"] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let r = Recorder::new();
+        for v in [0.4, 0.5, 3.0, 1e9] {
+            r.observe("ms", v);
+        }
+        let h = &r.report().histograms["ms"];
+        assert_eq!(h.count, 4);
+        assert!((h.sum - (0.4 + 0.5 + 3.0 + 1e9)).abs() < 1.0);
+        assert!((h.min - 0.4).abs() < 1e-12);
+        assert!((h.max - 1e9).abs() < 1e-3);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4);
+        // 1e9 exceeds every power-of-two bound up to 2^20: overflow.
+        assert_eq!(*h.buckets.last().unwrap(), 1);
+        // 0.4 and 0.5 both land in the `≤ 2^-1` bucket.
+        let idx_half = h
+            .bounds
+            .iter()
+            .position(|&b| (b - 0.5).abs() < 1e-12)
+            .unwrap();
+        assert_eq!(h.buckets[idx_half], 2);
+    }
+
+    #[test]
+    fn series_preserve_order() {
+        let r = Recorder::new();
+        for v in [3.0, 2.0, 1.0] {
+            r.push_series("mass_moved", v);
+        }
+        assert_eq!(r.report().series["mass_moved"], vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_noop() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        let _s = r.span("never");
+        r.incr("never", 1);
+        r.gauge("never", 1.0);
+        r.observe("never", 1.0);
+        r.push_series("never", 1.0);
+        assert!(r.report().is_empty());
+        // Default is also disabled (what an uninstrumented engine carries).
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let r = Recorder::new();
+        let clone = r.clone();
+        clone.incr("shared", 7);
+        assert_eq!(r.report().counters["shared"], 7);
+    }
+}

@@ -1,0 +1,291 @@
+//! The reporting side: an immutable, serializable snapshot of one
+//! recorder's contents, plus a human-readable table renderer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate timing of one span path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Slash-joined nesting path, e.g. `mitigate/graph_build`.
+    pub path: String,
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total wall time across runs, in milliseconds.
+    pub total_ms: f64,
+    /// Fastest single run, in milliseconds.
+    pub min_ms: f64,
+    /// Slowest single run, in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Snapshot of one fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Bucket upper bounds; `buckets[i]` counts values `≤ bounds[i]`.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramStat {
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything one [`Recorder`](crate::Recorder) saw: the machine-
+/// readable run report the CLI emits with `--telemetry json` and the
+/// bench harness writes into its `BENCH_telemetry.json` artifact.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Span timings in first-completed order.
+    pub spans: Vec<SpanStat>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramStat>,
+    /// Ordered series (e.g. one value per mitigation iteration).
+    pub series: BTreeMap<String, Vec<f64>>,
+}
+
+impl RunReport {
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
+    }
+
+    /// Looks up a span stat by its exact path.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Renders the report as aligned plain-text tables (the style of
+    /// `qbeep-bench`'s report module). Empty sections are skipped.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .spans
+                .iter()
+                .map(|s| {
+                    vec![
+                        s.path.clone(),
+                        s.count.to_string(),
+                        format!("{:.3}", s.total_ms),
+                        format!("{:.3}", s.min_ms),
+                        format!("{:.3}", s.max_ms),
+                    ]
+                })
+                .collect();
+            push_table(
+                &mut out,
+                "spans",
+                &["path", "count", "total_ms", "min_ms", "max_ms"],
+                &rows,
+            );
+        }
+        if !self.counters.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .counters
+                .iter()
+                .map(|(k, v)| vec![k.clone(), v.to_string()])
+                .collect();
+            push_table(&mut out, "counters", &["name", "value"], &rows);
+        }
+        if !self.gauges.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .gauges
+                .iter()
+                .map(|(k, v)| vec![k.clone(), format!("{v:.6}")])
+                .collect();
+            push_table(&mut out, "gauges", &["name", "value"], &rows);
+        }
+        if !self.histograms.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    vec![
+                        k.clone(),
+                        h.count.to_string(),
+                        format!("{:.4}", h.mean()),
+                        format!("{:.4}", h.min),
+                        format!("{:.4}", h.max),
+                    ]
+                })
+                .collect();
+            push_table(
+                &mut out,
+                "histograms",
+                &["name", "count", "mean", "min", "max"],
+                &rows,
+            );
+        }
+        if !self.series.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .series
+                .iter()
+                .map(|(k, vs)| {
+                    let first = vs.first().copied().unwrap_or(0.0);
+                    let last = vs.last().copied().unwrap_or(0.0);
+                    vec![
+                        k.clone(),
+                        vs.len().to_string(),
+                        format!("{first:.4}"),
+                        format!("{last:.4}"),
+                        preview(vs),
+                    ]
+                })
+                .collect();
+            push_table(
+                &mut out,
+                "series",
+                &["name", "n", "first", "last", "values"],
+                &rows,
+            );
+        }
+        if out.is_empty() {
+            out.push_str("(no telemetry recorded)\n");
+        }
+        out
+    }
+}
+
+/// At most eight leading values, `…`-elided.
+fn preview(values: &[f64]) -> String {
+    let shown: Vec<String> = values.iter().take(8).map(|v| format!("{v:.3}")).collect();
+    let ellipsis = if values.len() > 8 { " …" } else { "" };
+    format!("{}{ellipsis}", shown.join(" "))
+}
+
+/// Appends one titled, column-aligned table (right-aligned cells).
+fn push_table(out: &mut String, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let _ = writeln!(out, "=== {title} ===");
+    let mut line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        let _ = writeln!(out, "  {}", padded.join("  "));
+    };
+    line(headers.iter().map(|s| (*s).to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_report() -> RunReport {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("mitigate");
+            let _inner = r.span("graph_build");
+        }
+        r.incr("graph.vertices", 5);
+        r.gauge("lambda", 0.81);
+        r.observe("step_ms", 0.25);
+        for i in 0..12 {
+            r.push_series("mass_moved", f64::from(i));
+        }
+        r.report()
+    }
+
+    #[test]
+    fn json_round_trip_via_serde() {
+        let report = sample_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        // Spot-check the shape external consumers rely on.
+        assert!(json.contains("\"spans\""));
+        assert!(json.contains("\"graph.vertices\""));
+    }
+
+    #[test]
+    fn table_rendering_lists_every_section() {
+        let text = sample_report().render_table();
+        for needle in [
+            "=== spans ===",
+            "=== counters ===",
+            "=== gauges ===",
+            "=== histograms ===",
+            "=== series ===",
+            "mitigate/graph_build",
+            "graph.vertices",
+            "lambda",
+            "step_ms",
+            "mass_moved",
+            "…",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let report = RunReport::default();
+        assert!(report.is_empty());
+        assert_eq!(report.render_table(), "(no telemetry recorded)\n");
+        assert!(report.span("anything").is_none());
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h = HistogramStat {
+            count: 4,
+            sum: 10.0,
+            min: 1.0,
+            max: 4.0,
+            bounds: vec![],
+            buckets: vec![4],
+        };
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        let empty = HistogramStat {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            bounds: vec![],
+            buckets: vec![0],
+        };
+        assert_eq!(empty.mean(), 0.0);
+    }
+}

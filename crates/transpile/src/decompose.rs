@@ -66,7 +66,8 @@ fn lower(inst: &Instruction, out: &mut Vec<Instruction>) {
     // Multi-qubit constructions, emitted as mixed-level gates and
     // re-lowered recursively.
     let mut sub: Vec<Instruction> = Vec::new();
-    let push = |v: &mut Vec<Instruction>, g: Gate, q: &[u32]| v.push(Instruction::new(g, q.to_vec()));
+    let push =
+        |v: &mut Vec<Instruction>, g: Gate, q: &[u32]| v.push(Instruction::new(g, q.to_vec()));
     match gate {
         Gate::CZ => {
             let (c, t) = (qs[0], qs[1]);
@@ -237,7 +238,14 @@ mod tests {
 
     #[test]
     fn diagonal_gates_become_single_rz() {
-        for g in [Gate::Z, Gate::S, Gate::Sdg, Gate::T, Gate::Tdg, Gate::P(0.7)] {
+        for g in [
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::P(0.7),
+        ] {
             let out = lower_single(g, &[0], 1);
             assert_eq!(out.gate_count(), 1, "{g}");
             assert!(matches!(out.instructions()[0].gate(), Gate::RZ(_)));

@@ -40,8 +40,13 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = TranspileError::TooManyQubits { needed: 9, available: 5 };
+        let e = TranspileError::TooManyQubits {
+            needed: 9,
+            available: 5,
+        };
         assert!(e.to_string().contains('9'));
-        assert!(TranspileError::DisconnectedBackend.to_string().contains("disconnected"));
+        assert!(TranspileError::DisconnectedBackend
+            .to_string()
+            .contains("disconnected"));
     }
 }

@@ -39,7 +39,9 @@ impl Layout {
     /// The identity layout on `n` qubits.
     #[must_use]
     pub fn trivial(n: usize) -> Self {
-        Self { physical: (0..n as u32).collect() }
+        Self {
+            physical: (0..n as u32).collect(),
+        }
     }
 
     /// The physical qubit holding logical qubit `l`.
@@ -89,7 +91,10 @@ impl Layout {
 pub fn greedy_layout(circuit: &Circuit, topology: &Topology) -> Layout {
     let n_logical = circuit.num_qubits();
     let n_physical = topology.num_qubits();
-    assert!(n_logical <= n_physical, "{n_logical} logical qubits exceed {n_physical} physical");
+    assert!(
+        n_logical <= n_physical,
+        "{n_logical} logical qubits exceed {n_physical} physical"
+    );
 
     // Logical interaction weights.
     let mut weight = vec![vec![0usize; n_logical]; n_logical];
@@ -153,7 +158,12 @@ pub fn greedy_layout(circuit: &Circuit, topology: &Topology) -> Layout {
         used[p as usize] = true;
     }
 
-    Layout::new(assignment.into_iter().map(|a| a.expect("all placed")).collect())
+    Layout::new(
+        assignment
+            .into_iter()
+            .map(|a| a.expect("all placed"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -79,7 +79,10 @@ fn grow_region(backend: &Backend, seed: u32, size: usize) -> Option<(Vec<u32>, f
 pub fn noise_aware_layout(circuit: &Circuit, backend: &Backend) -> Layout {
     let n_logical = circuit.num_qubits();
     let n_physical = backend.num_qubits();
-    assert!(n_logical <= n_physical, "{n_logical} logical qubits exceed {n_physical}");
+    assert!(
+        n_logical <= n_physical,
+        "{n_logical} logical qubits exceed {n_physical}"
+    );
     if n_logical == n_physical {
         return greedy_layout(circuit, backend.topology());
     }
@@ -89,9 +92,7 @@ pub fn noise_aware_layout(circuit: &Circuit, backend: &Backend) -> Layout {
     // SWAPs, so within a 5% error band prefer more internal edges —
     // otherwise a pristine but stringy region can cost more λ through
     // routing than it saves in gate fidelity.
-    let internal_edges = |region: &[u32]| {
-        backend.topology().induced_subgraph(region).num_edges()
-    };
+    let internal_edges = |region: &[u32]| backend.topology().induced_subgraph(region).num_edges();
     let mut best: Option<(f64, usize, Vec<u32>)> = None;
     for seed in 0..n_physical as u32 {
         if let Some((region, total)) = grow_region(backend, seed, n_logical) {
@@ -113,20 +114,29 @@ pub fn noise_aware_layout(circuit: &Circuit, backend: &Backend) -> Layout {
             }
         }
     }
-    let (_, _, region) =
-        best.expect("device has no connected region of the required size");
+    let (_, _, region) = best.expect("device has no connected region of the required size");
 
     // Lay out inside the region, then translate back to device ids.
     let sub = backend.topology().induced_subgraph(&region);
     let local = greedy_layout(circuit, &sub);
-    Layout::new(local.as_slice().iter().map(|&l| region[l as usize]).collect())
+    Layout::new(
+        local
+            .as_slice()
+            .iter()
+            .map(|&l| region[l as usize])
+            .collect(),
+    )
 }
 
 /// Total calibrated error mass of a layout's region — exposed so
 /// experiments can compare layout strategies.
 #[must_use]
 pub fn layout_error_score(layout: &Layout, backend: &Backend) -> f64 {
-    layout.as_slice().iter().map(|&q| qubit_score(backend, q)).sum()
+    layout
+        .as_slice()
+        .iter()
+        .map(|&q| qubit_score(backend, q))
+        .sum()
 }
 
 #[cfg(test)]
@@ -164,8 +174,7 @@ mod tests {
         let plain = greedy_layout(&circuit, backend.topology());
         let aware = noise_aware_layout(&circuit, &backend);
         assert!(
-            layout_error_score(&aware, &backend)
-                <= layout_error_score(&plain, &backend) + 1e-12
+            layout_error_score(&aware, &backend) <= layout_error_score(&plain, &backend) + 1e-12
         );
     }
 

@@ -103,7 +103,11 @@ fn cancel_adjacent_inverses(insts: Vec<Instruction>) -> Vec<Instruction> {
             }
         }
     }
-    insts.into_iter().zip(keep).filter_map(|(inst, k)| k.then_some(inst)).collect()
+    insts
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(inst, k)| k.then_some(inst))
+        .collect()
 }
 
 /// Merges runs of RZ gates on the same qubit separated only by gates on
@@ -208,7 +212,9 @@ mod tests {
     #[test]
     fn drops_zero_rotations_and_identity() {
         let mut c = Circuit::new(1, "t");
-        c.rz(0.0, 0).apply(Gate::I, &[0]).rz(std::f64::consts::TAU, 0);
+        c.rz(0.0, 0)
+            .apply(Gate::I, &[0])
+            .rz(std::f64::consts::TAU, 0);
         assert_eq!(optimize(&c).gate_count(), 0);
     }
 

@@ -36,17 +36,20 @@ pub fn route(circuit: &Circuit, topology: &Topology, layout: &Layout) -> Routed 
     let mut log2phys: Vec<u32> = layout.as_slice().to_vec();
     let mut phys2log: Vec<Option<u32>> = vec![None; n_phys];
     for (l, &p) in log2phys.iter().enumerate() {
-        assert!((p as usize) < n_phys, "layout places logical {l} out of range");
+        assert!(
+            (p as usize) < n_phys,
+            "layout places logical {l} out of range"
+        );
         phys2log[p as usize] = Some(l as u32);
     }
 
     let mut out = Circuit::new(n_phys, circuit.name().to_string());
 
     let emit_swap = |out: &mut Circuit,
-                         log2phys: &mut Vec<u32>,
-                         phys2log: &mut Vec<Option<u32>>,
-                         a: u32,
-                         b: u32| {
+                     log2phys: &mut Vec<u32>,
+                     phys2log: &mut Vec<Option<u32>>,
+                     a: u32,
+                     b: u32| {
         // Physical SWAP = 3 CX on the coupled edge.
         out.cx(a, b).cx(b, a).cx(a, b);
         let la = phys2log[a as usize];
@@ -86,10 +89,16 @@ pub fn route(circuit: &Circuit, topology: &Topology, layout: &Layout) -> Routed 
         }
     }
 
-    let measured: Vec<u32> =
-        circuit.measured().iter().map(|&l| log2phys[l as usize]).collect();
+    let measured: Vec<u32> = circuit
+        .measured()
+        .iter()
+        .map(|&l| log2phys[l as usize])
+        .collect();
     out.set_measured(measured);
-    Routed { circuit: out, final_map: log2phys }
+    Routed {
+        circuit: out,
+        final_map: log2phys,
+    }
 }
 
 /// Convenience check used by tests and debug assertions: every CX in

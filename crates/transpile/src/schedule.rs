@@ -57,8 +57,10 @@ pub fn schedule(circuit: &Circuit, calibration: &Calibration) -> Schedule {
             }
             g => panic!("schedule expects basis gates, found {g}"),
         };
-        let start =
-            qs.iter().map(|&q| free_at[q as usize]).fold(0.0f64, f64::max);
+        let start = qs
+            .iter()
+            .map(|&q| free_at[q as usize])
+            .fold(0.0f64, f64::max);
         let layer = qs.iter().map(|&q| depth_at[q as usize]).max().unwrap_or(0) + 1;
         for &q in qs {
             free_at[q as usize] = start + duration;
@@ -72,7 +74,12 @@ pub fn schedule(circuit: &Circuit, calibration: &Calibration) -> Schedule {
         .iter()
         .map(|&q| calibration.qubit(q).readout_duration_ns)
         .fold(0.0f64, f64::max);
-    Schedule { total_ns: compute_ns + readout_ns, compute_ns, readout_ns, depth }
+    Schedule {
+        total_ns: compute_ns + readout_ns,
+        compute_ns,
+        readout_ns,
+        depth,
+    }
 }
 
 #[cfg(test)]
@@ -83,14 +90,31 @@ mod tests {
 
     fn cal(n: usize) -> Calibration {
         let qubits = vec![
-            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            QubitCalibration {
+                t1_us: 100.0,
+                t2_us: 80.0,
+                readout_error: 0.02,
+                readout_duration_ns: 1000.0
+            };
             n
         ];
-        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 40.0 }; n];
+        let sq = vec![
+            GateCalibration {
+                error: 1e-4,
+                duration_ns: 40.0
+            };
+            n
+        ];
         let mut cx = BTreeMap::new();
         for a in 0..n as u32 {
             for b in a + 1..n as u32 {
-                cx.insert((a, b), GateCalibration { error: 1e-2, duration_ns: 300.0 });
+                cx.insert(
+                    (a, b),
+                    GateCalibration {
+                        error: 1e-2,
+                        duration_ns: 300.0,
+                    },
+                );
             }
         }
         Calibration::new(qubits, sq, cx)

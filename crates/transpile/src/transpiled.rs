@@ -33,7 +33,14 @@ impl TranspiledCircuit {
         schedule: Schedule,
     ) -> Self {
         debug_assert!(physical.is_basis_only());
-        Self { physical, backend_name, logical_qubits, initial_map, final_map, schedule }
+        Self {
+            physical,
+            backend_name,
+            logical_qubits,
+            initial_map,
+            final_map,
+            schedule,
+        }
     }
 
     /// The physical basis-only circuit over all backend qubits. Its

@@ -1,7 +1,10 @@
 //! The transpilation pipeline driver.
 
+use std::time::Instant;
+
 use qbeep_circuit::Circuit;
 use qbeep_device::Backend;
+use qbeep_telemetry::Recorder;
 
 use crate::decompose::to_basis;
 use crate::layout::greedy_layout;
@@ -50,7 +53,11 @@ impl<'a> Transpiler<'a> {
     /// the interaction-greedy layout.
     #[must_use]
     pub fn new(backend: &'a Backend) -> Self {
-        Self { backend, optimization: true, layout_strategy: LayoutStrategy::default() }
+        Self {
+            backend,
+            optimization: true,
+            layout_strategy: LayoutStrategy::default(),
+        }
     }
 
     /// Enables or disables the peephole optimisation passes (used by
@@ -77,6 +84,26 @@ impl<'a> Transpiler<'a> {
     /// * [`TranspileError::DisconnectedBackend`] if the coupling graph
     ///   cannot route.
     pub fn transpile(&self, circuit: &Circuit) -> Result<TranspiledCircuit, TranspileError> {
+        self.transpile_recorded(circuit, &Recorder::disabled())
+    }
+
+    /// [`transpile`](Self::transpile), reporting per-pass wall times
+    /// ("transpile/decompose" … "transpile/schedule" spans plus the
+    /// "transpile.pass_ms" histogram) and gate statistics
+    /// (`transpile.gates_in/gates_lowered/gates_out/cx_out` counters,
+    /// `transpile.depth`/`transpile.duration_ns` gauges) to `recorder`.
+    ///
+    /// With a disabled recorder this is exactly [`transpile`](Self::transpile).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`transpile`](Self::transpile).
+    pub fn transpile_recorded(
+        &self,
+        circuit: &Circuit,
+        recorder: &Recorder,
+    ) -> Result<TranspiledCircuit, TranspileError> {
+        let _span = recorder.span("transpile");
         let needed = circuit.num_qubits();
         let available = self.backend.num_qubits();
         if needed > available {
@@ -85,20 +112,35 @@ impl<'a> Transpiler<'a> {
         if !self.backend.topology().is_connected() {
             return Err(TranspileError::DisconnectedBackend);
         }
+        recorder.incr("transpile.gates_in", circuit.gate_count() as u64);
 
-        let mut lowered = to_basis(circuit);
+        let mut lowered = pass(recorder, "decompose", || to_basis(circuit));
         if self.optimization {
-            lowered = optimize(&lowered);
+            let optimized = pass(recorder, "optimize_logical", || optimize(&lowered));
+            lowered = optimized;
         }
-        let layout = match self.layout_strategy {
-            LayoutStrategy::InteractionGreedy => {
-                greedy_layout(&lowered, self.backend.topology())
-            }
+        recorder.incr("transpile.gates_lowered", lowered.gate_count() as u64);
+        let layout = pass(recorder, "layout", || match self.layout_strategy {
+            LayoutStrategy::InteractionGreedy => greedy_layout(&lowered, self.backend.topology()),
             LayoutStrategy::NoiseAware => noise_aware_layout(&lowered, self.backend),
+        });
+        let routed = pass(recorder, "route", || {
+            route(&lowered, self.backend.topology(), &layout)
+        });
+        let physical = if self.optimization {
+            pass(recorder, "optimize_physical", || optimize(&routed.circuit))
+        } else {
+            routed.circuit
         };
-        let routed = route(&lowered, self.backend.topology(), &layout);
-        let physical = if self.optimization { optimize(&routed.circuit) } else { routed.circuit };
-        let sched = schedule(&physical, self.backend.calibration());
+        let sched = pass(recorder, "schedule", || {
+            schedule(&physical, self.backend.calibration())
+        });
+        if recorder.is_enabled() {
+            recorder.incr("transpile.gates_out", physical.gate_count() as u64);
+            recorder.incr("transpile.cx_out", physical.two_qubit_gate_count() as u64);
+            recorder.gauge("transpile.depth", sched.depth as f64);
+            recorder.gauge("transpile.duration_ns", sched.total_ns);
+        }
         Ok(TranspiledCircuit::new(
             physical,
             self.backend.name().to_string(),
@@ -108,6 +150,20 @@ impl<'a> Transpiler<'a> {
             sched,
         ))
     }
+}
+
+/// Runs one pipeline pass under a child span, feeding its duration into
+/// the shared "transpile.pass_ms" histogram. Skips all bookkeeping —
+/// including the clock reads — when the recorder is disabled.
+fn pass<T>(recorder: &Recorder, name: &str, f: impl FnOnce() -> T) -> T {
+    if !recorder.is_enabled() {
+        return f();
+    }
+    let _span = recorder.span(name);
+    let started = Instant::now();
+    let out = f();
+    recorder.observe("transpile.pass_ms", started.elapsed().as_secs_f64() * 1e3);
+    out
 }
 
 #[cfg(test)]
@@ -130,11 +186,68 @@ mod tests {
     }
 
     #[test]
+    fn recorded_transpile_matches_plain() {
+        let backend = profiles::by_name("fake_jakarta").unwrap();
+        let bv = bernstein_vazirani(&"10110".parse().unwrap());
+        let plain = Transpiler::new(&backend).transpile(&bv).unwrap();
+        let recorder = Recorder::new();
+        let recorded = Transpiler::new(&backend)
+            .transpile_recorded(&bv, &recorder)
+            .unwrap();
+        assert_eq!(plain.circuit(), recorded.circuit());
+        assert_eq!(plain.duration_ns(), recorded.duration_ns());
+        assert_eq!(plain.initial_map(), recorded.initial_map());
+    }
+
+    #[test]
+    fn recorder_sees_every_pass() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let bv = bernstein_vazirani(&"1011".parse().unwrap());
+        let recorder = Recorder::new();
+        let t = Transpiler::new(&backend)
+            .transpile_recorded(&bv, &recorder)
+            .unwrap();
+        let report = recorder.report();
+        for path in [
+            "transpile",
+            "transpile/decompose",
+            "transpile/optimize_logical",
+            "transpile/layout",
+            "transpile/route",
+            "transpile/optimize_physical",
+            "transpile/schedule",
+        ] {
+            assert!(report.span(path).is_some(), "missing span {path}");
+        }
+        assert_eq!(
+            report.counters["transpile.gates_in"],
+            bv.gate_count() as u64
+        );
+        assert_eq!(
+            report.counters["transpile.gates_out"],
+            t.gate_count() as u64
+        );
+        assert_eq!(
+            report.counters["transpile.cx_out"],
+            t.circuit().two_qubit_gate_count() as u64
+        );
+        assert_eq!(report.gauges["transpile.depth"], t.schedule().depth as f64);
+        assert_eq!(report.gauges["transpile.duration_ns"], t.duration_ns());
+        assert_eq!(report.histograms["transpile.pass_ms"].count, 6);
+    }
+
+    #[test]
     fn too_wide_circuit_errors() {
         let backend = profiles::by_name("fake_lima").unwrap();
         let big = cat_state(9);
         let err = Transpiler::new(&backend).transpile(&big).unwrap_err();
-        assert_eq!(err, TranspileError::TooManyQubits { needed: 9, available: 5 });
+        assert_eq!(
+            err,
+            TranspileError::TooManyQubits {
+                needed: 9,
+                available: 5
+            }
+        );
     }
 
     #[test]
@@ -143,7 +256,10 @@ mod tests {
         // cat_state(5) needs a CX chain; on a line topology the greedy
         // layout should avoid SWAPs entirely.
         let t = Transpiler::new(&backend).transpile(&cat_state(5)).unwrap();
-        assert!(crate::route::respects_topology(t.circuit(), backend.topology()));
+        assert!(crate::route::respects_topology(
+            t.circuit(),
+            backend.topology()
+        ));
     }
 
     #[test]
@@ -151,7 +267,9 @@ mod tests {
         let backend = profiles::by_name("fake_jakarta").unwrap();
         let suite = qasmbench_suite();
         for entry in &suite {
-            let opt = Transpiler::new(&backend).transpile(entry.circuit()).unwrap();
+            let opt = Transpiler::new(&backend)
+                .transpile(entry.circuit())
+                .unwrap();
             let raw = Transpiler::new(&backend)
                 .with_optimization(false)
                 .transpile(entry.circuit())
@@ -199,8 +317,8 @@ mod tests {
 
     #[test]
     fn noise_aware_layout_lowers_expected_error() {
-        use crate::noise_layout::layout_error_score;
         use crate::layout::Layout;
+        use crate::noise_layout::layout_error_score;
         let backend = profiles::by_name("fake_brooklyn").unwrap();
         let bv = bernstein_vazirani(&"1011011".parse().unwrap());
         let plain = Transpiler::new(&backend).transpile(&bv).unwrap();
@@ -209,26 +327,59 @@ mod tests {
             .transpile(&bv)
             .unwrap();
         assert!(aware.circuit().is_basis_only());
-        assert!(crate::route::respects_topology(aware.circuit(), backend.topology()));
+        assert!(crate::route::respects_topology(
+            aware.circuit(),
+            backend.topology()
+        ));
         let score = |t: &TranspiledCircuit| {
             layout_error_score(&Layout::new(t.initial_map().to_vec()), &backend)
         };
-        assert!(score(&aware) <= score(&plain) + 1e-12, "{} > {}", score(&aware), score(&plain));
+        assert!(
+            score(&aware) <= score(&plain) + 1e-12,
+            "{} > {}",
+            score(&aware),
+            score(&plain)
+        );
     }
 
     #[test]
     fn disconnected_backend_errors() {
-        use qbeep_device::{Backend, Calibration, GateCalibration, NativeGateSet, QubitCalibration};
+        use qbeep_device::{
+            Backend, Calibration, GateCalibration, NativeGateSet, QubitCalibration,
+        };
         use std::collections::BTreeMap;
         let topo = Topology::from_edges(4, &[(0, 1), (2, 3)]);
         let qubits = vec![
-            QubitCalibration { t1_us: 100.0, t2_us: 80.0, readout_error: 0.02, readout_duration_ns: 1000.0 };
+            QubitCalibration {
+                t1_us: 100.0,
+                t2_us: 80.0,
+                readout_error: 0.02,
+                readout_duration_ns: 1000.0
+            };
             4
         ];
-        let sq = vec![GateCalibration { error: 1e-4, duration_ns: 35.0 }; 4];
+        let sq = vec![
+            GateCalibration {
+                error: 1e-4,
+                duration_ns: 35.0
+            };
+            4
+        ];
         let mut cx = BTreeMap::new();
-        cx.insert((0u32, 1u32), GateCalibration { error: 1e-2, duration_ns: 300.0 });
-        cx.insert((2u32, 3u32), GateCalibration { error: 1e-2, duration_ns: 300.0 });
+        cx.insert(
+            (0u32, 1u32),
+            GateCalibration {
+                error: 1e-2,
+                duration_ns: 300.0,
+            },
+        );
+        cx.insert(
+            (2u32, 3u32),
+            GateCalibration {
+                error: 1e-2,
+                duration_ns: 300.0,
+            },
+        );
         let backend = Backend::new(
             "split",
             NativeGateSet::SuperconductingCx,

@@ -16,7 +16,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let machines = ["fake_lagos", "fake_guadalupe", "fake_toronto", "fake_washington"];
+    let machines = [
+        "fake_lagos",
+        "fake_guadalupe",
+        "fake_toronto",
+        "fake_washington",
+    ];
     let engine = QBeep::default();
     let hammer_cfg = HammerConfig::default();
     let mut rng = StdRng::seed_from_u64(7);
@@ -40,9 +45,14 @@ fn main() {
             if backend.num_qubits() < width + 1 {
                 continue;
             }
-            let run =
-                execute_on_device(&circuit, &backend, 3000, &EmpiricalConfig::default(), &mut rng)
-                    .expect("fits");
+            let run = execute_on_device(
+                &circuit,
+                &backend,
+                3000,
+                &EmpiricalConfig::default(),
+                &mut rng,
+            )
+            .expect("fits");
             let qbeep = engine.mitigate_run(&run.counts, &run.transpiled, &backend);
             let hammer = hammer_mitigate(&run.counts, &hammer_cfg);
             let raw = run.counts.pst(&secret);
@@ -56,5 +66,8 @@ fn main() {
         }
     }
     let mean = improvements.iter().sum::<f64>() / improvements.len() as f64;
-    println!("\nmean relative PST improvement: {mean:.2}x over {} runs", improvements.len());
+    println!(
+        "\nmean relative PST improvement: {mean:.2}x over {} runs",
+        improvements.len()
+    );
 }

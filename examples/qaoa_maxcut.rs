@@ -26,20 +26,35 @@ fn main() {
     // Depth-2 ansatz with the library's ramp schedule.
     let circuit = qaoa_circuit(&problem, &[0.35, 0.6], &[0.5, 0.17]);
     let ideal = ideal_distribution(&circuit);
-    println!("ideal CR (noise-free):    {:.4}", cost_ratio(&ideal, &problem));
+    println!(
+        "ideal CR (noise-free):    {:.4}",
+        cost_ratio(&ideal, &problem)
+    );
 
     let backend = profiles::sycamore();
     // The documented native-gate correction for the Sycamore profile.
     let scale = 0.25;
-    let cfg = EmpiricalConfig { lambda_scale: scale, ..EmpiricalConfig::default() };
+    let cfg = EmpiricalConfig {
+        lambda_scale: scale,
+        ..EmpiricalConfig::default()
+    };
     let run = execute_on_device(&circuit, &backend, 4000, &cfg, &mut rng).expect("fits");
     let raw_dist = run.counts.to_distribution();
-    println!("raw noisy CR:             {:.4}", cost_ratio(&raw_dist, &problem));
-    println!("raw noisy ⟨C⟩:            {:.4}", expected_cost(&raw_dist, &problem));
+    println!(
+        "raw noisy CR:             {:.4}",
+        cost_ratio(&raw_dist, &problem)
+    );
+    println!(
+        "raw noisy ⟨C⟩:            {:.4}",
+        expected_cost(&raw_dist, &problem)
+    );
 
     let lambda = qbeep::core::lambda::estimate_lambda(&run.transpiled, &backend) * scale;
     let result = QBeep::default().mitigate_with_lambda(&run.counts, lambda);
-    println!("Q-BEEP CR (λ = {lambda:.3}):  {:.4}", cost_ratio(&result.mitigated, &problem));
+    println!(
+        "Q-BEEP CR (λ = {lambda:.3}):  {:.4}",
+        cost_ratio(&result.mitigated, &problem)
+    );
     println!(
         "relative CR improvement:  {:.2}x",
         qbeep::qaoa::cost::cr_improvement(

@@ -15,10 +15,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let machine =
-        std::env::args().nth(1).unwrap_or_else(|| "fake_guadalupe".to_string());
+    let machine = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fake_guadalupe".to_string());
     let Some(backend) = profiles::by_name(&machine) else {
-        eprintln!("unknown machine {machine}; known: {:?}", profiles::ibmq_names());
+        eprintln!(
+            "unknown machine {machine}; known: {:?}",
+            profiles::ibmq_names()
+        );
         std::process::exit(1);
     };
     println!("backend: {backend}\n");

@@ -16,7 +16,11 @@ fn main() {
     // The hidden secret our BV oracle encodes.
     let secret = "10110".parse().expect("valid bit-string");
     let circuit = bernstein_vazirani(&secret);
-    println!("circuit: {} ({} gates)", circuit.name(), circuit.gate_count());
+    println!(
+        "circuit: {} ({} gates)",
+        circuit.name(),
+        circuit.gate_count()
+    );
 
     // A synthetic 7-qubit machine with realistic calibration data.
     let backend = profiles::by_name("fake_lagos").expect("profile exists");
@@ -24,8 +28,14 @@ fn main() {
 
     // Execute 4000 shots through the empirical noise channel.
     let mut rng = StdRng::seed_from_u64(2023);
-    let run = execute_on_device(&circuit, &backend, 4000, &EmpiricalConfig::default(), &mut rng)
-        .expect("circuit fits the machine");
+    let run = execute_on_device(
+        &circuit,
+        &backend,
+        4000,
+        &EmpiricalConfig::default(),
+        &mut rng,
+    )
+    .expect("circuit fits the machine");
     println!(
         "transpiled: {} gates ({} CX), {:.1} µs end-to-end",
         run.transpiled.gate_count(),
@@ -44,6 +54,12 @@ fn main() {
     let after = result.mitigated.prob(&secret);
     let fid_before = run.counts.to_distribution().fidelity(&run.ideal);
     let fid_after = result.mitigated.fidelity(&run.ideal);
-    println!("PST:      {before:.4} -> {after:.4}  ({:.2}x)", after / before);
-    println!("fidelity: {fid_before:.4} -> {fid_after:.4}  ({:.2}x)", fid_after / fid_before);
+    println!(
+        "PST:      {before:.4} -> {after:.4}  ({:.2}x)",
+        after / before
+    );
+    println!(
+        "fidelity: {fid_before:.4} -> {fid_after:.4}  ({:.2}x)",
+        fid_after / fid_before
+    );
 }

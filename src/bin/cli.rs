@@ -12,11 +12,17 @@
 //! qbeep-cli backends
 //! qbeep-cli transpile --qasm circuit.qasm --backend fake_lagos
 //! qbeep-cli run --qasm circuit.qasm --backend fake_lagos --shots 4000
+//! qbeep-cli run --qasm circuit.qasm --backend fake_lagos --telemetry json
 //! qbeep-cli mitigate --qasm circuit.qasm --backend fake_lagos --counts counts.json
 //! qbeep-cli mitigate --counts counts.json --lambda 0.8
+//! qbeep-cli help
 //! ```
 //!
 //! Counts JSON is the IBMQ-style dictionary: `{"1011": 812, ...}`.
+//! With `--telemetry` (or `QBEEP_TELEMETRY=json|table` in the
+//! environment) each command also prints a structured run report —
+//! span timings, λ breakdown, graph statistics, per-iteration series —
+//! to stderr, leaving stdout machine-parseable.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -26,20 +32,25 @@ use qbeep::circuit::qasm::from_qasm;
 use qbeep::circuit::Circuit;
 use qbeep::core::{QBeep, QBeepConfig};
 use qbeep::device::{profiles, Backend};
-use qbeep::sim::{execute_on_device, EmpiricalConfig};
+use qbeep::sim::{execute_on_device_recorded, EmpiricalConfig};
+use qbeep::telemetry::Recorder;
 use qbeep::transpile::Transpiler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Parsed command-line options: `--key value` pairs after the
-/// subcommand.
+/// Flags that may appear without a value (`--telemetry` alone means
+/// the table format; `--help` is a request for the usage text).
+const VALUELESS_FLAGS: &[&str] = &["telemetry", "help"];
+
+/// Parsed command-line options: `--key value` / `--key=value` pairs
+/// after the subcommand.
 struct Options {
     command: String,
     flags: BTreeMap<String, String>,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let command = args.next().ok_or_else(usage)?;
     let mut flags = BTreeMap::new();
     while let Some(key) = args.next() {
@@ -47,37 +58,113 @@ fn parse_args() -> Result<Options, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{key}'"))?
             .to_string();
-        let value = args.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key, value);
+        if let Some((name, value)) = key.split_once('=') {
+            flags.insert(name.to_string(), value.to_string());
+            continue;
+        }
+        let next_is_value = args.peek().is_some_and(|next| !next.starts_with("--"));
+        if next_is_value {
+            let value = args.next().expect("peeked");
+            flags.insert(key, value);
+        } else if VALUELESS_FLAGS.contains(&key.as_str()) {
+            flags.insert(key, String::new());
+        } else {
+            return Err(format!("--{key} needs a value"));
+        }
     }
     Ok(Options { command, flags })
 }
 
 fn usage() -> String {
-    "usage: qbeep-cli <backends|transpile|run|mitigate> [--qasm FILE] \
-     [--backend NAME] [--counts FILE] [--shots N] [--lambda X] \
-     [--iterations N] [--epsilon X] [--seed N]"
+    "usage: qbeep-cli <backends|transpile|run|mitigate|help> [flags]\n\
+     run `qbeep-cli help` for the full flag list"
         .to_string()
+}
+
+fn long_usage() -> String {
+    "qbeep-cli — Q-BEEP quantum error mitigation over the Hamming spectrum\n\
+     \n\
+     usage: qbeep-cli <command> [flags]\n\
+     \n\
+     commands:\n\
+     \x20 backends   list the synthetic backend profiles\n\
+     \x20 transpile  lower --qasm onto --backend, print OpenQASM\n\
+     \x20 run        simulate --qasm on --backend, print counts JSON\n\
+     \x20 mitigate   mitigate --counts with Q-BEEP, print probabilities JSON\n\
+     \x20 help       print this message\n\
+     \n\
+     flags (--key value or --key=value):\n\
+     \x20 --qasm FILE          OpenQASM 2.0 circuit to transpile/run/mitigate\n\
+     \x20 --backend NAME       backend profile (see `qbeep-cli backends`)\n\
+     \x20 --counts FILE        counts JSON, IBMQ-style {\"1011\": 812, ...}\n\
+     \x20 --shots N            shots to simulate (default 4000)\n\
+     \x20 --seed N             simulation rng seed (default 0)\n\
+     \x20 --lambda X           skip Eq.-2 estimation, use this rate\n\
+     \x20 --iterations N       Algorithm-1 iteration count (default 20)\n\
+     \x20 --epsilon X          edge-weight pruning threshold\n\
+     \x20 --telemetry[=FORMAT] print a run report to stderr; FORMAT is\n\
+     \x20                      `table` (default) or `json`. The env var\n\
+     \x20                      QBEEP_TELEMETRY=json|table does the same.\n\
+     \x20 --help               print this message and exit"
+        .to_string()
+}
+
+/// How a run report gets printed, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TelemetryFormat {
+    Json,
+    Table,
+}
+
+/// Resolves the telemetry setting: the `--telemetry` flag wins over the
+/// `QBEEP_TELEMETRY` environment variable; both accept json/table and
+/// the usual off-switch spellings.
+fn telemetry_format(flags: &BTreeMap<String, String>) -> Result<Option<TelemetryFormat>, String> {
+    let raw = match flags.get("telemetry") {
+        Some(value) => value.clone(),
+        None => match std::env::var("QBEEP_TELEMETRY") {
+            Ok(value) => value,
+            Err(_) => return Ok(None),
+        },
+    };
+    match raw.as_str() {
+        "json" => Ok(Some(TelemetryFormat::Json)),
+        "" | "table" | "1" | "true" | "on" => Ok(Some(TelemetryFormat::Table)),
+        "0" | "false" | "off" | "none" => Ok(None),
+        other => Err(format!(
+            "bad telemetry format '{other}' (expected json or table)"
+        )),
+    }
+}
+
+/// Prints the recorder's report to stderr in the chosen format,
+/// keeping stdout free for each command's primary output.
+fn emit_report(recorder: &Recorder, format: TelemetryFormat) {
+    let report = recorder.report();
+    match format {
+        TelemetryFormat::Json => eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("run report serializes")
+        ),
+        TelemetryFormat::Table => eprint!("{}", report.render_table()),
+    }
 }
 
 fn load_backend(flags: &BTreeMap<String, String>) -> Result<Backend, String> {
     let name = flags.get("backend").ok_or("missing --backend")?;
-    profiles::by_name(name).ok_or_else(|| {
-        format!("unknown backend '{name}'; run `qbeep-cli backends` for the list")
-    })
+    profiles::by_name(name)
+        .ok_or_else(|| format!("unknown backend '{name}'; run `qbeep-cli backends` for the list"))
 }
 
 fn load_circuit(flags: &BTreeMap<String, String>) -> Result<Circuit, String> {
     let path = flags.get("qasm").ok_or("missing --qasm")?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     from_qasm(&source).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn load_counts(flags: &BTreeMap<String, String>) -> Result<Counts, String> {
     let path = flags.get("counts").ok_or("missing --counts")?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let table: BTreeMap<String, u64> =
         serde_json::from_str(&source).map_err(|e| format!("bad counts JSON in {path}: {e}"))?;
     if table.is_empty() {
@@ -89,7 +176,9 @@ fn load_counts(flags: &BTreeMap<String, String>) -> Result<Counts, String> {
         if bits.len() != width {
             return Err(format!("mixed widths in {path}: '{bits}' vs {width}"));
         }
-        let s: BitString = bits.parse().map_err(|e| format!("bad bit-string '{bits}': {e}"))?;
+        let s: BitString = bits
+            .parse()
+            .map_err(|e| format!("bad bit-string '{bits}': {e}"))?;
         counts.record(s, n);
     }
     Ok(counts)
@@ -98,8 +187,9 @@ fn load_counts(flags: &BTreeMap<String, String>) -> Result<Counts, String> {
 fn engine_from_flags(flags: &BTreeMap<String, String>) -> Result<QBeep, String> {
     let mut config = QBeepConfig::default();
     if let Some(iters) = flags.get("iterations") {
-        config.iterations =
-            iters.parse().map_err(|_| format!("bad --iterations '{iters}'"))?;
+        config.iterations = iters
+            .parse()
+            .map_err(|_| format!("bad --iterations '{iters}'"))?;
     }
     if let Some(eps) = flags.get("epsilon") {
         config.epsilon = eps.parse().map_err(|_| format!("bad --epsilon '{eps}'"))?;
@@ -110,14 +200,20 @@ fn engine_from_flags(flags: &BTreeMap<String, String>) -> Result<QBeep, String> 
 fn counts_to_json(probs: &[(BitString, f64)]) -> String {
     let mut out = String::from("{\n");
     for (i, (s, p)) in probs.iter().enumerate() {
-        out.push_str(&format!("  \"{s}\": {p:.6}{}\n", if i + 1 < probs.len() { "," } else { "" }));
+        out.push_str(&format!(
+            "  \"{s}\": {p:.6}{}\n",
+            if i + 1 < probs.len() { "," } else { "" }
+        ));
     }
     out.push('}');
     out
 }
 
 fn cmd_backends() -> Result<(), String> {
-    println!("{:>18} {:>7} {:>7} {:>10}", "name", "qubits", "edges", "mean_cx_err");
+    println!(
+        "{:>18} {:>7} {:>7} {:>10}",
+        "name", "qubits", "edges", "mean_cx_err"
+    );
     let mut fleet = profiles::ibmq_fleet();
     fleet.push(profiles::ionq());
     fleet.push(profiles::sycamore());
@@ -136,7 +232,15 @@ fn cmd_backends() -> Result<(), String> {
 fn cmd_transpile(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let backend = load_backend(flags)?;
     let circuit = load_circuit(flags)?;
-    let t = Transpiler::new(&backend).transpile(&circuit).map_err(|e| e.to_string())?;
+    let telemetry = telemetry_format(flags)?;
+    let recorder = if telemetry.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let t = Transpiler::new(&backend)
+        .transpile_recorded(&circuit, &recorder)
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "// {} on {}: {} gates ({} CX), depth {}, {:.2} µs, λ = {:.4}",
         circuit.name(),
@@ -148,6 +252,9 @@ fn cmd_transpile(flags: &BTreeMap<String, String>) -> Result<(), String> {
         qbeep::core::lambda::estimate_lambda(&t, &backend),
     );
     println!("{}", t.circuit().to_qasm());
+    if let Some(format) = telemetry {
+        emit_report(&recorder, format);
+    }
     Ok(())
 }
 
@@ -160,37 +267,81 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
         s.parse().map_err(|_| format!("bad --seed '{s}'"))
     })?;
+    let telemetry = telemetry_format(flags)?;
+    let recorder = if telemetry.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
     let mut rng = StdRng::seed_from_u64(seed);
-    let run = execute_on_device(&circuit, &backend, shots, &EmpiricalConfig::default(), &mut rng)
-        .map_err(|e| e.to_string())?;
+    let run = execute_on_device_recorded(
+        &circuit,
+        &backend,
+        shots,
+        &EmpiricalConfig::default(),
+        &mut rng,
+        &recorder,
+    )
+    .map_err(|e| e.to_string())?;
     eprintln!(
         "// simulated {} shots on {} (λ* = {:.4})",
         shots,
         backend.name(),
         run.lambda_true
     );
+    if recorder.is_enabled() {
+        // Mitigate as well, so the report covers the full pipeline —
+        // λ breakdown, graph build and per-iteration series — while
+        // stdout still carries only the raw counts.
+        let result = engine_from_flags(flags)?
+            .with_recorder(recorder.clone())
+            .mitigate_run(&run.counts, &run.transpiled, &backend);
+        eprintln!(
+            "// mitigated: λ = {:.4}, graph {} vertices / {} edges, {} iterations",
+            result.lambda,
+            result.diagnostics.vertices,
+            result.diagnostics.edges,
+            result.diagnostics.iterations,
+        );
+    }
     let rows = run.counts.sorted_by_count();
     let mut out = String::from("{\n");
     for (i, (s, c)) in rows.iter().enumerate() {
-        out.push_str(&format!("  \"{s}\": {c}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+        out.push_str(&format!(
+            "  \"{s}\": {c}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
     }
     out.push('}');
     println!("{out}");
+    if let Some(format) = telemetry {
+        emit_report(&recorder, format);
+    }
     Ok(())
 }
 
 fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let counts = load_counts(flags)?;
-    let engine = engine_from_flags(flags)?;
+    let telemetry = telemetry_format(flags)?;
+    let recorder = if telemetry.is_some() {
+        Recorder::new()
+    } else {
+        Recorder::disabled()
+    };
+    let engine = engine_from_flags(flags)?.with_recorder(recorder.clone());
     let result = if let Some(lambda) = flags.get("lambda") {
-        let lambda: f64 = lambda.parse().map_err(|_| format!("bad --lambda '{lambda}'"))?;
+        let lambda: f64 = lambda
+            .parse()
+            .map_err(|_| format!("bad --lambda '{lambda}'"))?;
         engine.mitigate_with_lambda(&counts, lambda)
     } else {
         let backend = load_backend(flags).map_err(|e| {
             format!("{e} (λ estimation needs --qasm and --backend, or pass --lambda)")
         })?;
         let circuit = load_circuit(flags)?;
-        let t = Transpiler::new(&backend).transpile(&circuit).map_err(|e| e.to_string())?;
+        let t = Transpiler::new(&backend)
+            .transpile_recorded(&circuit, &recorder)
+            .map_err(|e| e.to_string())?;
         engine.mitigate_run(&counts, &t, &backend)
     };
     eprintln!(
@@ -198,6 +349,9 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
         result.lambda, result.graph_size.0, result.graph_size.1
     );
     println!("{}", counts_to_json(&result.mitigated.sorted_by_prob()));
+    if let Some(format) = telemetry {
+        emit_report(&recorder, format);
+    }
     Ok(())
 }
 
@@ -209,6 +363,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.command == "help"
+        || options.command == "--help"
+        || options.flags.contains_key("help")
+    {
+        println!("{}", long_usage());
+        return ExitCode::SUCCESS;
+    }
     let result = match options.command.as_str() {
         "backends" => cmd_backends(),
         "transpile" => cmd_transpile(&options.flags),

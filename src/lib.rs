@@ -56,5 +56,7 @@ pub use qbeep_device as device;
 pub use qbeep_qaoa as qaoa;
 /// Ideal, Markovian-noise and empirical-channel simulators.
 pub use qbeep_sim as sim;
+/// Spans, counters, histograms and structured run reports.
+pub use qbeep_telemetry as telemetry;
 /// Basis decomposition, layout, routing and scheduling.
 pub use qbeep_transpile as transpile;

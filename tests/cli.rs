@@ -46,10 +46,20 @@ fn backends_lists_the_fleet() {
 fn transpile_emits_qasm_with_stats() {
     let qasm = write_temp("t.qasm", BV_QASM);
     let out = cli()
-        .args(["transpile", "--qasm", qasm.to_str().unwrap(), "--backend", "fake_lima"])
+        .args([
+            "transpile",
+            "--qasm",
+            qasm.to_str().unwrap(),
+            "--backend",
+            "fake_lima",
+        ])
         .output()
         .expect("run cli");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("OPENQASM 2.0;"));
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -73,7 +83,11 @@ fn run_then_mitigate_round_trips() {
         ])
         .output()
         .expect("run cli");
-    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
     let counts_path = write_temp("rt_counts.json", &String::from_utf8_lossy(&run.stdout));
 
     let mitigated = cli()
@@ -88,7 +102,11 @@ fn run_then_mitigate_round_trips() {
         ])
         .output()
         .expect("run cli");
-    assert!(mitigated.status.success(), "{}", String::from_utf8_lossy(&mitigated.stderr));
+    assert!(
+        mitigated.status.success(),
+        "{}",
+        String::from_utf8_lossy(&mitigated.stderr)
+    );
     let json: std::collections::BTreeMap<String, f64> =
         serde_json::from_slice(&mitigated.stdout).expect("mitigated output is JSON");
     // The secret of BV_QASM is 101 (CX from q0 and q2).
@@ -106,20 +124,229 @@ fn run_then_mitigate_round_trips() {
 fn mitigate_with_explicit_lambda_needs_no_backend() {
     let counts = write_temp("lam_counts.json", r#"{"000": 700, "001": 150, "010": 150}"#);
     let out = cli()
-        .args(["mitigate", "--counts", counts.to_str().unwrap(), "--lambda", "0.7"])
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.7",
+        ])
         .output()
         .expect("run cli");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json: std::collections::BTreeMap<String, f64> =
         serde_json::from_slice(&out.stdout).expect("JSON");
     assert!(json["000"] > 0.7);
 }
 
 #[test]
+fn help_exits_zero_with_full_usage() {
+    for args in [vec!["help"], vec!["--help"], vec!["run", "--help"]] {
+        let out = cli().args(&args).output().expect("run cli");
+        assert!(out.status.success(), "{args:?} exited non-zero");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.contains("--telemetry"),
+            "{args:?} usage lacks --telemetry: {text}"
+        );
+        for command in ["backends", "transpile", "run", "mitigate"] {
+            assert!(text.contains(command), "{args:?} usage lacks {command}");
+        }
+    }
+}
+
+/// Extracts the run-report JSON from stderr: every other stderr line
+/// starts with `//`, so the report begins at the first line-start `{`.
+fn report_json(stderr: &str) -> serde_json::Value {
+    let start = if stderr.starts_with('{') {
+        0
+    } else {
+        stderr
+            .find("\n{")
+            .map(|i| i + 1)
+            .expect("report JSON on stderr")
+    };
+    serde_json::from_str(&stderr[start..]).expect("valid report JSON")
+}
+
+#[test]
+fn run_with_telemetry_json_reports_the_full_pipeline() {
+    let qasm = write_temp("telem.qasm", BV_QASM);
+    let out = cli()
+        .args([
+            "run",
+            "--qasm",
+            qasm.to_str().unwrap(),
+            "--backend",
+            "fake_lagos",
+            "--shots",
+            "2000",
+            "--telemetry",
+            "json",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // stdout still carries the plain counts JSON.
+    let counts: std::collections::BTreeMap<String, u64> =
+        serde_json::from_slice(&out.stdout).expect("counts JSON on stdout");
+    assert_eq!(counts.values().sum::<u64>(), 2000);
+
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let report = report_json(&stderr);
+    let gauges = report["gauges"].as_object().expect("gauges object");
+    for key in [
+        "lambda.t1_term",
+        "lambda.t2_term",
+        "lambda.gate_term",
+        "lambda.readout_term",
+    ] {
+        assert!(gauges.contains_key(key), "missing Eq.-2 gauge {key}");
+    }
+    let counters = report["counters"].as_object().expect("counters object");
+    for key in [
+        "graph.vertices",
+        "graph.edges",
+        "graph.pruned_pairs",
+        "execute.shots",
+    ] {
+        assert!(counters.contains_key(key), "missing counter {key}");
+    }
+    let mass = report["series"]["mitigate.mass_moved"]
+        .as_array()
+        .expect("mass series");
+    assert_eq!(mass.len(), 20, "one mass-moved sample per iteration");
+    let paths: Vec<&str> = report["spans"]
+        .as_array()
+        .expect("spans array")
+        .iter()
+        .map(|s| s["path"].as_str().expect("span path"))
+        .collect();
+    for path in [
+        "transpile",
+        "simulate",
+        "mitigate/graph_build",
+        "mitigate/graph_iterate",
+    ] {
+        assert!(paths.contains(&path), "missing span {path} in {paths:?}");
+    }
+}
+
+#[test]
+fn telemetry_table_flag_env_var_and_override() {
+    let counts = write_temp(
+        "telem_counts.json",
+        r#"{"000": 700, "001": 150, "010": 150}"#,
+    );
+    // Valueless --telemetry → human-readable table on stderr.
+    let out = cli()
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.7",
+            "--telemetry",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("=== spans ==="),
+        "no table on stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("mitigate/graph_iterate"),
+        "table lacks spans: {stderr}"
+    );
+
+    // The flag overrides the environment variable.
+    let out = cli()
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.7",
+            "--telemetry=off",
+        ])
+        .env("QBEEP_TELEMETRY", "json")
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains('{'),
+        "--telemetry=off should silence the env var: {stderr}"
+    );
+
+    // The env var alone enables the report.
+    let out = cli()
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.7",
+        ])
+        .env("QBEEP_TELEMETRY", "json")
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = report_json(&String::from_utf8_lossy(&out.stderr));
+    assert_eq!(report["counters"]["graph.vertices"].as_u64(), Some(3));
+}
+
+#[test]
+fn bad_telemetry_format_fails_cleanly() {
+    let counts = write_temp("fmt_counts.json", r#"{"00": 10}"#);
+    let out = cli()
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.5",
+            "--telemetry=xml",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad telemetry format"));
+}
+
+#[test]
 fn unknown_backend_fails_cleanly() {
     let counts = write_temp("bad_counts.json", r#"{"00": 10}"#);
     let out = cli()
-        .args(["mitigate", "--counts", counts.to_str().unwrap(), "--backend", "nonsense"])
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--backend",
+            "nonsense",
+        ])
         .output()
         .expect("run cli");
     assert!(!out.status.success());
@@ -130,7 +357,13 @@ fn unknown_backend_fails_cleanly() {
 fn malformed_counts_fail_cleanly() {
     let counts = write_temp("mixed_counts.json", r#"{"00": 10, "000": 5}"#);
     let out = cli()
-        .args(["mitigate", "--counts", counts.to_str().unwrap(), "--lambda", "0.5"])
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.5",
+        ])
         .output()
         .expect("run cli");
     assert!(!out.status.success());

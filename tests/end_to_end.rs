@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full
 //! circuit → transpile → noisy-execute → mitigate pipeline.
 
-use qbeep::bitstring::{BitString, Distribution};
+use qbeep::bitstring::{BitString, Counts, Distribution};
 use qbeep::circuit::library;
 use qbeep::core::hammer::{hammer_mitigate, HammerConfig};
 use qbeep::core::{QBeep, QBeepConfig};
@@ -22,9 +22,14 @@ fn bv_pipeline_improves_pst_on_every_good_machine() {
     for name in ["fake_lagos", "fake_oslo", "fake_jakarta"] {
         let backend = profiles::by_name(name).unwrap();
         let mut rng = StdRng::seed_from_u64(101);
-        let run =
-            execute_on_device(&circuit, &backend, 4000, &EmpiricalConfig::default(), &mut rng)
-                .unwrap();
+        let run = execute_on_device(
+            &circuit,
+            &backend,
+            4000,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let result = engine.mitigate_run(&run.counts, &run.transpiled, &backend);
         assert!(
             result.mitigated.prob(&secret) > run.counts.pst(&secret),
@@ -44,15 +49,23 @@ fn qbeep_beats_hammer_on_deep_circuits() {
     let mut qbeep_wins = 0;
     let mut total = 0;
     let mut rng = StdRng::seed_from_u64(55);
-    for (width, machine) in
-        [(9, "fake_guadalupe"), (11, "fake_toronto"), (12, "fake_brooklyn"), (13, "fake_washington")]
-    {
+    for (width, machine) in [
+        (9, "fake_guadalupe"),
+        (11, "fake_toronto"),
+        (12, "fake_brooklyn"),
+        (13, "fake_washington"),
+    ] {
         let secret = BitString::from_bits((0..width).map(|i| i % 2 == 0));
         let circuit = library::bernstein_vazirani(&secret);
         let backend = profiles::by_name(machine).unwrap();
-        let run =
-            execute_on_device(&circuit, &backend, 3000, &EmpiricalConfig::default(), &mut rng)
-                .unwrap();
+        let run = execute_on_device(
+            &circuit,
+            &backend,
+            3000,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         let ideal = Distribution::point(secret);
         let q = engine
             .mitigate_run(&run.counts, &run.transpiled, &backend)
@@ -64,7 +77,10 @@ fn qbeep_beats_hammer_on_deep_circuits() {
             qbeep_wins += 1;
         }
     }
-    assert!(qbeep_wins * 2 > total, "Q-BEEP won only {qbeep_wins}/{total}");
+    assert!(
+        qbeep_wins * 2 > total,
+        "Q-BEEP won only {qbeep_wins}/{total}"
+    );
 }
 
 #[test]
@@ -73,9 +89,14 @@ fn ghz_multi_outcome_mitigation_preserves_both_peaks() {
     let circuit = library::cat_state(4);
     let backend = profiles::by_name("fake_lima").unwrap();
     let mut rng = StdRng::seed_from_u64(77);
-    let run =
-        execute_on_device(&circuit, &backend, 4000, &EmpiricalConfig::default(), &mut rng)
-            .unwrap();
+    let run = execute_on_device(
+        &circuit,
+        &backend,
+        4000,
+        &EmpiricalConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
     let result = QBeep::default().mitigate_run(&run.counts, &run.transpiled, &backend);
     let p0 = result.mitigated.prob(&bs("0000"));
     let p1 = result.mitigated.prob(&bs("1111"));
@@ -92,11 +113,18 @@ fn uniform_output_is_left_nearly_untouched() {
     let circuit = library::qrng(4);
     let backend = profiles::by_name("fake_mumbai").unwrap();
     let mut rng = StdRng::seed_from_u64(31);
-    let run =
-        execute_on_device(&circuit, &backend, 6000, &EmpiricalConfig::default(), &mut rng)
-            .unwrap();
+    let run = execute_on_device(
+        &circuit,
+        &backend,
+        6000,
+        &EmpiricalConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
     let result = QBeep::default().mitigate_run(&run.counts, &run.transpiled, &backend);
-    let tvd = result.mitigated.total_variation(&run.counts.to_distribution());
+    let tvd = result
+        .mitigated
+        .total_variation(&run.counts.to_distribution());
     assert!(tvd < 0.1, "uniform output distorted by {tvd}");
 }
 
@@ -107,7 +135,10 @@ fn grover_and_qpe_survive_the_full_pipeline() {
     // maximally-mixed regime Q-BEEP cannot help with (§3.5). Run them
     // on a well-calibrated day instead (λ scaled down), which is the
     // regime these algorithms were actually demonstrated in.
-    let good_day = EmpiricalConfig { lambda_scale: 0.4, ..EmpiricalConfig::default() };
+    let good_day = EmpiricalConfig {
+        lambda_scale: 0.4,
+        ..EmpiricalConfig::default()
+    };
     let mut rng = StdRng::seed_from_u64(13);
     let engine = QBeep::default();
     let backend = profiles::by_name("fake_lagos").unwrap();
@@ -129,8 +160,14 @@ fn lambda_estimate_tracks_ground_truth_within_jitter() {
     let circuit = library::bernstein_vazirani(&bs("110101"));
     let backend = profiles::by_name("fake_toronto").unwrap();
     let mut rng = StdRng::seed_from_u64(19);
-    let run =
-        execute_on_device(&circuit, &backend, 100, &EmpiricalConfig::default(), &mut rng).unwrap();
+    let run = execute_on_device(
+        &circuit,
+        &backend,
+        100,
+        &EmpiricalConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
     let est = qbeep::core::lambda::estimate_lambda(&run.transpiled, &backend);
     // The channel's λ* is est × LogNormal(0.25); the ratio stays within
     // a few σ.
@@ -143,9 +180,14 @@ fn iteration_trace_is_stable_and_converging() {
     let circuit = library::bernstein_vazirani(&bs("1011011"));
     let backend = profiles::by_name("fake_guadalupe").unwrap();
     let mut rng = StdRng::seed_from_u64(23);
-    let run =
-        execute_on_device(&circuit, &backend, 3000, &EmpiricalConfig::default(), &mut rng)
-            .unwrap();
+    let run = execute_on_device(
+        &circuit,
+        &backend,
+        3000,
+        &EmpiricalConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
     let result = QBeep::default().mitigate_tracked(&run.counts, 1.0);
     let ideal = Distribution::point(bs("1011011"));
     let fids: Vec<f64> = result.trace.iter().map(|d| d.fidelity(&ideal)).collect();
@@ -158,12 +200,52 @@ fn iteration_trace_is_stable_and_converging() {
 }
 
 #[test]
+fn diagnostics_report_iterations_and_conserve_mass_on_fig5_counts() {
+    // The paper's Fig. 5 walkthrough: a dominant node with satellite
+    // single-bit errors.
+    let counts = Counts::from_pairs(
+        4,
+        vec![
+            (bs("0000"), 600),
+            (bs("0001"), 100),
+            (bs("0010"), 100),
+            (bs("0100"), 100),
+            (bs("1000"), 100),
+        ],
+    );
+    let result = QBeep::default().mitigate_with_lambda(&counts, 0.8);
+    let d = &result.diagnostics;
+    assert_eq!(d.iterations, QBeepConfig::default().iterations);
+    assert_eq!(d.mass_moved.len(), d.iterations);
+    assert_eq!(d.max_node_delta.len(), d.iterations);
+    assert_eq!(d.vertices, 5);
+    assert!(d.edges > 0);
+    // Algorithm 1 conserves the observation mass exactly.
+    assert!(
+        (d.total_count - 1000.0).abs() < 1e-6,
+        "mass drifted to {}",
+        d.total_count
+    );
+    // The 1/n damping must not let late iterations move more than the
+    // first one.
+    assert!(d.mass_moved[d.iterations - 1] <= d.mass_moved[0] + 1e-9);
+}
+
+#[test]
 fn whole_suite_round_trips_on_every_machine_cheaply() {
     // One shot-light pass of all 14 suite circuits × 4 machines: the
     // pipeline must hold up structurally everywhere.
-    let engine = QBeep::new(QBeepConfig { iterations: 5, ..QBeepConfig::default() });
+    let engine = QBeep::new(QBeepConfig {
+        iterations: 5,
+        ..QBeepConfig::default()
+    });
     let mut rng = StdRng::seed_from_u64(3);
-    for name in ["fake_lima", "fake_jakarta", "fake_guadalupe", "fake_washington"] {
+    for name in [
+        "fake_lima",
+        "fake_jakarta",
+        "fake_guadalupe",
+        "fake_washington",
+    ] {
         let backend = profiles::by_name(name).unwrap();
         for entry in library::qasmbench_suite() {
             let ideal = ideal_distribution(entry.circuit());

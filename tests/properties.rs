@@ -7,14 +7,16 @@ use qbeep::core::{QBeep, QBeepConfig};
 
 /// Strategy: a bit-string of 1..=16 bits.
 fn arb_bitstring() -> impl Strategy<Value = BitString> {
-    (1usize..=16, any::<u64>())
-        .prop_map(|(len, v)| BitString::from_value(u128::from(v), len))
+    (1usize..=16, any::<u64>()).prop_map(|(len, v)| BitString::from_value(u128::from(v), len))
 }
 
 /// Strategy: two equal-length bit-strings.
 fn arb_pair() -> impl Strategy<Value = (BitString, BitString)> {
     (1usize..=16, any::<u64>(), any::<u64>()).prop_map(|(len, a, b)| {
-        (BitString::from_value(u128::from(a), len), BitString::from_value(u128::from(b), len))
+        (
+            BitString::from_value(u128::from(a), len),
+            BitString::from_value(u128::from(b), len),
+        )
     })
 }
 
@@ -23,7 +25,9 @@ fn arb_counts() -> impl Strategy<Value = Counts> {
     proptest::collection::vec((0u64..16, 1u64..500), 1..12).prop_map(|pairs| {
         Counts::from_pairs(
             4,
-            pairs.into_iter().map(|(v, c)| (BitString::from_value(u128::from(v), 4), c)),
+            pairs
+                .into_iter()
+                .map(|(v, c)| (BitString::from_value(u128::from(v), 4), c)),
         )
     })
 }
