@@ -105,16 +105,22 @@ fn bench(c: &mut Criterion) {
     });
 
     // One instrumented mitigation + transpilation so the telemetry
-    // artifact carries the full per-stage span breakdown.
+    // artifact carries the full per-stage span breakdown, stamped with
+    // the provenance of the config/backend/circuit that produced it.
     let recorder = qbeep_telemetry::Recorder::new();
     let counts = synth_counts(400, 77);
-    let _ = QBeep::default()
-        .with_recorder(recorder.clone())
-        .mitigate_with_lambda(&counts, 2.5);
-    let _ = qbeep_transpile::Transpiler::new(&backend)
+    let engine = QBeep::default().with_recorder(recorder.clone());
+    let _ = engine.mitigate_with_lambda(&counts, 2.5);
+    let transpiled = qbeep_transpile::Transpiler::new(&backend)
         .transpile_recorded(&bv, &recorder)
         .expect("fits");
-    qbeep_bench::telemetry::record("perf", &recorder);
+    let manifest = qbeep_core::provenance::manifest(
+        engine.config(),
+        Some(&backend),
+        Some(&transpiled),
+        Some(77),
+    );
+    qbeep_bench::telemetry::record_with_manifest("perf", &recorder, manifest);
 }
 
 criterion_group! {

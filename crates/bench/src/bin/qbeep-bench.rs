@@ -1,0 +1,263 @@
+//! `qbeep-bench` — hot-path timing harness and bench regression gate.
+//!
+//! Subcommands:
+//!
+//! * `hotpath`  — run the instrumented hot paths (transpile, empirical
+//!   channel, state-graph build + iterate) and write a telemetry
+//!   artifact (and optionally a Chrome trace of the run).
+//! * `baseline` — distil an artifact into a committed baseline store.
+//! * `compare`  — gate a fresh artifact against the baseline; exits
+//!   non-zero on regression (unless `--warn-only`).
+//!
+//! Workload size follows `QBEEP_SCALE` (smoke / default / full), the
+//! same knob as the Criterion benches.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qbeep_bench::regression::{BaselineStore, Comparison, DEFAULT_BASELINE, DEFAULT_THRESHOLD};
+use qbeep_bench::{Scale, BASE_SEED};
+use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_core::QBeep;
+use qbeep_device::profiles;
+use qbeep_sim::{execute_on_device_recorded, EmpiricalChannel, EmpiricalConfig};
+use qbeep_telemetry::{Recorder, RunReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USAGE: &str = "\
+qbeep-bench — hot-path timing harness and bench regression gate
+
+USAGE:
+    qbeep-bench hotpath  [--out FILE] [--trace FILE]
+    qbeep-bench baseline [--from FILE] [--out FILE] [--threshold X]
+    qbeep-bench compare  [--baseline FILE] [--current FILE] [--threshold X] [--warn-only]
+    qbeep-bench help
+
+SUBCOMMANDS:
+    hotpath   Run the instrumented hot paths (transpile, empirical
+              channel, state-graph build + Algorithm-1 iterate) and
+              write the telemetry artifact (default: the bench
+              artifact path, BENCH_telemetry.json). --trace also
+              writes a Chrome trace_event JSON of the run.
+    baseline  Learn a baseline store from an artifact (--from,
+              default the bench artifact path) and write it (--out,
+              default BENCH_baseline.json). --threshold sets the
+              fractional regression threshold (default 0.20).
+    compare   Compare a current artifact against a baseline store.
+              Exits 1 when any watched span regressed past the
+              threshold or went missing; --warn-only reports but
+              exits 0. --threshold overrides the stored threshold.
+
+Workload size follows QBEEP_SCALE (smoke / default / full).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "hotpath" => cmd_hotpath(&args[1..]),
+        "baseline" => cmd_baseline(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!(
+            "unknown subcommand '{other}'; run `qbeep-bench help`"
+        )),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One `--flag value` / `--flag` parser over a subcommand's args.
+struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], valued: &[&str], valueless: &[&str]) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected argument '{arg}'; run `qbeep-bench help`"
+                ));
+            };
+            if valueless.contains(&name) {
+                switches.push(name.to_string());
+            } else if valued.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                values.insert(name.to_string(), value.clone());
+            } else {
+                return Err(format!("unknown flag '--{name}'; run `qbeep-bench help`"));
+            }
+        }
+        Ok(Self { values, switches })
+    }
+
+    fn path(&self, name: &str) -> Option<PathBuf> {
+        self.values.get(name).map(PathBuf::from)
+    }
+
+    fn threshold(&self) -> Result<Option<f64>, String> {
+        self.values
+            .get("threshold")
+            .map(|raw| {
+                raw.parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t > 0.0)
+                    .ok_or_else(|| format!("bad threshold '{raw}' (want a positive number)"))
+            })
+            .transpose()
+    }
+}
+
+fn read_artifact(path: &Path) -> Result<BTreeMap<String, RunReport>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read artifact {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("bad artifact {}: {e}", path.display()))
+}
+
+fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["out", "trace"], &[])?;
+    let out = flags
+        .path("out")
+        .unwrap_or_else(qbeep_bench::telemetry::artifact_path);
+    let scale = Scale::from_env();
+    let recorder = Recorder::new();
+
+    // Hot path 1+2: transpile a 15q BV to the 127q machine and sample
+    // the empirical channel ("transpile", "channel_setup", "simulate").
+    let backend = profiles::by_name("fake_washington").expect("profile exists");
+    let secret: BitString = "111011011101101".parse().expect("valid");
+    let bv = qbeep_circuit::library::bernstein_vazirani(&secret);
+    let shots = scale.pick(500, 4000, 20_000) as u64;
+    let mut rng = StdRng::seed_from_u64(BASE_SEED);
+    let run = execute_on_device_recorded(
+        &bv,
+        &backend,
+        shots,
+        &EmpiricalConfig::default(),
+        &mut rng,
+        &recorder,
+    )
+    .map_err(|e| format!("hotpath transpile failed: {e}"))?;
+
+    // Hot path 3: state-graph build + Algorithm-1 iterate on a count
+    // table with a few hundred distinct outcomes ("mitigate/*").
+    let counts = synth_counts(scale.pick(100, 400, 1200), BASE_SEED);
+    let engine = QBeep::default().with_recorder(recorder.clone());
+    let result = engine.mitigate_with_lambda(&counts, 2.5);
+    eprintln!(
+        "// hotpath: {} shots, graph {}x{}, {} events",
+        shots,
+        result.graph_size.0,
+        result.graph_size.1,
+        recorder.events().len()
+    );
+
+    let manifest = qbeep_core::provenance::manifest(
+        engine.config(),
+        Some(&backend),
+        Some(&run.transpiled),
+        Some(BASE_SEED),
+    );
+    let report = recorder.report().with_manifest(manifest);
+    let mut table = BTreeMap::new();
+    table.insert("hotpath".to_string(), report);
+    let json = serde_json::to_string_pretty(&table).expect("reports serialize");
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!("// hotpath: artifact -> {}", out.display());
+
+    if let Some(trace) = flags.path("trace") {
+        std::fs::write(&trace, recorder.events().to_chrome_trace())
+            .map_err(|e| format!("cannot write {}: {e}", trace.display()))?;
+        eprintln!("// hotpath: chrome trace -> {}", trace.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Synthesises a count table with roughly `target_nodes` distinct
+/// outcomes (the shape `benches/perf.rs` times).
+fn synth_counts(target_nodes: usize, seed: u64) -> Counts {
+    let target: BitString = "10110100101101".parse().expect("valid");
+    let channel =
+        EmpiricalChannel::new(Distribution::point(target), 2.5, EmpiricalConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shots = (target_nodes as u64) * 4;
+    channel.run(shots.max(10), &mut rng)
+}
+
+fn cmd_baseline(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["from", "out", "threshold"], &[])?;
+    let from = flags
+        .path("from")
+        .unwrap_or_else(qbeep_bench::telemetry::artifact_path);
+    let out = flags
+        .path("out")
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_BASELINE));
+    let threshold = flags.threshold()?.unwrap_or(DEFAULT_THRESHOLD);
+    let artifact = read_artifact(&from)?;
+    let store = BaselineStore::from_artifact(&artifact, threshold);
+    if store.spans.is_empty() {
+        return Err(format!(
+            "no watched spans found in {} — run `qbeep-bench hotpath` first",
+            from.display()
+        ));
+    }
+    let json = serde_json::to_string_pretty(&store).expect("baseline serializes");
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!(
+        "// baseline: {} spans -> {} (threshold +{:.0}%)",
+        store.spans.len(),
+        out.display(),
+        threshold * 100.0
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["baseline", "current", "threshold"], &["warn-only"])?;
+    let baseline_path = flags
+        .path("baseline")
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_BASELINE));
+    let current_path = flags
+        .path("current")
+        .unwrap_or_else(qbeep_bench::telemetry::artifact_path);
+    let warn_only = flags.switches.iter().any(|s| s == "warn-only");
+
+    let text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let store: BaselineStore = serde_json::from_str(&text)
+        .map_err(|e| format!("bad baseline {}: {e}", baseline_path.display()))?;
+    let current = read_artifact(&current_path)?;
+
+    let cmp = Comparison::compare(&store, &current, flags.threshold()?);
+    print!("{}", cmp.render_table());
+    if cmp.failed() {
+        if warn_only {
+            eprintln!("warning: regression gate failed (warn-only mode, not failing the build)");
+            Ok(ExitCode::SUCCESS)
+        } else {
+            Ok(ExitCode::FAILURE)
+        }
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}

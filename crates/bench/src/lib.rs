@@ -25,6 +25,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig10;
 pub mod fig11;
+pub mod regression;
 pub mod report;
 pub mod runners;
 pub mod telemetry;

@@ -1,0 +1,445 @@
+//! The bench regression gate: a learned baseline of hot-path span
+//! timings and a deterministic comparison against a fresh telemetry
+//! artifact.
+//!
+//! The flow (driven by the `qbeep-bench` binary, wired into CI):
+//!
+//! 1. `qbeep-bench hotpath` runs the instrumented hot paths (transpile,
+//!    empirical-channel sampling, state-graph build + Algorithm-1
+//!    iteration) and writes a telemetry artifact — the same
+//!    `BENCH_telemetry.json` shape the Criterion benches accumulate.
+//! 2. `qbeep-bench baseline` distils the artifact into a
+//!    [`BaselineStore`]: mean wall time per watched span, plus the
+//!    provenance manifest of the run that produced it. The store is
+//!    committed as `BENCH_baseline.json`.
+//! 3. `qbeep-bench compare` re-reads both files and fails (non-zero
+//!    exit) when any watched span's mean regresses past the threshold.
+//!
+//! The comparison is pure file-vs-file — no re-timing — so its verdict
+//! is deterministic and unit-testable: tests synthesise exact
+//! regressions instead of hoping the scheduler cooperates.
+
+use std::collections::BTreeMap;
+
+use qbeep_telemetry::{ProvenanceManifest, RunReport};
+use serde::{Deserialize, Serialize};
+
+/// Schema version of [`BaselineStore`] files.
+pub const BASELINE_SCHEMA: u32 = 1;
+
+/// Default regression threshold: a watched span fails the gate when its
+/// mean exceeds the baseline by more than this fraction (0.20 = +20%).
+pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// Default committed baseline file name.
+pub const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
+
+/// Span paths the gate watches, matched inside every bench report of
+/// the artifact. These are the pipeline's hot paths: transpilation,
+/// empirical-channel sampling, and the two Algorithm-1 stages.
+pub const WATCHED_SPANS: &[&str] = &[
+    "transpile",
+    "simulate",
+    "mitigate",
+    "mitigate/graph_build",
+    "mitigate/graph_iterate",
+];
+
+/// One watched span's learned timing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpanBaseline {
+    /// Mean wall time per run, in milliseconds.
+    pub mean_ms: f64,
+    /// How many runs the mean aggregates.
+    pub count: u64,
+}
+
+/// The committed baseline: watched-span means keyed
+/// `<bench>/<span path>` (e.g. `hotpath/mitigate/graph_iterate`), the
+/// threshold the baseline was learned under, and the provenance of the
+/// run that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineStore {
+    /// File schema version ([`BASELINE_SCHEMA`]).
+    pub schema: u32,
+    /// Regression threshold the store was learned with (fractional,
+    /// 0.20 = +20%); `compare` uses it unless overridden.
+    pub threshold: f64,
+    /// Watched-span means, keyed `<bench>/<span path>`.
+    pub spans: BTreeMap<String, SpanBaseline>,
+    /// Provenance of the run the baseline was learned from.
+    #[serde(default)]
+    pub manifest: Option<ProvenanceManifest>,
+}
+
+impl BaselineStore {
+    /// Learns a baseline from a telemetry artifact (the
+    /// `BENCH_telemetry.json` shape: bench name → [`RunReport`]),
+    /// keeping only [`WATCHED_SPANS`]. The manifest is taken from the
+    /// first (in key order) report that carries one.
+    #[must_use]
+    pub fn from_artifact(artifact: &BTreeMap<String, RunReport>, threshold: f64) -> Self {
+        let mut spans = BTreeMap::new();
+        let mut manifest = None;
+        for (bench, report) in artifact {
+            if manifest.is_none() {
+                manifest.clone_from(&report.manifest);
+            }
+            for path in WATCHED_SPANS {
+                if let Some(stat) = report.span(path) {
+                    spans.insert(
+                        format!("{bench}/{path}"),
+                        SpanBaseline {
+                            mean_ms: stat.mean_ms(),
+                            count: stat.count,
+                        },
+                    );
+                }
+            }
+        }
+        Self {
+            schema: BASELINE_SCHEMA,
+            threshold,
+            spans,
+            manifest,
+        }
+    }
+}
+
+/// Verdict on one watched span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Within the threshold of the baseline.
+    Ok,
+    /// Slower than baseline by more than the threshold — fails the gate.
+    Regressed,
+    /// Faster than baseline by more than the threshold (informational).
+    Improved,
+    /// Present in the baseline but absent from the current artifact —
+    /// fails the gate (the workload changed; re-learn the baseline).
+    Missing,
+}
+
+impl Verdict {
+    /// Short lowercase label for tables.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Ok => "ok",
+            Self::Regressed => "REGRESSED",
+            Self::Improved => "improved",
+            Self::Missing => "MISSING",
+        }
+    }
+}
+
+/// One row of a gate comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Baseline key (`<bench>/<span path>`).
+    pub span: String,
+    /// The learned mean, in milliseconds.
+    pub baseline_ms: f64,
+    /// The current run's mean, in milliseconds (absent when the span is
+    /// missing from the current artifact).
+    pub current_ms: Option<f64>,
+    /// `current / baseline` (absent when missing or baseline is 0).
+    pub ratio: Option<f64>,
+    /// Gate verdict for this span.
+    pub verdict: Verdict,
+}
+
+/// Outcome of a full baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-span findings, in baseline key order.
+    pub findings: Vec<Finding>,
+    /// The threshold the comparison ran under.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// Compares `current` (a telemetry artifact) against `baseline`.
+    /// `threshold` overrides the store's learned threshold when given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the effective threshold is not positive and finite.
+    #[must_use]
+    pub fn compare(
+        baseline: &BaselineStore,
+        current: &BTreeMap<String, RunReport>,
+        threshold: Option<f64>,
+    ) -> Self {
+        let threshold = threshold.unwrap_or(baseline.threshold);
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold {threshold} must be positive"
+        );
+        let findings = baseline
+            .spans
+            .iter()
+            .map(|(key, base)| {
+                let current_ms = key
+                    .split_once('/')
+                    .and_then(|(bench, path)| Some(current.get(bench)?.span(path)?.mean_ms()));
+                let ratio = current_ms
+                    .filter(|_| base.mean_ms > 0.0)
+                    .map(|cur| cur / base.mean_ms);
+                let verdict = match (current_ms, ratio) {
+                    (None, _) => Verdict::Missing,
+                    (Some(_), Some(r)) if r > 1.0 + threshold => Verdict::Regressed,
+                    (Some(_), Some(r)) if r < 1.0 - threshold => Verdict::Improved,
+                    _ => Verdict::Ok,
+                };
+                Finding {
+                    span: key.clone(),
+                    baseline_ms: base.mean_ms,
+                    current_ms,
+                    ratio,
+                    verdict,
+                }
+            })
+            .collect();
+        Self {
+            findings,
+            threshold,
+        }
+    }
+
+    /// True when any watched span regressed or went missing — the
+    /// condition under which `qbeep-bench compare` exits non-zero.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| matches!(f.verdict, Verdict::Regressed | Verdict::Missing))
+    }
+
+    /// Renders the findings as an aligned plain-text table plus a
+    /// one-line summary.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"));
+        let mut rows: Vec<[String; 5]> = Vec::new();
+        for f in &self.findings {
+            rows.push([
+                f.span.clone(),
+                format!("{:.3}", f.baseline_ms),
+                fmt_opt(f.current_ms),
+                fmt_opt(f.ratio),
+                f.verdict.as_str().to_string(),
+            ]);
+        }
+        let headers = ["span", "baseline_ms", "current_ms", "ratio", "verdict"];
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str("  ");
+            out.push_str(&padded.join("  "));
+            out.push('\n');
+        };
+        out.push_str("=== regression gate ===\n");
+        line(
+            &mut out,
+            &headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+        );
+        line(
+            &mut out,
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        );
+        for row in &rows {
+            line(&mut out, row);
+        }
+        let failed = self
+            .findings
+            .iter()
+            .filter(|f| matches!(f.verdict, Verdict::Regressed | Verdict::Missing))
+            .count();
+        out.push_str(&format!(
+            "  {} spans checked, {} failed (threshold +{:.0}%)\n",
+            self.findings.len(),
+            failed,
+            self.threshold * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_telemetry::SpanStat;
+
+    fn span(path: &str, mean_ms: f64, count: u64) -> SpanStat {
+        SpanStat {
+            path: path.to_string(),
+            count,
+            total_ms: mean_ms * count as f64,
+            min_ms: mean_ms,
+            max_ms: mean_ms,
+        }
+    }
+
+    fn artifact(means: &[(&str, f64)]) -> BTreeMap<String, RunReport> {
+        let report = RunReport {
+            spans: means.iter().map(|&(p, m)| span(p, m, 4)).collect(),
+            ..RunReport::default()
+        };
+        let mut table = BTreeMap::new();
+        table.insert("hotpath".to_string(), report);
+        table
+    }
+
+    const MEANS: &[(&str, f64)] = &[
+        ("transpile", 8.0),
+        ("simulate", 20.0),
+        ("mitigate", 12.0),
+        ("mitigate/graph_build", 5.0),
+        ("mitigate/graph_iterate", 6.0),
+    ];
+
+    #[test]
+    fn baseline_keeps_only_watched_spans() {
+        let mut art = artifact(MEANS);
+        art.get_mut("hotpath")
+            .unwrap()
+            .spans
+            .push(span("channel_setup", 1.0, 1));
+        let store = BaselineStore::from_artifact(&art, DEFAULT_THRESHOLD);
+        assert_eq!(store.schema, BASELINE_SCHEMA);
+        assert_eq!(store.spans.len(), WATCHED_SPANS.len());
+        assert!(store.spans.contains_key("hotpath/mitigate/graph_iterate"));
+        assert!(!store.spans.contains_key("hotpath/channel_setup"));
+        assert_eq!(store.spans["hotpath/transpile"].mean_ms, 8.0);
+        assert_eq!(store.spans["hotpath/transpile"].count, 4);
+    }
+
+    #[test]
+    fn baseline_adopts_the_artifact_manifest() {
+        let mut art = artifact(MEANS);
+        let manifest = ProvenanceManifest::new("0.1.0", "feedfacefeedface").with_seed(5);
+        art.get_mut("hotpath").unwrap().manifest = Some(manifest.clone());
+        let store = BaselineStore::from_artifact(&art, DEFAULT_THRESHOLD);
+        assert_eq!(store.manifest, Some(manifest));
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), DEFAULT_THRESHOLD);
+        let cmp = Comparison::compare(&store, &artifact(MEANS), None);
+        assert!(!cmp.failed());
+        assert!(cmp.findings.iter().all(|f| f.verdict == Verdict::Ok));
+        assert_eq!(cmp.findings.len(), WATCHED_SPANS.len());
+    }
+
+    #[test]
+    fn thirty_percent_regression_fails_at_default_threshold() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), DEFAULT_THRESHOLD);
+        let mut slower: Vec<(&str, f64)> = MEANS.to_vec();
+        slower[4].1 = 6.0 * 1.3; // mitigate/graph_iterate +30%
+        let cmp = Comparison::compare(&store, &artifact(&slower), None);
+        assert!(cmp.failed());
+        let f = cmp
+            .findings
+            .iter()
+            .find(|f| f.span == "hotpath/mitigate/graph_iterate")
+            .unwrap();
+        assert_eq!(f.verdict, Verdict::Regressed);
+        assert!((f.ratio.unwrap() - 1.3).abs() < 1e-9);
+        // The other spans are untouched.
+        assert_eq!(
+            cmp.findings
+                .iter()
+                .filter(|f| f.verdict == Verdict::Ok)
+                .count(),
+            WATCHED_SPANS.len() - 1
+        );
+    }
+
+    #[test]
+    fn threshold_override_loosens_the_gate() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), DEFAULT_THRESHOLD);
+        let mut slower: Vec<(&str, f64)> = MEANS.to_vec();
+        slower[4].1 = 6.0 * 1.3;
+        let cmp = Comparison::compare(&store, &artifact(&slower), Some(0.5));
+        assert!(!cmp.failed());
+        assert!((cmp.threshold - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_reported_but_passes() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), DEFAULT_THRESHOLD);
+        let mut faster: Vec<(&str, f64)> = MEANS.to_vec();
+        faster[0].1 = 4.0; // transpile 2× faster
+        let cmp = Comparison::compare(&store, &artifact(&faster), None);
+        assert!(!cmp.failed());
+        let f = cmp
+            .findings
+            .iter()
+            .find(|f| f.span == "hotpath/transpile")
+            .unwrap();
+        assert_eq!(f.verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn missing_span_fails_the_gate() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), DEFAULT_THRESHOLD);
+        let cmp = Comparison::compare(&store, &artifact(&MEANS[..4]), None);
+        assert!(cmp.failed());
+        let f = cmp
+            .findings
+            .iter()
+            .find(|f| f.span == "hotpath/mitigate/graph_iterate")
+            .unwrap();
+        assert_eq!(f.verdict, Verdict::Missing);
+        assert!(f.current_ms.is_none());
+        assert!(f.ratio.is_none());
+    }
+
+    #[test]
+    fn render_table_lists_every_span_and_the_summary() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), DEFAULT_THRESHOLD);
+        let mut slower: Vec<(&str, f64)> = MEANS.to_vec();
+        slower[1].1 = 20.0 * 2.0;
+        let cmp = Comparison::compare(&store, &artifact(&slower), None);
+        let table = cmp.render_table();
+        for needle in [
+            "=== regression gate ===",
+            "hotpath/transpile",
+            "hotpath/mitigate/graph_iterate",
+            "REGRESSED",
+            "1 failed",
+            "threshold +20%",
+        ] {
+            assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn baseline_store_round_trips_through_serde() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), 0.25);
+        let json = serde_json::to_string_pretty(&store).unwrap();
+        let back: BaselineStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(store, back);
+        assert!(json.contains("\"schema\""));
+        assert!(json.contains("hotpath/mitigate/graph_build"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_threshold_panics() {
+        let store = BaselineStore::from_artifact(&artifact(MEANS), DEFAULT_THRESHOLD);
+        let _ = Comparison::compare(&store, &artifact(MEANS), Some(0.0));
+    }
+}

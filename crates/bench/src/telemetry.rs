@@ -31,10 +31,21 @@ pub fn artifact_path() -> PathBuf {
 /// artifact path all degrade to a no-op (the latter with a note on
 /// stderr) — telemetry must never fail a bench run.
 pub fn record(bench: &str, recorder: &Recorder) {
-    if !recorder.is_enabled() {
-        return;
-    }
-    let report = recorder.report();
+    record_report(bench, recorder.report());
+}
+
+/// As [`record`], attaching a provenance manifest to the report first —
+/// the form the perf bench uses so its artifact rows are traceable to
+/// the config/calibration/circuit that produced them.
+pub fn record_with_manifest(
+    bench: &str,
+    recorder: &Recorder,
+    manifest: qbeep_telemetry::ProvenanceManifest,
+) {
+    record_report(bench, recorder.report().with_manifest(manifest));
+}
+
+fn record_report(bench: &str, report: RunReport) {
     if report.is_empty() {
         return;
     }

@@ -1,0 +1,168 @@
+//! End-to-end test of the `qbeep-bench` regression gate: learn a
+//! baseline from a real hotpath run, then verify `compare`'s exit code
+//! on an unchanged artifact, a doctored +30% regression, and warn-only
+//! mode.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::{Command, Output};
+
+use qbeep_bench::regression::{BaselineStore, WATCHED_SPANS};
+use qbeep_telemetry::RunReport;
+
+fn run(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qbeep-bench"))
+        .args(args)
+        .current_dir(dir)
+        .env("QBEEP_SCALE", "smoke")
+        .output()
+        .expect("qbeep-bench runs")
+}
+
+fn assert_success(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn gate_passes_unchanged_and_fails_injected_regression() {
+    let dir = std::env::temp_dir().join(format!("qbeep-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 1. Produce the artifact (and a Chrome trace alongside it).
+    let out = run(
+        &dir,
+        &["hotpath", "--out", "artifact.json", "--trace", "trace.json"],
+    );
+    assert_success(&out, "hotpath");
+    let artifact: BTreeMap<String, RunReport> =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("artifact.json")).unwrap()).unwrap();
+    let report = &artifact["hotpath"];
+    for path in WATCHED_SPANS {
+        assert!(report.span(path).is_some(), "hotpath missing span {path}");
+    }
+    let manifest = report
+        .manifest
+        .as_ref()
+        .expect("hotpath attaches a manifest");
+    assert_eq!(manifest.config_digest.len(), 16);
+    assert_eq!(manifest.backend.as_deref(), Some("fake_washington"));
+    assert!(manifest.seed.is_some());
+
+    // The trace is a Chrome trace_event array with complete spans.
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("trace.json")).unwrap()).unwrap();
+    let events = trace.as_array().expect("trace is a JSON array");
+    assert!(events
+        .iter()
+        .any(|e| e["ph"] == "X" && e["name"] == "transpile" && e["dur"].is_number()));
+
+    // 2. Learn the baseline.
+    let out = run(
+        &dir,
+        &["baseline", "--from", "artifact.json", "--out", "base.json"],
+    );
+    assert_success(&out, "baseline");
+    let store: BaselineStore =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("base.json")).unwrap()).unwrap();
+    assert_eq!(store.spans.len(), WATCHED_SPANS.len());
+    assert!(store.manifest.is_some());
+
+    // 3. Unchanged artifact → exit 0.
+    let out = run(
+        &dir,
+        &[
+            "compare",
+            "--baseline",
+            "base.json",
+            "--current",
+            "artifact.json",
+        ],
+    );
+    assert_success(&out, "compare (unchanged)");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 failed"));
+
+    // 4. Doctor a +30% regression into one watched span → exit != 0.
+    let mut doctored = artifact.clone();
+    let span = doctored
+        .get_mut("hotpath")
+        .unwrap()
+        .spans
+        .iter_mut()
+        .find(|s| s.path == "mitigate/graph_iterate")
+        .unwrap();
+    span.total_ms *= 1.3;
+    std::fs::write(
+        dir.join("doctored.json"),
+        serde_json::to_string_pretty(&doctored).unwrap(),
+    )
+    .unwrap();
+    let out = run(
+        &dir,
+        &[
+            "compare",
+            "--baseline",
+            "base.json",
+            "--current",
+            "doctored.json",
+        ],
+    );
+    assert!(
+        !out.status.success(),
+        "doctored +30% regression must fail the gate:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+
+    // 5. …but --warn-only downgrades it to exit 0.
+    let out = run(
+        &dir,
+        &[
+            "compare",
+            "--baseline",
+            "base.json",
+            "--current",
+            "doctored.json",
+            "--warn-only",
+        ],
+    );
+    assert_success(&out, "compare --warn-only");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("warn-only"));
+
+    // 6. A loose enough threshold also passes the doctored artifact.
+    let out = run(
+        &dir,
+        &[
+            "compare",
+            "--baseline",
+            "base.json",
+            "--current",
+            "doctored.json",
+            "--threshold",
+            "0.5",
+        ],
+    );
+    assert_success(&out, "compare --threshold 0.5");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_usage_exits_with_code_two() {
+    let dir = std::env::temp_dir();
+    let out = run(&dir, &["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = run(&dir, &["compare", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = run(&dir, &["compare", "--baseline", "/nonexistent/base.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}

@@ -52,6 +52,7 @@ pub mod graph;
 pub mod hammer;
 pub mod lambda;
 pub mod model;
+pub mod provenance;
 pub mod readout;
 pub mod zne;
 

@@ -198,7 +198,22 @@ impl QBeep {
             .gauge("mitigate.total_count", iter.total_count);
         if let Some(n) = iter.converged_at {
             self.recorder.gauge("mitigate.converged_at", n as f64);
+            self.recorder.event(
+                qbeep_telemetry::EventLevel::Info,
+                "mitigate.converged",
+                &[("iteration", n.to_string())],
+            );
         }
+        self.recorder.event(
+            qbeep_telemetry::EventLevel::Info,
+            "mitigate.complete",
+            &[
+                ("vertices", size.0.to_string()),
+                ("edges", size.1.to_string()),
+                ("iterations", iter.iterations.to_string()),
+                ("lambda", format!("{lambda:.6}")),
+            ],
+        );
         for (&moved, &delta) in iter.mass_moved.iter().zip(&iter.max_node_delta) {
             self.recorder.push_series("mitigate.mass_moved", moved);
             self.recorder.push_series("mitigate.max_node_delta", delta);

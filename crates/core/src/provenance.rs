@@ -1,0 +1,206 @@
+//! Provenance for mitigation runs: stable digests of the inputs that
+//! determine a run's output, assembled into a
+//! [`ProvenanceManifest`].
+//!
+//! Q-BEEP is pitched as an offline post-processing tool for vendors;
+//! at that scale every emitted artifact (figure JSON, telemetry
+//! report, bench baseline) must be traceable to *which* mitigation
+//! config, calibration snapshot and circuit produced it. This module
+//! computes:
+//!
+//! * [`config_digest`] — digest of a [`QBeepConfig`] (every field,
+//!   including the learning-rate schedule and kernel choice);
+//! * [`calibration_digest`] — digest of a backend's full calibration
+//!   snapshot (per-qubit T1/T2/readout, per-gate errors/durations),
+//!   so two runs against different calibration days are
+//!   distinguishable even on the same machine;
+//! * [`circuit_fingerprint`] — structural identity of a transpiled
+//!   circuit (gate counts, depth, widths);
+//! * [`manifest`] — the assembled header, with the RNG seed and crate
+//!   version.
+//!
+//! Digests use the telemetry crate's dependency-free FNV-1a
+//! [`Digest`] and are stable across runs and platforms.
+
+use qbeep_device::{Backend, Calibration};
+use qbeep_telemetry::{CircuitFingerprint, Digest, ProvenanceManifest};
+use qbeep_transpile::TranspiledCircuit;
+
+use crate::config::{Kernel, LearningRate, QBeepConfig};
+
+/// Stable hex digest of every field of a mitigation config.
+#[must_use]
+pub fn config_digest(config: &QBeepConfig) -> String {
+    let mut d = Digest::new();
+    d.write_str("qbeep-config-v1");
+    d.write_u64(config.iterations as u64);
+    d.write_f64(config.epsilon);
+    match config.learning_rate {
+        LearningRate::Dampened => d.write_str("dampened"),
+        LearningRate::Constant(eta) => {
+            d.write_str("constant");
+            d.write_f64(eta);
+        }
+    }
+    match config.kernel {
+        Kernel::Poisson => d.write_str("poisson"),
+        Kernel::Binomial => d.write_str("binomial"),
+    }
+    d.write_u64(u64::from(config.overflow_renormalisation));
+    d.finish_hex()
+}
+
+/// Stable hex digest of a full calibration snapshot: per-qubit
+/// T1/T2/readout statistics, per-qubit single-qubit-gate and per-edge
+/// two-qubit-gate calibrations.
+#[must_use]
+pub fn calibration_digest(calibration: &Calibration) -> String {
+    let mut d = Digest::new();
+    d.write_str("qbeep-calibration-v1");
+    d.write_u64(calibration.num_qubits() as u64);
+    for q in 0..calibration.num_qubits() as u32 {
+        let qc = calibration.qubit(q);
+        d.write_f64(qc.t1_us);
+        d.write_f64(qc.t2_us);
+        d.write_f64(qc.readout_error);
+        d.write_f64(qc.readout_duration_ns);
+        let sq = calibration.sq_gate(q);
+        d.write_f64(sq.error);
+        d.write_f64(sq.duration_ns);
+    }
+    for ((a, b), gate) in calibration.cx_edges() {
+        d.write_u64(u64::from(a));
+        d.write_u64(u64::from(b));
+        d.write_f64(gate.error);
+        d.write_f64(gate.duration_ns);
+    }
+    d.finish_hex()
+}
+
+/// Structural fingerprint of a transpiled circuit: logical width,
+/// post-transpilation gate counts, depth and measured width — the
+/// quantities the λ model (Eq. 2) consumes.
+#[must_use]
+pub fn circuit_fingerprint(transpiled: &TranspiledCircuit) -> CircuitFingerprint {
+    CircuitFingerprint {
+        name: transpiled.circuit().name().to_string(),
+        qubits: transpiled.logical_qubits(),
+        gates: transpiled.gate_count(),
+        two_qubit_gates: transpiled.cx_count(),
+        depth: transpiled.circuit().depth(),
+        measured: transpiled.circuit().measured().len(),
+    }
+}
+
+/// Assembles the provenance manifest for one mitigation run. `backend`,
+/// `transpiled` and `seed` are optional because not every entry point
+/// has them (e.g. `mitigate --lambda` never touches a backend).
+#[must_use]
+pub fn manifest(
+    config: &QBeepConfig,
+    backend: Option<&Backend>,
+    transpiled: Option<&TranspiledCircuit>,
+    seed: Option<u64>,
+) -> ProvenanceManifest {
+    let mut m = ProvenanceManifest::new(env!("CARGO_PKG_VERSION"), config_digest(config));
+    if let Some(backend) = backend {
+        m = m
+            .with_backend(backend.name())
+            .with_calibration_digest(calibration_digest(backend.calibration()));
+    }
+    if let Some(transpiled) = transpiled {
+        m = m.with_circuit(circuit_fingerprint(transpiled));
+    }
+    if let Some(seed) = seed {
+        m = m.with_seed(seed);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_circuit::library::bernstein_vazirani;
+    use qbeep_device::profiles;
+    use qbeep_transpile::Transpiler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config_digest_is_stable_and_field_sensitive() {
+        let base = QBeepConfig::default();
+        assert_eq!(config_digest(&base), config_digest(&QBeepConfig::default()));
+        assert_eq!(config_digest(&base).len(), 16);
+
+        let mut eps = base;
+        eps.epsilon = 0.1;
+        assert_ne!(config_digest(&base), config_digest(&eps));
+
+        let mut iters = base;
+        iters.iterations = 21;
+        assert_ne!(config_digest(&base), config_digest(&iters));
+
+        let mut lr = base;
+        lr.learning_rate = LearningRate::Constant(0.5);
+        assert_ne!(config_digest(&base), config_digest(&lr));
+
+        let mut kernel = base;
+        kernel.kernel = Kernel::Binomial;
+        assert_ne!(config_digest(&base), config_digest(&kernel));
+
+        let mut overflow = base;
+        overflow.overflow_renormalisation = false;
+        assert_ne!(config_digest(&base), config_digest(&overflow));
+    }
+
+    #[test]
+    fn calibration_digest_tracks_drift() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let cal = backend.calibration();
+        assert_eq!(calibration_digest(cal), calibration_digest(cal));
+        let mut rng = StdRng::seed_from_u64(3);
+        let drifted = cal.drifted(0.2, &mut rng);
+        assert_ne!(calibration_digest(cal), calibration_digest(&drifted));
+        // Different machines digest differently.
+        let other = profiles::by_name("fake_quito").unwrap();
+        assert_ne!(
+            calibration_digest(cal),
+            calibration_digest(other.calibration())
+        );
+    }
+
+    #[test]
+    fn fingerprint_reflects_the_transpiled_circuit() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let bv = bernstein_vazirani(&"1011".parse().unwrap());
+        let t = Transpiler::new(&backend).transpile(&bv).unwrap();
+        let fp = circuit_fingerprint(&t);
+        assert_eq!(fp.qubits, 5);
+        assert_eq!(fp.measured, 4);
+        assert_eq!(fp.gates, t.gate_count());
+        assert_eq!(fp.two_qubit_gates, t.cx_count());
+        assert!(fp.depth > 0);
+        assert!(!fp.name.is_empty());
+    }
+
+    #[test]
+    fn manifest_assembles_available_fields() {
+        let config = QBeepConfig::default();
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let bv = bernstein_vazirani(&"1011".parse().unwrap());
+        let t = Transpiler::new(&backend).transpile(&bv).unwrap();
+        let full = manifest(&config, Some(&backend), Some(&t), Some(7));
+        assert_eq!(full.crate_version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(full.config_digest, config_digest(&config));
+        assert_eq!(full.backend.as_deref(), Some("fake_lagos"));
+        assert!(full.calibration_digest.is_some());
+        assert_eq!(full.seed, Some(7));
+        assert_eq!(full.circuit.unwrap().measured, 4);
+
+        let minimal = manifest(&config, None, None, None);
+        assert!(minimal.backend.is_none());
+        assert!(minimal.calibration_digest.is_none());
+        assert!(minimal.circuit.is_none());
+        assert!(minimal.seed.is_none());
+    }
+}

@@ -470,6 +470,15 @@ pub fn execute_on_device_recorded<R: Rng + ?Sized>(
         recorder.incr("execute.shots", shots);
         recorder.gauge("execute.shots_per_sec", shots as f64 / secs.max(1e-12));
         recorder.gauge("execute.lambda_true", channel.lambda_true());
+        recorder.event(
+            qbeep_telemetry::EventLevel::Info,
+            "simulate.complete",
+            &[
+                ("shots", shots.to_string()),
+                ("distinct", counts.distinct().to_string()),
+                ("lambda_true", format!("{:.6}", channel.lambda_true())),
+            ],
+        );
         counts
     } else {
         channel.run(shots, rng)

@@ -1,0 +1,363 @@
+//! The timeline side of the recorder: timestamped structured events.
+//!
+//! PR 1's [`RunReport`](crate::RunReport) answers *how much* time each
+//! stage took in aggregate; this module answers *when* each stage ran.
+//! Every span instance closed by an enabled [`Recorder`](crate::Recorder)
+//! and every explicit [`Recorder::event`](crate::Recorder::event) call
+//! lands in a bounded ring buffer as an [`Event`]: a monotonic
+//! microsecond offset from the recorder's creation, an optional
+//! duration (spans have one, instant events do not), a severity
+//! [`EventLevel`] and free-form `key=value` fields.
+//!
+//! An [`EventLog`] snapshot exports to two formats:
+//!
+//! * **Chrome `trace_event` JSON** ([`EventLog::to_chrome_trace`]) —
+//!   an array of `ph:"X"` complete events (spans) and `ph:"i"` instant
+//!   events, loadable in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`;
+//! * **JSONL** ([`EventLog::to_jsonl`]) — one self-contained JSON
+//!   object per line, for streaming consumers.
+//!
+//! Both writers emit JSON by hand (with full string escaping) rather
+//! than through a serialization framework, so they work in every build
+//! configuration the crate itself builds in.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Default ring-buffer capacity: enough for ~16k span instances, small
+/// enough that a pathological run cannot OOM the process.
+pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
+
+/// Severity of a structured event. Span-close events record at
+/// [`EventLevel::Info`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventLevel {
+    /// Fine-grained diagnostic detail.
+    Debug,
+    /// Normal pipeline progress (the span default).
+    Info,
+    /// Something degraded but the run continues.
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+impl EventLevel {
+    /// The lowercase name used in exports (`debug`/`info`/`warn`/`error`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Debug => "debug",
+            Self::Info => "info",
+            Self::Warn => "warn",
+            Self::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for EventLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One timestamped record in the event log: a closed span instance
+/// (`dur_us` set) or an instant event (`dur_us` empty).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic start offset from the recorder's creation, in µs
+    /// (fractional part carries sub-µs resolution).
+    pub start_us: f64,
+    /// Wall-clock duration in µs for span instances; `None` for
+    /// instant events.
+    pub dur_us: Option<f64>,
+    /// Span path (slash-joined nesting) or event name.
+    pub name: String,
+    /// Severity.
+    pub level: EventLevel,
+    /// Recorder-assigned id of the thread that produced the event
+    /// (also the `tid` in the Chrome trace).
+    pub thread: u64,
+    /// Free-form `key=value` payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// A snapshot of the recorder's event ring buffer.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    /// Events in arrival order (oldest first).
+    pub events: Vec<Event>,
+    /// How many events the ring buffer evicted before this snapshot.
+    pub dropped: u64,
+    /// The buffer capacity the recorder ran with.
+    pub capacity: usize,
+}
+
+impl EventLog {
+    /// Number of events in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the snapshot holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the log as Chrome `trace_event` JSON: a single array of
+    /// `ph:"X"` complete events (spans, with `ts`/`dur` in µs) and
+    /// `ph:"i"` instant events, with the event fields under `args`.
+    /// Load the result in <https://ui.perfetto.dev> or
+    /// `chrome://tracing`.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(&chrome_trace_record(event));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Renders the log as JSONL: one JSON object per line with
+    /// `start_us`, optional `dur_us`, `name`, `level`, `thread` and
+    /// the flattened fields under `fields`.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&jsonl_record(event));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One Chrome `trace_event` object for `event`.
+fn chrome_trace_record(event: &Event) -> String {
+    let mut record = String::from("{");
+    push_json_str(&mut record, "name", &event.name);
+    record.push(',');
+    push_json_str(&mut record, "cat", "qbeep");
+    record.push(',');
+    match event.dur_us {
+        Some(dur) => {
+            push_json_str(&mut record, "ph", "X");
+            record.push(',');
+            push_json_num(&mut record, "ts", event.start_us);
+            record.push(',');
+            push_json_num(&mut record, "dur", dur);
+        }
+        None => {
+            push_json_str(&mut record, "ph", "i");
+            record.push(',');
+            push_json_num(&mut record, "ts", event.start_us);
+            record.push(',');
+            // Thread-scoped instant marker.
+            push_json_str(&mut record, "s", "t");
+        }
+    }
+    record.push_str(",\"pid\":1,");
+    push_json_num(&mut record, "tid", event.thread as f64);
+    record.push_str(",\"args\":{");
+    push_json_str(&mut record, "level", event.level.as_str());
+    for (key, value) in &event.fields {
+        record.push(',');
+        push_json_str(&mut record, key, value);
+    }
+    record.push_str("}}");
+    record
+}
+
+/// One JSONL object for `event`.
+fn jsonl_record(event: &Event) -> String {
+    let mut record = String::from("{");
+    push_json_num(&mut record, "start_us", event.start_us);
+    record.push(',');
+    if let Some(dur) = event.dur_us {
+        push_json_num(&mut record, "dur_us", dur);
+        record.push(',');
+    }
+    push_json_str(&mut record, "name", &event.name);
+    record.push(',');
+    push_json_str(&mut record, "level", event.level.as_str());
+    record.push_str(",\"thread\":");
+    record.push_str(&event.thread.to_string());
+    record.push_str(",\"fields\":{");
+    for (i, (key, value)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            record.push(',');
+        }
+        push_json_str(&mut record, key, value);
+    }
+    record.push_str("}}");
+    record
+}
+
+/// Appends `"key":value` with `value` a finite JSON number rounded to
+/// nanosecond (3 fractional digits of a µs) resolution.
+fn push_json_num(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    if value.fract() == 0.0 && value.abs() < 9e15 {
+        out.push_str(&format!("{}", value as i64));
+    } else {
+        out.push_str(&format!("{value:.3}"));
+    }
+}
+
+/// Appends `"key":"escaped value"`.
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    escape_json_into(out, key);
+    out.push_str("\":\"");
+    escape_json_into(out, value);
+    out.push('"');
+}
+
+/// JSON string escaping: quotes, backslashes and control characters.
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_event(name: &str, start_us: f64, dur_us: f64) -> Event {
+        Event {
+            start_us,
+            dur_us: Some(dur_us),
+            name: name.to_string(),
+            level: EventLevel::Info,
+            thread: 1,
+            fields: Vec::new(),
+        }
+    }
+
+    fn sample_log() -> EventLog {
+        EventLog {
+            events: vec![
+                span_event("mitigate", 10.0, 100.0),
+                span_event("mitigate/graph_build", 12.5, 40.0),
+                Event {
+                    start_us: 55.0,
+                    dur_us: None,
+                    name: "mitigate.converged".to_string(),
+                    level: EventLevel::Warn,
+                    thread: 2,
+                    fields: vec![("iteration".to_string(), "7".to_string())],
+                },
+            ],
+            dropped: 0,
+            capacity: DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_complete_events() {
+        let json = sample_log().to_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let array = parsed.as_array().expect("trace is a JSON array");
+        assert_eq!(array.len(), 3);
+        let spans: Vec<&serde_json::Value> = array.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0]["name"], "mitigate");
+        assert_eq!(spans[0]["ts"], 10);
+        assert_eq!(spans[0]["dur"], 100);
+        assert_eq!(spans[1]["ts"].as_f64().unwrap(), 12.5);
+        let instant = array.iter().find(|e| e["ph"] == "i").expect("instant");
+        assert_eq!(instant["args"]["level"], "warn");
+        assert_eq!(instant["args"]["iteration"], "7");
+        assert_eq!(instant["tid"], 2);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let jsonl = sample_log().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let value: serde_json::Value = serde_json::from_str(line).expect("valid line");
+            assert!(value["name"].is_string());
+            assert!(value["start_us"].is_number());
+        }
+        let last: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert!(last.get("dur_us").is_none());
+        assert_eq!(last["fields"]["iteration"], "7");
+    }
+
+    #[test]
+    fn exports_escape_hostile_strings() {
+        let log = EventLog {
+            events: vec![Event {
+                start_us: 0.0,
+                dur_us: None,
+                name: "quote\" backslash\\ newline\n tab\t ctrl\u{1}".to_string(),
+                level: EventLevel::Error,
+                thread: 1,
+                fields: vec![("k\"ey".to_string(), "v\\al".to_string())],
+            }],
+            dropped: 0,
+            capacity: 8,
+        };
+        for text in [log.to_chrome_trace(), log.to_jsonl()] {
+            let parsed: serde_json::Value = serde_json::from_str(text.trim()).expect("escaped");
+            let name = if parsed.is_array() {
+                parsed[0]["name"].clone()
+            } else {
+                parsed["name"].clone()
+            };
+            assert_eq!(
+                name.as_str().unwrap(),
+                "quote\" backslash\\ newline\n tab\t ctrl\u{1}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_log_exports_cleanly() {
+        let log = EventLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&log.to_chrome_trace()).expect("valid empty array");
+        assert_eq!(parsed.as_array().unwrap().len(), 0);
+        assert_eq!(log.to_jsonl(), "");
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for (level, name) in [
+            (EventLevel::Debug, "debug"),
+            (EventLevel::Info, "info"),
+            (EventLevel::Warn, "warn"),
+            (EventLevel::Error, "error"),
+        ] {
+            assert_eq!(level.as_str(), name);
+            assert_eq!(level.to_string(), name);
+        }
+        assert!(EventLevel::Debug < EventLevel::Error);
+    }
+}

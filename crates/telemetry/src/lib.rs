@@ -14,6 +14,14 @@
 //! * [`RunReport`] — an immutable snapshot of everything a recorder
 //!   saw, serializable to JSON via `serde` and renderable as aligned
 //!   plain-text tables (the style of `qbeep-bench`'s report module).
+//! * [`EventLog`] — the *timeline* side: every span instance and every
+//!   explicit [`Recorder::event`] lands in a bounded ring buffer as a
+//!   timestamped [`Event`], exportable as Chrome `trace_event` JSON
+//!   (Perfetto / `chrome://tracing`) or streaming JSONL.
+//! * [`ProvenanceManifest`] — the reproducibility header attached to
+//!   run reports and bench artifacts: config and calibration digests
+//!   (via the dependency-free [`Digest`]), a [`CircuitFingerprint`],
+//!   the RNG seed and the crate version.
 //!
 //! # Example
 //!
@@ -42,8 +50,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
+mod manifest;
 mod recorder;
 mod report;
 
+pub use events::{Event, EventLevel, EventLog, DEFAULT_EVENT_CAPACITY};
+pub use manifest::{CircuitFingerprint, Digest, ProvenanceManifest};
 pub use recorder::{Recorder, Span};
 pub use report::{HistogramStat, RunReport, SpanStat};

@@ -1,0 +1,296 @@
+//! Run provenance: the manifest that makes any emitted artifact
+//! reproducible from its header.
+//!
+//! The paper positions Q-BEEP as an offline post-processing tool; a
+//! vendor running it at scale must be able to prove *which*
+//! configuration, calibration snapshot and circuit produced a given
+//! figure JSON or telemetry artifact. A [`ProvenanceManifest`] carries
+//! exactly that: stable digests of the mitigation config and the
+//! calibration snapshot, a structural [`CircuitFingerprint`] of the
+//! transpiled circuit, the RNG seed and the crate version.
+//!
+//! Digests are computed with the dependency-free streaming
+//! [`Digest`] (FNV-1a, 64-bit) so every workspace crate can produce
+//! them without pulling in a hashing crate.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Structural fingerprint of one (transpiled) circuit: enough to tell
+/// two workloads apart without storing the circuit itself.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CircuitFingerprint {
+    /// Circuit name.
+    pub name: String,
+    /// Number of qubits the circuit acts on.
+    pub qubits: usize,
+    /// Total gate count.
+    pub gates: usize,
+    /// Two-qubit gate count.
+    pub two_qubit_gates: usize,
+    /// Circuit depth.
+    pub depth: usize,
+    /// Number of measured qubits (outcome width).
+    pub measured: usize,
+}
+
+/// Provenance header attached to run reports and bench artifacts.
+///
+/// Every field that cannot always be known is optional, so the
+/// manifest degrades gracefully (e.g. `mitigate --lambda` has no
+/// backend and therefore no calibration digest).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProvenanceManifest {
+    /// Version of the crate that produced the artifact.
+    pub crate_version: String,
+    /// Stable digest of the mitigation configuration.
+    pub config_digest: String,
+    /// Stable digest of the backend's calibration snapshot, when a
+    /// backend was involved.
+    #[serde(default)]
+    pub calibration_digest: Option<String>,
+    /// Backend profile name, when a backend was involved.
+    #[serde(default)]
+    pub backend: Option<String>,
+    /// Fingerprint of the transpiled circuit, when one was involved.
+    #[serde(default)]
+    pub circuit: Option<CircuitFingerprint>,
+    /// RNG seed of the run, when one was used.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Free-form extra provenance (scale tier, workload label, …).
+    #[serde(default)]
+    pub extra: BTreeMap<String, String>,
+}
+
+impl ProvenanceManifest {
+    /// Creates a manifest with the mandatory fields.
+    #[must_use]
+    pub fn new(crate_version: impl Into<String>, config_digest: impl Into<String>) -> Self {
+        Self {
+            crate_version: crate_version.into(),
+            config_digest: config_digest.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the calibration digest.
+    #[must_use]
+    pub fn with_calibration_digest(mut self, digest: impl Into<String>) -> Self {
+        self.calibration_digest = Some(digest.into());
+        self
+    }
+
+    /// Sets the backend name.
+    #[must_use]
+    pub fn with_backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = Some(backend.into());
+        self
+    }
+
+    /// Sets the circuit fingerprint.
+    #[must_use]
+    pub fn with_circuit(mut self, circuit: CircuitFingerprint) -> Self {
+        self.circuit = Some(circuit);
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Adds one free-form provenance entry.
+    #[must_use]
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra.insert(key.into(), value.into());
+        self
+    }
+
+    /// Renders the manifest as `key: value` lines for table reports.
+    #[must_use]
+    pub fn render_lines(&self) -> Vec<(String, String)> {
+        let mut lines = vec![
+            ("crate_version".to_string(), self.crate_version.clone()),
+            ("config_digest".to_string(), self.config_digest.clone()),
+        ];
+        if let Some(digest) = &self.calibration_digest {
+            lines.push(("calibration_digest".to_string(), digest.clone()));
+        }
+        if let Some(backend) = &self.backend {
+            lines.push(("backend".to_string(), backend.clone()));
+        }
+        if let Some(c) = &self.circuit {
+            lines.push((
+                "circuit".to_string(),
+                format!(
+                    "{} ({}q, {} gates, {} cx, depth {}, {} measured)",
+                    c.name, c.qubits, c.gates, c.two_qubit_gates, c.depth, c.measured
+                ),
+            ));
+        }
+        if let Some(seed) = self.seed {
+            lines.push(("seed".to_string(), seed.to_string()));
+        }
+        for (key, value) in &self.extra {
+            lines.push((key.clone(), value.clone()));
+        }
+        lines
+    }
+}
+
+/// A streaming 64-bit FNV-1a hasher producing stable hex digests.
+///
+/// Not cryptographic — the goal is a cheap, dependency-free, stable
+/// identity for configs and calibration snapshots, the same role git's
+/// short hashes play for commits.
+#[derive(Debug, Clone)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a string (prefixed with its length, so `("ab","c")` and
+    /// `("a","bc")` digest differently).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds one u64 (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds one f64 via its IEEE-754 bit pattern (`-0.0` is
+    /// canonicalised to `0.0` so the two digest identically).
+    pub fn write_f64(&mut self, v: f64) {
+        let canonical = if v == 0.0 { 0.0f64 } else { v };
+        self.write(&canonical.to_bits().to_le_bytes());
+    }
+
+    /// Finishes into a 16-character lowercase hex digest.
+    #[must_use]
+    pub fn finish_hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let mut a = Digest::new();
+        a.write_str("epsilon");
+        a.write_f64(0.05);
+        let mut b = Digest::new();
+        b.write_str("epsilon");
+        b.write_f64(0.05);
+        assert_eq!(a.finish_hex(), b.finish_hex());
+        assert_eq!(a.finish_hex().len(), 16);
+
+        let mut c = Digest::new();
+        c.write_f64(0.05);
+        c.write_str("epsilon");
+        assert_ne!(a.finish_hex(), c.finish_hex());
+    }
+
+    #[test]
+    fn digest_length_prefix_prevents_concatenation_collisions() {
+        let mut a = Digest::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Digest::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish_hex(), b.finish_hex());
+    }
+
+    #[test]
+    fn digest_canonicalises_negative_zero() {
+        let mut a = Digest::new();
+        a.write_f64(0.0);
+        let mut b = Digest::new();
+        b.write_f64(-0.0);
+        assert_eq!(a.finish_hex(), b.finish_hex());
+    }
+
+    #[test]
+    fn manifest_builder_and_render() {
+        let manifest = ProvenanceManifest::new("0.1.0", "deadbeefdeadbeef")
+            .with_backend("fake_lagos")
+            .with_calibration_digest("0123456789abcdef")
+            .with_circuit(CircuitFingerprint {
+                name: "bv".to_string(),
+                qubits: 5,
+                gates: 40,
+                two_qubit_gates: 4,
+                depth: 12,
+                measured: 4,
+            })
+            .with_seed(7)
+            .with_extra("scale", "smoke");
+        let lines = manifest.render_lines();
+        let keys: Vec<&str> = lines.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "crate_version",
+                "config_digest",
+                "calibration_digest",
+                "backend",
+                "circuit",
+                "seed",
+                "scale"
+            ]
+        );
+        let circuit_line = &lines[4].1;
+        assert!(circuit_line.contains("5q"), "{circuit_line}");
+        assert!(circuit_line.contains("depth 12"), "{circuit_line}");
+    }
+
+    #[test]
+    fn manifest_round_trips_through_serde() {
+        let manifest = ProvenanceManifest::new("0.1.0", "deadbeefdeadbeef")
+            .with_seed(42)
+            .with_extra("workload", "hotpath");
+        let json = serde_json::to_string(&manifest).unwrap();
+        let back: ProvenanceManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(manifest, back);
+        // A minimal manifest (absent optionals) also round-trips.
+        let minimal = ProvenanceManifest::new("0.1.0", "00");
+        let back: ProvenanceManifest =
+            serde_json::from_str(&serde_json::to_string(&minimal).unwrap()).unwrap();
+        assert_eq!(minimal, back);
+    }
+}

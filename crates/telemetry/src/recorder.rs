@@ -1,10 +1,12 @@
 //! The recording side: a shared, thread-safe sink for spans, counters,
-//! gauges, histograms and series.
+//! gauges, histograms, series and timestamped events.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+use crate::events::{Event, EventLevel, EventLog, DEFAULT_EVENT_CAPACITY};
 use crate::report::{HistogramStat, RunReport, SpanStat};
 
 /// Aggregate statistics of one span path.
@@ -74,15 +76,32 @@ impl Hist {
     }
 }
 
+/// Process-wide thread numbering for event records: small, stable,
+/// human-readable ids (the raw `ThreadId` debug format is neither).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's recorder-assigned id (1-based, in first-record order).
+fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
 /// Everything one recorder has seen, behind a single mutex. Lock
 /// traffic is one uncontended acquisition per recording call — fine
 /// for stage-level instrumentation (the hot inner loops record once
 /// per *iteration*, not once per edge).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Registry {
-    /// The currently open span names (innermost last); span paths are
-    /// the stack joined with `/`.
-    stack: Vec<String>,
+    /// The monotonic zero point every event offset is measured from.
+    epoch: Instant,
+    /// Per-thread stacks of currently open span names (innermost
+    /// last); a span's path is its *own thread's* stack joined with
+    /// `/`, so concurrent spans on different threads cannot interleave
+    /// into each other's paths.
+    stacks: BTreeMap<u64, Vec<String>>,
     /// First-seen order of span paths, for stable reporting.
     span_order: Vec<String>,
     spans: BTreeMap<String, SpanAgg>,
@@ -90,6 +109,42 @@ struct Registry {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Hist>,
     series: BTreeMap<String, Vec<f64>>,
+    /// Bounded ring buffer of timestamped events (oldest evicted
+    /// first), so arbitrarily long runs cannot OOM on telemetry.
+    events: VecDeque<Event>,
+    event_capacity: usize,
+    events_dropped: u64,
+}
+
+impl Registry {
+    fn new(event_capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            stacks: BTreeMap::new(),
+            span_order: Vec::new(),
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            series: BTreeMap::new(),
+            events: VecDeque::new(),
+            event_capacity,
+            events_dropped: 0,
+        }
+    }
+
+    /// Pushes one event, evicting the oldest on overflow.
+    fn push_event(&mut self, event: Event) {
+        if self.event_capacity == 0 {
+            self.events_dropped += 1;
+            return;
+        }
+        if self.events.len() >= self.event_capacity {
+            self.events.pop_front();
+            self.events_dropped += 1;
+        }
+        self.events.push_back(event);
+    }
 }
 
 /// Default histogram bucket upper bounds: powers of two from 2⁻¹⁰
@@ -103,7 +158,8 @@ fn default_bounds() -> Vec<f64> {
 ///
 /// Two states:
 ///
-/// * [`Recorder::new`] — enabled: spans time, counters count.
+/// * [`Recorder::new`] — enabled: spans time, counters count, events
+///   land in the timeline ring buffer.
 /// * [`Recorder::disabled`] (also [`Recorder::default`]) — every
 ///   operation returns after a single branch; no clock reads, no
 ///   locks, no allocation. This is what uninstrumented engine runs
@@ -111,18 +167,29 @@ fn default_bounds() -> Vec<f64> {
 ///
 /// Clones share the same registry, so one recorder can be handed to
 /// every pipeline stage and drained once at the end with
-/// [`report`](Self::report).
+/// [`report`](Self::report) (aggregates) and [`events`](Self::events)
+/// (timeline).
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Mutex<Registry>>>,
 }
 
 impl Recorder {
-    /// Creates an enabled recorder with an empty registry.
+    /// Creates an enabled recorder with an empty registry and the
+    /// default event-buffer capacity
+    /// ([`DEFAULT_EVENT_CAPACITY`]).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates an enabled recorder whose event ring buffer holds at
+    /// most `capacity` events (0 disables event collection entirely
+    /// while keeping aggregates).
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
         Self {
-            inner: Some(Arc::new(Mutex::new(Registry::default()))),
+            inner: Some(Arc::new(Mutex::new(Registry::new(capacity)))),
         }
     }
 
@@ -146,21 +213,25 @@ impl Recorder {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Opens a RAII span timer. The span's path is every currently
-    /// open span joined with `/` (so spans nest lexically); elapsed
-    /// wall time is recorded when the guard drops. Guards must drop in
-    /// LIFO order — which scoped `let _guard = …` usage guarantees.
+    /// Opens a RAII span timer. The span's path is every span
+    /// currently open *on this thread* joined with `/` (so spans nest
+    /// lexically per thread and concurrent threads never interleave);
+    /// elapsed wall time is recorded — and a timeline [`Event`]
+    /// emitted — when the guard drops. Guards must drop in LIFO order
+    /// — which scoped `let _guard = …` usage guarantees.
     pub fn span(&self, name: &str) -> Span {
         match &self.inner {
             None => Span { active: None },
             Some(inner) => {
+                let thread = current_thread_id();
                 let path = {
                     let mut reg = Self::lock(inner);
-                    reg.stack.push(name.to_string());
-                    reg.stack.join("/")
+                    let stack = reg.stacks.entry(thread).or_default();
+                    stack.push(name.to_string());
+                    stack.join("/")
                 };
                 Span {
-                    active: Some((Arc::clone(inner), path, Instant::now())),
+                    active: Some((Arc::clone(inner), path, Instant::now(), thread)),
                 }
             }
         }
@@ -170,6 +241,28 @@ impl Recorder {
     pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
         let _span = self.span(name);
         f()
+    }
+
+    /// Records one leveled instant event with `key=value` fields into
+    /// the timeline ring buffer.
+    pub fn event(&self, level: EventLevel, name: &str, fields: &[(&str, String)]) {
+        if let Some(inner) = &self.inner {
+            let thread = current_thread_id();
+            let mut reg = Self::lock(inner);
+            let start_us = reg.epoch.elapsed().as_secs_f64() * 1e6;
+            let event = Event {
+                start_us,
+                dur_us: None,
+                name: name.to_string(),
+                level,
+                thread,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+            };
+            reg.push_event(event);
+        }
     }
 
     /// Adds `by` to the monotonic counter `name`.
@@ -206,6 +299,39 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             let mut reg = Self::lock(inner);
             reg.series.entry(name.to_string()).or_default().push(value);
+        }
+    }
+
+    /// Snapshots the timeline ring buffer (events stay in the buffer;
+    /// use [`drain_events`](Self::drain_events) for streaming
+    /// consumption). A disabled recorder reports an empty log.
+    #[must_use]
+    pub fn events(&self) -> EventLog {
+        let Some(inner) = &self.inner else {
+            return EventLog::default();
+        };
+        let reg = Self::lock(inner);
+        EventLog {
+            events: reg.events.iter().cloned().collect(),
+            dropped: reg.events_dropped,
+            capacity: reg.event_capacity,
+        }
+    }
+
+    /// Takes every buffered event out of the ring buffer (for
+    /// streaming JSONL consumers that flush periodically). The dropped
+    /// count is cumulative across drains.
+    #[must_use]
+    pub fn drain_events(&self) -> EventLog {
+        let Some(inner) = &self.inner else {
+            return EventLog::default();
+        };
+        let mut reg = Self::lock(inner);
+        let events: Vec<Event> = std::mem::take(&mut reg.events).into_iter().collect();
+        EventLog {
+            events,
+            dropped: reg.events_dropped,
+            capacity: reg.event_capacity,
         }
     }
 
@@ -253,33 +379,48 @@ impl Recorder {
             gauges: reg.gauges.clone(),
             histograms,
             series: reg.series.clone(),
+            manifest: None,
         }
     }
 }
 
 /// RAII guard returned by [`Recorder::span`]; records elapsed wall
-/// time under its path when dropped.
+/// time under its path — and a timeline event — when dropped.
 #[must_use = "a span records on drop; bind it (`let _span = …`) for the scope it should time"]
 #[derive(Debug)]
 pub struct Span {
-    /// `(registry, full path, start)`; `None` for disabled recorders.
-    active: Option<(Arc<Mutex<Registry>>, String, Instant)>,
+    /// `(registry, full path, start, thread id)`; `None` for disabled
+    /// recorders.
+    active: Option<(Arc<Mutex<Registry>>, String, Instant, u64)>,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((inner, path, start)) = self.active.take() {
-            let ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some((inner, path, start, thread)) = self.active.take() {
+            let elapsed = start.elapsed();
+            let ms = elapsed.as_secs_f64() * 1e3;
             let mut reg = Recorder::lock(&inner);
-            // Pop our stack frame (the leaf of the recorded path).
+            // Pop our stack frame (the leaf of the recorded path) from
+            // our own thread's stack.
             let leaf = path.rsplit('/').next().unwrap_or(&path);
-            if reg.stack.last().map(String::as_str) == Some(leaf) {
-                reg.stack.pop();
+            if let Some(stack) = reg.stacks.get_mut(&thread) {
+                if stack.last().map(String::as_str) == Some(leaf) {
+                    stack.pop();
+                }
             }
             if !reg.spans.contains_key(&path) {
                 reg.span_order.push(path.clone());
             }
-            reg.spans.entry(path).or_default().record(ms);
+            reg.spans.entry(path.clone()).or_default().record(ms);
+            let start_us = start.saturating_duration_since(reg.epoch).as_secs_f64() * 1e6;
+            reg.push_event(Event {
+                start_us,
+                dur_us: Some(elapsed.as_secs_f64() * 1e6),
+                name: path,
+                level: EventLevel::Info,
+                thread,
+                fields: Vec::new(),
+            });
         }
     }
 }
@@ -319,6 +460,60 @@ mod tests {
         assert_eq!(stat.count, 3);
         assert!(stat.total_ms >= stat.min_ms + stat.max_ms - 1e-12);
         assert!(stat.min_ms <= stat.max_ms);
+    }
+
+    #[test]
+    fn repeated_nested_spans_aggregate_under_one_path() {
+        let r = Recorder::new();
+        for i in 0..5 {
+            let _outer = r.span("mitigate");
+            {
+                let _inner = r.span("graph_build");
+                if i % 2 == 0 {
+                    let _leaf = r.span("kernel");
+                }
+            }
+        }
+        let report = r.report();
+        let build = report.span("mitigate/graph_build").unwrap();
+        assert_eq!(build.count, 5);
+        assert!(build.min_ms <= build.max_ms);
+        assert!(build.total_ms >= build.max_ms - 1e-12);
+        assert!(build.total_ms <= 5.0 * build.max_ms + 1e-12);
+        assert_eq!(report.span("mitigate/graph_build/kernel").unwrap().count, 3);
+        assert_eq!(report.span("mitigate").unwrap().count, 5);
+        // Aggregation means three paths, not one per instance.
+        assert_eq!(report.spans.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_spans_do_not_interleave_paths() {
+        let r = Recorder::new();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let recorder = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _outer = recorder.span("worker");
+                        let _inner = recorder.span(if i % 2 == 0 { "even" } else { "odd" });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = r.report();
+        let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        for path in &paths {
+            assert!(
+                ["worker", "worker/even", "worker/odd"].contains(path),
+                "interleaved path {path:?} in {paths:?}"
+            );
+        }
+        assert_eq!(report.span("worker").unwrap().count, 200);
+        assert_eq!(report.span("worker/even").unwrap().count, 100);
+        assert_eq!(report.span("worker/odd").unwrap().count, 100);
     }
 
     #[test]
@@ -382,7 +577,10 @@ mod tests {
         r.gauge("never", 1.0);
         r.observe("never", 1.0);
         r.push_series("never", 1.0);
+        r.event(EventLevel::Info, "never", &[]);
         assert!(r.report().is_empty());
+        assert!(r.events().is_empty());
+        assert!(r.drain_events().is_empty());
         // Default is also disabled (what an uninstrumented engine carries).
         assert!(!Recorder::default().is_enabled());
     }
@@ -393,5 +591,89 @@ mod tests {
         let clone = r.clone();
         clone.incr("shared", 7);
         assert_eq!(r.report().counters["shared"], 7);
+    }
+
+    #[test]
+    fn spans_and_events_land_on_the_timeline_in_order() {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("mitigate");
+            r.event(
+                EventLevel::Warn,
+                "mitigate.slow",
+                &[("iteration", "3".to_string())],
+            );
+            let _inner = r.span("graph_build");
+        }
+        let log = r.events();
+        assert_eq!(log.dropped, 0);
+        let names: Vec<&str> = log.events.iter().map(|e| e.name.as_str()).collect();
+        // The instant fires before either span closes; inner closes
+        // before outer.
+        assert_eq!(
+            names,
+            vec!["mitigate.slow", "mitigate/graph_build", "mitigate"]
+        );
+        let instant = &log.events[0];
+        assert_eq!(instant.level, EventLevel::Warn);
+        assert!(instant.dur_us.is_none());
+        assert_eq!(
+            instant.fields,
+            vec![("iteration".to_string(), "3".to_string())]
+        );
+        let inner = &log.events[1];
+        let outer = &log.events[2];
+        assert!(inner.dur_us.unwrap() >= 0.0);
+        // The inner span starts no earlier and ends no later than the
+        // outer one (µs rounding slack).
+        assert!(inner.start_us + 1e-3 >= outer.start_us);
+        assert!(
+            inner.start_us + inner.dur_us.unwrap() <= outer.start_us + outer.dur_us.unwrap() + 1.0
+        );
+    }
+
+    #[test]
+    fn event_ring_buffer_is_bounded() {
+        let r = Recorder::with_event_capacity(4);
+        for i in 0..10 {
+            r.event(EventLevel::Debug, &format!("e{i}"), &[]);
+        }
+        let log = r.events();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped, 6);
+        assert_eq!(log.capacity, 4);
+        // The survivors are the newest four.
+        let names: Vec<&str> = log.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e6", "e7", "e8", "e9"]);
+        // Aggregates are unaffected by event eviction.
+        let _s = r.span("kept");
+        drop(_s);
+        assert_eq!(r.report().span("kept").unwrap().count, 1);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_aggregates_but_no_events() {
+        let r = Recorder::with_event_capacity(0);
+        {
+            let _s = r.span("stage");
+        }
+        r.event(EventLevel::Info, "x", &[]);
+        let log = r.events();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped, 2);
+        assert_eq!(r.report().span("stage").unwrap().count, 1);
+    }
+
+    #[test]
+    fn drain_events_empties_the_buffer() {
+        let r = Recorder::new();
+        r.event(EventLevel::Info, "first", &[]);
+        let drained = r.drain_events();
+        assert_eq!(drained.len(), 1);
+        assert!(r.events().is_empty());
+        r.event(EventLevel::Info, "second", &[]);
+        let again = r.drain_events();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again.events[0].name, "second");
     }
 }

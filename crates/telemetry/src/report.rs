@@ -6,6 +6,8 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use crate::manifest::ProvenanceManifest;
+
 /// Aggregate timing of one span path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanStat {
@@ -19,6 +21,18 @@ pub struct SpanStat {
     pub min_ms: f64,
     /// Slowest single run, in milliseconds.
     pub max_ms: f64,
+}
+
+impl SpanStat {
+    /// Mean wall time per run, in milliseconds (0 when never run).
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms / self.count as f64
+        }
+    }
 }
 
 /// Snapshot of one fixed-bucket histogram.
@@ -48,6 +62,64 @@ impl HistogramStat {
             self.sum / self.count as f64
         }
     }
+
+    /// Bucket-estimated quantile `q ∈ [0, 1]`: walks the cumulative
+    /// bucket counts to the bucket holding the target rank, then
+    /// interpolates linearly inside it. Bucket edges are clamped to
+    /// the observed `[min, max]`, so a single-bucket histogram
+    /// interpolates between its true extremes rather than its
+    /// (potentially huge) nominal bounds. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let next = cum + n;
+            if next as f64 >= target && n > 0 {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let lower = lower.min(upper);
+                let frac = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                return (lower + frac * (upper - lower)).clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Bucket-estimated median.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Bucket-estimated 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Bucket-estimated 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Everything one [`Recorder`](crate::Recorder) saw: the machine-
@@ -65,10 +137,14 @@ pub struct RunReport {
     pub histograms: BTreeMap<String, HistogramStat>,
     /// Ordered series (e.g. one value per mitigation iteration).
     pub series: BTreeMap<String, Vec<f64>>,
+    /// Provenance of the run that produced this report, when the
+    /// producer attached one (see [`RunReport::with_manifest`]).
+    #[serde(default)]
+    pub manifest: Option<ProvenanceManifest>,
 }
 
 impl RunReport {
-    /// True when nothing was recorded.
+    /// True when nothing was recorded and no provenance was attached.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
@@ -76,6 +152,14 @@ impl RunReport {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.series.is_empty()
+            && self.manifest.is_none()
+    }
+
+    /// Attaches a provenance manifest (consuming builder form).
+    #[must_use]
+    pub fn with_manifest(mut self, manifest: ProvenanceManifest) -> Self {
+        self.manifest = Some(manifest);
+        self
     }
 
     /// Looks up a span stat by its exact path.
@@ -89,6 +173,14 @@ impl RunReport {
     #[must_use]
     pub fn render_table(&self) -> String {
         let mut out = String::new();
+        if let Some(manifest) = &self.manifest {
+            let rows: Vec<Vec<String>> = manifest
+                .render_lines()
+                .into_iter()
+                .map(|(k, v)| vec![k, v])
+                .collect();
+            push_table(&mut out, "provenance", &["key", "value"], &rows);
+        }
         if !self.spans.is_empty() {
             let rows: Vec<Vec<String>> = self
                 .spans
@@ -135,6 +227,9 @@ impl RunReport {
                         k.clone(),
                         h.count.to_string(),
                         format!("{:.4}", h.mean()),
+                        format!("{:.4}", h.p50()),
+                        format!("{:.4}", h.p95()),
+                        format!("{:.4}", h.p99()),
                         format!("{:.4}", h.min),
                         format!("{:.4}", h.max),
                     ]
@@ -143,7 +238,7 @@ impl RunReport {
             push_table(
                 &mut out,
                 "histograms",
-                &["name", "count", "mean", "min", "max"],
+                &["name", "count", "mean", "p50", "p95", "p99", "min", "max"],
                 &rows,
             );
         }
@@ -240,6 +335,28 @@ mod tests {
     }
 
     #[test]
+    fn report_with_manifest_round_trips_and_renders() {
+        let manifest = ProvenanceManifest::new("0.1.0", "deadbeefdeadbeef")
+            .with_backend("fake_lagos")
+            .with_seed(9);
+        let report = sample_report().with_manifest(manifest.clone());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(back.manifest.as_ref(), Some(&manifest));
+        let table = report.render_table();
+        assert!(table.contains("=== provenance ==="), "{table}");
+        assert!(table.contains("deadbeefdeadbeef"), "{table}");
+        assert!(table.contains("fake_lagos"), "{table}");
+        // Manifest-less JSON (the PR 1 shape) still deserializes.
+        let legacy: RunReport = serde_json::from_str(
+            r#"{"spans":[],"counters":{},"gauges":{},"histograms":{},"series":{}}"#,
+        )
+        .unwrap();
+        assert!(legacy.manifest.is_none());
+    }
+
+    #[test]
     fn table_rendering_lists_every_section() {
         let text = sample_report().render_table();
         for needle in [
@@ -248,6 +365,9 @@ mod tests {
             "=== gauges ===",
             "=== histograms ===",
             "=== series ===",
+            "p50",
+            "p95",
+            "p99",
             "mitigate/graph_build",
             "graph.vertices",
             "lambda",
@@ -265,6 +385,26 @@ mod tests {
         assert!(report.is_empty());
         assert_eq!(report.render_table(), "(no telemetry recorded)\n");
         assert!(report.span("anything").is_none());
+    }
+
+    #[test]
+    fn span_mean() {
+        let stat = SpanStat {
+            path: "x".to_string(),
+            count: 4,
+            total_ms: 10.0,
+            min_ms: 1.0,
+            max_ms: 4.0,
+        };
+        assert!((stat.mean_ms() - 2.5).abs() < 1e-12);
+        let empty = SpanStat {
+            path: "x".to_string(),
+            count: 0,
+            total_ms: 0.0,
+            min_ms: 0.0,
+            max_ms: 0.0,
+        };
+        assert_eq!(empty.mean_ms(), 0.0);
     }
 
     #[test]
@@ -287,5 +427,104 @@ mod tests {
             buckets: vec![0],
         };
         assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 30 observations: 10 in (min, 10], 10 in (10, 20], 10 in (20, 30].
+        let h = HistogramStat {
+            count: 30,
+            sum: 450.0,
+            min: 2.0,
+            max: 28.0,
+            bounds: vec![10.0, 20.0, 30.0],
+            buckets: vec![10, 10, 10, 0],
+        };
+        // Rank 15 of 30 → halfway through the (10, 20] bucket.
+        assert!((h.p50() - 15.0).abs() < 1e-9, "{}", h.p50());
+        // Rank 28.5 → 85% through the (20, max=28] bucket.
+        assert!((h.p95() - 26.8).abs() < 1e-9, "{}", h.p95());
+        assert!(h.p99() <= h.max + 1e-12);
+        assert!(h.quantile(0.0) >= h.min - 1e-12);
+        assert!((h.quantile(1.0) - h.max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let empty = HistogramStat {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            bounds: vec![1.0, 2.0],
+            buckets: vec![0, 0, 0],
+        };
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.p95(), 0.0);
+        assert_eq!(empty.p99(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_single_bucket_histogram_stay_in_range() {
+        // Everything in the overflow bucket (no bounds at all).
+        let h = HistogramStat {
+            count: 8,
+            sum: 80.0,
+            min: 5.0,
+            max: 15.0,
+            bounds: vec![],
+            buckets: vec![8],
+        };
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((5.0..=15.0).contains(&v), "q={q} → {v}");
+        }
+        // The estimate interpolates min → max across the bucket.
+        assert!((h.p50() - 10.0).abs() < 1e-9);
+
+        // A single observation: every quantile is that value.
+        let one = HistogramStat {
+            count: 1,
+            sum: 3.0,
+            min: 3.0,
+            max: 3.0,
+            bounds: vec![4.0],
+            buckets: vec![1, 0],
+        };
+        for q in [0.0, 0.5, 1.0] {
+            assert!((one.quantile(q) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let h = HistogramStat {
+            count: 1,
+            sum: 1.0,
+            min: 1.0,
+            max: 1.0,
+            bounds: vec![],
+            buckets: vec![1],
+        };
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn quantiles_from_recorded_observations() {
+        let r = Recorder::new();
+        for i in 1..=100 {
+            r.observe("v", f64::from(i));
+        }
+        let h = &r.report().histograms["v"];
+        // Power-of-two buckets are coarse; the estimates should still
+        // land in the right region and be monotone.
+        let p50 = h.p50();
+        let p95 = h.p95();
+        let p99 = h.p99();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((30.0..=70.0).contains(&p50), "p50 {p50}");
+        assert!(p99 <= 100.0 + 1e-9, "p99 {p99}");
+        assert!(p95 >= 64.0, "p95 {p95}");
     }
 }

@@ -140,6 +140,14 @@ impl<'a> Transpiler<'a> {
             recorder.incr("transpile.cx_out", physical.two_qubit_gate_count() as u64);
             recorder.gauge("transpile.depth", sched.depth as f64);
             recorder.gauge("transpile.duration_ns", sched.total_ns);
+            recorder.event(
+                qbeep_telemetry::EventLevel::Info,
+                "transpile.complete",
+                &[
+                    ("gates_out", physical.gate_count().to_string()),
+                    ("depth", sched.depth.to_string()),
+                ],
+            );
         }
         Ok(TranspiledCircuit::new(
             physical,

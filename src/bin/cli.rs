@@ -21,8 +21,12 @@
 //! Counts JSON is the IBMQ-style dictionary: `{"1011": 812, ...}`.
 //! With `--telemetry` (or `QBEEP_TELEMETRY=json|table` in the
 //! environment) each command also prints a structured run report —
-//! span timings, λ breakdown, graph statistics, per-iteration series —
-//! to stderr, leaving stdout machine-parseable.
+//! provenance manifest, span timings, λ breakdown, graph statistics,
+//! per-iteration series — to stderr, leaving stdout machine-parseable.
+//! `--trace FILE` additionally writes the run's timestamped event
+//! timeline as Chrome `trace_event` JSON (loadable in
+//! <https://ui.perfetto.dev> or `chrome://tracing`), and `--events`
+//! streams the same events as JSONL to stderr.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -30,17 +34,54 @@ use std::process::ExitCode;
 use qbeep::bitstring::{BitString, Counts};
 use qbeep::circuit::qasm::from_qasm;
 use qbeep::circuit::Circuit;
-use qbeep::core::{QBeep, QBeepConfig};
+use qbeep::core::{provenance, QBeep, QBeepConfig};
 use qbeep::device::{profiles, Backend};
 use qbeep::sim::{execute_on_device_recorded, EmpiricalConfig};
-use qbeep::telemetry::Recorder;
+use qbeep::telemetry::{ProvenanceManifest, Recorder};
 use qbeep::transpile::Transpiler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Flags that may appear without a value (`--telemetry` alone means
-/// the table format; `--help` is a request for the usage text).
-const VALUELESS_FLAGS: &[&str] = &["telemetry", "help"];
+/// the table format; `--events` asks for the JSONL stream; `--help`
+/// is a request for the usage text).
+const VALUELESS_FLAGS: &[&str] = &["telemetry", "events", "help"];
+
+/// Observability flags every command accepts.
+const COMMON_FLAGS: &[&str] = &["telemetry", "trace", "events", "help"];
+
+/// The command-specific flags each command accepts (on top of
+/// [`COMMON_FLAGS`]).
+fn known_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "transpile" => &["qasm", "backend"],
+        "run" => &["qasm", "backend", "shots", "seed", "iterations", "epsilon"],
+        "mitigate" => &[
+            "counts",
+            "lambda",
+            "qasm",
+            "backend",
+            "iterations",
+            "epsilon",
+        ],
+        _ => &[],
+    }
+}
+
+/// Rejects flags the command does not know, so a typo like `--shot`
+/// fails loudly instead of silently running with the default.
+fn validate_flags(command: &str, flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let allowed = known_flags(command);
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) && !COMMON_FLAGS.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown flag --{key} for `qbeep-cli {command}`; \
+                 run `qbeep-cli --help` for the flag list"
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// Parsed command-line options: `--key value` / `--key=value` pairs
 /// after the subcommand.
@@ -105,6 +146,10 @@ fn long_usage() -> String {
      \x20 --telemetry[=FORMAT] print a run report to stderr; FORMAT is\n\
      \x20                      `table` (default) or `json`. The env var\n\
      \x20                      QBEEP_TELEMETRY=json|table does the same.\n\
+     \x20 --trace FILE         write the run's event timeline as Chrome\n\
+     \x20                      trace_event JSON (open in ui.perfetto.dev\n\
+     \x20                      or chrome://tracing)\n\
+     \x20 --events             stream the event timeline as JSONL on stderr\n\
      \x20 --help               print this message and exit"
         .to_string()
 }
@@ -132,21 +177,72 @@ fn telemetry_format(flags: &BTreeMap<String, String>) -> Result<Option<Telemetry
         "" | "table" | "1" | "true" | "on" => Ok(Some(TelemetryFormat::Table)),
         "0" | "false" | "off" | "none" => Ok(None),
         other => Err(format!(
-            "bad telemetry format '{other}' (expected json or table)"
+            "bad telemetry format '{other}' (expected json or table); \
+             run `qbeep-cli --help` for the flag list"
         )),
     }
 }
 
-/// Prints the recorder's report to stderr in the chosen format,
-/// keeping stdout free for each command's primary output.
-fn emit_report(recorder: &Recorder, format: TelemetryFormat) {
-    let report = recorder.report();
-    match format {
-        TelemetryFormat::Json => eprintln!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("run report serializes")
-        ),
-        TelemetryFormat::Table => eprint!("{}", report.render_table()),
+/// The resolved observability request of one invocation: the report
+/// format (if any), the Chrome-trace output path (if any), whether to
+/// stream JSONL events, and the recorder the command should drive —
+/// enabled iff any of the three was asked for.
+struct Observability {
+    format: Option<TelemetryFormat>,
+    trace: Option<String>,
+    events: bool,
+    recorder: Recorder,
+}
+
+impl Observability {
+    fn from_flags(flags: &BTreeMap<String, String>) -> Result<Self, String> {
+        let format = telemetry_format(flags)?;
+        let trace = flags.get("trace").cloned();
+        let events = flags.contains_key("events");
+        let recorder = if format.is_some() || trace.is_some() || events {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        };
+        Ok(Self {
+            format,
+            trace,
+            events,
+            recorder,
+        })
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Emits everything that was requested, in stream-then-summary
+    /// order: the JSONL event lines and (after them) the run report on
+    /// stderr, plus the Chrome trace to `--trace`'s path. `manifest`
+    /// is attached to the report when given.
+    fn finish(&self, manifest: Option<ProvenanceManifest>) -> Result<(), String> {
+        if self.events {
+            eprint!("{}", self.recorder.events().to_jsonl());
+        }
+        if let Some(path) = &self.trace {
+            std::fs::write(path, self.recorder.events().to_chrome_trace())
+                .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+            eprintln!("// trace written to {path}");
+        }
+        if let Some(format) = self.format {
+            let mut report = self.recorder.report();
+            if let Some(manifest) = manifest {
+                report = report.with_manifest(manifest);
+            }
+            match format {
+                TelemetryFormat::Json => eprintln!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("run report serializes")
+                ),
+                TelemetryFormat::Table => eprint!("{}", report.render_table()),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -184,7 +280,7 @@ fn load_counts(flags: &BTreeMap<String, String>) -> Result<Counts, String> {
     Ok(counts)
 }
 
-fn engine_from_flags(flags: &BTreeMap<String, String>) -> Result<QBeep, String> {
+fn config_from_flags(flags: &BTreeMap<String, String>) -> Result<QBeepConfig, String> {
     let mut config = QBeepConfig::default();
     if let Some(iters) = flags.get("iterations") {
         config.iterations = iters
@@ -194,7 +290,7 @@ fn engine_from_flags(flags: &BTreeMap<String, String>) -> Result<QBeep, String> 
     if let Some(eps) = flags.get("epsilon") {
         config.epsilon = eps.parse().map_err(|_| format!("bad --epsilon '{eps}'"))?;
     }
-    Ok(QBeep::new(config))
+    Ok(config)
 }
 
 fn counts_to_json(probs: &[(BitString, f64)]) -> String {
@@ -232,14 +328,9 @@ fn cmd_backends() -> Result<(), String> {
 fn cmd_transpile(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let backend = load_backend(flags)?;
     let circuit = load_circuit(flags)?;
-    let telemetry = telemetry_format(flags)?;
-    let recorder = if telemetry.is_some() {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
-    };
+    let obs = Observability::from_flags(flags)?;
     let t = Transpiler::new(&backend)
-        .transpile_recorded(&circuit, &recorder)
+        .transpile_recorded(&circuit, obs.recorder())
         .map_err(|e| e.to_string())?;
     eprintln!(
         "// {} on {}: {} gates ({} CX), depth {}, {:.2} µs, λ = {:.4}",
@@ -252,10 +343,8 @@ fn cmd_transpile(flags: &BTreeMap<String, String>) -> Result<(), String> {
         qbeep::core::lambda::estimate_lambda(&t, &backend),
     );
     println!("{}", t.circuit().to_qasm());
-    if let Some(format) = telemetry {
-        emit_report(&recorder, format);
-    }
-    Ok(())
+    let manifest = provenance::manifest(&QBeepConfig::default(), Some(&backend), Some(&t), None);
+    obs.finish(Some(manifest))
 }
 
 fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
@@ -267,12 +356,8 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let seed: u64 = flags.get("seed").map_or(Ok(0), |s| {
         s.parse().map_err(|_| format!("bad --seed '{s}'"))
     })?;
-    let telemetry = telemetry_format(flags)?;
-    let recorder = if telemetry.is_some() {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
-    };
+    let config = config_from_flags(flags)?;
+    let obs = Observability::from_flags(flags)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let run = execute_on_device_recorded(
         &circuit,
@@ -280,7 +365,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
         shots,
         &EmpiricalConfig::default(),
         &mut rng,
-        &recorder,
+        obs.recorder(),
     )
     .map_err(|e| e.to_string())?;
     eprintln!(
@@ -289,12 +374,12 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
         backend.name(),
         run.lambda_true
     );
-    if recorder.is_enabled() {
+    if obs.recorder().is_enabled() {
         // Mitigate as well, so the report covers the full pipeline —
         // λ breakdown, graph build and per-iteration series — while
         // stdout still carries only the raw counts.
-        let result = engine_from_flags(flags)?
-            .with_recorder(recorder.clone())
+        let result = QBeep::new(config)
+            .with_recorder(obs.recorder().clone())
             .mitigate_run(&run.counts, &run.transpiled, &backend);
         eprintln!(
             "// mitigated: λ = {:.4}, graph {} vertices / {} edges, {} iterations",
@@ -314,45 +399,42 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
     out.push('}');
     println!("{out}");
-    if let Some(format) = telemetry {
-        emit_report(&recorder, format);
-    }
-    Ok(())
+    let manifest = provenance::manifest(&config, Some(&backend), Some(&run.transpiled), Some(seed));
+    obs.finish(Some(manifest))
 }
 
 fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let counts = load_counts(flags)?;
-    let telemetry = telemetry_format(flags)?;
-    let recorder = if telemetry.is_some() {
-        Recorder::new()
-    } else {
-        Recorder::disabled()
-    };
-    let engine = engine_from_flags(flags)?.with_recorder(recorder.clone());
-    let result = if let Some(lambda) = flags.get("lambda") {
+    let config = config_from_flags(flags)?;
+    let obs = Observability::from_flags(flags)?;
+    let engine = QBeep::new(config).with_recorder(obs.recorder().clone());
+    let (result, manifest) = if let Some(lambda) = flags.get("lambda") {
         let lambda: f64 = lambda
             .parse()
             .map_err(|_| format!("bad --lambda '{lambda}'"))?;
-        engine.mitigate_with_lambda(&counts, lambda)
+        (
+            engine.mitigate_with_lambda(&counts, lambda),
+            provenance::manifest(&config, None, None, None),
+        )
     } else {
         let backend = load_backend(flags).map_err(|e| {
             format!("{e} (λ estimation needs --qasm and --backend, or pass --lambda)")
         })?;
         let circuit = load_circuit(flags)?;
         let t = Transpiler::new(&backend)
-            .transpile_recorded(&circuit, &recorder)
+            .transpile_recorded(&circuit, obs.recorder())
             .map_err(|e| e.to_string())?;
-        engine.mitigate_run(&counts, &t, &backend)
+        (
+            engine.mitigate_run(&counts, &t, &backend),
+            provenance::manifest(&config, Some(&backend), Some(&t), None),
+        )
     };
     eprintln!(
         "// λ = {:.4}, state graph {} vertices / {} edges",
         result.lambda, result.graph_size.0, result.graph_size.1
     );
     println!("{}", counts_to_json(&result.mitigated.sorted_by_prob()));
-    if let Some(format) = telemetry {
-        emit_report(&recorder, format);
-    }
-    Ok(())
+    obs.finish(Some(manifest))
 }
 
 fn main() -> ExitCode {
@@ -370,13 +452,16 @@ fn main() -> ExitCode {
         println!("{}", long_usage());
         return ExitCode::SUCCESS;
     }
-    let result = match options.command.as_str() {
-        "backends" => cmd_backends(),
-        "transpile" => cmd_transpile(&options.flags),
-        "run" => cmd_run(&options.flags),
-        "mitigate" => cmd_mitigate(&options.flags),
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
-    };
+    let result =
+        match options.command.as_str() {
+            "backends" => validate_flags("backends", &options.flags).and_then(|()| cmd_backends()),
+            "transpile" => validate_flags("transpile", &options.flags)
+                .and_then(|()| cmd_transpile(&options.flags)),
+            "run" => validate_flags("run", &options.flags).and_then(|()| cmd_run(&options.flags)),
+            "mitigate" => validate_flags("mitigate", &options.flags)
+                .and_then(|()| cmd_mitigate(&options.flags)),
+            other => Err(format!("unknown command '{other}'\n{}", usage())),
+        };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

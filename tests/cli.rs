@@ -333,7 +333,197 @@ fn bad_telemetry_format_fails_cleanly() {
         .output()
         .expect("run cli");
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("bad telemetry format"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad telemetry format"));
+    assert!(
+        stderr.contains("--help"),
+        "error should point at --help: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_fails_with_help_hint() {
+    let counts = write_temp("uk_counts.json", r#"{"00": 10}"#);
+    let out = cli()
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.5",
+            "--frobnicate",
+            "7",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown flag --frobnicate"),
+        "missing flag name: {stderr}"
+    );
+    assert!(
+        stderr.contains("--help"),
+        "error should point at --help: {stderr}"
+    );
+    // A flag valid for another command is still rejected here.
+    let out = cli()
+        .args(["backends", "--shots", "100"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --shots"));
+}
+
+#[test]
+fn telemetry_json_report_deserializes_and_carries_provenance() {
+    let qasm = write_temp("prov.qasm", BV_QASM);
+    let out = cli()
+        .args([
+            "run",
+            "--qasm",
+            qasm.to_str().unwrap(),
+            "--backend",
+            "fake_lagos",
+            "--shots",
+            "1000",
+            "--seed",
+            "42",
+            "--telemetry",
+            "json",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let value = report_json(&String::from_utf8_lossy(&out.stderr));
+    // The stderr JSON deserializes into the library's RunReport type.
+    let report: qbeep::telemetry::RunReport =
+        serde_json::from_value(value).expect("stderr deserializes into RunReport");
+    let manifest = report.manifest.expect("report carries a manifest");
+    assert_eq!(manifest.config_digest.len(), 16);
+    assert_eq!(
+        manifest.calibration_digest.as_ref().map(String::len),
+        Some(16)
+    );
+    assert_eq!(manifest.backend.as_deref(), Some("fake_lagos"));
+    assert_eq!(manifest.seed, Some(42));
+    let circuit = manifest
+        .circuit
+        .as_ref()
+        .expect("manifest fingerprints the circuit");
+    assert_eq!(circuit.measured, 3);
+    assert!(circuit.gates > 0);
+    // And it round-trips through serde.
+    let json = serde_json::to_string(&manifest).unwrap();
+    let back: qbeep::telemetry::ProvenanceManifest = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, manifest);
+}
+
+#[test]
+fn trace_flag_writes_chrome_trace_with_nested_spans() {
+    let counts = write_temp(
+        "trace_counts.json",
+        r#"{"000": 700, "001": 150, "010": 150}"#,
+    );
+    let trace_path = std::env::temp_dir()
+        .join("qbeep-cli-tests")
+        .join(format!("trace-{}.json", std::process::id()));
+    // --trace alone enables recording; no --telemetry needed.
+    let out = cli()
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.7",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap())
+            .expect("trace file is valid JSON");
+    let events = trace.as_array().expect("Chrome trace is a JSON array");
+    assert!(!events.is_empty());
+    let span = |name: &str| {
+        events
+            .iter()
+            .find(|e| e["name"] == name && e["ph"] == "X")
+            .unwrap_or_else(|| panic!("no complete event named {name}"))
+    };
+    let outer = span("mitigate");
+    let build = span("mitigate/graph_build");
+    let iterate = span("mitigate/graph_iterate");
+    for e in [outer, build, iterate] {
+        assert!(e["ts"].as_f64().is_some(), "ts must be a number: {e}");
+        assert!(e["dur"].as_f64().is_some(), "dur must be a number: {e}");
+        assert!(e["pid"].is_number() && e["tid"].is_number());
+    }
+    // Nesting: both stages start and end inside the mitigate span
+    // (1 µs tolerance for timestamp rounding).
+    let bounds = |e: &serde_json::Value| {
+        let ts = e["ts"].as_f64().unwrap();
+        (ts, ts + e["dur"].as_f64().unwrap())
+    };
+    let (outer_start, outer_end) = bounds(outer);
+    for stage in [build, iterate] {
+        let (start, end) = bounds(stage);
+        assert!(start >= outer_start - 1.0, "{stage} starts before mitigate");
+        assert!(end <= outer_end + 1.0, "{stage} ends after mitigate");
+    }
+    std::fs::remove_file(&trace_path).unwrap();
+}
+
+#[test]
+fn events_flag_streams_jsonl_on_stderr() {
+    let counts = write_temp(
+        "events_counts.json",
+        r#"{"000": 700, "001": 150, "010": 150}"#,
+    );
+    let out = cli()
+        .args([
+            "mitigate",
+            "--counts",
+            counts.to_str().unwrap(),
+            "--lambda",
+            "0.7",
+            "--events",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let mut names = Vec::new();
+    for line in stderr.lines().filter(|l| l.starts_with('{')) {
+        let event: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSONL line {line}: {e}"));
+        assert!(
+            event["start_us"].is_number(),
+            "event lacks start_us: {event}"
+        );
+        assert!(event["level"].is_string(), "event lacks level: {event}");
+        names.push(event["name"].as_str().expect("name").to_string());
+    }
+    for expected in ["mitigate.complete", "mitigate/graph_iterate", "mitigate"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing event {expected} in {names:?}"
+        );
+    }
 }
 
 #[test]
