@@ -8,7 +8,9 @@
 use qbeep_bitstring::{Counts, Distribution};
 use qbeep_circuit::library::bernstein_vazirani;
 use qbeep_core::lambda::lambda_breakdown;
-use qbeep_core::{Kernel, LearningRate, QBeep, QBeepConfig};
+use qbeep_core::{
+    Kernel, LearningRate, MitigationJob, MitigationSession, QBeep, QBeepConfig, QBeepStrategy,
+};
 use qbeep_device::{profiles, Backend};
 use qbeep_sim::{execute_on_device, EmpiricalConfig};
 use qbeep_transpile::TranspiledCircuit;
@@ -73,19 +75,31 @@ pub fn workload(cases: usize) -> Vec<AblationCase> {
         .collect()
 }
 
-/// Mean mitigated fidelity of `engine` over the workload with a
-/// per-case λ chosen by `lambda_of`.
+/// Mean mitigated fidelity of a Q-BEEP variant over the workload with
+/// a per-case λ chosen by `lambda_of`. The whole workload runs as one
+/// [`MitigationSession`] batch: λ is pinned per job, so no backend is
+/// attached and weight tables are shared across same-width cases.
 #[must_use]
 pub fn mean_fidelity(
     cases: &[AblationCase],
-    engine: &QBeep,
+    config: QBeepConfig,
     lambda_of: impl Fn(&AblationCase) -> f64,
 ) -> f64 {
+    let mut session = MitigationSession::new();
+    session.add_strategy(Box::new(
+        QBeepStrategy::with_config(config).expect("ablation configs are valid"),
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        session
+            .add_job(MitigationJob::new(i.to_string(), c.counts.clone()).with_lambda(lambda_of(c)));
+    }
+    let report = session.run().expect("ablation jobs are well-formed");
     let total: f64 = cases
         .iter()
-        .map(|c| {
-            let result = engine.mitigate_with_lambda(&c.counts, lambda_of(c));
-            result.mitigated.fidelity(&c.ideal)
+        .enumerate()
+        .map(|(i, c)| {
+            let outcome = report.outcome(&i.to_string(), "qbeep").expect("qbeep ran");
+            outcome.mitigated.fidelity(&c.ideal)
         })
         .sum();
     total / cases.len() as f64
@@ -111,29 +125,28 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
         ("raw (no mitigation)".to_string(), raw_fidelity(&cases)),
         (
             "full Q-BEEP".to_string(),
-            mean_fidelity(&cases, &QBeep::default(), full_lambda),
+            mean_fidelity(&cases, QBeepConfig::default(), full_lambda),
         ),
     ];
 
     // λ-term ablations: drop each Eq.-2 term.
-    let engine = QBeep::default();
     out.push((
         "λ without decoherence terms".into(),
-        mean_fidelity(&cases, &engine, |c| {
+        mean_fidelity(&cases, QBeepConfig::default(), |c| {
             let b = lambda_breakdown(&c.transpiled, &c.backend);
             b.gate_term + b.readout_term
         }),
     ));
     out.push((
         "λ without gate-error term".into(),
-        mean_fidelity(&cases, &engine, |c| {
+        mean_fidelity(&cases, QBeepConfig::default(), |c| {
             let b = lambda_breakdown(&c.transpiled, &c.backend);
             b.t1_term + b.t2_term + b.readout_term
         }),
     ));
     out.push((
         "λ without readout term".into(),
-        mean_fidelity(&cases, &engine, |c| {
+        mean_fidelity(&cases, QBeepConfig::default(), |c| {
             let b = lambda_breakdown(&c.transpiled, &c.backend);
             b.t1_term + b.t2_term + b.gate_term
         }),
@@ -147,7 +160,7 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
         };
         out.push((
             format!("ε = {eps}"),
-            mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
+            mean_fidelity(&cases, cfg, full_lambda),
         ));
     }
 
@@ -160,10 +173,7 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
             learning_rate: lr,
             ..QBeepConfig::default()
         };
-        out.push((
-            name.to_string(),
-            mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
-        ));
+        out.push((name.to_string(), mean_fidelity(&cases, cfg, full_lambda)));
     }
 
     // Kernel.
@@ -173,7 +183,7 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
     };
     out.push((
         "binomial kernel".into(),
-        mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
+        mean_fidelity(&cases, cfg, full_lambda),
     ));
 
     // Overflow renormalisation.
@@ -183,10 +193,13 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
     };
     out.push((
         "no overflow renormalisation".into(),
-        mean_fidelity(&cases, &QBeep::new(cfg), full_lambda),
+        mean_fidelity(&cases, cfg, full_lambda),
     ));
 
-    // Adaptive λ refinement (paper §7 future work implemented).
+    // Adaptive λ refinement (paper §7 future work implemented). This
+    // variant re-estimates λ from residuals between iterations, so it
+    // stays on the direct engine rather than the one-shot trait.
+    let engine = QBeep::default();
     for alpha in [0.5, 0.2] {
         out.push((
             format!("adaptive λ (α = {alpha})"),
@@ -219,7 +232,7 @@ pub fn run_all(cases: usize) -> Vec<(String, f64)> {
     // §3.5 "unreliable access to system-wide information" scenario.
     out.push((
         "stale calibration (20% drift)".into(),
-        mean_fidelity(&cases, &engine, |c| {
+        mean_fidelity(&cases, QBeepConfig::default(), |c| {
             let mut rng = StdRng::seed_from_u64(BASE_SEED + 21);
             let stale = c.backend.calibration().drifted(0.2, &mut rng);
             let stale_backend = c.backend.with_calibration(stale);
@@ -259,19 +272,36 @@ fn zne_pst(cases: &[AblationCase]) -> f64 {
 }
 
 /// Mean fidelity after readout unfolding alone (no Hamming-spectrum
-/// reclassification).
+/// reclassification). Runs as one [`MitigationSession`] per distinct
+/// machine — the IBU strategy derives each job's confusion model from
+/// the session backend and the job's transpiled circuit.
 fn readout_only_fidelity(cases: &[AblationCase]) -> f64 {
-    cases
-        .iter()
-        .map(|c| {
-            let model = qbeep_core::readout::ReadoutModel::from_backend(
-                &c.backend,
-                c.transpiled.circuit().measured(),
+    let mut fids = vec![0.0; cases.len()];
+    let mut seen: Vec<&str> = Vec::new();
+    for c in cases {
+        let machine = c.backend.name();
+        if seen.contains(&machine) {
+            continue;
+        }
+        seen.push(machine);
+        let indices: Vec<usize> = (0..cases.len())
+            .filter(|&i| cases[i].backend.name() == machine)
+            .collect();
+        let mut session = MitigationSession::on_backend(c.backend.clone());
+        session.add_strategy_by_name("ibu").expect("registered");
+        for &i in &indices {
+            session.add_job(
+                MitigationJob::new(i.to_string(), cases[i].counts.clone())
+                    .with_transpiled(cases[i].transpiled.clone()),
             );
-            qbeep_core::readout::ibu_mitigate(&c.counts, &model, 10).fidelity(&c.ideal)
-        })
-        .sum::<f64>()
-        / cases.len() as f64
+        }
+        let report = session.run().expect("readout jobs are well-formed");
+        for &i in &indices {
+            let outcome = report.outcome(&i.to_string(), "ibu").expect("ibu ran");
+            fids[i] = outcome.mitigated.fidelity(&cases[i].ideal);
+        }
+    }
+    fids.iter().sum::<f64>() / cases.len() as f64
 }
 
 /// Mean fidelity of the §3.5-style stack: unfold readout, then run

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 use qbeep_bench::regression::{BaselineStore, Comparison, DEFAULT_BASELINE, DEFAULT_THRESHOLD};
 use qbeep_bench::{Scale, BASE_SEED};
 use qbeep_bitstring::{BitString, Counts, Distribution};
-use qbeep_core::QBeep;
+use qbeep_core::{MitigationJob, MitigationSession, QBeepConfig, StrategyDiagnostics};
 use qbeep_device::profiles;
 use qbeep_sim::{execute_on_device_recorded, EmpiricalChannel, EmpiricalConfig};
 use qbeep_telemetry::{Recorder, RunReport};
@@ -160,20 +160,33 @@ fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
     .map_err(|e| format!("hotpath transpile failed: {e}"))?;
 
     // Hot path 3: state-graph build + Algorithm-1 iterate on a count
-    // table with a few hundred distinct outcomes ("mitigate/*").
+    // table with a few hundred distinct outcomes ("mitigate/*"),
+    // driven through the batch session engine the figure runners use.
     let counts = synth_counts(scale.pick(100, 400, 1200), BASE_SEED);
-    let engine = QBeep::default().with_recorder(recorder.clone());
-    let result = engine.mitigate_with_lambda(&counts, 2.5);
+    let config = QBeepConfig::default();
+    let mut session = MitigationSession::new().with_recorder(recorder.clone());
+    session
+        .add_strategy_by_name("qbeep")
+        .map_err(|e| e.to_string())?;
+    session.add_job(MitigationJob::new("hotpath", counts).with_lambda(2.5));
+    let report = session.run().map_err(|e| e.to_string())?;
+    let outcome = report
+        .outcome("hotpath", "qbeep")
+        .expect("qbeep ran on the hotpath job");
+    let (vertices, edges) = match &outcome.diagnostics {
+        StrategyDiagnostics::Graph(d) => (d.vertices, d.edges),
+        other => return Err(format!("unexpected diagnostics {other:?}")),
+    };
     eprintln!(
         "// hotpath: {} shots, graph {}x{}, {} events",
         shots,
-        result.graph_size.0,
-        result.graph_size.1,
+        vertices,
+        edges,
         recorder.events().len()
     );
 
     let manifest = qbeep_core::provenance::manifest(
-        engine.config(),
+        &config,
         Some(&backend),
         Some(&run.transpiled),
         Some(BASE_SEED),

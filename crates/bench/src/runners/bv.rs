@@ -2,10 +2,9 @@
 
 use qbeep_bitstring::{BitString, Counts, Distribution};
 use qbeep_circuit::library::bernstein_vazirani;
-use qbeep_core::hammer::{hammer_mitigate, HammerConfig};
-use qbeep_core::QBeep;
+use qbeep_core::{MitigationJob, MitigationSession};
 use qbeep_device::profiles;
-use qbeep_sim::{execute_on_device, EmpiricalConfig};
+use qbeep_sim::{execute_on_device, DeviceRun, EmpiricalConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -80,11 +79,20 @@ pub fn random_secret<R: Rng + ?Sized>(width: usize, rng: &mut R) -> BitString {
 #[must_use]
 pub fn run_bv(widths: &[usize], secrets_per_width: usize, shots: u64, seed: u64) -> Vec<BvRecord> {
     let fleet = profiles::bv_fleet();
-    let engine = QBeep::default();
-    let hammer_cfg = HammerConfig::default();
     let channel_cfg = EmpiricalConfig::default();
-    let mut records = Vec::new();
     let mut rng = StdRng::seed_from_u64(seed);
+
+    // Phase 1 — execution. One rng stream in the paper's induction
+    // order (width → secret → machine), so counts stay seed-identical
+    // regardless of how mitigation is batched afterwards.
+    struct Pending {
+        width: usize,
+        machine: String,
+        secret: BitString,
+        ideal: Distribution,
+        run: DeviceRun,
+    }
+    let mut pending = Vec::new();
     for &width in widths {
         for _ in 0..secrets_per_width {
             let secret = random_secret(width, &mut rng);
@@ -93,27 +101,64 @@ pub fn run_bv(widths: &[usize], secrets_per_width: usize, shots: u64, seed: u64)
             for backend in fleet.iter().filter(|b| b.num_qubits() > width) {
                 let run = execute_on_device(&circuit, backend, shots, &channel_cfg, &mut rng)
                     .expect("machine fits the circuit");
-                let mitigated = engine.mitigate_run(&run.counts, &run.transpiled, backend);
-                let hammered = hammer_mitigate(&run.counts, &hammer_cfg);
-                let raw_dist = run.counts.to_distribution();
-                records.push(BvRecord {
+                pending.push(Pending {
                     width,
                     machine: backend.name().to_string(),
                     secret,
-                    lambda_est: mitigated.lambda,
-                    lambda_true: run.lambda_true,
-                    pst_raw: run.counts.pst(&secret),
-                    pst_qbeep: mitigated.mitigated.prob(&secret),
-                    pst_hammer: hammered.prob(&secret),
-                    fid_raw: raw_dist.fidelity(&ideal),
-                    fid_qbeep: mitigated.mitigated.fidelity(&ideal),
-                    fid_hammer: hammered.fidelity(&ideal),
-                    counts: run.counts,
+                    ideal: ideal.clone(),
+                    run,
                 });
             }
         }
     }
+
+    // Phase 2 — mitigation. One session per machine (one calibration
+    // snapshot each), every job through qbeep + hammer, then records
+    // reassembled in execution order.
+    let mut records: Vec<Option<BvRecord>> = (0..pending.len()).map(|_| None).collect();
+    for backend in &fleet {
+        let mut session = MitigationSession::on_backend(backend.clone());
+        session.add_strategy_by_name("qbeep").expect("registered");
+        session.add_strategy_by_name("hammer").expect("registered");
+        let indices: Vec<usize> = (0..pending.len())
+            .filter(|&i| pending[i].machine == backend.name())
+            .collect();
+        if indices.is_empty() {
+            continue;
+        }
+        for &i in &indices {
+            session.add_job(
+                MitigationJob::new(i.to_string(), pending[i].run.counts.clone())
+                    .with_transpiled(pending[i].run.transpiled.clone()),
+            );
+        }
+        let report = session.run().expect("BV jobs are well-formed");
+        for &i in &indices {
+            let p = &pending[i];
+            let label = i.to_string();
+            let qbeep = report.outcome(&label, "qbeep").expect("qbeep ran");
+            let hammer = report.outcome(&label, "hammer").expect("hammer ran");
+            let raw_dist = p.run.counts.to_distribution();
+            records[i] = Some(BvRecord {
+                width: p.width,
+                machine: p.machine.clone(),
+                secret: p.secret,
+                lambda_est: qbeep.lambda.expect("qbeep resolves λ"),
+                lambda_true: p.run.lambda_true,
+                pst_raw: p.run.counts.pst(&p.secret),
+                pst_qbeep: qbeep.mitigated.prob(&p.secret),
+                pst_hammer: hammer.mitigated.prob(&p.secret),
+                fid_raw: raw_dist.fidelity(&p.ideal),
+                fid_qbeep: qbeep.mitigated.fidelity(&p.ideal),
+                fid_hammer: hammer.mitigated.fidelity(&p.ideal),
+                counts: p.run.counts.clone(),
+            });
+        }
+    }
     records
+        .into_iter()
+        .map(|r| r.expect("every induction mitigated"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The QAOA dataset runner (paper §4.4, Fig. 10).
 
-use qbeep_core::QBeep;
+use qbeep_core::{MitigationJob, MitigationSession};
 use qbeep_device::profiles;
 use qbeep_qaoa::cost::{cost_ratio, cr_improvement};
 use qbeep_qaoa::dataset;
@@ -51,27 +51,45 @@ pub const SYCAMORE_NATIVE_SCALE: f64 = 0.25;
 #[must_use]
 pub fn run_qaoa(count: usize, shots: u64, seed: u64) -> Vec<QaoaRecord> {
     let backend = profiles::sycamore();
-    let engine = QBeep::default();
     let channel_cfg = EmpiricalConfig {
         lambda_scale: SYCAMORE_NATIVE_SCALE,
         ..EmpiricalConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
     let instances = dataset::generate(count, &mut rng);
-    let mut records = Vec::with_capacity(count);
+
+    // Execute every instance (one rng stream), then mitigate the whole
+    // dataset as one session on the Sycamore snapshot. λ is pinned per
+    // job: the Eq.-2 estimate rescaled to native-gate execution.
+    let mut runs = Vec::with_capacity(count);
     for inst in &instances {
         let run = execute_on_device(&inst.circuit, &backend, shots, &channel_cfg, &mut rng)
             .expect("dataset instances fit the 53-qubit machine");
+        runs.push(run);
+    }
+    let mut session = MitigationSession::on_backend(backend.clone());
+    session.add_strategy_by_name("qbeep").expect("registered");
+    for (inst, run) in instances.iter().zip(&runs) {
         let lambda =
             qbeep_core::lambda::estimate_lambda(&run.transpiled, &backend) * SYCAMORE_NATIVE_SCALE;
-        let mitigated = engine.mitigate_with_lambda(&run.counts, lambda);
+        session.add_job(
+            MitigationJob::new(inst.id.to_string(), run.counts.clone()).with_lambda(lambda),
+        );
+    }
+    let report = session.run().expect("QAOA jobs are well-formed");
+
+    let mut records = Vec::with_capacity(count);
+    for (inst, run) in instances.iter().zip(&runs) {
+        let outcome = report
+            .outcome(&inst.id.to_string(), "qbeep")
+            .expect("qbeep ran");
         records.push(QaoaRecord {
             id: inst.id,
             p: inst.p,
             n: inst.problem.num_nodes(),
             cr_raw: cost_ratio(&run.counts.to_distribution(), &inst.problem),
-            cr_qbeep: cost_ratio(&mitigated.mitigated, &inst.problem),
-            lambda_est: mitigated.lambda,
+            cr_qbeep: cost_ratio(&outcome.mitigated, &inst.problem),
+            lambda_est: outcome.lambda.expect("λ pinned per job"),
         });
     }
     records

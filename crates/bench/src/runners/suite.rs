@@ -1,8 +1,7 @@
 //! The QASMBench-suite runner (paper §4.3, Figs. 8, 9, 11).
 
 use qbeep_bitstring::Distribution;
-use qbeep_core::hammer::{hammer_mitigate, HammerConfig};
-use qbeep_core::QBeep;
+use qbeep_core::{MitigationJob, MitigationSession};
 use qbeep_device::profiles;
 use qbeep_sim::{execute_on_device, ideal_distribution, EmpiricalConfig};
 use rand::rngs::StdRng;
@@ -49,8 +48,6 @@ impl SuiteRecord {
 #[must_use]
 pub fn run_suite(repeats: usize, shots: u64, seed: u64) -> Vec<SuiteRecord> {
     assert!(repeats > 0, "need at least one repeat");
-    let engine = QBeep::default();
-    let hammer_cfg = HammerConfig::default();
     let channel_cfg = EmpiricalConfig::default();
     let fleet = profiles::ibmq_fleet();
     let suite = qbeep_circuit::library::qasmbench_suite();
@@ -67,22 +64,40 @@ pub fn run_suite(repeats: usize, shots: u64, seed: u64) -> Vec<SuiteRecord> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut records = Vec::new();
     for backend in &fleet {
+        // Execute the machine's whole workload first (one rng stream,
+        // the legacy order), then mitigate it as one batch session
+        // over the machine's calibration snapshot.
+        let mut runs = Vec::new();
         for (entry, (label, ideal, entropy)) in suite.iter().zip(&ideals) {
             for _ in 0..repeats {
                 let run =
                     execute_on_device(entry.circuit(), backend, shots, &channel_cfg, &mut rng)
                         .expect("suite circuits fit every fleet machine");
-                let mitigated = engine.mitigate_run(&run.counts, &run.transpiled, backend);
-                let hammered = hammer_mitigate(&run.counts, &hammer_cfg);
-                records.push(SuiteRecord {
-                    label: label.clone(),
-                    machine: backend.name().to_string(),
-                    entropy: *entropy,
-                    fid_raw: run.counts.to_distribution().fidelity(ideal),
-                    fid_qbeep: mitigated.mitigated.fidelity(ideal),
-                    fid_hammer: hammered.fidelity(ideal),
-                });
+                runs.push((label, ideal, *entropy, run));
             }
+        }
+        let mut session = MitigationSession::on_backend(backend.clone());
+        session.add_strategy_by_name("qbeep").expect("registered");
+        session.add_strategy_by_name("hammer").expect("registered");
+        for (i, (.., run)) in runs.iter().enumerate() {
+            session.add_job(
+                MitigationJob::new(i.to_string(), run.counts.clone())
+                    .with_transpiled(run.transpiled.clone()),
+            );
+        }
+        let report = session.run().expect("suite jobs are well-formed");
+        for (i, (label, ideal, entropy, run)) in runs.iter().enumerate() {
+            let job = i.to_string();
+            let qbeep = report.outcome(&job, "qbeep").expect("qbeep ran");
+            let hammer = report.outcome(&job, "hammer").expect("hammer ran");
+            records.push(SuiteRecord {
+                label: (*label).clone(),
+                machine: backend.name().to_string(),
+                entropy: *entropy,
+                fid_raw: run.counts.to_distribution().fidelity(ideal),
+                fid_qbeep: qbeep.mitigated.fidelity(ideal),
+                fid_hammer: hammer.mitigated.fidelity(ideal),
+            });
         }
     }
     records

@@ -65,6 +65,14 @@ impl Distribution {
             total > 0.0,
             "cannot normalise a distribution with zero total mass"
         );
+        // Re-accumulate the normaliser in bit-string order: float
+        // addition is order-sensitive in the last ulp, and the map's
+        // iteration order varies with the per-process hash seed, so
+        // summing in map order would make equal inputs produce
+        // not-quite-equal distributions across processes.
+        let mut ordered: Vec<(BitString, f64)> = probs.iter().map(|(&s, &w)| (s, w)).collect();
+        ordered.sort_by_key(|&(s, _)| s);
+        let total: f64 = ordered.iter().map(|&(_, w)| w).sum();
         for p in probs.values_mut() {
             *p /= total;
         }

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::mitigator::MitigationError;
+
 /// The spectral kernel weighting the state-graph edges.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Kernel {
@@ -74,20 +76,33 @@ impl Default for QBeepConfig {
 impl QBeepConfig {
     /// Validates parameter ranges.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `iterations == 0`, ε is outside `(0, 1)`, or a
-    /// constant learning rate is non-positive.
-    pub fn validate(&self) {
-        assert!(self.iterations > 0, "need at least one iteration");
-        assert!(
-            self.epsilon > 0.0 && self.epsilon < 1.0,
-            "epsilon {} outside (0, 1)",
-            self.epsilon
-        );
-        if let LearningRate::Constant(eta) = self.learning_rate {
-            assert!(eta > 0.0, "constant learning rate must be positive");
+    /// Returns [`MitigationError::InvalidConfig`] if `iterations == 0`,
+    /// ε is outside `(0, 1)`, or a constant learning rate is
+    /// non-positive.
+    pub fn validate(&self) -> Result<(), MitigationError> {
+        if self.iterations == 0 {
+            return Err(MitigationError::InvalidConfig(
+                "need at least one iteration".to_string(),
+            ));
         }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(MitigationError::InvalidConfig(format!(
+                "epsilon {} outside (0, 1)",
+                self.epsilon
+            )));
+        }
+        if let LearningRate::Constant(eta) = self.learning_rate {
+            // `eta > 0.0` is false for NaN too, which must also fail.
+            let positive = eta > 0.0;
+            if !positive {
+                return Err(MitigationError::InvalidConfig(
+                    "constant learning rate must be positive".to_string(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -103,7 +118,7 @@ mod tests {
         assert_eq!(c.learning_rate, LearningRate::Dampened);
         assert_eq!(c.kernel, Kernel::Poisson);
         assert!(c.overflow_renormalisation);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -121,22 +136,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_invalid() {
-        QBeepConfig {
+        let err = QBeepConfig {
             iterations: 0,
             ..QBeepConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("at least one iteration"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "outside (0, 1)")]
     fn bad_epsilon_invalid() {
-        QBeepConfig {
+        let err = QBeepConfig {
             epsilon: 0.0,
             ..QBeepConfig::default()
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("outside (0, 1)"), "{err}");
     }
 }

@@ -14,8 +14,9 @@
 use qbeep_bitstring::{BitString, Counts, Distribution};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{Kernel, QBeepConfig};
-use crate::model::{binomial_pmf, poisson_pmf};
+use crate::config::QBeepConfig;
+use crate::model::WeightLaw;
+use crate::neighbors::NeighborIndex;
 
 /// Relative threshold for early-convergence detection: an iteration
 /// whose largest single-node count change falls below this fraction of
@@ -127,15 +128,41 @@ impl StateGraph {
             "cannot build a state graph from zero shots"
         );
         assert!(lambda.is_finite() && lambda >= 0.0, "invalid λ {lambda}");
-        config.validate();
-        let width = counts.width();
+        let index = NeighborIndex::build(counts).expect("counts checked non-empty");
+        let weights = WeightLaw::from_kernel(config.kernel, lambda).table(counts.width());
+        Self::from_index(&index, &weights, config)
+    }
 
-        // Deterministic node order: descending count, then bit order.
-        let total_shots = counts.total() as f64;
-        let nodes: Vec<Node> = counts
-            .sorted_by_count()
-            .into_iter()
-            .map(|(bits, c)| Node {
+    /// Builds the graph from a precomputed [`NeighborIndex`] and a
+    /// per-distance weight table (`weights[k]` = kernel weight at
+    /// Hamming distance `k`, length `width + 1`). This is the shared
+    /// path batch sessions use to amortise the O(V²) pair scan and the
+    /// PMF tables across strategies; [`build`](Self::build) is
+    /// equivalent to indexing + tabulating + calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid or `weights` does not cover
+    /// every distance `0..=width`.
+    #[must_use]
+    pub fn from_index(index: &NeighborIndex, weights: &[f64], config: &QBeepConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
+        let width = index.width();
+        assert!(
+            weights.len() == width + 1,
+            "weight table length {} does not cover distances 0..={width}",
+            weights.len()
+        );
+
+        // Node order is the index's canonical order: descending count,
+        // then bit order.
+        let total_shots = index.total() as f64;
+        let nodes: Vec<Node> = index
+            .nodes()
+            .iter()
+            .map(|&(bits, c)| Node {
                 bits,
                 count: c as f64,
                 prob: c as f64 / total_shots,
@@ -143,30 +170,16 @@ impl StateGraph {
             .collect();
         let total: f64 = nodes.iter().map(|n| n.count).sum();
 
-        // Kernel weight per distance; distances below ε get no edges.
-        let weight_at = |k: usize| -> f64 {
-            match config.kernel {
-                Kernel::Poisson => poisson_pmf(lambda, k),
-                Kernel::Binomial => {
-                    let p = (lambda / width.max(1) as f64).clamp(0.0, 1.0);
-                    binomial_pmf(width, p, k)
-                }
-            }
-        };
-        let allowed: Vec<f64> = (0..=width).map(weight_at).collect();
-
+        // Distances whose kernel weight falls below ε get no edges.
         let mut edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
         let mut pruned_pairs = 0usize;
-        for i in 0..nodes.len() {
-            for j in i + 1..nodes.len() {
-                let k = nodes[i].bits.hamming_distance(&nodes[j].bits) as usize;
-                let w = allowed[k];
-                if w >= config.epsilon {
-                    edges[i].push((j, w));
-                    edges[j].push((i, w));
-                } else {
-                    pruned_pairs += 1;
-                }
+        for &(i, j, d) in index.pairs() {
+            let w = weights[d as usize];
+            if w >= config.epsilon {
+                edges[i as usize].push((j as usize, w));
+                edges[j as usize].push((i as usize, w));
+            } else {
+                pruned_pairs += 1;
             }
         }
 
@@ -379,7 +392,7 @@ impl StateGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::LearningRate;
+    use crate::config::{Kernel, LearningRate};
 
     fn bs(s: &str) -> BitString {
         s.parse().unwrap()

@@ -13,6 +13,9 @@
 
 use qbeep_bitstring::{Counts, Distribution};
 
+use crate::mitigator::MitigationError;
+use crate::neighbors::NeighborIndex;
+
 /// Configuration of the HAMMER reweighting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HammerConfig {
@@ -35,19 +38,23 @@ impl Default for HammerConfig {
 impl HammerConfig {
     /// Validates parameter ranges.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `max_distance == 0` or `decay` outside `(0, 1]`.
-    pub fn validate(&self) {
-        assert!(
-            self.max_distance > 0,
-            "neighbourhood must reach distance ≥ 1"
-        );
-        assert!(
-            self.decay > 0.0 && self.decay <= 1.0,
-            "decay {} outside (0, 1]",
-            self.decay
-        );
+    /// Returns [`MitigationError::InvalidConfig`] if
+    /// `max_distance == 0` or `decay` outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), MitigationError> {
+        if self.max_distance == 0 {
+            return Err(MitigationError::InvalidConfig(
+                "neighbourhood must reach distance ≥ 1".to_string(),
+            ));
+        }
+        if !(self.decay > 0.0 && self.decay <= 1.0) {
+            return Err(MitigationError::InvalidConfig(format!(
+                "decay {} outside (0, 1]",
+                self.decay
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -85,7 +92,9 @@ impl HammerConfig {
 #[must_use]
 pub fn hammer_mitigate(counts: &Counts, config: &HammerConfig) -> Distribution {
     assert!(!counts.is_empty(), "cannot mitigate zero shots");
-    config.validate();
+    if let Err(e) = config.validate() {
+        panic!("{e}");
+    }
     let dist = counts.to_distribution();
     let entries: Vec<_> = dist.sorted_by_prob();
     let mut weights = Vec::with_capacity(entries.len());
@@ -103,6 +112,46 @@ pub fn hammer_mitigate(counts: &Counts, config: &HammerConfig) -> Distribution {
         weights.push((s, p * (1.0 + neighbourhood)));
     }
     Distribution::from_probs(counts.width(), weights)
+}
+
+/// [`hammer_mitigate`] over a precomputed [`NeighborIndex`], the path
+/// batch sessions use to share the O(V²) pair scan across strategies.
+///
+/// The flat `i < j` pair walk accumulates each node's neighbourhood in
+/// exactly the order the legacy all-pairs loop does (contributions
+/// from lower indices ascending, then higher indices ascending), so
+/// the result is bit-for-bit identical to [`hammer_mitigate`] on the
+/// counts the index was built from. The config must already be
+/// validated.
+#[must_use]
+pub fn hammer_mitigate_indexed(index: &NeighborIndex, config: &HammerConfig) -> Distribution {
+    let total = index.total() as f64;
+    // Round-trip the raw frequencies through the same normalisation
+    // `Counts::to_distribution` applies, so every per-node probability
+    // is the exact float the legacy path reweights.
+    let empirical = Distribution::from_probs(
+        index.width(),
+        index.nodes().iter().map(|&(s, c)| (s, c as f64 / total)),
+    );
+    let probs: Vec<f64> = index
+        .nodes()
+        .iter()
+        .map(|&(s, _)| empirical.prob(&s))
+        .collect();
+    let mut neighbourhood = vec![0.0; probs.len()];
+    for &(i, j, d) in index.pairs() {
+        if d <= config.max_distance {
+            let w = config.decay.powi(d as i32);
+            neighbourhood[i as usize] += probs[j as usize] * w;
+            neighbourhood[j as usize] += probs[i as usize] * w;
+        }
+    }
+    let weights = index
+        .nodes()
+        .iter()
+        .zip(probs.iter().zip(neighbourhood.iter()))
+        .map(|(&(bits, _), (&p, &nb))| (bits, p * (1.0 + nb)));
+    Distribution::from_probs(index.width(), weights)
 }
 
 #[cfg(test)]
@@ -178,12 +227,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside (0, 1]")]
-    fn invalid_decay_panics() {
-        HammerConfig {
+    fn invalid_decay_is_an_error() {
+        let err = HammerConfig {
             max_distance: 2,
             decay: 1.5,
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("outside (0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn zero_distance_is_an_error() {
+        let err = HammerConfig {
+            max_distance: 0,
+            decay: 0.5,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("distance ≥ 1"), "{err}");
+    }
+
+    #[test]
+    fn indexed_path_matches_legacy_bit_for_bit() {
+        let counts = Counts::from_pairs(
+            4,
+            vec![
+                (bs("0000"), 400),
+                (bs("0001"), 150),
+                (bs("0010"), 150),
+                (bs("0111"), 80),
+                (bs("1111"), 300),
+            ],
+        );
+        let config = HammerConfig::default();
+        let index = NeighborIndex::build(&counts).unwrap();
+        assert_eq!(
+            hammer_mitigate_indexed(&index, &config),
+            hammer_mitigate(&counts, &config)
+        );
     }
 }

@@ -44,6 +44,35 @@
 //!
 //! The [`hammer`] module reimplements the HAMMER baseline (Tannu et
 //! al., 2022) the paper compares against throughout.
+//!
+//! # The strategy seam
+//!
+//! Every counts-in/distribution-out method — Q-BEEP, HAMMER, IBU
+//! readout, the alternative spectral kernels, an identity baseline —
+//! also implements the [`Mitigator`] trait, is addressable by name
+//! through [`StrategyRegistry`], and can be batch-executed N jobs × M
+//! strategies over one calibration snapshot by [`MitigationSession`]:
+//!
+//! ```
+//! use qbeep_bitstring::Counts;
+//! use qbeep_core::{MitigationJob, MitigationSession};
+//!
+//! let counts = Counts::from_pairs(4, vec![
+//!     ("0000".parse().unwrap(), 600),
+//!     ("0001".parse().unwrap(), 100),
+//!     ("0100".parse().unwrap(), 100),
+//!     ("1000".parse().unwrap(), 100),
+//! ]);
+//! let mut session = MitigationSession::new();
+//! session.add_strategy_by_name("qbeep").unwrap();
+//! session.add_strategy_by_name("hammer").unwrap();
+//! session.add_job(MitigationJob::new("bv", counts).with_lambda(0.8));
+//! let report = session.run().unwrap();
+//! let qbeep = &report.outcome("bv", "qbeep").unwrap().mitigated;
+//! let hammer = &report.outcome("bv", "hammer").unwrap().mitigated;
+//! assert!(qbeep.prob(&"0000".parse().unwrap()) > 0.6);
+//! assert!(hammer.prob(&"0000".parse().unwrap()) > 0.5);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,13 +80,25 @@
 pub mod graph;
 pub mod hammer;
 pub mod lambda;
+pub mod mitigator;
 pub mod model;
+pub mod neighbors;
 pub mod provenance;
 pub mod readout;
+pub mod registry;
+pub mod session;
 pub mod zne;
 
 mod config;
 mod pipeline;
 
 pub use config::{Kernel, LearningRate, QBeepConfig};
+pub use mitigator::{
+    HammerStrategy, IbuReadoutStrategy, IdentityStrategy, MitigationError, MitigationOutcome,
+    Mitigator, QBeepStrategy, RunContext, SharedTables, SpectrumKind, SpectrumStrategy,
+    StrategyDiagnostics,
+};
+pub use neighbors::NeighborIndex;
 pub use pipeline::{MitigationDiagnostics, MitigationResult, QBeep};
+pub use registry::{StrategyRegistry, StrategySpec};
+pub use session::{JobReport, MitigationJob, MitigationSession, SessionReport, SessionStats};

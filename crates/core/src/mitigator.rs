@@ -1,0 +1,869 @@
+//! The unified mitigation-strategy seam.
+//!
+//! The paper evaluates Q-BEEP head-to-head against HAMMER and
+//! readout-only baselines over shared workloads and one calibration
+//! snapshot; this module gives every such counts-in/distribution-out
+//! method one shape. A [`Mitigator`] takes the measured [`Counts`]
+//! plus a [`RunContext`] (backend, transpiled circuit, optional
+//! external λ, telemetry recorder, shared caches) and returns a
+//! [`MitigationOutcome`] — the mitigated distribution plus
+//! strategy-specific diagnostics — or a structured
+//! [`MitigationError`].
+//!
+//! Strategies are addressable by name through
+//! [`crate::registry::StrategyRegistry`] and batch-executable through
+//! [`crate::session::MitigationSession`]. ZNE deliberately stays
+//! *outside* the trait: it needs to re-execute folded circuits at
+//! amplified noise, so it is not a pure counts-in post-processor (see
+//! [`crate::zne`]).
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use qbeep_bitstring::{Counts, Distribution};
+use qbeep_device::Backend;
+use qbeep_telemetry::Recorder;
+use qbeep_transpile::TranspiledCircuit;
+use serde::{Deserialize, Serialize};
+
+use crate::config::QBeepConfig;
+use crate::hammer::{hammer_mitigate_indexed, HammerConfig};
+use crate::lambda::lambda_breakdown;
+use crate::model::{mle_neg_binomial, WeightLaw};
+use crate::neighbors::NeighborIndex;
+use crate::pipeline::{MitigationDiagnostics, QBeep};
+use crate::readout::{ibu_mitigate, ReadoutModel};
+
+/// Why a mitigation call could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MitigationError {
+    /// The counts table holds no shots.
+    EmptyCounts,
+    /// A configuration parameter is out of range.
+    InvalidConfig(String),
+    /// An externally supplied λ is negative or non-finite.
+    InvalidLambda(f64),
+    /// The strategy needs context the [`RunContext`] does not carry.
+    MissingContext {
+        /// The strategy that refused to run.
+        strategy: String,
+        /// What it needed.
+        needs: &'static str,
+    },
+    /// The counts' width disagrees with a model's.
+    WidthMismatch {
+        /// Width of the counts table.
+        counts: usize,
+        /// Width of the model/context it was matched against.
+        other: usize,
+    },
+    /// No registered strategy answers to the requested name.
+    UnknownStrategy {
+        /// The requested name.
+        name: String,
+        /// The names the registry does know.
+        known: Vec<String>,
+    },
+}
+
+impl fmt::Display for MitigationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyCounts => write!(f, "cannot mitigate zero shots"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::InvalidLambda(lambda) => write!(f, "invalid λ {lambda}"),
+            Self::MissingContext { strategy, needs } => {
+                write!(f, "strategy '{strategy}' needs {needs}")
+            }
+            Self::WidthMismatch { counts, other } => {
+                write!(
+                    f,
+                    "counts width {counts} does not match model width {other}"
+                )
+            }
+            Self::UnknownStrategy { name, known } => {
+                write!(f, "unknown strategy '{name}' (known: {})", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for MitigationError {}
+
+/// A memoisation key: the value of [`WeightLaw::cache_key`].
+type WeightKey = (u8, u64, u64, usize);
+
+/// Session-scoped memoisation of per-distance kernel weight tables,
+/// keyed by [`WeightLaw::cache_key`]. Shared across the jobs and
+/// strategies of one [`crate::session::MitigationSession`], so N jobs
+/// on the same backend parameterise the Poisson PMF once.
+#[derive(Debug, Default)]
+pub struct SharedTables {
+    weights: RefCell<HashMap<WeightKey, Rc<Vec<f64>>>>,
+    built: Cell<usize>,
+    reused: Cell<usize>,
+}
+
+impl SharedTables {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The weight table for `law` over `0..=width`, computed at most
+    /// once per distinct `(law, width)`.
+    #[must_use]
+    pub fn weight_table(&self, law: WeightLaw, width: usize) -> Rc<Vec<f64>> {
+        let key = law.cache_key(width);
+        let mut cache = self.weights.borrow_mut();
+        if let Some(table) = cache.get(&key) {
+            self.reused.set(self.reused.get() + 1);
+            return Rc::clone(table);
+        }
+        let table = Rc::new(law.table(width));
+        cache.insert(key, Rc::clone(&table));
+        self.built.set(self.built.get() + 1);
+        table
+    }
+
+    /// Distinct tables computed so far.
+    #[must_use]
+    pub fn tables_built(&self) -> usize {
+        self.built.get()
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn tables_reused(&self) -> usize {
+        self.reused.get()
+    }
+}
+
+/// Everything a strategy may consult besides the counts themselves:
+/// the backend calibration snapshot, the transpilation artefact, an
+/// externally supplied λ, the telemetry recorder, and (inside a
+/// session) the shared neighbor index and weight-table cache.
+#[derive(Debug, Clone, Default)]
+pub struct RunContext<'a> {
+    backend: Option<&'a Backend>,
+    transpiled: Option<&'a TranspiledCircuit>,
+    lambda: Option<f64>,
+    recorder: Recorder,
+    neighbors: Option<&'a NeighborIndex>,
+    tables: Option<&'a SharedTables>,
+}
+
+impl<'a> RunContext<'a> {
+    /// An empty context (disabled recorder, no backend, no λ).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches the backend whose calibration snapshot describes the
+    /// run.
+    #[must_use]
+    pub fn with_backend(mut self, backend: &'a Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Attaches the transpilation artefact the counts came from.
+    #[must_use]
+    pub fn with_transpiled(mut self, transpiled: &'a TranspiledCircuit) -> Self {
+        self.transpiled = Some(transpiled);
+        self
+    }
+
+    /// Supplies λ externally, skipping Eq.-2 estimation.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Attaches a telemetry recorder (disabled by default).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a precomputed neighbor index for the job's counts.
+    #[must_use]
+    pub fn with_neighbors(mut self, neighbors: &'a NeighborIndex) -> Self {
+        self.neighbors = Some(neighbors);
+        self
+    }
+
+    /// Attaches a session-scoped weight-table cache.
+    #[must_use]
+    pub fn with_tables(mut self, tables: &'a SharedTables) -> Self {
+        self.tables = Some(tables);
+        self
+    }
+
+    /// The backend, if any.
+    #[must_use]
+    pub fn backend(&self) -> Option<&'a Backend> {
+        self.backend
+    }
+
+    /// The transpilation artefact, if any.
+    #[must_use]
+    pub fn transpiled(&self) -> Option<&'a TranspiledCircuit> {
+        self.transpiled
+    }
+
+    /// The externally supplied λ, if any.
+    #[must_use]
+    pub fn lambda(&self) -> Option<f64> {
+        self.lambda
+    }
+
+    /// The telemetry recorder.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Resolves λ for `strategy`: an explicit λ wins; otherwise Eq. 2
+    /// over the transpiled circuit and backend calibration (recording
+    /// the per-term gauges exactly like [`QBeep::mitigate_run`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::InvalidLambda`] for a bad explicit λ, or
+    /// [`MitigationError::MissingContext`] when neither source is
+    /// available.
+    pub fn resolve_lambda(&self, strategy: &str) -> Result<f64, MitigationError> {
+        if let Some(lambda) = self.lambda {
+            if !lambda.is_finite() || lambda < 0.0 {
+                return Err(MitigationError::InvalidLambda(lambda));
+            }
+            return Ok(lambda);
+        }
+        match (self.transpiled, self.backend) {
+            (Some(transpiled), Some(backend)) => {
+                let breakdown = {
+                    let _span = self.recorder.span("lambda_estimate");
+                    lambda_breakdown(transpiled, backend)
+                };
+                if self.recorder.is_enabled() {
+                    self.recorder.gauge("lambda.t1_term", breakdown.t1_term);
+                    self.recorder.gauge("lambda.t2_term", breakdown.t2_term);
+                    self.recorder.gauge("lambda.gate_term", breakdown.gate_term);
+                    self.recorder
+                        .gauge("lambda.readout_term", breakdown.readout_term);
+                    self.recorder.gauge("lambda.total", breakdown.total());
+                }
+                Ok(breakdown.total())
+            }
+            _ => Err(MitigationError::MissingContext {
+                strategy: strategy.to_string(),
+                needs: "an explicit λ, or a transpiled circuit plus backend for Eq.-2 estimation",
+            }),
+        }
+    }
+
+    /// The neighbor index for `counts`: borrows the shared one when it
+    /// describes these counts, builds a fresh one otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::EmptyCounts`] when `counts` is empty.
+    pub fn neighbor_index(
+        &self,
+        counts: &Counts,
+    ) -> Result<Cow<'a, NeighborIndex>, MitigationError> {
+        if let Some(index) = self.neighbors {
+            if index.matches(counts) {
+                return Ok(Cow::Borrowed(index));
+            }
+        }
+        NeighborIndex::build(counts).map(Cow::Owned)
+    }
+
+    /// The weight table for `law`, via the shared cache when present.
+    #[must_use]
+    pub fn weight_table(&self, law: WeightLaw, width: usize) -> Rc<Vec<f64>> {
+        match self.tables {
+            Some(tables) => tables.weight_table(law, width),
+            None => Rc::new(law.table(width)),
+        }
+    }
+}
+
+/// Strategy-specific diagnostics attached to a
+/// [`MitigationOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrategyDiagnostics {
+    /// Nothing to report (identity baseline).
+    None,
+    /// State-graph strategies: graph shape and Algorithm-1
+    /// convergence.
+    Graph(MitigationDiagnostics),
+    /// HAMMER reweighting: support size and kernel parameters.
+    Hammer {
+        /// Distinct observed outcomes reweighted.
+        support: usize,
+        /// Neighbourhood radius.
+        max_distance: u32,
+        /// Per-distance decay base.
+        decay: f64,
+    },
+    /// IBU readout unfolding: EM iterations and support size.
+    Readout {
+        /// Expectation-maximisation iterations run.
+        iterations: usize,
+        /// Distinct observed outcomes unfolded over.
+        support: usize,
+    },
+}
+
+/// The unified result of one strategy on one counts table.
+#[derive(Debug, Clone)]
+pub struct MitigationOutcome {
+    /// The strategy that produced this outcome.
+    pub strategy: String,
+    /// The mitigated distribution.
+    pub mitigated: Distribution,
+    /// The λ the strategy used, when it used one.
+    pub lambda: Option<f64>,
+    /// What the strategy has to say about how it went.
+    pub diagnostics: StrategyDiagnostics,
+}
+
+/// A counts-in/distribution-out mitigation strategy.
+pub trait Mitigator {
+    /// The strategy's registry name.
+    fn name(&self) -> &'static str;
+
+    /// Mitigates `counts` under `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError`] when the counts are empty, the
+    /// configuration is invalid, or required context is missing.
+    fn mitigate(
+        &self,
+        counts: &Counts,
+        ctx: &RunContext,
+    ) -> Result<MitigationOutcome, MitigationError>;
+}
+
+/// Runs a state-graph reclassification with precomputed weights and
+/// wraps the result as an outcome — the shared tail of every
+/// graph-backed strategy.
+fn graph_outcome(
+    name: &str,
+    config: QBeepConfig,
+    counts: &Counts,
+    ctx: &RunContext,
+    law: WeightLaw,
+    lambda: Option<f64>,
+) -> Result<MitigationOutcome, MitigationError> {
+    if counts.is_empty() {
+        return Err(MitigationError::EmptyCounts);
+    }
+    config.validate()?;
+    let index = ctx.neighbor_index(counts)?;
+    let weights = ctx.weight_table(law, index.width());
+    let engine = QBeep::new(config).with_recorder(ctx.recorder().clone());
+    let result = engine.mitigate_prepared(&index, &weights, lambda.unwrap_or(0.0));
+    Ok(MitigationOutcome {
+        strategy: name.to_string(),
+        mitigated: result.mitigated,
+        lambda,
+        diagnostics: StrategyDiagnostics::Graph(result.diagnostics),
+    })
+}
+
+/// Q-BEEP itself on the trait: Poisson kernel over the Hamming
+/// spectrum, λ from the context (explicit or Eq. 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QBeepStrategy {
+    config: QBeepConfig,
+}
+
+impl QBeepStrategy {
+    /// A strategy with an explicit configuration (the configured
+    /// kernel decides Poisson vs binomial weighting).
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::InvalidConfig`] when the configuration is
+    /// out of range.
+    pub fn with_config(config: QBeepConfig) -> Result<Self, MitigationError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The strategy's configuration.
+    #[must_use]
+    pub fn config(&self) -> &QBeepConfig {
+        &self.config
+    }
+}
+
+impl Mitigator for QBeepStrategy {
+    fn name(&self) -> &'static str {
+        "qbeep"
+    }
+
+    fn mitigate(
+        &self,
+        counts: &Counts,
+        ctx: &RunContext,
+    ) -> Result<MitigationOutcome, MitigationError> {
+        let lambda = ctx.resolve_lambda(self.name())?;
+        let law = WeightLaw::from_kernel(self.config.kernel, lambda);
+        graph_outcome(self.name(), self.config, counts, ctx, law, Some(lambda))
+    }
+}
+
+/// Which non-Poisson spectral family a [`SpectrumStrategy`] runs the
+/// state-graph reclassification with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpectrumKind {
+    /// Independent-bit-flip binomial kernel (mean matched to λ).
+    Binomial,
+    /// Negative binomial: mean = λ, dispersion fitted to the observed
+    /// spectrum around the mode.
+    NegBinomial,
+    /// Structureless uniform kernel (needs no λ).
+    Uniform,
+}
+
+impl SpectrumKind {
+    /// The registry name of this spectrum variant.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Binomial => "binomial",
+            Self::NegBinomial => "neg-binomial",
+            Self::Uniform => "uniform",
+        }
+    }
+}
+
+/// The alternative `SpectrumModel` families of §3.2 run through the
+/// same state-graph machinery as Q-BEEP, so Fig. 6's model ranking can
+/// be replayed as an end-to-end mitigation comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectrumStrategy {
+    kind: SpectrumKind,
+    config: QBeepConfig,
+}
+
+impl SpectrumStrategy {
+    /// A spectrum strategy with the paper's default graph
+    /// configuration.
+    #[must_use]
+    pub fn new(kind: SpectrumKind) -> Self {
+        Self {
+            kind,
+            config: QBeepConfig::default(),
+        }
+    }
+
+    /// Overrides the graph configuration (iterations, ε, learning
+    /// rate; the kernel field is ignored — `kind` decides the law).
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::InvalidConfig`] when out of range.
+    pub fn with_config(kind: SpectrumKind, config: QBeepConfig) -> Result<Self, MitigationError> {
+        config.validate()?;
+        Ok(Self { kind, config })
+    }
+}
+
+impl Mitigator for SpectrumStrategy {
+    fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn mitigate(
+        &self,
+        counts: &Counts,
+        ctx: &RunContext,
+    ) -> Result<MitigationOutcome, MitigationError> {
+        if counts.is_empty() {
+            return Err(MitigationError::EmptyCounts);
+        }
+        let (law, lambda) = match self.kind {
+            SpectrumKind::Binomial => {
+                let lambda = ctx.resolve_lambda(self.name())?;
+                (WeightLaw::Binomial { lambda }, Some(lambda))
+            }
+            SpectrumKind::NegBinomial => {
+                let lambda = ctx.resolve_lambda(self.name())?;
+                let mode = counts.mode().expect("non-empty counts");
+                let spectrum = counts.to_distribution().hamming_spectrum(&mode);
+                let (_, iod) = mle_neg_binomial(&spectrum);
+                (WeightLaw::NegBinomial { mean: lambda, iod }, Some(lambda))
+            }
+            SpectrumKind::Uniform => (WeightLaw::Uniform, None),
+        };
+        graph_outcome(self.name(), self.config, counts, ctx, law, lambda)
+    }
+}
+
+/// The HAMMER baseline on the trait (one-shot neighbourhood
+/// reweighting; needs no λ and no backend).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HammerStrategy {
+    config: HammerConfig,
+}
+
+impl HammerStrategy {
+    /// A strategy with an explicit HAMMER configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::InvalidConfig`] when out of range.
+    pub fn with_config(config: HammerConfig) -> Result<Self, MitigationError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+}
+
+impl Mitigator for HammerStrategy {
+    fn name(&self) -> &'static str {
+        "hammer"
+    }
+
+    fn mitigate(
+        &self,
+        counts: &Counts,
+        ctx: &RunContext,
+    ) -> Result<MitigationOutcome, MitigationError> {
+        if counts.is_empty() {
+            return Err(MitigationError::EmptyCounts);
+        }
+        self.config.validate()?;
+        let index = ctx.neighbor_index(counts)?;
+        let mitigated = hammer_mitigate_indexed(&index, &self.config);
+        Ok(MitigationOutcome {
+            strategy: self.name().to_string(),
+            mitigated,
+            lambda: None,
+            diagnostics: StrategyDiagnostics::Hammer {
+                support: index.len(),
+                max_distance: self.config.max_distance,
+                decay: self.config.decay,
+            },
+        })
+    }
+}
+
+/// Iterative Bayesian unfolding of the readout confusion channel on
+/// the trait. The confusion model comes from the context's backend
+/// calibration (over the transpiled circuit's measured qubits) unless
+/// one is supplied explicitly.
+#[derive(Debug, Clone)]
+pub struct IbuReadoutStrategy {
+    iterations: usize,
+    model: Option<ReadoutModel>,
+}
+
+impl Default for IbuReadoutStrategy {
+    fn default() -> Self {
+        Self {
+            iterations: 10,
+            model: None,
+        }
+    }
+}
+
+impl IbuReadoutStrategy {
+    /// A strategy running `iterations` EM updates, deriving the model
+    /// from the context.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::InvalidConfig`] when `iterations == 0`.
+    pub fn new(iterations: usize) -> Result<Self, MitigationError> {
+        if iterations == 0 {
+            return Err(MitigationError::InvalidConfig(
+                "need at least one IBU iteration".to_string(),
+            ));
+        }
+        Ok(Self {
+            iterations,
+            model: None,
+        })
+    }
+
+    /// Uses an explicit readout model instead of reading the backend
+    /// calibration.
+    #[must_use]
+    pub fn with_model(mut self, model: ReadoutModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+}
+
+impl Mitigator for IbuReadoutStrategy {
+    fn name(&self) -> &'static str {
+        "ibu"
+    }
+
+    fn mitigate(
+        &self,
+        counts: &Counts,
+        ctx: &RunContext,
+    ) -> Result<MitigationOutcome, MitigationError> {
+        if counts.is_empty() {
+            return Err(MitigationError::EmptyCounts);
+        }
+        let model = match &self.model {
+            Some(model) => model.clone(),
+            None => match (ctx.backend(), ctx.transpiled()) {
+                (Some(backend), Some(transpiled)) => {
+                    ReadoutModel::from_backend(backend, transpiled.circuit().measured())
+                }
+                _ => {
+                    return Err(MitigationError::MissingContext {
+                        strategy: self.name().to_string(),
+                        needs: "a readout model, or a backend plus transpiled circuit \
+                                to read the confusion calibration from",
+                    })
+                }
+            },
+        };
+        if model.width() != counts.width() {
+            return Err(MitigationError::WidthMismatch {
+                counts: counts.width(),
+                other: model.width(),
+            });
+        }
+        let mitigated = ibu_mitigate(counts, &model, self.iterations);
+        Ok(MitigationOutcome {
+            strategy: self.name().to_string(),
+            mitigated,
+            lambda: None,
+            diagnostics: StrategyDiagnostics::Readout {
+                iterations: self.iterations,
+                support: counts.distinct(),
+            },
+        })
+    }
+}
+
+/// The no-op baseline: the empirical distribution, untouched. Anchors
+/// comparisons (every figure's "raw" column) and exercises the seam.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityStrategy;
+
+impl Mitigator for IdentityStrategy {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn mitigate(
+        &self,
+        counts: &Counts,
+        _ctx: &RunContext,
+    ) -> Result<MitigationOutcome, MitigationError> {
+        if counts.is_empty() {
+            return Err(MitigationError::EmptyCounts);
+        }
+        Ok(MitigationOutcome {
+            strategy: self.name().to_string(),
+            mitigated: counts.to_distribution(),
+            lambda: None,
+            diagnostics: StrategyDiagnostics::None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbeep_bitstring::BitString;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    fn fig5_counts() -> Counts {
+        Counts::from_pairs(
+            4,
+            vec![
+                (bs("0000"), 600),
+                (bs("0001"), 100),
+                (bs("0010"), 100),
+                (bs("0100"), 100),
+                (bs("1000"), 100),
+            ],
+        )
+    }
+
+    #[test]
+    fn qbeep_strategy_matches_direct_engine() {
+        let ctx = RunContext::new().with_lambda(0.8);
+        let outcome = QBeepStrategy::default()
+            .mitigate(&fig5_counts(), &ctx)
+            .unwrap();
+        let legacy = QBeep::default().mitigate_with_lambda(&fig5_counts(), 0.8);
+        assert_eq!(outcome.mitigated, legacy.mitigated);
+        assert_eq!(outcome.lambda, Some(0.8));
+        assert_eq!(
+            outcome.diagnostics,
+            StrategyDiagnostics::Graph(legacy.diagnostics)
+        );
+    }
+
+    #[test]
+    fn empty_counts_is_a_structured_error() {
+        let ctx = RunContext::new().with_lambda(1.0);
+        for strategy in [
+            Box::new(QBeepStrategy::default()) as Box<dyn Mitigator>,
+            Box::new(HammerStrategy::default()),
+            Box::new(IdentityStrategy),
+            Box::new(SpectrumStrategy::new(SpectrumKind::Uniform)),
+        ] {
+            assert_eq!(
+                strategy.mitigate(&Counts::new(3), &ctx).unwrap_err(),
+                MitigationError::EmptyCounts,
+                "{}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn qbeep_without_lambda_or_backend_reports_missing_context() {
+        let err = QBeepStrategy::default()
+            .mitigate(&fig5_counts(), &RunContext::new())
+            .unwrap_err();
+        assert!(matches!(err, MitigationError::MissingContext { .. }));
+        assert!(err.to_string().contains("qbeep"), "{err}");
+    }
+
+    #[test]
+    fn invalid_explicit_lambda_is_rejected() {
+        let ctx = RunContext::new().with_lambda(-1.0);
+        assert_eq!(
+            QBeepStrategy::default()
+                .mitigate(&fig5_counts(), &ctx)
+                .unwrap_err(),
+            MitigationError::InvalidLambda(-1.0)
+        );
+    }
+
+    #[test]
+    fn identity_returns_the_empirical_distribution() {
+        let outcome = IdentityStrategy
+            .mitigate(&fig5_counts(), &RunContext::new())
+            .unwrap();
+        assert_eq!(outcome.mitigated, fig5_counts().to_distribution());
+        assert_eq!(outcome.diagnostics, StrategyDiagnostics::None);
+    }
+
+    #[test]
+    fn hammer_strategy_matches_legacy_function() {
+        let outcome = HammerStrategy::default()
+            .mitigate(&fig5_counts(), &RunContext::new())
+            .unwrap();
+        let legacy = crate::hammer::hammer_mitigate(&fig5_counts(), &HammerConfig::default());
+        assert_eq!(outcome.mitigated, legacy);
+    }
+
+    #[test]
+    fn uniform_strategy_needs_no_lambda() {
+        let outcome = SpectrumStrategy::new(SpectrumKind::Uniform)
+            .mitigate(&fig5_counts(), &RunContext::new())
+            .unwrap();
+        assert_eq!(outcome.lambda, None);
+        assert!((outcome.mitigated.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_strategy_matches_binomial_kernel_engine() {
+        let ctx = RunContext::new().with_lambda(0.8);
+        let outcome = SpectrumStrategy::new(SpectrumKind::Binomial)
+            .mitigate(&fig5_counts(), &ctx)
+            .unwrap();
+        let cfg = QBeepConfig {
+            kernel: crate::config::Kernel::Binomial,
+            ..QBeepConfig::default()
+        };
+        let legacy = QBeep::new(cfg).mitigate_with_lambda(&fig5_counts(), 0.8);
+        assert_eq!(outcome.mitigated, legacy.mitigated);
+    }
+
+    #[test]
+    fn ibu_with_explicit_model_matches_legacy_function() {
+        let model = ReadoutModel::new(vec![0.05; 4]);
+        let strategy = IbuReadoutStrategy::new(10)
+            .unwrap()
+            .with_model(model.clone());
+        let outcome = strategy
+            .mitigate(&fig5_counts(), &RunContext::new())
+            .unwrap();
+        let legacy = ibu_mitigate(&fig5_counts(), &model, 10);
+        assert_eq!(outcome.mitigated, legacy);
+    }
+
+    #[test]
+    fn ibu_without_context_reports_missing_context() {
+        let err = IbuReadoutStrategy::default()
+            .mitigate(&fig5_counts(), &RunContext::new())
+            .unwrap_err();
+        assert!(matches!(err, MitigationError::MissingContext { .. }));
+    }
+
+    #[test]
+    fn ibu_width_mismatch_is_detected() {
+        let strategy = IbuReadoutStrategy::new(5)
+            .unwrap()
+            .with_model(ReadoutModel::new(vec![0.05; 3]));
+        assert_eq!(
+            strategy
+                .mitigate(&fig5_counts(), &RunContext::new())
+                .unwrap_err(),
+            MitigationError::WidthMismatch {
+                counts: 4,
+                other: 3
+            }
+        );
+    }
+
+    #[test]
+    fn shared_tables_memoise_by_law_and_width() {
+        let tables = SharedTables::new();
+        let a = tables.weight_table(WeightLaw::Poisson { lambda: 0.8 }, 4);
+        let b = tables.weight_table(WeightLaw::Poisson { lambda: 0.8 }, 4);
+        assert!(Rc::ptr_eq(&a, &b));
+        let _ = tables.weight_table(WeightLaw::Poisson { lambda: 0.9 }, 4);
+        let _ = tables.weight_table(WeightLaw::Poisson { lambda: 0.8 }, 5);
+        let _ = tables.weight_table(WeightLaw::Uniform, 4);
+        assert_eq!(tables.tables_built(), 4);
+        assert_eq!(tables.tables_reused(), 1);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = MitigationError::UnknownStrategy {
+            name: "zne".to_string(),
+            known: vec!["qbeep".to_string(), "hammer".to_string()],
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("zne") && msg.contains("qbeep, hammer"),
+            "{msg}"
+        );
+        assert!(
+            MitigationError::InvalidConfig("decay 1.5 outside (0, 1]".into())
+                .to_string()
+                .contains("outside (0, 1]")
+        );
+    }
+}

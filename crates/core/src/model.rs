@@ -15,6 +15,8 @@
 
 use qbeep_bitstring::HammingSpectrum;
 
+use crate::config::Kernel;
+
 /// The Poisson probability mass `P(k) = λᵏ e^{−λ} / k!`.
 ///
 /// Computed in log space for numerical robustness at large `k`.
@@ -258,6 +260,92 @@ pub fn mle_neg_binomial(observed: &HammingSpectrum) -> (f64, f64) {
     (mean, iod)
 }
 
+/// A per-distance edge-weight law for the state graph: which spectral
+/// family parameterises the kernel, and with what parameters.
+///
+/// This is the *unnormalised* weighting the graph builder thresholds
+/// with ε (matching the raw-PMF weights the legacy
+/// [`crate::graph::StateGraph::build`] computed inline), not the
+/// normalised [`SpectrumModel`] masses Fig. 6 compares. Being a plain
+/// `Copy` value with a stable cache key, it doubles as the memoisation
+/// key for [`crate::mitigator::SharedTables`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightLaw {
+    /// `Poisson(λ, k)` — the paper's kernel.
+    Poisson {
+        /// The Poisson rate.
+        lambda: f64,
+    },
+    /// `Binomial(n, λ/n, k)` — independent-bit-flip kernel with the
+    /// same mean.
+    Binomial {
+        /// The rate whose per-bit flip probability is `λ/n`.
+        lambda: f64,
+    },
+    /// Negative binomial in moment form (mean + index of dispersion) —
+    /// the over-dispersion-aware generalisation of the Poisson kernel.
+    NegBinomial {
+        /// Mean Hamming distance.
+        mean: f64,
+        /// Index of dispersion (≥ 1; 1 falls back to Poisson).
+        iod: f64,
+    },
+    /// Structureless weighting: every bit-string equally likely, so
+    /// distance `k` weighs `C(n, k) / 2ⁿ`.
+    Uniform,
+}
+
+impl WeightLaw {
+    /// The law a [`Kernel`] configuration names, at rate `lambda`.
+    #[must_use]
+    pub fn from_kernel(kernel: Kernel, lambda: f64) -> Self {
+        match kernel {
+            Kernel::Poisson => Self::Poisson { lambda },
+            Kernel::Binomial => Self::Binomial { lambda },
+        }
+    }
+
+    /// The per-distance weight table over `0..=width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the law's parameters are invalid (negative rate,
+    /// IoD < 1).
+    #[must_use]
+    pub fn table(&self, width: usize) -> Vec<f64> {
+        match *self {
+            Self::Poisson { lambda } => (0..=width).map(|k| poisson_pmf(lambda, k)).collect(),
+            Self::Binomial { lambda } => {
+                let p = (lambda / width.max(1) as f64).clamp(0.0, 1.0);
+                (0..=width).map(|k| binomial_pmf(width, p, k)).collect()
+            }
+            Self::NegBinomial { mean, iod } => {
+                assert!(mean.is_finite() && mean >= 0.0, "invalid mean {mean}");
+                assert!(iod >= 1.0, "negative binomial requires IoD ≥ 1, got {iod}");
+                if mean == 0.0 || iod - 1.0 < 1e-9 {
+                    return Self::Poisson { lambda: mean }.table(width);
+                }
+                let q = 1.0 - 1.0 / iod;
+                let r = mean / (iod - 1.0);
+                (0..=width).map(|k| neg_binomial_pmf(r, q, k)).collect()
+            }
+            Self::Uniform => (0..=width).map(|k| binomial_pmf(width, 0.5, k)).collect(),
+        }
+    }
+
+    /// A hashable identity for memoisation: variant tag plus the raw
+    /// bit patterns of the parameters.
+    #[must_use]
+    pub fn cache_key(&self, width: usize) -> (u8, u64, u64, usize) {
+        match *self {
+            Self::Poisson { lambda } => (0, lambda.to_bits(), 0, width),
+            Self::Binomial { lambda } => (1, lambda.to_bits(), 0, width),
+            Self::NegBinomial { mean, iod } => (2, mean.to_bits(), iod.to_bits(), width),
+            Self::Uniform => (3, 0, 0, width),
+        }
+    }
+}
+
 /// Maximum-likelihood binomial flip probability: mean distance / width.
 ///
 /// # Panics
@@ -452,5 +540,70 @@ mod tests {
     #[should_panic(expected = "lengths differ")]
     fn hellinger_length_mismatch_panics() {
         let _ = spectrum_hellinger(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn mle_poisson_recovers_the_rate() {
+        // A width-24 spectrum truncates Poisson(2.5) with < 1e-12 tail
+        // mass, so the sample mean matches λ to high precision.
+        let lambda = 2.5;
+        let masses: Vec<f64> = (0..=24).map(|k| poisson_pmf(lambda, k)).collect();
+        let obs = HammingSpectrum::from_masses(BitString::zeros(24), &masses);
+        assert!((mle_poisson(&obs) - lambda).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mle_binomial_recovers_the_flip_probability() {
+        // Full-support binomial: E[d] = n·p exactly, so the estimator
+        // returns p up to rounding.
+        let (n, p) = (12, 0.15);
+        let masses: Vec<f64> = (0..=n).map(|k| binomial_pmf(n, p, k)).collect();
+        let obs = HammingSpectrum::from_masses(BitString::zeros(n), &masses);
+        assert!((mle_binomial(&obs) - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_binomial_saturates_at_one() {
+        // All mass at the far corner: E[d]/n = 1, the clamp's ceiling.
+        let mut masses = vec![0.0; 9];
+        masses[8] = 1.0;
+        let obs = HammingSpectrum::from_masses(BitString::zeros(8), &masses);
+        assert_eq!(mle_binomial(&obs), 1.0);
+    }
+
+    #[test]
+    fn mle_neg_binomial_recovers_mean_and_dispersion() {
+        // NB(r = 4, q = 0.4): mean = rq/(1−q) = 8/3, IoD = 1/(1−q) = 5/3.
+        let (r, q) = (4.0, 0.4);
+        let masses: Vec<f64> = (0..=32).map(|k| neg_binomial_pmf(r, q, k)).collect();
+        let obs = HammingSpectrum::from_masses(BitString::zeros(32), &masses);
+        let (mean, iod) = mle_neg_binomial(&obs);
+        assert!((mean - r * q / (1.0 - q)).abs() < 1e-3, "mean {mean}");
+        assert!((iod - 1.0 / (1.0 - q)).abs() < 1e-2, "IoD {iod}");
+    }
+
+    #[test]
+    fn mle_estimators_on_an_all_correct_spectrum() {
+        // Every shot at distance 0: zero rate, zero flip probability,
+        // and an undefined IoD that clamps to the Poisson signature.
+        let obs = HammingSpectrum::from_masses(BitString::zeros(6), &[1.0]);
+        assert_eq!(mle_poisson(&obs), 0.0);
+        assert_eq!(mle_binomial(&obs), 0.0);
+        assert_eq!(mle_neg_binomial(&obs), (0.0, 1.0));
+    }
+
+    #[test]
+    fn mle_estimators_on_a_single_offset_bin() {
+        // All mass at distance 3 of 8: mean 3, variance 0, so the raw
+        // IoD of 0 (maximally under-dispersed) clamps up to 1 — the
+        // NB family cannot represent IoD < 1.
+        let mut masses = vec![0.0; 4];
+        masses[3] = 1.0;
+        let obs = HammingSpectrum::from_masses(BitString::zeros(8), &masses);
+        assert_eq!(mle_poisson(&obs), 3.0);
+        assert!((mle_binomial(&obs) - 3.0 / 8.0).abs() < 1e-12);
+        let (mean, iod) = mle_neg_binomial(&obs);
+        assert_eq!(mean, 3.0);
+        assert_eq!(iod, 1.0);
     }
 }

@@ -1,0 +1,167 @@
+//! The shared Hamming-distance neighbor index.
+//!
+//! Every counts-in/distribution-out strategy starts from the same
+//! O(V²) pairwise scan over the observed bit-strings: Q-BEEP filters
+//! the pairs by kernel weight into state-graph edges, HAMMER folds
+//! them into neighbourhood sums. [`NeighborIndex`] computes the scan
+//! once — nodes in the canonical deterministic order (descending
+//! count, ascending bit order) plus every `i < j` pair with its
+//! Hamming distance — so a [`crate::session::MitigationSession`] can
+//! share it across all strategies of a job.
+//!
+//! The pair list preserves the exact iteration order of the legacy
+//! per-strategy loops (`i` ascending, then `j` ascending), so
+//! consumers that fold floats over it reproduce the pre-refactor
+//! accumulation order bit for bit.
+
+use qbeep_bitstring::{BitString, Counts};
+
+use crate::mitigator::MitigationError;
+
+/// Precomputed nodes and pairwise Hamming distances of one counts
+/// table.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
+    width: usize,
+    total: u64,
+    nodes: Vec<(BitString, u64)>,
+    /// Every `(i, j, distance)` with `i < j`, in `i`-then-`j`
+    /// ascending order.
+    pairs: Vec<(u32, u32, u32)>,
+}
+
+impl NeighborIndex {
+    /// Builds the index: nodes sorted by descending count (ties by
+    /// ascending bit order) and the full `V·(V−1)/2` distance list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MitigationError::EmptyCounts`] when `counts` holds no
+    /// shots.
+    pub fn build(counts: &Counts) -> Result<Self, MitigationError> {
+        if counts.is_empty() {
+            return Err(MitigationError::EmptyCounts);
+        }
+        let nodes = counts.sorted_by_count();
+        assert!(
+            u32::try_from(nodes.len()).is_ok(),
+            "more than u32::MAX distinct outcomes"
+        );
+        let mut pairs = Vec::with_capacity(nodes.len() * nodes.len().saturating_sub(1) / 2);
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                let d = nodes[i].0.hamming_distance(&nodes[j].0);
+                pairs.push((i as u32, j as u32, d));
+            }
+        }
+        Ok(Self {
+            width: counts.width(),
+            total: counts.total(),
+            nodes,
+            pairs,
+        })
+    }
+
+    /// Outcome width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total observation count of the indexed table.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct observed outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the index holds no nodes (never the case for an index
+    /// built through [`build`](Self::build)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The indexed `(bit-string, count)` nodes in canonical order.
+    #[must_use]
+    pub fn nodes(&self) -> &[(BitString, u64)] {
+        &self.nodes
+    }
+
+    /// Every `(i, j, Hamming distance)` pair with `i < j`, in
+    /// `i`-then-`j` ascending order.
+    #[must_use]
+    pub fn pairs(&self) -> &[(u32, u32, u32)] {
+        &self.pairs
+    }
+
+    /// Cheap consistency check: does this index plausibly describe
+    /// `counts`? Used by [`crate::mitigator::RunContext`] to decide
+    /// whether a shared index can be borrowed or must be rebuilt.
+    #[must_use]
+    pub fn matches(&self, counts: &Counts) -> bool {
+        self.width == counts.width()
+            && self.total == counts.total()
+            && self.nodes.len() == counts.distinct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> Counts {
+        Counts::from_pairs(
+            3,
+            vec![(bs("000"), 500), (bs("001"), 200), (bs("011"), 100)],
+        )
+    }
+
+    #[test]
+    fn nodes_follow_sorted_by_count_order() {
+        let index = NeighborIndex::build(&sample()).unwrap();
+        let expected = sample().sorted_by_count();
+        assert_eq!(index.nodes(), expected.as_slice());
+        assert_eq!(index.width(), 3);
+        assert_eq!(index.total(), 800);
+        assert_eq!(index.len(), 3);
+    }
+
+    #[test]
+    fn pairs_cover_every_i_less_than_j_in_order() {
+        let index = NeighborIndex::build(&sample()).unwrap();
+        assert_eq!(index.pairs().len(), 3);
+        let ij: Vec<(u32, u32)> = index.pairs().iter().map(|&(i, j, _)| (i, j)).collect();
+        assert_eq!(ij, vec![(0, 1), (0, 2), (1, 2)]);
+        // 000↔001 = 1, 000↔011 = 2, 001↔011 = 1.
+        let dists: Vec<u32> = index.pairs().iter().map(|&(_, _, d)| d).collect();
+        assert_eq!(dists, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_counts_is_an_error() {
+        assert_eq!(
+            NeighborIndex::build(&Counts::new(3)).unwrap_err(),
+            MitigationError::EmptyCounts
+        );
+    }
+
+    #[test]
+    fn matches_detects_mismatched_counts() {
+        let index = NeighborIndex::build(&sample()).unwrap();
+        assert!(index.matches(&sample()));
+        let mut other = sample();
+        other.record(bs("111"), 1);
+        assert!(!index.matches(&other));
+        assert!(!index.matches(&Counts::new(4)));
+    }
+}

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::QBeepConfig;
 use crate::graph::{IterationDiagnostics, StateGraph};
 use crate::lambda::lambda_breakdown;
+use crate::neighbors::NeighborIndex;
 
 /// Structured diagnostics of one mitigation pass: what the state graph
 /// looked like and how Algorithm 1 converged. Always populated — the
@@ -92,7 +93,9 @@ impl QBeep {
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn new(config: QBeepConfig) -> Self {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         Self {
             config,
             recorder: Recorder::disabled(),
@@ -161,6 +164,46 @@ impl QBeep {
         let mut graph = {
             let _build = self.recorder.span("graph_build");
             StateGraph::build(counts, lambda, &self.config)
+        };
+        let size = (graph.num_nodes(), graph.num_edges());
+        let pruned = graph.pruned_pairs();
+        let iter = {
+            let _iterate = self.recorder.span("graph_iterate");
+            graph.iterate_diagnosed()
+        };
+        self.record_graph(size, pruned, lambda, &iter);
+        MitigationResult {
+            mitigated: graph.distribution(),
+            lambda,
+            graph_size: size,
+            trace: Vec::new(),
+            diagnostics: MitigationDiagnostics::new(size, pruned, iter),
+        }
+    }
+
+    /// Mitigates over a precomputed [`NeighborIndex`] and per-distance
+    /// weight table — the batch-session path that amortises the O(V²)
+    /// pair scan and PMF tabulation across strategies and jobs. Spans,
+    /// counters, gauges and series are recorded under exactly the same
+    /// names as [`mitigate_with_lambda`](Self::mitigate_with_lambda),
+    /// and the result is bit-for-bit identical when the table comes
+    /// from the configured kernel at `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not cover every distance
+    /// `0..=index.width()`.
+    #[must_use]
+    pub fn mitigate_prepared(
+        &self,
+        index: &NeighborIndex,
+        weights: &[f64],
+        lambda: f64,
+    ) -> MitigationResult {
+        let _span = self.recorder.span("mitigate");
+        let mut graph = {
+            let _build = self.recorder.span("graph_build");
+            StateGraph::from_index(index, weights, &self.config)
         };
         let size = (graph.num_nodes(), graph.num_edges());
         let pruned = graph.pruned_pairs();

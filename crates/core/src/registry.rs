@@ -1,0 +1,230 @@
+//! Name-addressable construction of [`Mitigator`] strategies.
+//!
+//! CLI flags (`--strategy hammer --compare qbeep`), bench configs,
+//! and serialized experiment manifests all refer to strategies by the
+//! same short names; [`StrategyRegistry`] turns a name (or a
+//! [`StrategySpec`] carrying parameter overrides) into a boxed
+//! [`Mitigator`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::QBeepConfig;
+use crate::hammer::HammerConfig;
+use crate::mitigator::{
+    HammerStrategy, IbuReadoutStrategy, IdentityStrategy, MitigationError, Mitigator,
+    QBeepStrategy, SpectrumKind, SpectrumStrategy,
+};
+
+/// A serde-addressable strategy request: a registry name plus
+/// optional parameter overrides. Fields that do not apply to the
+/// named strategy are ignored.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StrategySpec {
+    /// Registry name (`qbeep`, `hammer`, `ibu`, `binomial`,
+    /// `neg-binomial`, `uniform`, `identity`).
+    pub name: String,
+    /// Iteration override (graph strategies: Algorithm-1 steps; IBU:
+    /// EM updates).
+    pub iterations: Option<usize>,
+    /// Edge-pruning ε override (graph strategies).
+    pub epsilon: Option<f64>,
+    /// Neighbourhood radius override (HAMMER).
+    pub max_distance: Option<u32>,
+    /// Per-distance decay override (HAMMER).
+    pub decay: Option<f64>,
+}
+
+impl StrategySpec {
+    /// A spec with no overrides.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+}
+
+type Factory = fn(&StrategySpec) -> Result<Box<dyn Mitigator>, MitigationError>;
+
+/// Maps strategy names to constructors.
+pub struct StrategyRegistry {
+    entries: Vec<(&'static str, Factory)>,
+}
+
+impl std::fmt::Debug for StrategyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+fn graph_config(spec: &StrategySpec, base: QBeepConfig) -> QBeepConfig {
+    QBeepConfig {
+        iterations: spec.iterations.unwrap_or(base.iterations),
+        epsilon: spec.epsilon.unwrap_or(base.epsilon),
+        ..base
+    }
+}
+
+impl StrategyRegistry {
+    /// The registry holding every built-in strategy: `qbeep`,
+    /// `hammer`, `ibu`, `binomial`, `neg-binomial`, `uniform`,
+    /// `identity`.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let entries: Vec<(&'static str, Factory)> = vec![
+            ("qbeep", |spec| {
+                let config = graph_config(spec, QBeepConfig::default());
+                Ok(Box::new(QBeepStrategy::with_config(config)?))
+            }),
+            ("hammer", |spec| {
+                let base = HammerConfig::default();
+                let config = HammerConfig {
+                    max_distance: spec.max_distance.unwrap_or(base.max_distance),
+                    decay: spec.decay.unwrap_or(base.decay),
+                };
+                Ok(Box::new(HammerStrategy::with_config(config)?))
+            }),
+            ("ibu", |spec| {
+                Ok(Box::new(IbuReadoutStrategy::new(
+                    spec.iterations.unwrap_or(10),
+                )?))
+            }),
+            ("binomial", |spec| {
+                let config = graph_config(spec, QBeepConfig::default());
+                Ok(Box::new(SpectrumStrategy::with_config(
+                    SpectrumKind::Binomial,
+                    config,
+                )?))
+            }),
+            ("neg-binomial", |spec| {
+                let config = graph_config(spec, QBeepConfig::default());
+                Ok(Box::new(SpectrumStrategy::with_config(
+                    SpectrumKind::NegBinomial,
+                    config,
+                )?))
+            }),
+            ("uniform", |spec| {
+                let config = graph_config(spec, QBeepConfig::default());
+                Ok(Box::new(SpectrumStrategy::with_config(
+                    SpectrumKind::Uniform,
+                    config,
+                )?))
+            }),
+            ("identity", |_| Ok(Box::new(IdentityStrategy))),
+        ];
+        Self { entries }
+    }
+
+    /// Every registered name, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| (*n).to_string()).collect()
+    }
+
+    /// Instantiates the named strategy with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::UnknownStrategy`] for an unregistered name,
+    /// or [`MitigationError::InvalidConfig`] from the factory.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Mitigator>, MitigationError> {
+        self.create_spec(&StrategySpec::named(name))
+    }
+
+    /// Instantiates the strategy described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::UnknownStrategy`] for an unregistered name,
+    /// or [`MitigationError::InvalidConfig`] when an override is out
+    /// of range.
+    pub fn create_spec(&self, spec: &StrategySpec) -> Result<Box<dyn Mitigator>, MitigationError> {
+        match self.entries.iter().find(|(n, _)| *n == spec.name) {
+            Some((_, factory)) => factory(spec),
+            None => Err(MitigationError::UnknownStrategy {
+                name: spec.name.clone(),
+                known: self.names(),
+            }),
+        }
+    }
+}
+
+impl Default for StrategyRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_knows_all_seven_strategies() {
+        let registry = StrategyRegistry::builtin();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "qbeep",
+                "hammer",
+                "ibu",
+                "binomial",
+                "neg-binomial",
+                "uniform",
+                "identity"
+            ]
+        );
+        for name in registry.names() {
+            let strategy = registry.create(&name).unwrap();
+            assert_eq!(strategy.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_the_known_ones() {
+        let err = StrategyRegistry::builtin()
+            .create("zne")
+            .err()
+            .expect("zne is not a registered strategy");
+        match &err {
+            MitigationError::UnknownStrategy { name, known } => {
+                assert_eq!(name, "zne");
+                assert!(known.iter().any(|k| k == "qbeep"));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(err.to_string().contains("unknown strategy 'zne'"));
+    }
+
+    #[test]
+    fn spec_overrides_reach_the_strategy() {
+        let spec = StrategySpec {
+            name: "hammer".to_string(),
+            decay: Some(1.5),
+            ..StrategySpec::default()
+        };
+        let err = StrategyRegistry::builtin()
+            .create_spec(&spec)
+            .err()
+            .expect("decay 1.5 is out of range");
+        assert!(matches!(err, MitigationError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("outside (0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn invalid_graph_overrides_are_rejected() {
+        let spec = StrategySpec {
+            name: "qbeep".to_string(),
+            iterations: Some(0),
+            ..StrategySpec::default()
+        };
+        let err = StrategyRegistry::builtin()
+            .create_spec(&spec)
+            .err()
+            .expect("zero iterations is out of range");
+        assert!(err.to_string().contains("at least one iteration"), "{err}");
+    }
+}

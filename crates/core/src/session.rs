@@ -1,0 +1,401 @@
+//! Batch execution of N jobs × M strategies over one calibration
+//! snapshot.
+//!
+//! The paper's figures all share one shape: take a set of circuits
+//! executed on one backend, run every mitigation strategy over every
+//! counts table, and compare. [`MitigationSession`] is that shape as
+//! an engine. It amortises the per-job O(V²) Hamming pair scan into
+//! one [`NeighborIndex`] shared by all strategies of the job, and
+//! memoises kernel weight tables across the whole batch through
+//! [`SharedTables`], so M strategies on N same-width jobs
+//! parameterise each PMF once.
+//!
+//! Telemetry discipline: the session never wraps a strategy call in
+//! an enclosing span, so the span paths a strategy emits (`mitigate`,
+//! `mitigate/graph_build`, …) are byte-identical to the legacy direct
+//! calls — dashboards and the bench regression gate keep working
+//! unchanged.
+
+use qbeep_bitstring::Counts;
+use qbeep_device::Backend;
+use qbeep_telemetry::{Recorder, RunReport};
+use qbeep_transpile::TranspiledCircuit;
+
+use crate::mitigator::{MitigationError, MitigationOutcome, Mitigator, RunContext, SharedTables};
+use crate::neighbors::NeighborIndex;
+use crate::registry::{StrategyRegistry, StrategySpec};
+
+/// One unit of work: a counts table plus the per-job context a
+/// strategy may need to interpret it.
+#[derive(Debug, Clone)]
+pub struct MitigationJob {
+    label: String,
+    counts: Counts,
+    transpiled: Option<TranspiledCircuit>,
+    lambda: Option<f64>,
+}
+
+impl MitigationJob {
+    /// A job with no circuit and no explicit λ.
+    #[must_use]
+    pub fn new(label: impl Into<String>, counts: Counts) -> Self {
+        Self {
+            label: label.into(),
+            counts,
+            transpiled: None,
+            lambda: None,
+        }
+    }
+
+    /// Attaches the transpilation artefact the counts came from, so λ
+    /// can be estimated from it (Eq. 2) and readout models can follow
+    /// its measured qubits.
+    #[must_use]
+    pub fn with_transpiled(mut self, transpiled: TranspiledCircuit) -> Self {
+        self.transpiled = Some(transpiled);
+        self
+    }
+
+    /// Pins λ for this job, skipping estimation.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// The job's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The job's counts.
+    #[must_use]
+    pub fn counts(&self) -> &Counts {
+        &self.counts
+    }
+}
+
+/// Every strategy's outcome for one job.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The job's label.
+    pub label: String,
+    /// Outcome width in bits.
+    pub width: usize,
+    /// Total shots in the job's counts.
+    pub shots: u64,
+    /// One outcome per session strategy, in strategy order.
+    pub outcomes: Vec<MitigationOutcome>,
+}
+
+impl JobReport {
+    /// The outcome of the named strategy, if it ran in this job.
+    #[must_use]
+    pub fn outcome(&self, strategy: &str) -> Option<&MitigationOutcome> {
+        self.outcomes.iter().find(|o| o.strategy == strategy)
+    }
+}
+
+/// Cache and batch statistics for one session run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Strategies applied to each job.
+    pub strategies: usize,
+    /// Distinct kernel weight tables computed.
+    pub tables_built: usize,
+    /// Weight-table cache hits.
+    pub tables_reused: usize,
+}
+
+/// The result of one batch: per-job reports plus batch-level
+/// statistics and (when a recorder was attached) one aggregated
+/// telemetry [`RunReport`].
+#[derive(Debug)]
+pub struct SessionReport {
+    /// One report per job, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// The strategy names the session ran, in execution order.
+    pub strategies: Vec<String>,
+    /// Batch statistics.
+    pub stats: SessionStats,
+    /// Aggregated telemetry, when the session recorder was enabled.
+    pub telemetry: Option<RunReport>,
+}
+
+impl SessionReport {
+    /// The report for the labelled job, if any.
+    #[must_use]
+    pub fn job(&self, label: &str) -> Option<&JobReport> {
+        self.jobs.iter().find(|j| j.label == label)
+    }
+
+    /// The outcome of `strategy` on the labelled job, if both exist.
+    #[must_use]
+    pub fn outcome(&self, label: &str, strategy: &str) -> Option<&MitigationOutcome> {
+        self.job(label).and_then(|j| j.outcome(strategy))
+    }
+}
+
+/// Runs N jobs × M strategies over one calibration snapshot.
+pub struct MitigationSession {
+    backend: Option<Backend>,
+    recorder: Recorder,
+    registry: StrategyRegistry,
+    strategies: Vec<Box<dyn Mitigator>>,
+    jobs: Vec<MitigationJob>,
+}
+
+impl std::fmt::Debug for MitigationSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MitigationSession")
+            .field("backend", &self.backend.as_ref().map(Backend::name))
+            .field(
+                "strategies",
+                &self.strategies.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field("jobs", &self.jobs.len())
+            .finish()
+    }
+}
+
+impl MitigationSession {
+    /// A session with no backend (strategies needing calibration will
+    /// report missing context unless jobs pin λ explicitly).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            backend: None,
+            recorder: Recorder::disabled(),
+            registry: StrategyRegistry::builtin(),
+            strategies: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// A session whose jobs all share `backend`'s calibration
+    /// snapshot.
+    #[must_use]
+    pub fn on_backend(backend: Backend) -> Self {
+        let mut session = Self::new();
+        session.backend = Some(backend);
+        session
+    }
+
+    /// Attaches a telemetry recorder; strategies record into it with
+    /// their legacy span names.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Adds an already-constructed strategy.
+    pub fn add_strategy(&mut self, strategy: Box<dyn Mitigator>) -> &mut Self {
+        self.strategies.push(strategy);
+        self
+    }
+
+    /// Adds a strategy by registry name.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::UnknownStrategy`] for an unregistered name.
+    pub fn add_strategy_by_name(&mut self, name: &str) -> Result<&mut Self, MitigationError> {
+        let strategy = self.registry.create(name)?;
+        Ok(self.add_strategy(strategy))
+    }
+
+    /// Adds a strategy from a [`StrategySpec`] with overrides.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::UnknownStrategy`] or
+    /// [`MitigationError::InvalidConfig`].
+    pub fn add_strategy_spec(&mut self, spec: &StrategySpec) -> Result<&mut Self, MitigationError> {
+        let strategy = self.registry.create_spec(spec)?;
+        Ok(self.add_strategy(strategy))
+    }
+
+    /// Queues a job.
+    pub fn add_job(&mut self, job: MitigationJob) -> &mut Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Strategy names in execution order.
+    #[must_use]
+    pub fn strategy_names(&self) -> Vec<String> {
+        self.strategies
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect()
+    }
+
+    /// Runs every queued job through every strategy, sharing the
+    /// neighbor index within a job and weight tables across the
+    /// batch. Jobs run in submission order, strategies in registration
+    /// order; the first error aborts the batch.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MitigationError`] any strategy reports.
+    pub fn run(&self) -> Result<SessionReport, MitigationError> {
+        let tables = SharedTables::new();
+        let mut reports = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let index = NeighborIndex::build(&job.counts)?;
+            let mut ctx = RunContext::new()
+                .with_recorder(self.recorder.clone())
+                .with_neighbors(&index)
+                .with_tables(&tables);
+            if let Some(backend) = &self.backend {
+                ctx = ctx.with_backend(backend);
+            }
+            if let Some(transpiled) = &job.transpiled {
+                ctx = ctx.with_transpiled(transpiled);
+            }
+            if let Some(lambda) = job.lambda {
+                ctx = ctx.with_lambda(lambda);
+            }
+            let mut outcomes = Vec::with_capacity(self.strategies.len());
+            for strategy in &self.strategies {
+                outcomes.push(strategy.mitigate(&job.counts, &ctx)?);
+            }
+            reports.push(JobReport {
+                label: job.label.clone(),
+                width: job.counts.width(),
+                shots: job.counts.total(),
+                outcomes,
+            });
+        }
+        let stats = SessionStats {
+            jobs: self.jobs.len(),
+            strategies: self.strategies.len(),
+            tables_built: tables.tables_built(),
+            tables_reused: tables.tables_reused(),
+        };
+        if self.recorder.is_enabled() {
+            self.recorder.incr("session.jobs", stats.jobs as u64);
+            self.recorder.incr(
+                "session.strategy_runs",
+                (stats.jobs * stats.strategies) as u64,
+            );
+            self.recorder
+                .incr("session.tables_built", stats.tables_built as u64);
+            self.recorder
+                .incr("session.tables_reused", stats.tables_reused as u64);
+        }
+        let telemetry = self.recorder.is_enabled().then(|| self.recorder.report());
+        Ok(SessionReport {
+            jobs: reports,
+            strategies: self.strategy_names(),
+            stats,
+            telemetry,
+        })
+    }
+}
+
+impl Default for MitigationSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::QBeep;
+    use qbeep_bitstring::BitString;
+
+    fn bs(s: &str) -> BitString {
+        s.parse().unwrap()
+    }
+
+    fn counts_a() -> Counts {
+        Counts::from_pairs(
+            4,
+            vec![
+                (bs("0000"), 600),
+                (bs("0001"), 100),
+                (bs("0100"), 100),
+                (bs("1000"), 100),
+            ],
+        )
+    }
+
+    fn counts_b() -> Counts {
+        Counts::from_pairs(4, vec![(bs("1111"), 700), (bs("1110"), 200)])
+    }
+
+    #[test]
+    fn batch_runs_every_job_through_every_strategy() {
+        let mut session = MitigationSession::new();
+        session.add_strategy_by_name("qbeep").unwrap();
+        session.add_strategy_by_name("hammer").unwrap();
+        session.add_strategy_by_name("identity").unwrap();
+        session.add_job(MitigationJob::new("a", counts_a()).with_lambda(0.8));
+        session.add_job(MitigationJob::new("b", counts_b()).with_lambda(0.8));
+        let report = session.run().unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.strategies, vec!["qbeep", "hammer", "identity"]);
+        assert_eq!(report.stats.jobs, 2);
+        assert_eq!(report.stats.strategies, 3);
+        for job in &report.jobs {
+            assert_eq!(job.outcomes.len(), 3);
+        }
+        assert!(report.outcome("a", "qbeep").is_some());
+        assert!(report.outcome("b", "identity").is_some());
+        assert!(report.outcome("c", "qbeep").is_none());
+    }
+
+    #[test]
+    fn session_qbeep_matches_legacy_direct_call() {
+        let mut session = MitigationSession::new();
+        session.add_strategy_by_name("qbeep").unwrap();
+        session.add_job(MitigationJob::new("a", counts_a()).with_lambda(1.1));
+        let report = session.run().unwrap();
+        let legacy = QBeep::default().mitigate_with_lambda(&counts_a(), 1.1);
+        assert_eq!(
+            report.outcome("a", "qbeep").unwrap().mitigated,
+            legacy.mitigated
+        );
+    }
+
+    #[test]
+    fn weight_tables_are_shared_across_same_width_jobs() {
+        let mut session = MitigationSession::new();
+        session.add_strategy_by_name("qbeep").unwrap();
+        session.add_job(MitigationJob::new("a", counts_a()).with_lambda(0.8));
+        session.add_job(MitigationJob::new("b", counts_b()).with_lambda(0.8));
+        let report = session.run().unwrap();
+        assert_eq!(report.stats.tables_built, 1);
+        assert_eq!(report.stats.tables_reused, 1);
+    }
+
+    #[test]
+    fn first_error_aborts_the_batch() {
+        let mut session = MitigationSession::new();
+        session.add_strategy_by_name("qbeep").unwrap();
+        // No λ and no backend: qbeep cannot resolve λ.
+        session.add_job(MitigationJob::new("a", counts_a()));
+        let err = session.run().unwrap_err();
+        assert!(matches!(err, MitigationError::MissingContext { .. }));
+    }
+
+    #[test]
+    fn session_recorder_sees_legacy_span_names() {
+        let recorder = Recorder::new();
+        let mut session = MitigationSession::new().with_recorder(recorder.clone());
+        session.add_strategy_by_name("qbeep").unwrap();
+        session.add_job(MitigationJob::new("a", counts_a()).with_lambda(0.8));
+        let report = session.run().unwrap();
+        let telemetry = report.telemetry.expect("recorder enabled");
+        assert!(telemetry.span("mitigate").is_some());
+        assert!(telemetry.span("mitigate/graph_build").is_some());
+        assert!(telemetry.span("mitigate/graph_iterate").is_some());
+        assert_eq!(telemetry.counters.get("session.jobs"), Some(&1));
+    }
+}

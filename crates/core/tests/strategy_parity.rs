@@ -1,0 +1,180 @@
+//! Registry/session strategies must reproduce the legacy direct call
+//! paths bit-for-bit: the trait seam is a refactor, not a semantic
+//! change. Every comparison here is `assert_eq!` on the full
+//! [`Distribution`] — exact f64 equality, no tolerance.
+
+use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_circuit::library::bernstein_vazirani;
+use qbeep_core::hammer::{hammer_mitigate, HammerConfig};
+use qbeep_core::readout::{ibu_mitigate, ReadoutModel};
+use qbeep_core::{Kernel, MitigationJob, MitigationSession, QBeep, QBeepConfig};
+use qbeep_device::profiles;
+use qbeep_sim::{execute_on_device, DeviceRun, EmpiricalConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fixed-seed BV execution on a fixed machine: the shared fixture
+/// every parity check mitigates.
+fn fixture() -> (qbeep_device::Backend, DeviceRun) {
+    let backend = profiles::by_name("fake_guadalupe").expect("profile exists");
+    let secret: BitString = "101101".parse().unwrap();
+    let circuit = bernstein_vazirani(&secret);
+    let mut rng = StdRng::seed_from_u64(20230617);
+    let run = execute_on_device(
+        &circuit,
+        &backend,
+        3000,
+        &EmpiricalConfig::default(),
+        &mut rng,
+    )
+    .expect("BV fits the 16-qubit machine");
+    (backend, run)
+}
+
+/// Runs `name` over `counts` through a fresh one-job session.
+fn via_session(
+    name: &str,
+    backend: Option<&qbeep_device::Backend>,
+    job: MitigationJob,
+) -> qbeep_core::MitigationOutcome {
+    let mut session = match backend {
+        Some(b) => MitigationSession::on_backend(b.clone()),
+        None => MitigationSession::new(),
+    };
+    session.add_strategy_by_name(name).expect("registered");
+    let label = job.label().to_string();
+    session.add_job(job);
+    let report = session.run().expect("job is well-formed");
+    report.outcome(&label, name).expect("strategy ran").clone()
+}
+
+#[test]
+fn qbeep_estimated_lambda_matches_mitigate_run() {
+    let (backend, run) = fixture();
+    let legacy = QBeep::default().mitigate_run(&run.counts, &run.transpiled, &backend);
+    let outcome = via_session(
+        "qbeep",
+        Some(&backend),
+        MitigationJob::new("j", run.counts.clone()).with_transpiled(run.transpiled.clone()),
+    );
+    assert_eq!(outcome.mitigated, legacy.mitigated);
+    assert_eq!(outcome.lambda, Some(legacy.lambda));
+}
+
+#[test]
+fn qbeep_explicit_lambda_matches_mitigate_with_lambda() {
+    let (_, run) = fixture();
+    let legacy = QBeep::default().mitigate_with_lambda(&run.counts, 1.3);
+    let outcome = via_session(
+        "qbeep",
+        None,
+        MitigationJob::new("j", run.counts.clone()).with_lambda(1.3),
+    );
+    assert_eq!(outcome.mitigated, legacy.mitigated);
+    assert_eq!(outcome.lambda, Some(1.3));
+}
+
+#[test]
+fn hammer_matches_the_legacy_function() {
+    let (backend, run) = fixture();
+    let legacy = hammer_mitigate(&run.counts, &HammerConfig::default());
+    let outcome = via_session(
+        "hammer",
+        Some(&backend),
+        MitigationJob::new("j", run.counts.clone()),
+    );
+    assert_eq!(outcome.mitigated, legacy);
+}
+
+#[test]
+fn ibu_matches_the_legacy_function() {
+    let (backend, run) = fixture();
+    let model = ReadoutModel::from_backend(&backend, run.transpiled.circuit().measured());
+    let legacy = ibu_mitigate(&run.counts, &model, 10);
+    let outcome = via_session(
+        "ibu",
+        Some(&backend),
+        MitigationJob::new("j", run.counts.clone()).with_transpiled(run.transpiled.clone()),
+    );
+    assert_eq!(outcome.mitigated, legacy);
+}
+
+#[test]
+fn binomial_matches_the_binomial_kernel_engine() {
+    let (_, run) = fixture();
+    let engine = QBeep::new(QBeepConfig {
+        kernel: Kernel::Binomial,
+        ..QBeepConfig::default()
+    });
+    let legacy = engine.mitigate_with_lambda(&run.counts, 0.9);
+    let outcome = via_session(
+        "binomial",
+        None,
+        MitigationJob::new("j", run.counts.clone()).with_lambda(0.9),
+    );
+    assert_eq!(outcome.mitigated, legacy.mitigated);
+}
+
+#[test]
+fn identity_returns_the_empirical_distribution() {
+    let (_, run) = fixture();
+    let outcome = via_session(
+        "identity",
+        None,
+        MitigationJob::new("j", run.counts.clone()),
+    );
+    assert_eq!(outcome.mitigated, run.counts.to_distribution());
+    assert_eq!(outcome.lambda, None);
+}
+
+#[test]
+fn uniform_and_neg_binomial_are_deterministic_distributions() {
+    let (_, run) = fixture();
+    for name in ["uniform", "neg-binomial"] {
+        let job = |counts: &Counts| MitigationJob::new("j", counts.clone()).with_lambda(1.1);
+        let a = via_session(name, None, job(&run.counts));
+        let b = via_session(name, None, job(&run.counts));
+        assert_eq!(a.mitigated, b.mitigated, "{name} not deterministic");
+        let total: f64 = a.mitigated.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{name} mass {total}");
+    }
+}
+
+#[test]
+fn batched_jobs_match_single_job_sessions() {
+    // Sharing weight tables and neighbour indexes across a batch must
+    // not perturb any individual result.
+    let (backend, run) = fixture();
+    let secret: BitString = "110011".parse().unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let second = execute_on_device(
+        &bernstein_vazirani(&secret),
+        &backend,
+        3000,
+        &EmpiricalConfig::default(),
+        &mut rng,
+    )
+    .expect("fits");
+
+    let mut session = MitigationSession::on_backend(backend.clone());
+    session.add_strategy_by_name("qbeep").expect("registered");
+    session.add_strategy_by_name("hammer").expect("registered");
+    session.add_job(
+        MitigationJob::new("a", run.counts.clone()).with_transpiled(run.transpiled.clone()),
+    );
+    session.add_job(
+        MitigationJob::new("b", second.counts.clone()).with_transpiled(second.transpiled.clone()),
+    );
+    let report = session.run().expect("jobs are well-formed");
+
+    let solo_a = QBeep::default().mitigate_run(&run.counts, &run.transpiled, &backend);
+    let solo_b = QBeep::default().mitigate_run(&second.counts, &second.transpiled, &backend);
+    let batched_a: &Distribution = &report.outcome("a", "qbeep").expect("ran").mitigated;
+    let batched_b: &Distribution = &report.outcome("b", "qbeep").expect("ran").mitigated;
+    assert_eq!(batched_a, &solo_a.mitigated);
+    assert_eq!(batched_b, &solo_b.mitigated);
+    assert_eq!(
+        report.outcome("a", "hammer").expect("ran").mitigated,
+        hammer_mitigate(&run.counts, &HammerConfig::default())
+    );
+}

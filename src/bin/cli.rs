@@ -15,6 +15,7 @@
 //! qbeep-cli run --qasm circuit.qasm --backend fake_lagos --telemetry json
 //! qbeep-cli mitigate --qasm circuit.qasm --backend fake_lagos --counts counts.json
 //! qbeep-cli mitigate --counts counts.json --lambda 0.8
+//! qbeep-cli mitigate --counts counts.json --lambda 0.8 --strategy hammer --compare qbeep
 //! qbeep-cli help
 //! ```
 //!
@@ -34,7 +35,10 @@ use std::process::ExitCode;
 use qbeep::bitstring::{BitString, Counts};
 use qbeep::circuit::qasm::from_qasm;
 use qbeep::circuit::Circuit;
-use qbeep::core::{provenance, QBeep, QBeepConfig};
+use qbeep::core::{
+    provenance, MitigationJob, MitigationSession, QBeep, QBeepConfig, StrategyDiagnostics,
+    StrategySpec,
+};
 use qbeep::device::{profiles, Backend};
 use qbeep::sim::{execute_on_device_recorded, EmpiricalConfig};
 use qbeep::telemetry::{ProvenanceManifest, Recorder};
@@ -63,6 +67,8 @@ fn known_flags(command: &str) -> &'static [&'static str] {
             "backend",
             "iterations",
             "epsilon",
+            "strategy",
+            "compare",
         ],
         _ => &[],
     }
@@ -143,6 +149,12 @@ fn long_usage() -> String {
      \x20 --lambda X           skip Eq.-2 estimation, use this rate\n\
      \x20 --iterations N       Algorithm-1 iteration count (default 20)\n\
      \x20 --epsilon X          edge-weight pruning threshold\n\
+     \x20 --strategy NAME      mitigation strategy (default qbeep): qbeep,\n\
+     \x20                      hammer, ibu, binomial, neg-binomial, uniform,\n\
+     \x20                      identity\n\
+     \x20 --compare NAMES      also run these comma-separated strategies and\n\
+     \x20                      summarize them on stderr, e.g.\n\
+     \x20                      --strategy hammer --compare qbeep\n\
      \x20 --telemetry[=FORMAT] print a run report to stderr; FORMAT is\n\
      \x20                      `table` (default) or `json`. The env var\n\
      \x20                      QBEEP_TELEMETRY=json|table does the same.\n\
@@ -403,20 +415,67 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     obs.finish(Some(manifest))
 }
 
+/// The strategy names one `mitigate` invocation should run: the
+/// `--strategy` primary (default `qbeep`) first, then every
+/// deduplicated `--compare` entry.
+fn strategy_names(flags: &BTreeMap<String, String>) -> (String, Vec<String>) {
+    let primary = flags
+        .get("strategy")
+        .cloned()
+        .unwrap_or_else(|| "qbeep".to_string());
+    let mut names = vec![primary.clone()];
+    if let Some(compare) = flags.get("compare") {
+        for name in compare.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            if !names.iter().any(|n| n == name) {
+                names.push(name.to_string());
+            }
+        }
+    }
+    (primary, names)
+}
+
+/// One stderr summary line per strategy outcome.
+fn describe_outcome(outcome: &qbeep::core::MitigationOutcome) -> String {
+    match &outcome.diagnostics {
+        StrategyDiagnostics::Graph(d) => {
+            let lambda = outcome
+                .lambda
+                .map_or_else(|| "-".to_string(), |l| format!("{l:.4}"));
+            format!(
+                "λ = {lambda}, state graph {} vertices / {} edges",
+                d.vertices, d.edges
+            )
+        }
+        StrategyDiagnostics::Hammer {
+            support,
+            max_distance,
+            decay,
+        } => format!("{support} outcomes, neighbourhood ≤ {max_distance}, decay {decay}"),
+        StrategyDiagnostics::Readout {
+            iterations,
+            support,
+        } => format!("{iterations} EM iterations over {support} outcomes"),
+        StrategyDiagnostics::None => "raw empirical distribution".to_string(),
+    }
+}
+
 fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let counts = load_counts(flags)?;
     let config = config_from_flags(flags)?;
     let obs = Observability::from_flags(flags)?;
-    let engine = QBeep::new(config).with_recorder(obs.recorder().clone());
-    let (result, manifest) = if let Some(lambda) = flags.get("lambda") {
+    let (primary, names) = strategy_names(flags);
+
+    // Per-job context: an explicit λ wins; otherwise the transpiled
+    // circuit and backend feed Eq.-2 estimation inside the session.
+    let mut job = MitigationJob::new("cli", counts);
+    let mut session_backend = None;
+    let mut manifest = provenance::manifest(&config, None, None, None);
+    if let Some(lambda) = flags.get("lambda") {
         let lambda: f64 = lambda
             .parse()
             .map_err(|_| format!("bad --lambda '{lambda}'"))?;
-        (
-            engine.mitigate_with_lambda(&counts, lambda),
-            provenance::manifest(&config, None, None, None),
-        )
-    } else {
+        job = job.with_lambda(lambda);
+    } else if flags.contains_key("backend") || flags.contains_key("qasm") {
         let backend = load_backend(flags).map_err(|e| {
             format!("{e} (λ estimation needs --qasm and --backend, or pass --lambda)")
         })?;
@@ -424,16 +483,51 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
         let t = Transpiler::new(&backend)
             .transpile_recorded(&circuit, obs.recorder())
             .map_err(|e| e.to_string())?;
-        (
-            engine.mitigate_run(&counts, &t, &backend),
-            provenance::manifest(&config, Some(&backend), Some(&t), None),
-        )
-    };
-    eprintln!(
-        "// λ = {:.4}, state graph {} vertices / {} edges",
-        result.lambda, result.graph_size.0, result.graph_size.1
-    );
-    println!("{}", counts_to_json(&result.mitigated.sorted_by_prob()));
+        manifest = provenance::manifest(&config, Some(&backend), Some(&t), None);
+        job = job.with_transpiled(t);
+        session_backend = Some(backend);
+    }
+
+    let mut session = match session_backend {
+        Some(backend) => MitigationSession::on_backend(backend),
+        None => MitigationSession::new(),
+    }
+    .with_recorder(obs.recorder().clone());
+    for name in &names {
+        let spec = StrategySpec {
+            name: name.clone(),
+            iterations: flags
+                .get("iterations")
+                .map(|s| s.parse().map_err(|_| format!("bad --iterations '{s}'")))
+                .transpose()?,
+            epsilon: flags
+                .get("epsilon")
+                .map(|s| s.parse().map_err(|_| format!("bad --epsilon '{s}'")))
+                .transpose()?,
+            ..StrategySpec::default()
+        };
+        session
+            .add_strategy_spec(&spec)
+            .map_err(|e| format!("{e}; run `qbeep-cli --help` for the flag list"))?;
+    }
+    session.add_job(job);
+
+    let report = session
+        .run()
+        .map_err(|e| format!("{e} (pass --lambda, or --qasm with --backend)"))?;
+    let outcome = report
+        .outcome("cli", &primary)
+        .expect("primary strategy ran");
+    eprintln!("// {}", describe_outcome(outcome));
+    for name in names.iter().filter(|n| **n != primary) {
+        let other = report.outcome("cli", name).expect("compare strategy ran");
+        eprintln!(
+            "// {name}: {}, Δtv vs {primary} = {:.4}",
+            describe_outcome(other),
+            other.mitigated.total_variation(&outcome.mitigated),
+        );
+    }
+    println!("{}", counts_to_json(&outcome.mitigated.sorted_by_prob()));
     obs.finish(Some(manifest))
 }
 
