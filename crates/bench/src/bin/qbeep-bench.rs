@@ -33,6 +33,7 @@ USAGE:
     qbeep-bench hotpath  [--out FILE] [--trace FILE]
     qbeep-bench baseline [--from FILE] [--out FILE] [--threshold X]
     qbeep-bench compare  [--baseline FILE] [--current FILE] [--threshold X] [--warn-only]
+    qbeep-bench faultcheck [--spec SPEC] [--seed N]
     qbeep-bench help
 
 SUBCOMMANDS:
@@ -49,6 +50,13 @@ SUBCOMMANDS:
               Exits 1 when any watched span regressed past the
               threshold or went missing; --warn-only reports but
               exits 0. --threshold overrides the stored threshold.
+    faultcheck
+              Robustness gate (needs a build with --features
+              fault-injection): run an 8-job batch once fault-free
+              and once with --spec faults armed (default panics at
+              jobs 2 and 5), then require every surviving job to be
+              bit-identical across the two runs. Exits 1 on any
+              divergence.
 
 Workload size follows QBEEP_SCALE (smoke / default / full).
 ";
@@ -63,6 +71,7 @@ fn main() -> ExitCode {
         "hotpath" => cmd_hotpath(&args[1..]),
         "baseline" => cmd_baseline(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
+        "faultcheck" => cmd_faultcheck(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -215,6 +224,93 @@ fn synth_counts(target_nodes: usize, seed: u64) -> Counts {
     let mut rng = StdRng::seed_from_u64(seed);
     let shots = (target_nodes as u64) * 4;
     channel.run(shots.max(10), &mut rng)
+}
+
+fn cmd_faultcheck(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["spec", "seed"], &[])?;
+    if !qbeep_core::faults::enabled() {
+        return Err(
+            "this build lacks the fault-injection feature; rebuild with \
+             `cargo build --features fault-injection`"
+                .to_string(),
+        );
+    }
+    let spec = flags
+        .values
+        .get("spec")
+        .cloned()
+        .unwrap_or_else(|| "session:panic@2;session:panic@5".to_string());
+    let seed = flags
+        .values
+        .get("seed")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("bad seed '{raw}' (want an unsigned integer)"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let injector =
+        qbeep_core::faults::FaultInjector::with_seed(&spec, seed).map_err(|e| e.to_string())?;
+
+    let scale = Scale::from_env();
+    let nodes = scale.pick(40, 120, 400);
+    let build = || -> Result<MitigationSession, String> {
+        let mut session = MitigationSession::new();
+        session
+            .add_strategy_by_name("qbeep")
+            .map_err(|e| e.to_string())?;
+        for i in 0..8u64 {
+            let counts = synth_counts(nodes, BASE_SEED + i);
+            session.add_job(MitigationJob::new(format!("job{i}"), counts).with_lambda(1.8));
+        }
+        Ok(session)
+    };
+
+    qbeep_core::faults::clear();
+    let clean = build()?
+        .run()
+        .map_err(|e| format!("fault-free run failed: {e}"))?;
+
+    qbeep_core::faults::install(injector);
+    let faulted = build()?
+        .run_isolated()
+        .map_err(|e| format!("faulted run failed: {e}"))?;
+    qbeep_core::faults::clear();
+
+    for failure in &faulted.failures {
+        eprintln!(
+            "// faultcheck: job '{}' quarantined: {}",
+            failure.label, failure.error
+        );
+    }
+    let mut mismatches = 0usize;
+    for job in &faulted.jobs {
+        for outcome in &job.outcomes {
+            let reference = clean
+                .outcome(&job.label, &outcome.strategy)
+                .ok_or_else(|| format!("job '{}' missing from the fault-free run", job.label))?;
+            if outcome.mitigated != reference.mitigated {
+                eprintln!(
+                    "// MISMATCH: {}/{} diverged from the fault-free run",
+                    job.label, outcome.strategy
+                );
+                mismatches += 1;
+            }
+        }
+    }
+    eprintln!(
+        "// faultcheck: spec '{spec}' seed {seed}: {} of 8 jobs quarantined, \
+         {} survived, {} mismatches",
+        faulted.stats.failed_jobs,
+        faulted.jobs.len(),
+        mismatches
+    );
+    if mismatches == 0 && faulted.stats.failed_jobs + faulted.jobs.len() == 8 {
+        eprintln!("// faultcheck: PASS — survivors bit-identical to the fault-free run");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 fn cmd_baseline(args: &[String]) -> Result<ExitCode, String> {

@@ -6,7 +6,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{BitString, Counts, HammingSpectrum};
+use crate::{BitString, Counts, HammingSpectrum, ZeroMassError};
 
 /// A probability distribution over `width`-bit outcomes.
 ///
@@ -43,6 +43,30 @@ impl Distribution {
     /// width differs from `width`, or if the total weight is zero.
     #[must_use]
     pub fn from_probs<I: IntoIterator<Item = (BitString, f64)>>(width: usize, weights: I) -> Self {
+        match Self::try_from_probs(width, weights) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`from_probs`](Self::from_probs), but a zero total weight is
+    /// a recoverable [`ZeroMassError`] instead of a panic — the shape
+    /// the mitigation pipeline needs when degenerate inputs (empty or
+    /// all-zero counts) are expected traffic rather than programmer
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`ZeroMassError`] when the weights sum to zero.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on negative/non-finite weights or width
+    /// mismatches: those are malformed inputs, not degenerate ones.
+    pub fn try_from_probs<I: IntoIterator<Item = (BitString, f64)>>(
+        width: usize,
+        weights: I,
+    ) -> Result<Self, ZeroMassError> {
         let mut probs: HashMap<BitString, f64> = HashMap::new();
         let mut total = 0.0;
         for (s, w) in weights {
@@ -61,10 +85,9 @@ impl Distribution {
                 total += w;
             }
         }
-        assert!(
-            total > 0.0,
-            "cannot normalise a distribution with zero total mass"
-        );
+        if total <= 0.0 {
+            return Err(ZeroMassError);
+        }
         // Re-accumulate the normaliser in bit-string order: float
         // addition is order-sensitive in the last ulp, and the map's
         // iteration order varies with the per-process hash seed, so
@@ -76,7 +99,7 @@ impl Distribution {
         for p in probs.values_mut() {
             *p /= total;
         }
-        Self { width, probs }
+        Ok(Self { width, probs })
     }
 
     /// The distribution placing all mass on a single outcome.

@@ -1,7 +1,22 @@
-//! Error types for bit-string parsing.
+//! Error types for bit-string parsing and distribution construction.
 
 use std::error::Error;
 use std::fmt;
+
+/// Error returned when a distribution or spectrum cannot be normalised
+/// because the supplied weights sum to zero (empty input, or every
+/// weight zero). Callers on the mitigation path map this to their own
+/// empty-counts error instead of dividing by zero and spreading NaNs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroMassError;
+
+impl fmt::Display for ZeroMassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot normalise a distribution with zero total mass")
+    }
+}
+
+impl Error for ZeroMassError {}
 
 /// Error returned when parsing a [`BitString`](crate::BitString) from text.
 #[derive(Debug, Clone, PartialEq, Eq)]

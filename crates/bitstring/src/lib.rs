@@ -53,5 +53,5 @@ pub mod stats;
 pub use bitstring::{BitString, HammingBallIter, MAX_BITS};
 pub use counts::Counts;
 pub use dist::Distribution;
-pub use error::ParseBitStringError;
+pub use error::{ParseBitStringError, ZeroMassError};
 pub use spectrum::HammingSpectrum;

@@ -93,6 +93,27 @@ impl HammingSpectrum {
     /// entry is negative/non-finite, or the total is zero.
     #[must_use]
     pub fn from_masses(reference: BitString, masses: &[f64]) -> Self {
+        match Self::try_from_masses(reference, masses) {
+            Ok(s) => s,
+            Err(_) => panic!("spectrum has zero total mass"),
+        }
+    }
+
+    /// As [`from_masses`](Self::from_masses), but a zero total mass is
+    /// a recoverable [`ZeroMassError`](crate::ZeroMassError) instead
+    /// of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ZeroMassError`] when the masses sum to zero.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on too many buckets or negative/non-finite masses.
+    pub fn try_from_masses(
+        reference: BitString,
+        masses: &[f64],
+    ) -> Result<Self, crate::ZeroMassError> {
         assert!(
             masses.len() <= reference.len() + 1,
             "{} masses exceed the {} buckets of a {}-bit spectrum",
@@ -110,11 +131,13 @@ impl HammingSpectrum {
             mass[k] = m;
             total += m;
         }
-        assert!(total > 0.0, "spectrum has zero total mass");
+        if total <= 0.0 {
+            return Err(crate::ZeroMassError);
+        }
         for m in &mut mass {
             *m /= total;
         }
-        Self { reference, mass }
+        Ok(Self { reference, mass })
     }
 
     /// The reference (center) bit-string.

@@ -59,6 +59,16 @@ pub struct QBeepConfig {
     /// Whether to apply the overflow renormalisation constraint
     /// (`outflow ≤ count + inflow`); ablation knob, on in the paper.
     pub overflow_renormalisation: bool,
+    /// Watchdog: hard cap on iterations regardless of `iterations`
+    /// (`None` = no extra cap). When the cap bites, the run degrades
+    /// to the best state reached so far instead of erroring.
+    #[serde(default)]
+    pub max_iters: Option<usize>,
+    /// Watchdog: wall-clock budget for the iteration loop, in ms
+    /// (`None` = unbounded). On expiry the run degrades to the best
+    /// state reached so far.
+    #[serde(default)]
+    pub time_budget_ms: Option<u64>,
 }
 
 impl Default for QBeepConfig {
@@ -69,6 +79,8 @@ impl Default for QBeepConfig {
             learning_rate: LearningRate::Dampened,
             kernel: Kernel::Poisson,
             overflow_renormalisation: true,
+            max_iters: None,
+            time_budget_ms: None,
         }
     }
 }
@@ -101,6 +113,11 @@ impl QBeepConfig {
                     "constant learning rate must be positive".to_string(),
                 ));
             }
+        }
+        if self.max_iters == Some(0) {
+            return Err(MitigationError::InvalidConfig(
+                "max_iters cap must allow at least one iteration".to_string(),
+            ));
         }
         Ok(())
     }
@@ -144,6 +161,24 @@ mod tests {
         .validate()
         .unwrap_err();
         assert!(err.to_string().contains("at least one iteration"), "{err}");
+    }
+
+    #[test]
+    fn zero_max_iters_cap_invalid() {
+        let err = QBeepConfig {
+            max_iters: Some(0),
+            ..QBeepConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("max_iters"), "{err}");
+        QBeepConfig {
+            max_iters: Some(1),
+            time_budget_ms: Some(5),
+            ..QBeepConfig::default()
+        }
+        .validate()
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! The mitigation pipeline promises to degrade gracefully — structured
+//! [`MitigationError`](crate::MitigationError)s and `degraded`
+//! outcomes, never a process abort. That promise is only worth
+//! something if it is exercised, so this module plants named *fault
+//! sites* along the ingest→mitigate path (calibration load,
+//! transpilation, simulator sampling, λ estimation, graph iteration,
+//! session job dispatch) at which failures can be injected on demand:
+//! NaN/Inf poisoning, emptied or truncated counts tables, zeroed
+//! T1/T2, missing qubits, artificial latency, and outright panics.
+//!
+//! Injection is compiled out unless the `fault-injection` cargo
+//! feature is enabled: without it, [`fire`] is a constant `None` the
+//! optimiser deletes, so production builds carry no overhead and no
+//! foot-gun. With the feature on, faults are armed either
+//! programmatically ([`install`]) or from the environment
+//! ([`init_from_env`], reading `QBEEP_FAULTS`).
+//!
+//! # Spec grammar
+//!
+//! A fault spec is a semicolon-separated list of `site:kind` clauses,
+//! each optionally tagged with a selector:
+//!
+//! ```text
+//! spec     := clause (';' clause)*
+//! clause   := site ':' kind selector?
+//! site     := calibration | transpile | sampling | lambda | graph | session
+//! kind     := nan | inf | empty-counts | truncate=N | zero-t1t2
+//!           | missing-qubit | latency=MS | panic
+//! selector := '@' N        -- only the N-th visit to the site (0-based)
+//!           | '@' N '..'   -- the N-th visit and every one after
+//!           | '@p=' P      -- each visit independently with probability P
+//! ```
+//!
+//! Without a selector the clause fires on every visit. Probabilistic
+//! selectors draw from a [SplitMix64] stream seeded by
+//! `QBEEP_FAULT_SEED` (default 0), so a `(spec, seed)` pair replays
+//! bit-identically — the point of the exercise is *deterministic*
+//! chaos.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Example
+//!
+//! ```
+//! use qbeep_core::faults::{FaultInjector, FaultKind, FaultSite};
+//!
+//! let inj: FaultInjector = "lambda:nan;session:panic@1".parse().unwrap();
+//! assert_eq!(inj.clauses(), 2);
+//! // Armed injectors only fire when the `fault-injection` feature is
+//! // compiled in; parsing and installation always work.
+//! qbeep_core::faults::install(inj);
+//! assert!(qbeep_core::faults::fire(FaultSite::Transpile).is_none());
+//! qbeep_core::faults::clear();
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::str::FromStr;
+
+use qbeep_telemetry::{EventLevel, Recorder};
+
+/// A named point on the ingest→mitigate path where faults can be
+/// injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Loading/assembling the backend calibration snapshot.
+    CalibrationLoad,
+    /// Transpiling the logical circuit onto the backend.
+    Transpile,
+    /// Drawing shots from the simulator.
+    SimSampling,
+    /// Estimating λ from the calibration (Eq. 2).
+    LambdaEstimate,
+    /// One pass of the state-graph iteration loop.
+    GraphIterate,
+    /// Dispatching one job inside a [`crate::MitigationSession`].
+    SessionDispatch,
+}
+
+impl FaultSite {
+    /// The spec-grammar name of this site.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::CalibrationLoad => "calibration",
+            Self::Transpile => "transpile",
+            Self::SimSampling => "sampling",
+            Self::LambdaEstimate => "lambda",
+            Self::GraphIterate => "graph",
+            Self::SessionDispatch => "session",
+        }
+    }
+
+    /// All sites, in spec-grammar order.
+    #[must_use]
+    pub fn all() -> [FaultSite; 6] {
+        [
+            Self::CalibrationLoad,
+            Self::Transpile,
+            Self::SimSampling,
+            Self::LambdaEstimate,
+            Self::GraphIterate,
+            Self::SessionDispatch,
+        ]
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Self::all().into_iter().find(|site| site.name() == s)
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Poison a floating-point value with NaN.
+    PoisonNan,
+    /// Poison a floating-point value with +∞.
+    PoisonInf,
+    /// Replace the counts table with an empty one.
+    EmptyCounts,
+    /// Keep only the `N` most-counted outcomes.
+    TruncateCounts(usize),
+    /// Zero out T1/T2 in the calibration snapshot.
+    ZeroT1T2,
+    /// Drop a qubit's calibration entry entirely.
+    MissingQubit,
+    /// Stall the site for the given number of milliseconds. Handled
+    /// inside [`fire_recorded`] (the site never sees it).
+    LatencyMs(u64),
+    /// Panic outright, exercising unwind isolation.
+    Panic,
+}
+
+impl FaultKind {
+    /// The spec-grammar name of this kind (without any `=N` payload).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::PoisonNan => "nan",
+            Self::PoisonInf => "inf",
+            Self::EmptyCounts => "empty-counts",
+            Self::TruncateCounts(_) => "truncate",
+            Self::ZeroT1T2 => "zero-t1t2",
+            Self::MissingQubit => "missing-qubit",
+            Self::LatencyMs(_) => "latency",
+            Self::Panic => "panic",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, FaultSpecError> {
+        let bad = |what: &str| FaultSpecError::new(format!("{what} in fault kind '{s}'"));
+        if let Some(n) = s.strip_prefix("truncate=") {
+            return n
+                .parse()
+                .map(Self::TruncateCounts)
+                .map_err(|_| bad("bad count"));
+        }
+        if let Some(ms) = s.strip_prefix("latency=") {
+            return ms.parse().map(Self::LatencyMs).map_err(|_| bad("bad ms"));
+        }
+        match s {
+            "nan" => Ok(Self::PoisonNan),
+            "inf" => Ok(Self::PoisonInf),
+            "empty-counts" => Ok(Self::EmptyCounts),
+            "zero-t1t2" => Ok(Self::ZeroT1T2),
+            "missing-qubit" => Ok(Self::MissingQubit),
+            "panic" => Ok(Self::Panic),
+            _ => Err(bad("unknown kind")),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TruncateCounts(n) => write!(f, "truncate={n}"),
+            Self::LatencyMs(ms) => write!(f, "latency={ms}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Which visits to a site a clause fires on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HitFilter {
+    /// Every visit.
+    Always,
+    /// Only the n-th visit (0-based).
+    Nth(u64),
+    /// The n-th visit and every one after.
+    From(u64),
+    /// Each visit independently with this probability.
+    Prob(f64),
+}
+
+impl HitFilter {
+    fn parse(s: &str) -> Result<Self, FaultSpecError> {
+        let bad = |msg: &str| FaultSpecError::new(format!("{msg} in selector '@{s}'"));
+        if let Some(p) = s.strip_prefix("p=") {
+            let p: f64 = p.parse().map_err(|_| bad("bad probability"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(bad("probability outside [0, 1]"));
+            }
+            return Ok(Self::Prob(p));
+        }
+        if let Some(n) = s.strip_suffix("..") {
+            return n.parse().map(Self::From).map_err(|_| bad("bad index"));
+        }
+        s.parse().map(Self::Nth).map_err(|_| bad("bad index"))
+    }
+
+    fn hits(self, visit: u64, rng: &mut SplitMix64) -> bool {
+        match self {
+            Self::Always => true,
+            Self::Nth(n) => visit == n,
+            Self::From(n) => visit >= n,
+            // Draw unconditionally so the stream position depends only
+            // on the visit sequence, not on prior outcomes.
+            Self::Prob(p) => rng.next_f64() < p,
+        }
+    }
+}
+
+/// One armed `site:kind@selector` clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FaultClause {
+    site: FaultSite,
+    kind: FaultKind,
+    filter: HitFilter,
+}
+
+impl FaultClause {
+    fn parse(s: &str) -> Result<Self, FaultSpecError> {
+        let (head, selector) = match s.split_once('@') {
+            Some((head, sel)) => (head, Some(sel)),
+            None => (s, None),
+        };
+        let (site, kind) = head
+            .split_once(':')
+            .ok_or_else(|| FaultSpecError::new(format!("clause '{s}' is not site:kind")))?;
+        let site = FaultSite::parse(site.trim())
+            .ok_or_else(|| FaultSpecError::new(format!("unknown fault site '{site}'")))?;
+        let kind = FaultKind::parse(kind.trim())?;
+        let filter = match selector {
+            Some(sel) => HitFilter::parse(sel.trim())?,
+            None => HitFilter::Always,
+        };
+        Ok(Self { site, kind, filter })
+    }
+}
+
+/// A malformed fault spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    message: String,
+}
+
+impl FaultSpecError {
+    fn new(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// The SplitMix64 generator (public-domain reference constants); core
+/// takes no RNG dependency, and two multiplies plus shifts are plenty
+/// for choosing which visit a probabilistic fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A parsed, seeded set of fault clauses, tracking per-site visit
+/// counts. Install one with [`install`] (or [`init_from_env`]) to arm
+/// it for the current thread.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    clauses: Vec<FaultClause>,
+    rng: SplitMix64,
+    visits: [u64; 6],
+}
+
+impl FaultInjector {
+    /// Parses `spec` with an explicit seed for probabilistic
+    /// selectors.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultSpecError`] when the spec does not match the grammar.
+    pub fn with_seed(spec: &str, seed: u64) -> Result<Self, FaultSpecError> {
+        let clauses = spec
+            .split(';')
+            .map(str::trim)
+            .filter(|c| !c.is_empty())
+            .map(FaultClause::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            clauses,
+            rng: SplitMix64::new(seed),
+            visits: [0; 6],
+        })
+    }
+
+    /// Number of armed clauses.
+    #[must_use]
+    pub fn clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Registers a visit to `site` and returns the fault to inject
+    /// there, if any clause fires. The first matching clause wins.
+    pub fn visit(&mut self, site: FaultSite) -> Option<FaultKind> {
+        let slot = FaultSite::all().iter().position(|s| *s == site)?;
+        let visit = self.visits[slot];
+        self.visits[slot] += 1;
+        let mut fired = None;
+        for clause in &self.clauses {
+            if clause.site != site {
+                continue;
+            }
+            // Evaluate every matching filter so the RNG stream stays a
+            // pure function of the visit sequence.
+            if clause.filter.hits(visit, &mut self.rng) && fired.is_none() {
+                fired = Some(clause.kind);
+            }
+        }
+        fired
+    }
+}
+
+impl FromStr for FaultInjector {
+    type Err = FaultSpecError;
+
+    /// Parses with seed 0 (see [`FaultInjector::with_seed`]).
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        Self::with_seed(spec, 0)
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<FaultInjector>> = const { RefCell::new(None) };
+}
+
+/// Whether fault injection is compiled into this build.
+#[must_use]
+pub fn enabled() -> bool {
+    cfg!(feature = "fault-injection")
+}
+
+/// Arms `injector` for the current thread (replacing any previous
+/// one). Harmless without the `fault-injection` feature: the injector
+/// is stored but [`fire`] stays inert.
+pub fn install(injector: FaultInjector) {
+    ACTIVE.with(|a| *a.borrow_mut() = Some(injector));
+}
+
+/// Disarms the current thread's injector.
+pub fn clear() {
+    ACTIVE.with(|a| *a.borrow_mut() = None);
+}
+
+/// Arms an injector from `QBEEP_FAULTS` / `QBEEP_FAULT_SEED` in the
+/// environment. Returns how many clauses were armed (0 when the
+/// variable is unset or empty).
+///
+/// # Errors
+///
+/// [`FaultSpecError`] when `QBEEP_FAULTS` is set but malformed (a bad
+/// `QBEEP_FAULT_SEED` silently falls back to 0 — the seed only picks
+/// *which* visits probabilistic clauses hit).
+pub fn init_from_env() -> Result<usize, FaultSpecError> {
+    let Ok(spec) = std::env::var("QBEEP_FAULTS") else {
+        return Ok(0);
+    };
+    if spec.trim().is_empty() {
+        return Ok(0);
+    }
+    let seed = std::env::var("QBEEP_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let injector = FaultInjector::with_seed(&spec, seed)?;
+    let clauses = injector.clauses();
+    install(injector);
+    Ok(clauses)
+}
+
+/// Consults the armed injector for a fault at `site`.
+///
+/// Always `None` unless the `fault-injection` feature is compiled in
+/// — the visit is not even counted, so production code paths pay one
+/// constant branch.
+#[must_use]
+pub fn fire(site: FaultSite) -> Option<FaultKind> {
+    if !cfg!(feature = "fault-injection") {
+        return None;
+    }
+    ACTIVE.with(|a| a.borrow_mut().as_mut().and_then(|inj| inj.visit(site)))
+}
+
+/// As [`fire`], but records each injected fault as a `fault.injected`
+/// warning event on `recorder` and handles [`FaultKind::LatencyMs`]
+/// in place (sleeps, then reports no fault to the caller — latency is
+/// a delay, not a behaviour change the site must emulate).
+#[must_use]
+pub fn fire_recorded(site: FaultSite, recorder: &Recorder) -> Option<FaultKind> {
+    let kind = fire(site)?;
+    recorder.event(
+        EventLevel::Warn,
+        "fault.injected",
+        &[
+            ("site", site.name().to_string()),
+            ("kind", kind.to_string()),
+        ],
+    );
+    if let FaultKind::LatencyMs(ms) = kind {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        return None;
+    }
+    Some(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_site_and_kind() {
+        let spec = "calibration:zero-t1t2;transpile:panic;sampling:empty-counts;\
+                    lambda:nan;graph:inf;session:truncate=3;session:latency=5;\
+                    calibration:missing-qubit";
+        let inj: FaultInjector = spec.parse().unwrap();
+        assert_eq!(inj.clauses(), 8);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "lambda",                // no kind
+            "warp:nan",              // unknown site
+            "lambda:frobnicate",     // unknown kind
+            "session:truncate=lots", // bad payload
+            "lambda:nan@p=1.5",      // probability out of range
+            "lambda:nan@x",          // bad index
+        ] {
+            assert!(bad.parse::<FaultInjector>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_has_no_clauses() {
+        let inj: FaultInjector = "".parse().unwrap();
+        assert_eq!(inj.clauses(), 0);
+        let inj: FaultInjector = " ; ".parse().unwrap();
+        assert_eq!(inj.clauses(), 0);
+    }
+
+    #[test]
+    fn nth_selector_fires_exactly_once() {
+        let mut inj: FaultInjector = "lambda:nan@2".parse().unwrap();
+        let hits: Vec<bool> = (0..5)
+            .map(|_| inj.visit(FaultSite::LambdaEstimate).is_some())
+            .collect();
+        assert_eq!(hits, [false, false, true, false, false]);
+    }
+
+    #[test]
+    fn from_selector_fires_from_n_on() {
+        let mut inj: FaultInjector = "graph:inf@2..".parse().unwrap();
+        let hits: Vec<bool> = (0..5)
+            .map(|_| inj.visit(FaultSite::GraphIterate).is_some())
+            .collect();
+        assert_eq!(hits, [false, false, true, true, true]);
+    }
+
+    #[test]
+    fn sites_count_visits_independently() {
+        let mut inj: FaultInjector = "lambda:nan@0;session:panic@0".parse().unwrap();
+        // A lambda visit must not consume the session clause's slot.
+        assert_eq!(
+            inj.visit(FaultSite::LambdaEstimate),
+            Some(FaultKind::PoisonNan)
+        );
+        assert_eq!(
+            inj.visit(FaultSite::SessionDispatch),
+            Some(FaultKind::Panic)
+        );
+        assert_eq!(inj.visit(FaultSite::SessionDispatch), None);
+    }
+
+    #[test]
+    fn probabilistic_selector_is_seed_deterministic() {
+        let draw = |seed| {
+            let mut inj = FaultInjector::with_seed("sampling:empty-counts@p=0.5", seed).unwrap();
+            (0..32)
+                .map(|_| inj.visit(FaultSite::SimSampling).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8), "different seeds should differ");
+        let hits = draw(7).iter().filter(|h| **h).count();
+        assert!((4..=28).contains(&hits), "p=0.5 over 32 visits hit {hits}");
+    }
+
+    #[test]
+    fn first_matching_clause_wins() {
+        let mut inj: FaultInjector = "lambda:nan;lambda:inf".parse().unwrap();
+        assert_eq!(
+            inj.visit(FaultSite::LambdaEstimate),
+            Some(FaultKind::PoisonNan)
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for kind in [
+            FaultKind::PoisonNan,
+            FaultKind::TruncateCounts(4),
+            FaultKind::LatencyMs(25),
+            FaultKind::Panic,
+        ] {
+            assert_eq!(FaultKind::parse(&kind.to_string()).unwrap(), kind);
+        }
+        for site in FaultSite::all() {
+            assert_eq!(FaultSite::parse(&site.to_string()), Some(site));
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn fire_consults_the_installed_injector() {
+        clear();
+        assert_eq!(fire(FaultSite::Transpile), None);
+        install("transpile:panic@0".parse().unwrap());
+        assert_eq!(fire(FaultSite::Transpile), Some(FaultKind::Panic));
+        assert_eq!(fire(FaultSite::Transpile), None);
+        clear();
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn fire_is_inert_without_the_feature() {
+        install("transpile:panic".parse().unwrap());
+        assert_eq!(fire(FaultSite::Transpile), None);
+        assert!(!enabled());
+        clear();
+    }
+}

@@ -11,10 +11,15 @@
 //! overflow constraint `outflow ≤ count + inflow` and damped by
 //! `η = 1/n`. Total observation count is conserved exactly.
 
+use std::time::{Duration, Instant};
+
 use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_telemetry::Recorder;
 use serde::{Deserialize, Serialize};
 
 use crate::config::QBeepConfig;
+use crate::faults::{self, FaultKind, FaultSite};
+use crate::mitigator::MitigationError;
 use crate::model::WeightLaw;
 use crate::neighbors::NeighborIndex;
 
@@ -24,6 +29,58 @@ use crate::neighbors::NeighborIndex;
 /// *observational only* — the loop still runs its configured length,
 /// so results are bit-identical with diagnostics on or off.
 pub const CONVERGENCE_RTOL: f64 = 1e-6;
+
+/// Divergence threshold for the iteration watchdog: a step whose
+/// largest single-node count change exceeds this multiple of the total
+/// observation count (or goes non-finite) is treated as a blow-up.
+/// Eq.-5 flows are conservative, so a healthy step can never move more
+/// than the total — 10⁶× total only trips on genuinely corrupt state.
+pub const DIVERGENCE_FACTOR: f64 = 1e6;
+
+/// Why a guarded iteration stopped short of its configured run and the
+/// result should be treated as best-effort rather than converged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// A step produced non-finite counts or an exploding delta; the
+    /// graph was rolled back to the state before that step.
+    Diverged {
+        /// The 1-based iteration whose step blew up.
+        iteration: usize,
+        /// The delta that tripped [`DIVERGENCE_FACTOR`] (NaN when the
+        /// counts themselves went non-finite).
+        max_node_delta: f64,
+    },
+    /// The wall-clock budget expired before the configured iterations
+    /// completed; the state reached so far is returned.
+    TimedOut {
+        /// The 1-based iteration that was about to run when the
+        /// budget expired.
+        iteration: usize,
+        /// The configured budget, in ms.
+        budget_ms: u64,
+    },
+    /// The `max_iters` cap stopped the loop before the configured
+    /// iteration count.
+    IterationCapped {
+        /// Iterations actually run (the cap).
+        ran: usize,
+        /// Iterations the config asked for.
+        configured: usize,
+    },
+}
+
+impl Degradation {
+    /// A short machine-friendly tag (`"diverged"`, `"timed_out"`,
+    /// `"iteration_capped"`) for telemetry fields.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Diverged { .. } => "diverged",
+            Self::TimedOut { .. } => "timed_out",
+            Self::IterationCapped { .. } => "iteration_capped",
+        }
+    }
+}
 
 /// What one reclassification step moved (Algorithm 1 observability).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,7 +185,10 @@ impl StateGraph {
             "cannot build a state graph from zero shots"
         );
         assert!(lambda.is_finite() && lambda >= 0.0, "invalid λ {lambda}");
-        let index = NeighborIndex::build(counts).expect("counts checked non-empty");
+        let index = match NeighborIndex::build(counts) {
+            Ok(index) => index,
+            Err(e) => panic!("{e}"),
+        };
         let weights = WeightLaw::from_kernel(config.kernel, lambda).table(counts.width());
         Self::from_index(&index, &weights, config)
     }
@@ -362,6 +422,101 @@ impl StateGraph {
         (trace, diag)
     }
 
+    /// Runs the configured iterations under the config's watchdog
+    /// limits (`max_iters`, `time_budget_ms`) with divergence
+    /// detection, degrading gracefully instead of running away or
+    /// propagating poisoned state.
+    ///
+    /// Before each step the current counts are snapshotted; a step
+    /// that produces non-finite counts or a per-node delta above
+    /// [`DIVERGENCE_FACTOR`] × total is rolled back and the loop stops
+    /// with [`Degradation::Diverged`], leaving the graph at the last
+    /// healthy state. An expired wall-clock budget stops the loop with
+    /// [`Degradation::TimedOut`]; a `max_iters` cap that bites reports
+    /// [`Degradation::IterationCapped`]. With no limits configured and
+    /// no fault injected, the arithmetic — and the returned
+    /// diagnostics — are identical to
+    /// [`iterate_diagnosed`](Self::iterate_diagnosed).
+    ///
+    /// This is also the [`FaultSite::GraphIterate`] injection point:
+    /// an armed `graph:nan`/`graph:inf` fault poisons one node's count
+    /// before a step (exercising the detector), `graph:panic` panics.
+    pub fn iterate_guarded(
+        &mut self,
+        recorder: &Recorder,
+    ) -> (IterationDiagnostics, Option<Degradation>) {
+        let mut diag = IterationDiagnostics::default();
+        let tol = CONVERGENCE_RTOL * self.total.max(1.0);
+        let configured = self.config.iterations;
+        let cap = self
+            .config
+            .max_iters
+            .map_or(configured, |m| m.min(configured));
+        let start = Instant::now();
+        let mut degradation = None;
+        let mut ran = 0usize;
+        for n in 1..=cap {
+            if let Some(ms) = self.config.time_budget_ms {
+                if start.elapsed() >= Duration::from_millis(ms) {
+                    degradation = Some(Degradation::TimedOut {
+                        iteration: n,
+                        budget_ms: ms,
+                    });
+                    break;
+                }
+            }
+            let snapshot: Vec<f64> = self.nodes.iter().map(|node| node.count).collect();
+            match faults::fire_recorded(FaultSite::GraphIterate, recorder) {
+                Some(FaultKind::PoisonNan) => self.poison_one_count(f64::NAN),
+                Some(FaultKind::PoisonInf) => self.poison_one_count(f64::INFINITY),
+                Some(FaultKind::Panic) => panic!("injected panic at graph iteration {n}"),
+                _ => {}
+            }
+            let stats = self.step_with_stats();
+            let unhealthy = !stats.max_node_delta.is_finite()
+                || stats.max_node_delta > DIVERGENCE_FACTOR * self.total.max(1.0)
+                || self.nodes.iter().any(|node| !node.count.is_finite());
+            if unhealthy {
+                for (node, c) in self.nodes.iter_mut().zip(&snapshot) {
+                    node.count = *c;
+                }
+                degradation = Some(Degradation::Diverged {
+                    iteration: n,
+                    max_node_delta: stats.max_node_delta,
+                });
+                break;
+            }
+            ran = n;
+            diag.mass_moved.push(stats.mass_moved);
+            diag.max_node_delta.push(stats.max_node_delta);
+            if diag.converged_at.is_none() && stats.max_node_delta < tol {
+                diag.converged_at = Some(n);
+            }
+        }
+        if degradation.is_none() && cap < configured {
+            degradation = Some(Degradation::IterationCapped {
+                ran: cap,
+                configured,
+            });
+        }
+        // Match iterate_diagnosed on a clean full run (where
+        // ran == configured); report the truncated count otherwise.
+        diag.iterations = if degradation.is_none() {
+            configured
+        } else {
+            ran
+        };
+        diag.total_count = self.nodes.iter().map(|node| node.count).sum();
+        (diag, degradation)
+    }
+
+    /// Poisons the dominant node's count (fault injection only).
+    fn poison_one_count(&mut self, value: f64) {
+        if let Some(node) = self.nodes.first_mut() {
+            node.count = value;
+        }
+    }
+
     /// The current (mitigated) probability distribution.
     ///
     /// # Panics
@@ -376,6 +531,41 @@ impl StateGraph {
                 .iter()
                 .filter(|n| n.count > 0.0)
                 .map(|n| (n.bits, n.count)),
+        )
+    }
+
+    /// As [`distribution`](Self::distribution), but degenerate state
+    /// (no finite positive count left) is a structured error instead
+    /// of a panic. Non-finite counts are excluded rather than allowed
+    /// to poison the normalisation.
+    ///
+    /// # Errors
+    ///
+    /// [`MitigationError::EmptyCounts`] when no node holds finite
+    /// positive mass.
+    pub fn try_distribution(&self) -> Result<Distribution, MitigationError> {
+        Distribution::try_from_probs(
+            self.width,
+            self.nodes
+                .iter()
+                .filter(|n| n.count.is_finite() && n.count > 0.0)
+                .map(|n| (n.bits, n.count)),
+        )
+        .map_err(|_| MitigationError::EmptyCounts)
+    }
+
+    /// The distribution the graph was built from (the frozen initial
+    /// probabilities) — always valid, whatever the iteration loop did
+    /// to the counts. The identity fallback of the degradation
+    /// contract.
+    #[must_use]
+    pub fn initial_distribution(&self) -> Distribution {
+        Distribution::from_probs(
+            self.width,
+            self.nodes
+                .iter()
+                .filter(|n| n.prob > 0.0)
+                .map(|n| (n.bits, n.prob)),
         )
     }
 
@@ -608,5 +798,109 @@ mod tests {
         a.iterate();
         b.iterate();
         assert_eq!(a.distribution(), b.distribution());
+    }
+
+    #[test]
+    fn guarded_iteration_without_limits_matches_diagnosed() {
+        let mut plain = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let mut guarded = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        let da = plain.iterate_diagnosed();
+        let (db, degradation) = guarded.iterate_guarded(&Recorder::disabled());
+        assert_eq!(degradation, None);
+        assert_eq!(da, db);
+        assert_eq!(plain.distribution(), guarded.distribution());
+    }
+
+    #[test]
+    fn max_iters_cap_degrades_to_partial_run() {
+        let cfg = QBeepConfig {
+            max_iters: Some(3),
+            ..QBeepConfig::default()
+        };
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &cfg);
+        let (diag, degradation) = g.iterate_guarded(&Recorder::disabled());
+        assert_eq!(
+            degradation,
+            Some(Degradation::IterationCapped {
+                ran: 3,
+                configured: 20
+            })
+        );
+        assert_eq!(diag.iterations, 3);
+        assert_eq!(diag.mass_moved.len(), 3);
+        // The capped run equals the first 3 steps of an uncapped one.
+        let mut reference = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        for _ in 0..3 {
+            reference.step();
+        }
+        assert_eq!(g.distribution(), reference.distribution());
+    }
+
+    #[test]
+    fn zero_time_budget_times_out_at_the_raw_distribution() {
+        let cfg = QBeepConfig {
+            time_budget_ms: Some(0),
+            ..QBeepConfig::default()
+        };
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &cfg);
+        let (diag, degradation) = g.iterate_guarded(&Recorder::disabled());
+        assert_eq!(
+            degradation,
+            Some(Degradation::TimedOut {
+                iteration: 1,
+                budget_ms: 0
+            })
+        );
+        assert_eq!(diag.iterations, 0);
+        // No step ran: the result matches a freshly built, un-iterated
+        // graph bit for bit.
+        let fresh = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        assert_eq!(g.distribution(), fresh.distribution());
+    }
+
+    #[test]
+    fn poisoned_count_is_detected_and_rolled_back() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        // Simulate what a graph:nan fault does mid-loop, then step.
+        g.step();
+        let healthy = g.distribution();
+        g.poison_one_count(f64::NAN);
+        // Guarded iteration must detect the poison on its next step
+        // and roll back to the pre-step snapshot... but the snapshot
+        // here is taken before the poison is injected by the fault
+        // hook, so emulate the detector directly instead.
+        let snapshot: Vec<f64> = g.nodes.iter().map(|n| n.count).collect();
+        let stats = g.step_with_stats();
+        assert!(!stats.max_node_delta.is_finite() || g.nodes.iter().any(|n| !n.count.is_finite()));
+        for (node, c) in g.nodes.iter_mut().zip(&snapshot) {
+            node.count = *c;
+        }
+        // try_distribution skips the poisoned node instead of
+        // propagating NaN.
+        let recovered = g.try_distribution().unwrap();
+        assert!(recovered.support_size() < healthy.support_size());
+    }
+
+    #[test]
+    fn try_distribution_errors_on_fully_degenerate_state() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        for node in &mut g.nodes {
+            node.count = f64::NAN;
+        }
+        assert_eq!(
+            g.try_distribution().unwrap_err(),
+            MitigationError::EmptyCounts
+        );
+        // The identity fallback still works: frozen probs are intact.
+        let fallback = g.initial_distribution();
+        assert_eq!(fallback, fig5_counts().to_distribution());
+    }
+
+    #[test]
+    fn initial_distribution_is_the_empirical_one() {
+        let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        g.iterate();
+        // Counts moved, but the frozen snapshot has not.
+        assert_eq!(g.initial_distribution(), fig5_counts().to_distribution());
     }
 }

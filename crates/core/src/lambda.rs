@@ -19,6 +19,8 @@ use qbeep_circuit::Gate;
 use qbeep_device::Backend;
 use qbeep_transpile::TranspiledCircuit;
 
+use crate::mitigator::MitigationError;
+
 /// Itemised contributions to λ, useful for ablation studies
 /// (`DESIGN.md` §5) and reporting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +51,24 @@ impl LambdaBreakdown {
 /// from the backend's calibration.
 #[must_use]
 pub fn lambda_breakdown(transpiled: &TranspiledCircuit, backend: &Backend) -> LambdaBreakdown {
+    match try_lambda_breakdown(transpiled, backend) {
+        Ok(b) => b,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// As [`lambda_breakdown`], but a calibration snapshot the estimate
+/// cannot be computed from — a CX instruction on an uncalibrated edge,
+/// or statistics that drive any term non-finite — is a recoverable
+/// [`MitigationError::DegenerateCalibration`] instead of a panic.
+///
+/// # Errors
+///
+/// [`MitigationError::DegenerateCalibration`] as above.
+pub fn try_lambda_breakdown(
+    transpiled: &TranspiledCircuit,
+    backend: &Backend,
+) -> Result<LambdaBreakdown, MitigationError> {
     let cal = backend.calibration();
     let circuit = transpiled.circuit();
     let t_ns = transpiled.duration_ns();
@@ -64,7 +84,12 @@ pub fn lambda_breakdown(transpiled: &TranspiledCircuit, backend: &Backend) -> La
             Gate::RZ(_) => 0.0, // virtual frame change: no physical pulse
             Gate::CX => {
                 cal.cx_gate(qs[0], qs[1])
-                    .expect("transpiled CX acts on a calibrated edge")
+                    .ok_or_else(|| {
+                        MitigationError::DegenerateCalibration(format!(
+                            "transpiled CX acts on uncalibrated edge ({}, {})",
+                            qs[0], qs[1]
+                        ))
+                    })?
                     .error
             }
             _ => cal.sq_gate(qs[0]).error,
@@ -89,12 +114,19 @@ pub fn lambda_breakdown(transpiled: &TranspiledCircuit, backend: &Backend) -> La
         .map(|&q| cal.qubit(q).readout_error)
         .sum();
 
-    LambdaBreakdown {
+    let breakdown = LambdaBreakdown {
         t1_term,
         t2_term,
         gate_term,
         readout_term,
+    };
+    if !breakdown.total().is_finite() {
+        return Err(MitigationError::DegenerateCalibration(format!(
+            "λ terms are non-finite (t1 {t1_term}, t2 {t2_term}, \
+             gate {gate_term}, readout {readout_term})"
+        )));
     }
+    Ok(breakdown)
 }
 
 /// The Eq. 2 λ estimate (the sum of [`lambda_breakdown`]'s terms).

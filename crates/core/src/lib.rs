@@ -76,7 +76,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod faults;
 pub mod graph;
 pub mod hammer;
 pub mod lambda;
@@ -93,6 +95,8 @@ mod config;
 mod pipeline;
 
 pub use config::{Kernel, LearningRate, QBeepConfig};
+pub use faults::{FaultInjector, FaultKind, FaultSite, FaultSpecError};
+pub use graph::Degradation;
 pub use mitigator::{
     HammerStrategy, IbuReadoutStrategy, IdentityStrategy, MitigationError, MitigationOutcome,
     Mitigator, QBeepStrategy, RunContext, SharedTables, SpectrumKind, SpectrumStrategy,
@@ -101,4 +105,6 @@ pub use mitigator::{
 pub use neighbors::NeighborIndex;
 pub use pipeline::{MitigationDiagnostics, MitigationResult, QBeep};
 pub use registry::{StrategyRegistry, StrategySpec};
-pub use session::{JobReport, MitigationJob, MitigationSession, SessionReport, SessionStats};
+pub use session::{
+    JobFailure, JobReport, MitigationJob, MitigationSession, SessionReport, SessionStats,
+};

@@ -30,8 +30,10 @@ use qbeep_transpile::TranspiledCircuit;
 use serde::{Deserialize, Serialize};
 
 use crate::config::QBeepConfig;
+use crate::faults::{self, FaultKind, FaultSite};
+use crate::graph::Degradation;
 use crate::hammer::{hammer_mitigate_indexed, HammerConfig};
-use crate::lambda::lambda_breakdown;
+use crate::lambda::try_lambda_breakdown;
 use crate::model::{mle_neg_binomial, WeightLaw};
 use crate::neighbors::NeighborIndex;
 use crate::pipeline::{MitigationDiagnostics, QBeep};
@@ -67,6 +69,33 @@ pub enum MitigationError {
         /// The names the registry does know.
         known: Vec<String>,
     },
+    /// The calibration snapshot is too damaged to estimate λ from
+    /// (non-finite terms, missing gate entries).
+    DegenerateCalibration(String),
+    /// The state-graph iteration blew up (non-finite counts or an
+    /// exploding per-node delta) and no usable earlier state existed.
+    Diverged {
+        /// The 1-based iteration at which divergence was detected.
+        iteration: usize,
+        /// The per-node delta that tripped the detector.
+        max_node_delta: f64,
+    },
+    /// The iteration loop exhausted its wall-clock budget before
+    /// reaching a usable state.
+    Timeout {
+        /// The 1-based iteration at which the budget expired.
+        iteration: usize,
+        /// The configured budget, in ms.
+        budget_ms: u64,
+    },
+    /// A session job panicked; the panic was caught at the job
+    /// boundary and the remaining jobs ran to completion.
+    JobPanicked {
+        /// The label of the job that panicked.
+        job: String,
+        /// The panic payload, when it was a string.
+        payload: String,
+    },
 }
 
 impl fmt::Display for MitigationError {
@@ -86,6 +115,32 @@ impl fmt::Display for MitigationError {
             }
             Self::UnknownStrategy { name, known } => {
                 write!(f, "unknown strategy '{name}' (known: {})", known.join(", "))
+            }
+            Self::DegenerateCalibration(msg) => {
+                write!(f, "calibration too degenerate to use: {msg}")
+            }
+            Self::Diverged {
+                iteration,
+                max_node_delta,
+            } => {
+                write!(
+                    f,
+                    "graph iteration diverged at iteration {iteration} \
+                     (max node delta {max_node_delta})"
+                )
+            }
+            Self::Timeout {
+                iteration,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "graph iteration exceeded its {budget_ms} ms budget \
+                     at iteration {iteration}"
+                )
+            }
+            Self::JobPanicked { job, payload } => {
+                write!(f, "job '{job}' panicked: {payload}")
             }
         }
     }
@@ -249,10 +304,16 @@ impl<'a> RunContext<'a> {
         }
         match (self.transpiled, self.backend) {
             (Some(transpiled), Some(backend)) => {
-                let breakdown = {
+                let mut breakdown = {
                     let _span = self.recorder.span("lambda_estimate");
-                    lambda_breakdown(transpiled, backend)
+                    try_lambda_breakdown(transpiled, backend)?
                 };
+                match faults::fire_recorded(FaultSite::LambdaEstimate, &self.recorder) {
+                    Some(FaultKind::PoisonNan) => breakdown.gate_term = f64::NAN,
+                    Some(FaultKind::PoisonInf) => breakdown.gate_term = f64::INFINITY,
+                    Some(FaultKind::Panic) => panic!("injected panic at λ estimation"),
+                    _ => {}
+                }
                 if self.recorder.is_enabled() {
                     self.recorder.gauge("lambda.t1_term", breakdown.t1_term);
                     self.recorder.gauge("lambda.t2_term", breakdown.t2_term);
@@ -261,7 +322,15 @@ impl<'a> RunContext<'a> {
                         .gauge("lambda.readout_term", breakdown.readout_term);
                     self.recorder.gauge("lambda.total", breakdown.total());
                 }
-                Ok(breakdown.total())
+                let total = breakdown.total();
+                // Eq.-2 over a sanitized snapshot is finite, but the
+                // estimate still crosses this seam after fault
+                // injection (or a hand-built breakdown): never hand a
+                // poisoned λ to the graph.
+                if !total.is_finite() || total < 0.0 {
+                    return Err(MitigationError::InvalidLambda(total));
+                }
+                Ok(total)
             }
             _ => Err(MitigationError::MissingContext {
                 strategy: strategy.to_string(),
@@ -336,6 +405,11 @@ pub struct MitigationOutcome {
     pub lambda: Option<f64>,
     /// What the strategy has to say about how it went.
     pub diagnostics: StrategyDiagnostics,
+    /// True when a watchdog cut the run short and `mitigated` is a
+    /// best-effort (or identity) result rather than a full run.
+    pub degraded: bool,
+    /// Why the run degraded, when it did.
+    pub degradation: Option<Degradation>,
 }
 
 /// A counts-in/distribution-out mitigation strategy.
@@ -374,12 +448,15 @@ fn graph_outcome(
     let index = ctx.neighbor_index(counts)?;
     let weights = ctx.weight_table(law, index.width());
     let engine = QBeep::new(config).with_recorder(ctx.recorder().clone());
-    let result = engine.mitigate_prepared(&index, &weights, lambda.unwrap_or(0.0));
+    let (result, degradation) =
+        engine.mitigate_prepared_guarded(&index, &weights, lambda.unwrap_or(0.0));
     Ok(MitigationOutcome {
         strategy: name.to_string(),
         mitigated: result.mitigated,
         lambda,
         diagnostics: StrategyDiagnostics::Graph(result.diagnostics),
+        degraded: degradation.is_some(),
+        degradation,
     })
 }
 
@@ -503,7 +580,9 @@ impl Mitigator for SpectrumStrategy {
             }
             SpectrumKind::NegBinomial => {
                 let lambda = ctx.resolve_lambda(self.name())?;
-                let mode = counts.mode().expect("non-empty counts");
+                let Some(mode) = counts.mode() else {
+                    return Err(MitigationError::EmptyCounts);
+                };
                 let spectrum = counts.to_distribution().hamming_spectrum(&mode);
                 let (_, iod) = mle_neg_binomial(&spectrum);
                 (WeightLaw::NegBinomial { mean: lambda, iod }, Some(lambda))
@@ -558,6 +637,8 @@ impl Mitigator for HammerStrategy {
                 max_distance: self.config.max_distance,
                 decay: self.config.decay,
             },
+            degraded: false,
+            degradation: None,
         })
     }
 }
@@ -652,6 +733,8 @@ impl Mitigator for IbuReadoutStrategy {
                 iterations: self.iterations,
                 support: counts.distinct(),
             },
+            degraded: false,
+            degradation: None,
         })
     }
 }
@@ -679,6 +762,8 @@ impl Mitigator for IdentityStrategy {
             mitigated: counts.to_distribution(),
             lambda: None,
             diagnostics: StrategyDiagnostics::None,
+            degraded: false,
+            degradation: None,
         })
     }
 }

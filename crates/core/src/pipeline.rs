@@ -8,7 +8,7 @@ use qbeep_transpile::TranspiledCircuit;
 use serde::{Deserialize, Serialize};
 
 use crate::config::QBeepConfig;
-use crate::graph::{IterationDiagnostics, StateGraph};
+use crate::graph::{Degradation, IterationDiagnostics, StateGraph};
 use crate::lambda::lambda_breakdown;
 use crate::neighbors::NeighborIndex;
 
@@ -153,6 +153,80 @@ impl QBeep {
         self.mitigate_with_lambda(counts, breakdown.total())
     }
 
+    /// As [`mitigate_run`](Self::mitigate_run), but running the
+    /// iteration loop under the config's watchdog (`max_iters`,
+    /// `time_budget_ms`, divergence detection) and degrading
+    /// gracefully instead of iterating unconditionally. The second
+    /// return value reports why the run degraded, `None` for a clean
+    /// full run — in which case the result is bit-for-bit identical
+    /// to [`mitigate_run`](Self::mitigate_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    #[must_use]
+    pub fn mitigate_run_guarded(
+        &self,
+        counts: &Counts,
+        transpiled: &TranspiledCircuit,
+        backend: &Backend,
+    ) -> (MitigationResult, Option<Degradation>) {
+        let breakdown = {
+            let _span = self.recorder.span("lambda_estimate");
+            lambda_breakdown(transpiled, backend)
+        };
+        if self.recorder.is_enabled() {
+            self.recorder.gauge("lambda.t1_term", breakdown.t1_term);
+            self.recorder.gauge("lambda.t2_term", breakdown.t2_term);
+            self.recorder.gauge("lambda.gate_term", breakdown.gate_term);
+            self.recorder
+                .gauge("lambda.readout_term", breakdown.readout_term);
+            self.recorder.gauge("lambda.total", breakdown.total());
+        }
+        let lambda = breakdown.total();
+        let _span = self.recorder.span("mitigate");
+        let mut graph = {
+            let _build = self.recorder.span("graph_build");
+            StateGraph::build(counts, lambda, &self.config)
+        };
+        let size = (graph.num_nodes(), graph.num_edges());
+        let pruned = graph.pruned_pairs();
+        let (iter, mut degradation) = {
+            let _iterate = self.recorder.span("graph_iterate");
+            graph.iterate_guarded(&self.recorder)
+        };
+        self.record_graph(size, pruned, lambda, &iter);
+        let mitigated = match graph.try_distribution() {
+            Ok(d) => d,
+            Err(_) => {
+                if degradation.is_none() {
+                    degradation = Some(Degradation::Diverged {
+                        iteration: iter.iterations,
+                        max_node_delta: f64::NAN,
+                    });
+                }
+                graph.initial_distribution()
+            }
+        };
+        if let Some(d) = &degradation {
+            self.recorder.event(
+                qbeep_telemetry::EventLevel::Warn,
+                "mitigate.degraded",
+                &[("reason", d.tag().to_string())],
+            );
+        }
+        (
+            MitigationResult {
+                mitigated,
+                lambda,
+                graph_size: size,
+                trace: Vec::new(),
+                diagnostics: MitigationDiagnostics::new(size, pruned, iter),
+            },
+            degradation,
+        )
+    }
+
     /// Mitigates measured `counts` with an externally supplied λ.
     ///
     /// # Panics
@@ -219,6 +293,75 @@ impl QBeep {
             trace: Vec::new(),
             diagnostics: MitigationDiagnostics::new(size, pruned, iter),
         }
+    }
+
+    /// As [`mitigate_prepared`](Self::mitigate_prepared), but running
+    /// the iteration loop under the config's watchdog (`max_iters`,
+    /// `time_budget_ms`, divergence detection) and degrading
+    /// gracefully: a blown-up or timed-out loop yields the best state
+    /// reached so far, and a fully degenerate graph falls back to the
+    /// raw empirical (identity) distribution. The second return value
+    /// reports why the run degraded, `None` for a clean full run —
+    /// in which case the result is bit-for-bit identical to
+    /// [`mitigate_prepared`](Self::mitigate_prepared).
+    ///
+    /// Each degradation is recorded as a `mitigate.degraded` warning
+    /// event with the reason tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not cover every distance
+    /// `0..=index.width()` (or a `graph:panic` fault is armed).
+    #[must_use]
+    pub fn mitigate_prepared_guarded(
+        &self,
+        index: &NeighborIndex,
+        weights: &[f64],
+        lambda: f64,
+    ) -> (MitigationResult, Option<Degradation>) {
+        let _span = self.recorder.span("mitigate");
+        let mut graph = {
+            let _build = self.recorder.span("graph_build");
+            StateGraph::from_index(index, weights, &self.config)
+        };
+        let size = (graph.num_nodes(), graph.num_edges());
+        let pruned = graph.pruned_pairs();
+        let (iter, mut degradation) = {
+            let _iterate = self.recorder.span("graph_iterate");
+            graph.iterate_guarded(&self.recorder)
+        };
+        self.record_graph(size, pruned, lambda, &iter);
+        let mitigated = match graph.try_distribution() {
+            Ok(d) => d,
+            Err(_) => {
+                // Even the rolled-back state is unusable: degrade all
+                // the way to the identity distribution.
+                if degradation.is_none() {
+                    degradation = Some(Degradation::Diverged {
+                        iteration: iter.iterations,
+                        max_node_delta: f64::NAN,
+                    });
+                }
+                graph.initial_distribution()
+            }
+        };
+        if let Some(d) = &degradation {
+            self.recorder.event(
+                qbeep_telemetry::EventLevel::Warn,
+                "mitigate.degraded",
+                &[("reason", d.tag().to_string())],
+            );
+        }
+        (
+            MitigationResult {
+                mitigated,
+                lambda,
+                graph_size: size,
+                trace: Vec::new(),
+                diagnostics: MitigationDiagnostics::new(size, pruned, iter),
+            },
+            degradation,
+        )
     }
 
     /// Pushes graph-shape counters, the λ gauge and the per-iteration
@@ -288,7 +431,9 @@ impl QBeep {
         alpha: f64,
     ) -> MitigationResult {
         assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0, 1]");
-        let mode = counts.mode().expect("non-empty counts");
+        let Some(mode) = counts.mode() else {
+            panic!("cannot mitigate zero shots")
+        };
         let spectrum = counts.to_distribution().hamming_spectrum(&mode);
         let lambda_mle = crate::model::mle_poisson(&spectrum);
         if self.recorder.is_enabled() {
@@ -385,6 +530,52 @@ mod tests {
             }
         }
         assert!(improved >= 7, "only {improved}/{runs} improved");
+    }
+
+    #[test]
+    fn guarded_run_matches_legacy_run_bit_for_bit() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = execute_on_device(
+            &bernstein_vazirani(&bs("10110")),
+            &backend,
+            3000,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let engine = QBeep::default();
+        let plain = engine.mitigate_run(&run.counts, &run.transpiled, &backend);
+        let (guarded, degradation) =
+            engine.mitigate_run_guarded(&run.counts, &run.transpiled, &backend);
+        assert!(degradation.is_none());
+        assert_eq!(plain.mitigated, guarded.mitigated);
+        assert_eq!(plain.lambda, guarded.lambda);
+    }
+
+    #[test]
+    fn guarded_run_reports_a_bitten_iteration_cap() {
+        let backend = profiles::by_name("fake_lagos").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = execute_on_device(
+            &bernstein_vazirani(&bs("10110")),
+            &backend,
+            3000,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let config = QBeepConfig {
+            max_iters: Some(3),
+            ..QBeepConfig::default()
+        };
+        let (result, degradation) =
+            QBeep::new(config).mitigate_run_guarded(&run.counts, &run.transpiled, &backend);
+        assert!(matches!(
+            degradation,
+            Some(Degradation::IterationCapped { ran: 3, .. })
+        ));
+        assert_eq!(result.diagnostics.iterations, 3);
     }
 
     #[test]
@@ -550,6 +741,50 @@ mod tests {
             .mitigate_with_lambda(&counts, 0.7);
         assert_eq!(plain.mitigated, recorded.mitigated);
         assert_eq!(plain.diagnostics, recorded.diagnostics);
+    }
+
+    #[test]
+    fn guarded_prepared_matches_prepared_on_clean_runs() {
+        let counts = Counts::from_pairs(
+            4,
+            vec![
+                (bs("0000"), 600),
+                (bs("0001"), 100),
+                (bs("0010"), 100),
+                (bs("0100"), 100),
+                (bs("1000"), 100),
+            ],
+        );
+        let index = NeighborIndex::build(&counts).unwrap();
+        let weights = crate::model::WeightLaw::Poisson { lambda: 0.8 }.table(counts.width());
+        let engine = QBeep::default();
+        let plain = engine.mitigate_prepared(&index, &weights, 0.8);
+        let (guarded, degradation) = engine.mitigate_prepared_guarded(&index, &weights, 0.8);
+        assert_eq!(degradation, None);
+        assert_eq!(plain.mitigated, guarded.mitigated);
+        assert_eq!(plain.diagnostics, guarded.diagnostics);
+    }
+
+    #[test]
+    fn guarded_prepared_reports_timeout_and_degraded_event() {
+        let counts = Counts::from_pairs(2, vec![(bs("00"), 80), (bs("01"), 20)]);
+        let index = NeighborIndex::build(&counts).unwrap();
+        let weights = crate::model::WeightLaw::Poisson { lambda: 0.5 }.table(2);
+        let recorder = qbeep_telemetry::Recorder::new();
+        let engine = QBeep::new(QBeepConfig {
+            time_budget_ms: Some(0),
+            ..QBeepConfig::default()
+        })
+        .with_recorder(recorder.clone());
+        let (result, degradation) = engine.mitigate_prepared_guarded(&index, &weights, 0.5);
+        assert!(matches!(
+            degradation,
+            Some(crate::graph::Degradation::TimedOut { .. })
+        ));
+        // Degraded to the identity (no step ran before the budget hit).
+        assert_eq!(result.mitigated, counts.to_distribution());
+        let log = recorder.events();
+        assert!(log.events.iter().any(|e| e.name == "mitigate.degraded"));
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub struct StrategySpec {
     pub max_distance: Option<u32>,
     /// Per-distance decay override (HAMMER).
     pub decay: Option<f64>,
+    /// Watchdog cap on Algorithm-1 iterations (graph strategies):
+    /// stop after this many steps and report a degraded outcome.
+    #[serde(default)]
+    pub max_iters: Option<usize>,
+    /// Watchdog wall-clock budget in milliseconds (graph strategies).
+    #[serde(default)]
+    pub time_budget_ms: Option<u64>,
 }
 
 impl StrategySpec {
@@ -64,6 +71,8 @@ fn graph_config(spec: &StrategySpec, base: QBeepConfig) -> QBeepConfig {
     QBeepConfig {
         iterations: spec.iterations.unwrap_or(base.iterations),
         epsilon: spec.epsilon.unwrap_or(base.epsilon),
+        max_iters: spec.max_iters.or(base.max_iters),
+        time_budget_ms: spec.time_budget_ms.or(base.time_budget_ms),
         ..base
     }
 }
@@ -212,6 +221,20 @@ mod tests {
             .expect("decay 1.5 is out of range");
         assert!(matches!(err, MitigationError::InvalidConfig(_)), "{err:?}");
         assert!(err.to_string().contains("outside (0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_overrides_reach_the_strategy() {
+        let spec = StrategySpec {
+            name: "qbeep".to_string(),
+            max_iters: Some(0),
+            ..StrategySpec::default()
+        };
+        let err = StrategyRegistry::builtin()
+            .create_spec(&spec)
+            .err()
+            .expect("zero max_iters is out of range");
+        assert!(err.to_string().contains("max_iters"), "{err}");
     }
 
     #[test]

@@ -16,11 +16,14 @@
 //! calls — dashboards and the bench regression gate keep working
 //! unchanged.
 
+use std::panic::{self, AssertUnwindSafe};
+
 use qbeep_bitstring::Counts;
 use qbeep_device::Backend;
-use qbeep_telemetry::{Recorder, RunReport};
+use qbeep_telemetry::{EventLevel, Recorder, RunReport};
 use qbeep_transpile::TranspiledCircuit;
 
+use crate::faults::{self, FaultKind, FaultSite};
 use crate::mitigator::{MitigationError, MitigationOutcome, Mitigator, RunContext, SharedTables};
 use crate::neighbors::NeighborIndex;
 use crate::registry::{StrategyRegistry, StrategySpec};
@@ -97,6 +100,17 @@ impl JobReport {
     }
 }
 
+/// A job the session could not complete, with the error that stopped
+/// it. Produced by [`MitigationSession::run_isolated`]; a panic inside
+/// a strategy surfaces here as [`MitigationError::JobPanicked`].
+#[derive(Debug)]
+pub struct JobFailure {
+    /// The failed job's label.
+    pub label: String,
+    /// What went wrong.
+    pub error: MitigationError,
+}
+
 /// Cache and batch statistics for one session run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SessionStats {
@@ -104,6 +118,9 @@ pub struct SessionStats {
     pub jobs: usize,
     /// Strategies applied to each job.
     pub strategies: usize,
+    /// Jobs that failed (always 0 under [`MitigationSession::run`],
+    /// which aborts on the first error).
+    pub failed_jobs: usize,
     /// Distinct kernel weight tables computed.
     pub tables_built: usize,
     /// Weight-table cache hits.
@@ -117,6 +134,9 @@ pub struct SessionStats {
 pub struct SessionReport {
     /// One report per job, in submission order.
     pub jobs: Vec<JobReport>,
+    /// Jobs that failed, in submission order (empty under
+    /// [`MitigationSession::run`]).
+    pub failures: Vec<JobFailure>,
     /// The strategy names the session ran, in execution order.
     pub strategies: Vec<String>,
     /// Batch statistics.
@@ -136,6 +156,24 @@ impl SessionReport {
     #[must_use]
     pub fn outcome(&self, label: &str, strategy: &str) -> Option<&MitigationOutcome> {
         self.job(label).and_then(|j| j.outcome(strategy))
+    }
+
+    /// The failure for the labelled job, if it failed.
+    #[must_use]
+    pub fn failure(&self, label: &str) -> Option<&JobFailure> {
+        self.failures.iter().find(|f| f.label == label)
+    }
+}
+
+/// Renders a panic payload as text: `&str` and `String` payloads pass
+/// through, anything else gets a generic marker.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -237,43 +275,71 @@ impl MitigationSession {
     /// Runs every queued job through every strategy, sharing the
     /// neighbor index within a job and weight tables across the
     /// batch. Jobs run in submission order, strategies in registration
-    /// order; the first error aborts the batch.
+    /// order; the first error aborts the batch. A panic inside a
+    /// strategy is caught and reported as
+    /// [`MitigationError::JobPanicked`] rather than unwinding through
+    /// the caller.
     ///
     /// # Errors
     ///
     /// The first [`MitigationError`] any strategy reports.
     pub fn run(&self) -> Result<SessionReport, MitigationError> {
+        self.execute(false)
+    }
+
+    /// As [`MitigationSession::run`], but a failing job — structured
+    /// error or panic — is quarantined into
+    /// [`SessionReport::failures`] and the rest of the batch still
+    /// completes. Surviving jobs produce bit-identical outcomes to a
+    /// run without the failing jobs.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for batch-level
+    /// (as opposed to per-job) failures.
+    pub fn run_isolated(&self) -> Result<SessionReport, MitigationError> {
+        self.execute(true)
+    }
+
+    fn execute(&self, isolate: bool) -> Result<SessionReport, MitigationError> {
+        let backend = self.sanitized_backend();
         let tables = SharedTables::new();
         let mut reports = Vec::with_capacity(self.jobs.len());
+        let mut failures = Vec::new();
         for job in &self.jobs {
-            let index = NeighborIndex::build(&job.counts)?;
-            let mut ctx = RunContext::new()
-                .with_recorder(self.recorder.clone())
-                .with_neighbors(&index)
-                .with_tables(&tables);
-            if let Some(backend) = &self.backend {
-                ctx = ctx.with_backend(backend);
+            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.run_job(job, backend.as_ref(), &tables)
+            }));
+            let result = match attempt {
+                Ok(result) => result,
+                Err(payload) => Err(MitigationError::JobPanicked {
+                    job: job.label.clone(),
+                    payload: panic_message(payload.as_ref()),
+                }),
+            };
+            match result {
+                Ok(report) => reports.push(report),
+                Err(error) => {
+                    self.recorder.event(
+                        EventLevel::Warn,
+                        "session.job_failed",
+                        &[("job", job.label.clone()), ("error", error.to_string())],
+                    );
+                    if isolate {
+                        failures.push(JobFailure {
+                            label: job.label.clone(),
+                            error,
+                        });
+                    } else {
+                        return Err(error);
+                    }
+                }
             }
-            if let Some(transpiled) = &job.transpiled {
-                ctx = ctx.with_transpiled(transpiled);
-            }
-            if let Some(lambda) = job.lambda {
-                ctx = ctx.with_lambda(lambda);
-            }
-            let mut outcomes = Vec::with_capacity(self.strategies.len());
-            for strategy in &self.strategies {
-                outcomes.push(strategy.mitigate(&job.counts, &ctx)?);
-            }
-            reports.push(JobReport {
-                label: job.label.clone(),
-                width: job.counts.width(),
-                shots: job.counts.total(),
-                outcomes,
-            });
         }
         let stats = SessionStats {
             jobs: self.jobs.len(),
             strategies: self.strategies.len(),
+            failed_jobs: failures.len(),
             tables_built: tables.tables_built(),
             tables_reused: tables.tables_reused(),
         };
@@ -284,6 +350,8 @@ impl MitigationSession {
                 (stats.jobs * stats.strategies) as u64,
             );
             self.recorder
+                .incr("session.jobs_failed", stats.failed_jobs as u64);
+            self.recorder
                 .incr("session.tables_built", stats.tables_built as u64);
             self.recorder
                 .incr("session.tables_reused", stats.tables_reused as u64);
@@ -291,10 +359,76 @@ impl MitigationSession {
         let telemetry = self.recorder.is_enabled().then(|| self.recorder.report());
         Ok(SessionReport {
             jobs: reports,
+            failures,
             strategies: self.strategy_names(),
             stats,
             telemetry,
         })
+    }
+
+    /// One job end to end: dispatch-site fault hook, shared neighbor
+    /// index, then every strategy in order.
+    fn run_job(
+        &self,
+        job: &MitigationJob,
+        backend: Option<&Backend>,
+        tables: &SharedTables,
+    ) -> Result<JobReport, MitigationError> {
+        let counts = match faults::fire_recorded(FaultSite::SessionDispatch, &self.recorder) {
+            Some(FaultKind::Panic) => {
+                panic!("injected panic dispatching job '{}'", job.label)
+            }
+            Some(FaultKind::EmptyCounts) => Counts::new(job.counts.width()),
+            Some(FaultKind::TruncateCounts(keep)) => Counts::from_pairs(
+                job.counts.width(),
+                job.counts.sorted_by_count().into_iter().take(keep),
+            ),
+            _ => job.counts.clone(),
+        };
+        let index = NeighborIndex::build(&counts)?;
+        let mut ctx = RunContext::new()
+            .with_recorder(self.recorder.clone())
+            .with_neighbors(&index)
+            .with_tables(tables);
+        if let Some(backend) = backend {
+            ctx = ctx.with_backend(backend);
+        }
+        if let Some(transpiled) = &job.transpiled {
+            ctx = ctx.with_transpiled(transpiled);
+        }
+        if let Some(lambda) = job.lambda {
+            ctx = ctx.with_lambda(lambda);
+        }
+        let mut outcomes = Vec::with_capacity(self.strategies.len());
+        for strategy in &self.strategies {
+            outcomes.push(strategy.mitigate(&counts, &ctx)?);
+        }
+        Ok(JobReport {
+            label: job.label.clone(),
+            width: counts.width(),
+            shots: counts.total(),
+            outcomes,
+        })
+    }
+
+    /// The session backend with its calibration snapshot sanitized.
+    /// Well-formed snapshots pass through untouched (the common,
+    /// bit-identity-preserving path); every clamp on a malformed one
+    /// is recorded as a `calibration.clamped` warning event.
+    fn sanitized_backend(&self) -> Option<Backend> {
+        let backend = self.backend.as_ref()?;
+        let (swapped, issues) = backend.with_calibration_sanitized(backend.calibration().clone());
+        if issues.is_empty() {
+            return Some(backend.clone());
+        }
+        for issue in &issues {
+            self.recorder.event(
+                EventLevel::Warn,
+                "calibration.clamped",
+                &[("issue", issue.to_string())],
+            );
+        }
+        Some(swapped)
     }
 }
 
@@ -383,6 +517,112 @@ mod tests {
         session.add_job(MitigationJob::new("a", counts_a()));
         let err = session.run().unwrap_err();
         assert!(matches!(err, MitigationError::MissingContext { .. }));
+    }
+
+    /// A strategy that panics on counts of one particular width and
+    /// passes everything else through untouched — a stand-in for a
+    /// buggy strategy blowing up mid-batch.
+    struct ExplodeOnWidth(usize);
+
+    impl Mitigator for ExplodeOnWidth {
+        fn name(&self) -> &'static str {
+            "explode"
+        }
+
+        fn mitigate(
+            &self,
+            counts: &Counts,
+            _ctx: &RunContext,
+        ) -> Result<MitigationOutcome, MitigationError> {
+            assert_ne!(counts.width(), self.0, "injected test panic");
+            Ok(MitigationOutcome {
+                strategy: "explode".to_string(),
+                mitigated: counts.to_distribution(),
+                lambda: None,
+                diagnostics: crate::mitigator::StrategyDiagnostics::None,
+                degraded: false,
+                degradation: None,
+            })
+        }
+    }
+
+    fn counts_wide() -> Counts {
+        Counts::from_pairs(5, vec![(bs("00000"), 500), (bs("00001"), 300)])
+    }
+
+    #[test]
+    fn strategy_panic_becomes_a_structured_error() {
+        let mut session = MitigationSession::new();
+        session.add_strategy(Box::new(ExplodeOnWidth(4)));
+        session.add_job(MitigationJob::new("a", counts_a()));
+        match session.run().unwrap_err() {
+            MitigationError::JobPanicked { job, payload } => {
+                assert_eq!(job, "a");
+                assert!(payload.contains("injected test panic"), "{payload}");
+            }
+            other => panic!("expected JobPanicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn run_isolated_quarantines_failures_and_finishes_the_batch() {
+        let recorder = Recorder::new();
+        let build = || {
+            let mut session = MitigationSession::new().with_recorder(recorder.clone());
+            session.add_strategy_by_name("qbeep").unwrap();
+            session.add_strategy(Box::new(ExplodeOnWidth(5)));
+            session
+        };
+
+        let mut session = build();
+        session.add_job(MitigationJob::new("a", counts_a()).with_lambda(0.8));
+        session.add_job(MitigationJob::new("b", counts_wide()).with_lambda(0.8));
+        session.add_job(MitigationJob::new("c", counts_b()).with_lambda(0.8));
+        let report = session.run_isolated().unwrap();
+
+        assert_eq!(report.stats.failed_jobs, 1);
+        assert_eq!(report.jobs.len(), 2);
+        assert!(matches!(
+            report.failure("b").unwrap().error,
+            MitigationError::JobPanicked { .. }
+        ));
+        let log = recorder.events();
+        assert!(log.events.iter().any(|e| e.name == "session.job_failed"));
+
+        // Surviving jobs are bit-identical to a batch never containing
+        // the poisoned job.
+        let mut clean = build();
+        clean.add_job(MitigationJob::new("a", counts_a()).with_lambda(0.8));
+        clean.add_job(MitigationJob::new("c", counts_b()).with_lambda(0.8));
+        let clean = clean.run().unwrap();
+        for label in ["a", "c"] {
+            assert_eq!(
+                report.outcome(label, "qbeep").unwrap().mitigated,
+                clean.outcome(label, "qbeep").unwrap().mitigated
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_calibration_is_sanitized_with_warnings() {
+        let backend = qbeep_device::profiles::by_name("fake_lima").unwrap();
+        let cal = backend.calibration().clone();
+        let mut qubits = cal.qubits().to_vec();
+        qubits[0].t1_us = 0.0;
+        let poisoned = qbeep_device::Calibration::from_parts_unchecked(
+            qubits,
+            cal.sq_gates().to_vec(),
+            cal.cx_edges().map(|(k, g)| (k, *g)).collect(),
+        );
+        let recorder = Recorder::new();
+        let mut session = MitigationSession::on_backend(backend.with_calibration(poisoned))
+            .with_recorder(recorder.clone());
+        session.add_strategy_by_name("qbeep").unwrap();
+        session.add_job(MitigationJob::new("a", counts_a()).with_lambda(0.8));
+        let report = session.run().unwrap();
+        assert_eq!(report.stats.failed_jobs, 0);
+        let log = recorder.events();
+        assert!(log.events.iter().any(|e| e.name == "calibration.clamped"));
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! End-to-end fault injection: every injected failure must surface as
+//! a structured [`MitigationError`] or a `degraded` outcome — never an
+//! abort — and quarantined jobs must not perturb their batch-mates.
+//!
+//! Compiled only with `--features fault-injection`; the CI
+//! fault-matrix job runs this file across several seeds.
+
+#![cfg(feature = "fault-injection")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_circuit::library::bernstein_vazirani;
+use qbeep_core::faults;
+use qbeep_core::{Degradation, MitigationError, MitigationJob, MitigationSession};
+use qbeep_device::profiles;
+use qbeep_transpile::Transpiler;
+
+fn bs(s: &str) -> BitString {
+    s.parse().unwrap()
+}
+
+/// A family of distinct-but-similar 4-bit counts tables, one per job.
+fn job_counts(i: u64) -> Counts {
+    Counts::from_pairs(
+        4,
+        vec![
+            (bs("0000"), 500 + 10 * i),
+            (bs("0001"), 100 + i),
+            (bs("0010"), 80),
+            (bs("1000"), 60 + 2 * i),
+        ],
+    )
+}
+
+/// One qbeep job with pinned λ under the given fault spec (or none).
+fn run_one(spec: Option<&str>) -> Distribution {
+    match spec {
+        Some(spec) => faults::install(spec.parse().unwrap()),
+        None => faults::clear(),
+    }
+    let mut session = MitigationSession::new();
+    session.add_strategy_by_name("qbeep").unwrap();
+    session.add_job(MitigationJob::new("a", job_counts(0)).with_lambda(0.8));
+    let report = session.run().unwrap();
+    faults::clear();
+    report.outcome("a", "qbeep").unwrap().mitigated.clone()
+}
+
+#[test]
+fn injected_nan_lambda_is_a_structured_error() {
+    let backend = profiles::by_name("fake_lima").unwrap();
+    let transpiled = Transpiler::new(&backend)
+        .transpile(&bernstein_vazirani(&bs("1011")))
+        .unwrap();
+    faults::install("lambda:nan".parse().unwrap());
+    let mut session = MitigationSession::on_backend(backend);
+    session.add_strategy_by_name("qbeep").unwrap();
+    session.add_job(MitigationJob::new("a", job_counts(0)).with_transpiled(transpiled));
+    let err = session.run().unwrap_err();
+    faults::clear();
+    assert!(matches!(err, MitigationError::InvalidLambda(_)), "{err:?}");
+}
+
+#[test]
+fn injected_empty_counts_quarantines_one_job() {
+    faults::install("session:empty-counts@1".parse().unwrap());
+    let mut session = MitigationSession::new();
+    session.add_strategy_by_name("qbeep").unwrap();
+    for i in 0..3 {
+        session.add_job(MitigationJob::new(format!("j{i}"), job_counts(i)).with_lambda(0.8));
+    }
+    let report = session.run_isolated().unwrap();
+    faults::clear();
+    assert_eq!(report.stats.failed_jobs, 1);
+    assert_eq!(report.jobs.len(), 2);
+    assert!(matches!(
+        report.failure("j1").unwrap().error,
+        MitigationError::EmptyCounts
+    ));
+}
+
+#[test]
+fn truncated_counts_still_mitigate() {
+    faults::install("session:truncate=2".parse().unwrap());
+    let mut session = MitigationSession::new();
+    session.add_strategy_by_name("qbeep").unwrap();
+    session.add_job(MitigationJob::new("a", job_counts(0)).with_lambda(0.8));
+    let report = session.run().unwrap();
+    faults::clear();
+    // Only the 2 most-counted outcomes survive the truncation.
+    assert_eq!(report.jobs[0].outcomes[0].mitigated.support_size(), 2);
+}
+
+#[test]
+fn poisoned_graph_iteration_degrades_not_aborts() {
+    faults::install("graph:nan@1".parse().unwrap());
+    let mut session = MitigationSession::new();
+    session.add_strategy_by_name("qbeep").unwrap();
+    session.add_job(MitigationJob::new("a", job_counts(0)).with_lambda(0.8));
+    let report = session.run().unwrap();
+    faults::clear();
+    let outcome = report.outcome("a", "qbeep").unwrap();
+    assert!(outcome.degraded);
+    assert!(
+        matches!(outcome.degradation, Some(Degradation::Diverged { .. })),
+        "{:?}",
+        outcome.degradation
+    );
+}
+
+#[test]
+fn latency_injection_delays_but_does_not_change_results() {
+    let clean = run_one(None);
+    let delayed = run_one(Some("session:latency=1"));
+    assert_eq!(clean, delayed);
+}
+
+#[test]
+fn eight_job_batch_with_two_panics_completes_the_other_six_identically() {
+    let build = || {
+        let mut session = MitigationSession::new();
+        session.add_strategy_by_name("qbeep").unwrap();
+        session.add_strategy_by_name("hammer").unwrap();
+        for i in 0..8 {
+            session.add_job(MitigationJob::new(format!("j{i}"), job_counts(i)).with_lambda(0.9));
+        }
+        session
+    };
+
+    faults::install("session:panic@2;session:panic@5".parse().unwrap());
+    let faulted = build().run_isolated().unwrap();
+    faults::clear();
+    let clean = build().run().unwrap();
+
+    assert_eq!(faulted.stats.failed_jobs, 2);
+    assert_eq!(faulted.jobs.len(), 6);
+    for failure in &faulted.failures {
+        assert!(
+            matches!(failure.error, MitigationError::JobPanicked { .. }),
+            "{:?}",
+            failure.error
+        );
+    }
+    for i in [0u64, 1, 3, 4, 6, 7] {
+        let label = format!("j{i}");
+        for strategy in ["qbeep", "hammer"] {
+            assert_eq!(
+                faulted.outcome(&label, strategy).unwrap().mitigated,
+                clean.outcome(&label, strategy).unwrap().mitigated,
+                "{label}/{strategy} diverged from the fault-free run"
+            );
+        }
+    }
+}

@@ -3,6 +3,8 @@
 //! change. Every comparison here is `assert_eq!` on the full
 //! [`Distribution`] — exact f64 equality, no tolerance.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use qbeep_bitstring::{BitString, Counts, Distribution};
 use qbeep_circuit::library::bernstein_vazirani;
 use qbeep_core::hammer::{hammer_mitigate, HammerConfig};

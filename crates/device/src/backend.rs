@@ -129,6 +129,48 @@ impl Backend {
         )
     }
 
+    /// Replaces the calibration snapshot with a clamp-and-warn
+    /// [sanitized](Calibration::sanitized) copy of `calibration`,
+    /// accepting malformed snapshots (zero/negative T1, readout error
+    /// out of range, missing qubits, …) that [`with_calibration`]
+    /// (Self::with_calibration) would abort on. CX calibrations
+    /// missing for coupled edges are padded with a pessimistic
+    /// default, each recorded as an issue. A well-formed snapshot
+    /// yields a backend equal to `with_calibration`'s and no issues.
+    #[must_use]
+    pub fn with_calibration_sanitized(
+        &self,
+        calibration: Calibration,
+    ) -> (Self, Vec<crate::CalibrationIssue>) {
+        let (mut cal, mut issues) = calibration.sanitized(self.topology.num_qubits());
+        // The topology demands a CX calibration on every coupled edge;
+        // pad any the snapshot lost so Backend::new's invariant holds.
+        let missing: Vec<(u32, u32)> = self
+            .topology
+            .edges()
+            .filter(|&(a, b)| cal.cx_gate(a, b).is_none())
+            .collect();
+        if !missing.is_empty() {
+            let pad = crate::GateCalibration {
+                error: 5e-2,
+                duration_ns: 400.0,
+            };
+            let mut cx: std::collections::BTreeMap<_, _> =
+                cal.cx_edges().map(|(k, g)| (k, *g)).collect();
+            for (a, b) in missing {
+                issues.push(crate::CalibrationIssue {
+                    location: format!("cx ({a}, {b})"),
+                    field: "missing",
+                    raw: f64::NAN,
+                    clamped: pad.error,
+                });
+                cx.insert((a.min(b), a.max(b)), pad);
+            }
+            cal = Calibration::new(cal.qubits().to_vec(), cal.sq_gates().to_vec(), cx);
+        }
+        (self.with_calibration(cal), issues)
+    }
+
     /// A crude scalar quality figure — the mean CX error (falling back to
     /// mean readout error for edgeless 1-qubit devices). Lower is better.
     /// Used by the bench harness to sort machines for display.
@@ -240,5 +282,40 @@ mod tests {
     fn display_mentions_name_and_size() {
         let s = tiny_backend().to_string();
         assert!(s.contains("tiny") && s.contains("2 qubits"));
+    }
+
+    #[test]
+    fn sanitized_swap_accepts_malformed_snapshot() {
+        let b = tiny_backend();
+        // Break the snapshot in ways with_calibration would panic on:
+        // zero T1, missing second qubit, no CX calibration at all.
+        let raw = Calibration::from_parts_unchecked(
+            vec![QubitCalibration {
+                t1_us: 0.0,
+                t2_us: 80.0,
+                readout_error: 0.02,
+                readout_duration_ns: 1000.0,
+            }],
+            vec![GateCalibration {
+                error: 1e-4,
+                duration_ns: 35.0,
+            }],
+            BTreeMap::new(),
+        );
+        let (fixed, issues) = b.with_calibration_sanitized(raw);
+        assert_eq!(fixed.num_qubits(), 2);
+        assert!(fixed.calibration().cx_gate(0, 1).is_some());
+        assert!(issues.iter().any(|i| i.field == "t1_us"));
+        assert!(issues
+            .iter()
+            .any(|i| i.location == "cx (0, 1)" && i.field == "missing"));
+    }
+
+    #[test]
+    fn sanitized_swap_is_identity_for_well_formed_snapshot() {
+        let b = tiny_backend();
+        let (same, issues) = b.with_calibration_sanitized(b.calibration().clone());
+        assert_eq!(&same, &b);
+        assert!(issues.is_empty());
     }
 }

@@ -70,6 +70,98 @@ impl GateCalibration {
     }
 }
 
+/// One clamp-and-warn repair a [`Calibration::sanitized`] pass made to
+/// a malformed snapshot: where it happened, which statistic was out of
+/// range, and what it was clamped to. `raw` is NaN for structural
+/// repairs (a missing qubit padded in, a dropped CX edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationIssue {
+    /// Where the repair happened (`"qubit 3"`, `"cx (0, 5)"`, …).
+    pub location: String,
+    /// The statistic that was out of range (`"t1_us"`, `"missing"`, …).
+    pub field: &'static str,
+    /// The malformed value (NaN for structural repairs).
+    pub raw: f64,
+    /// The value written in its place.
+    pub clamped: f64,
+}
+
+impl fmt::Display for CalibrationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {} clamped to {}",
+            self.location, self.field, self.raw, self.clamped
+        )
+    }
+}
+
+/// Floor for clamped T1/T2 values, in µs (a very bad but physical
+/// qubit).
+const T_FLOOR_US: f64 = 1.0;
+/// Readout duration substituted for non-positive/non-finite ones, ns.
+const READOUT_DURATION_FALLBACK_NS: f64 = 1000.0;
+/// Qubit calibration padded in for missing qubits: pessimistic but
+/// valid numbers, so λ estimation over a padded qubit is conservative.
+const PAD_QUBIT: QubitCalibration = QubitCalibration {
+    t1_us: 20.0,
+    t2_us: 15.0,
+    readout_error: 0.1,
+    readout_duration_ns: READOUT_DURATION_FALLBACK_NS,
+};
+/// Gate calibration padded in for missing single-qubit entries.
+const PAD_SQ_GATE: GateCalibration = GateCalibration {
+    error: 1e-3,
+    duration_ns: 35.0,
+};
+
+/// Clamps one statistic, recording an issue when it moved.
+fn clamp_stat(
+    issues: &mut Vec<CalibrationIssue>,
+    location: &str,
+    field: &'static str,
+    raw: f64,
+    lo: f64,
+    hi: f64,
+    non_finite_fallback: f64,
+) -> f64 {
+    let clamped = if raw.is_finite() {
+        raw.clamp(lo, hi)
+    } else {
+        non_finite_fallback
+    };
+    if clamped != raw {
+        issues.push(CalibrationIssue {
+            location: location.to_string(),
+            field,
+            raw,
+            clamped,
+        });
+    }
+    clamped
+}
+
+/// Clamps a gate calibration's error into `[0, 1]` and its duration to
+/// non-negative, recording issues for anything that moved.
+fn sanitize_gate(
+    issues: &mut Vec<CalibrationIssue>,
+    location: &str,
+    gate: &GateCalibration,
+) -> GateCalibration {
+    GateCalibration {
+        error: clamp_stat(issues, location, "error", gate.error, 0.0, 1.0, 1.0),
+        duration_ns: clamp_stat(
+            issues,
+            location,
+            "duration_ns",
+            gate.duration_ns,
+            0.0,
+            f64::INFINITY,
+            0.0,
+        ),
+    }
+}
+
 /// A full calibration snapshot of a device: per-qubit statistics plus
 /// per-qubit single-qubit-gate and per-edge two-qubit-gate calibrations.
 ///
@@ -148,6 +240,149 @@ impl Calibration {
             sq_gates,
             cx_gates,
         }
+    }
+
+    /// Assembles a snapshot *without* validating it — the ingest shape
+    /// for raw vendor payloads (and fault injection), which
+    /// [`sanitized`](Self::sanitized) then repairs. Accessors on an
+    /// unchecked snapshot may panic or return garbage; sanitize before
+    /// use.
+    #[must_use]
+    pub fn from_parts_unchecked(
+        qubits: Vec<QubitCalibration>,
+        sq_gates: Vec<GateCalibration>,
+        cx_gates: BTreeMap<(u32, u32), GateCalibration>,
+    ) -> Self {
+        Self {
+            qubits,
+            sq_gates,
+            cx_gates,
+        }
+    }
+
+    /// Clamp-and-warn repair of a possibly malformed snapshot into a
+    /// valid one covering exactly `expected_qubits` qubits.
+    ///
+    /// Repairs (each recorded as a [`CalibrationIssue`]):
+    /// - non-positive/non-finite T1/T2 floored at 1 µs; readout error
+    ///   clamped into `[0, 0.5]` (0.5 for NaN); non-positive readout
+    ///   duration replaced;
+    /// - gate errors clamped into `[0, 1]` (1 for NaN), negative/NaN
+    ///   durations zeroed;
+    /// - missing qubit/single-qubit-gate entries padded with
+    ///   pessimistic defaults, surplus entries truncated;
+    /// - CX edges that are unnormalised or reference out-of-range
+    ///   qubits dropped.
+    ///
+    /// The returned snapshot always passes [`Calibration::new`]'s
+    /// validation; a well-formed input comes back equal with no
+    /// issues.
+    #[must_use]
+    pub fn sanitized(&self, expected_qubits: usize) -> (Self, Vec<CalibrationIssue>) {
+        let mut issues = Vec::new();
+        let mut qubits = Vec::with_capacity(expected_qubits);
+        for (q, qc) in self.qubits.iter().take(expected_qubits).enumerate() {
+            let loc = format!("qubit {q}");
+            qubits.push(QubitCalibration {
+                t1_us: clamp_stat(
+                    &mut issues,
+                    &loc,
+                    "t1_us",
+                    qc.t1_us,
+                    T_FLOOR_US,
+                    f64::INFINITY,
+                    T_FLOOR_US,
+                ),
+                t2_us: clamp_stat(
+                    &mut issues,
+                    &loc,
+                    "t2_us",
+                    qc.t2_us,
+                    T_FLOOR_US,
+                    f64::INFINITY,
+                    T_FLOOR_US,
+                ),
+                readout_error: clamp_stat(
+                    &mut issues,
+                    &loc,
+                    "readout_error",
+                    qc.readout_error,
+                    0.0,
+                    0.5,
+                    0.5,
+                ),
+                readout_duration_ns: clamp_stat(
+                    &mut issues,
+                    &loc,
+                    "readout_duration_ns",
+                    qc.readout_duration_ns,
+                    1.0,
+                    f64::INFINITY,
+                    READOUT_DURATION_FALLBACK_NS,
+                ),
+            });
+        }
+        for q in self.qubits.len()..expected_qubits {
+            issues.push(CalibrationIssue {
+                location: format!("qubit {q}"),
+                field: "missing",
+                raw: f64::NAN,
+                clamped: PAD_QUBIT.t1_us,
+            });
+            qubits.push(PAD_QUBIT);
+        }
+        if self.qubits.len() > expected_qubits {
+            issues.push(CalibrationIssue {
+                location: format!("qubits {expected_qubits}..{}", self.qubits.len()),
+                field: "surplus",
+                raw: f64::NAN,
+                clamped: expected_qubits as f64,
+            });
+        }
+
+        let mut sq_gates = Vec::with_capacity(expected_qubits);
+        for (q, g) in self.sq_gates.iter().take(expected_qubits).enumerate() {
+            let loc = format!("sq gate {q}");
+            sq_gates.push(sanitize_gate(&mut issues, &loc, g));
+        }
+        for q in self.sq_gates.len()..expected_qubits {
+            issues.push(CalibrationIssue {
+                location: format!("sq gate {q}"),
+                field: "missing",
+                raw: f64::NAN,
+                clamped: PAD_SQ_GATE.error,
+            });
+            sq_gates.push(PAD_SQ_GATE);
+        }
+
+        let mut cx_gates = BTreeMap::new();
+        for (&(a, b), g) in &self.cx_gates {
+            if a >= b || b as usize >= expected_qubits {
+                issues.push(CalibrationIssue {
+                    location: format!("cx ({a}, {b})"),
+                    field: "dropped",
+                    raw: f64::NAN,
+                    clamped: f64::NAN,
+                });
+                continue;
+            }
+            let loc = format!("cx ({a}, {b})");
+            cx_gates.insert((a, b), sanitize_gate(&mut issues, &loc, g));
+        }
+
+        (Self::new(qubits, sq_gates, cx_gates), issues)
+    }
+
+    /// The per-qubit statistics, in qubit order.
+    #[must_use]
+    pub fn qubits(&self) -> &[QubitCalibration] {
+        &self.qubits
+    }
+
+    /// The per-qubit single-qubit-gate calibrations, in qubit order.
+    #[must_use]
+    pub fn sq_gates(&self) -> &[GateCalibration] {
+        &self.sq_gates
     }
 
     /// Number of calibrated qubits.
@@ -434,5 +669,109 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: Calibration = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn sanitize_well_formed_is_identity_with_no_issues() {
+        let c = sample();
+        let (s, issues) = c.sanitized(3);
+        assert_eq!(s, c);
+        assert!(issues.is_empty(), "unexpected issues: {issues:?}");
+    }
+
+    #[test]
+    fn sanitize_clamps_zero_and_negative_t1_t2() {
+        let mut qubits = sample().qubits().to_vec();
+        qubits[0].t1_us = 0.0;
+        qubits[1].t2_us = -4.0;
+        let raw = Calibration::from_parts_unchecked(
+            qubits,
+            sample().sq_gates().to_vec(),
+            sample().cx_edges().map(|(k, g)| (k, *g)).collect(),
+        );
+        let (s, issues) = raw.sanitized(3);
+        assert_eq!(s.qubit(0).t1_us, T_FLOOR_US);
+        assert_eq!(s.qubit(1).t2_us, T_FLOOR_US);
+        let fields: Vec<_> = issues
+            .iter()
+            .map(|i| (i.location.as_str(), i.field))
+            .collect();
+        assert!(fields.contains(&("qubit 0", "t1_us")));
+        assert!(fields.contains(&("qubit 1", "t2_us")));
+        // The repaired snapshot passes full validation.
+        for q in s.qubits() {
+            q.validate();
+        }
+    }
+
+    #[test]
+    fn sanitize_clamps_out_of_range_and_nan_readout() {
+        let mut qubits = sample().qubits().to_vec();
+        qubits[0].readout_error = 1.3;
+        qubits[2].readout_error = f64::NAN;
+        let raw = Calibration::from_parts_unchecked(
+            qubits,
+            sample().sq_gates().to_vec(),
+            sample().cx_edges().map(|(k, g)| (k, *g)).collect(),
+        );
+        let (s, issues) = raw.sanitized(3);
+        assert_eq!(s.qubit(0).readout_error, 0.5);
+        assert_eq!(s.qubit(2).readout_error, 0.5);
+        assert_eq!(
+            issues.iter().filter(|i| i.field == "readout_error").count(),
+            2
+        );
+        // The NaN original is preserved in the issue for diagnostics.
+        assert!(issues
+            .iter()
+            .any(|i| i.location == "qubit 2" && i.raw.is_nan()));
+    }
+
+    #[test]
+    fn sanitize_pads_missing_qubits_and_truncates_surplus() {
+        let raw = sample();
+        // Ask for more qubits than calibrated: pads with pessimistic
+        // defaults and reports each as missing.
+        let (wide, issues) = raw.sanitized(5);
+        assert_eq!(wide.num_qubits(), 5);
+        assert_eq!(wide.qubit(4), &PAD_QUBIT);
+        assert_eq!(
+            issues.iter().filter(|i| i.field == "missing").count(),
+            4, // 2 qubits + 2 sq gates
+        );
+        // Ask for fewer: truncates and drops the out-of-range CX edge.
+        let (narrow, issues) = raw.sanitized(2);
+        assert_eq!(narrow.num_qubits(), 2);
+        assert!(narrow.cx_gate(1, 2).is_none());
+        assert!(issues.iter().any(|i| i.field == "surplus"));
+        assert!(issues.iter().any(|i| i.field == "dropped"));
+    }
+
+    #[test]
+    fn sanitize_clamps_gate_errors_above_one() {
+        let mut sq = sample().sq_gates().to_vec();
+        sq[1].error = 2.5;
+        let raw = Calibration::from_parts_unchecked(
+            sample().qubits().to_vec(),
+            sq,
+            sample().cx_edges().map(|(k, g)| (k, *g)).collect(),
+        );
+        let (s, issues) = raw.sanitized(3);
+        assert_eq!(s.sq_gate(1).error, 1.0);
+        assert!(issues
+            .iter()
+            .any(|i| i.location == "sq gate 1" && i.field == "error"));
+    }
+
+    #[test]
+    fn issue_display_mentions_location_and_field() {
+        let issue = CalibrationIssue {
+            location: "qubit 3".into(),
+            field: "t1_us",
+            raw: -2.0,
+            clamped: 1.0,
+        };
+        let s = issue.to_string();
+        assert!(s.contains("qubit 3") && s.contains("t1_us"));
     }
 }

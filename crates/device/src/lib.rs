@@ -38,5 +38,5 @@ mod topology;
 pub mod profiles;
 
 pub use backend::{Backend, NativeGateSet};
-pub use calibration::{Calibration, GateCalibration, QubitCalibration};
+pub use calibration::{Calibration, CalibrationIssue, GateCalibration, QubitCalibration};
 pub use topology::Topology;

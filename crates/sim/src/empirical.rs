@@ -206,6 +206,12 @@ pub fn ground_truth_lambda(transpiled: &TranspiledCircuit, backend: &Backend) ->
     decoherence + gate_term + readout
 }
 
+/// Ceiling on the per-execution ground-truth rate: a λ\* beyond any
+/// register width in the workspace fully scrambles every shot, so a
+/// degenerate (NaN/∞) Eq.-2 aggregation degrades to this instead of
+/// poisoning the channel.
+pub const LAMBDA_TRUE_CEILING: f64 = 256.0;
+
 /// A sampler of noisy device outcomes for one (circuit, backend,
 /// calibration-day) execution.
 ///
@@ -292,6 +298,16 @@ impl EmpiricalChannel {
         let ideal = ideal_distribution(logical);
         let base = ground_truth_lambda(transpiled, backend);
         let lambda = config.effective_lambda(base, backend.name(), rng);
+        // A degenerate calibration snapshot can drive the Eq.-2
+        // aggregation (and its jittered product) non-finite. Clamp to a
+        // finite ceiling instead of propagating: beyond λ ≈ width every
+        // shot is fully scrambled anyway, and the channel constructor
+        // rejects non-finite rates outright.
+        let lambda = if lambda.is_finite() {
+            lambda.min(LAMBDA_TRUE_CEILING)
+        } else {
+            LAMBDA_TRUE_CEILING
+        };
         let width = ideal.width();
         let channel = Self::new(ideal, lambda, config);
         if config.hotspot_fraction > 0.0 && width > 0 {
@@ -680,6 +696,32 @@ mod tests {
             prev_ehd > 1.0,
             "deep RB should cluster errors at a distance, ehd {prev_ehd}"
         );
+    }
+
+    #[test]
+    fn non_finite_calibration_lambda_is_clamped_not_fatal() {
+        // A NaN readout error drives the Eq.-2 aggregation NaN; the
+        // execution must degrade to the finite ceiling, not panic.
+        let backend = profiles::by_name("fake_lima").unwrap();
+        let cal = backend.calibration().clone();
+        let mut qubits = cal.qubits().to_vec();
+        qubits[0].readout_error = f64::NAN;
+        let poisoned = backend.with_calibration(qbeep_device::Calibration::from_parts_unchecked(
+            qubits,
+            cal.sq_gates().to_vec(),
+            cal.cx_edges().map(|(k, g)| (k, *g)).collect(),
+        ));
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = execute_on_device(
+            &bernstein_vazirani(&bs("1011")),
+            &poisoned,
+            200,
+            &EmpiricalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(run.lambda_true, LAMBDA_TRUE_CEILING);
+        assert_eq!(run.counts.total(), 200);
     }
 
     #[test]

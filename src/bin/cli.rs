@@ -51,15 +51,31 @@ use rand::SeedableRng;
 /// is a request for the usage text).
 const VALUELESS_FLAGS: &[&str] = &["telemetry", "events", "help"];
 
-/// Observability flags every command accepts.
-const COMMON_FLAGS: &[&str] = &["telemetry", "trace", "events", "help"];
+/// Observability and fault-injection flags every command accepts.
+const COMMON_FLAGS: &[&str] = &[
+    "telemetry",
+    "trace",
+    "events",
+    "help",
+    "faults",
+    "fault-seed",
+];
 
 /// The command-specific flags each command accepts (on top of
 /// [`COMMON_FLAGS`]).
 fn known_flags(command: &str) -> &'static [&'static str] {
     match command {
         "transpile" => &["qasm", "backend"],
-        "run" => &["qasm", "backend", "shots", "seed", "iterations", "epsilon"],
+        "run" => &[
+            "qasm",
+            "backend",
+            "shots",
+            "seed",
+            "iterations",
+            "epsilon",
+            "max-iters",
+            "time-budget-ms",
+        ],
         "mitigate" => &[
             "counts",
             "lambda",
@@ -67,6 +83,8 @@ fn known_flags(command: &str) -> &'static [&'static str] {
             "backend",
             "iterations",
             "epsilon",
+            "max-iters",
+            "time-budget-ms",
             "strategy",
             "compare",
         ],
@@ -111,7 +129,9 @@ fn parse_args() -> Result<Options, String> {
         }
         let next_is_value = args.peek().is_some_and(|next| !next.starts_with("--"));
         if next_is_value {
-            let value = args.next().expect("peeked");
+            let Some(value) = args.next() else {
+                return Err(format!("--{key} needs a value"));
+            };
             flags.insert(key, value);
         } else if VALUELESS_FLAGS.contains(&key.as_str()) {
             flags.insert(key, String::new());
@@ -149,6 +169,12 @@ fn long_usage() -> String {
      \x20 --lambda X           skip Eq.-2 estimation, use this rate\n\
      \x20 --iterations N       Algorithm-1 iteration count (default 20)\n\
      \x20 --epsilon X          edge-weight pruning threshold\n\
+     \x20 --max-iters N        watchdog cap on graph iterations; hitting it\n\
+     \x20                      yields a best-effort result flagged degraded\n\
+     \x20 --time-budget-ms MS  watchdog wall-clock budget for the graph loop\n\
+     \x20 --faults SPEC        arm fault injection (site:kind[@sel];...);\n\
+     \x20                      needs a build with --features fault-injection\n\
+     \x20 --fault-seed N       seed for probabilistic fault selectors\n\
      \x20 --strategy NAME      mitigation strategy (default qbeep): qbeep,\n\
      \x20                      hammer, ibu, binomial, neg-binomial, uniform,\n\
      \x20                      identity\n\
@@ -247,10 +273,10 @@ impl Observability {
                 report = report.with_manifest(manifest);
             }
             match format {
-                TelemetryFormat::Json => eprintln!(
-                    "{}",
-                    serde_json::to_string_pretty(&report).expect("run report serializes")
-                ),
+                TelemetryFormat::Json => match serde_json::to_string_pretty(&report) {
+                    Ok(json) => eprintln!("{json}"),
+                    Err(e) => return Err(format!("cannot serialize run report: {e}")),
+                },
                 TelemetryFormat::Table => eprint!("{}", report.render_table()),
             }
         }
@@ -258,10 +284,56 @@ impl Observability {
     }
 }
 
-fn load_backend(flags: &BTreeMap<String, String>) -> Result<Backend, String> {
+fn load_backend(flags: &BTreeMap<String, String>, recorder: &Recorder) -> Result<Backend, String> {
     let name = flags.get("backend").ok_or("missing --backend")?;
-    profiles::by_name(name)
-        .ok_or_else(|| format!("unknown backend '{name}'; run `qbeep-cli backends` for the list"))
+    let backend = profiles::by_name(name).ok_or_else(|| {
+        format!("unknown backend '{name}'; run `qbeep-cli backends` for the list")
+    })?;
+    Ok(apply_calibration_fault(backend, recorder))
+}
+
+/// The calibration-load fault site: corrupts the snapshot as the armed
+/// injector dictates, then clamp-and-warn sanitizes the result — so an
+/// injected zero-T1 or missing-qubit snapshot degrades to a usable
+/// backend with a warning instead of propagating garbage.
+fn apply_calibration_fault(backend: Backend, recorder: &Recorder) -> Backend {
+    use qbeep::core::faults::{self, FaultKind, FaultSite};
+    use qbeep::device::Calibration;
+
+    let Some(kind) = faults::fire_recorded(FaultSite::CalibrationLoad, recorder) else {
+        return backend;
+    };
+    let cal = backend.calibration().clone();
+    let mut qubits = cal.qubits().to_vec();
+    match kind {
+        FaultKind::ZeroT1T2 => {
+            for q in &mut qubits {
+                q.t1_us = 0.0;
+                q.t2_us = 0.0;
+            }
+        }
+        FaultKind::MissingQubit => {
+            qubits.pop();
+        }
+        FaultKind::PoisonNan => {
+            if let Some(q) = qubits.first_mut() {
+                q.readout_error = f64::NAN;
+            }
+        }
+        // The remaining kinds have no calibration analogue; they are
+        // inert at this site.
+        _ => return backend,
+    }
+    let poisoned = Calibration::from_parts_unchecked(
+        qubits,
+        cal.sq_gates().to_vec(),
+        cal.cx_edges().map(|(k, g)| (k, *g)).collect(),
+    );
+    let (fixed, issues) = backend.with_calibration_sanitized(poisoned);
+    for issue in &issues {
+        eprintln!("// calibration clamped: {issue}");
+    }
+    fixed
 }
 
 fn load_circuit(flags: &BTreeMap<String, String>) -> Result<Circuit, String> {
@@ -275,10 +347,9 @@ fn load_counts(flags: &BTreeMap<String, String>) -> Result<Counts, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let table: BTreeMap<String, u64> =
         serde_json::from_str(&source).map_err(|e| format!("bad counts JSON in {path}: {e}"))?;
-    if table.is_empty() {
+    let Some(width) = table.keys().next().map(String::len) else {
         return Err(format!("{path} holds no counts"));
-    }
-    let width = table.keys().next().expect("non-empty").len();
+    };
     let mut counts = Counts::new(width);
     for (bits, n) in table {
         if bits.len() != width {
@@ -302,6 +373,20 @@ fn config_from_flags(flags: &BTreeMap<String, String>) -> Result<QBeepConfig, St
     if let Some(eps) = flags.get("epsilon") {
         config.epsilon = eps.parse().map_err(|_| format!("bad --epsilon '{eps}'"))?;
     }
+    if let Some(cap) = flags.get("max-iters") {
+        config.max_iters = Some(
+            cap.parse()
+                .map_err(|_| format!("bad --max-iters '{cap}'"))?,
+        );
+    }
+    if let Some(budget) = flags.get("time-budget-ms") {
+        config.time_budget_ms = Some(
+            budget
+                .parse()
+                .map_err(|_| format!("bad --time-budget-ms '{budget}'"))?,
+        );
+    }
+    config.validate().map_err(|e| e.to_string())?;
     Ok(config)
 }
 
@@ -338,9 +423,9 @@ fn cmd_backends() -> Result<(), String> {
 }
 
 fn cmd_transpile(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let backend = load_backend(flags)?;
-    let circuit = load_circuit(flags)?;
     let obs = Observability::from_flags(flags)?;
+    let backend = load_backend(flags, obs.recorder())?;
+    let circuit = load_circuit(flags)?;
     let t = Transpiler::new(&backend)
         .transpile_recorded(&circuit, obs.recorder())
         .map_err(|e| e.to_string())?;
@@ -360,7 +445,8 @@ fn cmd_transpile(flags: &BTreeMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    let backend = load_backend(flags)?;
+    let obs = Observability::from_flags(flags)?;
+    let backend = load_backend(flags, obs.recorder())?;
     let circuit = load_circuit(flags)?;
     let shots: u64 = flags.get("shots").map_or(Ok(4000), |s| {
         s.parse().map_err(|_| format!("bad --shots '{s}'"))
@@ -369,7 +455,6 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
         s.parse().map_err(|_| format!("bad --seed '{s}'"))
     })?;
     let config = config_from_flags(flags)?;
-    let obs = Observability::from_flags(flags)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let run = execute_on_device_recorded(
         &circuit,
@@ -380,19 +465,35 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
         obs.recorder(),
     )
     .map_err(|e| e.to_string())?;
+    // The sampling fault site: emptied or truncated counts must flow
+    // through printing (and the telemetry mitigation preview) without
+    // a panic.
+    let counts = {
+        use qbeep::core::faults::{self, FaultKind, FaultSite};
+        match faults::fire_recorded(FaultSite::SimSampling, obs.recorder()) {
+            Some(FaultKind::EmptyCounts) => Counts::new(run.counts.width()),
+            Some(FaultKind::TruncateCounts(keep)) => Counts::from_pairs(
+                run.counts.width(),
+                run.counts.sorted_by_count().into_iter().take(keep),
+            ),
+            _ => run.counts.clone(),
+        }
+    };
     eprintln!(
         "// simulated {} shots on {} (λ* = {:.4})",
         shots,
         backend.name(),
         run.lambda_true
     );
-    if obs.recorder().is_enabled() {
+    if counts.is_empty() {
+        eprintln!("// warning: counts table is empty, skipping mitigation preview");
+    } else if obs.recorder().is_enabled() {
         // Mitigate as well, so the report covers the full pipeline —
         // λ breakdown, graph build and per-iteration series — while
         // stdout still carries only the raw counts.
-        let result = QBeep::new(config)
+        let (result, degradation) = QBeep::new(config)
             .with_recorder(obs.recorder().clone())
-            .mitigate_run(&run.counts, &run.transpiled, &backend);
+            .mitigate_run_guarded(&counts, &run.transpiled, &backend);
         eprintln!(
             "// mitigated: λ = {:.4}, graph {} vertices / {} edges, {} iterations",
             result.lambda,
@@ -400,8 +501,14 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
             result.diagnostics.edges,
             result.diagnostics.iterations,
         );
+        if let Some(degradation) = degradation {
+            eprintln!(
+                "// warning: watchdog cut the run short ({}); the result is best-effort",
+                degradation.tag()
+            );
+        }
     }
-    let rows = run.counts.sorted_by_count();
+    let rows = counts.sorted_by_count();
     let mut out = String::from("{\n");
     for (i, (s, c)) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -476,7 +583,7 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
             .map_err(|_| format!("bad --lambda '{lambda}'"))?;
         job = job.with_lambda(lambda);
     } else if flags.contains_key("backend") || flags.contains_key("qasm") {
-        let backend = load_backend(flags).map_err(|e| {
+        let backend = load_backend(flags, obs.recorder()).map_err(|e| {
             format!("{e} (λ estimation needs --qasm and --backend, or pass --lambda)")
         })?;
         let circuit = load_circuit(flags)?;
@@ -504,6 +611,14 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
                 .get("epsilon")
                 .map(|s| s.parse().map_err(|_| format!("bad --epsilon '{s}'")))
                 .transpose()?,
+            max_iters: flags
+                .get("max-iters")
+                .map(|s| s.parse().map_err(|_| format!("bad --max-iters '{s}'")))
+                .transpose()?,
+            time_budget_ms: flags
+                .get("time-budget-ms")
+                .map(|s| s.parse().map_err(|_| format!("bad --time-budget-ms '{s}'")))
+                .transpose()?,
             ..StrategySpec::default()
         };
         session
@@ -517,10 +632,19 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("{e} (pass --lambda, or --qasm with --backend)"))?;
     let outcome = report
         .outcome("cli", &primary)
-        .expect("primary strategy ran");
+        .ok_or_else(|| format!("strategy '{primary}' produced no outcome"))?;
     eprintln!("// {}", describe_outcome(outcome));
+    if let Some(degradation) = outcome.degradation {
+        eprintln!(
+            "// warning: watchdog cut the run short ({}); \
+             the result is best-effort",
+            degradation.tag()
+        );
+    }
     for name in names.iter().filter(|n| **n != primary) {
-        let other = report.outcome("cli", name).expect("compare strategy ran");
+        let other = report
+            .outcome("cli", name)
+            .ok_or_else(|| format!("strategy '{name}' produced no outcome"))?;
         eprintln!(
             "// {name}: {}, Δtv vs {primary} = {:.4}",
             describe_outcome(other),
@@ -529,6 +653,35 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
     println!("{}", counts_to_json(&outcome.mitigated.sorted_by_prob()));
     obs.finish(Some(manifest))
+}
+
+/// Arms the fault injector from `--faults`/`--fault-seed` (falling
+/// back to `QBEEP_FAULTS`/`QBEEP_FAULT_SEED`). A malformed spec is a
+/// hard error; a spec on a build without the `fault-injection` feature
+/// is accepted but warned about, since it cannot fire.
+fn arm_faults(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use qbeep::core::faults;
+
+    let armed = if let Some(spec) = flags.get("faults") {
+        let seed = flags
+            .get("fault-seed")
+            .map(|s| s.parse().map_err(|_| format!("bad --fault-seed '{s}'")))
+            .transpose()?
+            .unwrap_or(0);
+        let injector = faults::FaultInjector::with_seed(spec, seed).map_err(|e| e.to_string())?;
+        let clauses = injector.clauses();
+        faults::install(injector);
+        clauses
+    } else {
+        faults::init_from_env().map_err(|e| e.to_string())?
+    };
+    if armed > 0 && !faults::enabled() {
+        eprintln!(
+            "// warning: {armed} fault clause(s) armed but this build lacks \
+             the fault-injection feature; they will never fire"
+        );
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -545,6 +698,10 @@ fn main() -> ExitCode {
     {
         println!("{}", long_usage());
         return ExitCode::SUCCESS;
+    }
+    if let Err(e) = arm_faults(&options.flags) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     let result =
         match options.command.as_str() {
