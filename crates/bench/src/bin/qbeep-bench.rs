@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use qbeep_bench::regression::{BaselineStore, Comparison, DEFAULT_BASELINE, DEFAULT_THRESHOLD};
 use qbeep_bench::{Scale, BASE_SEED};
@@ -41,7 +42,11 @@ SUBCOMMANDS:
               channel, state-graph build + Algorithm-1 iterate) and
               write the telemetry artifact (default: the bench
               artifact path, BENCH_telemetry.json). --trace also
-              writes a Chrome trace_event JSON of the run.
+              writes a Chrome trace_event JSON of the run. On builds
+              with --features parallel, also times the graph hot path
+              serially and at up to 8 threads, checks the outputs are
+              bit-identical and reports the speedup (artifact shape
+              is unchanged either way).
     baseline  Learn a baseline store from an artifact (--from,
               default the bench artifact path) and write it (--out,
               default BENCH_baseline.json). --threshold sets the
@@ -212,7 +217,74 @@ fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot write {}: {e}", trace.display()))?;
         eprintln!("// hotpath: chrome trace -> {}", trace.display());
     }
+
+    // Serial-vs-parallel speedup probe on a larger workload. Runs on
+    // its own session (no recorder) and never touches the artifact,
+    // so baselines stay comparable between builds with and without
+    // the parallel feature.
+    report_speedup(scale.pick(400, 2000, 4000))?;
     Ok(ExitCode::SUCCESS)
+}
+
+/// Times the state-graph hot path (build + Algorithm-1 iterate via the
+/// session engine) once serially and once at the widest sensible
+/// fan-out, verifies the outputs are bit-identical, and reports the
+/// speedup. A no-op (with a note) on builds without the `parallel`
+/// feature; on single-core machines the ratio is reported but carries
+/// no signal.
+fn report_speedup(target_nodes: usize) -> Result<(), String> {
+    if !qbeep_core::parallel_enabled() {
+        eprintln!(
+            "// hotpath: speedup probe skipped (build lacks the parallel \
+             feature; rebuild with --features parallel)"
+        );
+        return Ok(());
+    }
+    let hardware = qbeep_par::hardware_threads();
+    let threads = hardware.clamp(1, 8);
+    let counts = synth_counts(target_nodes, BASE_SEED + 99);
+    let distinct = counts.distinct();
+    let time_mode = |n: usize| -> Result<(Duration, qbeep_bitstring::Distribution), String> {
+        qbeep_par::set_threads(Some(n));
+        let mut session = MitigationSession::new();
+        session
+            .add_strategy_by_name("qbeep")
+            .map_err(|e| e.to_string())?;
+        session.add_job(MitigationJob::new("speedup", counts.clone()).with_lambda(2.5));
+        let started = Instant::now();
+        let report = session.run().map_err(|e| e.to_string())?;
+        let elapsed = started.elapsed();
+        let mitigated = report
+            .outcome("speedup", "qbeep")
+            .expect("qbeep ran on the speedup job")
+            .mitigated
+            .clone();
+        Ok((elapsed, mitigated))
+    };
+    let serial = time_mode(1);
+    let parallel = time_mode(threads);
+    // Clear the probe's override; the QBEEP_THREADS fallback is
+    // re-read per call, so pre-probe behavior is restored exactly.
+    qbeep_par::set_threads(None);
+    let (serial_time, serial_dist) = serial?;
+    let (parallel_time, parallel_dist) = parallel?;
+    if parallel_dist != serial_dist {
+        return Err(format!(
+            "speedup probe: {threads}-thread output diverged from serial \
+             on {distinct} distinct outcomes — determinism contract broken"
+        ));
+    }
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    eprintln!(
+        "// hotpath: speedup probe ({distinct} distinct outcomes): serial \
+         {:.1} ms, {threads} threads {:.1} ms -> {speedup:.2}x (bit-identical)",
+        serial_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+    );
+    if hardware == 1 {
+        eprintln!("// hotpath: single hardware thread; speedup ratio carries no signal");
+    }
+    Ok(())
 }
 
 /// Synthesises a count table with roughly `target_nodes` distinct
@@ -368,5 +440,17 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
         }
     } else {
         Ok(ExitCode::SUCCESS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_probe_preserves_determinism() {
+        // On a parallel build this times both modes and fails if the
+        // outputs diverge; on a serial build it is the skip path.
+        report_speedup(60).expect("speedup probe succeeds");
     }
 }

@@ -54,4 +54,4 @@ pub use bitstring::{BitString, HammingBallIter, MAX_BITS};
 pub use counts::Counts;
 pub use dist::Distribution;
 pub use error::{ParseBitStringError, ZeroMassError};
-pub use spectrum::HammingSpectrum;
+pub use spectrum::{accumulate_masses, merge_mass_partials, HammingSpectrum};

@@ -140,6 +140,34 @@ impl HammingSpectrum {
         Ok(Self { reference, mass })
     }
 
+    /// Builds a spectrum by summing per-shard partial mass vectors
+    /// (as produced by [`accumulate_masses`]) and normalising.
+    ///
+    /// This is the merge half of the shard-safe bucketing protocol: a
+    /// parallel caller splits its outcomes into shards, buckets each
+    /// shard independently, then merges here. Because the merge is a
+    /// plain element-wise sum over fixed-size bucket vectors, the
+    /// result matches a single-pass [`from_distribution`]
+    /// (Self::from_distribution) bucketing up to floating-point
+    /// re-association of the per-bucket sums.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ZeroMassError`] when the merged masses sum to zero
+    /// (including an empty `partials`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any partial has more than `reference.len() + 1`
+    /// buckets or holds a negative/non-finite mass.
+    pub fn from_partials(
+        reference: BitString,
+        partials: &[Vec<f64>],
+    ) -> Result<Self, crate::ZeroMassError> {
+        let merged = merge_mass_partials(reference.len(), partials);
+        Self::try_from_masses(reference, &merged)
+    }
+
     /// The reference (center) bit-string.
     #[must_use]
     pub fn reference(&self) -> &BitString {
@@ -226,6 +254,64 @@ impl HammingSpectrum {
     pub fn to_vec(&self) -> Vec<f64> {
         self.mass.clone()
     }
+}
+
+/// Buckets one shard of weighted outcomes into a raw (unnormalised)
+/// per-distance mass vector with `width + 1` entries.
+///
+/// The shard half of the shard-safe bucketing protocol: each worker
+/// accumulates its slice of a distribution (or count table) locally,
+/// and the partials are summed by [`merge_mass_partials`] or fed to
+/// [`HammingSpectrum::from_partials`]. Bucketing each item touches
+/// exactly one bucket, so the partition of items across shards never
+/// changes *which* additions happen — only their association — and
+/// the merged result agrees with a single-pass bucketing to
+/// floating-point re-association.
+///
+/// # Panics
+///
+/// Panics if any outcome's width differs from `reference.len()`.
+#[must_use]
+pub fn accumulate_masses<'a, I>(reference: &BitString, items: I) -> Vec<f64>
+where
+    I: IntoIterator<Item = (&'a BitString, f64)>,
+{
+    let mut mass = vec![0.0; reference.len() + 1];
+    for (s, w) in items {
+        assert_eq!(
+            s.len(),
+            reference.len(),
+            "outcome width {} != reference width {}",
+            s.len(),
+            reference.len()
+        );
+        mass[reference.hamming_distance(s) as usize] += w;
+    }
+    mass
+}
+
+/// Element-wise sums shard partials (as produced by
+/// [`accumulate_masses`]) into one raw mass vector of `width + 1`
+/// buckets, in partial order.
+///
+/// # Panics
+///
+/// Panics if any partial has more than `width + 1` entries.
+#[must_use]
+pub fn merge_mass_partials(width: usize, partials: &[Vec<f64>]) -> Vec<f64> {
+    let mut merged = vec![0.0; width + 1];
+    for partial in partials {
+        assert!(
+            partial.len() <= width + 1,
+            "{} buckets exceed the {} of a {width}-bit spectrum",
+            partial.len(),
+            width + 1,
+        );
+        for (k, &m) in partial.iter().enumerate() {
+            merged[k] += m;
+        }
+    }
+    merged
 }
 
 impl fmt::Display for HammingSpectrum {
@@ -330,6 +416,49 @@ mod tests {
         let a = HammingSpectrum::from_counts(&c, &t);
         let b = c.to_distribution().hamming_spectrum(&t);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_accumulation_matches_single_pass() {
+        let reference = bs("1010");
+        let d = Distribution::from_probs(
+            4,
+            vec![
+                (bs("1010"), 0.4),
+                (bs("1011"), 0.25),
+                (bs("0010"), 0.15),
+                (bs("0101"), 0.12),
+                (bs("1111"), 0.08),
+            ],
+        );
+        let whole = d.hamming_spectrum(&reference);
+        let items: Vec<(BitString, f64)> = d.iter().map(|(s, p)| (*s, p)).collect();
+        for split in 1..items.len() {
+            let (lo, hi) = items.split_at(split);
+            let partials = vec![
+                accumulate_masses(&reference, lo.iter().map(|(s, p)| (s, *p))),
+                accumulate_masses(&reference, hi.iter().map(|(s, p)| (s, *p))),
+            ];
+            let sharded = HammingSpectrum::from_partials(reference, &partials).unwrap();
+            for k in 0..=4 {
+                assert!(
+                    (sharded.mass(k) - whole.mass(k)).abs() < 1e-12,
+                    "split {split}, bucket {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_mass_partials_pads_short_partials() {
+        let merged = merge_mass_partials(3, &[vec![1.0, 2.0], vec![0.5]]);
+        assert_eq!(merged, vec![1.5, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_partials_rejects_zero_mass() {
+        assert!(HammingSpectrum::from_partials(bs("00"), &[]).is_err());
+        assert!(HammingSpectrum::from_partials(bs("00"), &[vec![0.0, 0.0]]).is_err());
     }
 
     fn binom(n: usize, k: usize) -> f64 {

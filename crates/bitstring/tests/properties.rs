@@ -1,0 +1,106 @@
+//! Property-based tests of the bitstring crate's normalization and
+//! shard/merge invariants.
+
+use proptest::prelude::*;
+use qbeep_bitstring::{
+    accumulate_masses, merge_mass_partials, BitString, Distribution, HammingSpectrum,
+};
+
+/// Strategy: a width plus a non-empty weighted outcome list over it.
+fn arb_weighted() -> impl Strategy<Value = (usize, Vec<(u64, f64)>)> {
+    (2usize..=12).prop_flat_map(|width| {
+        let items = proptest::collection::vec((0u64..(1 << width), 1e-6f64..100.0), 1..20);
+        items.prop_map(move |v| (width, v))
+    })
+}
+
+fn to_distribution(width: usize, items: &[(u64, f64)]) -> Distribution {
+    Distribution::from_probs(
+        width,
+        items
+            .iter()
+            .map(|&(v, w)| (BitString::from_value(u128::from(v), width), w)),
+    )
+}
+
+proptest! {
+    #[test]
+    fn from_probs_normalises_to_unit_mass((width, items) in arb_weighted()) {
+        let dist = to_distribution(width, &items);
+        prop_assert!((dist.total_mass() - 1.0).abs() < 1e-12);
+        for (_, p) in dist.iter() {
+            prop_assert!(p >= 0.0 && p <= 1.0 + 1e-12);
+        }
+        prop_assert!(dist.support_size() <= items.len());
+    }
+
+    #[test]
+    fn try_from_masses_normalises_or_reports_zero(
+        width in 2usize..=12,
+        masses in proptest::collection::vec(0.0f64..10.0, 1..8),
+    ) {
+        let masses: Vec<f64> = masses.into_iter().take(width + 1).collect();
+        let reference = BitString::zeros(width);
+        let total: f64 = masses.iter().sum();
+        match HammingSpectrum::try_from_masses(reference, &masses) {
+            Ok(spec) => {
+                prop_assert!(total > 0.0);
+                let sum: f64 = spec.masses().iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-12);
+                prop_assert!(spec.masses().iter().all(|m| *m >= 0.0));
+            }
+            Err(_) => prop_assert!(total <= 0.0),
+        }
+    }
+
+    #[test]
+    fn sharded_spectrum_matches_single_pass(
+        (width, items) in arb_weighted(),
+        split_seed in any::<u64>(),
+    ) {
+        let dist = to_distribution(width, &items);
+        let reference = BitString::from_value(u128::from(split_seed), width);
+        let whole = dist.hamming_spectrum(&reference);
+
+        // Partition the support into up to 4 shards by a seeded hash
+        // and bucket each shard independently.
+        let support: Vec<(BitString, f64)> = dist.iter().map(|(s, p)| (*s, p)).collect();
+        let mut shards: Vec<Vec<(BitString, f64)>> = vec![Vec::new(); 4];
+        for (i, &(s, p)) in support.iter().enumerate() {
+            let shard = (split_seed.rotate_left(i as u32) % 4) as usize;
+            shards[shard].push((s, p));
+        }
+        let partials: Vec<Vec<f64>> = shards
+            .iter()
+            .map(|shard| accumulate_masses(&reference, shard.iter().map(|(s, p)| (s, *p))))
+            .collect();
+        let merged = HammingSpectrum::from_partials(reference, &partials).unwrap();
+        for k in 0..=width {
+            prop_assert!(
+                (merged.mass(k) - whole.mass(k)).abs() < 1e-12,
+                "bucket {} diverged: {} vs {}", k, merged.mass(k), whole.mass(k)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_insensitive(
+        width in 2usize..=10,
+        partials in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..5.0, 0..6), 0..5,
+        ),
+    ) {
+        let partials: Vec<Vec<f64>> = partials
+            .into_iter()
+            .map(|p| p.into_iter().take(width + 1).collect())
+            .collect();
+        let forward = merge_mass_partials(width, &partials);
+        let mut reversed = partials.clone();
+        reversed.reverse();
+        let backward = merge_mass_partials(width, &reversed);
+        prop_assert_eq!(forward.len(), width + 1);
+        for (a, b) in forward.iter().zip(&backward) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -381,6 +381,20 @@ pub fn enabled() -> bool {
     cfg!(feature = "fault-injection")
 }
 
+/// Whether an injector is currently armed **on the calling thread**
+/// and able to fire (i.e. the `fault-injection` feature is compiled
+/// in).
+///
+/// Injectors are thread-local, so worker threads spawned by the
+/// `parallel` feature would never see one armed on the submitting
+/// thread. Parallel dispatch paths consult this probe and fall back to
+/// serial execution while faults are armed, keeping every injected
+/// visit sequence identical to the single-threaded run.
+#[must_use]
+pub fn armed() -> bool {
+    enabled() && ACTIVE.with(|a| a.borrow().is_some())
+}
+
 /// Arms `injector` for the current thread (replacing any previous
 /// one). Harmless without the `fault-injection` feature: the injector
 /// is stored but [`fire`] stays inert.

@@ -14,7 +14,7 @@
 use std::time::{Duration, Instant};
 
 use qbeep_bitstring::{BitString, Counts, Distribution};
-use qbeep_telemetry::Recorder;
+use qbeep_telemetry::{EventLevel, Recorder};
 use serde::{Deserialize, Serialize};
 
 use crate::config::QBeepConfig;
@@ -233,13 +233,42 @@ impl StateGraph {
         // Distances whose kernel weight falls below ε get no edges.
         let mut edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
         let mut pruned_pairs = 0usize;
-        for &(i, j, d) in index.pairs() {
-            let w = weights[d as usize];
-            if w >= config.epsilon {
-                edges[i as usize].push((j as usize, w));
-                edges[j as usize].push((i as usize, w));
-            } else {
-                pruned_pairs += 1;
+        let pairs = index.pairs();
+        let threads = crate::parallel::effective_threads();
+        if threads > 1 && !pairs.is_empty() {
+            // Shard the pair list contiguously; each shard filters its
+            // slice into a retained-edge list, and the serial merge
+            // pushes shards in order — the exact push sequence of the
+            // serial loop, so the adjacency lists are identical.
+            let shards = qbeep_par::map_sharded(pairs.len(), threads, |_shard, range| {
+                let mut kept: Vec<(u32, u32, f64)> = Vec::new();
+                let mut pruned = 0usize;
+                for &(i, j, d) in &pairs[range] {
+                    let w = weights[d as usize];
+                    if w >= config.epsilon {
+                        kept.push((i, j, w));
+                    } else {
+                        pruned += 1;
+                    }
+                }
+                (kept, pruned)
+            });
+            for (kept, pruned) in shards {
+                for (i, j, w) in kept {
+                    edges[i as usize].push((j as usize, w));
+                    edges[j as usize].push((i as usize, w));
+                }
+                pruned_pairs += pruned;
+            }
+        } else {
+            for &(i, j, d) in pairs {
+                let w = weights[d as usize];
+                if w >= config.epsilon {
+                    edges[i as usize].push((j as usize, w));
+                    edges[j as usize].push((i as usize, w));
+                } else {
+                    pruned_pairs += 1;
+                }
             }
         }
 
@@ -297,8 +326,35 @@ impl StateGraph {
     /// The stats are derived from the per-node delta vector the update
     /// already computes — an O(V) postlude to the O(V·r) flow loops —
     /// and the count arithmetic is untouched, so stepping with or
-    /// without stats is bit-identical.
+    /// without stats is bit-identical. So is stepping in parallel: at
+    /// an effective thread count above 1 the sharded step runs, whose
+    /// fixed-order per-node reduction reproduces the serial arithmetic
+    /// bit for bit (see `crates/core/tests/parallel_parity.rs`).
     pub fn step_with_stats(&mut self) -> StepStats {
+        let threads = crate::parallel::effective_threads();
+        if threads > 1 {
+            if let Some(stats) = self.step_par(threads, None) {
+                return stats;
+            }
+        }
+        self.step_serial()
+    }
+
+    /// One step honouring an optional wall-clock deadline between the
+    /// parallel phases. Returns `None` — with the graph untouched —
+    /// when the deadline expired before the step could commit. The
+    /// serial path ignores the deadline here; it is checked between
+    /// whole iterations by the caller, exactly as before.
+    fn step_guarded(&mut self, deadline: Option<Instant>) -> Option<StepStats> {
+        let threads = crate::parallel::effective_threads();
+        if threads > 1 {
+            self.step_par(threads, deadline)
+        } else {
+            Some(self.step_serial())
+        }
+    }
+
+    fn step_serial(&mut self) -> StepStats {
         self.steps_done += 1;
         let eta = self.config.learning_rate.at(self.steps_done);
         let n = self.nodes.len();
@@ -348,7 +404,106 @@ impl StateGraph {
                 delta[b] += scaled;
             }
         }
-        for (node, d) in self.nodes.iter_mut().zip(&delta) {
+        self.apply_delta(&delta)
+    }
+
+    /// The sharded step: phase 1 computes per-node raw outflows over
+    /// contiguous node shards, phase 2 gathers per-node deltas the
+    /// same way, and the apply runs serially over the complete delta
+    /// vector.
+    ///
+    /// Bit-for-bit parity with [`step_serial`](Self::step_serial)
+    /// rests on two facts. First, `edges[v]` is sorted ascending by
+    /// neighbour index (pairs arrive in `i`-then-`j` order), so the
+    /// serial scatter's op sequence on `delta[v]` is: one inflow per
+    /// live neighbour `a < v` in ascending order, then — when `v`
+    /// itself is live — `v`'s full outflow in edge order, then one
+    /// inflow per live neighbour `a > v`. The per-node gather replays
+    /// exactly that sequence into a local accumulator. Second, every
+    /// term is computed by the same expression (`flow(a, b, w) *
+    /// factor[a]`), and IEEE-754 arithmetic is deterministic, so equal
+    /// op sequences give equal bits.
+    ///
+    /// `deadline` is checked between phases; `None` is returned — with
+    /// no state mutated, not even the step counter — when it passed.
+    fn step_par(&mut self, threads: usize, deadline: Option<Instant>) -> Option<StepStats> {
+        let step_no = self.steps_done + 1;
+        let eta = self.config.learning_rate.at(step_no);
+        let n = self.nodes.len();
+        let nodes = &self.nodes;
+        let edges = &self.edges;
+        let flow =
+            |a: usize, b: usize, w: f64| eta * w * nodes[a].count * (nodes[b].prob / nodes[a].prob);
+        // The serial loops *skip* a node when `count <= 0.0`, which
+        // deliberately still processes NaN-poisoned counts (NaN fails
+        // the comparison). `live` is that exact complement, so
+        // fault-injected runs stay bit-identical too.
+        let live = |c: f64| c > 0.0 || c.is_nan();
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+
+        let ranges = qbeep_par::shard_ranges(n, threads);
+        let raw_shards = qbeep_par::map_ranges(&ranges, |_shard, range| {
+            let mut out = vec![0.0f64; range.len()];
+            for (slot, a) in out.iter_mut().zip(range) {
+                if !live(nodes[a].count) {
+                    continue;
+                }
+                for &(b, w) in &edges[a] {
+                    *slot += flow(a, b, w);
+                }
+            }
+            out
+        });
+        if expired() {
+            return None;
+        }
+        let raw_outflow: Vec<f64> = raw_shards.concat();
+        let factor: Vec<f64> = (0..n)
+            .map(|a| {
+                if !self.config.overflow_renormalisation || raw_outflow[a] <= 0.0 {
+                    1.0
+                } else {
+                    (nodes[a].count / raw_outflow[a]).min(1.0)
+                }
+            })
+            .collect();
+
+        let factor = &factor;
+        let delta_shards = qbeep_par::map_ranges(&ranges, |_shard, range| {
+            let mut out = vec![0.0f64; range.len()];
+            for (slot, v) in out.iter_mut().zip(range) {
+                let mut acc = 0.0f64;
+                for &(a, w) in edges[v].iter().take_while(|&&(a, _)| a < v) {
+                    if live(nodes[a].count) {
+                        acc += flow(a, v, w) * factor[a];
+                    }
+                }
+                if live(nodes[v].count) {
+                    for &(b, w) in &edges[v] {
+                        acc -= flow(v, b, w) * factor[v];
+                    }
+                }
+                for &(a, w) in edges[v].iter().skip_while(|&&(a, _)| a < v) {
+                    if live(nodes[a].count) {
+                        acc += flow(a, v, w) * factor[a];
+                    }
+                }
+                *slot = acc;
+            }
+            out
+        });
+        if expired() {
+            return None;
+        }
+        let delta: Vec<f64> = delta_shards.concat();
+        self.steps_done = step_no;
+        Some(self.apply_delta(&delta))
+    }
+
+    /// Applies a complete per-node delta vector and derives the step
+    /// stats — the shared tail of the serial and parallel steps.
+    fn apply_delta(&mut self, delta: &[f64]) -> StepStats {
+        for (node, d) in self.nodes.iter_mut().zip(delta) {
             node.count += d;
             // Guard the no-renormalisation ablation against drift below
             // zero; with renormalisation on this is a no-op.
@@ -359,7 +514,7 @@ impl StateGraph {
 
         let mut mass_moved = 0.0;
         let mut max_node_delta = 0.0f64;
-        for &d in &delta {
+        for &d in delta {
             if d > 0.0 {
                 mass_moved += d;
             }
@@ -441,6 +596,13 @@ impl StateGraph {
     /// This is also the [`FaultSite::GraphIterate`] injection point:
     /// an armed `graph:nan`/`graph:inf` fault poisons one node's count
     /// before a step (exercising the detector), `graph:panic` panics.
+    ///
+    /// Under the `parallel` feature the time budget is additionally
+    /// checked *between the parallel phases of a step* (not only
+    /// between whole iterations), so `--time-budget-ms` stays accurate
+    /// when a single sharded step is slow. A step abandoned mid-flight
+    /// leaves the graph untouched, so the timeout state is identical
+    /// to one that fired before the iteration.
     pub fn iterate_guarded(
         &mut self,
         recorder: &Recorder,
@@ -452,7 +614,23 @@ impl StateGraph {
             .config
             .max_iters
             .map_or(configured, |m| m.min(configured));
+        let threads = crate::parallel::effective_threads();
+        if threads > 1 && recorder.is_enabled() {
+            let shards = qbeep_par::shard_ranges(self.nodes.len(), threads).len();
+            recorder.event(
+                EventLevel::Info,
+                "graph.par_shards",
+                &[
+                    ("shards", shards.to_string()),
+                    ("threads", threads.to_string()),
+                ],
+            );
+        }
         let start = Instant::now();
+        let deadline = self
+            .config
+            .time_budget_ms
+            .map(|ms| start + Duration::from_millis(ms));
         let mut degradation = None;
         let mut ran = 0usize;
         for n in 1..=cap {
@@ -472,7 +650,13 @@ impl StateGraph {
                 Some(FaultKind::Panic) => panic!("injected panic at graph iteration {n}"),
                 _ => {}
             }
-            let stats = self.step_with_stats();
+            let Some(stats) = self.step_guarded(deadline) else {
+                degradation = Some(Degradation::TimedOut {
+                    iteration: n,
+                    budget_ms: self.config.time_budget_ms.unwrap_or(0),
+                });
+                break;
+            };
             let unhealthy = !stats.max_node_delta.is_finite()
                 || stats.max_node_delta > DIVERGENCE_FACTOR * self.total.max(1.0)
                 || self.nodes.iter().any(|node| !node.count.is_finite());

@@ -85,6 +85,7 @@ pub mod lambda;
 pub mod mitigator;
 pub mod model;
 pub mod neighbors;
+pub mod parallel;
 pub mod provenance;
 pub mod readout;
 pub mod registry;
@@ -103,6 +104,7 @@ pub use mitigator::{
     StrategyDiagnostics,
 };
 pub use neighbors::NeighborIndex;
+pub use parallel::{effective_threads, parallel_enabled};
 pub use pipeline::{MitigationDiagnostics, MitigationResult, QBeep};
 pub use registry::{StrategyRegistry, StrategySpec};
 pub use session::{

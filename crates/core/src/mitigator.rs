@@ -18,10 +18,10 @@
 //! [`crate::zne`]).
 
 use std::borrow::Cow;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use qbeep_bitstring::{Counts, Distribution};
 use qbeep_device::Backend;
@@ -155,11 +155,18 @@ type WeightKey = (u8, u64, u64, usize);
 /// keyed by [`WeightLaw::cache_key`]. Shared across the jobs and
 /// strategies of one [`crate::session::MitigationSession`], so N jobs
 /// on the same backend parameterise the Poisson PMF once.
+///
+/// The cache is `Sync`: under the `parallel` feature one instance is
+/// shared by every session worker thread. The whole get-or-insert runs
+/// under a single lock, so each distinct `(law, width)` is built
+/// exactly once and the built/reused counters stay deterministic
+/// (distinct keys built, every other access a reuse) regardless of
+/// which thread asks first.
 #[derive(Debug, Default)]
 pub struct SharedTables {
-    weights: RefCell<HashMap<WeightKey, Rc<Vec<f64>>>>,
-    built: Cell<usize>,
-    reused: Cell<usize>,
+    weights: Mutex<HashMap<WeightKey, Arc<Vec<f64>>>>,
+    built: AtomicUsize,
+    reused: AtomicUsize,
 }
 
 impl SharedTables {
@@ -172,29 +179,29 @@ impl SharedTables {
     /// The weight table for `law` over `0..=width`, computed at most
     /// once per distinct `(law, width)`.
     #[must_use]
-    pub fn weight_table(&self, law: WeightLaw, width: usize) -> Rc<Vec<f64>> {
+    pub fn weight_table(&self, law: WeightLaw, width: usize) -> Arc<Vec<f64>> {
         let key = law.cache_key(width);
-        let mut cache = self.weights.borrow_mut();
+        let mut cache = self.weights.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(table) = cache.get(&key) {
-            self.reused.set(self.reused.get() + 1);
-            return Rc::clone(table);
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(table);
         }
-        let table = Rc::new(law.table(width));
-        cache.insert(key, Rc::clone(&table));
-        self.built.set(self.built.get() + 1);
+        let table = Arc::new(law.table(width));
+        cache.insert(key, Arc::clone(&table));
+        self.built.fetch_add(1, Ordering::Relaxed);
         table
     }
 
     /// Distinct tables computed so far.
     #[must_use]
     pub fn tables_built(&self) -> usize {
-        self.built.get()
+        self.built.load(Ordering::Relaxed)
     }
 
     /// Cache hits so far.
     #[must_use]
     pub fn tables_reused(&self) -> usize {
-        self.reused.get()
+        self.reused.load(Ordering::Relaxed)
     }
 }
 
@@ -359,10 +366,10 @@ impl<'a> RunContext<'a> {
 
     /// The weight table for `law`, via the shared cache when present.
     #[must_use]
-    pub fn weight_table(&self, law: WeightLaw, width: usize) -> Rc<Vec<f64>> {
+    pub fn weight_table(&self, law: WeightLaw, width: usize) -> Arc<Vec<f64>> {
         match self.tables {
             Some(tables) => tables.weight_table(law, width),
-            None => Rc::new(law.table(width)),
+            None => Arc::new(law.table(width)),
         }
     }
 }
@@ -413,7 +420,12 @@ pub struct MitigationOutcome {
 }
 
 /// A counts-in/distribution-out mitigation strategy.
-pub trait Mitigator {
+///
+/// `Send + Sync` is part of the contract: a boxed strategy inside a
+/// [`crate::session::MitigationSession`] may be invoked from scoped
+/// worker threads under the `parallel` feature, so strategies must not
+/// carry thread-affine state.
+pub trait Mitigator: Send + Sync {
     /// The strategy's registry name.
     fn name(&self) -> &'static str;
 
@@ -926,7 +938,7 @@ mod tests {
         let tables = SharedTables::new();
         let a = tables.weight_table(WeightLaw::Poisson { lambda: 0.8 }, 4);
         let b = tables.weight_table(WeightLaw::Poisson { lambda: 0.8 }, 4);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         let _ = tables.weight_table(WeightLaw::Poisson { lambda: 0.9 }, 4);
         let _ = tables.weight_table(WeightLaw::Poisson { lambda: 0.8 }, 5);
         let _ = tables.weight_table(WeightLaw::Uniform, 4);

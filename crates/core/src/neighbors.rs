@@ -47,13 +47,37 @@ impl NeighborIndex {
             u32::try_from(nodes.len()).is_ok(),
             "more than u32::MAX distinct outcomes"
         );
-        let mut pairs = Vec::with_capacity(nodes.len() * nodes.len().saturating_sub(1) / 2);
-        for i in 0..nodes.len() {
-            for j in i + 1..nodes.len() {
-                let d = nodes[i].0.hamming_distance(&nodes[j].0);
-                pairs.push((i as u32, j as u32, d));
+        let n = nodes.len();
+        let threads = crate::parallel::effective_threads();
+        let pairs = if threads > 1 && n > 2 {
+            // Shard the outer rows, weighted by the n−1−i pairs row i
+            // owns so the triangular profile doesn't idle the tail
+            // shards; concatenating per-shard lists in row order
+            // reproduces the serial i-then-j sequence exactly.
+            let weights: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+            let ranges = qbeep_par::shard_ranges_weighted(&weights, threads);
+            let nodes = &nodes;
+            qbeep_par::map_ranges(&ranges, |_shard, range| {
+                let mut shard_pairs = Vec::new();
+                for i in range {
+                    for j in i + 1..n {
+                        let d = nodes[i].0.hamming_distance(&nodes[j].0);
+                        shard_pairs.push((i as u32, j as u32, d));
+                    }
+                }
+                shard_pairs
+            })
+            .concat()
+        } else {
+            let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+            for i in 0..n {
+                for j in i + 1..n {
+                    let d = nodes[i].0.hamming_distance(&nodes[j].0);
+                    pairs.push((i as u32, j as u32, d));
+                }
             }
-        }
+            pairs
+        };
         Ok(Self {
             width: counts.width(),
             total: counts.total(),

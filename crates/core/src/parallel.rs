@@ -1,0 +1,30 @@
+//! Thread-count resolution for the `parallel` cargo feature.
+//!
+//! The hot path (neighbor/edge construction, the Bayesian step,
+//! session dispatch) asks [`effective_threads`] how wide to fan out.
+//! Without the `parallel` feature the answer is always `1` and every
+//! call site takes its pre-existing serial code path; with the feature
+//! the count comes from the `qbeep-par` knob (`--threads N` /
+//! `QBEEP_THREADS`, default 1), so parallelism stays strictly opt-in.
+//!
+//! The determinism contract: for any thread count the parallel paths
+//! produce output bit-for-bit identical to the serial ones (pinned by
+//! `crates/core/tests/parallel_parity.rs`), so this knob trades wall
+//! clock only, never results.
+
+/// Whether the `parallel` feature is compiled into this build.
+#[must_use]
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
+
+/// The worker-thread count the hot path will use: the `qbeep-par`
+/// knob when the `parallel` feature is compiled in, `1` otherwise.
+#[must_use]
+pub fn effective_threads() -> usize {
+    if cfg!(feature = "parallel") {
+        qbeep_par::current_threads().max(1)
+    } else {
+        1
+    }
+}

@@ -304,19 +304,55 @@ impl MitigationSession {
     fn execute(&self, isolate: bool) -> Result<SessionReport, MitigationError> {
         let backend = self.sanitized_backend();
         let tables = SharedTables::new();
+        // Job-level parallelism. An armed fault injector is
+        // thread-local state on the *calling* thread — workers would
+        // never see it and the injected visit sequence would change —
+        // so fault-armed batches fall back to serial dispatch.
+        let threads = crate::parallel::effective_threads();
+        let parallel = threads > 1 && self.jobs.len() > 1 && !faults::armed();
+        if parallel && self.recorder.is_enabled() {
+            self.recorder.event(
+                EventLevel::Info,
+                "session.threads",
+                &[
+                    ("threads", threads.to_string()),
+                    ("jobs", self.jobs.len().to_string()),
+                ],
+            );
+        }
+        // Workers fill per-job slots; failures and events are then
+        // handled serially in submission order, so reports, failures,
+        // and the aborting `run`'s returned error are identical to the
+        // serial dispatch. (Under parallel dispatch an aborting run
+        // may have *executed* jobs past the failing one before the
+        // error is returned — results after the first error are
+        // discarded either way.)
+        let results: Vec<Result<JobReport, MitigationError>> = if parallel {
+            qbeep_par::map_sharded(self.jobs.len(), threads, |_shard, range| {
+                range
+                    .map(|idx| self.attempt_job(&self.jobs[idx], backend.as_ref(), &tables))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            let mut collected = Vec::with_capacity(self.jobs.len());
+            for job in &self.jobs {
+                let result = self.attempt_job(job, backend.as_ref(), &tables);
+                let failed = result.is_err();
+                collected.push(result);
+                // The aborting `run` stops *executing* at the first
+                // failure, exactly as before.
+                if failed && !isolate {
+                    break;
+                }
+            }
+            collected
+        };
         let mut reports = Vec::with_capacity(self.jobs.len());
         let mut failures = Vec::new();
-        for job in &self.jobs {
-            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-                self.run_job(job, backend.as_ref(), &tables)
-            }));
-            let result = match attempt {
-                Ok(result) => result,
-                Err(payload) => Err(MitigationError::JobPanicked {
-                    job: job.label.clone(),
-                    payload: panic_message(payload.as_ref()),
-                }),
-            };
+        for (job, result) in self.jobs.iter().zip(results) {
             match result {
                 Ok(report) => reports.push(report),
                 Err(error) => {
@@ -364,6 +400,24 @@ impl MitigationSession {
             stats,
             telemetry,
         })
+    }
+
+    /// One job attempt with panic quarantine — the per-worker unit of
+    /// both the serial and parallel dispatch paths.
+    fn attempt_job(
+        &self,
+        job: &MitigationJob,
+        backend: Option<&Backend>,
+        tables: &SharedTables,
+    ) -> Result<JobReport, MitigationError> {
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| self.run_job(job, backend, tables)));
+        match attempt {
+            Ok(result) => result,
+            Err(payload) => Err(MitigationError::JobPanicked {
+                job: job.label.clone(),
+                payload: panic_message(payload.as_ref()),
+            }),
+        }
     }
 
     /// One job end to end: dispatch-site fault hook, shared neighbor

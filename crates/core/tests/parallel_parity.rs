@@ -1,0 +1,342 @@
+//! Determinism-pinning suite for the parallel hot path.
+//!
+//! The `parallel` feature's contract is that it trades wall clock
+//! only: at ANY thread count the sharded NeighborIndex/edge build,
+//! the parallel Bayesian step, and multi-threaded session dispatch
+//! must produce output bit-for-bit identical to the serial path.
+//! This suite pins that contract by fingerprinting full outputs —
+//! distributions as raw `f64` bit patterns, edge/prune counters,
+//! per-iteration diagnostics, session reports including quarantined
+//! failures — at thread counts {1, 2, 8} over seeds {1, 7, 23} and
+//! asserting exact equality with the one-thread baseline.
+//!
+//! The suite is also valid on builds WITHOUT the feature (every run
+//! is then serial and parity is trivial), so it can ride along in the
+//! default test matrix and only bites where it matters.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use qbeep_bitstring::{BitString, Counts};
+use qbeep_core::graph::StateGraph;
+use qbeep_core::{MitigationJob, MitigationSession, NeighborIndex, QBeepConfig, SessionReport};
+use qbeep_telemetry::Recorder;
+
+const SEEDS: [u64; 3] = [1, 7, 23];
+const PARALLEL_COUNTS: [usize; 2] = [2, 8];
+
+/// Serialises tests that touch the process-global thread knob.
+fn knob() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the thread override pinned to `n`, then restores the
+/// default (env-or-1) resolution.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    qbeep_par::set_threads(Some(n));
+    let out = f();
+    qbeep_par::set_threads(None);
+    out
+}
+
+/// Tiny deterministic generator (SplitMix64) so the fixtures need no
+/// external randomness.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A synthetic count table: one dominant outcome plus a seeded noise
+/// cloud of `distinct` strings.
+fn synth_counts(width: usize, distinct: usize, seed: u64) -> Counts {
+    let mask = (1u128 << width) - 1;
+    let mut rng = SplitMix(seed);
+    let mut counts = Counts::new(width);
+    counts.record(
+        BitString::from_value(u128::from(rng.next()) & mask, width),
+        500,
+    );
+    while counts.distinct() < distinct {
+        let s = BitString::from_value(u128::from(rng.next()) & mask, width);
+        let c = 1 + rng.next() % 40;
+        counts.record(s, c);
+    }
+    counts
+}
+
+/// A distribution reduced to exact bit patterns in canonical order.
+fn dist_bits(dist: &qbeep_bitstring::Distribution) -> Vec<(String, u64)> {
+    dist.sorted_by_prob()
+        .iter()
+        .map(|(s, p)| (s.to_string(), p.to_bits()))
+        .collect()
+}
+
+/// Everything observable about one graph build + guarded iterate:
+/// neighbor pairs, edge/prune counters, the output distribution (as
+/// raw bits), both per-iteration series (as raw bits) and the
+/// degradation verdict.
+type GraphFingerprint = (
+    Vec<(u32, u32, u32)>,
+    usize,
+    usize,
+    Vec<(String, u64)>,
+    Vec<u64>,
+    Vec<u64>,
+    String,
+);
+
+fn graph_fingerprint(counts: &Counts, lambda: f64, config: &QBeepConfig) -> GraphFingerprint {
+    let index = NeighborIndex::build(counts).expect("non-empty counts");
+    let mut graph = StateGraph::build(counts, lambda, config);
+    let (diag, degradation) = graph.iterate_guarded(&Recorder::disabled());
+    (
+        index.pairs().to_vec(),
+        graph.num_edges(),
+        graph.pruned_pairs(),
+        dist_bits(&graph.distribution()),
+        diag.mass_moved.iter().map(|m| m.to_bits()).collect(),
+        diag.max_node_delta.iter().map(|m| m.to_bits()).collect(),
+        format!("{degradation:?}"),
+    )
+}
+
+#[test]
+fn graph_build_and_iterate_is_thread_invariant() {
+    let _guard = knob();
+    for seed in SEEDS {
+        let counts = synth_counts(12, 150, seed);
+        let lambda = 0.8 + (seed % 5) as f64 * 0.4;
+        let config = QBeepConfig::default();
+        let baseline = with_threads(1, || graph_fingerprint(&counts, lambda, &config));
+        for threads in PARALLEL_COUNTS {
+            let got = with_threads(threads, || graph_fingerprint(&counts, lambda, &config));
+            assert_eq!(got, baseline, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+/// A mixed-strategy multi-job session over seeded synthetic tables.
+fn build_session(seed: u64, jobs: usize) -> MitigationSession {
+    let mut session = MitigationSession::new();
+    for name in ["qbeep", "hammer", "binomial"] {
+        session.add_strategy_by_name(name).expect("known strategy");
+    }
+    for i in 0..jobs as u64 {
+        let counts = synth_counts(10, 60 + 10 * i as usize, seed.wrapping_mul(31) + i);
+        let lambda = 0.6 + 0.3 * i as f64;
+        session.add_job(MitigationJob::new(format!("job{i}"), counts).with_lambda(lambda));
+    }
+    session
+}
+
+/// One session row: job label, strategy (or failure) and the output
+/// distribution as raw bits.
+type SessionRow = (String, String, Vec<(String, u64)>);
+
+/// Everything observable about a session run, in submission order.
+fn session_fingerprint(report: &SessionReport) -> Vec<SessionRow> {
+    let mut out = Vec::new();
+    for job in &report.jobs {
+        for outcome in &job.outcomes {
+            out.push((
+                job.label.clone(),
+                outcome.strategy.clone(),
+                dist_bits(&outcome.mitigated),
+            ));
+        }
+    }
+    for failure in &report.failures {
+        out.push((
+            failure.label.clone(),
+            format!("FAILED: {}", failure.error),
+            Vec::new(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn session_batches_are_thread_invariant() {
+    let _guard = knob();
+    for seed in SEEDS {
+        let baseline = with_threads(1, || {
+            let session = build_session(seed, 5);
+            let run = session_fingerprint(&session.run().expect("clean run"));
+            let isolated = session_fingerprint(&session.run_isolated().expect("clean run"));
+            (run, isolated)
+        });
+        for threads in PARALLEL_COUNTS {
+            let got = with_threads(threads, || {
+                let session = build_session(seed, 5);
+                let run = session_fingerprint(&session.run().expect("clean run"));
+                let isolated = session_fingerprint(&session.run_isolated().expect("clean run"));
+                (run, isolated)
+            });
+            assert_eq!(got, baseline, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn watchdog_capped_runs_are_thread_invariant() {
+    let _guard = knob();
+    // An iteration cap degrades the run deterministically; the capped
+    // graph state must match the serial one exactly.
+    for seed in SEEDS {
+        let counts = synth_counts(12, 100, seed);
+        let config = QBeepConfig {
+            max_iters: Some(3),
+            ..QBeepConfig::default()
+        };
+        let baseline = with_threads(1, || graph_fingerprint(&counts, 1.4, &config));
+        assert!(
+            baseline.6.contains("IterationCapped"),
+            "cap fired: {}",
+            baseline.6
+        );
+        for threads in PARALLEL_COUNTS {
+            let got = with_threads(threads, || graph_fingerprint(&counts, 1.4, &config));
+            assert_eq!(got, baseline, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn exhausted_time_budget_is_thread_invariant() {
+    let _guard = knob();
+    // A zero budget times out before the first iteration at any
+    // thread count: the graph must stay at its initial state.
+    let counts = synth_counts(12, 80, 7);
+    for threads in [1, 2, 8] {
+        let (dist, tag) = with_threads(threads, || {
+            let config = QBeepConfig {
+                time_budget_ms: Some(0),
+                ..QBeepConfig::default()
+            };
+            let mut graph = StateGraph::build(&counts, 1.2, &config);
+            let (_, degradation) = graph.iterate_guarded(&Recorder::disabled());
+            (
+                dist_bits(&graph.distribution()),
+                degradation.expect("timed out").tag().to_string(),
+            )
+        });
+        assert_eq!(tag, "timed_out", "{threads} threads");
+        // Reference: a freshly built, never-iterated graph.
+        let pristine = StateGraph::build(&counts, 1.2, &QBeepConfig::default());
+        assert_eq!(
+            dist,
+            dist_bits(&pristine.distribution()),
+            "{threads} threads: graph mutated"
+        );
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn fault_injected_graph_runs_are_thread_invariant() {
+    use qbeep_core::faults;
+    let _guard = knob();
+    // NaN poisoning mid-iterate drives the divergence watchdog:
+    // the poisoned step, the unhealthy verdict and the rollback all
+    // have to replay identically under sharded execution.
+    for seed in SEEDS {
+        let counts = synth_counts(11, 90, seed);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                faults::install("graph:nan@2".parse().expect("valid spec"));
+                let fp = graph_fingerprint(&counts, 1.5, &QBeepConfig::default());
+                faults::clear();
+                fp
+            })
+        };
+        let baseline = run(1);
+        assert!(
+            baseline.6.contains("Diverged"),
+            "nan poison diverged: {}",
+            baseline.6
+        );
+        for threads in PARALLEL_COUNTS {
+            assert_eq!(run(threads), baseline, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn fault_injected_sessions_are_thread_invariant() {
+    use qbeep_core::faults;
+    let _guard = knob();
+    // Panic quarantine: jobs 2 and 4 die, the survivors must be
+    // bit-identical and the failure list stable at any thread count.
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            faults::install(
+                "session:panic@2;session:panic@4"
+                    .parse()
+                    .expect("valid spec"),
+            );
+            let session = build_session(23, 6);
+            let report = session.run_isolated().expect("isolated run");
+            faults::clear();
+            session_fingerprint(&report)
+        })
+    };
+    let baseline = run(1);
+    assert!(
+        baseline.iter().any(|(_, tag, _)| tag.starts_with("FAILED")),
+        "panic clauses quarantined jobs"
+    );
+    for threads in PARALLEL_COUNTS {
+        assert_eq!(run(threads), baseline, "{threads} threads");
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_runs_emit_thread_telemetry() {
+    let _guard = knob();
+    with_threads(8, || {
+        let recorder = Recorder::new();
+        let counts = synth_counts(10, 60, 3);
+        let mut graph = StateGraph::build(&counts, 1.2, &QBeepConfig::default());
+        let _ = graph.iterate_guarded(&recorder);
+        assert!(
+            recorder
+                .events()
+                .events
+                .iter()
+                .any(|e| e.name == "graph.par_shards"),
+            "graph.par_shards emitted"
+        );
+
+        let recorder = Recorder::new();
+        let mut session = MitigationSession::new().with_recorder(recorder.clone());
+        session.add_strategy_by_name("qbeep").expect("known");
+        for i in 0..3u64 {
+            session.add_job(
+                MitigationJob::new(format!("job{i}"), synth_counts(9, 40, i + 1)).with_lambda(0.9),
+            );
+        }
+        session.run().expect("clean run");
+        assert!(
+            recorder
+                .events()
+                .events
+                .iter()
+                .any(|e| e.name == "session.threads"),
+            "session.threads emitted"
+        );
+    });
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the spectral weight laws and their MLE
+//! estimators: the laws behave like (sub-)probability masses under
+//! ε-truncation, and fitting a law to its own synthetic spectrum
+//! recovers the generating parameters.
+
+use proptest::prelude::*;
+use qbeep_bitstring::{BitString, HammingSpectrum};
+use qbeep_core::model::{mle_binomial, mle_neg_binomial, mle_poisson, SpectrumModel, WeightLaw};
+
+/// Sums the entries of a weight table that survive ε-pruning — the
+/// same filter the state-graph builder applies to edge weights.
+fn truncated_mass(table: &[f64], epsilon: f64) -> f64 {
+    table.iter().filter(|w| **w >= epsilon).sum()
+}
+
+proptest! {
+    #[test]
+    fn weight_tables_are_sub_probability_masses(
+        width in 1usize..=24,
+        lambda in 0.0f64..20.0,
+        epsilon in 0.0f64..0.1,
+    ) {
+        for law in [
+            WeightLaw::Poisson { lambda },
+            WeightLaw::Binomial { lambda },
+            WeightLaw::Uniform,
+        ] {
+            let table = law.table(width);
+            prop_assert_eq!(table.len(), width + 1);
+            prop_assert!(table.iter().all(|w| w.is_finite() && *w >= 0.0), "{:?}", law);
+            let full: f64 = table.iter().sum();
+            prop_assert!(full <= 1.0 + 1e-9, "{:?}: full mass {}", law, full);
+            // ε-truncation only removes mass, never adds it.
+            let pruned = truncated_mass(&table, epsilon);
+            prop_assert!(pruned <= full + 1e-12, "{:?}", law);
+            prop_assert!(pruned <= 1.0 + 1e-9, "{:?}", law);
+        }
+    }
+
+    #[test]
+    fn neg_binomial_tables_are_sub_probability_masses(
+        width in 1usize..=24,
+        mean in 0.0f64..8.0,
+        iod in 1.0f64..3.0,
+        epsilon in 0.0f64..0.1,
+    ) {
+        let law = WeightLaw::NegBinomial { mean, iod };
+        let table = law.table(width);
+        prop_assert_eq!(table.len(), width + 1);
+        prop_assert!(table.iter().all(|w| w.is_finite() && *w >= 0.0));
+        let full: f64 = table.iter().sum();
+        prop_assert!(full <= 1.0 + 1e-9, "full mass {}", full);
+        prop_assert!(truncated_mass(&table, epsilon) <= full + 1e-12);
+    }
+
+    #[test]
+    fn spectrum_models_normalise_exactly(
+        width in 2usize..=20,
+        lambda in 0.01f64..6.0,
+    ) {
+        for model in [
+            SpectrumModel::poisson(width, lambda),
+            SpectrumModel::binomial(width, (lambda / width as f64).min(1.0)),
+            SpectrumModel::uniform(width),
+        ] {
+            let total: f64 = model.masses().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "{} sums to {}", model.name(), total);
+        }
+    }
+
+    #[test]
+    fn mle_poisson_round_trips(
+        width in 16usize..=24,
+        lambda in 0.01f64..2.0,
+    ) {
+        // Wide spectra keep the tail truncation below the tolerance.
+        let masses = SpectrumModel::poisson(width, lambda).masses().to_vec();
+        let obs = HammingSpectrum::from_masses(BitString::zeros(width), &masses);
+        let fit = mle_poisson(&obs);
+        prop_assert!((fit - lambda).abs() < 1e-6, "λ {} -> {}", lambda, fit);
+    }
+
+    #[test]
+    fn mle_binomial_round_trips(
+        width in 4usize..=20,
+        p in 0.0f64..1.0,
+    ) {
+        let masses = SpectrumModel::binomial(width, p).masses().to_vec();
+        let obs = HammingSpectrum::from_masses(BitString::zeros(width), &masses);
+        let fit = mle_binomial(&obs);
+        prop_assert!((fit - p).abs() < 1e-9, "p {} -> {}", p, fit);
+    }
+
+    #[test]
+    fn mle_neg_binomial_round_trips(
+        width in 24usize..=30,
+        mean in 0.1f64..2.0,
+        iod in 1.05f64..1.8,
+    ) {
+        let masses = SpectrumModel::neg_binomial(width, mean, iod).masses().to_vec();
+        let obs = HammingSpectrum::from_masses(BitString::zeros(width), &masses);
+        let (fit_mean, fit_iod) = mle_neg_binomial(&obs);
+        prop_assert!((fit_mean - mean).abs() < 1e-3, "mean {} -> {}", mean, fit_mean);
+        prop_assert!((fit_iod - iod).abs() < 1e-2, "iod {} -> {}", iod, fit_iod);
+    }
+
+    #[test]
+    fn poisson_and_binomial_kernels_share_their_mean(
+        width in 8usize..=24,
+        lambda in 0.01f64..3.0,
+    ) {
+        // The binomial ablation kernel is parameterised to match the
+        // Poisson kernel's mean exactly: n · (λ/n) = λ.
+        let masses = SpectrumModel::binomial(width, lambda / width as f64).masses().to_vec();
+        let obs = HammingSpectrum::from_masses(BitString::zeros(width), &masses);
+        prop_assert!((obs.expected_distance() - lambda).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,306 @@
+//! Scoped-thread helpers and the global thread-count knob for the
+//! Q-BEEP parallel hot path.
+//!
+//! The crate is dependency-free on purpose: it wraps
+//! [`std::thread::scope`] (stable since 1.63) so the rest of the
+//! workspace can fan work out over contiguous shards without pulling a
+//! thread-pool crate into the build. Every helper here preserves
+//! *submission order*: shard `i`'s result always lands at index `i`,
+//! which is what lets the `parallel` feature promise bit-for-bit parity
+//! with the serial path.
+//!
+//! # Thread-count resolution
+//!
+//! [`current_threads`] resolves, in order:
+//!
+//! 1. a programmatic override installed with [`set_threads`]
+//!    (the CLI's `--threads N` flag lands here),
+//! 2. the `QBEEP_THREADS` environment variable,
+//! 3. the default of `1` — parallelism is strictly opt-in.
+//!
+//! ```
+//! qbeep_par::set_threads(Some(4));
+//! assert_eq!(qbeep_par::current_threads(), 4);
+//! qbeep_par::set_threads(None); // back to env / default resolution
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable consulted by [`current_threads`] when no
+/// programmatic override is installed.
+pub const THREADS_ENV: &str = "QBEEP_THREADS";
+
+/// `0` means "no override installed".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or with `None`, removes) the process-wide thread-count
+/// override. `Some(0)` is treated as `None`.
+pub fn set_threads(threads: Option<usize>) {
+    OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Resolves the effective worker-thread count: programmatic override,
+/// then the `QBEEP_THREADS` environment variable, then `1`.
+///
+/// The result is always at least `1`. A malformed or zero environment
+/// value falls through to the default rather than erroring: the knob
+/// degrades to the serial path, never breaks it.
+pub fn current_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => 1,
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Number of hardware threads the host advertises, defaulting to `1`
+/// when the platform cannot say.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..len` into at most `shards` contiguous, near-equal,
+/// non-empty ranges, in ascending order.
+///
+/// Returns fewer than `shards` ranges when `len < shards`, and an empty
+/// vector when `len == 0`.
+///
+/// ```
+/// let ranges = qbeep_par::shard_ranges(10, 3);
+/// assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+/// ```
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let width = base + usize::from(i < extra);
+        out.push(start..start + width);
+        start += width;
+    }
+    out
+}
+
+/// Splits `0..weights.len()` into at most `shards` contiguous ranges
+/// whose *weight* (sum of `weights[i]`) is approximately balanced.
+///
+/// Used where per-item cost is wildly uneven — e.g. row `i` of an
+/// all-pairs scan owns `n - 1 - i` candidate pairs, so equal index
+/// ranges would leave the last shard nearly idle.
+///
+/// ```
+/// // Front-loaded work: the first range stays short.
+/// let ranges = qbeep_par::shard_ranges_weighted(&[8, 1, 1, 1, 1], 2);
+/// assert_eq!(ranges, vec![0..1, 1..5]);
+/// ```
+pub fn shard_ranges_weighted(weights: &[usize], shards: usize) -> Vec<Range<usize>> {
+    let len = weights.len();
+    if len == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(len);
+    if shards == 1 {
+        return std::iter::once(0..len).collect();
+    }
+    let total: usize = weights.iter().sum();
+    let target = total / shards + usize::from(!total.is_multiple_of(shards));
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    let mut acc = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        // Close the shard once it reaches the target, but always leave
+        // at least one item per remaining shard.
+        let remaining_shards = shards - out.len();
+        let remaining_items = len - i - 1;
+        if (acc >= target && remaining_shards > 1) || remaining_items < remaining_shards {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+            if out.len() == shards - 1 {
+                break;
+            }
+        }
+    }
+    if start < len {
+        out.push(start..len);
+    }
+    out
+}
+
+/// Runs `f(shard_index, range)` for every range, fanning out over
+/// scoped threads, and returns the results **in range order**.
+///
+/// With zero or one range no thread is spawned — the closure runs on
+/// the calling thread, so thread-locals (e.g. an armed fault injector)
+/// still apply and the call is exactly the serial path.
+///
+/// A panic inside any shard propagates to the caller after all shards
+/// have been joined, preserving `catch_unwind`-based quarantine
+/// schemes layered on top.
+///
+/// ```
+/// let ranges = qbeep_par::shard_ranges(6, 3);
+/// let sums = qbeep_par::map_ranges(&ranges, |_shard, r| r.sum::<usize>());
+/// assert_eq!(sums, vec![0 + 1, 2 + 3, 4 + 5]);
+/// ```
+pub fn map_ranges<T, F>(ranges: &[Range<usize>], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    match ranges.len() {
+        0 => Vec::new(),
+        1 => vec![f(0, ranges[0].clone())],
+        n => {
+            let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+            slots.resize_with(n, || None);
+            std::thread::scope(|scope| {
+                let mut pending = Vec::with_capacity(n - 1);
+                let mut tail = slots.iter_mut();
+                let head = tail.next();
+                for (slot, (shard, range)) in tail.zip(ranges.iter().enumerate().skip(1)) {
+                    let f = &f;
+                    let range = range.clone();
+                    pending.push(scope.spawn(move || {
+                        *slot = Some(f(shard, range));
+                    }));
+                }
+                // Shard 0 runs on the calling thread: one fewer spawn,
+                // and calling-thread state (thread-locals) keeps
+                // covering the first shard.
+                if let Some(slot) = head {
+                    *slot = Some(f(0, ranges[0].clone()));
+                }
+                for handle in pending {
+                    if let Err(payload) = handle.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.unwrap_or_else(|| unreachable!("shard joined without result")))
+                .collect()
+        }
+    }
+}
+
+/// Convenience wrapper: shards `0..len` into `threads` near-equal
+/// ranges and maps them with [`map_ranges`].
+pub fn map_sharded<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    map_ranges(&shard_ranges(len, threads), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for len in 0..40 {
+            for shards in 0..10 {
+                let ranges = shard_ranges(len, shards);
+                let mut seen = vec![false; len];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!seen[i]);
+                        seen[i] = true;
+                    }
+                    assert!(!r.is_empty());
+                }
+                if len > 0 && shards > 0 {
+                    assert!(seen.iter().all(|&s| s));
+                    assert!(ranges.len() <= shards);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_cover_exactly_once() {
+        let weights: Vec<usize> = (0..25).map(|i| 25 - i).collect();
+        for shards in 1..9 {
+            let ranges = shard_ranges_weighted(&weights, shards);
+            assert!(ranges.len() <= shards);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, weights.len());
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_balance_front_loaded_work() {
+        let weights: Vec<usize> = (0..100).map(|i| 100 - i).collect();
+        let ranges = shard_ranges_weighted(&weights, 4);
+        assert_eq!(ranges.len(), 4);
+        let loads: Vec<usize> = ranges
+            .iter()
+            .map(|r| weights[r.clone()].iter().sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // Perfectly even is impossible; within 2x is plenty for a
+        // front-loaded triangular profile.
+        assert!(max <= 2 * min.max(1), "unbalanced loads: {loads:?}");
+    }
+
+    #[test]
+    fn map_ranges_preserves_order() {
+        for threads in [1, 2, 3, 8] {
+            let got = map_sharded(17, threads, |_s, r| r.collect::<Vec<_>>());
+            let flat: Vec<usize> = got.into_iter().flatten().collect();
+            assert_eq!(flat, (0..17).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_ranges_propagates_panics() {
+        let ranges = shard_ranges(8, 4);
+        let caught = std::panic::catch_unwind(|| {
+            map_ranges(&ranges, |shard, _r| {
+                if shard == 2 {
+                    panic!("shard exploded");
+                }
+                shard
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn override_beats_env_and_clears() {
+        set_threads(Some(3));
+        assert_eq!(current_threads(), 3);
+        set_threads(Some(0));
+        // Some(0) behaves like None: fall back to env/default.
+        let _ = current_threads();
+        set_threads(None);
+        assert!(current_threads() >= 1);
+    }
+}

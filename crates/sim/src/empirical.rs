@@ -29,7 +29,8 @@ use qbeep_circuit::Circuit;
 use qbeep_device::Backend;
 use qbeep_telemetry::Recorder;
 use qbeep_transpile::{TranspileError, TranspiledCircuit, Transpiler};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::sampling::{sample_distinct_indices, sample_lognormal_factor, sample_poisson};
 use crate::state::ideal_distribution;
@@ -394,6 +395,70 @@ impl EmpiricalChannel {
         }
         counts
     }
+
+    /// Draws `shots` shots across [`SAMPLE_LANES`] independently
+    /// seeded RNG lanes, sampling lanes in parallel when the
+    /// `parallel` feature and the `qbeep-par` thread knob allow.
+    ///
+    /// The lane structure — lane count, per-lane shot budgets,
+    /// per-lane sub-seeds — is a pure function of `shots` and
+    /// `master_seed`, never of the thread count, and lane tables
+    /// merge by exact integer addition. The result is therefore
+    /// bit-identical for every thread count (including the serial
+    /// one-thread fallback). It is a *different* — equally valid —
+    /// sample than [`run`](Self::run) driven by a single
+    /// `StdRng::seed_from_u64(master_seed)` stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    #[must_use]
+    pub fn run_lanes(&self, shots: u64, master_seed: u64) -> Counts {
+        assert!(shots > 0, "need at least one shot");
+        let lanes = SAMPLE_LANES.min(shots);
+        let base = shots / lanes;
+        let extra = shots % lanes;
+        let threads = if cfg!(feature = "parallel") {
+            qbeep_par::current_threads().max(1)
+        } else {
+            1
+        };
+        let lane_tables = qbeep_par::map_sharded(lanes as usize, threads, |_shard, range| {
+            range
+                .map(|lane| {
+                    let lane = lane as u64;
+                    let budget = base + u64::from(lane < extra);
+                    let mut rng = StdRng::seed_from_u64(lane_seed(master_seed, lane));
+                    let mut counts = Counts::new(self.width());
+                    for _ in 0..budget {
+                        counts.record(self.sample(&mut rng), 1);
+                    }
+                    counts
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut merged = Counts::new(self.width());
+        for table in lane_tables.iter().flatten() {
+            merged.merge(table);
+        }
+        merged
+    }
+}
+
+/// Number of independent RNG lanes [`EmpiricalChannel::run_lanes`]
+/// splits a shot budget into — deliberately a fixed constant, *not*
+/// the worker-thread count, so the merged counts depend only on the
+/// master seed and stay bit-identical as `QBEEP_THREADS` varies.
+pub const SAMPLE_LANES: u64 = 16;
+
+/// SplitMix64-derived sub-seed for one sampling lane: decorrelates
+/// lanes from each other and from nearby master seeds.
+fn lane_seed(master_seed: u64, lane: u64) -> u64 {
+    let mut z = master_seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Samples one outcome from a distribution by inverse CDF over its
@@ -576,6 +641,59 @@ mod tests {
                 "λ={lambda}: ehd {ehd} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn run_lanes_is_seed_deterministic_and_thread_invariant() {
+        let target = bs("10110");
+        let channel =
+            EmpiricalChannel::new(Distribution::point(target), 1.2, EmpiricalConfig::default());
+        let baseline = channel.run_lanes(1000, 42);
+        assert_eq!(baseline.total(), 1000);
+        // Same seed, same counts — at any thread count the lane
+        // structure (and hence the merged table) is unchanged.
+        for threads in [1usize, 2, 8] {
+            qbeep_par::set_threads(Some(threads));
+            let counts = channel.run_lanes(1000, 42);
+            qbeep_par::set_threads(None);
+            assert_eq!(counts.total(), baseline.total(), "threads {threads}");
+            for (s, n) in baseline.iter() {
+                assert_eq!(counts.get(s), n, "threads {threads}, outcome {s}");
+            }
+            assert_eq!(counts.distinct(), baseline.distinct(), "threads {threads}");
+        }
+        // Different master seeds give different samples.
+        let other = channel.run_lanes(1000, 43);
+        assert!(baseline.iter().any(|(s, n)| other.get(s) != n));
+    }
+
+    #[test]
+    fn run_lanes_statistics_match_serial_run() {
+        // Lane-based sampling draws from the same channel law: the
+        // probability of a correct shot must agree with the serial
+        // sampler's within Monte-Carlo noise.
+        let target = bs("10110");
+        let lambda = 0.8;
+        let channel = EmpiricalChannel::new(
+            Distribution::point(target),
+            lambda,
+            EmpiricalConfig::exact(),
+        );
+        let counts = channel.run_lanes(40_000, 11);
+        let pst = counts.pst(&target);
+        let expect = (-lambda).exp();
+        assert!((pst - expect).abs() < 0.02, "pst {pst} vs e^-λ {expect}");
+    }
+
+    #[test]
+    fn run_lanes_handles_fewer_shots_than_lanes() {
+        let channel = EmpiricalChannel::new(
+            Distribution::point(bs("101")),
+            0.5,
+            EmpiricalConfig::exact(),
+        );
+        let counts = channel.run_lanes(3, 5);
+        assert_eq!(counts.total(), 3);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use complex::C64;
 pub use density::{exact_noisy_distribution, DensityMatrix, MAX_DENSITY_QUBITS};
 pub use empirical::{
     execute_on_device, execute_on_device_recorded, ground_truth_lambda, DeviceRun,
-    EmpiricalChannel, EmpiricalConfig,
+    EmpiricalChannel, EmpiricalConfig, SAMPLE_LANES,
 };
 pub use noisy::NoisySimulator;
 pub use stabilizer::StabilizerState;

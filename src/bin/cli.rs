@@ -51,7 +51,8 @@ use rand::SeedableRng;
 /// is a request for the usage text).
 const VALUELESS_FLAGS: &[&str] = &["telemetry", "events", "help"];
 
-/// Observability and fault-injection flags every command accepts.
+/// Observability, fault-injection and parallelism flags every command
+/// accepts.
 const COMMON_FLAGS: &[&str] = &[
     "telemetry",
     "trace",
@@ -59,6 +60,7 @@ const COMMON_FLAGS: &[&str] = &[
     "help",
     "faults",
     "fault-seed",
+    "threads",
 ];
 
 /// The command-specific flags each command accepts (on top of
@@ -175,6 +177,10 @@ fn long_usage() -> String {
      \x20 --faults SPEC        arm fault injection (site:kind[@sel];...);\n\
      \x20                      needs a build with --features fault-injection\n\
      \x20 --fault-seed N       seed for probabilistic fault selectors\n\
+     \x20 --threads N          worker threads for the mitigation hot path\n\
+     \x20                      (default 1; env QBEEP_THREADS does the same;\n\
+     \x20                      needs a build with --features parallel).\n\
+     \x20                      Results are bit-identical at any count\n\
      \x20 --strategy NAME      mitigation strategy (default qbeep): qbeep,\n\
      \x20                      hammer, ibu, binomial, neg-binomial, uniform,\n\
      \x20                      identity\n\
@@ -655,6 +661,34 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     obs.finish(Some(manifest))
 }
 
+/// Applies the `--threads` knob (falling back to `QBEEP_THREADS`,
+/// which `qbeep-par` reads on its own). Asking for more than one
+/// thread on a build without the `parallel` feature is accepted but
+/// warned about: every hot-path call site then takes its serial
+/// branch, which produces identical results anyway.
+fn configure_threads(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let requested = match flags.get("threads") {
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|_| format!("bad --threads '{raw}' (expected a positive integer)"))?;
+            if n == 0 {
+                return Err("bad --threads '0' (expected a positive integer)".to_string());
+            }
+            qbeep::par::set_threads(Some(n));
+            n
+        }
+        None => qbeep::par::current_threads(),
+    };
+    if requested > 1 && !qbeep::core::parallel_enabled() {
+        eprintln!(
+            "// warning: {requested} threads requested but this build lacks the \
+             parallel feature; running serially (results are identical)"
+        );
+    }
+    Ok(())
+}
+
 /// Arms the fault injector from `--faults`/`--fault-seed` (falling
 /// back to `QBEEP_FAULTS`/`QBEEP_FAULT_SEED`). A malformed spec is a
 /// hard error; a spec on a build without the `fault-injection` feature
@@ -699,7 +733,7 @@ fn main() -> ExitCode {
         println!("{}", long_usage());
         return ExitCode::SUCCESS;
     }
-    if let Err(e) = arm_faults(&options.flags) {
+    if let Err(e) = configure_threads(&options.flags).and_then(|()| arm_faults(&options.flags)) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }

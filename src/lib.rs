@@ -52,6 +52,8 @@ pub use qbeep_circuit as circuit;
 pub use qbeep_core as core;
 /// Topologies, calibration snapshots and machine profiles.
 pub use qbeep_device as device;
+/// Worker-thread knob and deterministic sharding helpers.
+pub use qbeep_par as par;
 /// QAOA problems, circuits, cost ratio and the synthetic dataset.
 pub use qbeep_qaoa as qaoa;
 /// Ideal, Markovian-noise and empirical-channel simulators.

@@ -1,0 +1,195 @@
+//! Golden-fixture regression suite: every registry strategy must
+//! reproduce its pinned output distribution on a fixed counts +
+//! calibration fixture to 1e-12.
+//!
+//! Fixtures live under `tests/fixtures/golden/` as plain text so the
+//! suite has zero runtime dependencies (no randomness, no JSON):
+//!
+//! * `counts.txt` — `<bitstring> <count>` lines;
+//! * `calibration.txt` — one readout flip probability per bit (feeds
+//!   the IBU strategy's explicit [`ReadoutModel`]);
+//! * `expected_<strategy>.txt` — `<bitstring> <probability>` lines,
+//!   probabilities printed with 17 significant digits so an `f64`
+//!   round-trips exactly.
+//!
+//! Regenerate the expectations after an intentional numeric change
+//! with `QBEEP_REGEN_GOLDEN=1 cargo test --test golden_strategies`.
+
+use std::path::{Path, PathBuf};
+
+use qbeep::bitstring::{Counts, Distribution};
+use qbeep::core::readout::ReadoutModel;
+use qbeep::core::{IbuReadoutStrategy, MitigationJob, MitigationSession};
+
+/// Absolute per-outcome probability tolerance.
+const TOLERANCE: f64 = 1e-12;
+
+/// The fixture job's externally supplied Poisson rate.
+const LAMBDA: f64 = 1.7;
+
+/// Registry strategies exercised straight from their names. `ibu` is
+/// added separately with the fixture calibration, since the by-name
+/// factory derives its confusion model from a backend snapshot the
+/// fixture deliberately does not carry.
+const BY_NAME: [&str; 6] = [
+    "qbeep",
+    "hammer",
+    "binomial",
+    "neg-binomial",
+    "uniform",
+    "identity",
+];
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden")
+}
+
+/// Non-comment, non-blank lines of a fixture file.
+fn fixture_lines(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+fn read_counts(path: &Path) -> Counts {
+    let mut pairs = Vec::new();
+    let mut width = 0;
+    for line in fixture_lines(path) {
+        let mut parts = line.split_whitespace();
+        let bits = parts.next().expect("bitstring column");
+        let count: u64 = parts
+            .next()
+            .expect("count column")
+            .parse()
+            .expect("integer count");
+        width = bits.len();
+        pairs.push((bits.parse().expect("valid bitstring"), count));
+    }
+    assert!(!pairs.is_empty(), "empty counts fixture");
+    Counts::from_pairs(width, pairs)
+}
+
+fn read_calibration(path: &Path) -> Vec<f64> {
+    fixture_lines(path)
+        .iter()
+        .map(|l| l.parse().expect("flip probability"))
+        .collect()
+}
+
+fn read_expected(path: &Path) -> Vec<(String, f64)> {
+    fixture_lines(path)
+        .iter()
+        .map(|line| {
+            let mut parts = line.split_whitespace();
+            let bits = parts.next().expect("bitstring column").to_string();
+            let prob: f64 = parts
+                .next()
+                .expect("probability column")
+                .parse()
+                .expect("float probability");
+            (bits, prob)
+        })
+        .collect()
+}
+
+/// Serialises a distribution in its canonical order with enough
+/// digits for exact `f64` round-tripping.
+fn render_distribution(dist: &Distribution) -> String {
+    let mut out = String::new();
+    for (s, p) in dist.sorted_by_prob() {
+        out.push_str(&format!("{s} {p:.17e}\n"));
+    }
+    out
+}
+
+#[test]
+fn registry_strategies_match_golden_fixtures() {
+    let dir = fixture_dir();
+    let counts = read_counts(&dir.join("counts.txt"));
+    let flips = read_calibration(&dir.join("calibration.txt"));
+    assert_eq!(flips.len(), counts.width(), "calibration width mismatch");
+
+    let mut session = MitigationSession::new();
+    for name in BY_NAME {
+        session.add_strategy_by_name(name).expect("known strategy");
+    }
+    session.add_strategy(Box::new(
+        IbuReadoutStrategy::new(10)
+            .expect("valid iteration count")
+            .with_model(ReadoutModel::new(flips)),
+    ));
+    session.add_job(MitigationJob::new("golden", counts).with_lambda(LAMBDA));
+    let report = session.run().expect("clean fixture run");
+
+    let regen = std::env::var_os("QBEEP_REGEN_GOLDEN").is_some();
+    let all_names: Vec<&str> = BY_NAME.iter().copied().chain(["ibu"]).collect();
+    for name in all_names {
+        let outcome = report
+            .outcome("golden", name)
+            .unwrap_or_else(|| panic!("strategy {name} produced no outcome"));
+        let path = dir.join(format!("expected_{name}.txt"));
+        if regen {
+            let header = format!(
+                "# Golden output of the '{name}' strategy on counts.txt \
+                 (lambda {LAMBDA}).\n# Regenerate: QBEEP_REGEN_GOLDEN=1 \
+                 cargo test --test golden_strategies\n"
+            );
+            std::fs::write(&path, header + &render_distribution(&outcome.mitigated))
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            continue;
+        }
+        let expected = read_expected(&path);
+        assert_eq!(
+            outcome.mitigated.support_size(),
+            expected.len(),
+            "{name}: support size changed (regen with QBEEP_REGEN_GOLDEN=1 \
+             if intentional)"
+        );
+        for (bits, want) in &expected {
+            let got = outcome
+                .mitigated
+                .prob(&bits.parse().expect("valid bitstring"));
+            assert!(
+                (got - want).abs() <= TOLERANCE,
+                "{name}: prob({bits}) = {got:.17e}, pinned {want:.17e} \
+                 (|Δ| = {:.3e} > {TOLERANCE:.0e}; regen with \
+                 QBEEP_REGEN_GOLDEN=1 if intentional)",
+                (got - want).abs()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_run_is_reproducible_within_a_process() {
+    // The fixture run twice in one process must agree exactly —
+    // guards against any hidden global state in the strategy stack.
+    let dir = fixture_dir();
+    let counts = read_counts(&dir.join("counts.txt"));
+    let run = || {
+        let mut session = MitigationSession::new();
+        for name in BY_NAME {
+            session.add_strategy_by_name(name).expect("known strategy");
+        }
+        session.add_job(MitigationJob::new("golden", counts.clone()).with_lambda(LAMBDA));
+        let report = session.run().expect("clean fixture run");
+        BY_NAME
+            .iter()
+            .map(|name| {
+                report
+                    .outcome("golden", name)
+                    .expect("outcome present")
+                    .mitigated
+                    .sorted_by_prob()
+                    .iter()
+                    .map(|(s, p)| (s.to_string(), p.to_bits()))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
