@@ -23,7 +23,7 @@ use qbeep_bitstring::{BitString, Counts, Distribution};
 use qbeep_core::{MitigationJob, MitigationSession, QBeepConfig, StrategyDiagnostics};
 use qbeep_device::profiles;
 use qbeep_sim::{execute_on_device_recorded, EmpiricalChannel, EmpiricalConfig};
-use qbeep_telemetry::{Recorder, RunReport};
+use qbeep_telemetry::{MetricsRegistry, Recorder, RunReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,7 +31,7 @@ const USAGE: &str = "\
 qbeep-bench — hot-path timing harness and bench regression gate
 
 USAGE:
-    qbeep-bench hotpath  [--out FILE] [--trace FILE]
+    qbeep-bench hotpath  [--out FILE] [--trace FILE] [--metrics-out FILE]
     qbeep-bench baseline [--from FILE] [--out FILE] [--threshold X]
     qbeep-bench compare  [--baseline FILE] [--current FILE] [--threshold X] [--warn-only]
     qbeep-bench faultcheck [--spec SPEC] [--seed N]
@@ -42,7 +42,11 @@ SUBCOMMANDS:
               channel, state-graph build + Algorithm-1 iterate) and
               write the telemetry artifact (default: the bench
               artifact path, BENCH_telemetry.json). --trace also
-              writes a Chrome trace_event JSON of the run. On builds
+              writes a Chrome trace_event JSON of the run, and
+              --metrics-out picks where the labeled-metrics
+              exposition lands (default BENCH_metrics.prom plus a
+              .json snapshot, or QBEEP_METRICS_ARTIFACT; the peak-RSS
+              gauge rides along on Linux). On builds
               with --features parallel, also times the graph hot path
               serially and at up to 8 threads, checks the outputs are
               bit-identical and reports the speedup (artifact shape
@@ -61,7 +65,9 @@ SUBCOMMANDS:
               and once with --spec faults armed (default panics at
               jobs 2 and 5), then require every surviving job to be
               bit-identical across the two runs. Exits 1 on any
-              divergence.
+              divergence. With QBEEP_FLIGHT_DIR set, each quarantined
+              panic and injected fault leaves a *.flight.json black
+              box there.
 
 Workload size follows QBEEP_SCALE (smoke / default / full).
 ";
@@ -149,12 +155,17 @@ fn read_artifact(path: &Path) -> Result<BTreeMap<String, RunReport>, String> {
 }
 
 fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
-    let flags = Flags::parse(args, &["out", "trace"], &[])?;
+    let flags = Flags::parse(args, &["out", "trace", "metrics-out"], &[])?;
     let out = flags
         .path("out")
         .unwrap_or_else(qbeep_bench::telemetry::artifact_path);
+    let metrics_out = flags
+        .path("metrics-out")
+        .unwrap_or_else(qbeep_bench::telemetry::metrics_artifact_path);
     let scale = Scale::from_env();
-    let recorder = Recorder::new();
+    let registry = MetricsRegistry::new();
+    qbeep_core::describe_metric_families(&registry);
+    let recorder = Recorder::new().with_metrics(registry.clone());
 
     // Hot path 1+2: transpile a 15q BV to the 127q machine and sample
     // the empirical channel ("transpile", "channel_setup", "simulate").
@@ -199,6 +210,12 @@ fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
         recorder.events().len()
     );
 
+    // The peak-RSS gauge rides in the run report (and, via
+    // `record_metrics` below, the Prometheus exposition); `None` on
+    // platforms without procfs simply leaves it out.
+    if let Some(bytes) = qbeep_telemetry::peak_rss_bytes() {
+        recorder.gauge("process.peak_rss_bytes", bytes as f64);
+    }
     let manifest = qbeep_core::provenance::manifest(
         &config,
         Some(&backend),
@@ -211,6 +228,8 @@ fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
     let json = serde_json::to_string_pretty(&table).expect("reports serialize");
     std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     eprintln!("// hotpath: artifact -> {}", out.display());
+
+    qbeep_bench::telemetry::record_metrics(&registry, &metrics_out);
 
     if let Some(trace) = flags.path("trace") {
         std::fs::write(&trace, recorder.events().to_chrome_trace())
@@ -354,6 +373,11 @@ fn cmd_faultcheck(args: &[String]) -> Result<ExitCode, String> {
             "// faultcheck: job '{}' quarantined: {}",
             failure.label, failure.error
         );
+    }
+    // With QBEEP_FLIGHT_DIR set (as CI's fault matrix does), every
+    // quarantined panic and injected fault left a black box behind.
+    for path in &faulted.flight_files {
+        eprintln!("// faultcheck: flight dump -> {path}");
     }
     let mut mismatches = 0usize;
     for job in &faulted.jobs {

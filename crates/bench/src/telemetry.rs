@@ -12,10 +12,15 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use qbeep_telemetry::{Recorder, RunReport};
+use qbeep_telemetry::{MetricsRegistry, Recorder, RunReport};
 
 /// Default artifact file name, written to the working directory.
 pub const DEFAULT_ARTIFACT: &str = "BENCH_telemetry.json";
+
+/// Default metrics-exposition artifact name (Prometheus text format
+/// 0.0.4); a sibling `.json` snapshot is written next to it for
+/// `qbeep-cli inspect --metrics`.
+pub const DEFAULT_METRICS_ARTIFACT: &str = "BENCH_metrics.prom";
 
 /// Where the telemetry artifact lives: `QBEEP_TELEMETRY_ARTIFACT` if
 /// set, otherwise [`DEFAULT_ARTIFACT`] in the working directory.
@@ -23,6 +28,51 @@ pub const DEFAULT_ARTIFACT: &str = "BENCH_telemetry.json";
 pub fn artifact_path() -> PathBuf {
     std::env::var_os("QBEEP_TELEMETRY_ARTIFACT")
         .map_or_else(|| PathBuf::from(DEFAULT_ARTIFACT), PathBuf::from)
+}
+
+/// Where the metrics exposition lands: `QBEEP_METRICS_ARTIFACT` if
+/// set, otherwise [`DEFAULT_METRICS_ARTIFACT`] in the working
+/// directory.
+#[must_use]
+pub fn metrics_artifact_path() -> PathBuf {
+    std::env::var_os("QBEEP_METRICS_ARTIFACT")
+        .map_or_else(|| PathBuf::from(DEFAULT_METRICS_ARTIFACT), PathBuf::from)
+}
+
+/// Snapshots `registry` — stamping the process's peak-RSS gauge first,
+/// when procfs exposes it — and writes the Prometheus exposition to
+/// `path` plus a machine-readable `.json` snapshot next to it.
+/// Best-effort like [`record`]: a disabled registry or an unwritable
+/// path degrades to a stderr note, never a failure.
+pub fn record_metrics(registry: &MetricsRegistry, path: &std::path::Path) {
+    if !registry.is_enabled() {
+        return;
+    }
+    if let Some(bytes) = qbeep_telemetry::peak_rss_bytes() {
+        registry.describe(
+            "qbeep_peak_rss_bytes",
+            "Peak resident set size of the process in bytes",
+        );
+        registry.set_gauge(
+            "qbeep_peak_rss_bytes",
+            &qbeep_telemetry::LabelSet::empty(),
+            bytes as f64,
+        );
+    }
+    let snapshot = registry.snapshot();
+    if snapshot.is_empty() {
+        return;
+    }
+    match std::fs::write(path, snapshot.to_prometheus()) {
+        Ok(()) => eprintln!("// metrics: exposition -> {}", path.display()),
+        Err(e) => eprintln!("// metrics: could not write {}: {e}", path.display()),
+    }
+    let json_path = path.with_extension("json");
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    match std::fs::write(&json_path, json) {
+        Ok(()) => eprintln!("// metrics: snapshot -> {}", json_path.display()),
+        Err(e) => eprintln!("// metrics: could not write {}: {e}", json_path.display()),
+    }
 }
 
 /// Merges `recorder`'s report into the artifact under `bench`.
@@ -96,6 +146,45 @@ mod tests {
         assert_eq!(table["fig02"].gauges["fig.fidelity"], 0.9);
 
         std::env::remove_var("QBEEP_TELEMETRY_ARTIFACT");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_artifact_writes_prom_and_json_snapshot() {
+        let dir = std::env::temp_dir().join(format!("qbeep-bench-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(DEFAULT_METRICS_ARTIFACT);
+        let registry = MetricsRegistry::new();
+        registry.inc(
+            "qbeep_session_jobs_total",
+            &qbeep_telemetry::LabelSet::new(&[("device", "none"), ("outcome", "ok")]),
+            2,
+        );
+        record_metrics(&registry, &path);
+        let prom = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            prom.contains("qbeep_session_jobs_total{device=\"none\",outcome=\"ok\"} 2"),
+            "{prom}"
+        );
+        #[cfg(target_os = "linux")]
+        assert!(prom.contains("qbeep_peak_rss_bytes"), "{prom}");
+        let snapshot: qbeep_telemetry::MetricsSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(path.with_extension("json")).unwrap())
+                .unwrap();
+        assert!(snapshot.family("qbeep_session_jobs_total").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_registry_writes_no_metrics_artifact() {
+        let dir = std::env::temp_dir().join(format!(
+            "qbeep-bench-metrics-disabled-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(DEFAULT_METRICS_ARTIFACT);
+        record_metrics(&MetricsRegistry::disabled(), &path);
+        assert!(!path.exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -62,8 +62,13 @@ impl HammingSpectrum {
             reference.len(),
             dist.width()
         );
+        // Accumulate in bit-string order: float addition is
+        // order-sensitive in the last ulp, and the map's iteration
+        // order varies with the per-process hash seed.
+        let mut entries: Vec<(&BitString, f64)> = dist.iter().collect();
+        entries.sort_unstable_by_key(|&(s, _)| *s);
         let mut mass = vec![0.0; reference.len() + 1];
-        for (s, p) in dist.iter() {
+        for (s, p) in entries {
             mass[reference.hamming_distance(s) as usize] += p;
         }
         Self {

@@ -29,7 +29,7 @@ proptest! {
         let dist = to_distribution(width, &items);
         prop_assert!((dist.total_mass() - 1.0).abs() < 1e-12);
         for (_, p) in dist.iter() {
-            prop_assert!(p >= 0.0 && p <= 1.0 + 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
         }
         prop_assert!(dist.support_size() <= items.len());
     }

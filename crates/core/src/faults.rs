@@ -59,7 +59,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::str::FromStr;
 
-use qbeep_telemetry::{EventLevel, Recorder};
+use qbeep_telemetry::{EventLevel, LabelSet, Recorder};
 
 /// A named point on the ingest→mitigate path where faults can be
 /// injected.
@@ -447,19 +447,24 @@ pub fn fire(site: FaultSite) -> Option<FaultKind> {
 }
 
 /// As [`fire`], but records each injected fault as a `fault.injected`
-/// warning event on `recorder` and handles [`FaultKind::LatencyMs`]
-/// in place (sleeps, then reports no fault to the caller — latency is
-/// a delay, not a behaviour change the site must emulate).
+/// warning event on `recorder`, captures a flight-recorder incident,
+/// bumps the `qbeep_faults_injected_total{site,kind}` counter, and
+/// handles [`FaultKind::LatencyMs`] in place (sleeps, then reports no
+/// fault to the caller — latency is a delay, not a behaviour change
+/// the site must emulate).
 #[must_use]
 pub fn fire_recorded(site: FaultSite, recorder: &Recorder) -> Option<FaultKind> {
     let kind = fire(site)?;
-    recorder.event(
-        EventLevel::Warn,
-        "fault.injected",
-        &[
-            ("site", site.name().to_string()),
-            ("kind", kind.to_string()),
-        ],
+    let fields = [
+        ("site", site.name().to_string()),
+        ("kind", kind.to_string()),
+    ];
+    recorder.event(EventLevel::Warn, "fault.injected", &fields);
+    recorder.flight().incident("fault.injected", &fields);
+    recorder.metrics().inc(
+        "qbeep_faults_injected_total",
+        &LabelSet::new(&[("site", site.name()), ("kind", kind.name())]),
+        1,
     );
     if let FaultKind::LatencyMs(ms) = kind {
         std::thread::sleep(std::time::Duration::from_millis(ms));

@@ -615,16 +615,23 @@ impl StateGraph {
             .max_iters
             .map_or(configured, |m| m.min(configured));
         let threads = crate::parallel::effective_threads();
-        if threads > 1 && recorder.is_enabled() {
-            let shards = qbeep_par::shard_ranges(self.nodes.len(), threads).len();
-            recorder.event(
-                EventLevel::Info,
-                "graph.par_shards",
-                &[
-                    ("shards", shards.to_string()),
-                    ("threads", threads.to_string()),
-                ],
+        if threads > 1 {
+            recorder.metrics().inc(
+                "qbeep_par_dispatch_total",
+                &qbeep_telemetry::LabelSet::new(&[("stage", "graph_step")]),
+                1,
             );
+            if recorder.is_enabled() {
+                let shards = qbeep_par::shard_ranges(self.nodes.len(), threads).len();
+                recorder.event(
+                    EventLevel::Info,
+                    "graph.par_shards",
+                    &[
+                        ("shards", shards.to_string()),
+                        ("threads", threads.to_string()),
+                    ],
+                );
+            }
         }
         let start = Instant::now();
         let deadline = self

@@ -108,5 +108,6 @@ pub use parallel::{effective_threads, parallel_enabled};
 pub use pipeline::{MitigationDiagnostics, MitigationResult, QBeep};
 pub use registry::{StrategyRegistry, StrategySpec};
 pub use session::{
-    JobFailure, JobReport, MitigationJob, MitigationSession, SessionReport, SessionStats,
+    describe_metric_families, write_flight_dumps, JobFailure, JobReport, MitigationJob,
+    MitigationSession, SessionReport, SessionStats,
 };

@@ -209,11 +209,7 @@ impl QBeep {
             }
         };
         if let Some(d) = &degradation {
-            self.recorder.event(
-                qbeep_telemetry::EventLevel::Warn,
-                "mitigate.degraded",
-                &[("reason", d.tag().to_string())],
-            );
+            self.record_degradation(d);
         }
         (
             MitigationResult {
@@ -346,11 +342,7 @@ impl QBeep {
             }
         };
         if let Some(d) = &degradation {
-            self.recorder.event(
-                qbeep_telemetry::EventLevel::Warn,
-                "mitigate.degraded",
-                &[("reason", d.tag().to_string())],
-            );
+            self.record_degradation(d);
         }
         (
             MitigationResult {
@@ -362,6 +354,27 @@ impl QBeep {
             },
             degradation,
         )
+    }
+
+    /// Records one watchdog degradation everywhere it must show up:
+    /// the run-report timeline (`mitigate.degraded` warning), the
+    /// flight ring (incident snapshot — forensics for the daemon), and
+    /// the `qbeep_watchdog_degraded_total{reason}` counter family.
+    fn record_degradation(&self, d: &Degradation) {
+        let fields = [("reason", d.tag().to_string())];
+        self.recorder.event(
+            qbeep_telemetry::EventLevel::Warn,
+            "mitigate.degraded",
+            &fields,
+        );
+        self.recorder
+            .flight()
+            .incident("watchdog.degraded", &fields);
+        self.recorder.metrics().inc(
+            "qbeep_watchdog_degraded_total",
+            &qbeep_telemetry::LabelSet::new(&[("reason", d.tag())]),
+            1,
+        );
     }
 
     /// Pushes graph-shape counters, the λ gauge and the per-iteration

@@ -17,10 +17,14 @@
 //! unchanged.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 
 use qbeep_bitstring::Counts;
 use qbeep_device::Backend;
-use qbeep_telemetry::{EventLevel, Recorder, RunReport};
+use qbeep_telemetry::{
+    EventLevel, FlightDump, FlightRecorder, LabelSet, MetricsRegistry, ProvenanceManifest,
+    Recorder, RunReport,
+};
 use qbeep_transpile::TranspiledCircuit;
 
 use crate::faults::{self, FaultKind, FaultSite};
@@ -143,6 +147,15 @@ pub struct SessionReport {
     pub stats: SessionStats,
     /// Aggregated telemetry, when the session recorder was enabled.
     pub telemetry: Option<RunReport>,
+    /// Flight-recorder incidents captured during this run (panicked
+    /// jobs, watchdog degradations, injected faults). When no flight
+    /// directory is configured the dumps stay queued in the recorder
+    /// for the owner of the [`FlightRecorder`] handle to drain.
+    pub incidents: usize,
+    /// `*.flight.json` files written this run, in capture order
+    /// (empty unless a flight directory was configured via
+    /// [`MitigationSession::with_flight_dir`] or `QBEEP_FLIGHT_DIR`).
+    pub flight_files: Vec<String>,
 }
 
 impl SessionReport {
@@ -177,6 +190,96 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Writes each dump to `<dir>/qbeep-NNN-<reason>.flight.json`, probing
+/// for a free index so repeated runs into one directory never clobber
+/// earlier black boxes. I/O failures are reported as warning events —
+/// forensics must never turn a survivable run into a failing one.
+/// Public so front ends (CLI, bench) can flush incidents captured
+/// outside a [`MitigationSession`] with identical naming.
+pub fn write_flight_dumps(
+    dir: &std::path::Path,
+    dumps: &[FlightDump],
+    recorder: &Recorder,
+) -> Vec<String> {
+    let mut written = Vec::new();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        recorder.event(
+            EventLevel::Warn,
+            "flight.write_failed",
+            &[("dir", dir.display().to_string()), ("error", e.to_string())],
+        );
+        return written;
+    }
+    let mut next_idx = 0usize;
+    for dump in dumps {
+        let reason: String = dump
+            .reason
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let path = loop {
+            let candidate = dir.join(format!("qbeep-{next_idx:03}-{reason}.flight.json"));
+            next_idx += 1;
+            if !candidate.exists() {
+                break candidate;
+            }
+        };
+        let result = dump
+            .to_json()
+            .map_err(|e| e.to_string())
+            .and_then(|json| std::fs::write(&path, json).map_err(|e| e.to_string()));
+        match result {
+            Ok(()) => written.push(path.display().to_string()),
+            Err(error) => recorder.event(
+                EventLevel::Warn,
+                "flight.write_failed",
+                &[("path", path.display().to_string()), ("error", error)],
+            ),
+        }
+    }
+    written
+}
+
+/// Registers `# HELP` text for every metric family the mitigation
+/// engine records, so expositions are self-describing no matter which
+/// front end (session, CLI, bench) built the registry. No-op when the
+/// registry is disabled.
+pub fn describe_metric_families(metrics: &MetricsRegistry) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics.describe(
+        "qbeep_session_jobs_total",
+        "Jobs processed by the session engine, by device and outcome",
+    );
+    metrics.describe(
+        "qbeep_strategy_runs_total",
+        "Strategy executions, by strategy and outcome",
+    );
+    metrics.describe(
+        "qbeep_strategy_duration_ms",
+        "Wall-clock duration of one strategy execution in milliseconds",
+    );
+    metrics.describe(
+        "qbeep_watchdog_degraded_total",
+        "Watchdog degradations, by reason",
+    );
+    metrics.describe(
+        "qbeep_faults_injected_total",
+        "Injected faults that fired, by site and kind",
+    );
+    metrics.describe(
+        "qbeep_par_dispatch_total",
+        "Parallel fan-outs dispatched, by pipeline stage",
+    );
+}
+
 /// Runs N jobs × M strategies over one calibration snapshot.
 pub struct MitigationSession {
     backend: Option<Backend>,
@@ -184,6 +287,12 @@ pub struct MitigationSession {
     registry: StrategyRegistry,
     strategies: Vec<Box<dyn Mitigator>>,
     jobs: Vec<MitigationJob>,
+    /// Where `*.flight.json` incident dumps land after a run; `None`
+    /// falls back to the `QBEEP_FLIGHT_DIR` environment variable, and
+    /// with neither set the dumps stay queued in the flight recorder.
+    flight_dir: Option<PathBuf>,
+    /// Provenance attached to every flight dump captured this run.
+    manifest: Option<ProvenanceManifest>,
 }
 
 impl std::fmt::Debug for MitigationSession {
@@ -202,14 +311,22 @@ impl std::fmt::Debug for MitigationSession {
 impl MitigationSession {
     /// A session with no backend (strategies needing calibration will
     /// report missing context unless jobs pin λ explicitly).
+    ///
+    /// The flight recorder is **on by default**: the main telemetry
+    /// registry stays disabled (zero hot-path cost — spans are not
+    /// mirrored while it is off), but warning events and incident
+    /// captures land in a bounded ring so even an uninstrumented run
+    /// leaves a black box behind when something goes wrong.
     #[must_use]
     pub fn new() -> Self {
         Self {
             backend: None,
-            recorder: Recorder::disabled(),
+            recorder: Recorder::disabled().with_flight(FlightRecorder::new()),
             registry: StrategyRegistry::builtin(),
             strategies: Vec::new(),
             jobs: Vec::new(),
+            flight_dir: None,
+            manifest: None,
         }
     }
 
@@ -223,11 +340,59 @@ impl MitigationSession {
     }
 
     /// Attaches a telemetry recorder; strategies record into it with
-    /// their legacy span names.
+    /// their legacy span names. The session's always-on flight tap is
+    /// preserved unless the incoming recorder carries its own.
     #[must_use]
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
-        self.recorder = recorder;
+        self.recorder = if recorder.flight().is_enabled() {
+            recorder
+        } else {
+            let flight = self.recorder.flight().clone();
+            recorder.with_flight(flight)
+        };
         self
+    }
+
+    /// Replaces the session's flight recorder (e.g. with a
+    /// larger-capacity ring, or a shared handle the caller drains).
+    #[must_use]
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.recorder = self.recorder.clone().with_flight(flight);
+        self
+    }
+
+    /// Sets the directory `*.flight.json` incident dumps are written
+    /// to when a run captures any. Overrides the `QBEEP_FLIGHT_DIR`
+    /// environment variable.
+    #[must_use]
+    pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+
+    /// Attaches a labeled metrics registry; the session and every
+    /// pipeline stage under it record labeled families
+    /// (`qbeep_session_jobs_total{device,outcome}`,
+    /// `qbeep_strategy_runs_total{strategy,outcome}`, …) into it.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.recorder = self.recorder.clone().with_metrics(metrics);
+        self
+    }
+
+    /// Attaches the provenance manifest every flight dump captured
+    /// during this session's runs will carry.
+    #[must_use]
+    pub fn with_manifest(mut self, manifest: ProvenanceManifest) -> Self {
+        self.manifest = Some(manifest);
+        self
+    }
+
+    /// The session's telemetry recorder (carries the flight and
+    /// metrics handles).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Adds an already-constructed strategy.
@@ -302,6 +467,10 @@ impl MitigationSession {
     }
 
     fn execute(&self, isolate: bool) -> Result<SessionReport, MitigationError> {
+        if let Some(manifest) = &self.manifest {
+            self.recorder.flight().set_manifest(manifest.clone());
+        }
+        self.describe_metric_families();
         let backend = self.sanitized_backend();
         let tables = SharedTables::new();
         // Job-level parallelism. An armed fault injector is
@@ -350,12 +519,30 @@ impl MitigationSession {
             }
             collected
         };
+        let metrics = self.recorder.metrics();
+        let device = backend.as_ref().map_or("none", Backend::name).to_string();
         let mut reports = Vec::with_capacity(self.jobs.len());
         let mut failures = Vec::new();
         for (job, result) in self.jobs.iter().zip(results) {
             match result {
-                Ok(report) => reports.push(report),
+                Ok(report) => {
+                    metrics.inc(
+                        "qbeep_session_jobs_total",
+                        &LabelSet::new(&[("device", &device), ("outcome", "ok")]),
+                        1,
+                    );
+                    reports.push(report);
+                }
                 Err(error) => {
+                    let outcome = match &error {
+                        MitigationError::JobPanicked { .. } => "panicked",
+                        _ => "error",
+                    };
+                    metrics.inc(
+                        "qbeep_session_jobs_total",
+                        &LabelSet::new(&[("device", &device), ("outcome", outcome)]),
+                        1,
+                    );
                     self.recorder.event(
                         EventLevel::Warn,
                         "session.job_failed",
@@ -367,6 +554,9 @@ impl MitigationSession {
                             error,
                         });
                     } else {
+                        // Even an aborting run leaves its black box
+                        // behind before propagating the error.
+                        let _ = self.flush_flight_dumps();
                         return Err(error);
                     }
                 }
@@ -393,13 +583,48 @@ impl MitigationSession {
                 .incr("session.tables_reused", stats.tables_reused as u64);
         }
         let telemetry = self.recorder.is_enabled().then(|| self.recorder.report());
+        let (incidents, flight_files) = self.flush_flight_dumps();
         Ok(SessionReport {
             jobs: reports,
             failures,
             strategies: self.strategy_names(),
             stats,
             telemetry,
+            incidents,
+            flight_files,
         })
+    }
+
+    /// Registers `# HELP` text for every metric family the engine
+    /// records, so expositions are self-describing. No-op when no
+    /// metrics registry is attached.
+    fn describe_metric_families(&self) {
+        describe_metric_families(self.recorder.metrics());
+    }
+
+    /// The directory incident dumps land in: the builder override, or
+    /// `QBEEP_FLIGHT_DIR` from the environment.
+    fn resolve_flight_dir(&self) -> Option<PathBuf> {
+        self.flight_dir
+            .clone()
+            .or_else(|| std::env::var_os("QBEEP_FLIGHT_DIR").map(PathBuf::from))
+    }
+
+    /// Writes queued incident dumps to `*.flight.json` files when a
+    /// flight directory is configured, returning the incident count
+    /// and the paths written. Without a directory the dumps stay
+    /// queued for the owner of the [`FlightRecorder`] handle.
+    fn flush_flight_dumps(&self) -> (usize, Vec<String>) {
+        let flight = self.recorder.flight();
+        let incidents = flight.incident_count();
+        if incidents == 0 {
+            return (0, Vec::new());
+        }
+        let Some(dir) = self.resolve_flight_dir() else {
+            return (incidents, Vec::new());
+        };
+        let dumps = flight.drain_incidents();
+        (incidents, write_flight_dumps(&dir, &dumps, &self.recorder))
     }
 
     /// One job attempt with panic quarantine — the per-worker unit of
@@ -413,10 +638,27 @@ impl MitigationSession {
         let attempt = panic::catch_unwind(AssertUnwindSafe(|| self.run_job(job, backend, tables)));
         match attempt {
             Ok(result) => result,
-            Err(payload) => Err(MitigationError::JobPanicked {
-                job: job.label.clone(),
-                payload: panic_message(payload.as_ref()),
-            }),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                // The unwind may have leaked span guards; close the
+                // dangling frames (marked `abandoned=true`) *before*
+                // snapshotting, so the incident's event tail shows
+                // exactly where the job died and later spans on this
+                // worker thread nest correctly again.
+                let abandoned = self.recorder.abandon_open_spans("job panicked");
+                self.recorder.flight().incident(
+                    "job.panicked",
+                    &[
+                        ("job", job.label.clone()),
+                        ("panic_message", message.clone()),
+                        ("abandoned_spans", abandoned.to_string()),
+                    ],
+                );
+                Err(MitigationError::JobPanicked {
+                    job: job.label.clone(),
+                    payload: message,
+                })
+            }
         }
     }
 
@@ -453,9 +695,29 @@ impl MitigationSession {
         if let Some(lambda) = job.lambda {
             ctx = ctx.with_lambda(lambda);
         }
+        let metrics = self.recorder.metrics();
         let mut outcomes = Vec::with_capacity(self.strategies.len());
         for strategy in &self.strategies {
-            outcomes.push(strategy.mitigate(&counts, &ctx)?);
+            let started = std::time::Instant::now();
+            let result = strategy.mitigate(&counts, &ctx);
+            if metrics.is_enabled() {
+                metrics.observe(
+                    "qbeep_strategy_duration_ms",
+                    &LabelSet::new(&[("strategy", strategy.name())]),
+                    started.elapsed().as_secs_f64() * 1e3,
+                );
+                let outcome = match &result {
+                    Ok(o) if o.degraded => "degraded",
+                    Ok(_) => "ok",
+                    Err(_) => "error",
+                };
+                metrics.inc(
+                    "qbeep_strategy_runs_total",
+                    &LabelSet::new(&[("strategy", strategy.name()), ("outcome", outcome)]),
+                    1,
+                );
+            }
+            outcomes.push(result?);
         }
         Ok(JobReport {
             label: job.label.clone(),

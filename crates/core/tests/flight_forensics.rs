@@ -1,0 +1,216 @@
+//! Crash forensics end to end: a quarantined job panic must leave a
+//! `*.flight.json` black box behind carrying the panicking job's last
+//! events, its abandoned span frames, and the run's provenance
+//! digests — the tentpole acceptance criterion of the observability
+//! layer.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use qbeep_bitstring::{BitString, Counts};
+use qbeep_core::mitigator::{
+    MitigationError, MitigationOutcome, Mitigator, RunContext, StrategyDiagnostics,
+};
+use qbeep_core::{MitigationJob, MitigationSession};
+use qbeep_telemetry::{FlightDump, ProvenanceManifest, Recorder};
+
+fn bs(s: &str) -> BitString {
+    s.parse().unwrap()
+}
+
+fn counts_ok() -> Counts {
+    Counts::from_pairs(4, vec![(bs("0000"), 700), (bs("0001"), 200)])
+}
+
+fn counts_wide() -> Counts {
+    Counts::from_pairs(5, vec![(bs("00000"), 500), (bs("00001"), 300)])
+}
+
+/// A unique, per-test scratch directory under the system temp dir.
+/// Deliberately std-only (no tempfile dependency); cleaned up at the
+/// end of the test on success.
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qbeep-flight-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Panics on 5-bit jobs *while a span guard is leaked*, modelling the
+/// worst case: a buggy strategy that dies mid-stage without running
+/// its drops, leaving the recorder's thread stack dangling.
+struct LeakySpanExplode;
+
+impl Mitigator for LeakySpanExplode {
+    fn name(&self) -> &'static str {
+        "leaky-explode"
+    }
+
+    fn mitigate(
+        &self,
+        counts: &Counts,
+        ctx: &RunContext,
+    ) -> Result<MitigationOutcome, MitigationError> {
+        let span = ctx.recorder().span("doomed_stage");
+        if counts.width() == 5 {
+            std::mem::forget(span);
+            panic!("forced forensics panic");
+        }
+        drop(span);
+        Ok(MitigationOutcome {
+            strategy: "leaky-explode".to_string(),
+            mitigated: counts.to_distribution(),
+            lambda: None,
+            diagnostics: StrategyDiagnostics::None,
+            degraded: false,
+            degradation: None,
+        })
+    }
+}
+
+#[test]
+fn quarantined_panic_writes_flight_dump_with_provenance_and_abandoned_spans() {
+    let dir = scratch_dir("panic");
+    let recorder = Recorder::new();
+    let mut session = MitigationSession::new()
+        .with_recorder(recorder)
+        .with_flight_dir(&dir)
+        .with_manifest(
+            ProvenanceManifest::new("test", "cafebabecafebabe")
+                .with_seed(7)
+                .with_backend("fake_lagos"),
+        );
+    session.add_strategy(Box::new(LeakySpanExplode));
+    session.add_job(MitigationJob::new("healthy", counts_ok()));
+    session.add_job(MitigationJob::new("doomed", counts_wide()));
+    let report = session.run_isolated().expect("isolated run completes");
+
+    // The healthy job survived; the doomed one was quarantined.
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(report.stats.failed_jobs, 1);
+    assert!(report.incidents >= 1, "panic must capture an incident");
+    assert!(
+        !report.flight_files.is_empty(),
+        "a flight directory was set, so dumps must be written"
+    );
+
+    // The dump file parses back and tells the whole story.
+    let path = PathBuf::from(&report.flight_files[0]);
+    assert!(path.starts_with(&dir));
+    assert!(path.to_string_lossy().ends_with(".flight.json"));
+    let dump = FlightDump::from_json(&std::fs::read_to_string(&path).unwrap())
+        .expect("flight dump round-trips");
+    assert_eq!(dump.reason, "job.panicked");
+    let field = |k: &str| {
+        dump.fields
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("field {k} missing from {:?}", dump.fields))
+    };
+    assert_eq!(field("job"), "doomed");
+    assert!(field("panic_message").contains("forced forensics panic"));
+    assert_eq!(field("abandoned_spans"), "1");
+
+    // Provenance digests ride along.
+    let manifest = dump.manifest.as_ref().expect("manifest attached");
+    assert_eq!(manifest.config_digest, "cafebabecafebabe");
+
+    // The event tail includes the abandoned span frame with its full
+    // path and marker, so the trace stays well-formed.
+    let abandoned: Vec<_> = dump
+        .events
+        .iter()
+        .filter(|e| e.name == "span.abandoned")
+        .collect();
+    assert_eq!(abandoned.len(), 1, "one leaked frame, one marker");
+    let fields = &abandoned[0].fields;
+    assert!(fields.contains(&("abandoned".to_string(), "true".to_string())));
+    assert!(
+        fields
+            .iter()
+            .any(|(k, v)| k == "span" && v.contains("doomed_stage")),
+        "{fields:?}"
+    );
+
+    // The human-readable rendering carries the essentials too.
+    let rendered = dump.render_report(0);
+    assert!(rendered.contains("job.panicked"), "{rendered}");
+    assert!(rendered.contains("cafebabecafebabe"), "{rendered}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flight_dumps_stay_queued_without_a_directory() {
+    // CI's fault matrix exports QBEEP_FLIGHT_DIR for the whole job;
+    // this test is specifically about the no-directory path, so drop
+    // the variable (safe on edition 2021; the only other env readers
+    // in this binary use explicit builder overrides, which win).
+    std::env::remove_var("QBEEP_FLIGHT_DIR");
+    let flight = qbeep_telemetry::FlightRecorder::new();
+    let mut session = MitigationSession::new().with_flight(flight.clone());
+    session.add_strategy(Box::new(LeakySpanExplode));
+    session.add_job(MitigationJob::new("doomed", counts_wide()));
+    let report = session.run_isolated().expect("isolated run completes");
+    assert_eq!(report.incidents, 1);
+    assert!(report.flight_files.is_empty());
+    // The owner of the handle drains the queued dump.
+    let dumps = flight.drain_incidents();
+    assert_eq!(dumps.len(), 1);
+    assert_eq!(dumps[0].reason, "job.panicked");
+}
+
+#[test]
+fn repeated_runs_never_clobber_earlier_dumps() {
+    let dir = scratch_dir("noclobber");
+    let run_once = || {
+        let mut session = MitigationSession::new().with_flight_dir(&dir);
+        session.add_strategy(Box::new(LeakySpanExplode));
+        session.add_job(MitigationJob::new("doomed", counts_wide()));
+        session.run_isolated().expect("isolated run completes")
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first.flight_files.len(), 1);
+    assert_eq!(second.flight_files.len(), 1);
+    assert_ne!(first.flight_files[0], second.flight_files[0]);
+    assert!(PathBuf::from(&first.flight_files[0]).exists());
+    assert!(PathBuf::from(&second.flight_files[0]).exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fault-injection route to the same guarantee: an injected
+/// dispatch panic (the chaos-testing path CI's fault matrix drives)
+/// must produce both a `fault.injected` and a `job.panicked` black
+/// box.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn injected_session_panic_leaves_both_incident_kinds() {
+    use qbeep_core::faults;
+
+    let dir = scratch_dir("fault");
+    faults::install("session:panic@1".parse().unwrap());
+    let mut session = MitigationSession::new().with_flight_dir(&dir);
+    session.add_strategy_by_name("identity").unwrap();
+    session.add_job(MitigationJob::new("a", counts_ok()));
+    session.add_job(MitigationJob::new("b", counts_ok()));
+    session.add_job(MitigationJob::new("c", counts_ok()));
+    let report = session.run_isolated().expect("isolated run completes");
+    faults::clear();
+
+    assert_eq!(report.stats.failed_jobs, 1);
+    assert!(report.failure("b").is_some());
+    let mut reasons: Vec<String> = report
+        .flight_files
+        .iter()
+        .map(|p| {
+            FlightDump::from_json(&std::fs::read_to_string(p).unwrap())
+                .unwrap()
+                .reason
+        })
+        .collect();
+    reasons.sort();
+    assert_eq!(reasons, vec!["fault.injected", "job.panicked"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,430 @@
+//! The flight recorder: always-on, bounded-overhead crash forensics.
+//!
+//! The session engine already guarantees that when one quarantined job
+//! panics, the survivors are bit-identical. This module upgrades that
+//! to "and here is exactly what the casualty was doing": a
+//! [`FlightRecorder`] keeps a small fixed-size ring of the most recent
+//! [`Event`]s (explicit notes and span closures). When something goes
+//! wrong — a job panics, the watchdog degrades, a fault fires — the
+//! caller triggers [`FlightRecorder::incident`], which snapshots the
+//! ring into an immutable [`FlightDump`] together with the
+//! [`ProvenanceManifest`] of the run. Dumps accumulate (bounded) until
+//! drained and written to `*.flight.json` files.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Bounded overhead** — the ring holds [`DEFAULT_FLIGHT_CAPACITY`]
+//!    events and at most [`MAX_INCIDENTS`] dumps; a pathological run
+//!    cannot OOM on forensics. A disabled recorder is a single branch.
+//! 2. **No I/O at incident time** — an incident snapshots memory only;
+//!    file writes happen later, at session level, outside any hot or
+//!    panicking path.
+//! 3. **Self-describing dumps** — a dump carries its reason, its
+//!    trigger fields, the provenance digests and the event tail, so
+//!    `qbeep-cli inspect` can render it with no other context.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::{Event, EventLevel};
+use crate::manifest::ProvenanceManifest;
+use crate::recorder::current_thread_id;
+
+/// Default flight-ring capacity: enough recent history to see what a
+/// job was doing, small enough to snapshot in microseconds.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// Maximum number of incident dumps retained before new incidents only
+/// bump a counter. A run that trips more than this is systematically
+/// broken; the first sixteen dumps tell the story.
+pub const MAX_INCIDENTS: usize = 16;
+
+#[derive(Debug)]
+struct FlightInner {
+    epoch: Instant,
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+    incidents: Vec<FlightDump>,
+    incidents_suppressed: u64,
+    manifest: Option<ProvenanceManifest>,
+}
+
+impl FlightInner {
+    fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+}
+
+/// A cheap, cloneable handle to a shared flight ring. Clones share
+/// state; [`FlightRecorder::disabled`] (also the default) makes every
+/// operation a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<Mutex<FlightInner>>>,
+}
+
+impl FlightRecorder {
+    /// Creates an enabled flight recorder with the default ring
+    /// capacity ([`DEFAULT_FLIGHT_CAPACITY`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// Creates an enabled flight recorder holding at most `capacity`
+    /// recent events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(FlightInner {
+                epoch: Instant::now(),
+                ring: VecDeque::new(),
+                capacity,
+                dropped: 0,
+                incidents: Vec::new(),
+                incidents_suppressed: 0,
+                manifest: None,
+            }))),
+        }
+    }
+
+    /// Creates a no-op flight recorder.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this recorder actually records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock<'a>(inner: &'a Arc<Mutex<FlightInner>>) -> MutexGuard<'a, FlightInner> {
+        // Forensics must survive poisoning — that is the whole point.
+        inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Attaches the provenance manifest every subsequent dump carries.
+    pub fn set_manifest(&self, manifest: ProvenanceManifest) {
+        if let Some(inner) = &self.inner {
+            Self::lock(inner).manifest = Some(manifest);
+        }
+    }
+
+    /// Records one instant event into the ring.
+    pub fn note(&self, level: EventLevel, name: &str, fields: &[(&str, String)]) {
+        if let Some(inner) = &self.inner {
+            let thread = current_thread_id();
+            let mut guard = Self::lock(inner);
+            let start_us = guard.epoch.elapsed().as_secs_f64() * 1e6;
+            let event = Event {
+                start_us,
+                dur_us: None,
+                name: name.to_string(),
+                level,
+                thread,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+            };
+            guard.push(event);
+        }
+    }
+
+    /// Records one closed span (path + duration) into the ring.
+    pub fn note_span(&self, path: &str, dur_us: f64) {
+        if let Some(inner) = &self.inner {
+            let thread = current_thread_id();
+            let mut guard = Self::lock(inner);
+            let end_us = guard.epoch.elapsed().as_secs_f64() * 1e6;
+            let event = Event {
+                start_us: (end_us - dur_us).max(0.0),
+                dur_us: Some(dur_us),
+                name: path.to_string(),
+                level: EventLevel::Info,
+                thread,
+                fields: Vec::new(),
+            };
+            guard.push(event);
+        }
+    }
+
+    /// Snapshots the ring into a [`FlightDump`] tagged with `reason`
+    /// and `fields`. The dump is retained (bounded by
+    /// [`MAX_INCIDENTS`]) until [`drain_incidents`](Self::drain_incidents).
+    /// No file I/O happens here — incident capture is memory-only, so
+    /// it is safe to call from panic-cleanup paths.
+    pub fn incident(&self, reason: &str, fields: &[(&str, String)]) {
+        if let Some(inner) = &self.inner {
+            let mut guard = Self::lock(inner);
+            if guard.incidents.len() >= MAX_INCIDENTS {
+                guard.incidents_suppressed += 1;
+                return;
+            }
+            let captured_at_us = guard.epoch.elapsed().as_secs_f64() * 1e6;
+            let dump = FlightDump {
+                reason: reason.to_string(),
+                captured_at_us,
+                thread: current_thread_id(),
+                dropped: guard.dropped,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+                events: guard.ring.iter().cloned().collect(),
+                manifest: guard.manifest.clone(),
+            };
+            guard.incidents.push(dump);
+        }
+    }
+
+    /// Takes every captured incident dump out of the recorder (for
+    /// writing to `*.flight.json` files). Later incidents refill it.
+    #[must_use]
+    pub fn drain_incidents(&self) -> Vec<FlightDump> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        std::mem::take(&mut Self::lock(inner).incidents)
+    }
+
+    /// Number of incidents captured and still undrained.
+    #[must_use]
+    pub fn incident_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| Self::lock(inner).incidents.len())
+    }
+
+    /// How many incidents were suppressed after [`MAX_INCIDENTS`].
+    #[must_use]
+    pub fn incidents_suppressed(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| Self::lock(inner).incidents_suppressed)
+    }
+}
+
+/// An immutable snapshot of the flight ring at incident time: the
+/// black-box recording written to a `*.flight.json` file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Why the dump was captured (`job.panicked`,
+    /// `watchdog.degraded`, `fault.injected`, …).
+    pub reason: String,
+    /// Microsecond offset (from the flight recorder's creation) at
+    /// which the incident was captured.
+    pub captured_at_us: f64,
+    /// Recorder-assigned id of the thread that captured the incident.
+    pub thread: u64,
+    /// How many ring events were evicted before this snapshot (the
+    /// history that is *not* in `events`).
+    pub dropped: u64,
+    /// Trigger-specific `key=value` context (job index, panic message,
+    /// degradation reason, fault site…).
+    pub fields: Vec<(String, String)>,
+    /// The ring contents at capture time, oldest first.
+    pub events: Vec<Event>,
+    /// Provenance of the run, when the owner attached one.
+    #[serde(default)]
+    pub manifest: Option<ProvenanceManifest>,
+}
+
+impl FlightDump {
+    /// Serializes the dump as pretty-printed JSON (the `*.flight.json`
+    /// file format).
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error (practically
+    /// unreachable for this self-contained value type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a dump back from its JSON form.
+    ///
+    /// # Errors
+    /// Returns the underlying `serde_json` error when `text` is not a
+    /// flight dump.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Renders the dump as a human-readable incident report showing at
+    /// most the last `last_n` events (0 means all).
+    #[must_use]
+    pub fn render_report(&self, last_n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("incident: {}\n", self.reason));
+        out.push_str(&format!(
+            "captured: {:.1} ms after recorder start, on thread {}\n",
+            self.captured_at_us / 1e3,
+            self.thread
+        ));
+        for (k, v) in &self.fields {
+            out.push_str(&format!("  {k}: {v}\n"));
+        }
+        if let Some(manifest) = &self.manifest {
+            out.push_str("provenance:\n");
+            for (k, v) in manifest.render_lines() {
+                out.push_str(&format!("  {k}: {v}\n"));
+            }
+        }
+        let shown = if last_n == 0 || last_n >= self.events.len() {
+            self.events.len()
+        } else {
+            last_n
+        };
+        let skipped = self.events.len() - shown + self.dropped as usize;
+        out.push_str(&format!(
+            "events (last {shown} of {} recorded, {skipped} older not shown):\n",
+            self.events.len() + self.dropped as usize
+        ));
+        for event in &self.events[self.events.len() - shown..] {
+            let when = format!("{:>12.1}us", event.start_us);
+            let dur = match event.dur_us {
+                Some(d) => format!(" [{d:.1}us]"),
+                None => String::new(),
+            };
+            let mut fields = String::new();
+            for (k, v) in &event.fields {
+                fields.push_str(&format!(" {k}={v}"));
+            }
+            out.push_str(&format!(
+                "  {when} t{} {:<5} {}{dur}{fields}\n",
+                event.thread,
+                event.level.as_str(),
+                event.name
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let f = FlightRecorder::with_capacity(4);
+        for i in 0..10 {
+            f.note(EventLevel::Info, &format!("e{i}"), &[]);
+        }
+        f.incident("test", &[]);
+        let dumps = f.drain_incidents();
+        assert_eq!(dumps.len(), 1);
+        let dump = &dumps[0];
+        assert_eq!(dump.dropped, 6);
+        let names: Vec<&str> = dump.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e6", "e7", "e8", "e9"]);
+    }
+
+    #[test]
+    fn incident_snapshots_ring_and_manifest() {
+        let f = FlightRecorder::new();
+        f.set_manifest(ProvenanceManifest::new("0.1.0", "cafebabecafebabe"));
+        f.note(EventLevel::Warn, "before", &[("k", "v".to_string())]);
+        f.incident("job.panicked", &[("job", "3".to_string())]);
+        f.note(EventLevel::Info, "after", &[]);
+        let dumps = f.drain_incidents();
+        assert_eq!(dumps.len(), 1);
+        let dump = &dumps[0];
+        assert_eq!(dump.reason, "job.panicked");
+        assert_eq!(dump.fields, vec![("job".to_string(), "3".to_string())]);
+        // The snapshot is frozen at incident time: `after` is absent.
+        assert_eq!(dump.events.len(), 1);
+        assert_eq!(dump.events[0].name, "before");
+        assert_eq!(
+            dump.manifest.as_ref().unwrap().config_digest,
+            "cafebabecafebabe"
+        );
+        // Drained means gone.
+        assert!(f.drain_incidents().is_empty());
+    }
+
+    #[test]
+    fn incidents_are_bounded() {
+        let f = FlightRecorder::new();
+        for i in 0..(MAX_INCIDENTS + 5) {
+            f.incident(&format!("i{i}"), &[]);
+        }
+        assert_eq!(f.incident_count(), MAX_INCIDENTS);
+        assert_eq!(f.incidents_suppressed(), 5);
+        assert_eq!(f.drain_incidents().len(), MAX_INCIDENTS);
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let f = FlightRecorder::new();
+        f.note_span("mitigate/graph_build", 1234.5);
+        f.incident("watchdog.degraded", &[("reason", "max_iters".to_string())]);
+        let dump = f.drain_incidents().remove(0);
+        let json = dump.to_json().unwrap();
+        let back = FlightDump::from_json(&json).unwrap();
+        assert_eq!(dump, back);
+        assert_eq!(back.events[0].dur_us, Some(1234.5));
+    }
+
+    #[test]
+    fn render_report_shows_tail_and_provenance() {
+        let f = FlightRecorder::new();
+        f.set_manifest(ProvenanceManifest::new("0.1.0", "cafebabecafebabe").with_seed(7));
+        for i in 0..5 {
+            f.note(EventLevel::Info, &format!("step{i}"), &[]);
+        }
+        f.incident("job.panicked", &[("panic_message", "boom".to_string())]);
+        let dump = f.drain_incidents().remove(0);
+        let report = dump.render_report(2);
+        assert!(report.contains("incident: job.panicked"), "{report}");
+        assert!(report.contains("panic_message: boom"), "{report}");
+        assert!(
+            report.contains("config_digest: cafebabecafebabe"),
+            "{report}"
+        );
+        assert!(report.contains("seed: 7"), "{report}");
+        assert!(report.contains("step4"), "{report}");
+        assert!(!report.contains("step1"), "{report}");
+        // last_n = 0 means everything.
+        assert!(dump.render_report(0).contains("step0"));
+    }
+
+    #[test]
+    fn disabled_flight_recorder_is_a_noop() {
+        let f = FlightRecorder::disabled();
+        assert!(!f.is_enabled());
+        f.note(EventLevel::Error, "never", &[]);
+        f.note_span("never", 1.0);
+        f.incident("never", &[]);
+        f.set_manifest(ProvenanceManifest::new("0", "0"));
+        assert_eq!(f.incident_count(), 0);
+        assert!(f.drain_incidents().is_empty());
+        assert!(!FlightRecorder::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let f = FlightRecorder::new();
+        let clone = f.clone();
+        clone.note(EventLevel::Info, "shared", &[]);
+        f.incident("check", &[]);
+        let dump = f.drain_incidents().remove(0);
+        assert_eq!(dump.events[0].name, "shared");
+    }
+}

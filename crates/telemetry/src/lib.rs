@@ -22,6 +22,15 @@
 //!   run reports and bench artifacts: config and calibration digests
 //!   (via the dependency-free [`Digest`]), a [`CircuitFingerprint`],
 //!   the RNG seed and the crate version.
+//! * [`MetricsRegistry`] — the *service* side: labeled counter /
+//!   gauge / histogram families (`strategy`, `stage`, `device`,
+//!   `outcome`…), lock-sharded per thread so parallel workers record
+//!   without contention, snapshotting to Prometheus text format 0.0.4
+//!   or JSONL via [`MetricsSnapshot`].
+//! * [`FlightRecorder`] — always-on crash forensics: a bounded ring of
+//!   recent events that [`FlightRecorder::incident`] freezes into a
+//!   [`FlightDump`] (with the provenance manifest) whenever a job
+//!   panics, the watchdog degrades or a fault fires.
 //!
 //! # Example
 //!
@@ -43,19 +52,26 @@
 //! println!("{}", report.render_table());
 //! ```
 //!
-//! The crate deliberately depends on nothing but `serde` (already a
-//! workspace-wide dependency): no logging frameworks, no metrics
-//! registries, no global state.
+//! The crate deliberately depends on nothing but `serde` and
+//! `serde_json` (both already workspace-wide dependencies): no logging
+//! frameworks, no external metrics registries, no global state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod events;
+mod flight;
 mod manifest;
+mod metrics;
 mod recorder;
 mod report;
 
 pub use events::{Event, EventLevel, EventLog, DEFAULT_EVENT_CAPACITY};
+pub use flight::{FlightDump, FlightRecorder, DEFAULT_FLIGHT_CAPACITY, MAX_INCIDENTS};
 pub use manifest::{CircuitFingerprint, Digest, ProvenanceManifest};
+pub use metrics::{
+    default_metric_bounds, peak_rss_bytes, HistogramValue, LabelSet, MetricFamily, MetricKind,
+    MetricSample, MetricsRegistry, MetricsSnapshot, SampleValue, SHARD_COUNT,
+};
 pub use recorder::{Recorder, Span};
 pub use report::{HistogramStat, RunReport, SpanStat};

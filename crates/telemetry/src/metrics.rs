@@ -1,0 +1,862 @@
+//! Labeled metric families: the service-facing side of telemetry.
+//!
+//! The [`Recorder`](crate::Recorder) answers "what did *this run* do";
+//! a daemon serving many requests needs the aggregate view — how many
+//! jobs ran per `strategy`, how often the watchdog degraded per
+//! `reason`, how long each `stage` took — addressable by small label
+//! sets, in a form Prometheus can scrape. This module provides that:
+//!
+//! * [`MetricsRegistry`] — counter / gauge / histogram **families**
+//!   keyed by metric name + [`LabelSet`]. Counters and histograms are
+//!   **lock-sharded** per thread (a fixed pool of [`SHARD_COUNT`]
+//!   mutexes selected by the recorder's thread id), so `qbeep-par`
+//!   workers record without contending on a single lock. Gauges are
+//!   last-write-wins and live in one dedicated slot.
+//! * [`MetricsSnapshot`] — a point-in-time merge of every shard,
+//!   sorted by family name then label set. Counter and histogram
+//!   merging is a commutative sum, so a snapshot taken after a
+//!   parallel run is identical at any thread count — the same
+//!   invariant the mitigation output itself honours.
+//! * Exposition: [`MetricsSnapshot::to_prometheus`] renders the
+//!   Prometheus text format 0.0.4; [`MetricsSnapshot::to_jsonl`]
+//!   renders one JSON object per sample for log pipelines.
+//!
+//! Like the recorder, a [`MetricsRegistry::disabled`] handle makes
+//! every operation a single branch, so the engine default costs
+//! nothing.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::current_thread_id;
+
+/// Number of per-thread shards counters and histograms spread over.
+/// Sixteen is comfortably above the pool sizes `qbeep-par` uses, so
+/// two workers rarely hash to the same mutex.
+pub const SHARD_COUNT: usize = 16;
+
+/// An ordered set of `label=value` pairs identifying one sample within
+/// a metric family. Construction sorts by label name, so two sets with
+/// the same pairs in different order compare (and render) identically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct LabelSet(Vec<(String, String)>);
+
+impl LabelSet {
+    /// The empty label set (an unlabeled sample).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Builds a label set from pairs, sorting by label name. Later
+    /// duplicates of the same name overwrite earlier ones.
+    #[must_use]
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut map: BTreeMap<String, String> = BTreeMap::new();
+        for (k, v) in pairs {
+            map.insert((*k).to_string(), (*v).to_string());
+        }
+        Self(map.into_iter().collect())
+    }
+
+    /// The sorted `(name, value)` pairs.
+    #[must_use]
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
+
+    /// True when the set holds no labels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Renders the set as `{k="v",…}` (empty string when unlabeled),
+    /// with Prometheus label-value escaping.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.0.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(&mut out, v);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders like [`render`](Self::render) but with `extra` appended
+    /// as one more pair (used for histogram `le` buckets).
+    fn render_with(&self, extra_key: &str, extra_value: &str) -> String {
+        let mut out = String::from("{");
+        for (k, v) in &self.0 {
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(&mut out, v);
+            out.push_str("\",");
+        }
+        out.push_str(extra_key);
+        out.push_str("=\"");
+        escape_label_value(&mut out, extra_value);
+        out.push_str("\"}");
+        out
+    }
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label_value(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time value, last write wins.
+    Gauge,
+    /// Fixed-bucket distribution with sum and count.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The lowercase Prometheus `# TYPE` name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
+        }
+    }
+}
+
+/// Default histogram bucket upper bounds for metric families, in the
+/// unit the family observes (the convention here is milliseconds for
+/// `*_ms` families): a coarse log-ish ladder from 250 µs to 10 s.
+#[must_use]
+pub fn default_metric_bounds() -> Vec<f64> {
+    vec![
+        0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+        10_000.0,
+    ]
+}
+
+/// One histogram's raw state: per-bucket (non-cumulative) counts plus
+/// moments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramValue {
+    /// Bucket upper bounds; `buckets[i]` counts values `≤ bounds[i]`
+    /// and above the previous bound. `buckets` has one extra overflow
+    /// slot at the end.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (not cumulative; `len == bounds.len() + 1`).
+    pub buckets: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramValue {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Self {
+            bounds,
+            buckets: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Merges another histogram of the same bounds into this one
+    /// (commutative, so shard merge order cannot matter).
+    fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.bounds, other.bounds);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// The value of one sample in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SampleValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramValue),
+}
+
+/// One `(labels, value)` sample within a family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// The sample's label set.
+    pub labels: LabelSet,
+    /// The sample's value.
+    pub value: SampleValue,
+}
+
+/// One metric family in a snapshot: a name, a kind, help text and the
+/// samples observed so far (sorted by label set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFamily {
+    /// Family name (e.g. `qbeep_strategy_runs_total`).
+    pub name: String,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// One-line help text for the `# HELP` exposition line.
+    pub help: String,
+    /// Samples, sorted by label set.
+    pub samples: Vec<MetricSample>,
+}
+
+type Key = (String, LabelSet);
+
+/// One lock shard: the counters and histograms recorded by the threads
+/// that hash here.
+#[derive(Debug, Default)]
+struct Shard {
+    counters: BTreeMap<Key, u64>,
+    histograms: BTreeMap<Key, HistogramValue>,
+}
+
+/// Registered family metadata (help text, and for histograms the
+/// bucket bounds every shard must agree on).
+#[derive(Debug, Default)]
+struct Descriptions {
+    help: BTreeMap<String, String>,
+    bounds: BTreeMap<String, Vec<f64>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<Mutex<Shard>>,
+    gauges: Mutex<BTreeMap<Key, f64>>,
+    descriptions: Mutex<Descriptions>,
+}
+
+/// A cheap, cloneable handle to a shared, lock-sharded metrics
+/// registry. Clones share state; [`MetricsRegistry::disabled`] (also
+/// the default) makes every operation a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an enabled registry with [`SHARD_COUNT`] lock shards.
+    #[must_use]
+    pub fn new() -> Self {
+        let shards = (0..SHARD_COUNT)
+            .map(|_| Mutex::new(Shard::default()))
+            .collect();
+        Self {
+            inner: Some(Arc::new(Inner {
+                shards,
+                gauges: Mutex::new(BTreeMap::new()),
+                descriptions: Mutex::new(Descriptions::default()),
+            })),
+        }
+    }
+
+    /// Creates a no-op registry: every operation is a single branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this registry actually records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        // Same poisoning stance as the recorder: a panic mid-record
+        // must not silence diagnostics.
+        mutex
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// This thread's shard.
+    fn shard<'a>(inner: &'a Inner) -> MutexGuard<'a, Shard> {
+        let idx = (current_thread_id() as usize) % inner.shards.len();
+        Self::lock(&inner.shards[idx])
+    }
+
+    /// Registers help text for a family (shown on the `# HELP` line).
+    /// Optional; undescribed families expose an empty help string.
+    pub fn describe(&self, name: &str, help: &str) {
+        if let Some(inner) = &self.inner {
+            let mut desc = Self::lock(&inner.descriptions);
+            desc.help.insert(name.to_string(), help.to_string());
+        }
+    }
+
+    /// Sets custom histogram bucket bounds for `name` (must be called
+    /// before the first observation; later calls only affect samples
+    /// created afterwards).
+    pub fn describe_histogram(&self, name: &str, help: &str, bounds: Vec<f64>) {
+        if let Some(inner) = &self.inner {
+            let mut desc = Self::lock(&inner.descriptions);
+            desc.help.insert(name.to_string(), help.to_string());
+            desc.bounds.insert(name.to_string(), bounds);
+        }
+    }
+
+    /// Adds `by` to the counter `name{labels}`.
+    pub fn inc(&self, name: &str, labels: &LabelSet, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut shard = Self::shard(inner);
+            *shard
+                .counters
+                .entry((name.to_string(), labels.clone()))
+                .or_insert(0) += by;
+        }
+    }
+
+    /// Sets the gauge `name{labels}` to `value` (last write wins;
+    /// gauges are deliberately *not* sharded, because concurrent
+    /// last-write-wins merges across shards would be order-dependent).
+    pub fn set_gauge(&self, name: &str, labels: &LabelSet, value: f64) {
+        if let Some(inner) = &self.inner {
+            let mut gauges = Self::lock(&inner.gauges);
+            gauges.insert((name.to_string(), labels.clone()), value);
+        }
+    }
+
+    /// Records `value` into the histogram `name{labels}` (bounds from
+    /// [`describe_histogram`](Self::describe_histogram) or
+    /// [`default_metric_bounds`]).
+    pub fn observe(&self, name: &str, labels: &LabelSet, value: f64) {
+        if let Some(inner) = &self.inner {
+            let bounds = {
+                let desc = Self::lock(&inner.descriptions);
+                desc.bounds.get(name).cloned()
+            };
+            let mut shard = Self::shard(inner);
+            shard
+                .histograms
+                .entry((name.to_string(), labels.clone()))
+                .or_insert_with(|| {
+                    HistogramValue::new(bounds.unwrap_or_else(default_metric_bounds))
+                })
+                .observe(value);
+        }
+    }
+
+    /// Merges every shard into a sorted point-in-time snapshot.
+    /// Counter and histogram merging is a commutative sum, so the
+    /// result is independent of which thread recorded what — snapshots
+    /// after a parallel run are bit-identical at any thread count.
+    /// A disabled registry snapshots empty.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let mut counters: BTreeMap<Key, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<Key, HistogramValue> = BTreeMap::new();
+        for mutex in &inner.shards {
+            let shard = Self::lock(mutex);
+            for (key, value) in &shard.counters {
+                *counters.entry(key.clone()).or_insert(0) += value;
+            }
+            for (key, value) in &shard.histograms {
+                histograms
+                    .entry(key.clone())
+                    .and_modify(|h| h.merge(value))
+                    .or_insert_with(|| value.clone());
+            }
+        }
+        let gauges = Self::lock(&inner.gauges).clone();
+        let help = Self::lock(&inner.descriptions).help.clone();
+
+        // Group sorted samples into families: name → (kind, samples).
+        let mut families: BTreeMap<String, MetricFamily> = BTreeMap::new();
+        let mut push = |name: &String, labels: &LabelSet, kind: MetricKind, value: SampleValue| {
+            families
+                .entry(name.clone())
+                .or_insert_with(|| MetricFamily {
+                    name: name.clone(),
+                    kind,
+                    help: help.get(name).cloned().unwrap_or_default(),
+                    samples: Vec::new(),
+                })
+                .samples
+                .push(MetricSample {
+                    labels: labels.clone(),
+                    value,
+                });
+        };
+        for ((name, labels), value) in &counters {
+            push(
+                name,
+                labels,
+                MetricKind::Counter,
+                SampleValue::Counter(*value),
+            );
+        }
+        for ((name, labels), value) in &gauges {
+            push(name, labels, MetricKind::Gauge, SampleValue::Gauge(*value));
+        }
+        for ((name, labels), value) in &histograms {
+            push(
+                name,
+                labels,
+                MetricKind::Histogram,
+                SampleValue::Histogram(value.clone()),
+            );
+        }
+        MetricsSnapshot {
+            families: families.into_values().collect(),
+        }
+    }
+}
+
+/// A point-in-time, order-stable merge of a [`MetricsRegistry`]:
+/// families sorted by name, samples sorted by label set.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// The families, sorted by name.
+    pub families: Vec<MetricFamily>,
+}
+
+impl MetricsSnapshot {
+    /// True when no family holds any sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.families.iter().all(|f| f.samples.is_empty())
+    }
+
+    /// Looks up a family by name.
+    #[must_use]
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Returns a copy without timing-valued families (names ending in
+    /// `_ms` or `_seconds`). Golden tests pin the *countable* side of
+    /// a run — job totals, strategy outcomes — which is deterministic;
+    /// wall-clock distributions are not.
+    #[must_use]
+    pub fn without_timings(&self) -> Self {
+        Self {
+            families: self
+                .families
+                .iter()
+                .filter(|f| !f.name.ends_with("_ms") && !f.name.ends_with("_seconds"))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Returns a copy without the named families (for filtering
+    /// environment-dependent families out of pinned expositions).
+    #[must_use]
+    pub fn without_families(&self, names: &[&str]) -> Self {
+        Self {
+            families: self
+                .families
+                .iter()
+                .filter(|f| !names.contains(&f.name.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renders Prometheus text format 0.0.4: `# HELP` / `# TYPE`
+    /// header lines per family, `name{labels} value` samples,
+    /// histograms as cumulative `_bucket{le="…"}` series plus `_sum`
+    /// and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            if family.samples.is_empty() {
+                continue;
+            }
+            if !family.help.is_empty() {
+                out.push_str("# HELP ");
+                out.push_str(&family.name);
+                out.push(' ');
+                // HELP text escaping: backslash and newline.
+                for c in family.help.chars() {
+                    match c {
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('\n');
+            }
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for sample in &family.samples {
+                match &sample.value {
+                    SampleValue::Counter(v) => {
+                        out.push_str(&family.name);
+                        out.push_str(&sample.labels.render());
+                        out.push(' ');
+                        out.push_str(&v.to_string());
+                        out.push('\n');
+                    }
+                    SampleValue::Gauge(v) => {
+                        out.push_str(&family.name);
+                        out.push_str(&sample.labels.render());
+                        out.push(' ');
+                        out.push_str(&format_value(*v));
+                        out.push('\n');
+                    }
+                    SampleValue::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, bound) in h.bounds.iter().enumerate() {
+                            cumulative += h.buckets[i];
+                            out.push_str(&family.name);
+                            out.push_str("_bucket");
+                            out.push_str(&sample.labels.render_with("le", &format_value(*bound)));
+                            out.push(' ');
+                            out.push_str(&cumulative.to_string());
+                            out.push('\n');
+                        }
+                        out.push_str(&family.name);
+                        out.push_str("_bucket");
+                        out.push_str(&sample.labels.render_with("le", "+Inf"));
+                        out.push(' ');
+                        out.push_str(&h.count.to_string());
+                        out.push('\n');
+                        out.push_str(&family.name);
+                        out.push_str("_sum");
+                        out.push_str(&sample.labels.render());
+                        out.push(' ');
+                        out.push_str(&format_value(h.sum));
+                        out.push('\n');
+                        out.push_str(&family.name);
+                        out.push_str("_count");
+                        out.push_str(&sample.labels.render());
+                        out.push(' ');
+                        out.push_str(&h.count.to_string());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders one JSON object per sample (histograms flattened to
+    /// `sum`/`count`/`buckets`), for log pipelines.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            for sample in &family.samples {
+                let labels: BTreeMap<&str, &str> = sample
+                    .labels
+                    .pairs()
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let value = match &sample.value {
+                    SampleValue::Counter(v) => serde_json::json!(v),
+                    SampleValue::Gauge(v) => serde_json::json!(v),
+                    SampleValue::Histogram(h) => serde_json::json!({
+                        "sum": h.sum,
+                        "count": h.count,
+                        "bounds": h.bounds,
+                        "buckets": h.buckets,
+                    }),
+                };
+                let record = serde_json::json!({
+                    "name": family.name,
+                    "kind": family.kind.as_str(),
+                    "labels": labels,
+                    "value": value,
+                });
+                out.push_str(&record.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Formats an f64 the way Prometheus expects: integral values without
+/// a trailing `.0`, everything else via Rust's shortest round-trip.
+fn format_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Peak resident set size of this process in bytes, parsed from
+/// `VmHWM` in `/proc/self/status`. Returns `None` on platforms without
+/// procfs (or if the field is missing), so callers degrade gracefully.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_sets_sort_and_render() {
+        let a = LabelSet::new(&[("strategy", "qbeep"), ("device", "fake_lagos")]);
+        let b = LabelSet::new(&[("device", "fake_lagos"), ("strategy", "qbeep")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "{device=\"fake_lagos\",strategy=\"qbeep\"}");
+        assert_eq!(LabelSet::empty().render(), "");
+        let hostile = LabelSet::new(&[("k", "a\"b\\c\nd")]);
+        assert_eq!(hostile.render(), "{k=\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn counters_accumulate_across_label_sets() {
+        let m = MetricsRegistry::new();
+        let ok = LabelSet::new(&[("outcome", "ok")]);
+        let err = LabelSet::new(&[("outcome", "error")]);
+        m.inc("jobs_total", &ok, 2);
+        m.inc("jobs_total", &ok, 3);
+        m.inc("jobs_total", &err, 1);
+        let snap = m.snapshot();
+        let family = snap.family("jobs_total").unwrap();
+        assert_eq!(family.kind, MetricKind::Counter);
+        assert_eq!(family.samples.len(), 2);
+        // Sorted by label set: error < ok.
+        assert_eq!(family.samples[0].value, SampleValue::Counter(1));
+        assert_eq!(family.samples[1].value, SampleValue::Counter(5));
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = MetricsRegistry::new();
+        let l = LabelSet::empty();
+        m.set_gauge("lambda", &l, 0.5);
+        m.set_gauge("lambda", &l, 0.8);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.family("lambda").unwrap().samples[0].value,
+            SampleValue::Gauge(0.8)
+        );
+    }
+
+    #[test]
+    fn histogram_observes_and_renders_cumulative_buckets() {
+        let m = MetricsRegistry::new();
+        m.describe_histogram("latency_ms", "stage latency", vec![1.0, 10.0]);
+        let l = LabelSet::new(&[("stage", "graph")]);
+        for v in [0.5, 5.0, 50.0] {
+            m.observe("latency_ms", &l, v);
+        }
+        let snap = m.snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE latency_ms histogram"), "{text}");
+        assert!(
+            text.contains("latency_ms_bucket{stage=\"graph\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ms_bucket{stage=\"graph\",le=\"10\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ms_bucket{stage=\"graph\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ms_sum{stage=\"graph\"} 55.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ms_count{stage=\"graph\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_thread_count_invariant() {
+        // The same logical workload recorded on 1 thread and on 8
+        // threads must snapshot identically (commutative merges).
+        let serial = MetricsRegistry::new();
+        let labels = LabelSet::new(&[("strategy", "qbeep")]);
+        for _ in 0..8 {
+            for i in 0..100u64 {
+                serial.inc("runs_total", &labels, 1);
+                serial.observe("mass", &labels, (i % 10) as f64);
+            }
+        }
+
+        let sharded = MetricsRegistry::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = sharded.clone();
+                let labels = labels.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        m.inc("runs_total", &labels, 1);
+                        m.observe("mass", &labels, (i % 10) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(serial.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn disabled_registry_is_a_noop() {
+        let m = MetricsRegistry::disabled();
+        assert!(!m.is_enabled());
+        let l = LabelSet::empty();
+        m.inc("n", &l, 1);
+        m.set_gauge("n", &l, 1.0);
+        m.observe("n", &l, 1.0);
+        m.describe("n", "help");
+        assert!(m.snapshot().is_empty());
+        assert!(!MetricsRegistry::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let clone = m.clone();
+        clone.inc("shared", &LabelSet::empty(), 7);
+        assert_eq!(
+            m.snapshot().family("shared").unwrap().samples[0].value,
+            SampleValue::Counter(7)
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = MetricsRegistry::new();
+        m.describe("jobs_total", "Jobs processed");
+        m.inc("jobs_total", &LabelSet::new(&[("outcome", "ok")]), 4);
+        m.set_gauge("lambda", &LabelSet::empty(), 2.5);
+        let text = m.snapshot().to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "# HELP jobs_total Jobs processed",
+                "# TYPE jobs_total counter",
+                "jobs_total{outcome=\"ok\"} 4",
+                "# TYPE lambda gauge",
+                "lambda 2.5",
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_exposition_parses() {
+        let m = MetricsRegistry::new();
+        m.inc("jobs_total", &LabelSet::new(&[("outcome", "ok")]), 4);
+        m.observe("mass", &LabelSet::empty(), 1.5);
+        let jsonl = m.snapshot().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["name"], "jobs_total");
+        assert_eq!(first["labels"]["outcome"], "ok");
+        assert_eq!(first["value"], 4);
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second["value"]["count"], 1);
+    }
+
+    #[test]
+    fn without_timings_and_without_families_filter() {
+        let m = MetricsRegistry::new();
+        m.inc("jobs_total", &LabelSet::empty(), 1);
+        m.observe("stage_duration_ms", &LabelSet::empty(), 1.0);
+        m.set_gauge("peak_rss_bytes", &LabelSet::empty(), 1.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.families.len(), 3);
+        let no_timings = snap.without_timings();
+        assert!(no_timings.family("stage_duration_ms").is_none());
+        assert!(no_timings.family("jobs_total").is_some());
+        let filtered = snap.without_families(&["peak_rss_bytes"]);
+        assert!(filtered.family("peak_rss_bytes").is_none());
+        assert_eq!(filtered.families.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let m = MetricsRegistry::new();
+        m.inc("jobs_total", &LabelSet::new(&[("outcome", "ok")]), 4);
+        m.observe("mass", &LabelSet::empty(), 1.5);
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        // On Linux this must parse; elsewhere None is the contract.
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 0);
+        }
+    }
+
+    #[test]
+    fn format_value_edge_cases() {
+        assert_eq!(format_value(2.0), "2");
+        assert_eq!(format_value(2.5), "2.5");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(-0.0), "0");
+    }
+}

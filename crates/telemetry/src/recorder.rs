@@ -7,6 +7,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::events::{Event, EventLevel, EventLog, DEFAULT_EVENT_CAPACITY};
+use crate::flight::FlightRecorder;
+use crate::metrics::MetricsRegistry;
 use crate::report::{HistogramStat, RunReport, SpanStat};
 
 /// Aggregate statistics of one span path.
@@ -85,7 +87,9 @@ thread_local! {
 }
 
 /// This thread's recorder-assigned id (1-based, in first-record order).
-fn current_thread_id() -> u64 {
+/// Shared with the metrics registry (shard selection) and the flight
+/// recorder (event attribution), so one thread has one id everywhere.
+pub(crate) fn current_thread_id() -> u64 {
     THREAD_ID.with(|id| *id)
 }
 
@@ -172,6 +176,13 @@ fn default_bounds() -> Vec<f64> {
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Mutex<Registry>>>,
+    /// Always-on forensics tap: events (and span closures) are
+    /// mirrored here *even when `inner` is disabled*, so a run with no
+    /// telemetry requested still leaves a black-box trail on failure.
+    flight: FlightRecorder,
+    /// Labeled metric families the engine records into alongside the
+    /// per-run aggregates. Disabled by default.
+    metrics: MetricsRegistry,
 }
 
 impl Recorder {
@@ -190,13 +201,45 @@ impl Recorder {
     pub fn with_event_capacity(capacity: usize) -> Self {
         Self {
             inner: Some(Arc::new(Mutex::new(Registry::new(capacity)))),
+            flight: FlightRecorder::disabled(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
     /// Creates a no-op recorder: every operation is a single branch.
     #[must_use]
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self::default()
+    }
+
+    /// Attaches a flight recorder; events and span closures recorded
+    /// through this handle (and its clones made *afterwards*) are
+    /// mirrored into the flight ring — including on a recorder whose
+    /// main registry is disabled.
+    #[must_use]
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
+    }
+
+    /// Attaches a labeled metrics registry, reachable from every
+    /// pipeline stage via [`metrics`](Self::metrics).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached flight recorder (disabled by default).
+    #[must_use]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The attached metrics registry (disabled by default).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Whether this recorder actually records.
@@ -221,7 +264,10 @@ impl Recorder {
     /// — which scoped `let _guard = …` usage guarantees.
     pub fn span(&self, name: &str) -> Span {
         match &self.inner {
-            None => Span { active: None },
+            None => Span {
+                active: None,
+                flight: FlightRecorder::disabled(),
+            },
             Some(inner) => {
                 let thread = current_thread_id();
                 let path = {
@@ -232,6 +278,7 @@ impl Recorder {
                 };
                 Span {
                     active: Some((Arc::clone(inner), path, Instant::now(), thread)),
+                    flight: self.flight.clone(),
                 }
             }
         }
@@ -244,8 +291,11 @@ impl Recorder {
     }
 
     /// Records one leveled instant event with `key=value` fields into
-    /// the timeline ring buffer.
+    /// the timeline ring buffer — and mirrors it into the attached
+    /// flight recorder, which stays live even when the main registry
+    /// is disabled (so forensics see events uninstrumented runs drop).
     pub fn event(&self, level: EventLevel, name: &str, fields: &[(&str, String)]) {
+        self.flight.note(level, name, fields);
         if let Some(inner) = &self.inner {
             let thread = current_thread_id();
             let mut reg = Self::lock(inner);
@@ -300,6 +350,56 @@ impl Recorder {
             let mut reg = Self::lock(inner);
             reg.series.entry(name.to_string()).or_default().push(value);
         }
+    }
+
+    /// Closes every span still open on *this thread's* stack with an
+    /// `abandoned=true` marker, returning how many frames were closed.
+    ///
+    /// A quarantined job that panics mid-span normally unwinds its
+    /// [`Span`] guards, but a guard that was leaked (`mem::forget`,
+    /// `Box::leak`, an abort-averted drop) leaves the stack dangling:
+    /// every later span on the thread would silently nest under a
+    /// stage that already died. `run_isolated` cleanup calls this to
+    /// keep traces well-formed; each abandoned frame lands on the
+    /// timeline (and in the flight ring) as a `span.abandoned` Warn
+    /// event naming its full path and `reason`.
+    pub fn abandon_open_spans(&self, reason: &str) -> usize {
+        let Some(inner) = &self.inner else {
+            return 0;
+        };
+        let thread = current_thread_id();
+        let mut reg = Self::lock(inner);
+        let stack = match reg.stacks.get_mut(&thread) {
+            Some(stack) if !stack.is_empty() => std::mem::take(stack),
+            _ => return 0,
+        };
+        let count = stack.len();
+        // Innermost first, matching the order drops would have run.
+        for depth in (1..=count).rev() {
+            let path = stack[..depth].join("/");
+            let fields = [
+                ("span", path.clone()),
+                ("abandoned", "true".to_string()),
+                ("reason", reason.to_string()),
+            ];
+            let start_us = reg.epoch.elapsed().as_secs_f64() * 1e6;
+            reg.push_event(Event {
+                start_us,
+                dur_us: None,
+                name: "span.abandoned".to_string(),
+                level: EventLevel::Warn,
+                thread,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), v.clone()))
+                    .collect(),
+            });
+            let borrowed: Vec<(&str, String)> =
+                fields.iter().map(|(k, v)| (*k, v.clone())).collect();
+            self.flight
+                .note(EventLevel::Warn, "span.abandoned", &borrowed);
+        }
+        count
     }
 
     /// Snapshots the timeline ring buffer (events stay in the buffer;
@@ -392,6 +492,8 @@ pub struct Span {
     /// `(registry, full path, start, thread id)`; `None` for disabled
     /// recorders.
     active: Option<(Arc<Mutex<Registry>>, String, Instant, u64)>,
+    /// Flight tap the closure is mirrored into (disabled by default).
+    flight: FlightRecorder,
 }
 
 impl Drop for Span {
@@ -399,6 +501,7 @@ impl Drop for Span {
         if let Some((inner, path, start, thread)) = self.active.take() {
             let elapsed = start.elapsed();
             let ms = elapsed.as_secs_f64() * 1e3;
+            self.flight.note_span(&path, elapsed.as_secs_f64() * 1e6);
             let mut reg = Recorder::lock(&inner);
             // Pop our stack frame (the leaf of the recorded path) from
             // our own thread's stack.
@@ -675,5 +778,102 @@ mod tests {
         let again = r.drain_events();
         assert_eq!(again.len(), 1);
         assert_eq!(again.events[0].name, "second");
+    }
+
+    #[test]
+    fn events_and_spans_mirror_into_flight() {
+        let flight = FlightRecorder::new();
+        let r = Recorder::new().with_flight(flight.clone());
+        {
+            let _s = r.span("stage");
+            r.event(EventLevel::Warn, "stage.slow", &[]);
+        }
+        flight.incident("check", &[]);
+        let dump = flight.drain_incidents().remove(0);
+        let names: Vec<&str> = dump.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["stage.slow", "stage"]);
+        assert!(dump.events[1].dur_us.is_some());
+    }
+
+    #[test]
+    fn flight_mirror_survives_disabled_registry() {
+        // The always-on contract: a recorder with no main registry
+        // still feeds its flight tap.
+        let flight = FlightRecorder::new();
+        let r = Recorder::disabled().with_flight(flight.clone());
+        assert!(!r.is_enabled());
+        r.event(EventLevel::Error, "session.job_failed", &[]);
+        flight.incident("check", &[]);
+        let dump = flight.drain_incidents().remove(0);
+        assert_eq!(dump.events.len(), 1);
+        assert_eq!(dump.events[0].name, "session.job_failed");
+    }
+
+    #[test]
+    fn abandon_open_spans_closes_leaked_frames() {
+        let flight = FlightRecorder::new();
+        let r = Recorder::new().with_flight(flight.clone());
+        let outer = r.span("mitigate");
+        let inner = r.span("graph_build");
+        // A panic that never runs drops (leaked guards) leaves the
+        // thread stack dangling.
+        std::mem::forget(outer);
+        std::mem::forget(inner);
+        let closed = r.abandon_open_spans("job panicked");
+        assert_eq!(closed, 2);
+        let log = r.events();
+        let abandoned: Vec<&Event> = log
+            .events
+            .iter()
+            .filter(|e| e.name == "span.abandoned")
+            .collect();
+        assert_eq!(abandoned.len(), 2);
+        // Innermost first, full paths, marked and reasoned.
+        assert_eq!(abandoned[0].fields[0].1, "mitigate/graph_build");
+        assert_eq!(abandoned[1].fields[0].1, "mitigate");
+        for event in &abandoned {
+            assert_eq!(event.level, EventLevel::Warn);
+            assert_eq!(
+                event.fields[1],
+                ("abandoned".to_string(), "true".to_string())
+            );
+            assert_eq!(event.fields[2].1, "job panicked");
+        }
+        // The stack is clean again: new spans record at top level.
+        {
+            let _s = r.span("next");
+        }
+        assert!(r.report().span("next").is_some());
+        // The mirror landed in flight too.
+        flight.incident("check", &[]);
+        let dump = flight.drain_incidents().remove(0);
+        assert_eq!(
+            dump.events
+                .iter()
+                .filter(|e| e.name == "span.abandoned")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn abandon_open_spans_is_a_noop_when_clean() {
+        let r = Recorder::new();
+        {
+            let _s = r.span("stage");
+        }
+        assert_eq!(r.abandon_open_spans("nothing"), 0);
+        assert_eq!(Recorder::disabled().abandon_open_spans("nothing"), 0);
+    }
+
+    #[test]
+    fn metrics_handle_is_shared_through_recorder() {
+        let metrics = MetricsRegistry::new();
+        let r = Recorder::disabled().with_metrics(metrics.clone());
+        r.metrics()
+            .inc("jobs_total", &crate::metrics::LabelSet::empty(), 2);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.families.len(), 1);
+        assert!(!r.flight().is_enabled());
     }
 }

@@ -16,6 +16,8 @@
 //! qbeep-cli mitigate --qasm circuit.qasm --backend fake_lagos --counts counts.json
 //! qbeep-cli mitigate --counts counts.json --lambda 0.8
 //! qbeep-cli mitigate --counts counts.json --lambda 0.8 --strategy hammer --compare qbeep
+//! qbeep-cli run --qasm circuit.qasm --backend fake_lagos --metrics=prom --flight-dir dumps/
+//! qbeep-cli inspect --flight dumps/ --last 20
 //! qbeep-cli help
 //! ```
 //!
@@ -28,8 +30,17 @@
 //! timeline as Chrome `trace_event` JSON (loadable in
 //! <https://ui.perfetto.dev> or `chrome://tracing`), and `--events`
 //! streams the same events as JSONL to stderr.
+//!
+//! `--metrics[=prom|jsonl]` prints a labeled-metrics exposition
+//! (Prometheus text format 0.0.4 or JSONL) on stderr after the run,
+//! and `--flight-dir DIR` persists any flight-recorder incidents
+//! (panicked jobs, watchdog degradations, injected faults) as
+//! `*.flight.json` black boxes. `qbeep-cli inspect` renders those
+//! dumps — and saved metrics snapshots — back into human-readable
+//! incident reports.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use qbeep::bitstring::{BitString, Counts};
@@ -41,15 +52,19 @@ use qbeep::core::{
 };
 use qbeep::device::{profiles, Backend};
 use qbeep::sim::{execute_on_device_recorded, EmpiricalConfig};
-use qbeep::telemetry::{ProvenanceManifest, Recorder};
+use qbeep::telemetry::{
+    FlightDump, FlightRecorder, MetricsRegistry, MetricsSnapshot, ProvenanceManifest, Recorder,
+    SampleValue,
+};
 use qbeep::transpile::Transpiler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Flags that may appear without a value (`--telemetry` alone means
-/// the table format; `--events` asks for the JSONL stream; `--help`
-/// is a request for the usage text).
-const VALUELESS_FLAGS: &[&str] = &["telemetry", "events", "help"];
+/// the table format; `--metrics` alone means the Prometheus format;
+/// `--events` asks for the JSONL stream; `--help` is a request for the
+/// usage text).
+const VALUELESS_FLAGS: &[&str] = &["telemetry", "metrics", "events", "help"];
 
 /// Observability, fault-injection and parallelism flags every command
 /// accepts.
@@ -57,6 +72,8 @@ const COMMON_FLAGS: &[&str] = &[
     "telemetry",
     "trace",
     "events",
+    "metrics",
+    "flight-dir",
     "help",
     "faults",
     "fault-seed",
@@ -90,6 +107,7 @@ fn known_flags(command: &str) -> &'static [&'static str] {
             "strategy",
             "compare",
         ],
+        "inspect" => &["flight", "last"],
         _ => &[],
     }
 }
@@ -145,7 +163,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: qbeep-cli <backends|transpile|run|mitigate|help> [flags]\n\
+    "usage: qbeep-cli <backends|transpile|run|mitigate|inspect|help> [flags]\n\
      run `qbeep-cli help` for the full flag list"
         .to_string()
 }
@@ -160,6 +178,8 @@ fn long_usage() -> String {
      \x20 transpile  lower --qasm onto --backend, print OpenQASM\n\
      \x20 run        simulate --qasm on --backend, print counts JSON\n\
      \x20 mitigate   mitigate --counts with Q-BEEP, print probabilities JSON\n\
+     \x20 inspect    render *.flight.json dumps / metrics snapshots as an\n\
+     \x20            incident report\n\
      \x20 help       print this message\n\
      \n\
      flags (--key value or --key=value):\n\
@@ -194,6 +214,19 @@ fn long_usage() -> String {
      \x20                      trace_event JSON (open in ui.perfetto.dev\n\
      \x20                      or chrome://tracing)\n\
      \x20 --events             stream the event timeline as JSONL on stderr\n\
+     \x20 --metrics[=FORMAT]   print a labeled-metrics exposition on stderr\n\
+     \x20                      after the run; FORMAT is `prom` (default,\n\
+     \x20                      Prometheus text format 0.0.4) or `jsonl`.\n\
+     \x20                      The env var QBEEP_METRICS does the same\n\
+     \x20 --flight-dir DIR     write flight-recorder incidents (panicked\n\
+     \x20                      jobs, watchdog degradations, injected\n\
+     \x20                      faults) as *.flight.json black boxes in DIR;\n\
+     \x20                      env QBEEP_FLIGHT_DIR does the same\n\
+     \x20 --flight PATH        (inspect) a *.flight.json dump, or a\n\
+     \x20                      directory of them, to render\n\
+     \x20 --metrics FILE       (inspect) a metrics snapshot JSON to render\n\
+     \x20 --last N             (inspect) show only each dump's last N\n\
+     \x20                      events (default 0 = all)\n\
      \x20 --help               print this message and exit"
         .to_string()
 }
@@ -227,14 +260,49 @@ fn telemetry_format(flags: &BTreeMap<String, String>) -> Result<Option<Telemetry
     }
 }
 
+/// How a metrics exposition gets printed, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Prom,
+    Jsonl,
+}
+
+/// Resolves the metrics setting: the `--metrics` flag wins over the
+/// `QBEEP_METRICS` environment variable; both accept prom/jsonl and
+/// the usual off-switch spellings.
+fn metrics_format(flags: &BTreeMap<String, String>) -> Result<Option<MetricsFormat>, String> {
+    let raw = match flags.get("metrics") {
+        Some(value) => value.clone(),
+        None => match std::env::var("QBEEP_METRICS") {
+            Ok(value) => value,
+            Err(_) => return Ok(None),
+        },
+    };
+    match raw.as_str() {
+        "" | "prom" | "prometheus" | "1" | "true" | "on" => Ok(Some(MetricsFormat::Prom)),
+        "jsonl" | "json" => Ok(Some(MetricsFormat::Jsonl)),
+        "0" | "false" | "off" | "none" => Ok(None),
+        other => Err(format!(
+            "bad metrics format '{other}' (expected prom or jsonl); \
+             run `qbeep-cli --help` for the flag list"
+        )),
+    }
+}
+
 /// The resolved observability request of one invocation: the report
 /// format (if any), the Chrome-trace output path (if any), whether to
-/// stream JSONL events, and the recorder the command should drive —
-/// enabled iff any of the three was asked for.
+/// stream JSONL events, the metrics exposition format (if any), where
+/// flight-recorder incidents should land, and the recorder the command
+/// should drive — enabled iff any of them was asked for. The flight
+/// recorder itself is always on: it is a bounded ring, so arming it
+/// costs nothing until an incident actually fires.
 struct Observability {
     format: Option<TelemetryFormat>,
     trace: Option<String>,
     events: bool,
+    metrics_format: Option<MetricsFormat>,
+    flight_dir: Option<PathBuf>,
+    registry: MetricsRegistry,
     recorder: Recorder,
 }
 
@@ -243,15 +311,32 @@ impl Observability {
         let format = telemetry_format(flags)?;
         let trace = flags.get("trace").cloned();
         let events = flags.contains_key("events");
-        let recorder = if format.is_some() || trace.is_some() || events {
+        let metrics_format = metrics_format(flags)?;
+        let flight_dir = flags
+            .get("flight-dir")
+            .map(PathBuf::from)
+            .or_else(|| std::env::var_os("QBEEP_FLIGHT_DIR").map(PathBuf::from));
+        let registry = if metrics_format.is_some() {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        qbeep::core::describe_metric_families(&registry);
+        let base = if format.is_some() || trace.is_some() || events || metrics_format.is_some() {
             Recorder::new()
         } else {
             Recorder::disabled()
         };
+        let recorder = base
+            .with_metrics(registry.clone())
+            .with_flight(FlightRecorder::new());
         Ok(Self {
             format,
             trace,
             events,
+            metrics_format,
+            flight_dir,
+            registry,
             recorder,
         })
     }
@@ -261,9 +346,11 @@ impl Observability {
     }
 
     /// Emits everything that was requested, in stream-then-summary
-    /// order: the JSONL event lines and (after them) the run report on
-    /// stderr, plus the Chrome trace to `--trace`'s path. `manifest`
-    /// is attached to the report when given.
+    /// order: the JSONL event lines, the run report, and the metrics
+    /// exposition on stderr, plus the Chrome trace to `--trace`'s path
+    /// — then persists any flight-recorder incidents. `manifest` is
+    /// attached to the report and backfilled onto incident dumps that
+    /// were captured before provenance was known.
     fn finish(&self, manifest: Option<ProvenanceManifest>) -> Result<(), String> {
         if self.events {
             eprint!("{}", self.recorder.events().to_jsonl());
@@ -275,7 +362,7 @@ impl Observability {
         }
         if let Some(format) = self.format {
             let mut report = self.recorder.report();
-            if let Some(manifest) = manifest {
+            if let Some(manifest) = manifest.clone() {
                 report = report.with_manifest(manifest);
             }
             match format {
@@ -286,7 +373,57 @@ impl Observability {
                 TelemetryFormat::Table => eprint!("{}", report.render_table()),
             }
         }
+        if let Some(format) = self.metrics_format {
+            // Peak RSS is a point-in-time platform gauge; absent
+            // procfs (non-Linux) it is simply omitted.
+            if let Some(bytes) = qbeep::telemetry::peak_rss_bytes() {
+                self.registry.describe(
+                    "qbeep_peak_rss_bytes",
+                    "Peak resident set size of the process in bytes",
+                );
+                self.registry.set_gauge(
+                    "qbeep_peak_rss_bytes",
+                    &qbeep::telemetry::LabelSet::empty(),
+                    bytes as f64,
+                );
+            }
+            let snapshot = self.registry.snapshot();
+            match format {
+                MetricsFormat::Prom => eprint!("{}", snapshot.to_prometheus()),
+                MetricsFormat::Jsonl => eprint!("{}", snapshot.to_jsonl()),
+            }
+        }
+        self.flush_flight(manifest.as_ref());
         Ok(())
+    }
+
+    /// Persists incidents still queued in the flight recorder (a
+    /// session may already have flushed its own). Without a flight
+    /// directory the incidents are counted on stderr so a crashed run
+    /// leaves at least a pointer to the evidence it could have saved.
+    fn flush_flight(&self, manifest: Option<&ProvenanceManifest>) {
+        let flight = self.recorder.flight();
+        let incidents = flight.incident_count();
+        if incidents == 0 {
+            return;
+        }
+        match &self.flight_dir {
+            Some(dir) => {
+                let mut dumps = flight.drain_incidents();
+                for dump in &mut dumps {
+                    if dump.manifest.is_none() {
+                        dump.manifest = manifest.cloned();
+                    }
+                }
+                for path in qbeep::core::write_flight_dumps(dir, &dumps, &self.recorder) {
+                    eprintln!("// flight dump written to {path}");
+                }
+            }
+            None => eprintln!(
+                "// {incidents} incident(s) captured; pass --flight-dir DIR to \
+                 keep *.flight.json black boxes"
+            ),
+        }
     }
 }
 
@@ -605,7 +742,13 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
         Some(backend) => MitigationSession::on_backend(backend),
         None => MitigationSession::new(),
     }
-    .with_recorder(obs.recorder().clone());
+    .with_recorder(obs.recorder().clone())
+    .with_manifest(manifest.clone());
+    if let Some(dir) = &obs.flight_dir {
+        // Hand the directory to the session too, so incidents are
+        // persisted even when the run aborts before `finish()`.
+        session = session.with_flight_dir(dir);
+    }
     for name in &names {
         let spec = StrategySpec {
             name: name.clone(),
@@ -636,6 +779,9 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let report = session
         .run()
         .map_err(|e| format!("{e} (pass --lambda, or --qasm with --backend)"))?;
+    for path in &report.flight_files {
+        eprintln!("// flight dump written to {path}");
+    }
     let outcome = report
         .outcome("cli", &primary)
         .ok_or_else(|| format!("strategy '{primary}' produced no outcome"))?;
@@ -659,6 +805,116 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
     println!("{}", counts_to_json(&outcome.mitigated.sorted_by_prob()));
     obs.finish(Some(manifest))
+}
+
+/// Collects the flight-dump files `--flight` points at: the file
+/// itself, or every `*.flight.json` inside a directory — sorted by
+/// name, which for engine-written dumps sorts by capture index.
+fn collect_flight_files(path: &Path) -> Result<Vec<PathBuf>, String> {
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().ends_with(".flight.json"))
+            })
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no *.flight.json files in {}", path.display()));
+        }
+        Ok(files)
+    } else if path.exists() {
+        Ok(vec![path.to_path_buf()])
+    } else {
+        Err(format!(
+            "cannot read {}: no such file or directory",
+            path.display()
+        ))
+    }
+}
+
+/// Renders a metrics snapshot as an indented human-readable summary,
+/// histograms condensed to count/sum/mean rather than raw buckets.
+fn render_metrics_summary(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        if family.samples.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{} ({})", family.name, family.kind.as_str()));
+        if !family.help.is_empty() {
+            out.push_str(&format!(" — {}", family.help));
+        }
+        out.push('\n');
+        for sample in &family.samples {
+            let labels = if sample.labels.is_empty() {
+                "(no labels)".to_string()
+            } else {
+                sample.labels.render()
+            };
+            match &sample.value {
+                SampleValue::Counter(v) => out.push_str(&format!("  {labels} = {v}\n")),
+                SampleValue::Gauge(v) => out.push_str(&format!("  {labels} = {v}\n")),
+                SampleValue::Histogram(h) => {
+                    let mean = if h.count > 0 {
+                        h.sum / h.count as f64
+                    } else {
+                        0.0
+                    };
+                    out.push_str(&format!(
+                        "  {labels} count {} sum {:.3} mean {mean:.3}\n",
+                        h.count, h.sum
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `qbeep-cli inspect` — renders persisted observability artifacts
+/// (flight dumps and metrics snapshots) into a human-readable incident
+/// report on stdout.
+fn cmd_inspect(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let last: usize = flags.get("last").map_or(Ok(0), |s| {
+        s.parse().map_err(|_| format!("bad --last '{s}'"))
+    })?;
+    let flight = flags.get("flight").filter(|v| !v.is_empty());
+    let metrics = flags.get("metrics").filter(|v| !v.is_empty());
+    if flight.is_none() && metrics.is_none() {
+        return Err("inspect needs --flight FILE|DIR and/or --metrics FILE; \
+             run `qbeep-cli --help` for the flag list"
+            .to_string());
+    }
+    let mut first_section = true;
+    if let Some(path) = flight {
+        for file in collect_flight_files(Path::new(path))? {
+            if !first_section {
+                println!();
+            }
+            first_section = false;
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let dump = FlightDump::from_json(&text)
+                .map_err(|e| format!("{} is not a flight dump: {e}", file.display()))?;
+            println!("==> {}", file.display());
+            print!("{}", dump.render_report(last));
+        }
+    }
+    if let Some(path) = metrics {
+        if !first_section {
+            println!();
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let snapshot: MetricsSnapshot = serde_json::from_str(&text)
+            .map_err(|e| format!("{path} is not a metrics snapshot JSON: {e}"))?;
+        println!("==> {path}");
+        print!("{}", render_metrics_summary(&snapshot));
+    }
+    Ok(())
 }
 
 /// Applies the `--threads` knob (falling back to `QBEEP_THREADS`,
@@ -745,6 +1001,9 @@ fn main() -> ExitCode {
             "run" => validate_flags("run", &options.flags).and_then(|()| cmd_run(&options.flags)),
             "mitigate" => validate_flags("mitigate", &options.flags)
                 .and_then(|()| cmd_mitigate(&options.flags)),
+            "inspect" => {
+                validate_flags("inspect", &options.flags).and_then(|()| cmd_inspect(&options.flags))
+            }
             other => Err(format!("unknown command '{other}'\n{}", usage())),
         };
     match result {

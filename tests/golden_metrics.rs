@@ -1,0 +1,113 @@
+//! Golden exposition test: the Prometheus text-format rendering of a
+//! fixed, fully seeded session run is pinned byte for byte. This
+//! guards the exposition contract end to end — family naming, label
+//! sets, `# HELP`/`# TYPE` headers, sample ordering and value
+//! formatting — so a scrape-side consumer never silently breaks.
+//!
+//! Only structurally deterministic families are pinned: timing
+//! histograms (`*_ms`) vary with wall clock, the parallel dispatch
+//! counter varies with thread count, and the peak-RSS gauge varies
+//! with the platform, so all three are filtered out before comparing.
+//!
+//! Regenerate after an intentional change with
+//! `QBEEP_REGEN_GOLDEN=1 cargo test --test golden_metrics`.
+
+use std::path::{Path, PathBuf};
+
+use qbeep::bitstring::Counts;
+use qbeep::core::{MitigationJob, MitigationSession, StrategySpec};
+use qbeep::telemetry::MetricsRegistry;
+
+/// Families whose values depend on the environment rather than the
+/// workload, excluded from the pin.
+const ENV_DEPENDENT: [&str; 2] = ["qbeep_par_dispatch_total", "qbeep_peak_rss_bytes"];
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden/expected_metrics.prom")
+}
+
+/// The golden counts fixture shared with `golden_strategies`.
+fn golden_counts() -> Counts {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden/counts.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    let mut pairs = Vec::new();
+    let mut width = 0;
+    for line in text.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let bits = parts.next().expect("bitstring column");
+        let count: u64 = parts.next().expect("count column").parse().expect("count");
+        width = bits.len();
+        pairs.push((bits.parse().expect("valid bitstring"), count));
+    }
+    Counts::from_pairs(width, pairs)
+}
+
+/// Runs the pinned workload: five clean strategies plus a `qbeep`
+/// configured to hit its iteration cap, so the exposition covers the
+/// ok, degraded and watchdog families in one deterministic pass.
+fn run_pinned_workload(registry: &MetricsRegistry) {
+    let mut session = MitigationSession::new().with_metrics(registry.clone());
+    session
+        .add_strategy_spec(&StrategySpec {
+            name: "qbeep".to_string(),
+            max_iters: Some(1),
+            ..StrategySpec::default()
+        })
+        .expect("qbeep spec");
+    for name in ["hammer", "binomial", "neg-binomial", "uniform", "identity"] {
+        session.add_strategy_by_name(name).expect("known strategy");
+    }
+    session.add_job(MitigationJob::new("golden", golden_counts()).with_lambda(1.7));
+    session.run().expect("clean fixture run");
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_fixture() {
+    let registry = MetricsRegistry::new();
+    run_pinned_workload(&registry);
+    let exposition = registry
+        .snapshot()
+        .without_timings()
+        .without_families(&ENV_DEPENDENT)
+        .to_prometheus();
+    assert!(
+        exposition.contains("qbeep_watchdog_degraded_total"),
+        "the capped qbeep run must trip the watchdog:\n{exposition}"
+    );
+
+    let path = fixture_path();
+    if std::env::var_os("QBEEP_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &exposition)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    assert_eq!(
+        exposition,
+        pinned,
+        "Prometheus exposition drifted from {} (regen with \
+         QBEEP_REGEN_GOLDEN=1 if intentional)",
+        path.display()
+    );
+}
+
+#[test]
+fn exposition_is_reproducible_within_a_process() {
+    // Two identical runs into two registries must render identically —
+    // the exposition path itself carries no hidden per-process state.
+    let render = || {
+        let registry = MetricsRegistry::new();
+        run_pinned_workload(&registry);
+        registry
+            .snapshot()
+            .without_timings()
+            .without_families(&ENV_DEPENDENT)
+            .to_prometheus()
+    };
+    assert_eq!(render(), render());
+}
