@@ -23,15 +23,26 @@ use qbeep_bitstring::{BitString, Counts, Distribution};
 use qbeep_core::{MitigationJob, MitigationSession, QBeepConfig, StrategyDiagnostics};
 use qbeep_device::profiles;
 use qbeep_sim::{execute_on_device_recorded, EmpiricalChannel, EmpiricalConfig};
-use qbeep_telemetry::{MetricsRegistry, Recorder, RunReport};
+use qbeep_telemetry::{
+    CountingAlloc, FlightRecorder, IntrospectServer, IntrospectSources, MetricsRegistry,
+    ProfileReport, Recorder, RssSampler, RunReport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Counting allocator so profiled hotpath runs can attribute
+/// allocation bytes to pipeline stages; a single relaxed atomic load
+/// of overhead when profiling is off (the overhead probe measures it).
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 const USAGE: &str = "\
 qbeep-bench — hot-path timing harness and bench regression gate
 
 USAGE:
     qbeep-bench hotpath  [--out FILE] [--trace FILE] [--metrics-out FILE]
+                         [--profile] [--profile-out FILE]
+                         [--introspect ADDR] [--hold-ms MS]
     qbeep-bench baseline [--from FILE] [--out FILE] [--threshold X]
     qbeep-bench compare  [--baseline FILE] [--current FILE] [--threshold X] [--warn-only]
     qbeep-bench faultcheck [--spec SPEC] [--seed N]
@@ -50,7 +61,22 @@ SUBCOMMANDS:
               with --features parallel, also times the graph hot path
               serially and at up to 8 threads, checks the outputs are
               bit-identical and reports the speedup (artifact shape
-              is unchanged either way).
+              is unchanged either way). --profile arms the continuous
+              profiler (per-stage allocation attribution, worker
+              utilization, RSS sampling) and writes the fused report
+              as JSON (--profile-out, default BENCH_profile.json or
+              QBEEP_PROFILE_ARTIFACT); a profile section also rides
+              in the telemetry artifact. --introspect ADDR
+              additionally serves the live introspection plane
+              (GET /metrics, /healthz, /profile, /flights) for the
+              duration of the run, echoing the bound address on
+              stdout as INTROSPECT_ADDR=host:port; --hold-ms keeps
+              it up that many milliseconds after the run so scrapers
+              have a window. A profiler-overhead probe times the
+              graph workload with the profiler off and on; set
+              QBEEP_OVERHEAD_BASELINE_MS to a pre-change
+              profiler-off time to fail the run when the off cost
+              drifts more than 2% above it.
     baseline  Learn a baseline store from an artifact (--from,
               default the bench artifact path) and write it (--out,
               default BENCH_baseline.json). --threshold sets the
@@ -155,17 +181,68 @@ fn read_artifact(path: &Path) -> Result<BTreeMap<String, RunReport>, String> {
 }
 
 fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
-    let flags = Flags::parse(args, &["out", "trace", "metrics-out"], &[])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "out",
+            "trace",
+            "metrics-out",
+            "profile-out",
+            "introspect",
+            "hold-ms",
+        ],
+        &["profile"],
+    )?;
     let out = flags
         .path("out")
         .unwrap_or_else(qbeep_bench::telemetry::artifact_path);
     let metrics_out = flags
         .path("metrics-out")
         .unwrap_or_else(qbeep_bench::telemetry::metrics_artifact_path);
+    let introspect_addr = flags.values.get("introspect").cloned();
+    let profiling = introspect_addr.is_some() || flags.switches.iter().any(|s| s == "profile");
+    let hold_ms: u64 = flags
+        .values
+        .get("hold-ms")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("bad hold-ms '{raw}' (want milliseconds)"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let started = Instant::now();
     let scale = Scale::from_env();
     let registry = MetricsRegistry::new();
     qbeep_core::describe_metric_families(&registry);
-    let recorder = Recorder::new().with_metrics(registry.clone());
+    let flight = FlightRecorder::new();
+    let recorder = Recorder::new()
+        .with_metrics(registry.clone())
+        .with_flight(flight.clone());
+    let mut rss_sampler = None;
+    if profiling {
+        qbeep_telemetry::reset_profile();
+        qbeep_telemetry::set_profiling(true);
+        rss_sampler = Some(RssSampler::start(Duration::from_millis(100)));
+    }
+    // The server's Drop performs the graceful shutdown at function
+    // exit, after the optional --hold-ms scrape window.
+    let mut _introspect = None;
+    if let Some(addr) = &introspect_addr {
+        let server = IntrospectServer::start(
+            addr,
+            IntrospectSources {
+                metrics: registry.clone(),
+                flight: flight.clone(),
+                recorder: recorder.clone(),
+                rss: rss_sampler.as_ref().map(RssSampler::handle),
+            },
+        )
+        .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
+        // Machine-parseable line: CI's smoke job binds :0 and reads
+        // the chosen port from here.
+        println!("INTROSPECT_ADDR={}", server.local_addr());
+        _introspect = Some(server);
+    }
 
     // Hot path 1+2: transpile a 15q BV to the 127q machine and sample
     // the empirical channel ("transpile", "channel_setup", "simulate").
@@ -222,7 +299,19 @@ fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
         Some(&run.transpiled),
         Some(BASE_SEED),
     );
-    let report = recorder.report().with_manifest(manifest);
+    let mut report = recorder.report().with_manifest(manifest);
+    if profiling {
+        let profile = ProfileReport::collect(
+            started.elapsed(),
+            &report.spans,
+            rss_sampler.as_ref().map(RssSampler::stats),
+        );
+        let profile_out = flags
+            .path("profile-out")
+            .unwrap_or_else(qbeep_bench::telemetry::profile_artifact_path);
+        qbeep_bench::telemetry::record_profile(&profile, &profile_out);
+        report = report.with_profile(profile);
+    }
     let mut table = BTreeMap::new();
     table.insert("hotpath".to_string(), report);
     let json = serde_json::to_string_pretty(&table).expect("reports serialize");
@@ -242,7 +331,102 @@ fn cmd_hotpath(args: &[String]) -> Result<ExitCode, String> {
     // so baselines stay comparable between builds with and without
     // the parallel feature.
     report_speedup(scale.pick(400, 2000, 4000))?;
+
+    // Profiler-overhead probe: per-stage utilization of the graph
+    // workload plus the measured cost of the profiler, off and on.
+    report_profiler_overhead(scale.pick(200, 1000, 2000))?;
+
+    if hold_ms > 0 {
+        eprintln!("// hotpath: holding for {hold_ms} ms (introspection stays live)");
+        std::thread::sleep(Duration::from_millis(hold_ms));
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Times the graph workload with the profiler disabled and enabled
+/// (min of 3 each), reports per-stage utilization from the profiled
+/// passes, and prints the measured profiler overhead. With
+/// `QBEEP_OVERHEAD_BASELINE_MS` set to a pre-change profiler-off
+/// time, fails when the profiler-off cost drifts more than 2% above
+/// it — the guard that the disabled profiler stays within its
+/// single-branch budget.
+fn report_profiler_overhead(target_nodes: usize) -> Result<(), String> {
+    let was_profiling = qbeep_telemetry::profiling_enabled();
+    let counts = synth_counts(target_nodes, BASE_SEED + 7);
+    let probe_recorder = Recorder::new();
+    // Fan out like the speedup probe so the utilization table has
+    // workers to report; both phases use the same thread count so the
+    // off/on comparison is apples to apples.
+    if qbeep_core::parallel_enabled() {
+        qbeep_par::set_threads(Some(qbeep_par::hardware_threads().clamp(1, 8)));
+    }
+    let run_once = |recorded: bool| -> Result<Duration, String> {
+        let mut session = MitigationSession::new();
+        if recorded {
+            session = session.with_recorder(probe_recorder.clone());
+        }
+        session
+            .add_strategy_by_name("qbeep")
+            .map_err(|e| e.to_string())?;
+        session.add_job(MitigationJob::new("overhead", counts.clone()).with_lambda(2.5));
+        let t0 = Instant::now();
+        session.run().map_err(|e| e.to_string())?;
+        Ok(t0.elapsed())
+    };
+    let min_of = |runs: usize, recorded: bool| -> Result<Duration, String> {
+        let mut best = Duration::MAX;
+        for _ in 0..runs {
+            best = best.min(run_once(recorded)?);
+        }
+        Ok(best)
+    };
+
+    qbeep_telemetry::set_profiling(false);
+    let off = min_of(3, false)?;
+
+    // The profiled passes reset the process-wide profile so the
+    // utilization numbers cover exactly these runs; a live
+    // introspection plane shows this probe afterwards.
+    qbeep_telemetry::reset_profile();
+    qbeep_telemetry::set_profiling(true);
+    let window = Instant::now();
+    let on = min_of(3, true)?;
+    let profile = ProfileReport::collect(window.elapsed(), &probe_recorder.report().spans, None);
+    qbeep_telemetry::set_profiling(was_profiling);
+    qbeep_par::set_threads(None);
+
+    let overhead = on.as_secs_f64() / off.as_secs_f64().max(1e-9) - 1.0;
+    eprintln!(
+        "// hotpath: profiler overhead probe ({} distinct outcomes): off {:.1} ms, \
+         on {:.1} ms -> {:+.1}% when enabled",
+        counts.distinct(),
+        off.as_secs_f64() * 1e3,
+        on.as_secs_f64() * 1e3,
+        overhead * 100.0,
+    );
+    for line in profile.render_table().lines() {
+        eprintln!("// hotpath: {line}");
+    }
+
+    if let Ok(raw) = std::env::var("QBEEP_OVERHEAD_BASELINE_MS") {
+        let baseline_ms: f64 = raw
+            .parse()
+            .map_err(|_| format!("bad QBEEP_OVERHEAD_BASELINE_MS '{raw}' (want milliseconds)"))?;
+        let off_ms = off.as_secs_f64() * 1e3;
+        let budget = baseline_ms * 1.02;
+        if off_ms > budget {
+            return Err(format!(
+                "profiler-off workload took {off_ms:.1} ms, more than 2% over the \
+                 {baseline_ms:.1} ms baseline (budget {budget:.1} ms) — the disabled \
+                 profiler must stay within its single-branch cost"
+            ));
+        }
+        eprintln!(
+            "// hotpath: profiler-off cost {off_ms:.1} ms within 2% of the \
+             {baseline_ms:.1} ms baseline"
+        );
+    }
+    Ok(())
 }
 
 /// Times the state-graph hot path (build + Algorithm-1 iterate via the

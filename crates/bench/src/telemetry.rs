@@ -30,6 +30,10 @@ pub fn artifact_path() -> PathBuf {
         .map_or_else(|| PathBuf::from(DEFAULT_ARTIFACT), PathBuf::from)
 }
 
+/// Default continuous-profiling artifact name: the fused
+/// wall/allocation/RSS/utilization report of a profiled hotpath run.
+pub const DEFAULT_PROFILE_ARTIFACT: &str = "BENCH_profile.json";
+
 /// Where the metrics exposition lands: `QBEEP_METRICS_ARTIFACT` if
 /// set, otherwise [`DEFAULT_METRICS_ARTIFACT`] in the working
 /// directory.
@@ -39,8 +43,26 @@ pub fn metrics_artifact_path() -> PathBuf {
         .map_or_else(|| PathBuf::from(DEFAULT_METRICS_ARTIFACT), PathBuf::from)
 }
 
-/// Snapshots `registry` — stamping the process's peak-RSS gauge first,
-/// when procfs exposes it — and writes the Prometheus exposition to
+/// Where the profiling report lands: `QBEEP_PROFILE_ARTIFACT` if set,
+/// otherwise [`DEFAULT_PROFILE_ARTIFACT`] in the working directory.
+#[must_use]
+pub fn profile_artifact_path() -> PathBuf {
+    std::env::var_os("QBEEP_PROFILE_ARTIFACT")
+        .map_or_else(|| PathBuf::from(DEFAULT_PROFILE_ARTIFACT), PathBuf::from)
+}
+
+/// Writes a [`ProfileReport`] as pretty JSON to `path`. Best-effort
+/// like [`record`]: an unwritable path degrades to a stderr note.
+pub fn record_profile(profile: &qbeep_telemetry::ProfileReport, path: &std::path::Path) {
+    let json = serde_json::to_string_pretty(profile).expect("profile report serializes");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("// profile: report -> {}", path.display()),
+        Err(e) => eprintln!("// profile: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Snapshots `registry` — stamping the process's memory gauges first,
+/// when procfs exposes them — and writes the Prometheus exposition to
 /// `path` plus a machine-readable `.json` snapshot next to it.
 /// Best-effort like [`record`]: a disabled registry or an unwritable
 /// path degrades to a stderr note, never a failure.
@@ -48,17 +70,7 @@ pub fn record_metrics(registry: &MetricsRegistry, path: &std::path::Path) {
     if !registry.is_enabled() {
         return;
     }
-    if let Some(bytes) = qbeep_telemetry::peak_rss_bytes() {
-        registry.describe(
-            "qbeep_peak_rss_bytes",
-            "Peak resident set size of the process in bytes",
-        );
-        registry.set_gauge(
-            "qbeep_peak_rss_bytes",
-            &qbeep_telemetry::LabelSet::empty(),
-            bytes as f64,
-        );
-    }
+    qbeep_telemetry::stamp_memory_gauges(registry);
     let snapshot = registry.snapshot();
     if snapshot.is_empty() {
         return;

@@ -27,8 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stats;
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Environment variable consulted by [`current_threads`] when no
 /// programmatic override is installed.
@@ -166,10 +169,22 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    let profiling = stats::enabled();
     match ranges.len() {
         0 => Vec::new(),
-        1 => vec![f(0, ranges[0].clone())],
+        1 => {
+            if profiling {
+                let t0 = Instant::now();
+                let out = f(0, ranges[0].clone());
+                stats::record_task(0, t0.elapsed());
+                stats::record_dispatch(None);
+                vec![out]
+            } else {
+                vec![f(0, ranges[0].clone())]
+            }
+        }
         n => {
+            let region_start = profiling.then(Instant::now);
             let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
             slots.resize_with(n, || None);
             std::thread::scope(|scope| {
@@ -180,14 +195,28 @@ where
                     let f = &f;
                     let range = range.clone();
                     pending.push(scope.spawn(move || {
-                        *slot = Some(f(shard, range));
+                        if profiling {
+                            let t0 = Instant::now();
+                            let out = f(shard, range);
+                            stats::record_task(shard, t0.elapsed());
+                            *slot = Some(out);
+                        } else {
+                            *slot = Some(f(shard, range));
+                        }
                     }));
                 }
                 // Shard 0 runs on the calling thread: one fewer spawn,
                 // and calling-thread state (thread-locals) keeps
                 // covering the first shard.
                 if let Some(slot) = head {
-                    *slot = Some(f(0, ranges[0].clone()));
+                    if profiling {
+                        let t0 = Instant::now();
+                        let out = f(0, ranges[0].clone());
+                        stats::record_task(0, t0.elapsed());
+                        *slot = Some(out);
+                    } else {
+                        *slot = Some(f(0, ranges[0].clone()));
+                    }
                 }
                 for handle in pending {
                     if let Err(payload) = handle.join() {
@@ -195,6 +224,9 @@ where
                     }
                 }
             });
+            if let Some(t0) = region_start {
+                stats::record_dispatch(Some(t0.elapsed()));
+            }
             slots
                 .into_iter()
                 .map(|slot| slot.unwrap_or_else(|| unreachable!("shard joined without result")))
@@ -291,6 +323,62 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    /// Worker accounting is process-global, so tests that toggle it
+    /// must not interleave.
+    static STATS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn worker_stats_account_busy_and_tasks() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        stats::reset();
+        stats::set_enabled(true);
+        let got = map_sharded(16, 4, |_s, r| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            r.len()
+        });
+        stats::set_enabled(false);
+        assert_eq!(got.iter().sum::<usize>(), 16);
+        let snap = stats::snapshot();
+        assert_eq!(snap.dispatches, 1);
+        assert_eq!(snap.total_tasks(), 4);
+        assert_eq!(snap.workers.len(), 4);
+        assert!(snap.workers.iter().all(|w| w.tasks == 1 && w.busy_ns > 0));
+        assert!(snap.parallel_wall_ns > 0);
+        for w in &snap.workers {
+            assert!(w.busy_ns <= snap.parallel_wall_ns);
+        }
+        assert!(snap.imbalance().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn worker_stats_single_shard_counts_as_serial() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        stats::reset();
+        stats::set_enabled(true);
+        let got = map_sharded(5, 1, |_s, r| r.len());
+        stats::set_enabled(false);
+        assert_eq!(got, vec![5]);
+        let snap = stats::snapshot();
+        assert_eq!(snap.dispatches, 1);
+        assert_eq!(snap.total_tasks(), 1);
+        // Single-shard dispatches run inline: no parallel region wall.
+        assert_eq!(snap.parallel_wall_ns, 0);
+        assert_eq!(snap.workers.len(), 1);
+    }
+
+    #[test]
+    fn worker_stats_disabled_record_nothing() {
+        let _guard = STATS_LOCK.lock().unwrap();
+        stats::reset();
+        assert!(!stats::enabled());
+        let _ = map_sharded(32, 4, |_s, r| r.sum::<usize>());
+        let snap = stats::snapshot();
+        assert_eq!(snap.dispatches, 0);
+        assert_eq!(snap.total_tasks(), 0);
+        assert_eq!(snap.parallel_wall_ns, 0);
+        assert!(snap.workers.is_empty());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Per-worker busy/tasks accounting for the parallel hot path.
+//!
+//! When enabled (one relaxed-atomic branch per dispatch when it is
+//! not), every [`map_ranges`](crate::map_ranges) call records how long
+//! each shard's closure ran and on which worker slot, plus the wall
+//! time of the fanned-out region as a whole. The profiler rolls these
+//! up into an Amdahl-style utilization report: what fraction of the
+//! run was spent inside parallel regions, how evenly the shards were
+//! loaded, and how busy each worker slot actually was.
+//!
+//! Worker slot `i` is shard index `i` of a dispatch — slot 0 is always
+//! the calling thread (see [`map_ranges`](crate::map_ranges)), so its
+//! busy time includes every single-shard (serial-path) dispatch too.
+//! Slots are capped at [`MAX_WORKERS`]; dispatches wider than that
+//! fold the excess shards into the last slot rather than dropping
+//! them.
+//!
+//! All counters are process-global and monotonically increasing;
+//! [`reset`] zeroes them at the start of a profiled run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of per-worker accounting slots. Shard indices beyond this
+/// are folded into the last slot.
+pub const MAX_WORKERS: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_WALL_NS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+static TASKS: [AtomicU64; MAX_WORKERS] = [const { AtomicU64::new(0) }; MAX_WORKERS];
+
+/// Turns worker accounting on or off. Off (the default) reduces the
+/// instrumentation in [`map_ranges`](crate::map_ranges) to a single
+/// relaxed atomic load per dispatch.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether worker accounting is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every counter. Call at the start of a profiled run;
+/// accounting is process-global, so stale totals from earlier runs
+/// would otherwise leak into the report.
+pub fn reset() {
+    DISPATCHES.store(0, Ordering::Relaxed);
+    PARALLEL_WALL_NS.store(0, Ordering::Relaxed);
+    for slot in &BUSY_NS {
+        slot.store(0, Ordering::Relaxed);
+    }
+    for slot in &TASKS {
+        slot.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Clamps a shard index to a worker slot.
+fn slot(shard: usize) -> usize {
+    shard.min(MAX_WORKERS - 1)
+}
+
+/// Records one executed shard closure: `busy` on worker `shard`'s
+/// slot, plus a task tick.
+pub(crate) fn record_task(shard: usize, busy: Duration) {
+    let i = slot(shard);
+    BUSY_NS[i].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    TASKS[i].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one completed dispatch; `wall` is the duration of the
+/// fanned-out region (`None` for single-shard dispatches, which run
+/// inline on the calling thread and are serial by construction).
+pub(crate) fn record_dispatch(wall: Option<Duration>) {
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    if let Some(wall) = wall {
+        PARALLEL_WALL_NS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Accounting for one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker slot index (shard index, slot 0 = calling thread).
+    pub worker: usize,
+    /// Total time spent inside shard closures on this slot, in
+    /// nanoseconds.
+    pub busy_ns: u64,
+    /// Number of shard closures executed on this slot.
+    pub tasks: u64,
+}
+
+/// A point-in-time copy of the global worker accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParSnapshot {
+    /// Whether accounting was enabled when the snapshot was taken.
+    pub enabled: bool,
+    /// Number of `map_ranges` dispatches (any shard count).
+    pub dispatches: u64,
+    /// Total wall time of multi-shard (actually fanned-out) regions,
+    /// in nanoseconds.
+    pub parallel_wall_ns: u64,
+    /// Per-worker accounting, trailing idle slots trimmed.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl ParSnapshot {
+    /// Sum of busy time across all worker slots, in nanoseconds.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Sum of executed tasks across all worker slots.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Shard imbalance: max worker busy time over mean worker busy
+    /// time, across slots that executed at least one task. `1.0` is
+    /// perfectly balanced; `None` when nothing ran.
+    pub fn imbalance(&self) -> Option<f64> {
+        let active: Vec<&WorkerStat> = self.workers.iter().filter(|w| w.tasks > 0).collect();
+        if active.is_empty() {
+            return None;
+        }
+        let max = active.iter().map(|w| w.busy_ns).max().unwrap_or(0) as f64;
+        let mean = active.iter().map(|w| w.busy_ns).sum::<u64>() as f64 / active.len() as f64;
+        if mean <= 0.0 {
+            return Some(1.0);
+        }
+        Some(max / mean)
+    }
+}
+
+/// Takes a point-in-time copy of the worker accounting. Trailing slots
+/// that never executed a task are trimmed.
+pub fn snapshot() -> ParSnapshot {
+    let mut workers: Vec<WorkerStat> = (0..MAX_WORKERS)
+        .map(|i| WorkerStat {
+            worker: i,
+            busy_ns: BUSY_NS[i].load(Ordering::Relaxed),
+            tasks: TASKS[i].load(Ordering::Relaxed),
+        })
+        .collect();
+    while workers
+        .last()
+        .is_some_and(|w| w.tasks == 0 && w.busy_ns == 0)
+    {
+        workers.pop();
+    }
+    ParSnapshot {
+        enabled: enabled(),
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        parallel_wall_ns: PARALLEL_WALL_NS.load(Ordering::Relaxed),
+        workers,
+    }
+}

@@ -204,6 +204,18 @@ impl FlightRecorder {
         std::mem::take(&mut Self::lock(inner).incidents)
     }
 
+    /// Copies every captured-but-undrained incident dump without
+    /// taking it. This is the live-introspection view (`GET /flights`):
+    /// scraping pending incidents must not steal them from the
+    /// end-of-run `*.flight.json` flush.
+    #[must_use]
+    pub fn peek_incidents(&self) -> Vec<FlightDump> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        Self::lock(inner).incidents.clone()
+    }
+
     /// Number of incidents captured and still undrained.
     #[must_use]
     pub fn incident_count(&self) -> usize {

@@ -1,0 +1,391 @@
+//! The live introspection plane: a dependency-free HTTP/1.1 server
+//! over [`std::net::TcpListener`] exposing the process's telemetry
+//! while it runs.
+//!
+//! This is deliberately *not* a web framework — one background thread,
+//! blocking accepts, sequential request handling, `Connection: close`
+//! on every response. An introspection plane serves a handful of
+//! curl/Prometheus scrapes per minute; the skeleton is what the
+//! `qbeep-serve` daemon (ROADMAP item 1) will grow from.
+//!
+//! # Endpoints
+//!
+//! | Path       | Body                                                     |
+//! |------------|----------------------------------------------------------|
+//! | `/healthz` | `ok` (text/plain)                                        |
+//! | `/metrics` | Prometheus text 0.0.4 exposition of the live registry    |
+//! | `/profile` | [`ProfileReport`] JSON (stages / workers / RSS)          |
+//! | `/flights` | Pending (undrained) flight-recorder incidents, JSON      |
+//!
+//! `/metrics` stamps the memory gauges (`qbeep_peak_rss_bytes`,
+//! `qbeep_vm_rss_bytes`) into the registry before snapshotting, so a
+//! live scrape carries the same families as the end-of-run artifact;
+//! everything except those env-dependent families is byte-identical
+//! between a mid-run scrape and the exit exposition.
+//!
+//! # Lifecycle
+//!
+//! [`IntrospectServer::start`] binds and spawns the accept thread;
+//! `port 0` binds an ephemeral port, reported by
+//! [`IntrospectServer::local_addr`]. Shutdown (explicit or on drop)
+//! flips a flag and self-connects to unblock the blocking `accept`,
+//! then joins the thread — no request is torn down mid-response.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::flight::FlightRecorder;
+use crate::metrics::{LabelSet, MetricsRegistry};
+use crate::profile::{memory_stats, ProfileReport, RssHandle};
+use crate::recorder::Recorder;
+
+/// Environment variable the CLI and bench consult for a default
+/// introspection bind address (e.g. `127.0.0.1:9095`).
+pub const INTROSPECT_ENV: &str = "QBEEP_INTROSPECT";
+
+/// Largest request head (request line + headers) the server reads
+/// before giving up on a connection.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long one connection may dribble its request before the server
+/// moves on.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Stamps the process memory gauges into `registry`: peak RSS
+/// (`VmHWM`) and current RSS (`VmRSS`) from the shared
+/// [`memory_stats`] parser. No-op on platforms without procfs or on a
+/// disabled registry, so expositions degrade by omitting the families
+/// rather than erroring.
+pub fn stamp_memory_gauges(registry: &MetricsRegistry) {
+    if !registry.is_enabled() {
+        return;
+    }
+    let Some(stats) = memory_stats() else {
+        return;
+    };
+    if let Some(bytes) = stats.vm_hwm_bytes {
+        registry.describe(
+            "qbeep_peak_rss_bytes",
+            "Peak resident set size of the process in bytes",
+        );
+        registry.set_gauge("qbeep_peak_rss_bytes", &LabelSet::empty(), bytes as f64);
+    }
+    if let Some(bytes) = stats.vm_rss_bytes {
+        registry.describe(
+            "qbeep_vm_rss_bytes",
+            "Current resident set size of the process in bytes",
+        );
+        registry.set_gauge("qbeep_vm_rss_bytes", &LabelSet::empty(), bytes as f64);
+    }
+}
+
+/// The live state an [`IntrospectServer`] serves. Every handle is a
+/// cheap clone sharing state with the running engine; disabled handles
+/// degrade their endpoint rather than failing the server.
+#[derive(Debug, Clone, Default)]
+pub struct IntrospectSources {
+    /// Registry behind `/metrics`.
+    pub metrics: MetricsRegistry,
+    /// Flight recorder behind `/flights`.
+    pub flight: FlightRecorder,
+    /// Recorder whose span stats feed `/profile`.
+    pub recorder: Recorder,
+    /// RSS-sampler trajectory for `/profile`, when one is running.
+    pub rss: Option<RssHandle>,
+}
+
+/// A running introspection server. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop and joins the
+/// serving thread.
+#[derive(Debug)]
+pub struct IntrospectServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IntrospectServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `sources` on a background thread.
+    pub fn start(addr: &str, sources: IntrospectSources) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("qbeep-introspect".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One slow or broken client must not take the
+                        // plane down; errors drop the connection only.
+                        let _ = handle_connection(stream, &sources, started);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for IntrospectServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads one request head, routes it, writes one response.
+fn handle_connection(
+    mut stream: TcpStream,
+    sources: &IntrospectSources,
+    started: Instant,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(READ_TIMEOUT))?;
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut parts = text.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Route on the path only; a query string is ignored, not an error.
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            b"method not allowed\n",
+        );
+    }
+    match path {
+        "/healthz" => respond(&mut stream, 200, "OK", "text/plain; charset=utf-8", b"ok\n"),
+        "/metrics" => {
+            let body = if sources.metrics.is_enabled() {
+                stamp_memory_gauges(&sources.metrics);
+                sources.metrics.snapshot().to_prometheus()
+            } else {
+                "# metrics registry disabled\n".to_string()
+            };
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+            )
+        }
+        "/profile" => {
+            let report = ProfileReport::collect(
+                started.elapsed(),
+                &sources.recorder.report().spans,
+                sources.rss.as_ref().map(RssHandle::stats),
+            );
+            let body = serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string());
+            respond(&mut stream, 200, "OK", "application/json", body.as_bytes())
+        }
+        "/flights" => {
+            let incidents = sources.flight.peek_incidents();
+            let body = serde_json::json!({
+                "pending": incidents.len(),
+                "suppressed": sources.flight.incidents_suppressed(),
+                "incidents": incidents,
+            });
+            let body = serde_json::to_string_pretty(&body).unwrap_or_else(|_| "{}".to_string());
+            respond(&mut stream, 200, "OK", "application/json", body.as_bytes())
+        }
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            b"not found\n",
+        ),
+    }
+}
+
+/// Writes one complete `Connection: close` HTTP/1.1 response.
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventLevel;
+
+    /// Minimal test-side HTTP client: one GET, returns (status, body).
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: qbeep\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn live_sources() -> IntrospectSources {
+        let metrics = MetricsRegistry::new();
+        metrics.describe("qbeep_test_total", "Test counter");
+        metrics.inc("qbeep_test_total", &LabelSet::empty(), 3);
+        let flight = FlightRecorder::new();
+        let recorder = Recorder::new()
+            .with_flight(flight.clone())
+            .with_metrics(metrics.clone());
+        IntrospectSources {
+            metrics,
+            flight,
+            recorder,
+            rss: None,
+        }
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let server = IntrospectServer::start("127.0.0.1:0", live_sources()).unwrap();
+        let addr = server.local_addr();
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn metrics_scrape_matches_registry_snapshot() {
+        let sources = live_sources();
+        let registry = sources.metrics.clone();
+        let server = IntrospectServer::start("127.0.0.1:0", sources).unwrap();
+        let (status, live) = get(server.local_addr(), "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            live.contains("qbeep_test_total 3"),
+            "exposition missing counter:\n{live}"
+        );
+        // Modulo the env-dependent memory gauges, the live scrape is
+        // byte-identical to a direct snapshot exposition.
+        let env_dependent = ["qbeep_peak_rss_bytes", "qbeep_vm_rss_bytes"];
+        let direct = registry
+            .snapshot()
+            .without_families(&env_dependent)
+            .to_prometheus();
+        let live_snap: crate::metrics::MetricsSnapshot = {
+            stamp_memory_gauges(&registry);
+            registry.snapshot()
+        };
+        assert_eq!(
+            live_snap.without_families(&env_dependent).to_prometheus(),
+            direct
+        );
+        // And the served bytes contain the filtered exposition verbatim.
+        for line in direct.lines() {
+            assert!(live.contains(line), "live scrape missing {line:?}");
+        }
+    }
+
+    #[test]
+    fn profile_endpoint_returns_parseable_report() {
+        let sources = live_sources();
+        {
+            let _span = sources.recorder.span("probe_stage");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let server = IntrospectServer::start("127.0.0.1:0", sources).unwrap();
+        let (status, body) = get(server.local_addr(), "/profile");
+        assert_eq!(status, 200);
+        let report: ProfileReport = serde_json::from_str(&body).unwrap();
+        assert!(report.total_wall_ms >= 0.0);
+        assert!(
+            report.stages.iter().any(|s| s.name == "probe_stage"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn flights_endpoint_peeks_without_draining() {
+        let sources = live_sources();
+        let flight = sources.flight.clone();
+        flight.note(EventLevel::Error, "job.panicked", &[]);
+        flight.incident("job.panicked", &[("job", "3".to_string())]);
+        let server = IntrospectServer::start("127.0.0.1:0", sources).unwrap();
+        let (status, body) = get(server.local_addr(), "/flights");
+        assert_eq!(status, 200);
+        let parsed: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(parsed["pending"], 1);
+        assert_eq!(parsed["incidents"][0]["reason"], "job.panicked");
+        // Peeking must not steal the end-of-run flush.
+        assert_eq!(flight.incident_count(), 1);
+        assert_eq!(flight.drain_incidents().len(), 1);
+    }
+
+    #[test]
+    fn non_get_is_rejected_and_shutdown_is_idempotent() {
+        let mut server = IntrospectServer::start("127.0.0.1:0", live_sources()).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+        server.shutdown();
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

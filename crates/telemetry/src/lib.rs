@@ -56,22 +56,34 @@
 //! `serde_json` (both already workspace-wide dependencies): no logging
 //! frameworks, no external metrics registries, no global state.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting global allocator in
+// `profile` is the one place that must implement `GlobalAlloc`
+// (inherently unsafe) and carries a scoped `#[allow]` with its safety
+// argument. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod events;
 mod flight;
+mod introspect;
 mod manifest;
 mod metrics;
+mod profile;
 mod recorder;
 mod report;
 
 pub use events::{Event, EventLevel, EventLog, DEFAULT_EVENT_CAPACITY};
 pub use flight::{FlightDump, FlightRecorder, DEFAULT_FLIGHT_CAPACITY, MAX_INCIDENTS};
+pub use introspect::{stamp_memory_gauges, IntrospectServer, IntrospectSources, INTROSPECT_ENV};
 pub use manifest::{CircuitFingerprint, Digest, ProvenanceManifest};
 pub use metrics::{
     default_metric_bounds, peak_rss_bytes, HistogramValue, LabelSet, MetricFamily, MetricKind,
     MetricSample, MetricsRegistry, MetricsSnapshot, SampleValue, SHARD_COUNT,
+};
+pub use profile::{
+    alloc_snapshot, memory_stats, profiling_enabled, reset_profile, set_profiling, stage,
+    CountingAlloc, MemoryStats, ParallelProfile, ProfileReport, RssHandle, RssProfile, RssSampler,
+    RssStats, StageAlloc, StageGuard, StageProfile, WorkerProfile, MAX_STAGES,
 };
 pub use recorder::{Recorder, Span};
 pub use report::{HistogramStat, RunReport, SpanStat};

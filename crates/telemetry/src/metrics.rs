@@ -631,19 +631,13 @@ fn format_value(v: f64) -> String {
     }
 }
 
-/// Peak resident set size of this process in bytes, parsed from
-/// `VmHWM` in `/proc/self/status`. Returns `None` on platforms without
-/// procfs (or if the field is missing), so callers degrade gracefully.
+/// Peak resident set size of this process in bytes (`VmHWM`), via the
+/// shared [`memory_stats`](crate::memory_stats) procfs parser. Returns
+/// `None` on platforms without procfs (or if the field is missing), so
+/// callers degrade gracefully.
 #[must_use]
 pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
-            return Some(kb * 1024);
-        }
-    }
-    None
+    crate::profile::memory_stats()?.vm_hwm_bytes
 }
 
 #[cfg(test)]

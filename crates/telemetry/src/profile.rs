@@ -1,0 +1,690 @@
+//! Continuous profiling: allocation accounting attributed to pipeline
+//! stages, periodic RSS sampling, and the Amdahl-style utilization
+//! report rolled up from `qbeep-par` worker accounting.
+//!
+//! # Allocation accounting
+//!
+//! [`CountingAlloc`] wraps the system allocator and, when profiling is
+//! on, charges every allocation's bytes and count to the *stage*
+//! active on the allocating thread. Stages are opened with [`stage`]
+//! (or implicitly by [`Recorder::span`](crate::Recorder::span) when
+//! profiling is on, using the span's slash-joined path) and nest via
+//! RAII [`StageGuard`]s. Because a `#[global_allocator]` must be
+//! installed by the *binary*, library crates only export the type:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: qbeep_telemetry::CountingAlloc = qbeep_telemetry::CountingAlloc::new();
+//! ```
+//!
+//! When profiling is off (the default) the allocator hot path is the
+//! system allocator plus **one relaxed atomic load** — cheap enough to
+//! leave installed permanently. The accounting path itself never
+//! allocates, never locks, and survives TLS teardown (`try_with`), so
+//! it is safe from any allocation context including thread exit.
+//!
+//! Stage ids are process-global and capped at [`MAX_STAGES`]; runs
+//! with more distinct stages fold the excess into a final
+//! `(overflow)` slot rather than losing bytes. Allocations on threads
+//! with no open stage (including `qbeep-par` workers that have not
+//! opened a span) land in the `(unattributed)` slot.
+//!
+//! # Memory statistics
+//!
+//! [`memory_stats`] is the one shared `/proc/self/status` parser:
+//! current `VmRSS` and peak `VmHWM`, `None` on platforms without
+//! procfs. [`RssSampler`] runs a background thread sampling `VmRSS`
+//! periodically so a long run's resident-set trajectory (min / max /
+//! last) is visible live from the introspection plane.
+//!
+//! # The profile report
+//!
+//! [`ProfileReport::collect`] fuses three sources — per-stage wall
+//! time from recorded spans, per-stage allocation totals from the
+//! counting allocator, and per-worker busy/task accounting from
+//! [`qbeep_par::stats`] — into one serializable report: the `profile`
+//! section of [`RunReport`](crate::RunReport), the
+//! `BENCH_profile.json` artifact, and the `/profile` endpoint.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::SpanStat;
+
+/// Number of per-stage accounting slots (slot 0 is `(unattributed)`,
+/// the last slot is `(overflow)`).
+pub const MAX_STAGES: usize = 64;
+
+const UNATTRIBUTED: usize = 0;
+const OVERFLOW: usize = MAX_STAGES - 1;
+
+static PROFILING: AtomicBool = AtomicBool::new(false);
+static ALLOC_BYTES: [AtomicU64; MAX_STAGES] = [const { AtomicU64::new(0) }; MAX_STAGES];
+static ALLOC_COUNT: [AtomicU64; MAX_STAGES] = [const { AtomicU64::new(0) }; MAX_STAGES];
+
+thread_local! {
+    /// The stage id allocations on this thread are charged to.
+    /// Const-initialized so the first read never allocates.
+    static CURRENT_STAGE: Cell<usize> = const { Cell::new(UNATTRIBUTED) };
+}
+
+/// Interned stage names; index = stage id. Only touched from
+/// [`stage`] and [`alloc_snapshot`], never from the allocator path.
+fn stage_names() -> &'static Mutex<Vec<String>> {
+    static NAMES: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(vec!["(unattributed)".to_string()]))
+}
+
+fn lock_names() -> std::sync::MutexGuard<'static, Vec<String>> {
+    stage_names()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Turns allocation profiling on or off process-wide. Also mirrors the
+/// switch into [`qbeep_par::stats`], so one call arms both the
+/// allocator attribution and the worker accounting.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::SeqCst);
+    qbeep_par::stats::set_enabled(on);
+}
+
+/// Whether allocation profiling is currently on.
+#[must_use]
+pub fn profiling_enabled() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+/// Zeroes the per-stage allocation totals and the `qbeep-par` worker
+/// accounting. Interned stage names keep their ids (they are stable
+/// process-wide).
+pub fn reset_profile() {
+    for slot in &ALLOC_BYTES {
+        slot.store(0, Ordering::Relaxed);
+    }
+    for slot in &ALLOC_COUNT {
+        slot.store(0, Ordering::Relaxed);
+    }
+    qbeep_par::stats::reset();
+}
+
+/// Interns `name`, returning its stable stage id. Past
+/// [`MAX_STAGES`]` - 2` distinct names, everything shares the
+/// `(overflow)` slot.
+fn intern(name: &str) -> usize {
+    let mut names = lock_names();
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return i;
+    }
+    if names.len() < OVERFLOW {
+        names.push(name.to_string());
+        names.len() - 1
+    } else {
+        OVERFLOW
+    }
+}
+
+/// The allocator-side accounting hook: one relaxed load when
+/// profiling is off; never allocates, never locks, tolerates TLS
+/// teardown.
+#[inline]
+fn note_alloc(bytes: usize) {
+    if !PROFILING.load(Ordering::Relaxed) {
+        return;
+    }
+    let stage = CURRENT_STAGE.try_with(Cell::get).unwrap_or(UNATTRIBUTED);
+    ALLOC_BYTES[stage].fetch_add(bytes as u64, Ordering::Relaxed);
+    ALLOC_COUNT[stage].fetch_add(1, Ordering::Relaxed);
+}
+
+/// RAII guard marking the active stage on the current thread;
+/// restores the previous stage on drop, so stages nest like spans.
+#[must_use = "a stage guard attributes allocations for its scope; bind it (`let _stage = …`)"]
+#[derive(Debug)]
+pub struct StageGuard {
+    /// Stage id to restore; `None` when profiling was off at open time
+    /// (the guard is then a no-op).
+    prev: Option<usize>,
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            // try_with: a guard dropped during thread teardown must
+            // not panic.
+            let _ = CURRENT_STAGE.try_with(|c| c.set(prev));
+        }
+    }
+}
+
+/// Opens a stage: until the returned guard drops, allocations on this
+/// thread are charged to `name`. No-op (and no interning) when
+/// profiling is off.
+pub fn stage(name: &str) -> StageGuard {
+    if !profiling_enabled() {
+        return StageGuard { prev: None };
+    }
+    let id = intern(name);
+    let prev = CURRENT_STAGE.with(|c| c.replace(id));
+    StageGuard { prev: Some(prev) }
+}
+
+/// Per-stage allocation totals since the last [`reset_profile`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageAlloc {
+    /// Stage name (a span path, `(unattributed)`, or `(overflow)`).
+    pub name: String,
+    /// Bytes requested by allocations charged to this stage.
+    pub bytes: u64,
+    /// Number of allocations charged to this stage.
+    pub count: u64,
+}
+
+/// Snapshots the per-stage allocation totals. Stages with zero
+/// activity are omitted.
+#[must_use]
+pub fn alloc_snapshot() -> Vec<StageAlloc> {
+    let names = lock_names().clone();
+    let mut out = Vec::new();
+    for i in 0..MAX_STAGES {
+        let bytes = ALLOC_BYTES[i].load(Ordering::Relaxed);
+        let count = ALLOC_COUNT[i].load(Ordering::Relaxed);
+        if bytes == 0 && count == 0 {
+            continue;
+        }
+        let name = if i == OVERFLOW && names.len() <= OVERFLOW {
+            "(overflow)".to_string()
+        } else {
+            names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| "(overflow)".to_string())
+        };
+        out.push(StageAlloc { name, bytes, count });
+    }
+    out
+}
+
+/// A counting wrapper around the system allocator. Install it as the
+/// `#[global_allocator]` in binaries that want allocation profiling;
+/// when profiling is off it forwards straight through with a single
+/// relaxed atomic load of overhead.
+#[derive(Debug, Default)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor, usable in a `static` initializer.
+    #[must_use]
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+// The only unsafe code in the crate: a pass-through `GlobalAlloc`
+// whose safety contract is exactly the system allocator's — every
+// call forwards verbatim, with accounting on the side.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() && new_size > layout.size() {
+            // Charge only the growth: the original bytes were charged
+            // at alloc time.
+            note_alloc(new_size - layout.size());
+        }
+        new_ptr
+    }
+}
+
+/// Point-in-time process memory statistics from `/proc/self/status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Current resident set size (`VmRSS`), in bytes.
+    pub vm_rss_bytes: Option<u64>,
+    /// Peak resident set size (`VmHWM`), in bytes.
+    pub vm_hwm_bytes: Option<u64>,
+}
+
+/// Reads current (`VmRSS`) and peak (`VmHWM`) resident-set sizes from
+/// `/proc/self/status`. The one shared procfs parser: returns `None`
+/// on platforms without procfs (or when neither field parses), so
+/// callers degrade gracefully instead of silently skipping families.
+#[cfg(target_os = "linux")]
+#[must_use]
+pub fn memory_stats() -> Option<MemoryStats> {
+    fn parse_kb(rest: &str) -> Option<u64> {
+        let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+        Some(kb * 1024)
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let mut out = MemoryStats::default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            out.vm_rss_bytes = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            out.vm_hwm_bytes = parse_kb(rest);
+        }
+    }
+    (out.vm_rss_bytes.is_some() || out.vm_hwm_bytes.is_some()).then_some(out)
+}
+
+/// Non-Linux fallback: no procfs, no memory statistics.
+#[cfg(not(target_os = "linux"))]
+#[must_use]
+pub fn memory_stats() -> Option<MemoryStats> {
+    None
+}
+
+/// Resident-set trajectory accumulated by an [`RssSampler`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RssStats {
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Smallest sampled `VmRSS`, in bytes.
+    pub min_bytes: u64,
+    /// Largest sampled `VmRSS`, in bytes.
+    pub max_bytes: u64,
+    /// Most recent sampled `VmRSS`, in bytes.
+    pub last_bytes: u64,
+}
+
+impl RssStats {
+    fn record(&mut self, bytes: u64) {
+        if self.samples == 0 {
+            self.min_bytes = bytes;
+            self.max_bytes = bytes;
+        } else {
+            self.min_bytes = self.min_bytes.min(bytes);
+            self.max_bytes = self.max_bytes.max(bytes);
+        }
+        self.last_bytes = bytes;
+        self.samples += 1;
+    }
+}
+
+/// A cheap cloneable view of a sampler's accumulated [`RssStats`],
+/// held by the introspection server while the run owns the sampler.
+#[derive(Debug, Clone, Default)]
+pub struct RssHandle {
+    shared: Arc<Mutex<RssStats>>,
+}
+
+impl RssHandle {
+    /// The trajectory accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> RssStats {
+        *self
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn record(&self, bytes: u64) {
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .record(bytes);
+    }
+}
+
+/// Background thread sampling `VmRSS` every `period`. One sample is
+/// taken synchronously at start, so even an immediately-dropped
+/// sampler reports a trajectory. Dropping stops and joins the thread.
+#[derive(Debug)]
+pub struct RssSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    shared: RssHandle,
+}
+
+impl RssSampler {
+    /// Starts sampling every `period`. On platforms without procfs the
+    /// sampler still runs but records nothing.
+    #[must_use]
+    pub fn start(period: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = RssHandle::default();
+        if let Some(stats) = memory_stats() {
+            if let Some(rss) = stats.vm_rss_bytes {
+                shared.record(rss);
+            }
+        }
+        let thread_stop = Arc::clone(&stop);
+        let thread_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("qbeep-rss-sampler".to_string())
+            .spawn(move || {
+                // Sleep in short slices so shutdown is prompt even
+                // with a long sampling period.
+                let slice = period.min(Duration::from_millis(25));
+                let mut elapsed = Duration::ZERO;
+                while !thread_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed < period {
+                        continue;
+                    }
+                    elapsed = Duration::ZERO;
+                    if let Some(rss) = memory_stats().and_then(|m| m.vm_rss_bytes) {
+                        thread_shared.record(rss);
+                    }
+                }
+            })
+            .ok();
+        Self {
+            stop,
+            handle,
+            shared,
+        }
+    }
+
+    /// A cloneable view of the accumulated trajectory.
+    #[must_use]
+    pub fn handle(&self) -> RssHandle {
+        self.shared.clone()
+    }
+
+    /// The trajectory accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> RssStats {
+        self.shared.stats()
+    }
+}
+
+impl Drop for RssSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One stage's fused profile: wall time from spans, allocation totals
+/// from the counting allocator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage name (span path).
+    pub name: String,
+    /// Total wall time across runs of this stage, in milliseconds.
+    pub wall_ms: f64,
+    /// How many times the stage ran (0 for alloc-only stages).
+    pub count: u64,
+    /// Bytes allocated while the stage was active.
+    pub alloc_bytes: u64,
+    /// Allocations while the stage was active.
+    pub alloc_count: u64,
+}
+
+/// One worker slot's utilization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Worker slot (shard index; slot 0 is the calling thread).
+    pub worker: usize,
+    /// Time spent inside shard closures, in milliseconds.
+    pub busy_ms: f64,
+    /// Shard closures executed.
+    pub tasks: u64,
+    /// `busy / total run wall` — the fraction of the whole run this
+    /// slot was doing parallel work.
+    pub utilization: f64,
+}
+
+/// Amdahl-style rollup of the `qbeep-par` accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelProfile {
+    /// Effective worker-thread count at collection time.
+    pub threads: usize,
+    /// `map_ranges` dispatches (any shard count).
+    pub dispatches: u64,
+    /// Wall time spent inside multi-shard regions, in milliseconds.
+    pub parallel_wall_ms: f64,
+    /// Fraction of the total run wall spent *outside* parallel
+    /// regions: the Amdahl serial fraction estimate, in `[0, 1]`.
+    pub serial_fraction: f64,
+    /// Max worker busy over mean worker busy (1.0 = perfectly
+    /// balanced shards).
+    pub imbalance: f64,
+}
+
+/// Resident-set section of the profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RssProfile {
+    /// Samples taken by the [`RssSampler`].
+    pub samples: u64,
+    /// Smallest sampled `VmRSS`, in bytes.
+    pub min_bytes: u64,
+    /// Largest sampled `VmRSS`, in bytes.
+    pub max_bytes: u64,
+    /// Most recent sampled `VmRSS`, in bytes.
+    pub last_bytes: u64,
+    /// Peak RSS (`VmHWM`) at collection time, when procfs is
+    /// available.
+    pub peak_bytes: Option<u64>,
+}
+
+/// The fused continuous-profiling report: per-stage wall/alloc, RSS
+/// trajectory, and per-worker utilization. Serialized as the
+/// `profile` section of [`RunReport`](crate::RunReport), the
+/// `BENCH_profile.json` artifact, and the `/profile` endpoint body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Total run wall time the utilization figures are relative to,
+    /// in milliseconds.
+    pub total_wall_ms: f64,
+    /// Per-stage wall/allocation profile, span stages first (in span
+    /// report order), alloc-only slots after.
+    pub stages: Vec<StageProfile>,
+    /// Per-worker busy/tasks/utilization.
+    pub workers: Vec<WorkerProfile>,
+    /// Amdahl-style parallelism rollup.
+    pub parallel: ParallelProfile,
+    /// Resident-set trajectory, when sampled.
+    pub rss: Option<RssProfile>,
+}
+
+impl ProfileReport {
+    /// Fuses the current profiling state into a report.
+    ///
+    /// `total_wall` is the run's wall time (utilization denominators);
+    /// `spans` supplies per-stage wall time (stage names are span
+    /// paths); `rss` is the sampler trajectory when one ran.
+    #[must_use]
+    pub fn collect(total_wall: Duration, spans: &[SpanStat], rss: Option<RssStats>) -> Self {
+        let total_ms = total_wall.as_secs_f64() * 1e3;
+        let allocs = alloc_snapshot();
+        let mut stages: Vec<StageProfile> = spans
+            .iter()
+            .map(|s| {
+                let alloc = allocs.iter().find(|a| a.name == s.path);
+                StageProfile {
+                    name: s.path.clone(),
+                    wall_ms: s.total_ms,
+                    count: s.count,
+                    alloc_bytes: alloc.map_or(0, |a| a.bytes),
+                    alloc_count: alloc.map_or(0, |a| a.count),
+                }
+            })
+            .collect();
+        for alloc in &allocs {
+            if !stages.iter().any(|s| s.name == alloc.name) {
+                stages.push(StageProfile {
+                    name: alloc.name.clone(),
+                    wall_ms: 0.0,
+                    count: 0,
+                    alloc_bytes: alloc.bytes,
+                    alloc_count: alloc.count,
+                });
+            }
+        }
+        let par = qbeep_par::stats::snapshot();
+        let workers = par
+            .workers
+            .iter()
+            .map(|w| WorkerProfile {
+                worker: w.worker,
+                busy_ms: w.busy_ns as f64 / 1e6,
+                tasks: w.tasks,
+                utilization: if total_ms > 0.0 {
+                    (w.busy_ns as f64 / 1e6) / total_ms
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        let parallel_wall_ms = par.parallel_wall_ns as f64 / 1e6;
+        let serial_fraction = if total_ms > 0.0 {
+            ((total_ms - parallel_wall_ms) / total_ms).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let mem = memory_stats();
+        Self {
+            total_wall_ms: total_ms,
+            stages,
+            workers,
+            parallel: ParallelProfile {
+                threads: qbeep_par::current_threads(),
+                dispatches: par.dispatches,
+                parallel_wall_ms,
+                serial_fraction,
+                imbalance: par.imbalance().unwrap_or(1.0),
+            },
+            rss: rss.map(|r| RssProfile {
+                samples: r.samples,
+                min_bytes: r.min_bytes,
+                max_bytes: r.max_bytes,
+                last_bytes: r.last_bytes,
+                peak_bytes: mem.and_then(|m| m.vm_hwm_bytes),
+            }),
+        }
+    }
+
+    /// Renders the profile as aligned plain-text tables, matching the
+    /// [`RunReport`](crate::RunReport) table style.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== profile ===\n  total_wall_ms {:.3}  threads {}  dispatches {}  \
+             parallel_wall_ms {:.3}  serial_fraction {:.3}  imbalance {:.3}",
+            self.total_wall_ms,
+            self.parallel.threads,
+            self.parallel.dispatches,
+            self.parallel.parallel_wall_ms,
+            self.parallel.serial_fraction,
+            self.parallel.imbalance,
+        );
+        if let Some(rss) = &self.rss {
+            let _ = writeln!(
+                out,
+                "  rss samples {}  min {}  max {}  last {}  peak {}",
+                rss.samples,
+                rss.min_bytes,
+                rss.max_bytes,
+                rss.last_bytes,
+                rss.peak_bytes
+                    .map_or_else(|| "-".to_string(), |b| b.to_string()),
+            );
+        }
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  stage {}  wall_ms {:.3}  count {}  alloc_bytes {}  alloc_count {}",
+                s.name, s.wall_ms, s.count, s.alloc_bytes, s.alloc_count,
+            );
+        }
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "  worker {}  busy_ms {:.3}  tasks {}  utilization {:.3}",
+                w.worker, w.busy_ms, w.tasks, w.utilization,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_stats_exposes_rss_and_hwm_on_linux() {
+        #[cfg(target_os = "linux")]
+        {
+            let stats = memory_stats().expect("procfs present on Linux");
+            assert!(stats.vm_rss_bytes.unwrap() > 0);
+            assert!(stats.vm_hwm_bytes.unwrap() >= stats.vm_rss_bytes.unwrap() / 2);
+        }
+        #[cfg(not(target_os = "linux"))]
+        assert!(memory_stats().is_none());
+    }
+
+    #[test]
+    fn rss_sampler_accumulates_and_stops() {
+        let sampler = RssSampler::start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(40));
+        let stats = sampler.stats();
+        drop(sampler);
+        #[cfg(target_os = "linux")]
+        {
+            assert!(stats.samples >= 1, "no samples: {stats:?}");
+            assert!(stats.min_bytes > 0);
+            assert!(stats.max_bytes >= stats.min_bytes);
+            assert!(stats.last_bytes >= stats.min_bytes);
+        }
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!(stats.samples, 0);
+    }
+
+    #[test]
+    fn profile_report_fuses_spans_allocs_and_workers() {
+        let spans = vec![SpanStat {
+            path: "mitigate".to_string(),
+            count: 2,
+            total_ms: 10.0,
+            min_ms: 4.0,
+            max_ms: 6.0,
+        }];
+        let report = ProfileReport::collect(Duration::from_millis(20), &spans, None);
+        assert!((report.total_wall_ms - 20.0).abs() < 1e-9);
+        let stage = report.stages.iter().find(|s| s.name == "mitigate").unwrap();
+        assert_eq!(stage.count, 2);
+        assert!((stage.wall_ms - 10.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&report.parallel.serial_fraction));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        let table = report.render_table();
+        assert!(table.contains("=== profile ==="), "{table}");
+        assert!(table.contains("mitigate"), "{table}");
+    }
+}

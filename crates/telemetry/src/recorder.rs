@@ -267,6 +267,7 @@ impl Recorder {
             None => Span {
                 active: None,
                 flight: FlightRecorder::disabled(),
+                _stage: None,
             },
             Some(inner) => {
                 let thread = current_thread_id();
@@ -276,9 +277,15 @@ impl Recorder {
                     stack.push(name.to_string());
                     stack.join("/")
                 };
+                // When allocation profiling is on, the span doubles as
+                // the allocation-attribution stage for its thread; the
+                // guard is a no-op otherwise.
+                let stage =
+                    crate::profile::profiling_enabled().then(|| crate::profile::stage(&path));
                 Span {
                     active: Some((Arc::clone(inner), path, Instant::now(), thread)),
                     flight: self.flight.clone(),
+                    _stage: stage,
                 }
             }
         }
@@ -480,6 +487,7 @@ impl Recorder {
             histograms,
             series: reg.series.clone(),
             manifest: None,
+            profile: None,
         }
     }
 }
@@ -494,6 +502,10 @@ pub struct Span {
     active: Option<(Arc<Mutex<Registry>>, String, Instant, u64)>,
     /// Flight tap the closure is mirrored into (disabled by default).
     flight: FlightRecorder,
+    /// Allocation-attribution stage opened for this span when
+    /// profiling is on; restores the previous stage after the drop
+    /// body records the timing (declaration order).
+    _stage: Option<crate::profile::StageGuard>,
 }
 
 impl Drop for Span {

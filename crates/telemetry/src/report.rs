@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 use serde::{Deserialize, Serialize};
 
 use crate::manifest::ProvenanceManifest;
+use crate::profile::ProfileReport;
 
 /// Aggregate timing of one span path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -141,6 +142,11 @@ pub struct RunReport {
     /// producer attached one (see [`RunReport::with_manifest`]).
     #[serde(default)]
     pub manifest: Option<ProvenanceManifest>,
+    /// Continuous-profiling rollup (per-stage wall/alloc, RSS,
+    /// per-worker utilization), when the producer attached one (see
+    /// [`RunReport::with_profile`]).
+    #[serde(default)]
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunReport {
@@ -153,12 +159,20 @@ impl RunReport {
             && self.histograms.is_empty()
             && self.series.is_empty()
             && self.manifest.is_none()
+            && self.profile.is_none()
     }
 
     /// Attaches a provenance manifest (consuming builder form).
     #[must_use]
     pub fn with_manifest(mut self, manifest: ProvenanceManifest) -> Self {
         self.manifest = Some(manifest);
+        self
+    }
+
+    /// Attaches a continuous-profiling rollup (consuming builder form).
+    #[must_use]
+    pub fn with_profile(mut self, profile: ProfileReport) -> Self {
+        self.profile = Some(profile);
         self
     }
 
@@ -264,6 +278,9 @@ impl RunReport {
                 &["name", "n", "first", "last", "values"],
                 &rows,
             );
+        }
+        if let Some(profile) = &self.profile {
+            out.push_str(&profile.render_table());
         }
         if out.is_empty() {
             out.push_str("(no telemetry recorded)\n");

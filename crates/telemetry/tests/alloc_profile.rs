@@ -1,0 +1,164 @@
+//! Allocation-accounting attribution tests: this integration-test
+//! binary installs [`CountingAlloc`] as its global allocator — the
+//! same wiring `qbeep-cli` and `qbeep-bench` use — and checks that
+//! bytes land on the stage that allocated them, across threads and
+//! nesting, and that the disabled path records nothing.
+
+use std::sync::Mutex;
+
+use qbeep_telemetry::{
+    alloc_snapshot, profiling_enabled, reset_profile, set_profiling, stage, CountingAlloc, Recorder,
+};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Profiling state is process-global; tests that toggle it must not
+/// interleave (the test harness runs them on separate threads).
+static PROFILE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Allocates `bytes` bytes in one shot and keeps the buffer alive
+/// until the returned value drops.
+fn allocate(bytes: usize) -> Vec<u8> {
+    std::hint::black_box(vec![0u8; bytes])
+}
+
+fn stage_bytes(name: &str) -> u64 {
+    alloc_snapshot()
+        .iter()
+        .find(|s| s.name == name)
+        .map_or(0, |s| s.bytes)
+}
+
+fn stage_count(name: &str) -> u64 {
+    alloc_snapshot()
+        .iter()
+        .find(|s| s.name == name)
+        .map_or(0, |s| s.count)
+}
+
+#[test]
+fn bytes_land_on_the_active_stage_across_thread_counts() {
+    let _guard = PROFILE_LOCK.lock().unwrap();
+    for threads in [1usize, 2, 8] {
+        reset_profile();
+        set_profiling(true);
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _stage = stage(&format!("worker{i}"));
+                    let buf = allocate(64 * 1024 + i);
+                    buf.len()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_profiling(false);
+        for i in 0..threads {
+            let name = format!("worker{i}");
+            assert!(
+                stage_bytes(&name) >= 64 * 1024,
+                "threads={threads}: stage {name} undercounted: {} bytes",
+                stage_bytes(&name)
+            );
+            assert!(stage_count(&name) >= 1);
+        }
+    }
+}
+
+#[test]
+fn nested_stages_attribute_to_the_innermost_guard() {
+    let _guard = PROFILE_LOCK.lock().unwrap();
+    reset_profile();
+    set_profiling(true);
+    let outer_buf;
+    let inner_bytes;
+    {
+        let _outer = stage("outer");
+        outer_buf = allocate(128 * 1024);
+        {
+            let _inner = stage("outer/inner");
+            let buf = allocate(256 * 1024);
+            inner_bytes = buf.len();
+            std::hint::black_box(&buf);
+        }
+        // Back on the outer stage after the inner guard dropped.
+        let tail = allocate(32 * 1024);
+        std::hint::black_box(&tail);
+    }
+    set_profiling(false);
+    std::hint::black_box((&outer_buf, inner_bytes));
+    let outer = stage_bytes("outer");
+    let inner = stage_bytes("outer/inner");
+    assert!(
+        (256 * 1024..256 * 1024 + 64 * 1024).contains(&inner),
+        "inner stage got {inner} bytes"
+    );
+    assert!(
+        outer >= 128 * 1024 + 32 * 1024,
+        "outer stage got {outer} bytes"
+    );
+}
+
+#[test]
+fn recorder_spans_open_stages_when_profiling() {
+    let _guard = PROFILE_LOCK.lock().unwrap();
+    reset_profile();
+    set_profiling(true);
+    let recorder = Recorder::new();
+    {
+        let _span = recorder.span("mitigate");
+        let _hold = allocate(96 * 1024);
+        {
+            let _nested = recorder.span("graph_build");
+            let buf = allocate(48 * 1024);
+            std::hint::black_box(&buf);
+        }
+    }
+    set_profiling(false);
+    assert!(
+        stage_bytes("mitigate") >= 96 * 1024,
+        "span stage undercounted: {}",
+        stage_bytes("mitigate")
+    );
+    assert!(
+        stage_bytes("mitigate/graph_build") >= 48 * 1024,
+        "nested span stage undercounted: {}",
+        stage_bytes("mitigate/graph_build")
+    );
+}
+
+#[test]
+fn disabled_profiling_records_nothing() {
+    let _guard = PROFILE_LOCK.lock().unwrap();
+    reset_profile();
+    assert!(!profiling_enabled());
+    {
+        let _stage = stage("ghost");
+        let buf = allocate(512 * 1024);
+        std::hint::black_box(&buf);
+    }
+    let snapshot = alloc_snapshot();
+    assert!(
+        snapshot.is_empty(),
+        "disabled profiler recorded: {snapshot:?}"
+    );
+}
+
+#[test]
+fn unattributed_allocations_fall_into_slot_zero() {
+    let _guard = PROFILE_LOCK.lock().unwrap();
+    reset_profile();
+    set_profiling(true);
+    // No stage open on this thread: bytes land in `(unattributed)`.
+    let buf = allocate(80 * 1024);
+    std::hint::black_box(&buf);
+    set_profiling(false);
+    assert!(
+        stage_bytes("(unattributed)") >= 80 * 1024,
+        "unattributed slot got {} bytes",
+        stage_bytes("(unattributed)")
+    );
+}

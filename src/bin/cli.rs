@@ -53,12 +53,19 @@ use qbeep::core::{
 use qbeep::device::{profiles, Backend};
 use qbeep::sim::{execute_on_device_recorded, EmpiricalConfig};
 use qbeep::telemetry::{
-    FlightDump, FlightRecorder, MetricsRegistry, MetricsSnapshot, ProvenanceManifest, Recorder,
+    CountingAlloc, FlightDump, FlightRecorder, IntrospectServer, IntrospectSources,
+    MetricsRegistry, MetricsSnapshot, ProfileReport, ProvenanceManifest, Recorder, RssSampler,
     SampleValue,
 };
 use qbeep::transpile::Transpiler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Counting allocator so `--introspect` runs can attribute allocation
+/// bytes to pipeline stages; a single relaxed atomic load of overhead
+/// when profiling is off.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// Flags that may appear without a value (`--telemetry` alone means
 /// the table format; `--metrics` alone means the Prometheus format;
@@ -78,6 +85,7 @@ const COMMON_FLAGS: &[&str] = &[
     "faults",
     "fault-seed",
     "threads",
+    "introspect",
 ];
 
 /// The command-specific flags each command accepts (on top of
@@ -218,6 +226,17 @@ fn long_usage() -> String {
      \x20                      after the run; FORMAT is `prom` (default,\n\
      \x20                      Prometheus text format 0.0.4) or `jsonl`.\n\
      \x20                      The env var QBEEP_METRICS does the same\n\
+     \x20 --introspect ADDR    serve a live introspection plane on ADDR\n\
+     \x20                      (e.g. 127.0.0.1:9090; :0 picks a free port,\n\
+     \x20                      printed on stderr) for the duration of the\n\
+     \x20                      run: GET /metrics (Prometheus text 0.0.4),\n\
+     \x20                      /healthz, /profile (continuous-profiling\n\
+     \x20                      JSON: per-stage wall/alloc, worker\n\
+     \x20                      utilization, RSS), /flights (pending\n\
+     \x20                      incidents). Also arms the allocation\n\
+     \x20                      profiler and attaches a profile section to\n\
+     \x20                      the --telemetry report. Env QBEEP_INTROSPECT\n\
+     \x20                      does the same\n\
      \x20 --flight-dir DIR     write flight-recorder incidents (panicked\n\
      \x20                      jobs, watchdog degradations, injected\n\
      \x20                      faults) as *.flight.json black boxes in DIR;\n\
@@ -304,6 +323,27 @@ struct Observability {
     flight_dir: Option<PathBuf>,
     registry: MetricsRegistry,
     recorder: Recorder,
+    /// Whether continuous profiling (allocation attribution, worker
+    /// accounting, RSS sampling) is armed for this run.
+    profiling: bool,
+    /// When the run started, for utilization denominators.
+    started: std::time::Instant,
+    /// Background RSS sampler, running while profiling is armed.
+    rss_sampler: Option<RssSampler>,
+    /// The live introspection plane, held so it serves until the run
+    /// finishes; its Drop performs the graceful shutdown.
+    _introspect: Option<IntrospectServer>,
+}
+
+/// Resolves the introspection bind address: the `--introspect` flag
+/// wins over the `QBEEP_INTROSPECT` environment variable; off-switch
+/// spellings disable it.
+fn introspect_addr(flags: &BTreeMap<String, String>) -> Option<String> {
+    flags
+        .get("introspect")
+        .cloned()
+        .or_else(|| std::env::var(qbeep::telemetry::INTROSPECT_ENV).ok())
+        .filter(|raw| !matches!(raw.as_str(), "" | "0" | "false" | "off" | "none"))
 }
 
 impl Observability {
@@ -312,24 +352,58 @@ impl Observability {
         let trace = flags.get("trace").cloned();
         let events = flags.contains_key("events");
         let metrics_format = metrics_format(flags)?;
+        let introspect_addr = introspect_addr(flags);
         let flight_dir = flags
             .get("flight-dir")
             .map(PathBuf::from)
             .or_else(|| std::env::var_os("QBEEP_FLIGHT_DIR").map(PathBuf::from));
-        let registry = if metrics_format.is_some() {
+        // The introspection plane needs live metrics and span stats to
+        // serve, so `--introspect` implies an enabled registry and
+        // recorder even when no exposition was asked for.
+        let registry = if metrics_format.is_some() || introspect_addr.is_some() {
             MetricsRegistry::new()
         } else {
             MetricsRegistry::disabled()
         };
         qbeep::core::describe_metric_families(&registry);
-        let base = if format.is_some() || trace.is_some() || events || metrics_format.is_some() {
+        let base = if format.is_some()
+            || trace.is_some()
+            || events
+            || metrics_format.is_some()
+            || introspect_addr.is_some()
+        {
             Recorder::new()
         } else {
             Recorder::disabled()
         };
+        let flight = FlightRecorder::new();
         let recorder = base
             .with_metrics(registry.clone())
-            .with_flight(FlightRecorder::new());
+            .with_flight(flight.clone());
+        let profiling = introspect_addr.is_some();
+        let mut rss_sampler = None;
+        let mut introspect = None;
+        if let Some(addr) = introspect_addr {
+            qbeep::telemetry::reset_profile();
+            qbeep::telemetry::set_profiling(true);
+            let sampler = RssSampler::start(std::time::Duration::from_millis(200));
+            let server = IntrospectServer::start(
+                &addr,
+                IntrospectSources {
+                    metrics: registry.clone(),
+                    flight: flight.clone(),
+                    recorder: recorder.clone(),
+                    rss: Some(sampler.handle()),
+                },
+            )
+            .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
+            eprintln!(
+                "// introspect: listening on http://{} (/metrics /healthz /profile /flights)",
+                server.local_addr()
+            );
+            rss_sampler = Some(sampler);
+            introspect = Some(server);
+        }
         Ok(Self {
             format,
             trace,
@@ -338,6 +412,10 @@ impl Observability {
             flight_dir,
             registry,
             recorder,
+            profiling,
+            started: std::time::Instant::now(),
+            rss_sampler,
+            _introspect: introspect,
         })
     }
 
@@ -365,6 +443,14 @@ impl Observability {
             if let Some(manifest) = manifest.clone() {
                 report = report.with_manifest(manifest);
             }
+            if self.profiling {
+                let profile = ProfileReport::collect(
+                    self.started.elapsed(),
+                    &report.spans,
+                    self.rss_sampler.as_ref().map(RssSampler::stats),
+                );
+                report = report.with_profile(profile);
+            }
             match format {
                 TelemetryFormat::Json => match serde_json::to_string_pretty(&report) {
                     Ok(json) => eprintln!("{json}"),
@@ -374,19 +460,11 @@ impl Observability {
             }
         }
         if let Some(format) = self.metrics_format {
-            // Peak RSS is a point-in-time platform gauge; absent
-            // procfs (non-Linux) it is simply omitted.
-            if let Some(bytes) = qbeep::telemetry::peak_rss_bytes() {
-                self.registry.describe(
-                    "qbeep_peak_rss_bytes",
-                    "Peak resident set size of the process in bytes",
-                );
-                self.registry.set_gauge(
-                    "qbeep_peak_rss_bytes",
-                    &qbeep::telemetry::LabelSet::empty(),
-                    bytes as f64,
-                );
-            }
+            // Memory gauges are point-in-time platform readings; absent
+            // procfs (non-Linux) they are simply omitted. The same
+            // helper stamps them for live `/metrics` scrapes, so the
+            // exit exposition matches the introspection plane's.
+            qbeep::telemetry::stamp_memory_gauges(&self.registry);
             let snapshot = self.registry.snapshot();
             match format {
                 MetricsFormat::Prom => eprint!("{}", snapshot.to_prometheus()),
@@ -809,7 +887,10 @@ fn cmd_mitigate(flags: &BTreeMap<String, String>) -> Result<(), String> {
 
 /// Collects the flight-dump files `--flight` points at: the file
 /// itself, or every `*.flight.json` inside a directory — sorted by
-/// name, which for engine-written dumps sorts by capture index.
+/// name, which for engine-written dumps sorts by capture index. An
+/// empty or missing directory is not an error — a clean run leaves no
+/// black boxes, so `inspect` reports "nothing to show" with exit 0
+/// rather than failing the caller's post-mortem script.
 fn collect_flight_files(path: &Path) -> Result<Vec<PathBuf>, String> {
     if path.is_dir() {
         let mut files: Vec<PathBuf> = std::fs::read_dir(path)
@@ -822,17 +903,11 @@ fn collect_flight_files(path: &Path) -> Result<Vec<PathBuf>, String> {
             })
             .collect();
         files.sort();
-        if files.is_empty() {
-            return Err(format!("no *.flight.json files in {}", path.display()));
-        }
         Ok(files)
     } else if path.exists() {
         Ok(vec![path.to_path_buf()])
     } else {
-        Err(format!(
-            "cannot read {}: no such file or directory",
-            path.display()
-        ))
+        Ok(Vec::new())
     }
 }
 
@@ -891,7 +966,12 @@ fn cmd_inspect(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
     let mut first_section = true;
     if let Some(path) = flight {
-        for file in collect_flight_files(Path::new(path))? {
+        let files = collect_flight_files(Path::new(path))?;
+        if files.is_empty() {
+            println!("no flight recordings found in {path}");
+            first_section = false;
+        }
+        for file in files {
             if !first_section {
                 println!();
             }

@@ -559,3 +559,103 @@ fn malformed_counts_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("mixed widths"));
 }
+
+#[test]
+fn inspect_reports_missing_flight_dir_without_failing() {
+    let missing = std::env::temp_dir().join("qbeep-cli-tests-no-such-flight-dir");
+    let _ = std::fs::remove_dir_all(&missing);
+    let out = cli()
+        .args(["inspect", "--flight", missing.to_str().unwrap()])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "missing flight dir must not fail inspect: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("no flight recordings found"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn inspect_reports_empty_flight_dir_without_failing() {
+    let empty = std::env::temp_dir().join("qbeep-cli-tests-empty-flight-dir");
+    std::fs::create_dir_all(&empty).expect("temp dir");
+    let out = cli()
+        .args(["inspect", "--flight", empty.to_str().unwrap()])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "empty flight dir must not fail inspect: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("no flight recordings found"),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn introspect_flag_profiles_without_perturbing_output() {
+    let counts = write_temp(
+        "introspect_counts.json",
+        r#"{"000": 700, "001": 80, "010": 60, "100": 90, "111": 70}"#,
+    );
+    let base_args = [
+        "mitigate",
+        "--counts",
+        counts.to_str().unwrap(),
+        "--lambda",
+        "0.8",
+    ];
+
+    let bare = cli().args(base_args).output().expect("run cli");
+    assert!(
+        bare.status.success(),
+        "{}",
+        String::from_utf8_lossy(&bare.stderr)
+    );
+
+    let introspected = cli()
+        .args(base_args)
+        .args(["--telemetry=json", "--introspect", "127.0.0.1:0"])
+        .output()
+        .expect("run cli");
+    assert!(
+        introspected.status.success(),
+        "{}",
+        String::from_utf8_lossy(&introspected.stderr)
+    );
+    // Bit-for-bit parity: the profiled, server-carrying run prints the
+    // exact same mitigated distribution.
+    assert_eq!(
+        String::from_utf8_lossy(&bare.stdout),
+        String::from_utf8_lossy(&introspected.stdout),
+        "--introspect changed the mitigation output"
+    );
+    let stderr = String::from_utf8_lossy(&introspected.stderr);
+    assert!(
+        stderr.contains("introspect: listening on http://127.0.0.1:"),
+        "missing listen line: {stderr}"
+    );
+    // The run report now carries the continuous-profiling section.
+    let json_start = stderr.find('{').expect("report JSON on stderr");
+    let json_end = stderr.rfind('}').expect("report JSON on stderr");
+    let report: serde_json::Value =
+        serde_json::from_str(&stderr[json_start..=json_end]).expect("report parses");
+    let profile = &report["profile"];
+    assert!(
+        profile.is_object(),
+        "report lacks a profile section: {report}"
+    );
+    assert!(profile["total_wall_ms"].as_f64().expect("total wall") > 0.0);
+    assert!(
+        profile["stages"].as_array().is_some_and(|s| !s.is_empty()),
+        "profile has no stages: {profile}"
+    );
+}

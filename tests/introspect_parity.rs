@@ -1,0 +1,104 @@
+//! Introspection-parity test: arming the continuous profiler and the
+//! live introspection plane must not perturb mitigation results. The
+//! binary installs the counting allocator — exactly what `qbeep-cli`
+//! and `qbeep-bench` ship — runs the same workload bare and fully
+//! instrumented (profiler on, RSS sampler running, HTTP server being
+//! scraped mid-run), and requires bit-identical distributions.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use qbeep::bitstring::{Counts, Distribution};
+use qbeep::core::{MitigationJob, MitigationSession};
+use qbeep::sim::{EmpiricalChannel, EmpiricalConfig};
+use qbeep::telemetry::{
+    set_profiling, CountingAlloc, FlightRecorder, IntrospectServer, IntrospectSources,
+    MetricsRegistry, Recorder, RssSampler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn workload_counts() -> Counts {
+    let target = "10110100101101".parse().expect("valid bitstring");
+    let channel =
+        EmpiricalChannel::new(Distribution::point(target), 2.2, EmpiricalConfig::default());
+    let mut rng = StdRng::seed_from_u64(41);
+    channel.run(1200, &mut rng)
+}
+
+fn mitigate(counts: Counts, recorder: Option<Recorder>) -> Distribution {
+    let mut session = MitigationSession::new();
+    if let Some(recorder) = recorder {
+        session = session.with_recorder(recorder);
+    }
+    session.add_strategy_by_name("qbeep").expect("known");
+    session.add_job(MitigationJob::new("parity", counts).with_lambda(2.0));
+    let report = session.run().expect("clean run");
+    report
+        .outcome("parity", "qbeep")
+        .expect("qbeep ran")
+        .mitigated
+        .clone()
+}
+
+/// One raw HTTP GET against the live plane, for mid-run pressure.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: parity\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+#[test]
+fn introspection_does_not_perturb_mitigation_results() {
+    let counts = workload_counts();
+
+    // Reference: no recorder, profiler off.
+    let bare = mitigate(counts.clone(), None);
+
+    // Instrumented: metrics registry, recorder, profiler armed, RSS
+    // sampler running, live server scraped between jobs.
+    let registry = MetricsRegistry::new();
+    qbeep::core::describe_metric_families(&registry);
+    let flight = FlightRecorder::new();
+    let recorder = Recorder::new()
+        .with_metrics(registry.clone())
+        .with_flight(flight.clone());
+    qbeep::telemetry::reset_profile();
+    set_profiling(true);
+    let sampler = RssSampler::start(std::time::Duration::from_millis(20));
+    let server = IntrospectServer::start(
+        "127.0.0.1:0",
+        IntrospectSources {
+            metrics: registry,
+            flight,
+            recorder: recorder.clone(),
+            rss: Some(sampler.handle()),
+        },
+    )
+    .expect("bind introspection server");
+    let addr = server.local_addr();
+
+    let first = mitigate(counts.clone(), Some(recorder.clone()));
+    // Scrape every endpoint mid-session, then mitigate again: the
+    // serving thread must not disturb the numerics.
+    for path in ["/healthz", "/metrics", "/profile", "/flights"] {
+        let response = scrape(addr, path);
+        assert!(response.starts_with("HTTP/1.1 200"), "{path}: {response}");
+    }
+    let second = mitigate(counts, Some(recorder));
+    set_profiling(false);
+
+    assert_eq!(
+        bare, first,
+        "instrumented run diverged from the bare run — introspection broke determinism"
+    );
+    assert_eq!(
+        bare, second,
+        "post-scrape run diverged from the bare run — introspection broke determinism"
+    );
+}
