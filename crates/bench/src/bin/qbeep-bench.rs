@@ -43,7 +43,8 @@ USAGE:
     qbeep-bench hotpath  [--out FILE] [--trace FILE] [--metrics-out FILE]
                          [--profile] [--profile-out FILE]
                          [--introspect ADDR] [--hold-ms MS]
-    qbeep-bench baseline [--from FILE] [--out FILE] [--threshold X]
+    qbeep-bench scaling  [--out FILE]
+    qbeep-bench baseline [--from FILE] [--out FILE] [--threshold X] [--scaling FILE]
     qbeep-bench compare  [--baseline FILE] [--current FILE] [--threshold X] [--warn-only]
     qbeep-bench faultcheck [--spec SPEC] [--seed N]
     qbeep-bench help
@@ -77,10 +78,23 @@ SUBCOMMANDS:
               QBEEP_OVERHEAD_BASELINE_MS to a pre-change
               profiler-off time to fail the run when the off cost
               drifts more than 2% above it.
+    scaling   Sweep a qubits × shots grid of the graph hot path:
+              at every point the neighbor scan runs through both the
+              all-pairs fallback and the output-sensitive Hamming-ball
+              enumerator (the pair lists must match exactly — any
+              divergence fails the run), and the full mitigation is
+              profiled serially and, on parallel builds, at fan-out
+              (outputs must be bit-identical). Writes the per-stage
+              wall/alloc curves as BENCH_scaling.json (--out
+              overrides). Grid size follows QBEEP_SCALE; the smoke
+              grid stays within ≤8 qubits / ≤10k shots.
     baseline  Learn a baseline store from an artifact (--from,
               default the bench artifact path) and write it (--out,
               default BENCH_baseline.json). --threshold sets the
               fractional regression threshold (default 0.20).
+              --scaling records the best output-sensitive enumeration
+              win from a BENCH_scaling.json sweep into the store
+              (informational; the gate still compares spans only).
     compare   Compare a current artifact against a baseline store.
               Exits 1 when any watched span regressed past the
               threshold or went missing; --warn-only reports but
@@ -106,6 +120,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "hotpath" => cmd_hotpath(&args[1..]),
+        "scaling" => cmd_scaling(&args[1..]),
         "baseline" => cmd_baseline(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "faultcheck" => cmd_faultcheck(&args[1..]),
@@ -593,8 +608,27 @@ fn cmd_faultcheck(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_scaling(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["out"], &[])?;
+    let out = flags
+        .path("out")
+        .unwrap_or_else(|| PathBuf::from(qbeep_bench::scaling::DEFAULT_SCALING_ARTIFACT));
+    let scale = Scale::from_env();
+    // Any enumerator or serial-vs-parallel divergence surfaces as an
+    // Err here — main() turns it into a non-zero exit, which is what
+    // CI's scaling-smoke job gates on.
+    let report = qbeep_bench::scaling::run(scale)?;
+    for line in report.render_table().lines() {
+        eprintln!("// scaling: {line}");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("scaling report serializes");
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    eprintln!("// scaling: artifact -> {}", out.display());
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_baseline(args: &[String]) -> Result<ExitCode, String> {
-    let flags = Flags::parse(args, &["from", "out", "threshold"], &[])?;
+    let flags = Flags::parse(args, &["from", "out", "threshold", "scaling"], &[])?;
     let from = flags
         .path("from")
         .unwrap_or_else(qbeep_bench::telemetry::artifact_path);
@@ -603,12 +637,27 @@ fn cmd_baseline(args: &[String]) -> Result<ExitCode, String> {
         .unwrap_or_else(|| PathBuf::from(DEFAULT_BASELINE));
     let threshold = flags.threshold()?.unwrap_or(DEFAULT_THRESHOLD);
     let artifact = read_artifact(&from)?;
-    let store = BaselineStore::from_artifact(&artifact, threshold);
+    let mut store = BaselineStore::from_artifact(&artifact, threshold);
     if store.spans.is_empty() {
         return Err(format!(
             "no watched spans found in {} — run `qbeep-bench hotpath` first",
             from.display()
         ));
+    }
+    if let Some(scaling_path) = flags.path("scaling") {
+        let text = std::fs::read_to_string(&scaling_path)
+            .map_err(|e| format!("cannot read scaling report {}: {e}", scaling_path.display()))?;
+        let scaling: qbeep_bench::scaling::ScalingReport = serde_json::from_str(&text)
+            .map_err(|e| format!("bad scaling report {}: {e}", scaling_path.display()))?;
+        match &scaling.best_enum_speedup {
+            Some(win) => eprintln!(
+                "// baseline: recording scaling win — hamming_ball {:.2}x over \
+                 all_pairs at {}q / {} shots (V = {})",
+                win.speedup, win.qubits, win.shots, win.distinct
+            ),
+            None => eprintln!("// baseline: scaling report has no output-sensitive win to record"),
+        }
+        store.scaling = scaling.best_enum_speedup;
     }
     let json = serde_json::to_string_pretty(&store).expect("baseline serializes");
     std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;

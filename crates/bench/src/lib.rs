@@ -28,6 +28,7 @@ pub mod fig11;
 pub mod regression;
 pub mod report;
 pub mod runners;
+pub mod scaling;
 pub mod telemetry;
 
 /// Workload sizing for the experiment runners.

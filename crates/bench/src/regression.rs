@@ -70,6 +70,12 @@ pub struct BaselineStore {
     /// Provenance of the run the baseline was learned from.
     #[serde(default)]
     pub manifest: Option<ProvenanceManifest>,
+    /// Best output-sensitive enumeration win observed by the
+    /// `qbeep-bench scaling` sweep when this baseline was refreshed
+    /// (`qbeep-bench baseline --scaling BENCH_scaling.json`).
+    /// Informational — the gate compares spans only.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scaling: Option<crate::scaling::EnumWin>,
 }
 
 impl BaselineStore {
@@ -102,6 +108,7 @@ impl BaselineStore {
             threshold,
             spans,
             manifest,
+            scaling: None,
         }
     }
 }

@@ -1,0 +1,445 @@
+//! `qbeep-bench scaling`: scaling curves for the graph hot path over a
+//! qubits × shots grid.
+//!
+//! Each grid point synthesises an empirical-channel counts table,
+//! then measures two things:
+//!
+//! 1. **Enumerator A/B** — the neighbor pair scan is run twice at the
+//!    mitigation radius, once forced through the all-pairs fallback
+//!    and once through the output-sensitive Hamming-ball enumerator,
+//!    and the two pair lists must be *identical* (same pairs, same
+//!    canonical order). Any divergence fails the whole run — this is
+//!    the gate CI's `scaling-smoke` job leans on.
+//! 2. **Stage profiles** — the full mitigation (session engine, qbeep
+//!    strategy) runs serially and, on `parallel` builds, at the widest
+//!    sensible fan-out, with the continuous profiler armed; the
+//!    watched pipeline stages' wall/alloc numbers land in the report.
+//!    Serial and parallel outputs must be bit-identical.
+//!
+//! The result serializes as `BENCH_scaling.json`; the best
+//! ball-beats-all-pairs grid point can also be recorded into the
+//! committed regression baseline (`qbeep-bench baseline --scaling`).
+
+use std::time::{Duration, Instant};
+
+use qbeep_bitstring::{BitString, Counts, Distribution};
+use qbeep_core::model::WeightLaw;
+use qbeep_core::{
+    edge_radius, Kernel, MitigationJob, MitigationSession, NeighborIndex, PairEnumerator,
+    QBeepConfig,
+};
+use qbeep_sim::{EmpiricalChannel, EmpiricalConfig};
+use qbeep_telemetry::{ProfileReport, Recorder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Scale, BASE_SEED};
+
+/// Schema version of [`ScalingReport`] files.
+pub const SCALING_SCHEMA: u32 = 1;
+
+/// Default artifact file name for the scaling report.
+pub const DEFAULT_SCALING_ARTIFACT: &str = "BENCH_scaling.json";
+
+/// λ the mitigation runs with. 0.8 puts the Poisson weights ≥ ε at
+/// distances {1, 2} under the default ε = 0.05 — the small-radius,
+/// large-V regime §3.4's scalability argument targets, where the
+/// Hamming-ball enumerator has room to beat the all-pairs scan.
+pub const SCALING_LAMBDA: f64 = 0.8;
+
+/// λ of the empirical channel the counts are sampled from — noisier
+/// than the mitigation λ so the table spreads over many distinct
+/// outcomes and V actually grows with shots.
+pub const CHANNEL_LAMBDA: f64 = 2.5;
+
+/// One grid point's measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Outcome width, in bits.
+    pub qubits: usize,
+    /// Shots sampled from the empirical channel.
+    pub shots: u64,
+    /// Distinct outcomes observed (graph vertices V).
+    pub distinct: usize,
+    /// Enumeration radius (largest distance whose kernel weight ≥ ε).
+    pub radius: u32,
+    /// Pairs within the radius (kept-edge candidates).
+    pub pairs: usize,
+    /// Which enumerator the cost model picks at this point
+    /// (`"all_pairs"` or `"hamming_ball"`).
+    pub chosen: String,
+    /// Wall time of the forced all-pairs scan, ms (min of repeats).
+    pub all_pairs_ms: f64,
+    /// Wall time of the forced Hamming-ball enumeration, ms.
+    pub hamming_ball_ms: f64,
+    /// `all_pairs_ms / hamming_ball_ms` — above 1.0, the
+    /// output-sensitive path wins.
+    pub enum_speedup: f64,
+    /// Watched-stage profiles, serial first, then (on parallel
+    /// builds) the fan-out mode.
+    pub modes: Vec<ModeProfile>,
+}
+
+/// Stage profile of one mitigation run at a fixed thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeProfile {
+    /// Thread count the mode ran at (1 = serial).
+    pub threads: usize,
+    /// End-to-end wall time, ms.
+    pub total_wall_ms: f64,
+    /// Per-stage wall/alloc, watched pipeline spans only.
+    pub stages: Vec<StageSummary>,
+}
+
+/// One watched stage's wall/alloc at a grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Span path (`mitigate/graph_build`, …).
+    pub name: String,
+    /// Total wall time in the stage, ms.
+    pub wall_ms: f64,
+    /// Bytes allocated while the stage was open.
+    pub alloc_bytes: u64,
+}
+
+/// The best grid point where the output-sensitive enumerator beat the
+/// all-pairs fallback — the number the ISSUE-8 acceptance pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnumWin {
+    /// Outcome width of the winning point.
+    pub qubits: usize,
+    /// Shots of the winning point.
+    pub shots: u64,
+    /// Distinct outcomes (V) of the winning point.
+    pub distinct: usize,
+    /// All-pairs wall, ms.
+    pub all_pairs_ms: f64,
+    /// Hamming-ball wall, ms.
+    pub hamming_ball_ms: f64,
+    /// `all_pairs_ms / hamming_ball_ms` (> 1.0 by construction).
+    pub speedup: f64,
+}
+
+/// The `BENCH_scaling.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// File schema version ([`SCALING_SCHEMA`]).
+    pub schema: u32,
+    /// Workload scale the sweep ran at (`smoke` / `default` / `full`).
+    pub scale: String,
+    /// Mitigation λ ([`SCALING_LAMBDA`]).
+    pub lambda: f64,
+    /// Edge threshold ε the radius was derived from.
+    pub epsilon: f64,
+    /// Every grid point, in sweep order.
+    pub points: Vec<GridPoint>,
+    /// Best output-sensitive win across the grid, if any point had
+    /// the Hamming-ball path ahead.
+    pub best_enum_speedup: Option<EnumWin>,
+}
+
+impl ScalingReport {
+    /// Renders a compact plain-text table of the sweep.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== scaling (scale {}, λ {}, ε {}) ===",
+            self.scale, self.lambda, self.epsilon
+        );
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>9} {:>8} {:>6} {:>9} {:>12} {:>12} {:>8}  chosen",
+            "qubits", "shots", "V", "radius", "pairs", "all_pairs_ms", "ball_ms", "speedup"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>9} {:>8} {:>6} {:>9} {:>12.3} {:>12.3} {:>7.2}x  {}",
+                p.qubits,
+                p.shots,
+                p.distinct,
+                p.radius,
+                p.pairs,
+                p.all_pairs_ms,
+                p.hamming_ball_ms,
+                p.enum_speedup,
+                p.chosen
+            );
+        }
+        match &self.best_enum_speedup {
+            Some(win) => {
+                let _ = writeln!(
+                    out,
+                    "  best: hamming_ball {:.2}x over all_pairs at {}q / {} shots (V = {})",
+                    win.speedup, win.qubits, win.shots, win.distinct
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  best: all_pairs ahead everywhere (grid too small for the ball to win)"
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The sweep grid for a scale: `(qubits, shots)` per point. The smoke
+/// grid stays within CI's `scaling-smoke` budget (≤ 8 qubits,
+/// ≤ 10 000 shots); the larger scales reach the large-V regime where
+/// the output-sensitive enumerator overtakes the all-pairs scan.
+#[must_use]
+pub fn grid(scale: Scale) -> Vec<(usize, u64)> {
+    match scale {
+        Scale::Smoke => vec![(6, 2_000), (8, 10_000)],
+        Scale::Default => vec![(8, 10_000), (12, 30_000), (14, 60_000)],
+        Scale::Full => vec![(10, 40_000), (12, 80_000), (14, 160_000), (16, 200_000)],
+    }
+}
+
+/// Synthesises a `width`-bit counts table by sampling `shots` from a
+/// deterministic empirical channel around an alternating-bit target.
+#[must_use]
+pub fn synth_counts(width: usize, shots: u64, seed: u64) -> Counts {
+    let pattern: String = (0..width)
+        .map(|i| if i % 3 == 0 { '1' } else { '0' })
+        .collect();
+    let target: BitString = pattern.parse().expect("valid bit pattern");
+    let channel = EmpiricalChannel::new(
+        Distribution::point(target),
+        CHANNEL_LAMBDA,
+        EmpiricalConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    channel.run(shots.max(10), &mut rng)
+}
+
+/// Runs the sweep at `scale`.
+///
+/// # Errors
+///
+/// Fails when the two enumerators disagree on any pair list, when
+/// serial and parallel mitigation outputs diverge, or when the
+/// session engine errors.
+pub fn run(scale: Scale) -> Result<ScalingReport, String> {
+    let config = QBeepConfig::default();
+    let weights_for = |width: usize| -> Vec<f64> {
+        WeightLaw::from_kernel(Kernel::Poisson, SCALING_LAMBDA).table(width)
+    };
+    let mut points = Vec::new();
+    for (i, (qubits, shots)) in grid(scale).iter().copied().enumerate() {
+        let counts = synth_counts(qubits, shots, BASE_SEED + i as u64);
+        let weights = weights_for(qubits);
+        let radius = edge_radius(&weights, config.epsilon);
+        let (all_pairs_ms, ball_ms, pairs) = time_enumerators(&counts, radius, qubits, shots)?;
+        let chosen = match PairEnumerator::select(counts.distinct(), qubits, radius) {
+            PairEnumerator::AllPairs => "all_pairs",
+            PairEnumerator::HammingBall => "hamming_ball",
+        };
+        let modes = profile_modes(&counts, qubits, shots)?;
+        points.push(GridPoint {
+            qubits,
+            shots,
+            distinct: counts.distinct(),
+            radius,
+            pairs,
+            chosen: chosen.to_string(),
+            all_pairs_ms,
+            hamming_ball_ms: ball_ms,
+            enum_speedup: all_pairs_ms / ball_ms.max(1e-9),
+            modes,
+        });
+    }
+    let best_enum_speedup = points
+        .iter()
+        .filter(|p| p.enum_speedup > 1.0)
+        .max_by(|a, b| a.enum_speedup.total_cmp(&b.enum_speedup))
+        .map(|p| EnumWin {
+            qubits: p.qubits,
+            shots: p.shots,
+            distinct: p.distinct,
+            all_pairs_ms: p.all_pairs_ms,
+            hamming_ball_ms: p.hamming_ball_ms,
+            speedup: p.enum_speedup,
+        });
+    Ok(ScalingReport {
+        schema: SCALING_SCHEMA,
+        scale: format!("{scale:?}").to_lowercase(),
+        lambda: SCALING_LAMBDA,
+        epsilon: config.epsilon,
+        points,
+        best_enum_speedup,
+    })
+}
+
+/// Times both enumerators at the same radius (min of two passes each)
+/// and checks their pair lists are identical — pairs *and* canonical
+/// order, the bit-for-bit contract.
+fn time_enumerators(
+    counts: &Counts,
+    radius: u32,
+    qubits: usize,
+    shots: u64,
+) -> Result<(f64, f64, usize), String> {
+    let time_one = |enumerator: PairEnumerator| -> Result<(f64, NeighborIndex), String> {
+        let mut best = f64::INFINITY;
+        let mut built = None;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let index = NeighborIndex::build_within_with(counts, radius, enumerator)
+                .map_err(|e| e.to_string())?;
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            built = Some(index);
+        }
+        Ok((best, built.expect("at least one pass ran")))
+    };
+    let (all_ms, all_index) = time_one(PairEnumerator::AllPairs)?;
+    let (ball_ms, ball_index) = time_one(PairEnumerator::HammingBall)?;
+    if all_index.pairs() != ball_index.pairs() {
+        return Err(format!(
+            "ENUMERATOR DIVERGENCE at {qubits}q / {shots} shots (radius {radius}): \
+             all_pairs kept {} pairs, hamming_ball kept {} — the output-sensitive \
+             path must reproduce the fallback exactly",
+            all_index.pairs().len(),
+            ball_index.pairs().len()
+        ));
+    }
+    Ok((all_ms, ball_ms, all_index.pairs().len()))
+}
+
+/// Profiles the full mitigation at 1 thread and (on parallel builds)
+/// at the widest sensible fan-out, verifying the outputs are
+/// bit-identical across modes.
+fn profile_modes(counts: &Counts, qubits: usize, shots: u64) -> Result<Vec<ModeProfile>, String> {
+    let mut thread_counts = vec![1usize];
+    if qbeep_core::parallel_enabled() {
+        let fanout = qbeep_par::hardware_threads().clamp(1, 8);
+        if fanout > 1 {
+            thread_counts.push(fanout);
+        }
+    }
+    let mut modes = Vec::new();
+    let mut reference: Option<Distribution> = None;
+    for threads in thread_counts {
+        let (profile, mitigated) = profile_once(counts, threads)?;
+        match &reference {
+            None => reference = Some(mitigated),
+            Some(serial) => {
+                if *serial != mitigated {
+                    return Err(format!(
+                        "PARALLEL DIVERGENCE at {qubits}q / {shots} shots: {threads}-thread \
+                         output differs from serial — determinism contract broken"
+                    ));
+                }
+            }
+        }
+        modes.push(profile);
+    }
+    Ok(modes)
+}
+
+/// One profiled mitigation run at a fixed thread count.
+fn profile_once(counts: &Counts, threads: usize) -> Result<(ModeProfile, Distribution), String> {
+    let was_profiling = qbeep_telemetry::profiling_enabled();
+    qbeep_par::set_threads(Some(threads));
+    qbeep_telemetry::reset_profile();
+    qbeep_telemetry::set_profiling(true);
+    let recorder = Recorder::new();
+    let run = || -> Result<(Duration, Distribution), String> {
+        let mut session = MitigationSession::new().with_recorder(recorder.clone());
+        session
+            .add_strategy_by_name("qbeep")
+            .map_err(|e| e.to_string())?;
+        session.add_job(MitigationJob::new("scaling", counts.clone()).with_lambda(SCALING_LAMBDA));
+        let t0 = Instant::now();
+        let report = session.run().map_err(|e| e.to_string())?;
+        let elapsed = t0.elapsed();
+        let mitigated = report
+            .outcome("scaling", "qbeep")
+            .ok_or("qbeep outcome missing from the scaling job")?
+            .mitigated
+            .clone();
+        Ok((elapsed, mitigated))
+    };
+    let result = run();
+    qbeep_telemetry::set_profiling(was_profiling);
+    qbeep_par::set_threads(None);
+    let (elapsed, mitigated) = result?;
+    let profile = ProfileReport::collect(elapsed, &recorder.report().spans, None);
+    let stages = profile
+        .stages
+        .iter()
+        .filter(|s| crate::regression::WATCHED_SPANS.contains(&s.name.as_str()))
+        .map(|s| StageSummary {
+            name: s.name.clone(),
+            wall_ms: s.wall_ms,
+            alloc_bytes: s.alloc_bytes,
+        })
+        .collect();
+    Ok((
+        ModeProfile {
+            threads,
+            total_wall_ms: profile.total_wall_ms,
+            stages,
+        },
+        mitigated,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_consistent() {
+        let report = run(Scale::Smoke).expect("smoke sweep succeeds");
+        assert_eq!(report.schema, SCALING_SCHEMA);
+        assert_eq!(report.points.len(), grid(Scale::Smoke).len());
+        for point in &report.points {
+            assert!(point.qubits <= 8 && point.shots <= 10_000);
+            assert!(point.distinct > 0);
+            assert!(!point.modes.is_empty());
+            assert!(point
+                .modes
+                .iter()
+                .all(|m| m.stages.iter().any(|s| s.name == "mitigate/graph_build")));
+        }
+        let table = report.render_table();
+        assert!(table.contains("qubits"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = ScalingReport {
+            schema: SCALING_SCHEMA,
+            scale: "smoke".into(),
+            lambda: SCALING_LAMBDA,
+            epsilon: 0.05,
+            points: Vec::new(),
+            best_enum_speedup: Some(EnumWin {
+                qubits: 14,
+                shots: 60_000,
+                distinct: 4000,
+                all_pairs_ms: 12.0,
+                hamming_ball_ms: 3.0,
+                speedup: 4.0,
+            }),
+        };
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back: ScalingReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn synth_counts_grow_with_shots() {
+        let small = synth_counts(8, 500, 1);
+        let large = synth_counts(8, 5_000, 1);
+        assert_eq!(small.width(), 8);
+        assert!(large.distinct() >= small.distinct());
+    }
+}

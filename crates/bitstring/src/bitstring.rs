@@ -458,6 +458,86 @@ impl Iterator for HammingBallIter {
     }
 }
 
+/// Enumerates every `width`-bit mask of Hamming weight exactly `k`, in
+/// ascending integer order.
+///
+/// Yields `C(width, k)` masks; `k == 0` yields the zero mask alone and
+/// `k > width` yields nothing. Each successor is computed with Gosper's
+/// hack — a handful of adds, shifts and a trailing-zero count — so
+/// enumeration is O(1) per mask with no allocation. XOR-ing the masks
+/// of weights `1..=r` into a center string walks its whole Hamming ball
+/// of radius `r`, which is what makes radius-bounded neighbor probing
+/// output-sensitive instead of all-pairs.
+///
+/// # Example
+///
+/// ```
+/// use qbeep_bitstring::weight_masks;
+///
+/// let masks: Vec<u128> = weight_masks(4, 2).collect();
+/// assert_eq!(masks, vec![0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100]);
+/// assert!(masks.iter().all(|m| m.count_ones() == 2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width > MAX_BITS`.
+#[must_use]
+pub fn weight_masks(width: usize, k: u32) -> WeightMaskIter {
+    assert!(width <= MAX_BITS, "mask width {width} exceeds {MAX_BITS}");
+    if k as usize > width {
+        return WeightMaskIter {
+            next: 0,
+            last: 0,
+            done: true,
+        };
+    }
+    if k == 0 {
+        return WeightMaskIter {
+            next: 0,
+            last: 0,
+            done: false,
+        };
+    }
+    let first = u128::MAX >> (128 - k);
+    WeightMaskIter {
+        next: first,
+        last: first << (width - k as usize),
+        done: false,
+    }
+}
+
+/// Iterator over every `width`-bit mask with exactly `k` set bits, in
+/// ascending integer order, produced by [`weight_masks`].
+#[derive(Debug, Clone)]
+pub struct WeightMaskIter {
+    next: u128,
+    last: u128,
+    done: bool,
+}
+
+impl Iterator for WeightMaskIter {
+    type Item = u128;
+
+    fn next(&mut self) -> Option<u128> {
+        if self.done {
+            return None;
+        }
+        let v = self.next;
+        if v == self.last {
+            self.done = true;
+        } else {
+            // Gosper's hack: the smallest integer above `v` with the
+            // same popcount. `v != last` rules out the overflow cases
+            // (`v == 0` and an all-ones `t`), so the arithmetic below
+            // never wraps.
+            let t = v | (v - 1);
+            self.next = (t + 1) | (((!t & (t + 1)) - 1) >> (v.trailing_zeros() + 1));
+        }
+        Some(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,5 +702,51 @@ mod tests {
             out = out * (n - i) / (i + 1);
         }
         out
+    }
+
+    #[test]
+    fn weight_masks_counts_are_binomial() {
+        for width in [1usize, 4, 7, 12] {
+            for k in 0..=width as u32 + 1 {
+                let masks: Vec<u128> = weight_masks(width, k).collect();
+                assert_eq!(masks.len(), binomial(width, k as usize), "C({width},{k})");
+                assert!(masks.iter().all(|m| m.count_ones() == k));
+                assert!(masks.iter().all(|m| m >> width == 0));
+                assert!(masks.windows(2).all(|w| w[0] < w[1]), "ascending order");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_masks_edge_weights() {
+        assert_eq!(weight_masks(6, 0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(weight_masks(6, 7).count(), 0);
+        // Full width: the single all-ones mask.
+        assert_eq!(weight_masks(6, 6).collect::<Vec<_>>(), vec![0b11_1111]);
+    }
+
+    #[test]
+    fn weight_masks_handle_the_full_128_bit_domain() {
+        // k high bits of a 128-bit window: the last combination must
+        // terminate without overflowing the Gosper step.
+        let masks: Vec<u128> = weight_masks(128, 127).collect();
+        assert_eq!(masks.len(), 128);
+        assert_eq!(*masks.last().unwrap(), u128::MAX << 1);
+        assert_eq!(weight_masks(128, 128).collect::<Vec<_>>(), vec![u128::MAX]);
+    }
+
+    #[test]
+    fn xored_weight_masks_match_neighbors_at() {
+        let s: BitString = "1011010".parse().unwrap();
+        for d in 0..=7usize {
+            let via_iter: Vec<BitString> = s.neighbors_at(d).collect();
+            let mut via_masks: Vec<BitString> = weight_masks(s.len(), d as u32)
+                .map(|m| BitString::from_value(s.value() ^ m, s.len()))
+                .collect();
+            via_masks.sort();
+            let mut sorted_iter = via_iter;
+            sorted_iter.sort();
+            assert_eq!(via_masks, sorted_iter, "d = {d}");
+        }
     }
 }

@@ -50,7 +50,7 @@ mod spectrum;
 pub mod metrics;
 pub mod stats;
 
-pub use bitstring::{BitString, HammingBallIter, MAX_BITS};
+pub use bitstring::{weight_masks, BitString, HammingBallIter, WeightMaskIter, MAX_BITS};
 pub use counts::Counts;
 pub use dist::Distribution;
 pub use error::{ParseBitStringError, ZeroMassError};

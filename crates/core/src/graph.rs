@@ -10,6 +10,16 @@
 //! Eq. 5, `flow(A→B) = Obs_A · W(A,B)·η · P_B / P_A`, clamped by the
 //! overflow constraint `outflow ≤ count + inflow` and damped by
 //! `η = 1/n`. Total observation count is conserved exactly.
+//!
+//! # Memory layout
+//!
+//! Vertices are stored struct-of-arrays (`bits` / `count` / `prob`
+//! each in their own flat vector) and the adjacency is compressed
+//! sparse row: `offsets[v]..offsets[v + 1]` indexes the packed
+//! neighbor/weight arrays. Row `v` lists neighbors in ascending index
+//! order — the order the canonical `i`-then-`j` pair scan pushes them
+//! — which the parallel step's serial-order replay relies on. All
+//! buffers can be recycled across jobs through a [`GraphArena`].
 
 use std::time::{Duration, Instant};
 
@@ -110,24 +120,48 @@ pub struct IterationDiagnostics {
     pub total_count: f64,
 }
 
-/// One vertex of the state graph.
+/// Reusable per-step working memory (outflow/factor/delta vectors and
+/// the watchdog's rollback snapshot). Capacity persists across steps
+/// and — via [`GraphArena`] — across jobs; contents are rebuilt every
+/// step, so reuse never changes a single bit of the arithmetic.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    raw_outflow: Vec<f64>,
+    factor: Vec<f64>,
+    delta: Vec<f64>,
+    snapshot: Vec<f64>,
+}
+
+/// A recyclable set of state-graph buffers: the struct-of-arrays
+/// vertex fields, the CSR adjacency arrays, and the per-step scratch.
 ///
-/// Per Algorithm 1, the probability field `prob` is assigned at graph
-/// construction (`G(V)[P] ← P(Results = BStr)`) and **never updated**
-/// inside the iteration loop — only `count` moves. Keeping `prob`
-/// frozen is load-bearing: it makes the Eq.-5 flow
-/// `Obs_A · W · P_B / P_A` a fixed-coefficient linear system that is
-/// diffusive (stabilising) on balanced distributions and concentrating
-/// on imbalanced ones, with the equilibrium count ratio `(P_A/P_B)²`
-/// reproducing Fig. 5's 0.60 → 0.94 walkthrough. Recomputing `prob`
-/// from live counts would instead amplify sampling noise on
-/// high-entropy outputs, contradicting §4.3's flat qft/qrng results.
-#[derive(Debug, Clone, PartialEq)]
-struct Node {
-    bits: BitString,
-    count: f64,
-    /// Initial observation probability (frozen).
-    prob: f64,
+/// Building a graph through
+/// [`StateGraph::from_index_in`] takes ownership of the buffers
+/// (allocating only when capacity is short) and
+/// [`StateGraph::recycle`] hands them back, so a
+/// [`crate::session::MitigationSession`] running N jobs × M strategies
+/// pays the node/edge allocations once instead of N·M times. The
+/// arena affects capacity only — contents are always rebuilt — so
+/// arena-built and fresh-built graphs are bit-for-bit identical.
+#[derive(Debug, Default)]
+pub struct GraphArena {
+    bits: Vec<BitString>,
+    count: Vec<f64>,
+    prob: Vec<f64>,
+    offsets: Vec<usize>,
+    nbr: Vec<u32>,
+    wgt: Vec<f64>,
+    /// Build-time counting-sort cursor scratch.
+    cursor: Vec<usize>,
+    scratch: StepScratch,
+}
+
+impl GraphArena {
+    /// A fresh arena with no capacity reserved.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The Bayesian state graph over observed outcomes.
@@ -156,15 +190,40 @@ struct Node {
 pub struct StateGraph {
     width: usize,
     total: f64,
-    nodes: Vec<Node>,
-    /// `edges[i]` = (neighbour index, base kernel weight).
-    edges: Vec<Vec<(usize, f64)>>,
+    /// Vertex bit-strings, struct-of-arrays with `count` and `prob`.
+    bits: Vec<BitString>,
+    /// Live observation counts — the only vertex field iteration moves.
+    count: Vec<f64>,
+    /// Initial observation probabilities, **frozen** at construction.
+    ///
+    /// Per Algorithm 1, `prob` is assigned at graph construction
+    /// (`G(V)[P] ← P(Results = BStr)`) and never updated inside the
+    /// iteration loop — only `count` moves. Keeping `prob` frozen is
+    /// load-bearing: it makes the Eq.-5 flow `Obs_A · W · P_B / P_A` a
+    /// fixed-coefficient linear system that is diffusive (stabilising)
+    /// on balanced distributions and concentrating on imbalanced ones,
+    /// with the equilibrium count ratio `(P_A/P_B)²` reproducing
+    /// Fig. 5's 0.60 → 0.94 walkthrough. Recomputing `prob` from live
+    /// counts would instead amplify sampling noise on high-entropy
+    /// outputs, contradicting §4.3's flat qft/qrng results.
+    prob: Vec<f64>,
+    /// CSR row bounds: row `v` occupies `offsets[v]..offsets[v + 1]`
+    /// of `nbr`/`wgt`. Length = vertex count + 1.
+    offsets: Vec<usize>,
+    /// Packed neighbor indices; each row ascends (see module docs).
+    nbr: Vec<u32>,
+    /// Packed base kernel weights, parallel to `nbr`.
+    wgt: Vec<f64>,
     config: QBeepConfig,
     /// Number of iterations already applied (learning-rate position).
     steps_done: usize,
+    /// Undirected edge count, cached at build time (`nbr.len() / 2`).
+    num_edges: usize,
     /// Vertex pairs whose kernel weight fell below ε at build time
-    /// (candidate edges pruned by the §3.4 scalability guard).
+    /// (candidate edges pruned by the §3.4 scalability guard); derived
+    /// as `V·(V−1)/2 −` [`num_edges`](Self::num_edges).
     pruned_pairs: usize,
+    scratch: StepScratch,
 }
 
 impl StateGraph {
@@ -196,9 +255,16 @@ impl StateGraph {
     /// Builds the graph from a precomputed [`NeighborIndex`] and a
     /// per-distance weight table (`weights[k]` = kernel weight at
     /// Hamming distance `k`, length `width + 1`). This is the shared
-    /// path batch sessions use to amortise the O(V²) pair scan and the
-    /// PMF tables across strategies; [`build`](Self::build) is
-    /// equivalent to indexing + tabulating + calling this.
+    /// path batch sessions use to amortise the pair scan and the PMF
+    /// tables across strategies; [`build`](Self::build) is equivalent
+    /// to indexing + tabulating + calling this.
+    ///
+    /// The index may be radius-bounded
+    /// ([`NeighborIndex::build_within`]) as long as it covers every
+    /// distance whose weight clears `config.epsilon`; the absent
+    /// farther pairs are exactly the ones the ε filter would discard,
+    /// so the resulting graph is identical to one built from a full
+    /// index.
     ///
     /// # Panics
     ///
@@ -206,6 +272,27 @@ impl StateGraph {
     /// every distance `0..=width`.
     #[must_use]
     pub fn from_index(index: &NeighborIndex, weights: &[f64], config: &QBeepConfig) -> Self {
+        let mut arena = GraphArena::default();
+        Self::from_index_in(index, weights, config, &mut arena)
+    }
+
+    /// As [`from_index`](Self::from_index), recycling the vertex, CSR
+    /// and scratch buffers held by `arena` instead of allocating
+    /// fresh ones. The arena contributes *capacity only* — every
+    /// buffer is cleared and rebuilt — so the result is bit-for-bit
+    /// identical to [`from_index`](Self::from_index). Hand the buffers
+    /// back with [`recycle`](Self::recycle) when the graph is done.
+    ///
+    /// # Panics
+    ///
+    /// As [`from_index`](Self::from_index).
+    #[must_use]
+    pub fn from_index_in(
+        index: &NeighborIndex,
+        weights: &[f64],
+        config: &QBeepConfig,
+        arena: &mut GraphArena,
+    ) -> Self {
         if let Err(e) = config.validate() {
             panic!("{e}");
         }
@@ -218,69 +305,136 @@ impl StateGraph {
 
         // Node order is the index's canonical order: descending count,
         // then bit order.
+        let n = index.len();
         let total_shots = index.total() as f64;
-        let nodes: Vec<Node> = index
-            .nodes()
-            .iter()
-            .map(|&(bits, c)| Node {
-                bits,
-                count: c as f64,
-                prob: c as f64 / total_shots,
-            })
-            .collect();
-        let total: f64 = nodes.iter().map(|n| n.count).sum();
+        let mut bits = std::mem::take(&mut arena.bits);
+        let mut count = std::mem::take(&mut arena.count);
+        let mut prob = std::mem::take(&mut arena.prob);
+        bits.clear();
+        count.clear();
+        prob.clear();
+        for &(b, c) in index.nodes() {
+            bits.push(b);
+            count.push(c as f64);
+            prob.push(c as f64 / total_shots);
+        }
+        let total: f64 = count.iter().sum();
 
         // Distances whose kernel weight falls below ε get no edges.
-        let mut edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nodes.len()];
-        let mut pruned_pairs = 0usize;
+        // The CSR arrays are filled by a counting sort over the kept
+        // pairs in canonical order: degrees first, then a cursor pass
+        // appending each endpoint — the exact push sequence of the
+        // legacy per-row Vec loop, so every row ascends by neighbor.
+        let mut offsets = std::mem::take(&mut arena.offsets);
+        let mut nbr = std::mem::take(&mut arena.nbr);
+        let mut wgt = std::mem::take(&mut arena.wgt);
+        let mut cursor = std::mem::take(&mut arena.cursor);
+        offsets.clear();
+        offsets.resize(n + 1, 0);
         let pairs = index.pairs();
         let threads = crate::parallel::effective_threads();
-        if threads > 1 && !pairs.is_empty() {
+        let kept_shards: Vec<Vec<(u32, u32, f64)>> = if threads > 1 && !pairs.is_empty() {
             // Shard the pair list contiguously; each shard filters its
             // slice into a retained-edge list, and the serial merge
-            // pushes shards in order — the exact push sequence of the
-            // serial loop, so the adjacency lists are identical.
-            let shards = qbeep_par::map_sharded(pairs.len(), threads, |_shard, range| {
+            // fills shards in order — the exact push sequence of the
+            // serial loop, so the packed rows are identical.
+            qbeep_par::map_sharded(pairs.len(), threads, |_shard, range| {
                 let mut kept: Vec<(u32, u32, f64)> = Vec::new();
-                let mut pruned = 0usize;
                 for &(i, j, d) in &pairs[range] {
                     let w = weights[d as usize];
                     if w >= config.epsilon {
                         kept.push((i, j, w));
-                    } else {
-                        pruned += 1;
                     }
                 }
-                (kept, pruned)
-            });
-            for (kept, pruned) in shards {
-                for (i, j, w) in kept {
-                    edges[i as usize].push((j as usize, w));
-                    edges[j as usize].push((i as usize, w));
-                }
-                pruned_pairs += pruned;
-            }
+                kept
+            })
         } else {
+            let mut kept: Vec<(u32, u32, f64)> = Vec::new();
             for &(i, j, d) in pairs {
                 let w = weights[d as usize];
                 if w >= config.epsilon {
-                    edges[i as usize].push((j as usize, w));
-                    edges[j as usize].push((i as usize, w));
-                } else {
-                    pruned_pairs += 1;
+                    kept.push((i, j, w));
                 }
             }
+            vec![kept]
+        };
+        let num_edges: usize = kept_shards.iter().map(Vec::len).sum();
+        // Degree pass: offsets[v + 1] accumulates row v's length, then
+        // a prefix sum turns lengths into row starts.
+        for shard in &kept_shards {
+            for &(i, j, _) in shard {
+                offsets[i as usize + 1] += 1;
+                offsets[j as usize + 1] += 1;
+            }
         }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        nbr.clear();
+        nbr.resize(num_edges * 2, 0);
+        wgt.clear();
+        wgt.resize(num_edges * 2, 0.0);
+        cursor.clear();
+        cursor.extend_from_slice(&offsets[..n]);
+        for shard in &kept_shards {
+            for &(i, j, w) in shard {
+                let (i, j) = (i as usize, j as usize);
+                nbr[cursor[i]] = j as u32;
+                wgt[cursor[i]] = w;
+                cursor[i] += 1;
+                nbr[cursor[j]] = i as u32;
+                wgt[cursor[j]] = w;
+                cursor[j] += 1;
+            }
+        }
+        arena.cursor = cursor;
+
+        // Candidate pairs the ε guard pruned: everything the kept set
+        // did not cover. Computed in u128 — `V·(V−1)/2` at the u32
+        // vertex limit overflows a usize multiply.
+        let candidates = (n as u128 * (n as u128).saturating_sub(1) / 2) as usize;
+        let pruned_pairs = candidates - num_edges;
 
         Self {
             width,
             total,
-            nodes,
-            edges,
+            bits,
+            count,
+            prob,
+            offsets,
+            nbr,
+            wgt,
             config: *config,
             steps_done: 0,
+            num_edges,
             pruned_pairs,
+            scratch: std::mem::take(&mut arena.scratch),
         }
+    }
+
+    /// Returns every recyclable buffer to `arena`, consuming the
+    /// graph. The next [`from_index_in`](Self::from_index_in) through
+    /// the same arena reuses their capacity.
+    pub fn recycle(self, arena: &mut GraphArena) {
+        arena.bits = self.bits;
+        arena.count = self.count;
+        arena.prob = self.prob;
+        arena.offsets = self.offsets;
+        arena.nbr = self.nbr;
+        arena.wgt = self.wgt;
+        arena.scratch = self.scratch;
+    }
+
+    /// The CSR row of vertex `v`: `(neighbor, base kernel weight)` in
+    /// ascending neighbor order.
+    #[inline]
+    fn row(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.offsets[v];
+        let hi = self.offsets[v + 1];
+        self.nbr[lo..hi]
+            .iter()
+            .zip(&self.wgt[lo..hi])
+            .map(|(&b, &w)| (b as usize, w))
     }
 
     /// Outcome width in bits.
@@ -292,13 +446,14 @@ impl StateGraph {
     /// Number of vertices (distinct observed outcomes).
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.bits.len()
     }
 
-    /// Number of undirected edges.
+    /// Number of undirected edges (cached at build time — reading it
+    /// per iteration costs nothing).
     #[must_use]
     pub fn num_edges(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum::<usize>() / 2
+        self.num_edges
     }
 
     /// Total observation count (invariant across iterations).
@@ -357,19 +512,21 @@ impl StateGraph {
     fn step_serial(&mut self) -> StepStats {
         self.steps_done += 1;
         let eta = self.config.learning_rate.at(self.steps_done);
-        let n = self.nodes.len();
+        let n = self.count.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
 
         // Raw flows per Eq. 5: flow(A→B) = Obs_A · η·W · P_B / P_A,
         // with Obs the live count and P the frozen initial probability.
-        let flow = |a: usize, b: usize, w: f64| {
-            eta * w * self.nodes[a].count * (self.nodes[b].prob / self.nodes[a].prob)
-        };
-        let mut raw_outflow = vec![0.0f64; n];
-        for (a, out) in raw_outflow.iter_mut().enumerate() {
-            if self.nodes[a].count <= 0.0 {
+        let count = &self.count;
+        let prob = &self.prob;
+        let flow = |a: usize, b: usize, w: f64| eta * w * count[a] * (prob[b] / prob[a]);
+        scratch.raw_outflow.clear();
+        scratch.raw_outflow.resize(n, 0.0);
+        for (a, out) in scratch.raw_outflow.iter_mut().enumerate() {
+            if count[a] <= 0.0 {
                 continue;
             }
-            for &(b, w) in &self.edges[a] {
+            for (b, w) in self.row(a) {
                 *out += flow(a, b, w);
             }
         }
@@ -381,30 +538,34 @@ impl StateGraph {
         // self-consistent conservative cap `outflow ≤ count`, which
         // satisfies the paper's constraint for every realisable inflow
         // and conserves total count exactly.
-        let factor: Vec<f64> = (0..n)
-            .map(|a| {
-                if !self.config.overflow_renormalisation || raw_outflow[a] <= 0.0 {
-                    1.0
-                } else {
-                    (self.nodes[a].count / raw_outflow[a]).min(1.0)
-                }
-            })
-            .collect();
+        let raw_outflow = &scratch.raw_outflow;
+        scratch.factor.clear();
+        scratch.factor.extend((0..n).map(|a| {
+            if !self.config.overflow_renormalisation || raw_outflow[a] <= 0.0 {
+                1.0
+            } else {
+                (count[a] / raw_outflow[a]).min(1.0)
+            }
+        }));
 
         // Apply scaled flows; conservation holds because every scaled
         // outflow lands as exactly one scaled inflow.
-        let mut delta = vec![0.0f64; n];
+        let factor = &scratch.factor;
+        scratch.delta.clear();
+        scratch.delta.resize(n, 0.0);
         for a in 0..n {
-            if self.nodes[a].count <= 0.0 {
+            if count[a] <= 0.0 {
                 continue;
             }
-            for &(b, w) in &self.edges[a] {
+            for (b, w) in self.row(a) {
                 let scaled = flow(a, b, w) * factor[a];
-                delta[a] -= scaled;
-                delta[b] += scaled;
+                scratch.delta[a] -= scaled;
+                scratch.delta[b] += scaled;
             }
         }
-        self.apply_delta(&delta)
+        let stats = self.apply_delta(&scratch.delta);
+        self.scratch = scratch;
+        stats
     }
 
     /// The sharded step: phase 1 computes per-node raw outflows over
@@ -413,7 +574,7 @@ impl StateGraph {
     /// vector.
     ///
     /// Bit-for-bit parity with [`step_serial`](Self::step_serial)
-    /// rests on two facts. First, `edges[v]` is sorted ascending by
+    /// rests on two facts. First, CSR row `v` is sorted ascending by
     /// neighbour index (pairs arrive in `i`-then-`j` order), so the
     /// serial scatter's op sequence on `delta[v]` is: one inflow per
     /// live neighbour `a < v` in ascending order, then — when `v`
@@ -429,11 +590,21 @@ impl StateGraph {
     fn step_par(&mut self, threads: usize, deadline: Option<Instant>) -> Option<StepStats> {
         let step_no = self.steps_done + 1;
         let eta = self.config.learning_rate.at(step_no);
-        let n = self.nodes.len();
-        let nodes = &self.nodes;
-        let edges = &self.edges;
-        let flow =
-            |a: usize, b: usize, w: f64| eta * w * nodes[a].count * (nodes[b].prob / nodes[a].prob);
+        let n = self.count.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let count = &self.count;
+        let prob = &self.prob;
+        let offsets = &self.offsets;
+        let nbr = &self.nbr;
+        let wgt = &self.wgt;
+        let row = |v: usize| {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            nbr[lo..hi]
+                .iter()
+                .zip(&wgt[lo..hi])
+                .map(|(&b, &w)| (b as usize, w))
+        };
+        let flow = |a: usize, b: usize, w: f64| eta * w * count[a] * (prob[b] / prob[a]);
         // The serial loops *skip* a node when `count <= 0.0`, which
         // deliberately still processes NaN-poisoned counts (NaN fails
         // the comparison). `live` is that exact complement, so
@@ -445,46 +616,50 @@ impl StateGraph {
         let raw_shards = qbeep_par::map_ranges(&ranges, |_shard, range| {
             let mut out = vec![0.0f64; range.len()];
             for (slot, a) in out.iter_mut().zip(range) {
-                if !live(nodes[a].count) {
+                if !live(count[a]) {
                     continue;
                 }
-                for &(b, w) in &edges[a] {
+                for (b, w) in row(a) {
                     *slot += flow(a, b, w);
                 }
             }
             out
         });
         if expired() {
+            self.scratch = scratch;
             return None;
         }
-        let raw_outflow: Vec<f64> = raw_shards.concat();
-        let factor: Vec<f64> = (0..n)
-            .map(|a| {
-                if !self.config.overflow_renormalisation || raw_outflow[a] <= 0.0 {
-                    1.0
-                } else {
-                    (nodes[a].count / raw_outflow[a]).min(1.0)
-                }
-            })
-            .collect();
+        scratch.raw_outflow.clear();
+        for shard in raw_shards {
+            scratch.raw_outflow.extend_from_slice(&shard);
+        }
+        let raw_outflow = &scratch.raw_outflow;
+        scratch.factor.clear();
+        scratch.factor.extend((0..n).map(|a| {
+            if !self.config.overflow_renormalisation || raw_outflow[a] <= 0.0 {
+                1.0
+            } else {
+                (count[a] / raw_outflow[a]).min(1.0)
+            }
+        }));
 
-        let factor = &factor;
+        let factor = &scratch.factor;
         let delta_shards = qbeep_par::map_ranges(&ranges, |_shard, range| {
             let mut out = vec![0.0f64; range.len()];
             for (slot, v) in out.iter_mut().zip(range) {
                 let mut acc = 0.0f64;
-                for &(a, w) in edges[v].iter().take_while(|&&(a, _)| a < v) {
-                    if live(nodes[a].count) {
+                for (a, w) in row(v).take_while(|&(a, _)| a < v) {
+                    if live(count[a]) {
                         acc += flow(a, v, w) * factor[a];
                     }
                 }
-                if live(nodes[v].count) {
-                    for &(b, w) in &edges[v] {
+                if live(count[v]) {
+                    for (b, w) in row(v) {
                         acc -= flow(v, b, w) * factor[v];
                     }
                 }
-                for &(a, w) in edges[v].iter().skip_while(|&&(a, _)| a < v) {
-                    if live(nodes[a].count) {
+                for (a, w) in row(v).skip_while(|&(a, _)| a < v) {
+                    if live(count[a]) {
                         acc += flow(a, v, w) * factor[a];
                     }
                 }
@@ -493,22 +668,28 @@ impl StateGraph {
             out
         });
         if expired() {
+            self.scratch = scratch;
             return None;
         }
-        let delta: Vec<f64> = delta_shards.concat();
+        scratch.delta.clear();
+        for shard in delta_shards {
+            scratch.delta.extend_from_slice(&shard);
+        }
         self.steps_done = step_no;
-        Some(self.apply_delta(&delta))
+        let stats = self.apply_delta(&scratch.delta);
+        self.scratch = scratch;
+        Some(stats)
     }
 
     /// Applies a complete per-node delta vector and derives the step
     /// stats — the shared tail of the serial and parallel steps.
     fn apply_delta(&mut self, delta: &[f64]) -> StepStats {
-        for (node, d) in self.nodes.iter_mut().zip(delta) {
-            node.count += d;
+        for (c, d) in self.count.iter_mut().zip(delta) {
+            *c += d;
             // Guard the no-renormalisation ablation against drift below
             // zero; with renormalisation on this is a no-op.
-            if node.count < 0.0 {
-                node.count = 0.0;
+            if *c < 0.0 {
+                *c = 0.0;
             }
         }
 
@@ -545,7 +726,7 @@ impl StateGraph {
             }
         }
         diag.iterations = self.config.iterations;
-        diag.total_count = self.nodes.iter().map(|n| n.count).sum();
+        diag.total_count = self.count.iter().sum();
         diag
     }
 
@@ -573,7 +754,7 @@ impl StateGraph {
             })
             .collect();
         diag.iterations = self.config.iterations;
-        diag.total_count = self.nodes.iter().map(|n| n.count).sum();
+        diag.total_count = self.count.iter().sum();
         (trace, diag)
     }
 
@@ -622,7 +803,7 @@ impl StateGraph {
                 1,
             );
             if recorder.is_enabled() {
-                let shards = qbeep_par::shard_ranges(self.nodes.len(), threads).len();
+                let shards = qbeep_par::shard_ranges(self.count.len(), threads).len();
                 recorder.event(
                     EventLevel::Info,
                     "graph.par_shards",
@@ -640,6 +821,7 @@ impl StateGraph {
             .map(|ms| start + Duration::from_millis(ms));
         let mut degradation = None;
         let mut ran = 0usize;
+        let mut snapshot = std::mem::take(&mut self.scratch.snapshot);
         for n in 1..=cap {
             if let Some(ms) = self.config.time_budget_ms {
                 if start.elapsed() >= Duration::from_millis(ms) {
@@ -650,7 +832,8 @@ impl StateGraph {
                     break;
                 }
             }
-            let snapshot: Vec<f64> = self.nodes.iter().map(|node| node.count).collect();
+            snapshot.clear();
+            snapshot.extend_from_slice(&self.count);
             match faults::fire_recorded(FaultSite::GraphIterate, recorder) {
                 Some(FaultKind::PoisonNan) => self.poison_one_count(f64::NAN),
                 Some(FaultKind::PoisonInf) => self.poison_one_count(f64::INFINITY),
@@ -666,11 +849,9 @@ impl StateGraph {
             };
             let unhealthy = !stats.max_node_delta.is_finite()
                 || stats.max_node_delta > DIVERGENCE_FACTOR * self.total.max(1.0)
-                || self.nodes.iter().any(|node| !node.count.is_finite());
+                || self.count.iter().any(|c| !c.is_finite());
             if unhealthy {
-                for (node, c) in self.nodes.iter_mut().zip(&snapshot) {
-                    node.count = *c;
-                }
+                self.count.copy_from_slice(&snapshot);
                 degradation = Some(Degradation::Diverged {
                     iteration: n,
                     max_node_delta: stats.max_node_delta,
@@ -684,6 +865,7 @@ impl StateGraph {
                 diag.converged_at = Some(n);
             }
         }
+        self.scratch.snapshot = snapshot;
         if degradation.is_none() && cap < configured {
             degradation = Some(Degradation::IterationCapped {
                 ran: cap,
@@ -697,14 +879,14 @@ impl StateGraph {
         } else {
             ran
         };
-        diag.total_count = self.nodes.iter().map(|node| node.count).sum();
+        diag.total_count = self.count.iter().sum();
         (diag, degradation)
     }
 
     /// Poisons the dominant node's count (fault injection only).
     fn poison_one_count(&mut self, value: f64) {
-        if let Some(node) = self.nodes.first_mut() {
-            node.count = value;
+        if let Some(c) = self.count.first_mut() {
+            *c = value;
         }
     }
 
@@ -718,10 +900,11 @@ impl StateGraph {
     pub fn distribution(&self) -> Distribution {
         Distribution::from_probs(
             self.width,
-            self.nodes
+            self.bits
                 .iter()
-                .filter(|n| n.count > 0.0)
-                .map(|n| (n.bits, n.count)),
+                .zip(&self.count)
+                .filter(|(_, &c)| c > 0.0)
+                .map(|(&b, &c)| (b, c)),
         )
     }
 
@@ -737,10 +920,11 @@ impl StateGraph {
     pub fn try_distribution(&self) -> Result<Distribution, MitigationError> {
         Distribution::try_from_probs(
             self.width,
-            self.nodes
+            self.bits
                 .iter()
-                .filter(|n| n.count.is_finite() && n.count > 0.0)
-                .map(|n| (n.bits, n.count)),
+                .zip(&self.count)
+                .filter(|(_, &c)| c.is_finite() && c > 0.0)
+                .map(|(&b, &c)| (b, c)),
         )
         .map_err(|_| MitigationError::EmptyCounts)
     }
@@ -753,20 +937,21 @@ impl StateGraph {
     pub fn initial_distribution(&self) -> Distribution {
         Distribution::from_probs(
             self.width,
-            self.nodes
+            self.bits
                 .iter()
-                .filter(|n| n.prob > 0.0)
-                .map(|n| (n.bits, n.prob)),
+                .zip(&self.prob)
+                .filter(|(_, &p)| p > 0.0)
+                .map(|(&b, &p)| (b, p)),
         )
     }
 
     /// The current count attached to `bits` (0 when absent).
     #[must_use]
     pub fn count_of(&self, bits: &BitString) -> f64 {
-        self.nodes
+        self.bits
             .iter()
-            .find(|n| &n.bits == bits)
-            .map_or(0.0, |n| n.count)
+            .position(|b| b == bits)
+            .map_or(0.0, |i| self.count[i])
     }
 }
 
@@ -815,11 +1000,50 @@ mod tests {
     }
 
     #[test]
+    fn csr_rows_ascend_and_pair_up() {
+        let g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
+        assert_eq!(*g.offsets.last().unwrap(), g.nbr.len());
+        assert_eq!(g.nbr.len(), g.wgt.len());
+        assert_eq!(g.nbr.len(), 2 * g.num_edges());
+        for v in 0..g.num_nodes() {
+            let row: Vec<usize> = g.row(v).map(|(b, _)| b).collect();
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {v} ascends");
+            // Symmetry: every (v, b, w) has a matching (b, v, w).
+            for (b, w) in g.row(v) {
+                assert!(
+                    g.row(b).any(|(back, bw)| back == v && bw == w),
+                    "edge {v}<->{b} asymmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_built_graph_is_identical_and_reuses_capacity() {
+        let mut arena = GraphArena::new();
+        let cfg = QBeepConfig::default();
+        let fresh = StateGraph::build(&fig5_counts(), 0.8, &cfg);
+        let index = NeighborIndex::build(&fig5_counts()).unwrap();
+        let weights = WeightLaw::from_kernel(cfg.kernel, 0.8).table(4);
+        let mut first = StateGraph::from_index_in(&index, &weights, &cfg, &mut arena);
+        first.iterate();
+        let mut reference = StateGraph::build(&fig5_counts(), 0.8, &cfg);
+        reference.iterate();
+        assert_eq!(first.distribution(), reference.distribution());
+        first.recycle(&mut arena);
+        assert!(arena.nbr.capacity() >= 2 * fresh.num_edges());
+        // Rebuild through the recycled arena: still bit-identical.
+        let mut second = StateGraph::from_index_in(&index, &weights, &cfg, &mut arena);
+        second.iterate();
+        assert_eq!(second.distribution(), reference.distribution());
+    }
+
+    #[test]
     fn counts_are_conserved() {
         let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
         let before = g.total_count();
         g.iterate();
-        let after: f64 = g.nodes.iter().map(|n| n.count).sum();
+        let after: f64 = g.count.iter().sum();
         assert!(
             (after - before).abs() < 1e-6,
             "before {before}, after {after}"
@@ -959,10 +1183,10 @@ mod tests {
         for _ in 0..50 {
             g.step();
         }
-        for node in &g.nodes {
-            assert!(node.count >= 0.0);
+        for &c in &g.count {
+            assert!(c >= 0.0);
         }
-        assert!((g.nodes.iter().map(|n| n.count).sum::<f64>() - 1000.0).abs() < 1e-6);
+        assert!((g.count.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
     }
 
     #[test]
@@ -1060,12 +1284,10 @@ mod tests {
         // and roll back to the pre-step snapshot... but the snapshot
         // here is taken before the poison is injected by the fault
         // hook, so emulate the detector directly instead.
-        let snapshot: Vec<f64> = g.nodes.iter().map(|n| n.count).collect();
+        let snapshot = g.count.clone();
         let stats = g.step_with_stats();
-        assert!(!stats.max_node_delta.is_finite() || g.nodes.iter().any(|n| !n.count.is_finite()));
-        for (node, c) in g.nodes.iter_mut().zip(&snapshot) {
-            node.count = *c;
-        }
+        assert!(!stats.max_node_delta.is_finite() || g.count.iter().any(|c| !c.is_finite()));
+        g.count.copy_from_slice(&snapshot);
         // try_distribution skips the poisoned node instead of
         // propagating NaN.
         let recovered = g.try_distribution().unwrap();
@@ -1075,8 +1297,8 @@ mod tests {
     #[test]
     fn try_distribution_errors_on_fully_degenerate_state() {
         let mut g = StateGraph::build(&fig5_counts(), 0.8, &QBeepConfig::default());
-        for node in &mut g.nodes {
-            node.count = f64::NAN;
+        for c in &mut g.count {
+            *c = f64::NAN;
         }
         assert_eq!(
             g.try_distribution().unwrap_err(),

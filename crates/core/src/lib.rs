@@ -97,13 +97,13 @@ mod pipeline;
 
 pub use config::{Kernel, LearningRate, QBeepConfig};
 pub use faults::{FaultInjector, FaultKind, FaultSite, FaultSpecError};
-pub use graph::Degradation;
+pub use graph::{Degradation, GraphArena};
 pub use mitigator::{
-    HammerStrategy, IbuReadoutStrategy, IdentityStrategy, MitigationError, MitigationOutcome,
-    Mitigator, QBeepStrategy, RunContext, SharedTables, SpectrumKind, SpectrumStrategy,
-    StrategyDiagnostics,
+    edge_radius, ArenaPool, HammerStrategy, IbuReadoutStrategy, IdentityStrategy, IndexRef,
+    MitigationError, MitigationOutcome, Mitigator, NeighborCache, QBeepStrategy, RunContext,
+    SharedTables, SpectrumKind, SpectrumStrategy, StrategyDiagnostics,
 };
-pub use neighbors::NeighborIndex;
+pub use neighbors::{NeighborIndex, PairEnumerator};
 pub use parallel::{effective_threads, parallel_enabled};
 pub use pipeline::{MitigationDiagnostics, MitigationResult, QBeep};
 pub use registry::{StrategyRegistry, StrategySpec};

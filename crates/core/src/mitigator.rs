@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::QBeepConfig;
 use crate::faults::{self, FaultKind, FaultSite};
-use crate::graph::Degradation;
+use crate::graph::{Degradation, GraphArena};
 use crate::hammer::{hammer_mitigate_indexed, HammerConfig};
 use crate::lambda::try_lambda_breakdown;
 use crate::model::{mle_neg_binomial, WeightLaw};
@@ -96,6 +96,12 @@ pub enum MitigationError {
         /// The panic payload, when it was a string.
         payload: String,
     },
+    /// The counts table holds more distinct outcomes than the
+    /// neighbor index can address (`u32::MAX`).
+    TooManyOutcomes {
+        /// Distinct outcomes in the offending table.
+        distinct: usize,
+    },
 }
 
 impl fmt::Display for MitigationError {
@@ -141,6 +147,14 @@ impl fmt::Display for MitigationError {
             }
             Self::JobPanicked { job, payload } => {
                 write!(f, "job '{job}' panicked: {payload}")
+            }
+            Self::TooManyOutcomes { distinct } => {
+                write!(
+                    f,
+                    "counts table holds {distinct} distinct outcomes; the \
+                     neighbor index addresses at most {}",
+                    u32::MAX
+                )
             }
         }
     }
@@ -205,6 +219,142 @@ impl SharedTables {
     }
 }
 
+/// A lazy, radius-aware cache of one job's [`NeighborIndex`], shared
+/// by every strategy the job runs.
+///
+/// Strategies request the smallest radius that covers their edge set
+/// (the ε-cleared kernel distances for the graph strategies, HAMMER's
+/// `max_distance`), so the expensive pair enumeration only ever runs
+/// at the radius the job actually needs — and runs at most once, since
+/// a cached index whose radius covers a later request is reused as-is.
+/// A request the cached index cannot cover rebuilds at the larger
+/// radius and replaces it.
+///
+/// `Sync` like [`SharedTables`]: the get-or-build runs under one lock,
+/// so concurrent strategies build each required radius exactly once.
+#[derive(Debug, Default)]
+pub struct NeighborCache {
+    slot: Mutex<Option<Arc<NeighborIndex>>>,
+}
+
+impl NeighborCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The index for `counts` covering every pair within `radius`,
+    /// building (or widening) the cached index only when needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`NeighborIndex::build_within`].
+    pub fn index_within(
+        &self,
+        counts: &Counts,
+        radius: u32,
+    ) -> Result<Arc<NeighborIndex>, MitigationError> {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cached) = slot.as_ref() {
+            if cached.matches(counts) && cached.covers(radius) {
+                return Ok(Arc::clone(cached));
+            }
+        }
+        let built = Arc::new(NeighborIndex::build_within(counts, radius)?);
+        *slot = Some(Arc::clone(&built));
+        Ok(built)
+    }
+}
+
+/// A session-scoped pool of recyclable [`GraphArena`]s.
+///
+/// Each graph-backed strategy run [`acquire`](Self::acquire)s an arena
+/// (popping a recycled one when available), builds and iterates its
+/// state graph through it, and [`release`](Self::release)s it
+/// afterwards — so a batch of N jobs × M graph strategies touches the
+/// allocator O(worker-count) times instead of O(N·M). Arenas carry
+/// capacity only, never data, so pooling cannot change results.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    pool: Mutex<Vec<GraphArena>>,
+}
+
+impl ArenaPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pops a recycled arena, or hands out a fresh one.
+    #[must_use]
+    pub fn acquire(&self) -> GraphArena {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena's buffers to the pool for the next run.
+    pub fn release(&self, arena: GraphArena) {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(arena);
+    }
+
+    /// Arenas currently resting in the pool.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// A [`NeighborIndex`] handle: borrowed from the context's precomputed
+/// index, shared out of a [`NeighborCache`], or built on the spot.
+/// Dereferences to the index either way.
+#[derive(Debug)]
+pub enum IndexRef<'a> {
+    /// Borrowed from the context's precomputed index.
+    Borrowed(&'a NeighborIndex),
+    /// Shared from a per-job cache.
+    Shared(Arc<NeighborIndex>),
+    /// Built fresh for this call (no cache available).
+    Owned(NeighborIndex),
+}
+
+impl std::ops::Deref for IndexRef<'_> {
+    type Target = NeighborIndex;
+
+    fn deref(&self) -> &NeighborIndex {
+        match self {
+            Self::Borrowed(index) => index,
+            Self::Shared(index) => index,
+            Self::Owned(index) => index,
+        }
+    }
+}
+
+/// The largest Hamming distance whose kernel weight clears `epsilon` —
+/// the smallest enumeration radius that still covers every graph edge
+/// (`weights[k]` is the weight at distance `k`). Kernels are not
+/// monotone in distance (the Poisson pmf rises to its mode), so the
+/// whole table is scanned rather than stopping at the first sub-ε
+/// distance. Returns 0 when no positive distance qualifies: the graph
+/// has no edges at all and enumeration can skip every pair.
+#[must_use]
+pub fn edge_radius(weights: &[f64], epsilon: f64) -> u32 {
+    (1..weights.len())
+        .rev()
+        .find(|&d| weights[d] >= epsilon)
+        .map_or(0, |d| d as u32)
+}
+
 /// Everything a strategy may consult besides the counts themselves:
 /// the backend calibration snapshot, the transpilation artefact, an
 /// externally supplied λ, the telemetry recorder, and (inside a
@@ -216,7 +366,9 @@ pub struct RunContext<'a> {
     lambda: Option<f64>,
     recorder: Recorder,
     neighbors: Option<&'a NeighborIndex>,
+    neighbor_cache: Option<&'a NeighborCache>,
     tables: Option<&'a SharedTables>,
+    arenas: Option<&'a ArenaPool>,
 }
 
 impl<'a> RunContext<'a> {
@@ -262,10 +414,26 @@ impl<'a> RunContext<'a> {
         self
     }
 
+    /// Attaches a lazy per-job neighbor-index cache; strategies pull
+    /// indexes at the radius they need through
+    /// [`neighbor_index_within`](Self::neighbor_index_within).
+    #[must_use]
+    pub fn with_neighbor_cache(mut self, cache: &'a NeighborCache) -> Self {
+        self.neighbor_cache = Some(cache);
+        self
+    }
+
     /// Attaches a session-scoped weight-table cache.
     #[must_use]
     pub fn with_tables(mut self, tables: &'a SharedTables) -> Self {
         self.tables = Some(tables);
+        self
+    }
+
+    /// Attaches a session-scoped pool of recyclable graph arenas.
+    #[must_use]
+    pub fn with_arenas(mut self, arenas: &'a ArenaPool) -> Self {
+        self.arenas = Some(arenas);
         self
     }
 
@@ -364,6 +532,40 @@ impl<'a> RunContext<'a> {
         NeighborIndex::build(counts).map(Cow::Owned)
     }
 
+    /// The neighbor index for `counts` covering every pair within
+    /// `radius` — the output-sensitive path. A precomputed index that
+    /// matches and covers is borrowed; otherwise the per-job
+    /// [`NeighborCache`] (when attached) gets or builds one; otherwise
+    /// a fresh radius-bounded index is built on the spot. Bounded
+    /// builds go through [`NeighborIndex::build_within`], which picks
+    /// Hamming-ball enumeration over the all-pairs scan whenever the
+    /// cost model favours it.
+    ///
+    /// # Errors
+    ///
+    /// As [`NeighborIndex::build_within`].
+    pub fn neighbor_index_within(
+        &self,
+        counts: &Counts,
+        radius: u32,
+    ) -> Result<IndexRef<'a>, MitigationError> {
+        if let Some(index) = self.neighbors {
+            if index.matches(counts) && index.covers(radius) {
+                return Ok(IndexRef::Borrowed(index));
+            }
+        }
+        if let Some(cache) = self.neighbor_cache {
+            return cache.index_within(counts, radius).map(IndexRef::Shared);
+        }
+        NeighborIndex::build_within(counts, radius).map(IndexRef::Owned)
+    }
+
+    /// The session's arena pool, if one is attached.
+    #[must_use]
+    pub fn arenas(&self) -> Option<&'a ArenaPool> {
+        self.arenas
+    }
+
     /// The weight table for `law`, via the shared cache when present.
     #[must_use]
     pub fn weight_table(&self, law: WeightLaw, width: usize) -> Arc<Vec<f64>> {
@@ -457,11 +659,29 @@ fn graph_outcome(
         return Err(MitigationError::EmptyCounts);
     }
     config.validate()?;
-    let index = ctx.neighbor_index(counts)?;
-    let weights = ctx.weight_table(law, index.width());
+    // The graph only keeps edges whose kernel weight clears ε, so the
+    // neighbor enumeration can stop at the largest qualifying distance
+    // — the in-radius sub-ε pairs are pruned by the ε filter exactly
+    // as they would be from a full index, keeping the kept-edge
+    // sequence (and thus every downstream float) bit-identical.
+    let weights = ctx.weight_table(law, counts.width());
+    let radius = edge_radius(&weights, config.epsilon);
+    let index = ctx.neighbor_index_within(counts, radius)?;
     let engine = QBeep::new(config).with_recorder(ctx.recorder().clone());
-    let (result, degradation) =
-        engine.mitigate_prepared_guarded(&index, &weights, lambda.unwrap_or(0.0));
+    let (result, degradation) = match ctx.arenas() {
+        Some(pool) => {
+            let mut arena = pool.acquire();
+            let out = engine.mitigate_prepared_guarded_in(
+                &index,
+                &weights,
+                lambda.unwrap_or(0.0),
+                &mut arena,
+            );
+            pool.release(arena);
+            out
+        }
+        None => engine.mitigate_prepared_guarded(&index, &weights, lambda.unwrap_or(0.0)),
+    };
     Ok(MitigationOutcome {
         strategy: name.to_string(),
         mitigated: result.mitigated,
@@ -638,7 +858,9 @@ impl Mitigator for HammerStrategy {
             return Err(MitigationError::EmptyCounts);
         }
         self.config.validate()?;
-        let index = ctx.neighbor_index(counts)?;
+        // HAMMER only accumulates pairs within `max_distance`, so a
+        // radius-bounded index covers its edge set exactly.
+        let index = ctx.neighbor_index_within(counts, self.config.max_distance)?;
         let mitigated = hammer_mitigate_indexed(&index, &self.config);
         Ok(MitigationOutcome {
             strategy: self.name().to_string(),

@@ -1,86 +1,208 @@
 //! The shared Hamming-distance neighbor index.
 //!
 //! Every counts-in/distribution-out strategy starts from the same
-//! O(V²) pairwise scan over the observed bit-strings: Q-BEEP filters
-//! the pairs by kernel weight into state-graph edges, HAMMER folds
-//! them into neighbourhood sums. [`NeighborIndex`] computes the scan
-//! once — nodes in the canonical deterministic order (descending
-//! count, ascending bit order) plus every `i < j` pair with its
-//! Hamming distance — so a [`crate::session::MitigationSession`] can
-//! share it across all strategies of a job.
+//! pairwise scan over the observed bit-strings: Q-BEEP filters the
+//! pairs by kernel weight into state-graph edges, HAMMER folds them
+//! into neighbourhood sums. [`NeighborIndex`] computes the scan once —
+//! nodes in the canonical deterministic order (descending count,
+//! ascending bit order) plus every `i < j` pair with its Hamming
+//! distance — so a [`crate::session::MitigationSession`] can share it
+//! across all strategies of a job.
+//!
+//! # Output-sensitive enumeration
+//!
+//! Downstream consumers only ever *keep* pairs within some radius `r`
+//! (the largest distance whose kernel weight clears ε, or HAMMER's
+//! `max_distance`), yet the naive scan still *computes* all
+//! `V·(V−1)/2` distances. [`NeighborIndex::build_within`] therefore
+//! offers a second enumerator: walk each node's Hamming ball directly —
+//! XOR the node's value with every mask of popcount `1..=r` (Gosper's
+//! hack, [`qbeep_bitstring::weight_masks`]) — and probe a
+//! popcount-bucketed hash of the observed strings, emitting only the
+//! pairs that actually exist. The scan then costs
+//! `V · Σ_{k=1..r} C(width, k)` probes instead of `V·(V−1)/2`
+//! distances: output-sensitive in the ball volume, independent of `V`
+//! per node. A documented cost model
+//! ([`PairEnumerator::select`]) picks whichever is predicted cheaper;
+//! either path produces the identical pair list.
 //!
 //! The pair list preserves the exact iteration order of the legacy
 //! per-strategy loops (`i` ascending, then `j` ascending), so
 //! consumers that fold floats over it reproduce the pre-refactor
-//! accumulation order bit for bit.
+//! accumulation order bit for bit — the ball enumerator sorts each
+//! node's hits by `j` before emitting them, restoring that canonical
+//! order.
 
-use qbeep_bitstring::{BitString, Counts};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use qbeep_bitstring::{weight_masks, BitString, Counts};
 
 use crate::mitigator::MitigationError;
 
+/// How [`NeighborIndex::build_within`] enumerates candidate pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairEnumerator {
+    /// Compute every `V·(V−1)/2` pairwise distance and keep the pairs
+    /// within the radius — cheap per pair, cost independent of the
+    /// radius.
+    AllPairs,
+    /// Walk each node's Hamming ball via popcount-`k` XOR masks and
+    /// probe a popcount-bucketed hash of the observed strings — cost
+    /// proportional to the ball volume, independent of `V` per node.
+    HammingBall,
+}
+
+/// Estimated cost of one Hamming-ball probe (mask XOR + popcount +
+/// hash lookup) relative to one all-pairs distance computation (a
+/// two-word XOR/popcount). Folded into [`PairEnumerator::select`] so
+/// the ball path is only chosen when its *wall-clock* win is likely,
+/// not merely its operation count.
+const BALL_PROBE_COST: f64 = 4.0;
+
+impl PairEnumerator {
+    /// The documented cost model choosing an enumerator for a table of
+    /// `distinct` observed `width`-bit strings scanned to `radius`:
+    ///
+    /// * all-pairs costs `V·(V−1)/2` distance computations;
+    /// * the Hamming ball costs `V · Σ_{k=1..r} C(width, k)` probes,
+    ///   each weighted [`BALL_PROBE_COST`]× a distance computation.
+    ///
+    /// Both sides are evaluated in saturating `f64`, so huge widths
+    /// cannot overflow. A radius covering the whole width always
+    /// selects [`AllPairs`](Self::AllPairs): the ball would visit the
+    /// entire `2^width` space.
+    #[must_use]
+    pub fn select(distinct: usize, width: usize, radius: u32) -> Self {
+        if radius as usize >= width {
+            return Self::AllPairs;
+        }
+        let mut ball_volume = 0.0f64;
+        let mut c = 1.0f64;
+        for k in 1..=u64::from(radius) {
+            c = c * (width as u64 - k + 1) as f64 / k as f64;
+            ball_volume += c;
+        }
+        let v = distinct as f64;
+        let probe_cost = v * ball_volume * BALL_PROBE_COST;
+        let scan_cost = v * (v - 1.0) / 2.0;
+        if probe_cost < scan_cost {
+            Self::HammingBall
+        } else {
+            Self::AllPairs
+        }
+    }
+}
+
+/// Deterministic multiply–xor hasher for the popcount-bucketed probe
+/// table. Keys are raw `u128` bit-string values, so `write_u128` is
+/// the only hot method; the byte fallback (FNV-1a) exists only to
+/// satisfy the trait. A fixed-key hasher keeps probe timings
+/// reproducible across processes (lookups are exact matches, so the
+/// *results* never depend on the hasher at all).
+#[derive(Default)]
+struct MaskProbeHasher(u64);
+
+impl Hasher for MaskProbeHasher {
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^ (h >> 32)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        const M: u64 = 0x9E37_79B9_7F4A_7C15;
+        self.0 = (self.0 ^ (v as u64)).wrapping_mul(M);
+        self.0 = (self.0 ^ ((v >> 64) as u64)).wrapping_mul(M);
+    }
+}
+
+/// Observed strings bucketed by popcount: `buckets[w]` maps the raw
+/// value of every observed string of Hamming weight `w` to its node
+/// index.
+type ProbeBuckets = Vec<HashMap<u128, u32, BuildHasherDefault<MaskProbeHasher>>>;
+
 /// Precomputed nodes and pairwise Hamming distances of one counts
-/// table.
+/// table, complete up to a radius.
 #[derive(Debug, Clone)]
 pub struct NeighborIndex {
     width: usize,
     total: u64,
+    /// Every pair at distance `<= radius` is present; pairs beyond it
+    /// are absent. A full index has `radius == width`.
+    radius: u32,
     nodes: Vec<(BitString, u64)>,
-    /// Every `(i, j, distance)` with `i < j`, in `i`-then-`j`
-    /// ascending order.
+    /// Every `(i, j, distance)` with `i < j` and `distance <= radius`,
+    /// in `i`-then-`j` ascending order.
     pairs: Vec<(u32, u32, u32)>,
 }
 
 impl NeighborIndex {
-    /// Builds the index: nodes sorted by descending count (ties by
-    /// ascending bit order) and the full `V·(V−1)/2` distance list.
+    /// Builds the full index: nodes sorted by descending count (ties by
+    /// ascending bit order) and the complete `V·(V−1)/2` distance list.
     ///
     /// # Errors
     ///
     /// Returns [`MitigationError::EmptyCounts`] when `counts` holds no
-    /// shots.
+    /// shots, [`MitigationError::TooManyOutcomes`] when the table holds
+    /// more than `u32::MAX` distinct outcomes.
     pub fn build(counts: &Counts) -> Result<Self, MitigationError> {
+        Self::build_within_with(counts, counts.width() as u32, PairEnumerator::AllPairs)
+    }
+
+    /// Builds an index complete up to `radius`: every `i < j` pair at
+    /// Hamming distance `<= radius`, in the same canonical order the
+    /// full index would list them, with farther pairs omitted. The
+    /// enumerator is chosen by the [`PairEnumerator::select`] cost
+    /// model; both choices produce the identical pair list.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_within(counts: &Counts, radius: u32) -> Result<Self, MitigationError> {
+        let enumerator = PairEnumerator::select(counts.distinct(), counts.width(), radius);
+        Self::build_within_with(counts, radius, enumerator)
+    }
+
+    /// As [`build_within`](Self::build_within) with the enumerator
+    /// forced — the hook the parity tests and the scaling bench use to
+    /// compare both paths on the same table.
+    ///
+    /// # Errors
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_within_with(
+        counts: &Counts,
+        radius: u32,
+        enumerator: PairEnumerator,
+    ) -> Result<Self, MitigationError> {
         if counts.is_empty() {
             return Err(MitigationError::EmptyCounts);
         }
         let nodes = counts.sorted_by_count();
-        assert!(
-            u32::try_from(nodes.len()).is_ok(),
-            "more than u32::MAX distinct outcomes"
-        );
-        let n = nodes.len();
+        if u32::try_from(nodes.len()).is_err() {
+            return Err(MitigationError::TooManyOutcomes {
+                distinct: nodes.len(),
+            });
+        }
+        let width = counts.width();
+        let radius = radius.min(width as u32);
         let threads = crate::parallel::effective_threads();
-        let pairs = if threads > 1 && n > 2 {
-            // Shard the outer rows, weighted by the n−1−i pairs row i
-            // owns so the triangular profile doesn't idle the tail
-            // shards; concatenating per-shard lists in row order
-            // reproduces the serial i-then-j sequence exactly.
-            let weights: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
-            let ranges = qbeep_par::shard_ranges_weighted(&weights, threads);
-            let nodes = &nodes;
-            qbeep_par::map_ranges(&ranges, |_shard, range| {
-                let mut shard_pairs = Vec::new();
-                for i in range {
-                    for j in i + 1..n {
-                        let d = nodes[i].0.hamming_distance(&nodes[j].0);
-                        shard_pairs.push((i as u32, j as u32, d));
-                    }
-                }
-                shard_pairs
-            })
-            .concat()
-        } else {
-            let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-            for i in 0..n {
-                for j in i + 1..n {
-                    let d = nodes[i].0.hamming_distance(&nodes[j].0);
-                    pairs.push((i as u32, j as u32, d));
-                }
-            }
-            pairs
+        let pairs = match enumerator {
+            PairEnumerator::AllPairs => scan_all_pairs(&nodes, radius, threads),
+            PairEnumerator::HammingBall => enumerate_ball(&nodes, width, radius, threads),
         };
         Ok(Self {
-            width: counts.width(),
+            width,
             total: counts.total(),
+            radius,
             nodes,
             pairs,
         })
@@ -96,6 +218,21 @@ impl NeighborIndex {
     #[must_use]
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// The distance up to which the pair list is complete. A full
+    /// index reports the width.
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// True when every pair at distance `<= radius` is present (the
+    /// requested radius is clamped to the width first, as no pair can
+    /// be farther apart than that).
+    #[must_use]
+    pub fn covers(&self, radius: u32) -> bool {
+        self.radius >= radius.min(self.width as u32)
     }
 
     /// Number of distinct observed outcomes.
@@ -117,8 +254,9 @@ impl NeighborIndex {
         &self.nodes
     }
 
-    /// Every `(i, j, Hamming distance)` pair with `i < j`, in
-    /// `i`-then-`j` ascending order.
+    /// Every `(i, j, Hamming distance)` pair with `i < j` and distance
+    /// within [`radius`](Self::radius), in `i`-then-`j` ascending
+    /// order.
     #[must_use]
     pub fn pairs(&self) -> &[(u32, u32, u32)] {
         &self.pairs
@@ -127,11 +265,125 @@ impl NeighborIndex {
     /// Cheap consistency check: does this index plausibly describe
     /// `counts`? Used by [`crate::mitigator::RunContext`] to decide
     /// whether a shared index can be borrowed or must be rebuilt.
+    /// Radius coverage is a separate question — see
+    /// [`covers`](Self::covers).
     #[must_use]
     pub fn matches(&self, counts: &Counts) -> bool {
         self.width == counts.width()
             && self.total == counts.total()
             && self.nodes.len() == counts.distinct()
+    }
+}
+
+/// The all-pairs enumerator: every `i < j` distance computed, pairs
+/// within `radius` kept, in `i`-then-`j` order.
+fn scan_all_pairs(nodes: &[(BitString, u64)], radius: u32, threads: usize) -> Vec<(u32, u32, u32)> {
+    let n = nodes.len();
+    if threads > 1 && n > 2 {
+        // Shard the outer rows, weighted by the n−1−i pairs row i
+        // owns so the triangular profile doesn't idle the tail
+        // shards; concatenating per-shard lists in row order
+        // reproduces the serial i-then-j sequence exactly.
+        let weights: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+        let ranges = qbeep_par::shard_ranges_weighted(&weights, threads);
+        qbeep_par::map_ranges(&ranges, |_shard, range| {
+            let mut shard_pairs = Vec::new();
+            for i in range {
+                for j in i + 1..n {
+                    let d = nodes[i].0.hamming_distance(&nodes[j].0);
+                    if d <= radius {
+                        shard_pairs.push((i as u32, j as u32, d));
+                    }
+                }
+            }
+            shard_pairs
+        })
+        .concat()
+    } else {
+        let mut pairs = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = nodes[i].0.hamming_distance(&nodes[j].0);
+                if d <= radius {
+                    pairs.push((i as u32, j as u32, d));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// The output-sensitive enumerator: for each node, XOR its value with
+/// every `width`-bit mask of popcount `1..=radius` and probe the
+/// popcount-bucketed table of observed strings; hits with `j > i` are
+/// sorted by `j` and emitted, reproducing the canonical `i`-then-`j`
+/// order of the all-pairs scan exactly.
+///
+/// Per-node cost is the ball volume `Σ_{k=1..r} C(width, k)` —
+/// independent of `V` — so shards of equal node count carry equal
+/// work and plain unweighted sharding balances. Each node's hit list
+/// is independent of the sharding, so the concatenated result is
+/// thread-count-invariant.
+fn enumerate_ball(
+    nodes: &[(BitString, u64)],
+    width: usize,
+    radius: u32,
+    threads: usize,
+) -> Vec<(u32, u32, u32)> {
+    let n = nodes.len();
+    let mut buckets: ProbeBuckets = (0..=width).map(|_| HashMap::default()).collect();
+    for (idx, (bits, _)) in nodes.iter().enumerate() {
+        buckets[bits.hamming_weight() as usize].insert(bits.value(), idx as u32);
+    }
+    // The mask set is shared by every node; the cost model only picks
+    // this path when the ball volume is well below V, so this table is
+    // smaller than the pair list it replaces.
+    let masks: Vec<(u128, u32)> = (1..=radius)
+        .flat_map(|k| weight_masks(width, k).map(move |m| (m, k)))
+        .collect();
+
+    let probe_node = |i: usize| -> Vec<(u32, u32, u32)> {
+        let center = nodes[i].0.value();
+        let mut hits: Vec<(u32, u32)> = Vec::new();
+        for &(mask, d) in &masks {
+            let candidate = center ^ mask;
+            let weight = candidate.count_ones() as usize;
+            if let Some(&j) = buckets[weight].get(&candidate) {
+                if j as usize > i {
+                    hits.push((j, d));
+                }
+            }
+        }
+        hits.sort_unstable_by_key(|&(j, _)| j);
+        hits.into_iter().map(|(j, d)| (i as u32, j, d)).collect()
+    };
+
+    if threads > 1 && n > 2 {
+        let ranges = qbeep_par::shard_ranges(n, threads);
+        let buckets = &buckets;
+        let masks = &masks;
+        qbeep_par::map_ranges(&ranges, |_shard, range| {
+            let mut shard_pairs = Vec::new();
+            for i in range {
+                let center = nodes[i].0.value();
+                let mut hits: Vec<(u32, u32)> = Vec::new();
+                for &(mask, d) in masks {
+                    let candidate = center ^ mask;
+                    let weight = candidate.count_ones() as usize;
+                    if let Some(&j) = buckets[weight].get(&candidate) {
+                        if j as usize > i {
+                            hits.push((j, d));
+                        }
+                    }
+                }
+                hits.sort_unstable_by_key(|&(j, _)| j);
+                shard_pairs.extend(hits.into_iter().map(|(j, d)| (i as u32, j, d)));
+            }
+            shard_pairs
+        })
+        .concat()
+    } else {
+        (0..n).flat_map(probe_node).collect()
     }
 }
 
@@ -158,6 +410,9 @@ mod tests {
         assert_eq!(index.width(), 3);
         assert_eq!(index.total(), 800);
         assert_eq!(index.len(), 3);
+        assert_eq!(index.radius(), 3);
+        assert!(index.covers(3));
+        assert!(index.covers(200), "requests beyond width clamp to width");
     }
 
     #[test]
@@ -187,5 +442,53 @@ mod tests {
         other.record(bs("111"), 1);
         assert!(!index.matches(&other));
         assert!(!index.matches(&Counts::new(4)));
+    }
+
+    #[test]
+    fn bounded_index_keeps_only_pairs_within_radius() {
+        let index = NeighborIndex::build_within(&sample(), 1).unwrap();
+        assert_eq!(index.radius(), 1);
+        assert!(index.covers(1));
+        assert!(!index.covers(2));
+        let pairs: Vec<(u32, u32, u32)> = index.pairs().to_vec();
+        // The distance-2 pair (0, 2) is gone; the rest keep their order.
+        assert_eq!(pairs, vec![(0, 1, 1), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn both_enumerators_agree_exactly() {
+        let counts = Counts::from_pairs(
+            5,
+            vec![
+                (bs("00000"), 400),
+                (bs("00001"), 120),
+                (bs("00011"), 80),
+                (bs("10110"), 60),
+                (bs("11111"), 40),
+                (bs("01010"), 30),
+            ],
+        );
+        for radius in 0..=5u32 {
+            let all = NeighborIndex::build_within_with(&counts, radius, PairEnumerator::AllPairs)
+                .unwrap();
+            let ball =
+                NeighborIndex::build_within_with(&counts, radius, PairEnumerator::HammingBall)
+                    .unwrap();
+            assert_eq!(all.pairs(), ball.pairs(), "radius {radius}");
+            assert_eq!(all.nodes(), ball.nodes());
+        }
+    }
+
+    #[test]
+    fn cost_model_prefers_ball_only_for_large_tables() {
+        // Full-width radius: the ball is the whole space.
+        assert_eq!(PairEnumerator::select(1000, 8, 8), PairEnumerator::AllPairs);
+        // Small table: the per-node ball volume dwarfs the pair count.
+        assert_eq!(PairEnumerator::select(10, 14, 2), PairEnumerator::AllPairs);
+        // Large table, small ball: output-sensitive wins.
+        assert_eq!(
+            PairEnumerator::select(5000, 14, 2),
+            PairEnumerator::HammingBall
+        );
     }
 }

@@ -8,7 +8,7 @@ use qbeep_transpile::TranspiledCircuit;
 use serde::{Deserialize, Serialize};
 
 use crate::config::QBeepConfig;
-use crate::graph::{Degradation, IterationDiagnostics, StateGraph};
+use crate::graph::{Degradation, GraphArena, IterationDiagnostics, StateGraph};
 use crate::lambda::lambda_breakdown;
 use crate::neighbors::NeighborIndex;
 
@@ -315,10 +315,32 @@ impl QBeep {
         weights: &[f64],
         lambda: f64,
     ) -> (MitigationResult, Option<Degradation>) {
+        let mut arena = GraphArena::default();
+        self.mitigate_prepared_guarded_in(index, weights, lambda, &mut arena)
+    }
+
+    /// As [`mitigate_prepared_guarded`](Self::mitigate_prepared_guarded),
+    /// building the state graph through `arena` and handing its
+    /// buffers back afterwards, so repeated runs (a session's N jobs ×
+    /// M strategies) reuse vertex, CSR and scratch capacity instead of
+    /// reallocating. The arena carries capacity only — results are
+    /// bit-for-bit identical to the arena-less call.
+    ///
+    /// # Panics
+    ///
+    /// As [`mitigate_prepared_guarded`](Self::mitigate_prepared_guarded).
+    #[must_use]
+    pub fn mitigate_prepared_guarded_in(
+        &self,
+        index: &NeighborIndex,
+        weights: &[f64],
+        lambda: f64,
+        arena: &mut GraphArena,
+    ) -> (MitigationResult, Option<Degradation>) {
         let _span = self.recorder.span("mitigate");
         let mut graph = {
             let _build = self.recorder.span("graph_build");
-            StateGraph::from_index(index, weights, &self.config)
+            StateGraph::from_index_in(index, weights, &self.config, arena)
         };
         let size = (graph.num_nodes(), graph.num_edges());
         let pruned = graph.pruned_pairs();
@@ -344,6 +366,7 @@ impl QBeep {
         if let Some(d) = &degradation {
             self.record_degradation(d);
         }
+        graph.recycle(arena);
         (
             MitigationResult {
                 mitigated,

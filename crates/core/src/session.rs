@@ -4,11 +4,14 @@
 //! The paper's figures all share one shape: take a set of circuits
 //! executed on one backend, run every mitigation strategy over every
 //! counts table, and compare. [`MitigationSession`] is that shape as
-//! an engine. It amortises the per-job O(V²) Hamming pair scan into
-//! one [`NeighborIndex`] shared by all strategies of the job, and
-//! memoises kernel weight tables across the whole batch through
-//! [`SharedTables`], so M strategies on N same-width jobs
-//! parameterise each PMF once.
+//! an engine. It amortises the per-job Hamming pair scan into one
+//! lazily built, radius-bounded [`crate::neighbors::NeighborIndex`]
+//! shared by all strategies of the job (through a
+//! [`NeighborCache`]), memoises kernel weight tables across the whole
+//! batch through [`SharedTables`], and recycles state-graph buffers
+//! across jobs through an [`ArenaPool`] — so M strategies on N
+//! same-width jobs parameterise each PMF once and touch the allocator
+//! a bounded number of times.
 //!
 //! Telemetry discipline: the session never wraps a strategy call in
 //! an enclosing span, so the span paths a strategy emits (`mitigate`,
@@ -28,8 +31,10 @@ use qbeep_telemetry::{
 use qbeep_transpile::TranspiledCircuit;
 
 use crate::faults::{self, FaultKind, FaultSite};
-use crate::mitigator::{MitigationError, MitigationOutcome, Mitigator, RunContext, SharedTables};
-use crate::neighbors::NeighborIndex;
+use crate::mitigator::{
+    ArenaPool, MitigationError, MitigationOutcome, Mitigator, NeighborCache, RunContext,
+    SharedTables,
+};
 use crate::registry::{StrategyRegistry, StrategySpec};
 
 /// One unit of work: a counts table plus the per-job context a
@@ -473,6 +478,7 @@ impl MitigationSession {
         self.describe_metric_families();
         let backend = self.sanitized_backend();
         let tables = SharedTables::new();
+        let arenas = ArenaPool::new();
         // Job-level parallelism. An armed fault injector is
         // thread-local state on the *calling* thread — workers would
         // never see it and the injected visit sequence would change —
@@ -499,7 +505,9 @@ impl MitigationSession {
         let results: Vec<Result<JobReport, MitigationError>> = if parallel {
             qbeep_par::map_sharded(self.jobs.len(), threads, |_shard, range| {
                 range
-                    .map(|idx| self.attempt_job(&self.jobs[idx], backend.as_ref(), &tables))
+                    .map(|idx| {
+                        self.attempt_job(&self.jobs[idx], backend.as_ref(), &tables, &arenas)
+                    })
                     .collect::<Vec<_>>()
             })
             .into_iter()
@@ -508,7 +516,7 @@ impl MitigationSession {
         } else {
             let mut collected = Vec::with_capacity(self.jobs.len());
             for job in &self.jobs {
-                let result = self.attempt_job(job, backend.as_ref(), &tables);
+                let result = self.attempt_job(job, backend.as_ref(), &tables, &arenas);
                 let failed = result.is_err();
                 collected.push(result);
                 // The aborting `run` stops *executing* at the first
@@ -634,8 +642,11 @@ impl MitigationSession {
         job: &MitigationJob,
         backend: Option<&Backend>,
         tables: &SharedTables,
+        arenas: &ArenaPool,
     ) -> Result<JobReport, MitigationError> {
-        let attempt = panic::catch_unwind(AssertUnwindSafe(|| self.run_job(job, backend, tables)));
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.run_job(job, backend, tables, arenas)
+        }));
         match attempt {
             Ok(result) => result,
             Err(payload) => {
@@ -662,13 +673,14 @@ impl MitigationSession {
         }
     }
 
-    /// One job end to end: dispatch-site fault hook, shared neighbor
-    /// index, then every strategy in order.
+    /// One job end to end: dispatch-site fault hook, lazy shared
+    /// neighbor index, then every strategy in order.
     fn run_job(
         &self,
         job: &MitigationJob,
         backend: Option<&Backend>,
         tables: &SharedTables,
+        arenas: &ArenaPool,
     ) -> Result<JobReport, MitigationError> {
         let counts = match faults::fire_recorded(FaultSite::SessionDispatch, &self.recorder) {
             Some(FaultKind::Panic) => {
@@ -681,11 +693,22 @@ impl MitigationSession {
             ),
             _ => job.counts.clone(),
         };
-        let index = NeighborIndex::build(&counts)?;
+        if counts.is_empty() {
+            // Preserves the pre-cache contract: an empty table fails
+            // the job before any strategy runs (and before any
+            // per-strategy metrics are emitted).
+            return Err(MitigationError::EmptyCounts);
+        }
+        // The neighbor index is built lazily, per requested radius:
+        // strategies that never touch it (identity, IBU readout) cost
+        // nothing, and graph/HAMMER strategies share one bounded index
+        // sized by the largest radius any of them asks for.
+        let cache = NeighborCache::new();
         let mut ctx = RunContext::new()
             .with_recorder(self.recorder.clone())
-            .with_neighbors(&index)
-            .with_tables(tables);
+            .with_neighbor_cache(&cache)
+            .with_tables(tables)
+            .with_arenas(arenas);
         if let Some(backend) = backend {
             ctx = ctx.with_backend(backend);
         }

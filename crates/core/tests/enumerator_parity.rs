@@ -1,0 +1,130 @@
+//! Property suite pinning the output-sensitive enumerator's contract:
+//! for ANY counts table, radius, and thread count, the Hamming-ball
+//! walk must produce exactly the same kept-pair list — same set AND
+//! same `(i, j, d)` order — as the all-pairs distance scan, because
+//! `StateGraph` accumulates floats in pair order and the determinism
+//! contract is bit-for-bit.
+//!
+//! Like `parallel_parity.rs`, the suite is valid without the
+//! `parallel` feature (every build is then serial and the thread sweep
+//! is trivially invariant), so it rides along in the default matrix.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use proptest::prelude::*;
+use qbeep_bitstring::{BitString, Counts};
+use qbeep_core::model::WeightLaw;
+use qbeep_core::{edge_radius, Kernel, NeighborIndex, PairEnumerator};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Serialises tests that touch the process-global thread knob.
+fn knob() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the thread override pinned to `n`, then restores the
+/// default (env-or-1) resolution.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    qbeep_par::set_threads(Some(n));
+    let out = f();
+    qbeep_par::set_threads(None);
+    out
+}
+
+/// Tiny deterministic generator (SplitMix64) so each proptest case
+/// expands one seed into a whole counts table.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A random counts table: `distinct` seeded strings of the given
+/// width (capped at the space size so narrow widths terminate).
+fn synth_counts(width: usize, distinct: usize, seed: u64) -> Counts {
+    let space = 1usize << width;
+    let target = distinct.min(space);
+    let mask = (1u128 << width) - 1;
+    let mut rng = SplitMix(seed);
+    let mut counts = Counts::new(width);
+    while counts.distinct() < target {
+        let s = BitString::from_value(u128::from(rng.next()) & mask, width);
+        let c = 1 + rng.next() % 40;
+        counts.record(s, c);
+    }
+    counts
+}
+
+/// Builds the same index through both enumerators at one thread count
+/// and asserts the pair lists are identical (set and order).
+fn assert_parity(counts: &Counts, radius: u32, threads: usize) {
+    let (all, ball) = with_threads(threads, || {
+        let all = NeighborIndex::build_within_with(counts, radius, PairEnumerator::AllPairs)
+            .expect("non-empty counts");
+        let ball = NeighborIndex::build_within_with(counts, radius, PairEnumerator::HammingBall)
+            .expect("non-empty counts");
+        (all, ball)
+    });
+    assert_eq!(
+        all.pairs(),
+        ball.pairs(),
+        "enumerators diverged: width={} distinct={} radius={} threads={}",
+        counts.width(),
+        counts.distinct(),
+        radius,
+        threads
+    );
+    assert_eq!(all.radius(), ball.radius());
+}
+
+proptest! {
+    /// The tentpole property: across random tables (widths 2–12),
+    /// ε-derived radii, and thread counts 1/2/8, Hamming-ball
+    /// enumeration reproduces the all-pairs kept-pair list exactly.
+    #[test]
+    fn ball_matches_all_pairs_at_epsilon_radius(
+        width in 2usize..=12,
+        distinct in 2usize..=160,
+        seed in 0u64..1_000_000,
+        lambda in 0.2f64..6.0,
+        epsilon in 0.001f64..0.5,
+    ) {
+        let _guard = knob();
+        let counts = synth_counts(width, distinct, seed);
+        let weights = WeightLaw::from_kernel(Kernel::Poisson, lambda).table(width);
+        let radius = edge_radius(&weights, epsilon);
+        for threads in THREADS {
+            assert_parity(&counts, radius, threads);
+        }
+    }
+
+    /// Radius edge cases the ε sweep may under-sample: 0 (no pairs),
+    /// 1, width−1, width (full scan), and width+1 (beyond the space).
+    #[test]
+    fn ball_matches_all_pairs_at_extreme_radii(
+        width in 2usize..=10,
+        distinct in 2usize..=64,
+        seed in 0u64..1_000_000,
+    ) {
+        let _guard = knob();
+        let counts = synth_counts(width, distinct, seed);
+        let w = width as u32;
+        for radius in [0, 1, w - 1, w, w + 1] {
+            for threads in THREADS {
+                assert_parity(&counts, radius, threads);
+            }
+        }
+    }
+}
